@@ -1,0 +1,289 @@
+(* Command-line front end for the ambipolar-CNFET PLA library.
+
+   Subcommands:
+     minimize  — espresso-minimize a .pla file
+     area      — PLA area of a .pla file in all three technologies
+     simulate  — evaluate a .pla on an input vector (functional + switch level)
+     phase     — output-phase optimization report
+     factor    — algebraic factoring (multi-level synthesis front end)
+     map       — split into CLB-sized blocks (Shannon decomposition)
+     fpga      — the Table 2 experiment
+     yield     — Monte-Carlo yield of a mapped .pla under defects
+     suite     — export the benchmark suite as .pla/.blif files *)
+
+open Cmdliner
+
+let read_spec path =
+  try Ok (Logic.Pla_io.parse_file path) with
+  | Logic.Pla_io.Parse_error (line, msg) ->
+    Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Sys_error msg -> Error msg
+
+let pla_file =
+  let doc = "Input function in espresso .pla format." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.pla" ~doc)
+
+let exits = Cmd.Exit.defaults
+
+(* --- minimize ---------------------------------------------------------------- *)
+
+let minimize_cmd =
+  let run path output =
+    match read_spec path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let r = Espresso.Minimize.minimize ~dc:spec.Logic.Pla_io.dc_set spec.Logic.Pla_io.on_set in
+      let c0, l0 = r.Espresso.Minimize.initial_cost in
+      let c1, l1 = r.Espresso.Minimize.final_cost in
+      Printf.eprintf "minimized: %d cubes / %d literals -> %d cubes / %d literals (%d rounds)\n"
+        c0 l0 c1 l1 r.Espresso.Minimize.iterations;
+      let text =
+        Logic.Pla_io.to_string
+          ?input_labels:spec.Logic.Pla_io.input_labels
+          ?output_labels:spec.Logic.Pla_io.output_labels ~on_set:r.Espresso.Minimize.cover
+          ~dc_set:
+            (Logic.Cover.empty ~n_in:spec.Logic.Pla_io.n_in ~n_out:spec.Logic.Pla_io.n_out)
+          ()
+      in
+      (match output with
+      | None -> print_string text
+      | Some out ->
+        let oc = open_out out in
+        output_string oc text;
+        close_out oc);
+      0
+  in
+  let output =
+    let doc = "Write the minimized cover to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Espresso-minimize a two-level function" in
+  Cmd.v (Cmd.info "minimize" ~doc ~exits) Term.(const run $ pla_file $ output)
+
+(* --- area -------------------------------------------------------------------- *)
+
+let area_cmd =
+  let run path no_minimize =
+    match read_spec path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let cover =
+        if no_minimize then spec.Logic.Pla_io.on_set
+        else Espresso.Minimize.cover ~dc:spec.Logic.Pla_io.dc_set spec.Logic.Pla_io.on_set
+      in
+      let p = Cnfet.Area.profile_of_cover cover in
+      Printf.printf "profile: %d inputs, %d outputs, %d products%s\n" p.Cnfet.Area.n_in
+        p.Cnfet.Area.n_out p.Cnfet.Area.n_products
+        (if no_minimize then "" else " (after espresso)");
+      let t = Util.Tableau.create [ "technology"; "area (L^2)"; "input wires"; "vs CNFET" ] in
+      let cnfet_area = Cnfet.Area.pla_area Device.Tech.cnfet p in
+      List.iter
+        (fun fam ->
+          let tech = Device.Tech.get fam in
+          let area = Cnfet.Area.pla_area tech p in
+          Util.Tableau.add_row t
+            [
+              Device.Tech.name fam;
+              Util.Tableau.cell_int area;
+              string_of_int (Cnfet.Area.input_wires tech p);
+              Printf.sprintf "%.2fx" (float_of_int area /. float_of_int cnfet_area);
+            ])
+        Device.Tech.all;
+      Util.Tableau.print t;
+      0
+  in
+  let no_minimize =
+    let doc = "Use the cover as-is instead of minimizing first." in
+    Arg.(value & flag & info [ "no-minimize" ] ~doc)
+  in
+  let doc = "PLA area in Flash / EEPROM / ambipolar-CNFET technologies" in
+  Cmd.v (Cmd.info "area" ~doc ~exits) Term.(const run $ pla_file $ no_minimize)
+
+(* --- simulate ----------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run path vector switch_level =
+    match read_spec path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let n_in = spec.Logic.Pla_io.n_in in
+      if String.length vector <> n_in then begin
+        Printf.eprintf "input vector must have %d bits\n" n_in;
+        1
+      end
+      else begin
+        let inputs = Array.init n_in (fun i -> vector.[i] = '1') in
+        let pla = Cnfet.Pla.of_minimized ~dc:spec.Logic.Pla_io.dc_set spec.Logic.Pla_io.on_set in
+        let outputs =
+          if switch_level then Cnfet.Pla.simulate_hw (Cnfet.Pla.build_hw pla) inputs
+          else Cnfet.Pla.eval pla inputs
+        in
+        Array.iter (fun b -> print_char (if b then '1' else '0')) outputs;
+        print_newline ();
+        0
+      end
+  in
+  let vector =
+    let doc = "Input assignment as a 0/1 string, first input leftmost." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"BITS" ~doc)
+  in
+  let switch_level =
+    let doc = "Simulate the programmed transistor network (pre-charge/evaluate phases) instead of the zero-delay model." in
+    Arg.(value & flag & info [ "switch-level" ] ~doc)
+  in
+  let doc = "Evaluate a function mapped onto a CNFET PLA" in
+  Cmd.v (Cmd.info "simulate" ~doc ~exits) Term.(const run $ pla_file $ vector $ switch_level)
+
+(* --- phase -------------------------------------------------------------------- *)
+
+let phase_cmd =
+  let run path =
+    match read_spec path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let r = Espresso.Phase.optimize ~dc:spec.Logic.Pla_io.dc_set spec.Logic.Pla_io.on_set in
+      Printf.printf "all-positive products: %d\n" r.Espresso.Phase.products_all_positive;
+      Printf.printf "phase-optimized:       %d\n" r.Espresso.Phase.products_optimized;
+      Array.iteri
+        (fun o pos -> Printf.printf "  output %d: %s phase\n" o (if pos then "positive" else "negative"))
+        r.Espresso.Phase.phases;
+      0
+  in
+  let doc = "Output-phase optimization (Sasao / MINI II style)" in
+  Cmd.v (Cmd.info "phase" ~doc ~exits) Term.(const run $ pla_file)
+
+(* --- factor ------------------------------------------------------------------- *)
+
+let factor_cmd =
+  let run path =
+    match read_spec path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let m = Espresso.Minimize.cover ~dc:spec.Logic.Pla_io.dc_set spec.Logic.Pla_io.on_set in
+      let exprs = Espresso.Factor.factor_multi m in
+      Array.iteri
+        (fun o e ->
+          Printf.printf "f%d = %s\n" o (Espresso.Factor.to_string e))
+        exprs;
+      let flat = Espresso.Factor.flat_literal_count m in
+      let fact = Array.fold_left (fun n e -> n + Espresso.Factor.literal_count e) 0 exprs in
+      Printf.eprintf "literals: %d (flat SOP, shared) -> %d (factored, per output); verified: %b\n"
+        flat fact
+        (Espresso.Factor.verify m exprs);
+      0
+  in
+  let doc = "Algebraic factoring of a minimized two-level function" in
+  Cmd.v (Cmd.info "factor" ~doc ~exits) Term.(const run $ pla_file)
+
+(* --- map ---------------------------------------------------------------------- *)
+
+let map_cmd =
+  let run path clb_inputs =
+    match read_spec path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let m = Fpga.Map.map_cover ~clb_inputs spec.Logic.Pla_io.on_set in
+      Printf.printf "mapped into %d CLB blocks (%d levels, max fanin %d), equivalent: %b\n"
+        (Fpga.Map.block_count m) (Fpga.Map.levels m) (Fpga.Map.max_block_inputs m)
+        (if spec.Logic.Pla_io.n_in <= 20 then Fpga.Map.verify_against m spec.Logic.Pla_io.on_set
+         else true);
+      0
+  in
+  let clb_inputs =
+    let doc = "CLB input budget." in
+    Arg.(value & opt int 6 & info [ "k"; "clb-inputs" ] ~docv:"K" ~doc)
+  in
+  let doc = "Split a function into CLB-sized blocks (Shannon decomposition)" in
+  Cmd.v (Cmd.info "map" ~doc ~exits) Term.(const run $ pla_file $ clb_inputs)
+
+(* --- fpga --------------------------------------------------------------------- *)
+
+let fpga_cmd =
+  let run grid seed =
+    let t = Fpga.Flow.table2_experiment ~seed ~grid () in
+    Format.printf "%a@.%a@.speed-up: %.2fx@." Fpga.Flow.pp_outcome t.Fpga.Flow.standard
+      Fpga.Flow.pp_outcome t.Fpga.Flow.cnfet t.Fpga.Flow.speedup;
+    0
+  in
+  let grid =
+    let doc = "Standard-FPGA grid side (the paper-scale experiment uses 17)." in
+    Arg.(value & opt int 17 & info [ "grid" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Random seed for design generation, placement and routing." in
+    Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let doc = "Run the Table 2 FPGA experiment (place, route, time)" in
+  Cmd.v (Cmd.info "fpga" ~doc ~exits) Term.(const run $ grid $ seed)
+
+(* --- suite -------------------------------------------------------------------- *)
+
+let suite_cmd =
+  let run dir =
+    let written = Mcnc.Export.write_suite ~dir in
+    List.iter (fun (name, path) -> Printf.printf "%-12s -> %s\n" name path) written;
+    Printf.printf "%d functions written (.pla + .blif) under %s\n" (List.length written) dir;
+    0
+  in
+  let dir =
+    let doc = "Output directory." in
+    Arg.(value & opt string "benchmarks" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let doc = "Export the benchmark suite as .pla and BLIF files" in
+  Cmd.v (Cmd.info "suite" ~doc ~exits) Term.(const run $ dir)
+
+(* --- yield -------------------------------------------------------------------- *)
+
+let yield_cmd =
+  let run path rate spares trials seed =
+    match read_spec path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let pla = Cnfet.Pla.of_minimized ~dc:spec.Logic.Pla_io.dc_set spec.Logic.Pla_io.on_set in
+      let rng = Util.Rng.create seed in
+      let p = Fault.Yield.estimate rng ~trials ~spare_rows:spares pla ~defect_rate:rate in
+      Printf.printf "defect rate %.2f%%, %d trials:\n" (100.0 *. rate) trials;
+      Printf.printf "  baseline (fixed rows):    %.1f%%\n" (100.0 *. p.Fault.Yield.yield_baseline);
+      Printf.printf "  remapped:                 %.1f%%\n" (100.0 *. p.Fault.Yield.yield_remap);
+      Printf.printf "  remapped + %d spare rows:  %.1f%%\n" spares
+        (100.0 *. p.Fault.Yield.yield_spares);
+      0
+  in
+  let rate =
+    let doc = "Per-device defect probability." in
+    Arg.(value & opt float 0.01 & info [ "rate" ] ~docv:"P" ~doc)
+  in
+  let spares =
+    let doc = "Spare AND-plane rows." in
+    Arg.(value & opt int 2 & info [ "spares" ] ~docv:"N" ~doc)
+  in
+  let trials =
+    let doc = "Monte-Carlo trials." in
+    Arg.(value & opt int 300 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Random seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let doc = "Monte-Carlo functional yield under crosspoint defects" in
+  Cmd.v (Cmd.info "yield" ~doc ~exits)
+    Term.(const run $ pla_file $ rate $ spares $ trials $ seed)
+
+let () =
+  let doc = "programmable logic built from ambipolar carbon-nanotube FETs" in
+  let info = Cmd.info "cnfet_tool" ~version:"1.0.0" ~doc ~exits in
+  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd ]))

@@ -1,0 +1,1 @@
+examples/fault_yield.ml: Cnfet Fault List Mcnc Printf Util

@@ -1,0 +1,1 @@
+examples/fpga_speedup.ml: Array Fpga Printf Sys Util

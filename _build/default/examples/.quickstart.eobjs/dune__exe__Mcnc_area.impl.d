@@ -1,0 +1,1 @@
+examples/mcnc_area.ml: Cnfet Device List Mcnc Option Printf Util

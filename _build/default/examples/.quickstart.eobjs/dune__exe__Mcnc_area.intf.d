@@ -1,0 +1,1 @@
+examples/mcnc_area.mli:

@@ -1,0 +1,1 @@
+examples/multilevel_cascade.ml: Array Cnfet Device List Logic Printf String Util

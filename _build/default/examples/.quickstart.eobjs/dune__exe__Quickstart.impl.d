@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bool Cnfet Device Espresso List Logic Printf

@@ -1,0 +1,1 @@
+examples/sequential_fsm.ml: Array Bool Cnfet Device List Printf String Util

@@ -1,0 +1,1 @@
+examples/wpla_phase.ml: Array Cnfet Espresso List Logic Mcnc Printf String Util

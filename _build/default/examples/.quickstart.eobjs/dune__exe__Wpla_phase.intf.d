@@ -1,0 +1,1 @@
+examples/wpla_phase.mli:

@@ -1,0 +1,59 @@
+(* The paper's Table 2 workload: one design implemented on a standard
+   PLA-based FPGA it fills to ~99%, then on the ambipolar-CNFET fabric —
+   half-area CLBs, one routed wire per connection, inverters absorbed.
+
+   Run with: dune exec examples/fpga_speedup.exe            (fast, small)
+             dune exec examples/fpga_speedup.exe -- full    (paper scale) *)
+
+let () =
+  let full = Array.length Sys.argv > 1 && Sys.argv.(1) = "full" in
+  let grid = if full then 17 else 11 in
+  Printf.printf "Running Table 2 experiment (standard grid %dx%d)...\n%!" grid grid;
+  let t = Fpga.Flow.table2_experiment ~grid () in
+  let s = t.Fpga.Flow.standard and c = t.Fpga.Flow.cnfet in
+  let tab = Util.Tableau.create [ ""; "Standard FPGA"; "CNFET FPGA" ] in
+  let f fmt = Printf.sprintf fmt in
+  Util.Tableau.add_row tab
+    [ "grid"; f "%dx%d" s.Fpga.Flow.grid s.Fpga.Flow.grid; f "%dx%d" c.Fpga.Flow.grid c.Fpga.Flow.grid ];
+  Util.Tableau.add_row tab
+    [ "CLBs used"; string_of_int s.Fpga.Flow.blocks_used; string_of_int c.Fpga.Flow.blocks_used ];
+  Util.Tableau.add_row tab
+    [
+      "occupied area";
+      Util.Tableau.cell_pct s.Fpga.Flow.occupancy;
+      Util.Tableau.cell_pct c.Fpga.Flow.occupancy;
+    ];
+  Util.Tableau.add_row tab
+    [
+      "frequency";
+      f "%.0f MHz" (s.Fpga.Flow.timing.Fpga.Timing.frequency_hz /. 1e6);
+      f "%.0f MHz" (c.Fpga.Flow.timing.Fpga.Timing.frequency_hz /. 1e6);
+    ];
+  Util.Tableau.add_rule tab;
+  Util.Tableau.add_row tab
+    [ "wirelength"; string_of_int s.Fpga.Flow.wirelength; string_of_int c.Fpga.Flow.wirelength ];
+  Util.Tableau.add_row tab
+    [
+      "routed segments";
+      string_of_int s.Fpga.Flow.routed_segments;
+      string_of_int c.Fpga.Flow.routed_segments;
+    ];
+  Util.Tableau.add_row tab
+    [
+      "route overflow";
+      string_of_int s.Fpga.Flow.route_overflow;
+      string_of_int c.Fpga.Flow.route_overflow;
+    ];
+  Util.Tableau.add_row tab
+    [
+      "critical path";
+      f "%.2f ns" (s.Fpga.Flow.timing.Fpga.Timing.critical_path *. 1e9);
+      f "%.2f ns" (c.Fpga.Flow.timing.Fpga.Timing.critical_path *. 1e9);
+    ];
+  Util.Tableau.print ~title:"Table 2 (standard vs ambipolar-CNFET FPGA)" tab;
+  Printf.printf "\nSpeed-up: %.2fx   (paper: 154 MHz -> 349 MHz, 2.27x)\n" t.Fpga.Flow.speedup;
+  print_endline
+    "Mechanisms: half-area CLB shrinks the pitch by sqrt(2); only one wire per\n\
+     connection is routed (inverted signals are generated inside the GNOR\n\
+     planes); inverter blocks are absorbed into polarity configuration; and\n\
+     the uncongested fabric avoids loaded switch boxes."

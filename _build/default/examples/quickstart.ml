@@ -1,0 +1,72 @@
+(* Quickstart: build a GNOR gate, configure it as the paper's Fig. 2
+   example, simulate it at switch level, then map a small function onto an
+   ambipolar-CNFET PLA and check it end to end.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline "=== Ambipolar CNFET quickstart ===";
+  print_endline "";
+
+  (* 1. The device: three states selected by the polarity-gate voltage. *)
+  let p = Device.Ambipolar.default in
+  Printf.printf "Device states at VDD = %.1f V:\n" p.Device.Ambipolar.vdd;
+  List.iter
+    (fun v ->
+      Printf.printf "  PG = %4.2f V  ->  %s\n" v
+        (Device.Ambipolar.polarity_to_string (Device.Ambipolar.polarity_of_pg p v)))
+    [ Device.Ambipolar.v_minus p; Device.Ambipolar.v_zero p; Device.Ambipolar.v_plus p ];
+  print_endline "";
+
+  (* 2. The paper's Fig. 2: a 4-input GNOR configured as Y = NOR(A, B', D),
+     with input C dropped, driven through pre-charge / evaluate phases. *)
+  let modes = [| Cnfet.Gnor.Pass; Cnfet.Gnor.Invert; Cnfet.Gnor.Drop; Cnfet.Gnor.Pass |] in
+  print_endline "GNOR configured as Y = NOR(A, B', D)   (input C dropped)";
+  print_endline " A B C D | Y";
+  for m = 0 to 15 do
+    let inputs = Array.init 4 (fun i -> m land (1 lsl i) <> 0) in
+    let y = Cnfet.Gnor.simulate modes inputs in
+    if inputs.(2) = false then
+      (* print one representative per (A,B,D) combination *)
+      Printf.printf " %d %d %d %d | %d\n"
+        (Bool.to_int inputs.(0)) (Bool.to_int inputs.(1)) (Bool.to_int inputs.(2))
+        (Bool.to_int inputs.(3)) (Bool.to_int y)
+  done;
+  print_endline "";
+
+  (* 3. A function through the full flow: minimize, map, verify. *)
+  let f =
+    Logic.Expr.to_cover_multi ~n_in:4
+      [
+        Logic.Expr.(v 0 && v 1 || (not_ (v 2) && v 3));
+        Logic.Expr.(parity [ v 0; v 1; v 2 ]);
+      ]
+  in
+  let minimized = Espresso.Minimize.minimize f in
+  let c0, _ = minimized.Espresso.Minimize.initial_cost in
+  let c1, _ = minimized.Espresso.Minimize.final_cost in
+  Printf.printf "espresso: %d cubes -> %d cubes\n" c0 c1;
+  let pla = Cnfet.Pla.of_cover minimized.Espresso.Minimize.cover in
+  Printf.printf "PLA: %d inputs x %d products x %d outputs (one column per input!)\n"
+    (Cnfet.Pla.num_inputs pla) (Cnfet.Pla.num_products pla) (Cnfet.Pla.num_outputs pla);
+  Printf.printf "functional check vs specification: %b\n" (Cnfet.Pla.verify_against pla f);
+
+  (* 4. Program the AND plane through the row/column-select protocol and
+     read it back. *)
+  let plane = Cnfet.Pla.and_plane pla in
+  let prog =
+    Cnfet.Program.create ~rows:(Cnfet.Plane.rows plane) ~cols:(Cnfet.Plane.cols plane) ()
+  in
+  Cnfet.Program.program_plane prog plane;
+  Printf.printf "programming: %d write steps, readback ok = %b\n" (Cnfet.Program.steps prog)
+    (Cnfet.Program.verify prog plane);
+
+  (* 5. Area in the three technologies of Table 1. *)
+  let profile = Cnfet.Area.profile_of_pla pla in
+  print_endline "";
+  print_endline "area (L^2):";
+  List.iter
+    (fun fam ->
+      let tech = Device.Tech.get fam in
+      Printf.printf "  %-6s %6d\n" (Device.Tech.name fam) (Cnfet.Area.pla_area tech profile))
+    Device.Tech.all

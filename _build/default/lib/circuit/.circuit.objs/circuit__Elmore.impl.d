@@ -1,0 +1,1 @@
+lib/circuit/elmore.ml: Array List

@@ -1,0 +1,1 @@
+lib/circuit/value.mli: Format

@@ -1,0 +1,1 @@
+lib/circuit/vcd.ml: Buffer Char Float List Printf Transient

@@ -1,0 +1,84 @@
+type node = int
+
+type info = { parent : int; resistance : float; mutable capacitance : float }
+
+type t = { driver_resistance : float; mutable nodes : info array; mutable n : int }
+
+let create ~driver_resistance =
+  {
+    driver_resistance;
+    nodes = Array.make 16 { parent = -1; resistance = 0.0; capacitance = 0.0 };
+    n = 1;
+  }
+
+let root _ = 0
+
+let add_node t ~parent ~resistance ~capacitance =
+  if parent < 0 || parent >= t.n then invalid_arg "Elmore.add_node";
+  let id = t.n in
+  if id >= Array.length t.nodes then begin
+    let bigger = Array.make (2 * Array.length t.nodes) t.nodes.(0) in
+    Array.blit t.nodes 0 bigger 0 t.n;
+    t.nodes <- bigger
+  end;
+  t.nodes.(id) <- { parent; resistance; capacitance };
+  t.n <- id + 1;
+  id
+
+let add_capacitance t node c =
+  if node < 0 || node >= t.n then invalid_arg "Elmore.add_capacitance";
+  let info = t.nodes.(node) in
+  info.capacitance <- info.capacitance +. c
+
+let path_to_root t node =
+  let rec go acc i = if i <= 0 then acc else go (i :: acc) t.nodes.(i).parent in
+  go [] node
+
+let delay t target =
+  if target < 0 || target >= t.n then invalid_arg "Elmore.delay";
+  let target_path = path_to_root t target in
+  let on_target_path = Array.make t.n false in
+  on_target_path.(0) <- true;
+  List.iter (fun i -> on_target_path.(i) <- true) target_path;
+  (* Shared resistance between the root→k path and the root→target path:
+     sum of branch resistances of path(k) nodes that lie on path(target),
+     plus the driver resistance. *)
+  let total = ref 0.0 in
+  for k = 0 to t.n - 1 do
+    let ck = t.nodes.(k).capacitance in
+    if ck > 0.0 then begin
+      let shared = ref t.driver_resistance in
+      List.iter
+        (fun i -> if on_target_path.(i) then shared := !shared +. t.nodes.(i).resistance)
+        (path_to_root t k);
+      total := !total +. (!shared *. ck)
+    end
+  done;
+  !total
+
+let max_delay t =
+  let best = ref 0.0 in
+  for k = 0 to t.n - 1 do
+    let d = delay t k in
+    if d > !best then best := d
+  done;
+  !best
+
+let total_capacitance t =
+  let sum = ref 0.0 in
+  for k = 0 to t.n - 1 do
+    sum := !sum +. t.nodes.(k).capacitance
+  done;
+  !sum
+
+let wire ~driver_resistance ~r_per_seg ~c_per_seg ~segments ~load =
+  let t = create ~driver_resistance in
+  let rec build parent k =
+    if k = 0 then parent
+    else
+      let child = add_node t ~parent ~resistance:r_per_seg ~capacitance:c_per_seg in
+      build child (k - 1)
+  in
+  let last = build (root t) segments in
+  add_capacitance t last load;
+  delay t last

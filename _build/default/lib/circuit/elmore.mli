@@ -1,0 +1,37 @@
+(** Elmore delay on RC trees.
+
+    The standard first-order interconnect timing model: for a tree rooted
+    at the driver, the delay to node [i] is [Σ_k R(path ∩ path_k) · C_k],
+    i.e. each node's capacitance weighted by the resistance shared between
+    its path and the target's path. Used by the FPGA timing analyzer and
+    by the PLA word-line/bit-line delay estimates. *)
+
+type node
+(** Abstract node handle; the root is created by {!create}. *)
+
+type t
+
+val create : driver_resistance:float -> t
+(** Tree with only the root. The driver resistance is in series with the
+    whole tree. *)
+
+val root : t -> node
+
+val add_node : t -> parent:node -> resistance:float -> capacitance:float -> node
+(** Attach a child through a branch of the given resistance, with the given
+    grounded capacitance at the new node. *)
+
+val add_capacitance : t -> node -> float -> unit
+(** Additional load at a node (e.g. a fanout gate). *)
+
+val delay : t -> node -> float
+(** Elmore delay (seconds) from the driver input to the node. *)
+
+val max_delay : t -> float
+(** Largest Elmore delay over all nodes. *)
+
+val total_capacitance : t -> float
+
+val wire : driver_resistance:float -> r_per_seg:float -> c_per_seg:float -> segments:int -> load:float -> float
+(** Convenience: Elmore delay of a uniform RC line of [segments] sections
+    with a lumped [load] at the far end. *)

@@ -1,0 +1,88 @@
+type net = int
+
+type device = int
+
+type dev = {
+  dname : string;
+  gate : net;
+  src : net;
+  drn : net;
+  mutable pol : Device.Ambipolar.polarity;
+}
+
+(* Growable arrays keep net/device lookup O(1); simulation sweeps the whole
+   device table every relaxation pass. *)
+type t = {
+  prm : Device.Ambipolar.params;
+  mutable names : string array;
+  mutable n_nets : int;
+  mutable devs : dev option array;
+  mutable n_devs : int;
+}
+
+let dummy_name = ""
+
+let create ?(params = Device.Ambipolar.default) () =
+  let names = Array.make 16 dummy_name in
+  names.(0) <- "VDD";
+  names.(1) <- "GND";
+  { prm = params; names; n_nets = 2; devs = Array.make 16 None; n_devs = 0 }
+
+let params t = t.prm
+
+let vdd _ = 0
+let gnd _ = 1
+
+let grow arr len fill =
+  if len < Array.length arr then arr
+  else begin
+    let bigger = Array.make (2 * Array.length arr) fill in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
+
+let add_net t name =
+  let id = t.n_nets in
+  t.names <- grow t.names id dummy_name;
+  t.names.(id) <- name;
+  t.n_nets <- id + 1;
+  id
+
+let net_name t n =
+  assert (n >= 0 && n < t.n_nets);
+  t.names.(n)
+
+let net_count t = t.n_nets
+
+let device_count t = t.n_devs
+
+let add_device t ~name ~gate ~src ~drn ~polarity =
+  let id = t.n_devs in
+  t.devs <- grow t.devs id None;
+  t.devs.(id) <- Some { dname = name; gate; src; drn; pol = polarity };
+  t.n_devs <- id + 1;
+  id
+
+let get_dev t d =
+  assert (d >= 0 && d < t.n_devs);
+  match t.devs.(d) with Some dv -> dv | None -> assert false
+
+let set_polarity t d p = (get_dev t d).pol <- p
+
+let polarity t d = (get_dev t d).pol
+
+let device_name t d = (get_dev t d).dname
+
+let devices t = List.init t.n_devs Fun.id
+
+let device_terminals t d =
+  let dv = get_dev t d in
+  (dv.gate, dv.src, dv.drn)
+
+let net_of_int t i =
+  if i < 0 || i >= t.n_nets then invalid_arg "Netlist.net_of_int";
+  i
+
+let net_index n = n
+
+let device_index d = d

@@ -1,0 +1,55 @@
+(** Switch-level netlists of ambipolar CNFETs.
+
+    A netlist owns a set of nets and a set of devices. Every device is an
+    ambipolar CNFET whose polarity state is programmable after
+    construction (this is how PLAs are configured). Conventional n- or
+    p-FETs are ambipolar devices whose polarity is fixed at build time. *)
+
+type net
+(** Abstract net handle. *)
+
+type device
+(** Abstract device handle. *)
+
+type t
+
+val create : ?params:Device.Ambipolar.params -> unit -> t
+
+val params : t -> Device.Ambipolar.params
+
+val vdd : t -> net
+(** The supply rail (always present). *)
+
+val gnd : t -> net
+(** The ground rail (always present). *)
+
+val add_net : t -> string -> net
+(** Fresh named net. *)
+
+val net_name : t -> net -> string
+
+val net_count : t -> int
+
+val device_count : t -> int
+
+val add_device : t -> name:string -> gate:net -> src:net -> drn:net -> polarity:Device.Ambipolar.polarity -> device
+(** Add an ambipolar CNFET. [polarity] is its initial programmed state. *)
+
+val set_polarity : t -> device -> Device.Ambipolar.polarity -> unit
+(** Reprogram a device (models storing a new charge on its PG). *)
+
+val polarity : t -> device -> Device.Ambipolar.polarity
+
+val device_name : t -> device -> string
+
+val devices : t -> device list
+
+val device_terminals : t -> device -> net * net * net
+(** [(gate, src, drn)]. *)
+
+val net_of_int : t -> int -> net
+(** Recover a net handle from {!net_index} (must be in range). *)
+
+val net_index : net -> int
+
+val device_index : device -> int

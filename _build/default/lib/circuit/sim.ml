@@ -1,0 +1,142 @@
+type pin = Pinned0 | Pinned1 | PinnedX | Free
+
+type t = {
+  nl : Netlist.t;
+  mutable values : Value.t array;
+  mutable pins : pin array;
+}
+
+let create nl =
+  let n = Netlist.net_count nl in
+  { nl; values = Array.make n Value.floating; pins = Array.make n Free }
+
+let netlist t = t.nl
+
+let sync t =
+  (* The netlist may have grown since creation. *)
+  let n = Netlist.net_count t.nl in
+  if n > Array.length t.values then begin
+    let values = Array.make n Value.floating in
+    Array.blit t.values 0 values 0 (Array.length t.values);
+    let pins = Array.make n Free in
+    Array.blit t.pins 0 pins 0 (Array.length t.pins);
+    t.values <- values;
+    t.pins <- pins
+  end
+
+let set_input t net b =
+  sync t;
+  t.pins.(Netlist.net_index net) <- (if b then Pinned1 else Pinned0)
+
+let set_input_x t net =
+  sync t;
+  t.pins.(Netlist.net_index net) <- PinnedX
+
+let release_input t net =
+  sync t;
+  t.pins.(Netlist.net_index net) <- Free
+
+let value t net =
+  sync t;
+  t.values.(Netlist.net_index net)
+
+let bool_of_net t net = Value.to_bool (value t net)
+
+(* Conduction of an ambipolar device given its gate value. Returns
+   [`On | `Off | `Unknown]. *)
+let conduction pol (gate : Value.t) =
+  match (pol, gate.Value.level, gate.Value.strength) with
+  | Device.Ambipolar.Off_state, _, _ -> `Off
+  | _, _, Value.Floating -> `Unknown
+  | Device.Ambipolar.N_type, Value.L1, _ -> `On
+  | Device.Ambipolar.N_type, Value.L0, _ -> `Off
+  | Device.Ambipolar.P_type, Value.L0, _ -> `On
+  | Device.Ambipolar.P_type, Value.L1, _ -> `Off
+  | (Device.Ambipolar.N_type | Device.Ambipolar.P_type), Value.X, _ -> `Unknown
+
+let assert_pins t =
+  let v = t.values in
+  v.(Netlist.net_index (Netlist.vdd t.nl)) <- Value.supply1;
+  v.(Netlist.net_index (Netlist.gnd t.nl)) <- Value.supply0;
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Pinned0 -> v.(i) <- Value.supply0
+      | Pinned1 -> v.(i) <- Value.supply1
+      | PinnedX -> v.(i) <- { Value.level = Value.X; strength = Value.Supply }
+      | Free -> ())
+    t.pins
+
+let phase t =
+  sync t;
+  (* Decay previous phase's driven values to charge. *)
+  t.values <- Array.map Value.weaken t.values;
+  assert_pins t;
+  let devs = Netlist.devices t.nl in
+  let n = Array.length t.values in
+  let limit = (4 * n) + 16 in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed do
+    if !sweeps > limit then failwith "Sim.phase: relaxation did not converge";
+    incr sweeps;
+    changed := false;
+    List.iter
+      (fun d ->
+        let gate, src, drn = Netlist.device_terminals t.nl d in
+        let gi = Netlist.net_index gate
+        and si = Netlist.net_index src
+        and di = Netlist.net_index drn in
+        let update i v =
+          (* Pinned nets and rails never change. *)
+          if t.pins.(i) = Free && i > 1 then begin
+            let merged = Value.merge t.values.(i) v in
+            if not (Value.equal merged t.values.(i)) then begin
+              t.values.(i) <- merged;
+              changed := true
+            end
+          end
+        in
+        (* A value seen through a switch is at most Driven: rails drive
+           nets, they do not turn them into rails. *)
+        let cap (v : Value.t) =
+          match v.Value.strength with
+          | Value.Supply -> { v with Value.strength = Value.Driven }
+          | Value.Driven | Value.Charged | Value.Floating -> v
+        in
+        match conduction (Netlist.polarity t.nl d) t.values.(gi) with
+        | `Off -> ()
+        | `On ->
+          update si (cap t.values.(di));
+          update di (cap t.values.(si))
+        | `Unknown ->
+          (* If the two sides disagree at comparable strength the result is
+             unknown; propagate a conservative X at the weaker side's
+             strength. *)
+          let a = t.values.(si) and b = t.values.(di) in
+          if a.Value.level <> b.Value.level || a.Value.level = Value.X then begin
+            let weaker (x : Value.t) (y : Value.t) =
+              let rank (s : Value.strength) =
+                match s with
+                | Value.Floating -> 0
+                | Value.Charged -> 1
+                | Value.Driven -> 2
+                | Value.Supply -> 3
+              in
+              if rank x.Value.strength <= rank y.Value.strength then x.Value.strength
+              else y.Value.strength
+            in
+            let s = weaker a b in
+            if s <> Value.Floating then begin
+              let x = { Value.level = Value.X; strength = s } in
+              update si x;
+              update di x
+            end
+          end)
+      devs
+  done
+
+let run_phases t k =
+  for _ = 1 to k do
+    phase t
+  done

@@ -1,0 +1,42 @@
+(** Switch-level relaxation simulator with dynamic-logic phases.
+
+    Within a {e phase}, primary inputs and rails hold fixed values and the
+    simulator relaxes to a fixpoint: every conducting switch merges the
+    values at its source/drain (strength-resolved per {!Value.merge}).
+    Between phases, driven values decay to charge ({!Value.weaken}),
+    modelling dynamic nodes — this is what makes pre-charge / evaluate
+    sequences work.
+
+    Gate conduction is switch-level: an n-type device conducts when its
+    gate resolves to logic 1, a p-type when it resolves to 0, an off-state
+    device never. A gate at [X] conservatively propagates [X] across the
+    switch when source and drain disagree. *)
+
+type t
+
+val create : Netlist.t -> t
+(** All nets start {!Value.floating} except the rails. *)
+
+val netlist : t -> Netlist.t
+
+val set_input : t -> Netlist.net -> bool -> unit
+(** Pin a net to a supply-strength level for subsequent phases. *)
+
+val set_input_x : t -> Netlist.net -> unit
+(** Pin a net to supply-strength [X] (unknown input). *)
+
+val release_input : t -> Netlist.net -> unit
+(** Stop driving the net (it keeps its value as charge). *)
+
+val value : t -> Netlist.net -> Value.t
+
+val bool_of_net : t -> Netlist.net -> bool option
+
+val phase : t -> unit
+(** Run one phase: weaken previous driven values, re-assert rails and
+    pinned inputs, relax to fixpoint. Raises [Failure] if the relaxation
+    does not converge (it always does on pass-transistor networks; the
+    bound is [4 × nets + 16] sweeps). *)
+
+val run_phases : t -> int -> unit
+(** [run_phases t k] runs [k] consecutive phases. *)

@@ -1,0 +1,139 @@
+module A = Device.Ambipolar
+
+type t = {
+  nl : Netlist.t;
+  prm : A.params;
+  mutable v : float array;
+  mutable cap : float array;
+  mutable driven : float option array;
+  mutable now : float;
+  recording : (int, (float * float) list ref) Hashtbl.t;
+}
+
+let create ?default_capacitance nl =
+  let prm = Netlist.params nl in
+  let c0 =
+    match default_capacitance with Some c -> c | None -> 4.0 *. prm.A.c_gate
+  in
+  let n = Netlist.net_count nl in
+  let t =
+    {
+      nl;
+      prm;
+      v = Array.make n 0.0;
+      cap = Array.make n c0;
+      driven = Array.make n None;
+      now = 0.0;
+      recording = Hashtbl.create 8;
+    }
+  in
+  t.driven.(Netlist.net_index (Netlist.vdd nl)) <- Some prm.A.vdd;
+  t.driven.(Netlist.net_index (Netlist.gnd nl)) <- Some 0.0;
+  t.v.(Netlist.net_index (Netlist.vdd nl)) <- prm.A.vdd;
+  t
+
+let sync t =
+  let n = Netlist.net_count t.nl in
+  if n > Array.length t.v then begin
+    let grow a fill =
+      let b = Array.make n fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    t.v <- grow t.v 0.0;
+    t.cap <- grow t.cap (4.0 *. t.prm.A.c_gate);
+    t.driven <- grow t.driven None
+  end
+
+let set_capacitance t net c =
+  sync t;
+  t.cap.(Netlist.net_index net) <- c
+
+let drive t net volts =
+  sync t;
+  let i = Netlist.net_index net in
+  t.driven.(i) <- Some volts;
+  t.v.(i) <- volts
+
+let release t net =
+  sync t;
+  t.driven.(Netlist.net_index net) <- None
+
+let voltage t net =
+  sync t;
+  t.v.(Netlist.net_index net)
+
+let time t = t.now
+
+let step t ~dt =
+  sync t;
+  let n = Array.length t.v in
+  let inflow = Array.make n 0.0 in
+  List.iter
+    (fun d ->
+      let gate, src, drn = Netlist.device_terminals t.nl d in
+      let gi = Netlist.net_index gate
+      and si = Netlist.net_index src
+      and di = Netlist.net_index drn in
+      let pol = Netlist.polarity t.nl d in
+      let vs = t.v.(si) and vd = t.v.(di) in
+      if Float.abs (vd -. vs) > 1e-9 then begin
+        (* current conventionally flows from the higher to the lower node *)
+        let i =
+          match pol with
+          | A.Off_state -> 0.0
+          | A.N_type ->
+            let v_source = Float.min vs vd in
+            let vgs = t.v.(gi) -. v_source in
+            Float.abs (A.drain_current t.prm A.N_type ~vgs ~vds:(Float.abs (vd -. vs)))
+          | A.P_type ->
+            let v_source = Float.max vs vd in
+            let vgs = t.v.(gi) -. v_source +. t.prm.A.vdd in
+            Float.abs (A.drain_current t.prm A.P_type ~vgs ~vds:(Float.abs (vd -. vs)))
+        in
+        if vs > vd then begin
+          inflow.(di) <- inflow.(di) +. i;
+          inflow.(si) <- inflow.(si) -. i
+        end
+        else begin
+          inflow.(si) <- inflow.(si) +. i;
+          inflow.(di) <- inflow.(di) -. i
+        end
+      end)
+    (Netlist.devices t.nl);
+  for i = 0 to n - 1 do
+    match t.driven.(i) with
+    | Some v -> t.v.(i) <- v
+    | None ->
+      let dv = dt *. inflow.(i) /. t.cap.(i) in
+      (* clamp to the rails: the analytic model has no body diodes *)
+      t.v.(i) <- Float.max 0.0 (Float.min t.prm.A.vdd (t.v.(i) +. dv))
+  done;
+  t.now <- t.now +. dt;
+  Hashtbl.iter
+    (fun i samples -> samples := (t.now, t.v.(i)) :: !samples)
+    t.recording
+
+let run ?(dt = 0.05e-12) t ~until =
+  while t.now < until do
+    step t ~dt
+  done
+
+let record t net =
+  sync t;
+  let i = Netlist.net_index net in
+  if not (Hashtbl.mem t.recording i) then Hashtbl.replace t.recording i (ref [])
+
+let waveform t net =
+  match Hashtbl.find_opt t.recording (Netlist.net_index net) with
+  | Some samples -> List.rev !samples
+  | None -> []
+
+let crossing_time t net ~level ~rising =
+  let rec scan = function
+    | (_, v0) :: ((time1, v1) :: _ as rest) ->
+      let crossed = if rising then v0 < level && v1 >= level else v0 > level && v1 <= level in
+      if crossed then Some time1 else scan rest
+    | _ -> None
+  in
+  scan (waveform t net)

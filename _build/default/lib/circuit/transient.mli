@@ -1,0 +1,48 @@
+(** Transient (time-domain) simulation of CNFET networks.
+
+    A lightweight nodal solver: every net carries a capacitance to ground,
+    rails and driven inputs are ideal voltage sources, and each ambipolar
+    device contributes a current between source and drain from the
+    analytic I–V model ({!Device.Ambipolar.drain_current}), with the
+    conducting terminal roles chosen by the instantaneous voltages.
+    Integration is forward Euler with a caller-chosen timestep (stability
+    needs [dt ≪ R_on·C]).
+
+    This is the waveform-level companion to the switch-level {!Sim}: it
+    shows the actual pre-charge and evaluation transients of dynamic GNOR
+    logic and yields measured delays to compare against Elmore
+    estimates. *)
+
+type t
+
+val create : ?default_capacitance:float -> Netlist.t -> t
+(** Every net gets [default_capacitance] (default: 4 × the device gate
+    capacitance) except the rails. *)
+
+val set_capacitance : t -> Netlist.net -> float -> unit
+
+val drive : t -> Netlist.net -> float -> unit
+(** Pin a net to a voltage from now on. *)
+
+val release : t -> Netlist.net -> unit
+(** Stop driving; the net keeps its charge and floats. *)
+
+val voltage : t -> Netlist.net -> float
+
+val time : t -> float
+
+val step : t -> dt:float -> unit
+(** Advance one Euler step. *)
+
+val run : ?dt:float -> t -> until:float -> unit
+(** Step until [time t >= until] (default [dt] = 0.05 ps). *)
+
+val record : t -> Netlist.net -> unit
+(** Start recording a waveform for this net (samples at every step). *)
+
+val waveform : t -> Netlist.net -> (float * float) list
+(** Recorded (time, voltage) samples, oldest first. *)
+
+val crossing_time : t -> Netlist.net -> level:float -> rising:bool -> float option
+(** First recorded instant the waveform crosses [level] in the given
+    direction. *)

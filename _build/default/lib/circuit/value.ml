@@ -1,0 +1,42 @@
+type level = L0 | L1 | X
+
+type strength = Floating | Charged | Driven | Supply
+
+type t = { level : level; strength : strength }
+
+let floating = { level = X; strength = Floating }
+let supply0 = { level = L0; strength = Supply }
+let supply1 = { level = L1; strength = Supply }
+let driven level = { level; strength = Driven }
+let charged level = { level; strength = Charged }
+
+let strength_rank = function Floating -> 0 | Charged -> 1 | Driven -> 2 | Supply -> 3
+
+let merge a b =
+  let ra = strength_rank a.strength and rb = strength_rank b.strength in
+  if ra > rb then a
+  else if rb > ra then b
+  else if a.strength = Floating then a
+  else if a.level = b.level then a
+  else { level = X; strength = a.strength }
+
+let weaken v =
+  match v.strength with
+  | Driven | Supply -> { v with strength = Charged }
+  | Charged | Floating -> v
+
+let to_bool v =
+  match (v.strength, v.level) with
+  | Floating, _ -> None
+  | _, L0 -> Some false
+  | _, L1 -> Some true
+  | _, X -> None
+
+let equal a b = a.level = b.level && a.strength = b.strength
+
+let pp fmt v =
+  let l = match v.level with L0 -> "0" | L1 -> "1" | X -> "X" in
+  let s =
+    match v.strength with Floating -> "z" | Charged -> "c" | Driven -> "d" | Supply -> "s"
+  in
+  Format.fprintf fmt "%s%s" l s

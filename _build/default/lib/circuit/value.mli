@@ -1,0 +1,38 @@
+(** Switch-level signal values.
+
+    A net carries a logic level together with a strength:
+    {ul
+    {- [Supply] — tied to a rail or a primary input;}
+    {- [Driven] — reached from a supply through conducting switches;}
+    {- [Charged] — retained on parasitic capacitance (dynamic nodes);}
+    {- [Floating] — never driven or charged.}}
+
+    Merging two values (two paths meeting at a net) keeps the stronger; at
+    equal strength, differing levels give [X] (conflict / charge
+    sharing). *)
+
+type level = L0 | L1 | X
+
+type strength = Floating | Charged | Driven | Supply
+
+type t = { level : level; strength : strength }
+
+val floating : t
+val supply0 : t
+val supply1 : t
+val driven : level -> t
+val charged : level -> t
+
+val merge : t -> t -> t
+(** Strength-resolved merge as described above. *)
+
+val weaken : t -> t
+(** End-of-phase decay: [Driven]/[Supply] values become [Charged] (what a
+    dynamic node retains); [Charged]/[Floating] unchanged. *)
+
+val to_bool : t -> bool option
+(** [Some] for a definite 0/1 level, [None] for [X] or [Floating]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

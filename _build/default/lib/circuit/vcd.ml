@@ -1,0 +1,53 @@
+let identifier k =
+  (* Printable VCD id codes: ! .. ~ *)
+  let base = 94 and first = 33 in
+  let buf = Buffer.create 2 in
+  let rec go k =
+    Buffer.add_char buf (Char.chr (first + (k mod base)));
+    if k >= base then go ((k / base) - 1)
+  in
+  go k;
+  Buffer.contents buf
+
+let to_string ?(timescale_ps = 1) ?(resolution = 1e-3) tr ~nets =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$comment ambipolar-cnfet transient dump $end\n";
+  Printf.bprintf buf "$timescale %d ps $end\n" timescale_ps;
+  Buffer.add_string buf "$scope module cnfet $end\n";
+  List.iteri
+    (fun k (_, name) -> Printf.bprintf buf "$var real 64 %s %s $end\n" (identifier k) name)
+    nets;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  (* Merge all waveforms into a time-ordered change list. *)
+  let changes = ref [] in
+  List.iteri
+    (fun k (net, _) ->
+      let id = identifier k in
+      let last = ref infinity in
+      List.iter
+        (fun (time, v) ->
+          if Float.abs (v -. !last) > resolution then begin
+            last := v;
+            let ticks =
+              int_of_float (Float.round (time /. (float_of_int timescale_ps *. 1e-12)))
+            in
+            changes := (ticks, id, v) :: !changes
+          end)
+        (Transient.waveform tr net))
+    nets;
+  let ordered = List.sort compare (List.rev !changes) in
+  let current_time = ref (-1) in
+  List.iter
+    (fun (ticks, id, v) ->
+      if ticks <> !current_time then begin
+        Printf.bprintf buf "#%d\n" ticks;
+        current_time := ticks
+      end;
+      Printf.bprintf buf "r%.6g %s\n" v id)
+    ordered;
+  Buffer.contents buf
+
+let write_file path ?timescale_ps ?resolution tr ~nets =
+  let oc = open_out path in
+  output_string oc (to_string ?timescale_ps ?resolution tr ~nets);
+  close_out oc

@@ -1,0 +1,13 @@
+(** Value-change-dump (VCD) export of transient waveforms.
+
+    Writes the nets recorded by a {!Transient} simulation as IEEE-1364 VCD
+    with [real]-typed variables, viewable in GTKWave and friends. Samples
+    are emitted only when a net moves by more than [resolution] volts, so
+    dumps stay small. *)
+
+val to_string : ?timescale_ps:int -> ?resolution:float -> Transient.t -> nets:(Netlist.net * string) list -> string
+(** [to_string tr ~nets] renders the recorded waveforms of the given nets
+    (with display names). Nets without recordings contribute no changes.
+    Default timescale 1 ps, resolution 1 mV. *)
+
+val write_file : string -> ?timescale_ps:int -> ?resolution:float -> Transient.t -> nets:(Netlist.net * string) list -> unit

@@ -1,0 +1,1 @@
+lib/core/bitstream.ml: Buffer Char Gnor List Pla Plane String

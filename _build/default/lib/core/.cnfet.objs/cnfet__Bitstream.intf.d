@@ -1,0 +1,1 @@
+lib/core/bitstream.mli: Pla Plane

@@ -1,0 +1,1 @@
+lib/core/cascade.ml: Array Circuit Device Espresso Fun Gnor Hashtbl List Logic Plane Printf Util

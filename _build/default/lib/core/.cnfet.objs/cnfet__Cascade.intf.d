@@ -1,0 +1,1 @@
+lib/core/cascade.mli: Circuit Device Espresso Logic

@@ -1,0 +1,1 @@
+lib/core/crossbar.ml: Array Bool Circuit Device Fun Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/crossbar.mli: Circuit Device

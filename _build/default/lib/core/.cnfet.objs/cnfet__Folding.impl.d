@@ -1,0 +1,1 @@
+lib/core/folding.ml: Array Device Fun Gnor Hashtbl List Pla Plane

@@ -1,0 +1,1 @@
+lib/core/folding.mli: Device Pla Plane

@@ -1,0 +1,1 @@
+lib/core/fsm.ml: Array Espresso List Logic Pla Util

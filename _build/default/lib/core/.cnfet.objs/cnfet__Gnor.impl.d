@@ -1,0 +1,1 @@
+lib/core/gnor.ml: Array Circuit Device Format Printf

@@ -1,0 +1,1 @@
+lib/core/gnor.mli: Circuit Device Format

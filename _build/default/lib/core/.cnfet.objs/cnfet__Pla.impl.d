@@ -1,0 +1,1 @@
+lib/core/pla.ml: Array Circuit Device Espresso Gnor Logic Plane Printf Util

@@ -1,0 +1,1 @@
+lib/core/pla.mli: Circuit Device Gnor Logic Plane

@@ -1,0 +1,1 @@
+lib/core/pla_timing.ml: Area Device List Util

@@ -1,0 +1,1 @@
+lib/core/pla_timing.mli: Area Device Util

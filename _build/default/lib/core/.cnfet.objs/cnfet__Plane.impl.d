@@ -1,0 +1,1 @@
+lib/core/plane.ml: Array Circuit Gnor Printf

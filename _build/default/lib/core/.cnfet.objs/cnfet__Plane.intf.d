@@ -1,0 +1,1 @@
+lib/core/plane.mli: Circuit Device Gnor

@@ -1,0 +1,1 @@
+lib/core/program_hw.ml: Array Circuit Device Gnor List Plane Printf

@@ -1,0 +1,1 @@
+lib/core/program_hw.mli: Circuit Device Gnor Plane

@@ -1,0 +1,1 @@
+lib/core/wpla.ml: Array Device Espresso Fun Hashtbl List Logic Option Pla Util

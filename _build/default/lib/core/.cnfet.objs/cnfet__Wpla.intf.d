@@ -1,0 +1,1 @@
+lib/core/wpla.mli: Device Espresso Logic Pla

@@ -1,0 +1,53 @@
+module Tech = Device.Tech
+
+type profile = { n_in : int; n_out : int; n_products : int }
+
+let profile_of_cover cover =
+  {
+    n_in = Logic.Cover.num_inputs cover;
+    n_out = Logic.Cover.num_outputs cover;
+    n_products = Logic.Cover.size cover;
+  }
+
+let profile_of_pla pla =
+  {
+    n_in = Pla.num_inputs pla;
+    n_out = Pla.num_outputs pla;
+    n_products = Pla.num_products pla;
+  }
+
+let basic_cell_area (tech : Tech.t) = tech.Tech.cell_area
+
+let and_plane_crosspoints tech p = Tech.columns_per_input tech * p.n_in * p.n_products
+
+let or_plane_crosspoints _tech p = p.n_out * p.n_products
+
+let pla_area tech p =
+  tech.Tech.cell_area * (and_plane_crosspoints tech p + or_plane_crosspoints tech p)
+
+let input_wires tech p = Tech.columns_per_input tech * p.n_in
+
+let total_wires tech p = input_wires tech p + p.n_out
+
+let wire_reduction_factor p =
+  let classical = float_of_int (input_wires Tech.flash p) in
+  let gnor = float_of_int (input_wires Tech.cnfet p) in
+  if gnor = 0.0 then 1.0 else classical /. gnor
+
+let area_ratio a b p = float_of_int (pla_area a p) /. float_of_int (pla_area b p)
+
+let cnfet_saving_vs tech p =
+  let classical = float_of_int (pla_area tech p) in
+  let ours = float_of_int (pla_area Tech.cnfet p) in
+  if classical = 0.0 then 0.0 else (classical -. ours) /. classical
+
+let crossover_inputs tech ~n_out =
+  (* Areas are linear in n_in for a fixed product count, so the product
+     count cancels; search a generous range. *)
+  let beats n_in =
+    let p = { n_in; n_out; n_products = 1 } in
+    pla_area Tech.cnfet p < pla_area tech p
+  in
+  let limit = (10 * n_out) + 1000 in
+  let rec go n = if n > limit then None else if beats n then Some n else go (n + 1) in
+  go 1

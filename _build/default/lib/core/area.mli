@@ -1,0 +1,50 @@
+(** The paper's PLA area and wire-count models (§5, Table 1).
+
+    Classical PLA planes need both polarities of every input, one column
+    each; a GNOR plane generates polarity internally, so one column per
+    input suffices. With [p] product terms:
+
+    {ul
+    {- classical (Flash/EEPROM): [cell_area × (2·n_in + n_out) × p];}
+    {- ambipolar CNFET:          [cell_area × (n_in + n_out) × p].}}
+
+    The crosspoint counts are exactly the devices in the AND and OR planes.
+    Wire counts follow the same column structure and are what drives the
+    FPGA routing advantage ("number of signals to route reduced by almost
+    the factor 2"). *)
+
+type profile = { n_in : int; n_out : int; n_products : int }
+
+val profile_of_cover : Logic.Cover.t -> profile
+
+val profile_of_pla : Pla.t -> profile
+
+val pla_area : Device.Tech.t -> profile -> int
+(** Area in units of [L²]. *)
+
+val basic_cell_area : Device.Tech.t -> int
+
+val and_plane_crosspoints : Device.Tech.t -> profile -> int
+
+val or_plane_crosspoints : Device.Tech.t -> profile -> int
+
+val input_wires : Device.Tech.t -> profile -> int
+(** Signals to route into the PLA: [2·n_in] classical, [n_in] GNOR. *)
+
+val total_wires : Device.Tech.t -> profile -> int
+(** Input columns plus output lines. *)
+
+val wire_reduction_factor : profile -> float
+(** Classical input wires over GNOR input wires (≈ 2). *)
+
+val area_ratio : Device.Tech.t -> Device.Tech.t -> profile -> float
+(** [area_ratio a b p] = area in technology [a] ÷ area in technology [b]. *)
+
+val cnfet_saving_vs : Device.Tech.t -> profile -> float
+(** Fractional area saving of the CNFET PLA against the given technology
+    (positive = CNFET smaller). *)
+
+val crossover_inputs : Device.Tech.t -> n_out:int -> int option
+(** Smallest input count at which the CNFET PLA beats the given classical
+    technology, independent of the product count; [None] if it never
+    does. *)

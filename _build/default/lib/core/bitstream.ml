@@ -1,0 +1,121 @@
+(* Format (all integers big-endian 16-bit):
+     "CNF1"  magic
+     plane count
+     per plane: rows, cols, then ceil(rows·cols/4) bytes of 2-bit codes
+       (00 = Drop, 01 = Pass, 10 = Invert), row-major, LSB-first in each
+       byte
+     checksum: 16-bit sum of all preceding bytes mod 65521 *)
+
+type t = { planes : Plane.t list }
+
+let magic = "CNF1"
+
+let code_of_mode = function Gnor.Drop -> 0 | Gnor.Pass -> 1 | Gnor.Invert -> 2
+
+let mode_of_code = function
+  | 0 -> Gnor.Drop
+  | 1 -> Gnor.Pass
+  | 2 -> Gnor.Invert
+  | _ -> invalid_arg "Bitstream: bad crosspoint code"
+
+let of_planes planes = { planes = List.map Plane.copy planes }
+
+let of_pla pla = of_planes [ Pla.and_plane pla; Pla.or_plane pla ]
+
+let to_planes t = List.map Plane.copy t.planes
+
+let to_pla ~n_in ~n_out ~inverted_outputs t =
+  match t.planes with
+  | [ and_plane; or_plane ] -> Pla.of_planes ~n_in ~n_out ~and_plane ~or_plane ~inverted_outputs
+  | _ -> invalid_arg "Bitstream.to_pla: expected exactly two planes"
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let to_bytes t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  add_u16 buf (List.length t.planes);
+  List.iter
+    (fun plane ->
+      let rows = Plane.rows plane and cols = Plane.cols plane in
+      if rows > 0xffff || cols > 0xffff then invalid_arg "Bitstream: plane too large";
+      add_u16 buf rows;
+      add_u16 buf cols;
+      let n = rows * cols in
+      let byte = ref 0 and filled = ref 0 in
+      for idx = 0 to n - 1 do
+        let code = code_of_mode (Plane.mode plane ~row:(idx / cols) ~col:(idx mod cols)) in
+        byte := !byte lor (code lsl (2 * !filled));
+        incr filled;
+        if !filled = 4 then begin
+          Buffer.add_char buf (Char.chr !byte);
+          byte := 0;
+          filled := 0
+        end
+      done;
+      if !filled > 0 then Buffer.add_char buf (Char.chr !byte))
+    t.planes;
+  let body = Buffer.contents buf in
+  let sum = ref 0 in
+  String.iter (fun c -> sum := (!sum + Char.code c) mod 65521) body;
+  add_u16 buf !sum;
+  Buffer.contents buf
+
+let of_bytes s =
+  let fail msg = invalid_arg ("Bitstream.of_bytes: " ^ msg) in
+  let len = String.length s in
+  if len < 8 then fail "truncated";
+  if String.sub s 0 4 <> magic then fail "bad magic";
+  (* checksum over everything but the trailing two bytes *)
+  let sum = ref 0 in
+  for i = 0 to len - 3 do
+    sum := (!sum + Char.code s.[i]) mod 65521
+  done;
+  let u16 pos = (Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1] in
+  if u16 (len - 2) <> !sum then fail "checksum mismatch";
+  let pos = ref 4 in
+  let read_u16 () =
+    if !pos + 2 > len - 2 then fail "truncated";
+    let v = u16 !pos in
+    pos := !pos + 2;
+    v
+  in
+  let n_planes = read_u16 () in
+  let planes =
+    List.init n_planes (fun _ ->
+        let rows = read_u16 () in
+        let cols = read_u16 () in
+        if rows = 0 || cols = 0 then fail "empty plane";
+        let plane = Plane.create ~rows ~cols in
+        let n = rows * cols in
+        let nbytes = (n + 3) / 4 in
+        if !pos + nbytes > len - 2 then fail "truncated plane data";
+        for idx = 0 to n - 1 do
+          let b = Char.code s.[!pos + (idx / 4)] in
+          let code = (b lsr (2 * (idx mod 4))) land 3 in
+          Plane.set_mode plane ~row:(idx / cols) ~col:(idx mod cols) (mode_of_code code)
+        done;
+        pos := !pos + nbytes;
+        plane)
+  in
+  if !pos <> len - 2 then fail "trailing bytes";
+  { planes }
+
+let write_file path t =
+  let oc = open_out_bin path in
+  output_string oc (to_bytes t);
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_bytes s
+
+let size_bytes t = String.length (to_bytes t)
+
+let program_steps t =
+  List.fold_left (fun acc p -> acc + Plane.crosspoint_count p) 0 t.planes

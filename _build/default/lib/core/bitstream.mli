@@ -1,0 +1,36 @@
+(** Configuration bitstreams for GNOR arrays.
+
+    A deployed reconfigurable part needs its configuration stored and
+    shipped: two bits per crosspoint (three polarity states plus a spare
+    code), row-major, planes in sequence, with a small header carrying the
+    geometry and an integrity checksum. The format round-trips through
+    {!Program} — a loaded bitstream is just a sequence of write steps. *)
+
+type t
+(** An encoded configuration. *)
+
+val of_pla : Pla.t -> t
+
+val of_planes : Plane.t list -> t
+
+val to_planes : t -> Plane.t list
+(** Raises [Invalid_argument] on corrupt data (bad magic, checksum or
+    trailing bytes). *)
+
+val to_pla : n_in:int -> n_out:int -> inverted_outputs:bool array -> t -> Pla.t
+(** Reassemble a two-plane bitstream into a PLA (same conventions as
+    {!Pla.of_planes}). *)
+
+val to_bytes : t -> string
+
+val of_bytes : string -> t
+(** Validates the header and checksum. *)
+
+val write_file : string -> t -> unit
+
+val read_file : string -> t
+
+val size_bytes : t -> int
+
+val program_steps : t -> int
+(** Crosspoints encoded = write steps needed to load the part. *)

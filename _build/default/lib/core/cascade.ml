@@ -1,0 +1,326 @@
+module Cover = Logic.Cover
+module Cube = Logic.Cube
+
+type signal = Pi of int | Node of int
+
+type nor_node = (signal * bool) list
+
+type network = { n_pi : int; nodes : nor_node array; outputs : signal array }
+
+let validate_network net =
+  if net.n_pi <= 0 then invalid_arg "Cascade: no primary inputs";
+  let check_signal limit = function
+    | Pi i -> if i < 0 || i >= net.n_pi then invalid_arg "Cascade: bad PI"
+    | Node j ->
+      if j < 0 || j >= limit then invalid_arg "Cascade: fanin must reference earlier node"
+  in
+  Array.iteri
+    (fun k fanins -> List.iter (fun (s, _) -> check_signal k s) fanins)
+    net.nodes;
+  Array.iter (fun s -> check_signal (Array.length net.nodes) s) net.outputs
+
+let eval_network net pis =
+  if Array.length pis <> net.n_pi then invalid_arg "Cascade.eval_network";
+  let values = Array.make (Array.length net.nodes) false in
+  let read = function Pi i -> pis.(i) | Node j -> values.(j) in
+  Array.iteri
+    (fun k fanins ->
+      let any = List.exists (fun (s, inv) -> if inv then not (read s) else read s) fanins in
+      values.(k) <- not any)
+    net.nodes;
+  Array.map read net.outputs
+
+let network_of_cover cover =
+  let n_in = Cover.num_inputs cover and n_out = Cover.num_outputs cover in
+  let cubes = Array.of_list (Cover.cubes cover) in
+  let n_products = Array.length cubes in
+  (* Level 1: one NOR node per product. P_j = NOR of the complement-adjusted
+     literals (positive literal -> inverted fanin). *)
+  let product_node c =
+    let fanins = ref [] in
+    for i = n_in - 1 downto 0 do
+      match Cube.get c i with
+      | Cube.Dc -> ()
+      | Cube.One -> fanins := (Pi i, true) :: !fanins
+      | Cube.Zero -> fanins := (Pi i, false) :: !fanins
+    done;
+    !fanins
+  in
+  (* Level 2: NOR of the selected products gives ¬f_o; level 3 inverts. *)
+  let or_node o =
+    let fanins = ref [] in
+    for j = n_products - 1 downto 0 do
+      if Util.Bitvec.get (Cube.outputs cubes.(j)) o then fanins := (Node j, false) :: !fanins
+    done;
+    !fanins
+  in
+  let nodes =
+    Array.append
+      (Array.map product_node cubes)
+      (Array.append
+         (Array.init n_out or_node)
+         (Array.init n_out (fun o -> [ (Node (n_products + o), false) ])))
+  in
+  let outputs = Array.init n_out (fun o -> Node (n_products + n_out + o)) in
+  let net = { n_pi = n_in; nodes; outputs } in
+  validate_network net;
+  net
+
+let xor_tree ~n =
+  if n < 1 then invalid_arg "Cascade.xor_tree";
+  (* XOR(a, b) = NOR(NOR(a, b), AND(a, b)) with AND(a,b) = NOR(a', b'). *)
+  let nodes = ref [] in
+  let count = ref 0 in
+  let add fanins =
+    nodes := fanins :: !nodes;
+    incr count;
+    Node (!count - 1)
+  in
+  let xor a b =
+    let nor_ab = add [ (a, false); (b, false) ] in
+    let and_ab = add [ (a, true); (b, true) ] in
+    add [ (nor_ab, false); (and_ab, false) ]
+  in
+  let rec reduce = function
+    | [] -> assert false
+    | [ s ] -> s
+    | signals ->
+      let rec pair = function
+        | a :: b :: rest -> xor a b :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      reduce (pair signals)
+  in
+  let out = reduce (List.init n (fun i -> Pi i)) in
+  let net =
+    { n_pi = n; nodes = Array.of_list (List.rev !nodes); outputs = [| out |] }
+  in
+  validate_network net;
+  net
+
+let network_of_factored ~n_in exprs =
+  let nodes = ref [] in
+  let count = ref 0 in
+  let add fanins =
+    nodes := fanins :: !nodes;
+    incr count;
+    Node (!count - 1)
+  in
+  (* Structural sharing: the same subexpression maps to one node. *)
+  let memo : (Espresso.Factor.expr, signal * bool) Hashtbl.t = Hashtbl.create 64 in
+  (* build e = (signal, polarity): the signal carries e when polarity is
+     true and ¬e when false; fanin inversion flags absorb polarity. *)
+  let rec build e =
+    match Hashtbl.find_opt memo e with
+    | Some r -> r
+    | None ->
+      let r =
+        match e with
+        | Espresso.Factor.Lit (i, ph) ->
+          if i < 0 || i >= n_in then invalid_arg "Cascade.network_of_factored: bad literal";
+          (Pi i, ph)
+        | Espresso.Factor.Or es ->
+          let fanins =
+            List.map
+              (fun x ->
+                let s, p = build x in
+                (s, not p) (* contribution must be x itself *))
+              es
+          in
+          (add fanins, false) (* NOR = ¬(∨) *)
+        | Espresso.Factor.And es ->
+          let fanins =
+            List.map
+              (fun x ->
+                let s, p = build x in
+                (s, p) (* contribution must be ¬x *))
+              es
+          in
+          (add fanins, true) (* NOR(¬x_i) = ∧ x_i *)
+      in
+      Hashtbl.replace memo e r;
+      r
+  in
+  let outputs =
+    Array.map
+      (fun e ->
+        let s, p = build e in
+        if p then s else add [ (s, false) ] (* explicit inverter *))
+      exprs
+  in
+  let net = { n_pi = n_in; nodes = Array.of_list (List.rev !nodes); outputs } in
+  validate_network net;
+  net
+
+(* --- mapping ------------------------------------------------------------- *)
+
+type stage = {
+  plane : Plane.t;
+  sources : signal array;  (** pool signal feeding each plane column *)
+  node_ids : int array;  (** network node realized by each plane row *)
+  pool_taps : int;  (** distinct pool wires entering this stage *)
+}
+
+type t = { net : network; stages : stage list }
+
+let level_of net =
+  let levels = Array.make (Array.length net.nodes) 0 in
+  Array.iteri
+    (fun k fanins ->
+      let from_signal = function Pi _ -> 0 | Node j -> levels.(j) in
+      levels.(k) <- 1 + List.fold_left (fun m (s, _) -> max m (from_signal s)) 0 fanins)
+    net.nodes;
+  levels
+
+let of_network net =
+  validate_network net;
+  let levels = level_of net in
+  let max_level = Array.fold_left max 0 levels in
+  let stage_of_level lvl =
+    let node_ids =
+      Array.of_list
+        (List.filter (fun k -> levels.(k) = lvl) (List.init (Array.length net.nodes) Fun.id))
+    in
+    (* Distinct source signals of this level, in first-use order. *)
+    let sources = ref [] in
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun k ->
+        List.iter
+          (fun (s, _) ->
+            if not (Hashtbl.mem seen s) then begin
+              Hashtbl.replace seen s (List.length !sources);
+              sources := s :: !sources
+            end)
+          net.nodes.(k))
+      node_ids;
+    let sources = Array.of_list (List.rev !sources) in
+    let col_of s = Hashtbl.find seen s in
+    let plane = Plane.create ~rows:(max 1 (Array.length node_ids)) ~cols:(max 1 (Array.length sources)) in
+    Array.iteri
+      (fun row k ->
+        List.iter
+          (fun (s, inv) ->
+            let col = col_of s in
+            let wanted = if inv then Gnor.Invert else Gnor.Pass in
+            (* One physical device per crosspoint: a node using both
+               polarities of one signal has no plane realization. *)
+            (match Plane.mode plane ~row ~col with
+            | Gnor.Drop -> ()
+            | existing ->
+              if existing <> wanted then
+                invalid_arg
+                  "Cascade.of_network: node uses both polarities of one signal \
+                   (simplify the network first)");
+            Plane.set_mode plane ~row ~col wanted)
+          net.nodes.(k))
+      node_ids;
+    { plane; sources; node_ids; pool_taps = Array.length sources }
+  in
+  let stages = List.map stage_of_level (List.init max_level (fun l -> l + 1)) in
+  { net; stages }
+
+let num_stages t = List.length t.stages
+
+let plane_dims t =
+  List.map (fun s -> (Plane.rows s.plane, Plane.cols s.plane)) t.stages
+
+let crosbar_cols s = Array.length s.sources
+
+let crossbar_dims t = List.map (fun s -> (s.pool_taps, crosbar_cols s)) t.stages
+
+let eval t pis =
+  if Array.length pis <> t.net.n_pi then invalid_arg "Cascade.eval";
+  let values = Array.make (Array.length t.net.nodes) false in
+  let read = function Pi i -> pis.(i) | Node j -> values.(j) in
+  List.iter
+    (fun s ->
+      let inputs = Array.map read s.sources in
+      let inputs = if Array.length inputs = 0 then [| false |] else inputs in
+      let outs = Plane.eval s.plane inputs in
+      Array.iteri (fun row k -> values.(k) <- outs.(row)) s.node_ids)
+    t.stages;
+  Array.map read t.net.outputs
+
+let device_count t =
+  List.fold_left
+    (fun acc s -> acc + Plane.crosspoint_count s.plane + (s.pool_taps * crosbar_cols s))
+    0 t.stages
+
+let area tech t = tech.Device.Tech.cell_area * device_count t
+
+let verify_against_network t net =
+  if net.n_pi > 16 then invalid_arg "Cascade.verify_against_network: too many inputs";
+  let ok = ref true in
+  for m = 0 to (1 lsl net.n_pi) - 1 do
+    let pis = Array.init net.n_pi (fun i -> m land (1 lsl i) <> 0) in
+    if eval t pis <> eval_network net pis then ok := false
+  done;
+  !ok
+
+(* --- switch level ---------------------------------------------------------- *)
+
+type hw = {
+  netlist : Circuit.Netlist.t;
+  clocks : Circuit.Netlist.net list;  (* one per stage *)
+  pi_nets : Circuit.Netlist.net array;
+  output_nets : Circuit.Netlist.net array;
+  hw_n_pi : int;
+}
+
+let build_hw ?params t =
+  let nl = Circuit.Netlist.create ?params () in
+  let pi_nets =
+    Array.init t.net.n_pi (fun i -> Circuit.Netlist.add_net nl (Printf.sprintf "pi%d" i))
+  in
+  let node_nets = Array.make (Array.length t.net.nodes) (Circuit.Netlist.vdd nl) in
+  let net_of_signal = function Pi i -> pi_nets.(i) | Node j -> node_nets.(j) in
+  let clocks =
+    List.mapi
+      (fun k s ->
+        let clock = Circuit.Netlist.add_net nl (Printf.sprintf "phi%d" (k + 1)) in
+        (* The crossbar is realized as wiring: plane column c is driven by
+           its source signal's net. *)
+        let inputs = Array.map net_of_signal s.sources in
+        let inputs = if Array.length inputs = 0 then [| Circuit.Netlist.gnd nl |] else inputs in
+        Array.iteri
+          (fun row node_id ->
+            let g =
+              Gnor.build nl ~name:(Printf.sprintf "s%dr%d" (k + 1) row) ~clock ~inputs
+            in
+            Gnor.configure nl g (Plane.row_modes s.plane row);
+            node_nets.(node_id) <- Gnor.output g)
+          s.node_ids;
+        clock)
+      t.stages
+  in
+  {
+    netlist = nl;
+    clocks;
+    pi_nets;
+    output_nets = Array.map net_of_signal t.net.outputs;
+    hw_n_pi = t.net.n_pi;
+  }
+
+let hw_netlist hw = hw.netlist
+
+let simulate_hw hw pis =
+  if Array.length pis <> hw.hw_n_pi then invalid_arg "Cascade.simulate_hw";
+  let sim = Circuit.Sim.create hw.netlist in
+  Array.iteri (fun i b -> Circuit.Sim.set_input sim hw.pi_nets.(i) b) pis;
+  (* Pre-charge all stages. *)
+  List.iter (fun clk -> Circuit.Sim.set_input sim clk false) hw.clocks;
+  Circuit.Sim.phase sim;
+  (* Evaluate stage by stage. *)
+  List.iter
+    (fun clk ->
+      Circuit.Sim.set_input sim clk true;
+      Circuit.Sim.phase sim)
+    hw.clocks;
+  Array.map
+    (fun net ->
+      match Circuit.Sim.bool_of_net sim net with
+      | Some b -> b
+      | None -> failwith "Cascade.simulate_hw: floating output")
+    hw.output_nets

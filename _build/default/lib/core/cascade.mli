@@ -1,0 +1,96 @@
+(** Multi-level logic as cascaded GNOR planes interleaved with crossbars
+    (paper §4: "Interleaving PLA and interconnects enables cascades of NOR
+    planes and realizes any logic function").
+
+    The input is a {e NOR network}: a DAG of generalized-NOR nodes, each
+    taking earlier signals with a per-fanin inversion flag (free on this
+    fabric — it is a polarity-gate setting). The mapper levelizes the
+    network, builds one GNOR plane per level, and routes each level's
+    fanins from the signal pool (primary inputs plus previous levels)
+    through a programmed crossbar, exactly the Fig. 3 floorplan.
+
+    Two-level covers embed trivially ({!network_of_cover}); the payoff is
+    on functions that are exponential in two levels but small as networks
+    — see {!xor_tree}. *)
+
+type signal = Pi of int | Node of int
+
+type nor_node = (signal * bool) list
+(** Fanins with inversion flags: the node computes
+    [NOR_i (maybe-invert s_i)]. The empty node is constant 1. *)
+
+type network = {
+  n_pi : int;
+  nodes : nor_node array;  (** topologically ordered: fanins reference
+                               earlier nodes only *)
+  outputs : signal array;
+}
+
+val validate_network : network -> unit
+(** Raises [Invalid_argument] on forward references or bad PI indices. *)
+
+val eval_network : network -> bool array -> bool array
+(** Reference semantics. *)
+
+val network_of_cover : Logic.Cover.t -> network
+(** The two-level NOR-NOR embedding (products as level-1 nodes, outputs as
+    level-2 nodes plus a free output inversion as a third-level node where
+    needed). *)
+
+val xor_tree : n:int -> network
+(** Parity of [n] inputs as a tree of 3-node NOR XORs — linear in [n]
+    where the two-level form needs [2^(n-1)] products. *)
+
+val network_of_factored : n_in:int -> Espresso.Factor.expr array -> network
+(** NOR-only synthesis of factored forms: AND becomes a NOR of inverted
+    fanins, OR a NOR followed by a (free or explicit) inversion —
+    polarities are tracked so inverters appear only at polarity
+    mismatches, and structurally identical subexpressions share one
+    node. This is the automatic route from {!Espresso.Factor} into the
+    cascade fabric. *)
+
+(** {1 Mapped cascades} *)
+
+type t
+
+val of_network : network -> t
+(** Levelize and map. *)
+
+val num_stages : t -> int
+
+val plane_dims : t -> (int * int) list
+(** Per stage, (rows, cols) of the GNOR plane. *)
+
+val crossbar_dims : t -> (int * int) list
+(** Per stage, (pool wires tapped, plane columns) of the routing
+    crossbar. *)
+
+val eval : t -> bool array -> bool array
+(** Evaluation {e through the mapped structure} (planes + crossbar routing
+    tables), not the source network — mapping bugs surface here. *)
+
+val device_count : t -> int
+(** Crosspoints over all planes and crossbars. *)
+
+val area : Device.Tech.t -> t -> int
+
+val verify_against_network : t -> network -> bool
+(** Exhaustive equivalence with the source network (n_pi ≤ 16). *)
+
+(** {1 Switch-level realization}
+
+    Each stage's GNOR plane gets its own clock; evaluation ripples one
+    stage per phase while earlier stages hold their dynamic values, the
+    domino discipline of {!Pla.simulate_hw} generalized to [n] stages. *)
+
+type hw
+
+val build_hw : ?params:Device.Ambipolar.params -> t -> hw
+(** Instantiate every plane on one netlist; crossbar routing is realized
+    as wiring (each plane column connects to its source signal's net). *)
+
+val hw_netlist : hw -> Circuit.Netlist.t
+
+val simulate_hw : hw -> bool array -> bool array
+(** Pre-charge everything, then evaluate stage 1, stage 2, … in
+    successive phases; read the output nets. *)

@@ -1,0 +1,142 @@
+type t = { nrows : int; ncols : int; matrix : bool array array }
+
+type wire = Row of int | Col of int
+
+type signal = Driven of bool | Conflict | Floating
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Crossbar.create";
+  { nrows = rows; ncols = cols; matrix = Array.init rows (fun _ -> Array.make cols false) }
+
+let rows t = t.nrows
+let cols t = t.ncols
+
+let check t ~row ~col =
+  if row < 0 || row >= t.nrows || col < 0 || col >= t.ncols then
+    invalid_arg "Crossbar: out of range"
+
+let connect t ~row ~col =
+  check t ~row ~col;
+  t.matrix.(row).(col) <- true
+
+let disconnect t ~row ~col =
+  check t ~row ~col;
+  t.matrix.(row).(col) <- false
+
+let connected t ~row ~col =
+  check t ~row ~col;
+  t.matrix.(row).(col)
+
+let crosspoint_polarity t ~row ~col =
+  if connected t ~row ~col then Device.Ambipolar.N_type else Device.Ambipolar.Off_state
+
+(* Wires are numbered 0..nrows-1 (rows) then nrows..nrows+ncols-1 (cols);
+   union-find over that range. *)
+let wire_id t = function
+  | Row r ->
+    if r < 0 || r >= t.nrows then invalid_arg "Crossbar: bad row wire";
+    r
+  | Col c ->
+    if c < 0 || c >= t.ncols then invalid_arg "Crossbar: bad col wire";
+    t.nrows + c
+
+let wire_of_id t i = if i < t.nrows then Row i else Col (i - t.nrows)
+
+let union_find t =
+  let n = t.nrows + t.ncols in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  for r = 0 to t.nrows - 1 do
+    for c = 0 to t.ncols - 1 do
+      if t.matrix.(r).(c) then union r (t.nrows + c)
+    done
+  done;
+  fun i -> find i
+
+let components t =
+  let find = union_find t in
+  let n = t.nrows + t.ncols in
+  let groups = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let root = find i in
+    let existing = try Hashtbl.find groups root with Not_found -> [] in
+    Hashtbl.replace groups root (wire_of_id t i :: existing)
+  done;
+  let roots = List.init n Fun.id |> List.filter (fun i -> find i = i) in
+  List.map (fun r -> Hashtbl.find groups r) roots
+
+let resolve t ~driven target =
+  let find = union_find t in
+  let root = find (wire_id t target) in
+  let values =
+    List.filter_map
+      (fun (w, v) -> if find (wire_id t w) = root then Some v else None)
+      driven
+  in
+  match values with
+  | [] -> Floating
+  | v :: rest -> if List.for_all (Bool.equal v) rest then Driven v else Conflict
+
+let route_point_to_point t ~from_row ~to_col =
+  let find = union_find t in
+  find (wire_id t (Row from_row)) = find (wire_id t (Col to_col))
+
+let programmed_count t =
+  let n = ref 0 in
+  Array.iter (Array.iter (fun b -> if b then incr n)) t.matrix;
+  !n
+
+let area tech t = tech.Device.Tech.cell_area * t.nrows * t.ncols
+
+(* --- switch level ---------------------------------------------------------- *)
+
+type hw = {
+  nl : Circuit.Netlist.t;
+  row_nets : Circuit.Netlist.net array;
+  col_nets : Circuit.Netlist.net array;
+}
+
+let build_hw ?params t =
+  let nl = Circuit.Netlist.create ?params () in
+  (* All control gates share one always-high line. *)
+  let cg = Circuit.Netlist.add_net nl "CG" in
+  let row_nets = Array.init t.nrows (fun r -> Circuit.Netlist.add_net nl (Printf.sprintf "h%d" r)) in
+  let col_nets = Array.init t.ncols (fun c -> Circuit.Netlist.add_net nl (Printf.sprintf "v%d" c)) in
+  for r = 0 to t.nrows - 1 do
+    for c = 0 to t.ncols - 1 do
+      ignore
+        (Circuit.Netlist.add_device nl
+           ~name:(Printf.sprintf "x%d_%d" r c)
+           ~gate:cg ~src:row_nets.(r) ~drn:col_nets.(c)
+           ~polarity:(crosspoint_polarity t ~row:r ~col:c))
+    done
+  done;
+  ignore cg;
+  { nl; row_nets; col_nets }
+
+let hw_netlist hw = hw.nl
+
+let simulate_hw hw ~driven =
+  let sim = Circuit.Sim.create hw.nl in
+  (* CG is net index 2 (first added): recover it by name-independent means —
+     it is the only net that is neither a rail nor a row/col net. Drive it
+     high. *)
+  let is_row_or_col n =
+    Array.exists (fun m -> m = n) hw.row_nets || Array.exists (fun m -> m = n) hw.col_nets
+  in
+  for i = 0 to Circuit.Netlist.net_count hw.nl - 1 do
+    let n = Circuit.Netlist.net_of_int hw.nl i in
+    if
+      n <> Circuit.Netlist.vdd hw.nl
+      && n <> Circuit.Netlist.gnd hw.nl
+      && not (is_row_or_col n)
+    then Circuit.Sim.set_input sim n true
+  done;
+  List.iter (fun (r, v) -> Circuit.Sim.set_input sim hw.row_nets.(r) v) driven;
+  Circuit.Sim.phase sim;
+  ( Array.map (fun n -> Circuit.Sim.bool_of_net sim n) hw.row_nets,
+    Array.map (fun n -> Circuit.Sim.bool_of_net sim n) hw.col_nets )

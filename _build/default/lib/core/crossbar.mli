@@ -1,0 +1,64 @@
+(** Ambipolar-CNFET interconnect crossbar (paper §4).
+
+    Every crosspoint holds an ambipolar CNFET used as a pass transistor
+    between a horizontal and a vertical wire. All control gates sit at a
+    shared high level, so the polarity gate alone decides connectivity:
+    PG = V+ (n-type, conducting with CG high) connects the wires,
+    PG = V0 (always off) leaves them disconnected. Interleaving such
+    crossbars with GNOR planes cascades NOR planes into arbitrary logic. *)
+
+type t
+
+type wire = Row of int | Col of int
+
+type signal = Driven of bool | Conflict | Floating
+
+val create : rows:int -> cols:int -> t
+(** All crosspoints open. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val connect : t -> row:int -> col:int -> unit
+
+val disconnect : t -> row:int -> col:int -> unit
+
+val connected : t -> row:int -> col:int -> bool
+
+val crosspoint_polarity : t -> row:int -> col:int -> Device.Ambipolar.polarity
+(** [N_type] when connected, [Off_state] otherwise — what the programming
+    protocol must store. *)
+
+val components : t -> wire list list
+(** Connected groups of wires (singletons included), rows first. *)
+
+val resolve : t -> driven:(wire * bool) list -> wire -> signal
+(** Value observed on a wire when the given wires are driven: the common
+    value of its component's drivers, [Conflict] if they disagree,
+    [Floating] if none. *)
+
+val route_point_to_point : t -> from_row:int -> to_col:int -> bool
+(** Convenience: is the horizontal wire [from_row] electrically connected
+    to the vertical wire [to_col]? *)
+
+val programmed_count : t -> int
+(** Number of conducting crosspoints. *)
+
+val area : Device.Tech.t -> t -> int
+(** Crossbar area: one basic cell per crosspoint. *)
+
+(** {1 Switch-level realization} *)
+
+type hw
+
+val build_hw : ?params:Device.Ambipolar.params -> t -> hw
+(** One pass transistor per crosspoint on a fresh netlist: CG tied to the
+    shared always-high line, polarity programmed from the connection
+    matrix (n-type = connected, off = open), exactly §4's description. *)
+
+val hw_netlist : hw -> Circuit.Netlist.t
+
+val simulate_hw : hw -> driven:(int * bool) list -> (bool option array * bool option array)
+(** Drive the given rows, relax, and read every row and column net
+    ([None] = floating or conflicting). Must agree with {!resolve}. *)

@@ -1,0 +1,116 @@
+type fold = { top : int; bottom : int }
+
+type result = { folds : fold list; row_order : int array; physical_columns : int }
+
+let column_users plane col =
+  List.filter
+    (fun r -> Plane.mode plane ~row:r ~col <> Gnor.Drop)
+    (List.init (Plane.rows plane) Fun.id)
+
+(* Precedence digraph over rows as adjacency sets; acyclicity by Kahn. *)
+let topo_order n edges =
+  let indegree = Array.make n 0 in
+  let succs = Array.make n [] in
+  Hashtbl.iter
+    (fun (a, b) () ->
+      succs.(a) <- b :: succs.(a);
+      indegree.(b) <- indegree.(b) + 1)
+    edges;
+  let queue = ref (List.filter (fun r -> indegree.(r) = 0) (List.init n Fun.id)) in
+  let order = ref [] in
+  let count = ref 0 in
+  while !queue <> [] do
+    match !queue with
+    | [] -> ()
+    | r :: rest ->
+      queue := rest;
+      order := r :: !order;
+      incr count;
+      List.iter
+        (fun s ->
+          indegree.(s) <- indegree.(s) - 1;
+          if indegree.(s) = 0 then queue := s :: !queue)
+        succs.(r)
+  done;
+  if !count = n then Some (Array.of_list (List.rev !order)) else None
+
+let fold_plane plane =
+  let n_rows = Plane.rows plane and n_cols = Plane.cols plane in
+  let users = Array.init n_cols (fun c -> column_users plane c) in
+  let edges = Hashtbl.create 64 in
+  let add_pair_edges top bottom =
+    List.iter
+      (fun a -> List.iter (fun b -> if a <> b then Hashtbl.replace edges (a, b) ()) users.(bottom))
+      users.(top)
+  in
+  let remove_pair_edges top bottom =
+    List.iter
+      (fun a -> List.iter (fun b -> if a <> b then Hashtbl.remove edges (a, b)) users.(bottom))
+      users.(top)
+  in
+  let folded = Array.make n_cols false in
+  let folds = ref [] in
+  (* Candidate pairs: disjoint users, lightest columns first (they
+     constrain the ordering least). *)
+  let cols_by_usage =
+    List.sort
+      (fun a b -> compare (List.length users.(a)) (List.length users.(b)))
+      (List.init n_cols Fun.id)
+  in
+  List.iteri
+    (fun _ top ->
+      if not folded.(top) then
+        List.iter
+          (fun bottom ->
+            if
+              (not folded.(top)) && (not folded.(bottom)) && top <> bottom
+              && List.for_all (fun r -> not (List.mem r users.(bottom))) users.(top)
+              && users.(top) <> [] && users.(bottom) <> []
+            then begin
+              add_pair_edges top bottom;
+              match topo_order n_rows edges with
+              | Some _ ->
+                folded.(top) <- true;
+                folded.(bottom) <- true;
+                folds := { top; bottom } :: !folds
+              | None -> remove_pair_edges top bottom
+            end)
+          cols_by_usage)
+    cols_by_usage;
+  let row_order =
+    match topo_order n_rows edges with
+    | Some o -> o
+    | None -> assert false (* every accepted fold kept the graph acyclic *)
+  in
+  {
+    folds = List.rev !folds;
+    row_order;
+    physical_columns = n_cols - List.length !folds;
+  }
+
+let validate plane r =
+  let n_rows = Plane.rows plane and n_cols = Plane.cols plane in
+  Array.length r.row_order = n_rows
+  && List.sort compare (Array.to_list r.row_order) = List.init n_rows Fun.id
+  && r.physical_columns = n_cols - List.length r.folds
+  && begin
+       let position = Array.make n_rows 0 in
+       Array.iteri (fun pos row -> position.(row) <- pos) r.row_order;
+       let folded_cols = List.concat_map (fun f -> [ f.top; f.bottom ]) r.folds in
+       List.sort_uniq compare folded_cols = List.sort compare folded_cols
+       && List.for_all
+            (fun f ->
+              let top_users = column_users plane f.top in
+              let bottom_users = column_users plane f.bottom in
+              List.for_all
+                (fun a -> List.for_all (fun b -> position.(a) < position.(b)) bottom_users)
+                top_users)
+            r.folds
+     end
+
+let folded_pla_area tech pla =
+  let fold_cols plane = (fold_plane plane).physical_columns in
+  let and_plane = Pla.and_plane pla and or_plane = Pla.or_plane pla in
+  tech.Device.Tech.cell_area
+  * ((fold_cols and_plane * Plane.rows and_plane)
+    + (fold_cols or_plane * Plane.rows or_plane))

@@ -1,0 +1,38 @@
+(** Simple column folding of PLA planes (Hachtel–Hemachandra–Newton–
+    Sangiovanni style).
+
+    Two input columns can share one physical column when no product row
+    uses both {e and} the rows can be ordered so every user of the first
+    sits above every user of the second — the column is then split by a
+    cut, entering from the top for one signal and from the bottom for the
+    other. Folding shrinks exactly the dimension the paper's area model
+    charges per input column, compounding with the GNOR plane's built-in
+    halving.
+
+    The folder greedily pairs disjoint columns while the accumulated
+    row-precedence constraints stay acyclic, and returns a witness row
+    order; {!validate} re-checks the separation property. *)
+
+type fold = { top : int; bottom : int }
+(** Logical columns sharing one physical column: [top] enters from above
+    the cut, [bottom] from below. *)
+
+type result = {
+  folds : fold list;
+  row_order : int array;  (** permutation: position → original row *)
+  physical_columns : int;  (** columns after folding *)
+}
+
+val fold_plane : Plane.t -> result
+(** Fold as many column pairs as the precedence constraints allow. *)
+
+val validate : Plane.t -> result -> bool
+(** Every fold's users are disjoint and separated by the row order, and
+    the physical column count is consistent. *)
+
+val folded_pla_area : Device.Tech.t -> Pla.t -> int
+(** Area of the PLA with both planes column-folded (cell × physical
+    crosspoints). *)
+
+val column_users : Plane.t -> int -> int list
+(** Rows whose crosspoint in the column is not [Drop]. *)

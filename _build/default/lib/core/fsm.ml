@@ -1,0 +1,191 @@
+module Cover = Logic.Cover
+module Cube = Logic.Cube
+
+type spec = {
+  name : string;
+  inputs : int;
+  outputs : int;
+  states : int;
+  reset : int;
+  next : int -> bool array -> int;
+  out : int -> bool array -> bool array;
+}
+
+type encoding = Binary | One_hot
+
+type t = {
+  pla : Pla.t;
+  enc : encoding;
+  n_state_bits : int;
+  spec_inputs : int;
+  spec_outputs : int;
+  reset_code : bool array;
+}
+
+let check spec =
+  if spec.inputs < 0 || spec.inputs > 8 then invalid_arg "Fsm: inputs out of range";
+  if spec.states < 1 || spec.states > 64 then invalid_arg "Fsm: states out of range";
+  if spec.reset < 0 || spec.reset >= spec.states then invalid_arg "Fsm: bad reset state";
+  if spec.outputs < 0 then invalid_arg "Fsm: bad outputs"
+
+let bits_for states =
+  let rec go k = if 1 lsl k >= states then k else go (k + 1) in
+  go 1
+
+let encode_state enc n_bits states s =
+  ignore states;
+  match enc with
+  | Binary -> Array.init n_bits (fun b -> (s lsr b) land 1 = 1)
+  | One_hot -> Array.init n_bits (fun b -> b = s)
+
+let decode_state enc n_bits code =
+  match enc with
+  | Binary ->
+    let v = ref 0 in
+    for b = n_bits - 1 downto 0 do
+      v := (2 * !v) + if code.(b) then 1 else 0
+    done;
+    Some !v
+  | One_hot ->
+    let hot = ref [] in
+    Array.iteri (fun b on -> if on then hot := b :: !hot) code;
+    (match !hot with [ b ] -> Some b | _ -> None)
+
+let synthesize ?(encoding = Binary) spec =
+  check spec;
+  let n_state_bits = match encoding with Binary -> bits_for spec.states | One_hot -> spec.states in
+  let n_in = spec.inputs + n_state_bits in
+  let n_out = n_state_bits + spec.outputs in
+  (* Tabulate on-set and don't-care set: minterms whose state-bit part is
+     not a valid code are free. *)
+  let on = ref [] and dc = ref [] in
+  let valid_code code =
+    match decode_state encoding n_state_bits code with
+    | Some s -> if s < spec.states then Some s else None
+    | None -> None
+  in
+  for m = 0 to (1 lsl n_in) - 1 do
+    let assignment = Array.init n_in (fun i -> m land (1 lsl i) <> 0) in
+    let ins = Array.sub assignment 0 spec.inputs in
+    let code = Array.sub assignment spec.inputs n_state_bits in
+    let lits =
+      List.init n_in (fun i -> if assignment.(i) then Cube.One else Cube.Zero)
+    in
+    match valid_code code with
+    | None ->
+      (* Whole output row is a don't-care. *)
+      let outs = Util.Bitvec.create_full n_out in
+      dc := Cube.of_literals lits ~outs :: !dc
+    | Some s ->
+      let s' = spec.next s ins in
+      if s' < 0 || s' >= spec.states then invalid_arg "Fsm: next out of range";
+      let code' = encode_state encoding n_state_bits spec.states s' in
+      let ovec = spec.out s ins in
+      if Array.length ovec <> spec.outputs then invalid_arg "Fsm: output width";
+      let outs = Util.Bitvec.create n_out in
+      Array.iteri (fun b on_bit -> if on_bit then Util.Bitvec.set outs b true) code';
+      Array.iteri (fun o on_bit -> if on_bit then Util.Bitvec.set outs (n_state_bits + o) true) ovec;
+      if not (Util.Bitvec.is_empty outs) then on := Cube.of_literals lits ~outs :: !on
+  done;
+  let on = Cover.make ~n_in ~n_out !on in
+  let dc = Cover.make ~n_in ~n_out !dc in
+  let minimized = Espresso.Minimize.cover ~dc on in
+  {
+    pla = Pla.of_cover minimized;
+    enc = encoding;
+    n_state_bits;
+    spec_inputs = spec.inputs;
+    spec_outputs = spec.outputs;
+    reset_code = encode_state encoding n_state_bits spec.states spec.reset;
+  }
+
+let pla t = t.pla
+
+let state_bits t = t.n_state_bits
+
+let encoding_of t = t.enc
+
+let reset_vector t = Array.copy t.reset_code
+
+let encode t s = encode_state t.enc t.n_state_bits 0 s
+
+let step t ~registers inputs =
+  if Array.length registers <> t.n_state_bits then invalid_arg "Fsm.step: register width";
+  if Array.length inputs <> t.spec_inputs then invalid_arg "Fsm.step: input width";
+  let all = Array.append inputs registers in
+  let outs = Pla.eval t.pla all in
+  (Array.sub outs 0 t.n_state_bits, Array.sub outs t.n_state_bits t.spec_outputs)
+
+let run t stimulus =
+  let registers = ref (reset_vector t) in
+  List.map
+    (fun inputs ->
+      let regs', outs = step t ~registers:!registers inputs in
+      registers := regs';
+      outs)
+    stimulus
+
+let verify_against_spec ?(steps = 500) ?(seed = 1) t spec =
+  let rng = Util.Rng.create seed in
+  let registers = ref (reset_vector t) in
+  let state = ref spec.reset in
+  let ok = ref true in
+  for _ = 1 to steps do
+    let inputs = Array.init spec.inputs (fun _ -> Util.Rng.bool rng) in
+    let regs', outs = step t ~registers:!registers inputs in
+    let want_out = spec.out !state inputs in
+    if outs <> want_out then ok := false;
+    state := spec.next !state inputs;
+    registers := regs';
+    (match decode_state t.enc t.n_state_bits regs' with
+    | Some s when s = !state -> ()
+    | _ -> ok := false)
+  done;
+  !ok
+
+let sequence_detector ~pattern =
+  let pat = Array.of_list pattern in
+  let n = Array.length pat in
+  if n < 1 then invalid_arg "Fsm.sequence_detector: empty pattern";
+  (* State = length of the longest pattern prefix matching the input
+     history's suffix (KMP). [border k] is the longest proper border of
+     pat[0..k-1]. *)
+  let border k =
+    let rec try_len l =
+      if l = 0 then 0
+      else if Array.sub pat 0 l = Array.sub pat (k - l) l then l
+      else try_len (l - 1)
+    in
+    if k = 0 then 0 else try_len (k - 1)
+  in
+  let rec advance matched bit =
+    if matched < n && pat.(matched) = bit then matched + 1
+    else if matched = 0 then 0
+    else advance (border matched) bit
+  in
+  {
+    name = "seqdet";
+    inputs = 1;
+    outputs = 1;
+    states = n;
+    reset = 0;
+    next =
+      (fun s ins ->
+        let m = advance s ins.(0) in
+        (* A full match is transient: continue from the pattern's border. *)
+        if m = n then border n else m);
+    out = (fun s ins -> [| advance s ins.(0) = n |]);
+  }
+
+let counter ~modulo =
+  if modulo < 2 || modulo > 64 then invalid_arg "Fsm.counter";
+  let out_bits = bits_for modulo in
+  {
+    name = "counter";
+    inputs = 1;
+    outputs = out_bits;
+    states = modulo;
+    reset = 0;
+    next = (fun s ins -> if ins.(0) then (s + 1) mod modulo else s);
+    out = (fun s _ -> Array.init out_bits (fun b -> (s lsr b) land 1 = 1));
+  }

@@ -1,0 +1,68 @@
+(** Finite-state machines on a registered PLA.
+
+    Reconfigurable logic is rarely purely combinational: the natural
+    sequential extension of the paper's architecture is a GNOR PLA whose
+    feedback outputs pass through a state register. This module
+    synthesizes a behavioural Mealy specification into such a registered
+    PLA:
+
+    {ul
+    {- states are encoded in binary or one-hot;}
+    {- the (state, input) → (next-state, output) relation is tabulated,
+       with {e unused state codes contributing don't-cares} that the
+       minimizer exploits;}
+    {- the combinational part is espresso-minimized and mapped onto a
+       {!Pla}.}} *)
+
+type spec = {
+  name : string;
+  inputs : int;  (** primary-input count (≤ 8) *)
+  outputs : int;
+  states : int;  (** ≥ 1, ≤ 64 *)
+  reset : int;
+  next : int -> bool array -> int;  (** behavioural next-state *)
+  out : int -> bool array -> bool array;  (** Mealy output function *)
+}
+
+type encoding = Binary | One_hot
+
+type t
+
+val synthesize : ?encoding:encoding -> spec -> t
+(** Default encoding: [Binary]. *)
+
+val pla : t -> Pla.t
+(** The combinational core: inputs = primary inputs ++ state bits,
+    outputs = next-state bits ++ primary outputs. *)
+
+val state_bits : t -> int
+
+val encoding_of : t -> encoding
+
+val reset_vector : t -> bool array
+(** Register contents encoding the reset state. *)
+
+val encode : t -> int -> bool array
+(** Code of a behavioural state. *)
+
+val step : t -> registers:bool array -> bool array -> bool array * bool array
+(** [step t ~registers inputs] = (next registers, outputs), evaluated
+    through the mapped PLA. *)
+
+val run : t -> bool array list -> bool array list
+(** Output trace from reset for an input sequence. *)
+
+val verify_against_spec : ?steps:int -> ?seed:int -> t -> spec -> bool
+(** Drive the synthesized machine and the behavioural spec with the same
+    random stimulus from reset and compare outputs and (decoded) states
+    at every step (default 500 steps). *)
+
+(** {1 Ready-made specifications} *)
+
+val sequence_detector : pattern:bool list -> spec
+(** 1-input 1-output Mealy detector asserting on every (overlapping)
+    occurrence of [pattern]. *)
+
+val counter : modulo:int -> spec
+(** Mod-[modulo] up-counter with an enable input; outputs the binary
+    count. *)

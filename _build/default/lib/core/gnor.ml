@@ -1,0 +1,92 @@
+module A = Device.Ambipolar
+module N = Circuit.Netlist
+
+type input_mode = Pass | Invert | Drop
+
+let mode_to_string = function Pass -> "pass" | Invert -> "invert" | Drop -> "drop"
+
+let pp_mode fmt m = Format.pp_print_string fmt (mode_to_string m)
+
+let mode_polarity = function
+  | Pass -> A.N_type
+  | Invert -> A.P_type
+  | Drop -> A.Off_state
+
+let mode_pg_voltage p m = A.pg_of_polarity p (mode_polarity m)
+
+let mode_of_polarity = function
+  | A.N_type -> Pass
+  | A.P_type -> Invert
+  | A.Off_state -> Drop
+
+let eval_functional modes inputs =
+  if Array.length modes <> Array.length inputs then invalid_arg "Gnor.eval_functional";
+  let contribution i m =
+    match m with Pass -> inputs.(i) | Invert -> not inputs.(i) | Drop -> false
+  in
+  let any = ref false in
+  Array.iteri (fun i m -> if contribution i m then any := true) modes;
+  not !any
+
+type gate = {
+  out : N.net;
+  foot : N.net;  (** node between the pulldown network and TEV *)
+  input_devices : N.device array;
+  tpc : N.device;
+  tev : N.device;
+}
+
+let build nl ~name ~clock ~inputs =
+  let out = N.add_net nl (name ^ ".Y") in
+  let foot = N.add_net nl (name ^ ".S") in
+  (* TPC: p-type, conducts while the clock is low, pre-charging Y to VDD. *)
+  let tpc =
+    N.add_device nl ~name:(name ^ ".TPC") ~gate:clock ~src:(N.vdd nl) ~drn:out
+      ~polarity:A.P_type
+  in
+  (* TEV: n-type foot device, connects the network to GND while the clock is
+     high (evaluation). *)
+  let tev =
+    N.add_device nl ~name:(name ^ ".TEV") ~gate:clock ~src:foot ~drn:(N.gnd nl)
+      ~polarity:A.N_type
+  in
+  let input_devices =
+    Array.mapi
+      (fun i inp ->
+        N.add_device nl
+          ~name:(Printf.sprintf "%s.M%d" name i)
+          ~gate:inp ~src:out ~drn:foot ~polarity:A.Off_state)
+      inputs
+  in
+  { out; foot; input_devices; tpc; tev }
+
+let configure nl g modes =
+  if Array.length modes <> Array.length g.input_devices then invalid_arg "Gnor.configure";
+  Array.iteri (fun i m -> N.set_polarity nl g.input_devices.(i) (mode_polarity m)) modes
+
+let output g = g.out
+
+let input_device g i = g.input_devices.(i)
+
+let precharge_device g = g.tpc
+
+let evaluate_device g = g.tev
+
+let simulate ?params modes inputs =
+  if Array.length modes <> Array.length inputs then invalid_arg "Gnor.simulate";
+  let nl = N.create ?params () in
+  let clock = N.add_net nl "phi" in
+  let input_nets = Array.mapi (fun i _ -> N.add_net nl (Printf.sprintf "in%d" i)) inputs in
+  let g = build nl ~name:"gnor" ~clock ~inputs:input_nets in
+  configure nl g modes;
+  let sim = Circuit.Sim.create nl in
+  Array.iteri (fun i b -> Circuit.Sim.set_input sim input_nets.(i) b) inputs;
+  (* Pre-charge phase: clock low. *)
+  Circuit.Sim.set_input sim clock false;
+  Circuit.Sim.phase sim;
+  (* Evaluate phase: clock high. *)
+  Circuit.Sim.set_input sim clock true;
+  Circuit.Sim.phase sim;
+  match Circuit.Sim.bool_of_net sim (output g) with
+  | Some b -> b
+  | None -> failwith "Gnor.simulate: output is floating or unknown"

@@ -1,0 +1,63 @@
+(** Generalized NOR (GNOR) gates built from ambipolar CNFETs (paper §3).
+
+    A GNOR gate is a dynamic NOR whose pulldown network has one ambipolar
+    CNFET per input; the polarity gate of each device selects how that
+    input contributes:
+    {ul
+    {- [Pass] (PG = V+, n-type): the input participates directly;}
+    {- [Invert] (PG = V−, p-type): the input participates complemented;}
+    {- [Drop] (PG = V0, always off): the input is removed from the
+       function.}}
+
+    The output is pre-charged high through TPC (p-type) and conditionally
+    discharged through the network in series with the foot device TEV
+    (n-type); TPC and TEV share the clock and have opposite polarities, as
+    in the paper's Fig. 2. With controls [C] and inputs [A], the gate
+    computes [NOR_i (C_i ⊕ A_i)] over the non-dropped inputs. *)
+
+type input_mode = Pass | Invert | Drop
+
+val mode_to_string : input_mode -> string
+
+val pp_mode : Format.formatter -> input_mode -> unit
+
+val mode_polarity : input_mode -> Device.Ambipolar.polarity
+(** Device state implementing a mode ([Pass] → n-type, [Invert] → p-type,
+    [Drop] → off). *)
+
+val mode_pg_voltage : Device.Ambipolar.params -> input_mode -> float
+(** PG programming voltage for a mode (V+, V− or V0). *)
+
+val mode_of_polarity : Device.Ambipolar.polarity -> input_mode
+
+val eval_functional : input_mode array -> bool array -> bool
+(** Zero-delay model: [¬ (∨_i contribution_i)] where a [Pass] input
+    contributes its value, an [Invert] input its complement and a [Drop]
+    input nothing. A GNOR with every input dropped evaluates to [true]
+    (nothing discharges the pre-charged node). *)
+
+(** Switch-level realization on a netlist. *)
+type gate
+
+val build : Circuit.Netlist.t -> name:string -> clock:Circuit.Netlist.net -> inputs:Circuit.Netlist.net array -> gate
+(** Instantiate TPC, TEV and one ambipolar device per input. All input
+    devices start in the [Drop] state. *)
+
+val configure : Circuit.Netlist.t -> gate -> input_mode array -> unit
+(** Program the polarity gates (length must match the input count). *)
+
+val output : gate -> Circuit.Netlist.net
+
+val input_device : gate -> int -> Circuit.Netlist.device
+(** The pulldown device of input [i] (for defect injection and programming
+    tests). *)
+
+val precharge_device : gate -> Circuit.Netlist.device
+(** TPC. *)
+
+val evaluate_device : gate -> Circuit.Netlist.device
+(** TEV. *)
+
+val simulate : ?params:Device.Ambipolar.params -> input_mode array -> bool array -> bool
+(** Build a standalone gate, program it, run a pre-charge then an evaluate
+    phase, and read the output. Raises [Failure] if the output floats. *)

@@ -1,0 +1,181 @@
+module Cover = Logic.Cover
+module Cube = Logic.Cube
+module N = Circuit.Netlist
+
+type t = {
+  n_in : int;
+  n_out : int;
+  and_plane : Plane.t;
+  or_plane : Plane.t;
+  inverted : bool array;
+      (* inverted.(o): the *driver* inverts the second-plane row, which is
+         the case when the mapped cover holds the positive phase of output
+         o (the row computes ¬f_o). *)
+}
+
+let of_cover ?inverted_outputs cover =
+  let n_in = Cover.num_inputs cover and n_out = Cover.num_outputs cover in
+  let cubes = Array.of_list (Cover.cubes cover) in
+  let n_products = Array.length cubes in
+  let neg =
+    match inverted_outputs with
+    | Some a ->
+      if Array.length a <> n_out then invalid_arg "Pla.of_cover: inverted_outputs length";
+      a
+    | None -> Array.make n_out false
+  in
+  (* A PLA needs at least one row/column per plane; pad degenerate shapes. *)
+  let and_plane = Plane.create ~rows:(max 1 n_products) ~cols:(max 1 n_in) in
+  let or_plane = Plane.create ~rows:(max 1 n_out) ~cols:(max 1 n_products) in
+  Array.iteri
+    (fun j c ->
+      for i = 0 to n_in - 1 do
+        let m =
+          match Cube.get c i with
+          | Cube.One -> Gnor.Invert
+          | Cube.Zero -> Gnor.Pass
+          | Cube.Dc -> Gnor.Drop
+        in
+        Plane.set_mode and_plane ~row:j ~col:i m
+      done)
+    cubes;
+  Array.iteri
+    (fun j c ->
+      let outs = Cube.outputs c in
+      for o = 0 to n_out - 1 do
+        if Util.Bitvec.get outs o then Plane.set_mode or_plane ~row:o ~col:j Gnor.Pass
+      done)
+    cubes;
+  (* Driver inverts when the cover carries the positive phase. *)
+  let inverted = Array.map not neg in
+  { n_in; n_out; and_plane; or_plane; inverted }
+
+let of_minimized ?dc cover = of_cover (Espresso.Minimize.cover ?dc cover)
+
+let of_planes ~n_in ~n_out ~and_plane ~or_plane ~inverted_outputs =
+  if Plane.cols and_plane <> max 1 n_in then invalid_arg "Pla.of_planes: AND plane width";
+  if Plane.rows or_plane <> max 1 n_out then invalid_arg "Pla.of_planes: OR plane height";
+  if Plane.cols or_plane <> Plane.rows and_plane then
+    invalid_arg "Pla.of_planes: plane product dimensions disagree";
+  if Array.length inverted_outputs <> n_out then invalid_arg "Pla.of_planes: inverted_outputs";
+  { n_in; n_out; and_plane; or_plane; inverted = Array.map not inverted_outputs }
+
+let num_inputs t = t.n_in
+let num_outputs t = t.n_out
+let num_products t = Plane.rows t.and_plane
+
+let and_plane t = t.and_plane
+let or_plane t = t.or_plane
+
+let output_inverted t o =
+  if o < 0 || o >= t.n_out then invalid_arg "Pla.output_inverted";
+  t.inverted.(o)
+
+let eval_products t inputs =
+  if Array.length inputs <> t.n_in then invalid_arg "Pla.eval_products";
+  let padded =
+    if t.n_in = Plane.cols t.and_plane then inputs
+    else Array.append inputs (Array.make (Plane.cols t.and_plane - t.n_in) false)
+  in
+  Plane.eval t.and_plane padded
+
+let eval t inputs =
+  let products = eval_products t inputs in
+  let rows = Plane.eval t.or_plane products in
+  Array.init t.n_out (fun o -> if t.inverted.(o) then not rows.(o) else rows.(o))
+
+let verify_against t cover =
+  if Cover.num_inputs cover <> t.n_in || Cover.num_outputs cover <> t.n_out then false
+  else if t.n_in > 16 then invalid_arg "Pla.verify_against: too many inputs"
+  else begin
+    let ok = ref true in
+    for m = 0 to (1 lsl t.n_in) - 1 do
+      let assignment = Array.init t.n_in (fun i -> m land (1 lsl i) <> 0) in
+      let got = eval t assignment in
+      let want = Cover.eval cover assignment in
+      for o = 0 to t.n_out - 1 do
+        if got.(o) <> Util.Bitvec.get want o then ok := false
+      done
+    done;
+    !ok
+  end
+
+let crosspoint_count t =
+  Plane.crosspoint_count t.and_plane + Plane.crosspoint_count t.or_plane
+
+type hw = {
+  netlist : N.t;
+  clock1 : N.net;
+  clock2 : N.net;
+  input_nets : N.net array;
+  product_gates : Gnor.gate array;
+  output_gates : Gnor.gate array;
+  output_nets : N.net array;
+}
+
+let build_inverter nl ~name ~input =
+  let out = N.add_net nl (name ^ ".out") in
+  let _p =
+    N.add_device nl ~name:(name ^ ".P") ~gate:input ~src:(N.vdd nl) ~drn:out
+      ~polarity:Device.Ambipolar.P_type
+  in
+  let _n =
+    N.add_device nl ~name:(name ^ ".N") ~gate:input ~src:out ~drn:(N.gnd nl)
+      ~polarity:Device.Ambipolar.N_type
+  in
+  out
+
+(* A non-inverting driver is two cascaded inverters at switch level. *)
+let build_buffer nl ~name ~input =
+  let mid = build_inverter nl ~name:(name ^ ".i0") ~input in
+  build_inverter nl ~name:(name ^ ".i1") ~input:mid
+
+let build_hw ?params t =
+  let nl = N.create ?params () in
+  let clock1 = N.add_net nl "phi1" in
+  let clock2 = N.add_net nl "phi2" in
+  let input_nets =
+    Array.init (Plane.cols t.and_plane) (fun i -> N.add_net nl (Printf.sprintf "x%d" i))
+  in
+  let product_gates =
+    Array.init (Plane.rows t.and_plane) (fun j ->
+        let g = Gnor.build nl ~name:(Printf.sprintf "and%d" j) ~clock:clock1 ~inputs:input_nets in
+        Gnor.configure nl g (Plane.row_modes t.and_plane j);
+        g)
+  in
+  let product_nets = Array.map Gnor.output product_gates in
+  let output_gates =
+    Array.init (Plane.rows t.or_plane) (fun o ->
+        let g = Gnor.build nl ~name:(Printf.sprintf "or%d" o) ~clock:clock2 ~inputs:product_nets in
+        Gnor.configure nl g (Plane.row_modes t.or_plane o);
+        g)
+  in
+  let output_nets =
+    Array.init t.n_out (fun o ->
+        let row = Gnor.output output_gates.(o) in
+        let name = Printf.sprintf "y%d" o in
+        if t.inverted.(o) then build_inverter nl ~name ~input:row
+        else build_buffer nl ~name ~input:row)
+  in
+  { netlist = nl; clock1; clock2; input_nets; product_gates; output_gates; output_nets }
+
+let simulate_hw hw inputs =
+  if Array.length inputs <> Array.length hw.input_nets then invalid_arg "Pla.simulate_hw";
+  let sim = Circuit.Sim.create hw.netlist in
+  Array.iteri (fun i b -> Circuit.Sim.set_input sim hw.input_nets.(i) b) inputs;
+  (* Phase 1: pre-charge both planes. *)
+  Circuit.Sim.set_input sim hw.clock1 false;
+  Circuit.Sim.set_input sim hw.clock2 false;
+  Circuit.Sim.phase sim;
+  (* Phase 2: evaluate the AND plane. *)
+  Circuit.Sim.set_input sim hw.clock1 true;
+  Circuit.Sim.phase sim;
+  (* Phase 3: evaluate the OR plane while the AND plane holds. *)
+  Circuit.Sim.set_input sim hw.clock2 true;
+  Circuit.Sim.phase sim;
+  Array.map
+    (fun net ->
+      match Circuit.Sim.bool_of_net sim net with
+      | Some b -> b
+      | None -> failwith "Pla.simulate_hw: floating output")
+    hw.output_nets

@@ -1,0 +1,74 @@
+(** The ambipolar-CNFET PLA (paper §4, Figs. 3–4).
+
+    Two cascaded GNOR planes realize a sum-of-products: the first plane has
+    one row per product term and — thanks to internal inversion — only
+    {e one column per input}; the second plane has one row per output. The
+    second plane's GNOR computes the NOR of the selected product terms, so
+    each output is available in both polarities; an output driver inverts
+    where needed (this freedom is what enables output-phase optimization).
+
+    Mapping of a cube to an AND-plane row: a positive literal programs the
+    crosspoint to [Invert] (the device discharges the row when the input is
+    low, i.e. the row stays high only if the input is 1), a negative
+    literal programs [Pass], an absent input [Drop]. *)
+
+type t
+
+val of_cover : ?inverted_outputs:bool array -> Logic.Cover.t -> t
+(** Map a cover onto a PLA. [inverted_outputs.(o)] (default all [false])
+    declares that the cover's output [o] is the {e complement} of the
+    desired function (negative phase), in which case the output driver is
+    configured not to invert. *)
+
+val of_minimized : ?dc:Logic.Cover.t -> Logic.Cover.t -> t
+(** Convenience: espresso-minimize, then map. *)
+
+val of_planes : n_in:int -> n_out:int -> and_plane:Plane.t -> or_plane:Plane.t -> inverted_outputs:bool array -> t
+(** Assemble a PLA from explicit plane configurations (the AND plane must
+    have [n_in] columns wide rows equal to the OR plane's columns;
+    [inverted_outputs] follows {!of_cover}'s convention). Used by repair
+    and by tests that build planes directly. *)
+
+val num_inputs : t -> int
+
+val num_outputs : t -> int
+
+val num_products : t -> int
+
+val and_plane : t -> Plane.t
+
+val or_plane : t -> Plane.t
+
+val output_inverted : t -> int -> bool
+(** Whether the driver of output [o] inverts the second plane's row. *)
+
+val eval : t -> bool array -> bool array
+(** Zero-delay functional evaluation. *)
+
+val eval_products : t -> bool array -> bool array
+(** Product-term values for an input assignment (first-plane outputs). *)
+
+val verify_against : t -> Logic.Cover.t -> bool
+(** Exhaustive check (inputs ≤ 16) that the PLA implements the cover. *)
+
+val crosspoint_count : t -> int
+(** Total devices in both planes. *)
+
+(** Switch-level realization: both planes share a netlist; the planes are
+    clocked by two phases and each output has a static inverting/buffering
+    driver. *)
+type hw = {
+  netlist : Circuit.Netlist.t;
+  clock1 : Circuit.Netlist.net;
+  clock2 : Circuit.Netlist.net;
+  input_nets : Circuit.Netlist.net array;
+  product_gates : Gnor.gate array;
+  output_gates : Gnor.gate array;
+  output_nets : Circuit.Netlist.net array;
+}
+
+val build_hw : ?params:Device.Ambipolar.params -> t -> hw
+
+val simulate_hw : hw -> bool array -> bool array
+(** Three-phase schedule: pre-charge both planes; evaluate plane 1;
+    evaluate plane 2 while plane 1 holds. *)

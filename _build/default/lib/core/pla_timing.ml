@@ -1,0 +1,129 @@
+module A = Device.Ambipolar
+module Tech = Device.Tech
+
+type result = {
+  input_delay : float;
+  and_plane_delay : float;
+  or_plane_delay : float;
+  driver_delay : float;
+  total_delay : float;
+  energy_per_eval : float;
+  static_power : float;
+  max_frequency : float;
+}
+
+(* Interconnect constants per lithography unit L of wire (32 nm-class
+   minimum-pitch metal): resistance and capacitance scale linearly with
+   length measured in L. *)
+let r_wire_per_l = 2.5 (* Ω per L *)
+let c_wire_per_l = 0.04e-15 (* F per L *)
+
+(* A line crossing [cells] crosspoints of pitch [pitch_l] (in L), loaded at
+   each crosspoint with [load_per_cell], driven through [r_driver]:
+   Elmore on a uniform RC ladder. *)
+let line_delay ~r_driver ~pitch_l ~cells ~load_per_cell =
+  if cells <= 0 then 0.0
+  else begin
+    let r_seg = r_wire_per_l *. pitch_l in
+    let c_seg = (c_wire_per_l *. pitch_l) +. load_per_cell in
+    (* Σ_k (r_driver + k·r_seg)·c_seg = r_driver·n·c + r·c·n(n+1)/2 *)
+    let n = float_of_int cells in
+    (r_driver *. n *. c_seg) +. (r_seg *. c_seg *. n *. (n +. 1.0) /. 2.0)
+  end
+
+let evaluate ?(params = A.default) ?(activity = 0.5) tech (p : Area.profile) =
+  let pitch_l = sqrt (float_of_int tech.Tech.cell_area) in
+  let input_columns = Tech.columns_per_input tech * p.Area.n_in in
+  let and_row_cells = input_columns in
+  let or_row_cells = p.Area.n_products in
+  let column_cells = p.Area.n_products in
+  (* Input buffer drives its column: one gate load per product row. *)
+  let input_delay =
+    line_delay ~r_driver:(2.0 *. params.A.r_on) ~pitch_l ~cells:column_cells
+      ~load_per_cell:params.A.c_gate
+  in
+  (* Row discharge: through one crosspoint device in series with the foot
+     device (2·R_on of drive), against the full row wire plus one junction
+     capacitance per crosspoint. *)
+  let row_delay cells =
+    line_delay ~r_driver:(2.0 *. params.A.r_on) ~pitch_l ~cells
+      ~load_per_cell:(0.5 *. params.A.c_gate)
+  in
+  let and_plane_delay = row_delay and_row_cells in
+  let or_plane_delay = row_delay or_row_cells in
+  (* Output driver: a two-device static stage into a fanout-4-ish load. *)
+  let driver_delay = params.A.r_on *. 8.0 *. params.A.c_gate in
+  let total_delay = input_delay +. and_plane_delay +. or_plane_delay +. driver_delay in
+  (* Pre-charge energy: every switching row line is recharged to VDD. *)
+  let row_line_cap cells =
+    float_of_int cells *. ((c_wire_per_l *. pitch_l) +. (0.5 *. params.A.c_gate))
+  in
+  let switched_caps =
+    activity
+    *. ((float_of_int p.Area.n_products *. row_line_cap and_row_cells)
+       +. (float_of_int p.Area.n_out *. row_line_cap or_row_cells))
+  in
+  let energy_per_eval = switched_caps *. params.A.vdd *. params.A.vdd in
+  (* Every crosspoint leaks i_off under bias for roughly half the cycle. *)
+  let devices = (input_columns * p.Area.n_products) + (p.Area.n_out * p.Area.n_products) in
+  let static_power = 0.5 *. float_of_int devices *. params.A.i_off *. params.A.vdd in
+  {
+    input_delay;
+    and_plane_delay;
+    or_plane_delay;
+    driver_delay;
+    total_delay;
+    energy_per_eval;
+    static_power;
+    max_frequency = 1.0 /. (2.0 *. total_delay);
+  }
+
+let compare_table1 ?params p =
+  List.map (fun fam -> (fam, evaluate ?params (Tech.get fam) p)) Tech.all
+
+type variation = {
+  mean_delay : float;
+  sigma_delay : float;
+  worst_delay : float;
+  yield_at_nominal : float;
+  trials : int;
+}
+
+(* A positive random factor with relative spread sigma: exp(sigma · g)
+   with g approximately standard normal (sum of 12 uniforms - 6). *)
+let lognormalish rng sigma =
+  let g = ref (-6.0) in
+  for _ = 1 to 12 do
+    g := !g +. Util.Rng.float rng 1.0
+  done;
+  exp (sigma *. !g)
+
+let monte_carlo rng ?(trials = 300) ?(sigma = 0.15) ?(params = A.default) tech p =
+  let nominal = (evaluate ~params tech p).total_delay in
+  let delays =
+    List.init trials (fun _ ->
+        let scale_r = lognormalish rng sigma in
+        let scale_wire = lognormalish rng sigma in
+        (* Slowed devices and wires: scale r_on (device drive) and, through
+           an effective params tweak, the gate load. *)
+        let varied =
+          {
+            params with
+            A.r_on = params.A.r_on *. scale_r;
+            A.c_gate = params.A.c_gate *. scale_wire;
+          }
+        in
+        (evaluate ~params:varied tech p).total_delay)
+  in
+  let mean = Util.Stats.mean delays in
+  let sd = Util.Stats.stddev delays in
+  let _, worst = Util.Stats.min_max delays in
+  let budget = 1.15 *. nominal in
+  let met = List.length (List.filter (fun d -> d <= budget) delays) in
+  {
+    mean_delay = mean;
+    sigma_delay = sd;
+    worst_delay = worst;
+    yield_at_nominal = float_of_int met /. float_of_int trials;
+    trials;
+  }

@@ -1,0 +1,48 @@
+(** First-order delay and energy of a PLA evaluation.
+
+    Geometry follows the area model: a plane row spans
+    [columns × √cell_area × L] of wire, a column spans
+    [rows × √cell_area × L]. Delays are Elmore: the input column is driven
+    through its buffer against the distributed wire plus one gate load per
+    row; the pre-charged row line discharges through one conducting device
+    (plus the foot device) against the distributed row wire and device
+    junctions. Dynamic energy is the pre-charge charge of the switching
+    row lines.
+
+    Classical (Flash/EEPROM) planes pay twice the input columns, so their
+    word lines are proportionally longer — the delay counterpart of
+    Table 1's area comparison. *)
+
+type result = {
+  input_delay : float;  (** s — input buffer driving its column *)
+  and_plane_delay : float;  (** s — product-row discharge *)
+  or_plane_delay : float;  (** s — output-row discharge *)
+  driver_delay : float;  (** s — output driver *)
+  total_delay : float;
+  energy_per_eval : float;  (** J — pre-charge energy of switching lines *)
+  static_power : float;  (** W — off-state leakage of every crosspoint *)
+  max_frequency : float;  (** Hz — 1 / (2 × total): pre-charge + evaluate *)
+}
+
+val evaluate : ?params:Device.Ambipolar.params -> ?activity:float -> Device.Tech.t -> Area.profile -> result
+(** [activity] is the fraction of row lines discharging per evaluation
+    (default 0.5). *)
+
+val compare_table1 : ?params:Device.Ambipolar.params -> Area.profile -> (Device.Tech.family * result) list
+(** The three technologies on one profile, in Table 1 column order. *)
+
+type variation = {
+  mean_delay : float;  (** s *)
+  sigma_delay : float;
+  worst_delay : float;
+  yield_at_nominal : float;
+      (** fraction of trials meeting 1.15 × the variation-free delay *)
+  trials : int;
+}
+
+val monte_carlo : Util.Rng.t -> ?trials:int -> ?sigma:float -> ?params:Device.Ambipolar.params -> Device.Tech.t -> Area.profile -> variation
+(** Device-to-device variation: each trial scales [r_on] and the wire RC
+    by independent lognormal-ish factors of relative spread [sigma]
+    (default 0.15 — immature nanotube processes are wide) and re-evaluates
+    the PLA delay. The timing-yield view of the paper's "unreliable
+    devices" remark. *)

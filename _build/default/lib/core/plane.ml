@@ -1,0 +1,82 @@
+type t = { rows : int; cols : int; modes : Gnor.input_mode array array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Plane.create";
+  { rows; cols; modes = Array.init rows (fun _ -> Array.make cols Gnor.Drop) }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let check t ~row ~col =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.cols then invalid_arg "Plane: out of range"
+
+let mode t ~row ~col =
+  check t ~row ~col;
+  t.modes.(row).(col)
+
+let set_mode t ~row ~col m =
+  check t ~row ~col;
+  t.modes.(row).(col) <- m
+
+let row_modes t r =
+  if r < 0 || r >= t.rows then invalid_arg "Plane.row_modes";
+  Array.copy t.modes.(r)
+
+let configure_row t r ms =
+  if r < 0 || r >= t.rows then invalid_arg "Plane.configure_row";
+  if Array.length ms <> t.cols then invalid_arg "Plane.configure_row: width";
+  Array.blit ms 0 t.modes.(r) 0 t.cols
+
+let eval t inputs =
+  if Array.length inputs <> t.cols then invalid_arg "Plane.eval";
+  Array.init t.rows (fun r -> Gnor.eval_functional t.modes.(r) inputs)
+
+let crosspoint_count t = t.rows * t.cols
+
+let used_crosspoints t =
+  let n = ref 0 in
+  Array.iter (Array.iter (fun m -> if m <> Gnor.Drop then incr n)) t.modes;
+  !n
+
+let iter f t =
+  Array.iteri (fun r row -> Array.iteri (fun c m -> f r c m) row) t.modes
+
+let copy t = { t with modes = Array.map Array.copy t.modes }
+
+let equal a b = a.rows = b.rows && a.cols = b.cols && a.modes = b.modes
+
+type hw = {
+  netlist : Circuit.Netlist.t;
+  clock : Circuit.Netlist.net;
+  input_nets : Circuit.Netlist.net array;
+  gates : Gnor.gate array;
+}
+
+let build_hw ?params t =
+  let nl = Circuit.Netlist.create ?params () in
+  let clock = Circuit.Netlist.add_net nl "phi" in
+  let input_nets =
+    Array.init t.cols (fun c -> Circuit.Netlist.add_net nl (Printf.sprintf "col%d" c))
+  in
+  let gates =
+    Array.init t.rows (fun r ->
+        let g = Gnor.build nl ~name:(Printf.sprintf "row%d" r) ~clock ~inputs:input_nets in
+        Gnor.configure nl g t.modes.(r);
+        g)
+  in
+  { netlist = nl; clock; input_nets; gates }
+
+let simulate_hw hw inputs =
+  if Array.length inputs <> Array.length hw.input_nets then invalid_arg "Plane.simulate_hw";
+  let sim = Circuit.Sim.create hw.netlist in
+  Array.iteri (fun i b -> Circuit.Sim.set_input sim hw.input_nets.(i) b) inputs;
+  Circuit.Sim.set_input sim hw.clock false;
+  Circuit.Sim.phase sim;
+  Circuit.Sim.set_input sim hw.clock true;
+  Circuit.Sim.phase sim;
+  Array.map
+    (fun g ->
+      match Circuit.Sim.bool_of_net sim (Gnor.output g) with
+      | Some b -> b
+      | None -> failwith "Plane.simulate_hw: floating output")
+    hw.gates

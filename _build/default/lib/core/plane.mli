@@ -1,0 +1,54 @@
+(** A GNOR plane: a rectangular array of ambipolar CNFETs forming one GNOR
+    gate per row over a shared set of input columns (paper Fig. 4).
+
+    The configuration is a matrix of {!Gnor.input_mode}s, one per
+    crosspoint. The plane is the unit on which the programming protocol
+    ({!Program}) and defect injection operate. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** All crosspoints start in the [Drop] state. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val mode : t -> row:int -> col:int -> Gnor.input_mode
+
+val set_mode : t -> row:int -> col:int -> Gnor.input_mode -> unit
+
+val row_modes : t -> int -> Gnor.input_mode array
+(** Copy of one row's configuration. *)
+
+val configure_row : t -> int -> Gnor.input_mode array -> unit
+
+val eval : t -> bool array -> bool array
+(** Zero-delay evaluation: output [r] is the GNOR of row [r] applied to the
+    column values. *)
+
+val crosspoint_count : t -> int
+(** rows × cols — the device count driving the area model. *)
+
+val used_crosspoints : t -> int
+(** Crosspoints not in the [Drop] state. *)
+
+val iter : (int -> int -> Gnor.input_mode -> unit) -> t -> unit
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+(** Switch-level realization. *)
+type hw = {
+  netlist : Circuit.Netlist.t;
+  clock : Circuit.Netlist.net;
+  input_nets : Circuit.Netlist.net array;
+  gates : Gnor.gate array;
+}
+
+val build_hw : ?params:Device.Ambipolar.params -> t -> hw
+(** Instantiate the plane on a fresh netlist and program every crosspoint. *)
+
+val simulate_hw : hw -> bool array -> bool array
+(** Drive the inputs, run pre-charge then evaluate, read every row output. *)

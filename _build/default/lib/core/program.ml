@@ -1,0 +1,77 @@
+module A = Device.Ambipolar
+
+type t = {
+  prm : A.params;
+  disturb : float;
+  nrows : int;
+  ncols : int;
+  stored : float array array;
+  mutable nsteps : int;
+}
+
+let create ?(params = A.default) ?(disturb = 0.0) ~rows ~cols () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Program.create";
+  {
+    prm = params;
+    disturb;
+    nrows = rows;
+    ncols = cols;
+    stored = Array.init rows (fun _ -> Array.make cols (A.v_zero params));
+    nsteps = 0;
+  }
+
+let rows t = t.nrows
+let cols t = t.ncols
+
+let check t ~row ~col =
+  if row < 0 || row >= t.nrows || col < 0 || col >= t.ncols then
+    invalid_arg "Program: out of range"
+
+let write t ~row ~col vpg =
+  check t ~row ~col;
+  t.stored.(row).(col) <- vpg;
+  if t.disturb > 0.0 then begin
+    (* Half-selected cells share either the row or the column select line
+       and creep toward VPG. *)
+    for c = 0 to t.ncols - 1 do
+      if c <> col then
+        t.stored.(row).(c) <- t.stored.(row).(c) +. (t.disturb *. (vpg -. t.stored.(row).(c)))
+    done;
+    for r = 0 to t.nrows - 1 do
+      if r <> row then
+        t.stored.(r).(col) <- t.stored.(r).(col) +. (t.disturb *. (vpg -. t.stored.(r).(col)))
+    done
+  end;
+  t.nsteps <- t.nsteps + 1
+
+let write_mode t ~row ~col m = write t ~row ~col (Gnor.mode_pg_voltage t.prm m)
+
+let program_plane t plane =
+  if Plane.rows plane <> t.nrows || Plane.cols plane <> t.ncols then
+    invalid_arg "Program.program_plane: shape mismatch";
+  Plane.iter (fun r c m -> write_mode t ~row:r ~col:c m) plane
+
+let steps t = t.nsteps
+
+let stored_voltage t ~row ~col =
+  check t ~row ~col;
+  t.stored.(row).(col)
+
+let readback t =
+  let plane = Plane.create ~rows:t.nrows ~cols:t.ncols in
+  for r = 0 to t.nrows - 1 do
+    for c = 0 to t.ncols - 1 do
+      let pol = A.polarity_of_pg t.prm t.stored.(r).(c) in
+      Plane.set_mode plane ~row:r ~col:c (Gnor.mode_of_polarity pol)
+    done
+  done;
+  plane
+
+let verify t plane = Plane.equal (readback t) plane
+
+let age t ~seconds =
+  for r = 0 to t.nrows - 1 do
+    for c = 0 to t.ncols - 1 do
+      t.stored.(r).(c) <- A.retention_after t.prm t.stored.(r).(c) seconds
+    done
+  done

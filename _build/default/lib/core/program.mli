@@ -1,0 +1,51 @@
+(** The PLA configuration protocol (paper §4).
+
+    To avoid one wire per polarity gate, the architecture stores a charge
+    on every PG: a single global line [VPG] reaches all polarity gates and
+    a device at position [(i, j)] is selected for writing by raising the
+    row and column select lines [VSelR_i] and [VSelC_j]; only the selected
+    device's PG node is connected to [VPG] and takes its voltage.
+
+    This module models that state machine at the charge level: stored
+    voltages, write steps, optional half-select disturb, retention decay,
+    and readback into {!Plane} configurations. *)
+
+type t
+
+val create : ?params:Device.Ambipolar.params -> ?disturb:float -> rows:int -> cols:int -> unit -> t
+(** Fresh programmer for a [rows × cols] plane; every PG starts at [V0]
+    (all devices off). [disturb] (default 0) is the fraction by which a
+    {e half-selected} cell's stored voltage drifts toward [VPG] on each
+    write step — a classic array-programming hazard. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val write : t -> row:int -> col:int -> float -> unit
+(** One protocol step: select [(row, col)], drive [VPG] to the given
+    voltage. Increments the step counter; applies disturb to half-selected
+    cells. *)
+
+val write_mode : t -> row:int -> col:int -> Gnor.input_mode -> unit
+(** {!write} with the canonical voltage of a mode. *)
+
+val program_plane : t -> Plane.t -> unit
+(** Program every crosspoint of the target configuration, one write step
+    per device ("every ambipolar CNFET is selected individually"). *)
+
+val steps : t -> int
+(** Number of write steps performed so far. *)
+
+val stored_voltage : t -> row:int -> col:int -> float
+
+val readback : t -> Plane.t
+(** Interpret every stored voltage as a polarity and return the resulting
+    configuration. *)
+
+val verify : t -> Plane.t -> bool
+(** Does the readback match the target configuration? *)
+
+val age : t -> seconds:float -> unit
+(** Apply retention decay to every stored charge
+    ({!Device.Ambipolar.retention_after}). *)

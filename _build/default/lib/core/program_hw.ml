@@ -1,0 +1,122 @@
+module A = Device.Ambipolar
+module N = Circuit.Netlist
+
+type t = {
+  prm : A.params;
+  nrows : int;
+  ncols : int;
+  nl : N.t;
+  tr : Circuit.Transient.t;
+  vpg : N.net;
+  row_sel : N.net array;
+  col_sel : N.net array;
+  storage : N.net array array;  (* polarity-gate nodes *)
+}
+
+let build ?(params = A.default) ~rows ~cols () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Program_hw.build";
+  let nl = N.create ~params () in
+  let vpg = N.add_net nl "VPG" in
+  let row_sel = Array.init rows (fun i -> N.add_net nl (Printf.sprintf "VSelR%d" i)) in
+  let col_sel = Array.init cols (fun j -> N.add_net nl (Printf.sprintf "VSelC%d" j)) in
+  let mids = ref [] in
+  let storage =
+    Array.init rows (fun i ->
+        Array.init cols (fun j ->
+            let pg = N.add_net nl (Printf.sprintf "pg_%d_%d" i j) in
+            let mid = N.add_net nl (Printf.sprintf "mid_%d_%d" i j) in
+            mids := mid :: !mids;
+            (* Column-outer, row-inner chain:
+               VPG --[VSelC_j]-- mid --[VSelR_i]-- pg.
+               Column-half-selected cells then have their storage isolated
+               behind the off row device; only row-mates of a write see a
+               small charge-sharing bite through the (tiny) mid node. *)
+            let _ =
+              N.add_device nl
+                ~name:(Printf.sprintf "ac_%d_%d" i j)
+                ~gate:col_sel.(j) ~src:vpg ~drn:mid ~polarity:A.N_type
+            in
+            let _ =
+              N.add_device nl
+                ~name:(Printf.sprintf "ar_%d_%d" i j)
+                ~gate:row_sel.(i) ~src:mid ~drn:pg ~polarity:A.N_type
+            in
+            pg))
+  in
+  let tr = Circuit.Transient.create nl in
+  (* Storage nodes carry the PG capacitance and start at V0 (fabrication
+     leaves devices off); mid nodes are small junctions. *)
+  Array.iter
+    (Array.iter (fun pg ->
+         Circuit.Transient.set_capacitance tr pg params.A.c_pg;
+         Circuit.Transient.drive tr pg (A.v_zero params);
+         Circuit.Transient.release tr pg))
+    storage;
+  List.iter
+    (fun mid -> Circuit.Transient.set_capacitance tr mid (0.04 *. params.A.c_gate))
+    !mids;
+  (* All selects and VPG idle low. *)
+  Array.iter (fun n -> Circuit.Transient.drive tr n 0.0) row_sel;
+  Array.iter (fun n -> Circuit.Transient.drive tr n 0.0) col_sel;
+  Circuit.Transient.drive tr vpg 0.0;
+  { prm = params; nrows = rows; ncols = cols; nl; tr; vpg; row_sel; col_sel; storage }
+
+let rows t = t.nrows
+let cols t = t.ncols
+let netlist t = t.nl
+let device_count t = 2 * t.nrows * t.ncols
+
+let check t ~row ~col =
+  if row < 0 || row >= t.nrows || col < 0 || col >= t.ncols then
+    invalid_arg "Program_hw: out of range"
+
+(* Select lines are boosted a threshold above VDD (word-line boosting) so
+   the n-pass chain delivers the full programming voltage. *)
+let boost t = t.prm.A.vdd +. t.prm.A.vth +. 0.1
+
+let write ?(duration = 200e-12) t ~row ~col volts =
+  check t ~row ~col;
+  let now = Circuit.Transient.time t.tr in
+  (* Phase 1 — mid equalization: every column select up, rows off,
+     VPG = V0. All mid junctions refresh to V0 while the storage nodes sit
+     isolated behind their off row devices. *)
+  Circuit.Transient.drive t.tr t.vpg (A.v_zero t.prm);
+  Array.iter (fun n -> Circuit.Transient.drive t.tr n (boost t)) t.col_sel;
+  Circuit.Transient.run t.tr ~until:(now +. 30e-12);
+  Array.iter (fun n -> Circuit.Transient.drive t.tr n 0.0) t.col_sel;
+  (* Phase 2 — the write proper. *)
+  Circuit.Transient.drive t.tr t.vpg volts;
+  Circuit.Transient.drive t.tr t.row_sel.(row) (boost t);
+  Circuit.Transient.drive t.tr t.col_sel.(col) (boost t);
+  Circuit.Transient.run t.tr ~until:(now +. 30e-12 +. duration);
+  (* Deselect, idle VPG; settle briefly. *)
+  Circuit.Transient.drive t.tr t.row_sel.(row) 0.0;
+  Circuit.Transient.drive t.tr t.col_sel.(col) 0.0;
+  Circuit.Transient.drive t.tr t.vpg 0.0;
+  Circuit.Transient.run t.tr ~until:(now +. 40e-12 +. duration)
+
+let write_mode ?duration t ~row ~col m =
+  write ?duration t ~row ~col (Gnor.mode_pg_voltage t.prm m)
+
+let program_plane ?duration t plane =
+  if Plane.rows plane <> t.nrows || Plane.cols plane <> t.ncols then
+    invalid_arg "Program_hw.program_plane: shape mismatch";
+  (* Writing the off-state (V0) is a no-op from fabrication, but a reused
+     array may hold other charges: write every crosspoint explicitly. *)
+  Plane.iter (fun r c m -> write_mode ?duration t ~row:r ~col:c m) plane
+
+let stored_voltage t ~row ~col =
+  check t ~row ~col;
+  Circuit.Transient.voltage t.tr t.storage.(row).(col)
+
+let readback t =
+  let plane = Plane.create ~rows:t.nrows ~cols:t.ncols in
+  for r = 0 to t.nrows - 1 do
+    for c = 0 to t.ncols - 1 do
+      let pol = A.polarity_of_pg t.prm (stored_voltage t ~row:r ~col:c) in
+      Plane.set_mode plane ~row:r ~col:c (Gnor.mode_of_polarity pol)
+    done
+  done;
+  plane
+
+let verify t plane = Plane.equal (readback t) plane

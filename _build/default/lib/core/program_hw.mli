@@ -1,0 +1,48 @@
+(** Device-level model of the PLA programming network (paper §4, Fig. 3).
+
+    The charge-level protocol of {!Program} abstracts the selection
+    mechanism; this module builds it physically: every crosspoint's
+    polarity-gate node hangs behind {e two series n-type access
+    transistors} — column select on the [VPG] side, row select on the
+    storage side — and writes run in the transient solver.
+
+    Classic array engineering is needed (and demonstrated by the tests):
+    {ul
+    {- {b word-line boosting}: selects are driven a threshold above VDD,
+       otherwise the n-pass chain stops ~Vth short of a high [VPG] and
+       the stored level falls outside the n-type decode window;}
+    {- {b mid-node equalization}: each write starts by refreshing every
+       (tiny) inter-transistor junction to [V0] through the column
+       devices, bounding the charge-sharing bite row-mates take when the
+       shared row select opens;}
+    {- {b half-select isolation}: a cell with only one select active
+       keeps its storage node behind an off transistor.}} *)
+
+type t
+
+val build : ?params:Device.Ambipolar.params -> rows:int -> cols:int -> unit -> t
+(** Fresh array; every storage node starts at [V0] (all devices off). *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val netlist : t -> Circuit.Netlist.t
+
+val device_count : t -> int
+(** Access transistors in the select network (2 per crosspoint). *)
+
+val write : ?duration:float -> t -> row:int -> col:int -> float -> unit
+(** One physical write: select the cell, drive [VPG], run the transient
+    for [duration] (default 200 ps), deselect. *)
+
+val write_mode : ?duration:float -> t -> row:int -> col:int -> Gnor.input_mode -> unit
+
+val program_plane : ?duration:float -> t -> Plane.t -> unit
+
+val stored_voltage : t -> row:int -> col:int -> float
+
+val readback : t -> Plane.t
+(** Decode every storage node's voltage into a device mode. *)
+
+val verify : t -> Plane.t -> bool

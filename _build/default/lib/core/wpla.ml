@@ -1,0 +1,122 @@
+module Cover = Logic.Cover
+module Cube = Logic.Cube
+
+type half = { pla : Pla.t; out_map : int array (* local output -> global output *) }
+
+type t = {
+  n_in : int;
+  n_out : int;
+  positive : half option;
+  negative : half option;
+  choice : bool array;
+  baseline_products : int;
+}
+
+(* Restrict a cover to the outputs selected by [keep], renumbering them
+   densely; cubes left with no output disappear. *)
+let sub_cover cover keep =
+  let n_in = Cover.num_inputs cover and n_out = Cover.num_outputs cover in
+  let selected = List.filter (fun o -> keep o) (List.init n_out Fun.id) in
+  let out_map = Array.of_list selected in
+  let n_sub = Array.length out_map in
+  if n_sub = 0 then None
+  else begin
+    let local_of_global = Hashtbl.create 8 in
+    Array.iteri (fun l g -> Hashtbl.replace local_of_global g l) out_map;
+    let shrink c =
+      let outs = Cube.outputs c in
+      let sub_outs = Util.Bitvec.create n_sub in
+      let any = ref false in
+      Util.Bitvec.iter_set
+        (fun g ->
+          match Hashtbl.find_opt local_of_global g with
+          | Some l ->
+            Util.Bitvec.set sub_outs l true;
+            any := true
+          | None -> ())
+        outs;
+      if !any then Some (Cube.of_literals (List.init n_in (Cube.get c)) ~outs:sub_outs)
+      else None
+    in
+    let cubes = List.filter_map shrink (Cover.cubes cover) in
+    Some (Cover.make ~n_in ~n_out:n_sub cubes, out_map)
+  end
+
+let of_doppio ~n_in ~n_out (d : Espresso.Doppio.result) =
+  let positive =
+    match sub_cover d.Espresso.Doppio.positive (fun o -> d.Espresso.Doppio.choice.(o)) with
+    | None -> None
+    | Some (c, out_map) -> Some { pla = Pla.of_cover c; out_map }
+  in
+  let negative =
+    match
+      sub_cover d.Espresso.Doppio.negative (fun o -> not d.Espresso.Doppio.choice.(o))
+    with
+    | None -> None
+    | Some (c, out_map) ->
+      (* The negative cover holds ¬f, so its drivers must not invert. *)
+      let inverted = Array.make (Cover.num_outputs c) true in
+      Some { pla = Pla.of_cover ~inverted_outputs:inverted c; out_map }
+  in
+  {
+    n_in;
+    n_out;
+    positive;
+    negative;
+    choice = Array.copy d.Espresso.Doppio.choice;
+    baseline_products = d.Espresso.Doppio.products_two_level;
+  }
+
+let of_function ?dc cover =
+  let d = Espresso.Doppio.minimize ?dc cover in
+  of_doppio ~n_in:(Cover.num_inputs cover) ~n_out:(Cover.num_outputs cover) d
+
+let num_inputs t = t.n_in
+let num_outputs t = t.n_out
+let num_planes _ = 4
+
+let half_products = function None -> 0 | Some h -> Pla.num_products h.pla
+
+let products t = half_products t.positive + half_products t.negative
+
+let products_two_level t = t.baseline_products
+
+let positive_pla t = Option.map (fun h -> h.pla) t.positive
+let negative_pla t = Option.map (fun h -> h.pla) t.negative
+
+let choice t = Array.copy t.choice
+
+let eval t inputs =
+  let out = Array.make t.n_out false in
+  let run = function
+    | None -> ()
+    | Some h ->
+      let vals = Pla.eval h.pla inputs in
+      Array.iteri (fun l g -> out.(g) <- vals.(l)) h.out_map
+  in
+  run t.positive;
+  run t.negative;
+  out
+
+let verify_against t cover =
+  if Cover.num_inputs cover <> t.n_in || Cover.num_outputs cover <> t.n_out then false
+  else if t.n_in > 16 then invalid_arg "Wpla.verify_against: too many inputs"
+  else begin
+    let ok = ref true in
+    for m = 0 to (1 lsl t.n_in) - 1 do
+      let assignment = Array.init t.n_in (fun i -> m land (1 lsl i) <> 0) in
+      let got = eval t assignment in
+      let want = Cover.eval cover assignment in
+      for o = 0 to t.n_out - 1 do
+        if got.(o) <> Util.Bitvec.get want o then ok := false
+      done
+    done;
+    !ok
+  end
+
+let area tech t =
+  let half_area = function
+    | None -> 0
+    | Some h -> tech.Device.Tech.cell_area * Pla.crosspoint_count h.pla
+  in
+  half_area t.positive + half_area t.negative

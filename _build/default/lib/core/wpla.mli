@@ -1,0 +1,47 @@
+(** Whirlpool PLA: four GNOR planes in a ring (paper §5; Brayton et al.,
+    ICCAD 2002).
+
+    The cascade of four NOR planes — realizable here because crossbars can
+    interleave GNOR planes — implements each output through one of two
+    NOR-NOR pairs. Doppio-Espresso decides per output which polarity
+    (hence which pair) is cheaper; product terms are shared inside each
+    pair. This module maps a {!Espresso.Doppio.result} onto two
+    {!Pla}-style plane pairs and exposes the combined structure. *)
+
+type t
+
+val of_function : ?dc:Logic.Cover.t -> Logic.Cover.t -> t
+(** Run Doppio-Espresso on the function and build the ring. *)
+
+val of_doppio : n_in:int -> n_out:int -> Espresso.Doppio.result -> t
+
+val num_inputs : t -> int
+
+val num_outputs : t -> int
+
+val num_planes : t -> int
+(** Always 4. *)
+
+val products : t -> int
+(** Product terms across both pairs (the Whirlpool cost metric). *)
+
+val products_two_level : t -> int
+(** Product count of the plain two-plane espresso mapping (baseline). *)
+
+val positive_pla : t -> Pla.t option
+(** The pair implementing positively-phased outputs ([None] when no output
+    chose that polarity). *)
+
+val negative_pla : t -> Pla.t option
+
+val choice : t -> bool array
+(** Per-output polarity choice (true = positive pair). *)
+
+val eval : t -> bool array -> bool array
+
+val verify_against : t -> Logic.Cover.t -> bool
+(** Exhaustive equivalence check against the original function
+    (inputs ≤ 16). *)
+
+val area : Device.Tech.t -> t -> int
+(** Total crosspoint area of the four planes. *)

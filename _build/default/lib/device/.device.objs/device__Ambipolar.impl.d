@@ -1,0 +1,1 @@
+lib/device/ambipolar.ml: Float Format List

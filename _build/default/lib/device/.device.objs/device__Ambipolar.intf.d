@@ -1,0 +1,1 @@
+lib/device/ambipolar.mli: Format

@@ -1,0 +1,136 @@
+type polarity = N_type | P_type | Off_state
+
+let polarity_to_string = function
+  | N_type -> "n-type"
+  | P_type -> "p-type"
+  | Off_state -> "off"
+
+let pp_polarity fmt p = Format.pp_print_string fmt (polarity_to_string p)
+
+type params = {
+  vdd : float;
+  polarity_window : float;
+  vth : float;
+  r_on : float;
+  i_on : float;
+  i_off : float;
+  c_gate : float;
+  c_pg : float;
+  pg_leak_per_s : float;
+}
+
+let default =
+  {
+    vdd = 1.2;
+    polarity_window = 0.2;
+    vth = 0.3;
+    r_on = 25e3;
+    i_on = 20e-6;
+    i_off = 1e-10;
+    c_gate = 0.05e-15;
+    c_pg = 0.10e-15;
+    pg_leak_per_s = 1e-3;
+  }
+
+type corner = Typical | Fast | Slow
+
+let corner = function
+  | Typical -> default
+  | Fast ->
+    {
+      default with
+      r_on = default.r_on /. 1.2;
+      i_on = default.i_on *. 1.2;
+      c_gate = default.c_gate /. 1.2;
+      c_pg = default.c_pg /. 1.2;
+    }
+  | Slow ->
+    {
+      default with
+      r_on = default.r_on *. 1.2;
+      i_on = default.i_on /. 1.2;
+      c_gate = default.c_gate *. 1.2;
+      c_pg = default.c_pg *. 1.2;
+    }
+
+let v_plus p = p.vdd
+let v_minus _ = 0.0
+let v_zero p = p.vdd /. 2.0
+
+let polarity_of_pg p v =
+  let mid = v_zero p in
+  let half = p.polarity_window *. p.vdd in
+  if v >= mid +. half then N_type
+  else if v <= mid -. half then P_type
+  else Off_state
+
+let pg_of_polarity p = function
+  | N_type -> v_plus p
+  | P_type -> v_minus p
+  | Off_state -> v_zero p
+
+let conducts p pol ~cg =
+  match pol with
+  | N_type -> cg >= p.vdd -. p.vth
+  | P_type -> cg <= p.vth
+  | Off_state -> false
+
+(* Linear-then-saturated FET characteristic with an overdrive-squared
+   saturation current, the usual first-order Schottky-barrier CNFET
+   abstraction. *)
+let drain_current p pol ~vgs ~vds =
+  let sign = if vds >= 0.0 then 1.0 else -1.0 in
+  let vds_abs = Float.abs vds in
+  (* Overdrive: n-type conducts as vgs rises above vth, p-type as vgs drops
+     below vdd - vth. *)
+  let overdrive =
+    match pol with
+    | N_type -> vgs -. p.vth
+    | P_type -> p.vdd -. p.vth -. vgs
+    | Off_state -> 0.0
+  in
+  if overdrive <= 0.0 then sign *. p.i_off
+  else begin
+    let od = Float.min 1.0 (overdrive /. (p.vdd -. p.vth)) in
+    let i_sat = p.i_on *. od *. od in
+    let v_knee = Float.max 1e-3 (overdrive /. 2.0) in
+    let i =
+      if vds_abs < v_knee then i_sat *. (vds_abs /. v_knee) *. (2.0 -. (vds_abs /. v_knee))
+      else i_sat
+    in
+    sign *. (i +. p.i_off)
+  end
+
+let transfer_curve p ~cg ~vds ~n =
+  assert (n >= 2);
+  List.init n (fun k ->
+      let vpg = p.vdd *. float_of_int k /. float_of_int (n - 1) in
+      let pol = polarity_of_pg p vpg in
+      (* The PG acts as the barrier-thinning terminal; once a polarity is
+         selected, conduction strength follows the CG as vgs. *)
+      let i =
+        match pol with
+        | Off_state -> p.i_off
+        | N_type ->
+          (* deeper into the n window → thinner barrier → closer to full drive *)
+          let depth = (vpg -. (v_zero p +. (p.polarity_window *. p.vdd))) /. (p.vdd /. 2.0) in
+          let scale = 0.25 +. (0.75 *. Float.min 1.0 (Float.max 0.0 depth *. 2.0)) in
+          scale *. Float.abs (drain_current p N_type ~vgs:cg ~vds)
+        | P_type ->
+          (* The hole branch is driven by the complementary overdrive: a CG
+             bias that turns the n branch fully on turns the p branch fully
+             on too once the PG selects holes (the barrier, not the channel,
+             limits conduction). *)
+          let depth = ((v_zero p -. (p.polarity_window *. p.vdd)) -. vpg) /. (p.vdd /. 2.0) in
+          let scale = 0.25 +. (0.75 *. Float.min 1.0 (Float.max 0.0 depth *. 2.0)) in
+          scale *. Float.abs (drain_current p P_type ~vgs:(p.vdd -. cg) ~vds)
+      in
+      (vpg, i))
+
+let effective_resistance p pol ~cg =
+  if conducts p pol ~cg then p.r_on else p.vdd /. p.i_off
+
+let retention_after p v0 seconds =
+  let target = v_zero p in
+  let decay = exp (-.p.pg_leak_per_s *. seconds) in
+  target +. ((v0 -. target) *. decay)

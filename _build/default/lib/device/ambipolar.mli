@@ -1,0 +1,80 @@
+(** Behavioural model of the ambipolar carbon-nanotube FET.
+
+    The device (Lin et al., IEDM 2004; self-aligned double-gate per Javey et
+    al. 2004) has two gates:
+    {ul
+    {- the {e control gate} (CG) over region A turns the channel on or off;}
+    {- the {e polarity gate} (PG) over region B sets the carrier type by
+       thinning the Schottky barrier for electrons ([V+] → n-type) or holes
+       ([V−] → p-type); at [V0 = VDD/2] neither barrier is thin and the
+       device is always off.}}
+
+    The model exposes the three polarity states, a threshold map from PG
+    voltage to state (with a dead zone around [V0]), and a first-order
+    analytic I–V suitable for switch-level and Elmore-delay simulation. *)
+
+type polarity = N_type | P_type | Off_state
+
+val pp_polarity : Format.formatter -> polarity -> unit
+
+val polarity_to_string : polarity -> string
+
+type params = {
+  vdd : float;  (** supply voltage, V *)
+  polarity_window : float;
+      (** half-width (fraction of VDD) of the always-off dead zone centred
+          on VDD/2 *)
+  vth : float;  (** control-gate threshold magnitude, V *)
+  r_on : float;  (** on-resistance of a conducting device, Ω *)
+  i_on : float;  (** saturation current, A *)
+  i_off : float;  (** residual leakage in the off state, A *)
+  c_gate : float;  (** control-gate capacitance, F *)
+  c_pg : float;  (** polarity-gate storage capacitance, F *)
+  pg_leak_per_s : float;
+      (** fraction of stored PG charge lost per second (retention model) *)
+}
+
+val default : params
+(** 32 nm-class parameters following the scaling rules of Patil et al.
+    (DAC 2007). *)
+
+type corner = Typical | Fast | Slow
+
+val corner : corner -> params
+(** Process corners: [Fast] scales drive up / parasitics down by 20%,
+    [Slow] the reverse; [Typical] = {!default}. *)
+
+val v_plus : params -> float
+(** PG voltage programming n-type behaviour (= VDD). *)
+
+val v_minus : params -> float
+(** PG voltage programming p-type behaviour (= 0). *)
+
+val v_zero : params -> float
+(** PG voltage for the always-off state (= VDD/2). *)
+
+val polarity_of_pg : params -> float -> polarity
+(** State selected by a PG voltage. *)
+
+val pg_of_polarity : params -> polarity -> float
+(** Canonical programming voltage for a state. *)
+
+val conducts : params -> polarity -> cg:float -> bool
+(** Switch-level conduction: an n-type device conducts when CG is high, a
+    p-type device when CG is low, an off-state device never. *)
+
+val drain_current : params -> polarity -> vgs:float -> vds:float -> float
+(** First-order I–V: thermionic/tunnelling-limited linear-then-saturated
+    characteristic; sign follows [vds]. Off-state devices leak [i_off]. *)
+
+val transfer_curve : params -> cg:float -> vds:float -> n:int -> (float * float) list
+(** [transfer_curve p ~cg ~vds ~n] samples |I_d| at [n] PG voltages from 0
+    to VDD — the V-shaped ambipolar signature of the paper's Fig. 1. *)
+
+val effective_resistance : params -> polarity -> cg:float -> float
+(** [r_on] when conducting, else a large off-resistance derived from
+    [i_off]. *)
+
+val retention_after : params -> float -> float -> float
+(** [retention_after p v0 seconds]: stored PG voltage decayed toward
+    [v_zero] (worst case for state integrity) after the given time. *)

@@ -1,0 +1,30 @@
+type family = Flash | Eeprom | Cnfet
+
+let all = [ Flash; Eeprom; Cnfet ]
+
+let name = function Flash -> "Flash" | Eeprom -> "EEPROM" | Cnfet -> "CNFET"
+
+type t = {
+  family : family;
+  cell_area : int;
+  needs_both_polarities : bool;
+  wire_pitch : float;
+  l_nm : float;
+}
+
+let flash =
+  { family = Flash; cell_area = 40; needs_both_polarities = true; wire_pitch = 2.0; l_nm = 32.0 }
+
+let eeprom =
+  { family = Eeprom; cell_area = 100; needs_both_polarities = true; wire_pitch = 2.0; l_nm = 32.0 }
+
+let cnfet =
+  { family = Cnfet; cell_area = 60; needs_both_polarities = false; wire_pitch = 2.0; l_nm = 32.0 }
+
+let get = function Flash -> flash | Eeprom -> eeprom | Cnfet -> cnfet
+
+let columns_per_input t = if t.needs_both_polarities then 2 else 1
+
+let pp fmt t =
+  Format.fprintf fmt "%s(cell=%dL^2,%s)" (name t.family) t.cell_area
+    (if t.needs_both_polarities then "2col/in" else "1col/in")

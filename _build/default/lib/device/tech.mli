@@ -1,0 +1,36 @@
+(** Technology parameter sets for the three memory-cell families compared
+    in the paper's Table 1.
+
+    Cell areas are in units of [L²] where [L] is the lithography
+    resolution; Flash and EEPROM values are derived from the ITRS, the
+    ambipolar CNFET value from the scaling rules of Patil et al. (DAC
+    2007): the CNFET basic cell is 50% larger than Flash and 40% smaller
+    than EEPROM. *)
+
+type family = Flash | Eeprom | Cnfet
+
+val all : family list
+(** In the paper's column order: Flash, EEPROM, CNFET. *)
+
+val name : family -> string
+
+type t = {
+  family : family;
+  cell_area : int;  (** contacted basic-cell area, L² *)
+  needs_both_polarities : bool;
+      (** classical AND/OR planes need a column for each input polarity;
+          GNOR planes generate polarity internally *)
+  wire_pitch : float;  (** routing pitch, in L *)
+  l_nm : float;  (** lithography resolution, nm *)
+}
+
+val get : family -> t
+
+val flash : t
+val eeprom : t
+val cnfet : t
+
+val columns_per_input : t -> int
+(** 2 for classical technologies, 1 for the ambipolar CNFET plane. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/espresso/doppio.ml: Array Fun List Logic Minimize Util

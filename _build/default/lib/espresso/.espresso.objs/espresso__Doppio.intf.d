@@ -1,0 +1,1 @@
+lib/espresso/doppio.mli: Logic

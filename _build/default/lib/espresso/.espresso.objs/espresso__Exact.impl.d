@@ -1,0 +1,1 @@
+lib/espresso/exact.ml: Array Fun List Logic Qm Util

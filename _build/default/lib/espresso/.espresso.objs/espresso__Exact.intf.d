@@ -1,0 +1,1 @@
+lib/espresso/exact.mli: Logic

@@ -1,0 +1,1 @@
+lib/espresso/factor.ml: Array Hashtbl List Logic Printf String

@@ -1,0 +1,1 @@
+lib/espresso/factor.mli: Logic

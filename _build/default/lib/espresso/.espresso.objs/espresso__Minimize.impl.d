@@ -1,0 +1,1 @@
+lib/espresso/minimize.ml: Array Fun List Logic Util

@@ -1,0 +1,1 @@
+lib/espresso/minimize.mli: Logic

@@ -1,0 +1,1 @@
+lib/espresso/phase.ml: Array List Logic Minimize Util

@@ -1,0 +1,1 @@
+lib/espresso/phase.mli: Logic

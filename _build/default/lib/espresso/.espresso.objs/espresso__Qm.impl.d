@@ -1,0 +1,1 @@
+lib/espresso/qm.ml: Array Fun Hashtbl List Logic Set Util

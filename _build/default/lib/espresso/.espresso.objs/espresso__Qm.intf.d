@@ -1,0 +1,1 @@
+lib/espresso/qm.mli: Logic

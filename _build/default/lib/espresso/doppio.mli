@@ -1,0 +1,18 @@
+(** Doppio-Espresso: joint minimization of a function and its complement
+    for Whirlpool-PLA mapping (Brayton et al., ICCAD 2002).
+
+    A Whirlpool PLA cascades four NOR planes in a ring; realizing output
+    [o] requires a cover of either [f_o] or [¬f_o] in the first plane pair
+    and its re-inversion in the second. Doppio-Espresso therefore minimizes
+    both polarities of the function and selects, per output, the cheaper
+    one; shared product terms are counted once. *)
+
+type result = {
+  positive : Logic.Cover.t;  (** minimized cover of f *)
+  negative : Logic.Cover.t;  (** minimized cover of ¬f *)
+  choice : bool array;  (** [choice.(o)] = use positive polarity for output o *)
+  products_two_level : int;  (** plain espresso product count (baseline) *)
+  products_whirlpool : int;  (** product terms used after per-output choice *)
+}
+
+val minimize : ?dc:Logic.Cover.t -> Logic.Cover.t -> result

@@ -1,0 +1,153 @@
+module Cube = Logic.Cube
+module Cover = Logic.Cover
+module Tt = Logic.Truth_table
+
+let check f =
+  if Cover.num_inputs f > 10 then invalid_arg "Exact: too many inputs";
+  if Cover.num_outputs f > 5 then invalid_arg "Exact: too many outputs";
+  if Cover.num_outputs f < 1 then invalid_arg "Exact: no outputs"
+
+(* (on ∪ dc) per output as minterm bitsets. *)
+let care_sets f dc =
+  let n_in = Cover.num_inputs f and n_out = Cover.num_outputs f in
+  let tt_on = Tt.of_cover f and tt_dc = Tt.of_cover dc in
+  Array.init n_out (fun o ->
+      Array.init (1 lsl n_in) (fun m ->
+          Tt.get tt_on ~minterm:m ~output:o || Tt.get tt_dc ~minterm:m ~output:o))
+
+(* Single-output primes of an arbitrary minterm predicate, as
+   (mask, value) implicants, reusing Qm through a minterm cover. *)
+let primes_of_predicate n_in pred =
+  let cubes = ref [] in
+  for m = (1 lsl n_in) - 1 downto 0 do
+    if pred m then begin
+      let lits =
+        List.init n_in (fun i -> if m land (1 lsl i) <> 0 then Cube.One else Cube.Zero)
+      in
+      cubes := Cube.of_literals lits ~outs:(Util.Bitvec.of_list 1 [ 0 ]) :: !cubes
+    end
+  done;
+  if !cubes = [] then []
+  else Cover.cubes (Qm.prime_implicants (Cover.make ~n_in ~n_out:1 !cubes))
+
+let cube_minterms n_in c =
+  List.filter
+    (fun m -> Cube.matches c (Array.init n_in (fun i -> m land (1 lsl i) <> 0)))
+    (List.init (1 lsl n_in) Fun.id)
+
+let prime_implicants ?dc f =
+  check f;
+  let n_in = Cover.num_inputs f and n_out = Cover.num_outputs f in
+  let dc = match dc with Some d -> d | None -> Cover.empty ~n_in ~n_out in
+  let care = care_sets f dc in
+  let outputs_subsets =
+    (* non-empty subsets of outputs, as bit masks *)
+    List.filter (fun s -> s <> 0) (List.init (1 lsl n_out) Fun.id)
+  in
+  let widen c out_mask =
+    let outs = Util.Bitvec.create n_out in
+    for o = 0 to n_out - 1 do
+      if out_mask land (1 lsl o) <> 0 then Util.Bitvec.set outs o true
+    done;
+    Cube.of_literals (List.init n_in (Cube.get c)) ~outs
+  in
+  let candidates =
+    List.concat_map
+      (fun out_mask ->
+        let pred m =
+          let rec ok o =
+            o >= n_out || ((out_mask land (1 lsl o) = 0 || care.(o).(m)) && ok (o + 1))
+          in
+          ok 0
+        in
+        List.map (fun c -> (c, out_mask)) (primes_of_predicate n_in pred))
+      outputs_subsets
+  in
+  (* Keep (c, O) only when O is maximal for c: no further output's care set
+     contains c entirely. *)
+  let maximal (c, out_mask) =
+    let ms = cube_minterms n_in c in
+    let rec check o =
+      o >= n_out
+      || ((out_mask land (1 lsl o) <> 0 || not (List.for_all (fun m -> care.(o).(m)) ms))
+         && check (o + 1))
+    in
+    check 0
+  in
+  let kept = List.filter maximal candidates in
+  (* Distinct multi-output primes (an input cube may appear once per
+     maximal output set; dedupe exact duplicates). *)
+  let widened = List.map (fun (c, om) -> widen c om) kept in
+  List.sort_uniq Cube.compare widened
+
+let minimize ?dc f =
+  check f;
+  let n_in = Cover.num_inputs f and n_out = Cover.num_outputs f in
+  let dc = match dc with Some d -> d | None -> Cover.empty ~n_in ~n_out in
+  let primes = Array.of_list (prime_implicants ~dc f) in
+  let tt_on = Tt.of_cover f in
+  let tt_dc = Tt.of_cover dc in
+  (* Required (minterm, output) pairs: in the on-set and not don't-care. *)
+  let required = ref [] in
+  for m = (1 lsl n_in) - 1 downto 0 do
+    for o = n_out - 1 downto 0 do
+      if Tt.get tt_on ~minterm:m ~output:o && not (Tt.get tt_dc ~minterm:m ~output:o) then
+        required := (m, o) :: !required
+    done
+  done;
+  let covers p (m, o) =
+    Util.Bitvec.get (Cube.outputs p) o
+    && Cube.matches p (Array.init n_in (fun i -> m land (1 lsl i) <> 0))
+  in
+  if !required = [] then Cover.empty ~n_in ~n_out
+  else begin
+    let np = Array.length primes in
+    let best = ref None and best_size = ref max_int in
+    (* Greedy upper bound. *)
+    let greedy () =
+      let uncovered = ref !required in
+      let chosen = ref [] in
+      while !uncovered <> [] do
+        let bestj = ref 0 and bestg = ref (-1) in
+        for j = 0 to np - 1 do
+          let g = List.length (List.filter (covers primes.(j)) !uncovered) in
+          if g > !bestg then begin
+            bestg := g;
+            bestj := j
+          end
+        done;
+        chosen := !bestj :: !chosen;
+        uncovered := List.filter (fun r -> not (covers primes.(!bestj) r)) !uncovered
+      done;
+      !chosen
+    in
+    let g = greedy () in
+    best := Some g;
+    best_size := List.length g;
+    let table =
+      List.sort
+        (fun (_, a) (_, b) -> compare (List.length a) (List.length b))
+        (List.map
+           (fun r -> (r, List.filter (fun j -> covers primes.(j) r) (List.init np Fun.id)))
+           !required)
+    in
+    let rec bb chosen size remaining =
+      if size >= !best_size then ()
+      else
+        match remaining with
+        | [] ->
+          best := Some chosen;
+          best_size := size
+        | (r, cands) :: rest ->
+          if List.exists (fun j -> covers primes.(j) r) chosen then bb chosen size rest
+          else List.iter (fun j -> bb (j :: chosen) (size + 1) rest) cands
+    in
+    bb [] 0 table;
+    match !best with
+    | None -> assert false
+    | Some chosen ->
+      let chosen = List.sort_uniq compare chosen in
+      Cover.make ~n_in ~n_out (List.map (fun j -> primes.(j)) chosen)
+  end
+
+let minimum_cubes ?dc f = Cover.size (minimize ?dc f)

@@ -1,0 +1,20 @@
+(** Exact {e multi-output} two-level minimization.
+
+    Extends the single-output Quine–McCluskey oracle ({!Qm}) with output
+    parts: a multi-output prime is a pair (input cube, output set) where
+    the cube is prime for the AND of the selected outputs' (on ∪ dc)
+    functions and the output set is maximal. Minimum-cardinality covering
+    is solved by branch-and-bound over the (minterm, output) incidence
+    table.
+
+    Exponential in inputs {e and} outputs — intended for ≤ 10 inputs and
+    ≤ 5 outputs, as the optimality reference for the heuristic
+    minimizer. *)
+
+val prime_implicants : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cube.t list
+(** All multi-output primes, output parts included. *)
+
+val minimize : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cover.t
+(** A minimum-cube-count prime cover of the on-set. *)
+
+val minimum_cubes : ?dc:Logic.Cover.t -> Logic.Cover.t -> int

@@ -1,0 +1,161 @@
+module Cube = Logic.Cube
+module Cover = Logic.Cover
+
+type expr = Lit of int * bool | And of expr list | Or of expr list
+
+(* Work on cube lists of a single-output cover. *)
+
+let cube_literals c =
+  let acc = ref [] in
+  for i = Cube.num_inputs c - 1 downto 0 do
+    match Cube.get c i with
+    | Cube.Dc -> ()
+    | Cube.One -> acc := (i, true) :: !acc
+    | Cube.Zero -> acc := (i, false) :: !acc
+  done;
+  !acc
+
+let and_of_cube c =
+  match cube_literals c with
+  | [ (i, ph) ] -> Lit (i, ph)
+  | lits -> And (List.map (fun (i, ph) -> Lit (i, ph)) lits)
+
+(* Most frequent literal over the cube list; None if every literal occurs
+   at most once (then no algebraic divisor by a single literal exists). *)
+let best_literal n_in cubes =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun lit ->
+          let cur = try Hashtbl.find counts lit with Not_found -> 0 in
+          Hashtbl.replace counts lit (cur + 1))
+        (cube_literals c))
+    cubes;
+  ignore n_in;
+  Hashtbl.fold
+    (fun lit n best ->
+      match best with
+      | Some (_, bn) when bn >= n -> best
+      | _ -> if n >= 2 then Some (lit, n) else best)
+    counts None
+
+let remove_literal c (i, ph) =
+  ignore ph;
+  Cube.set c i Cube.Dc
+
+let has_literal c (i, ph) =
+  match Cube.get c i with
+  | Cube.One -> ph
+  | Cube.Zero -> not ph
+  | Cube.Dc -> false
+
+let rec factor_cubes n_in cubes =
+  match cubes with
+  | [] -> Or []
+  | [ c ] -> and_of_cube c
+  | _ -> (
+    match best_literal n_in cubes with
+    | None -> Or (List.map and_of_cube cubes)
+    | Some ((i, ph), _) ->
+      let quotient, remainder = List.partition (fun c -> has_literal c (i, ph)) cubes in
+      let q = List.map (fun c -> remove_literal c (i, ph)) quotient in
+      let q_factored = factor_cubes n_in q in
+      let head =
+        match q_factored with
+        | And es -> And (Lit (i, ph) :: es)
+        | e -> And [ Lit (i, ph); e ]
+      in
+      if remainder = [] then head
+      else
+        let rest = factor_cubes n_in remainder in
+        (match rest with
+        | Or es -> Or (head :: es)
+        | e -> Or [ head; e ]))
+
+(* Constant-folding / peephole pass: flatten nested ORs and ANDs, dedupe,
+   and collapse complementary bare literals ([x + x' = 1], [x·x' = 0]) —
+   weak algebraic division can leave such artifacts in quotients. *)
+let rec simplify e =
+  match e with
+  | Lit _ -> e
+  | Or es ->
+    let es = List.concat_map (fun x -> match simplify x with Or ys -> ys | y -> [ y ]) es in
+    let es = List.sort_uniq compare es in
+    if List.exists (function And [] -> true | _ -> false) es then And []
+    else if
+      List.exists
+        (function Lit (i, ph) -> List.mem (Lit (i, not ph)) es | And _ | Or _ -> false)
+        es
+    then And []
+    else begin
+      let es = List.filter (function Or [] -> false | _ -> true) es in
+      match es with [ x ] -> x | es -> Or es
+    end
+  | And es ->
+    let es = List.concat_map (fun x -> match simplify x with And ys -> ys | y -> [ y ]) es in
+    let es = List.sort_uniq compare es in
+    if List.exists (function Or [] -> true | _ -> false) es then Or []
+    else if
+      List.exists
+        (function Lit (i, ph) -> List.mem (Lit (i, not ph)) es | And _ | Or _ -> false)
+        es
+    then Or []
+    else begin
+      let es = List.filter (function And [] -> false | _ -> true) es in
+      match es with [ x ] -> x | es -> And es
+    end
+
+let factor cover =
+  if Cover.num_outputs cover <> 1 then invalid_arg "Factor.factor: single output only";
+  (* Drop cubes contained in others first; a universal cube makes the
+     function constant 1. *)
+  let cover = Cover.single_cube_containment cover in
+  if List.exists (fun c -> Cube.literal_count c = 0) (Cover.cubes cover) then And []
+  else simplify (factor_cubes (Cover.num_inputs cover) (Cover.cubes cover))
+
+let factor_multi cover =
+  Array.init (Cover.num_outputs cover) (fun o -> factor (Cover.restrict_output cover o))
+
+let rec eval e a =
+  match e with
+  | Lit (i, ph) -> if ph then a.(i) else not a.(i)
+  | And es -> List.for_all (fun x -> eval x a) es
+  | Or es -> List.exists (fun x -> eval x a) es
+
+let rec literal_count = function
+  | Lit _ -> 1
+  | And es | Or es -> List.fold_left (fun n e -> n + literal_count e) 0 es
+
+let flat_literal_count = Cover.literal_total
+
+let rec to_string = function
+  | Lit (i, true) -> Printf.sprintf "x%d" i
+  | Lit (i, false) -> Printf.sprintf "x%d'" i
+  | And [] -> "1"
+  | And es -> String.concat "" (List.map paren_string es)
+  | Or [] -> "0"
+  | Or es -> String.concat " + " (List.map to_string es)
+
+and paren_string e =
+  match e with
+  | Or (_ :: _ :: _) -> "(" ^ to_string e ^ ")"
+  | Lit _ | And _ | Or _ -> to_string e
+
+(* BDD of a factored expression. *)
+let rec bdd_of man e =
+  match e with
+  | Lit (i, true) -> Logic.Bdd.var man i
+  | Lit (i, false) -> Logic.Bdd.nvar man i
+  | And es ->
+    List.fold_left (fun acc x -> Logic.Bdd.and_ man acc (bdd_of man x)) (Logic.Bdd.one man) es
+  | Or es ->
+    List.fold_left (fun acc x -> Logic.Bdd.or_ man acc (bdd_of man x)) (Logic.Bdd.zero man) es
+
+let verify cover exprs =
+  Array.length exprs = Cover.num_outputs cover
+  &&
+  let man = Logic.Bdd.manager () in
+  let from_cover = Logic.Bdd.of_cover man cover in
+  let from_exprs = Array.map (bdd_of man) exprs in
+  Array.for_all2 Logic.Bdd.equal from_cover from_exprs

@@ -1,0 +1,33 @@
+(** Algebraic factoring of two-level covers (QUICK_FACTOR style).
+
+    Turns a sum-of-products into a factored form — the front half of
+    multi-level synthesis. The recursion divides by the most frequent
+    literal: [F = ℓ·Q + R] with [Q = F/ℓ], then factors [Q] and [R].
+    Factored forms feed {!Cnfet.Cascade}-style NOR-plane mapping, where
+    every product level costs real crosspoints, so fewer literals means a
+    smaller cascade. *)
+
+type expr =
+  | Lit of int * bool  (** input index, phase (true = positive) *)
+  | And of expr list
+  | Or of expr list
+
+val factor : Logic.Cover.t -> expr
+(** Factor a {e single-output} cover. An empty cover gives [Or []]
+    (constant 0); the universal cube gives [And []] (constant 1). *)
+
+val factor_multi : Logic.Cover.t -> expr array
+(** Factor every output independently. *)
+
+val eval : expr -> bool array -> bool
+
+val literal_count : expr -> int
+(** Literals in the factored form (the classic quality metric). *)
+
+val flat_literal_count : Logic.Cover.t -> int
+(** Literals of the flat SOP, for comparison. *)
+
+val to_string : expr -> string
+
+val verify : Logic.Cover.t -> expr array -> bool
+(** BDD check that the factored forms equal the cover's outputs. *)

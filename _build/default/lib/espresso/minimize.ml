@@ -1,0 +1,299 @@
+module Cube = Logic.Cube
+module Cover = Logic.Cover
+
+type result = {
+  cover : Cover.t;
+  iterations : int;
+  initial_cost : int * int;
+  final_cost : int * int;
+}
+
+let cost c = (Cover.size c, Cover.literal_total c)
+
+let default_dc f = Cover.empty ~n_in:(Cover.num_inputs f) ~n_out:(Cover.num_outputs f)
+
+(* A raised candidate is valid iff it intersects no off-set cube. *)
+let disjoint_from_offset cand offset =
+  not (List.exists (fun r -> Cube.distance cand r = 0) (Cover.cubes offset))
+
+(* Expand one cube into a prime against the off-set. Inputs are raised
+   first (cheapest literals first: positions blocked by the fewest off-set
+   cubes are tried first), then the output part is raised. *)
+let expand_cube c ~offset =
+  let n_in = Cube.num_inputs c and n_out = Cube.num_outputs c in
+  let off = Cover.cubes offset in
+  (* Heuristic order: for each lowerable position count how many off-set
+     cubes newly intersect if raised; fewer blockers first. *)
+  let blockers i =
+    let raised = Cube.raw_set c i 3 in
+    List.length (List.filter (fun r -> Cube.distance raised r = 0) off)
+  in
+  let candidates =
+    List.filter (fun i -> Cube.raw_get c i <> 3) (List.init n_in (fun i -> i))
+  in
+  let ordered =
+    List.sort (fun a b -> compare (blockers a) (blockers b)) candidates
+  in
+  let raise_input acc i =
+    let cand = Cube.raw_set acc i 3 in
+    if disjoint_from_offset cand offset then cand else acc
+  in
+  let c = List.fold_left raise_input c ordered in
+  let raise_output acc o =
+    if Util.Bitvec.get (Cube.outputs acc) o then acc
+    else
+      let outs = Util.Bitvec.copy (Cube.outputs acc) in
+      Util.Bitvec.set outs o true;
+      let cand = Cube.with_outputs acc outs in
+      if disjoint_from_offset cand offset then cand else acc
+  in
+  let rec raise_outputs acc o = if o >= n_out then acc else raise_outputs (raise_output acc o) (o + 1) in
+  raise_outputs c 0
+
+let expand f ~offset =
+  (* Expand biggest cubes first so that small cubes are more likely to be
+     swallowed by already-expanded primes. *)
+  let cs =
+    List.sort
+      (fun a b -> compare (Cube.literal_count a) (Cube.literal_count b))
+      (Cover.cubes f)
+  in
+  let step primes c =
+    if List.exists (fun p -> Cube.contains p c) primes then primes
+    else expand_cube c ~offset :: primes
+  in
+  let primes = List.fold_left step [] cs in
+  Cover.single_cube_containment
+    (Cover.make ~n_in:(Cover.num_inputs f) ~n_out:(Cover.num_outputs f) (List.rev primes))
+
+let irredundant ?dc f =
+  let dc = match dc with Some d -> d | None -> default_dc f in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      let others =
+        Cover.make ~n_in:(Cover.num_inputs f) ~n_out:(Cover.num_outputs f)
+          (List.rev_append kept rest)
+      in
+      if Cover.covers_cube (Cover.union others dc) c then go kept rest
+      else go (c :: kept) rest
+  in
+  (* Try to remove large cubes last: visiting small cubes first lets them be
+     absorbed while big primes stay. *)
+  let cs =
+    List.sort (fun a b -> compare (Cube.literal_count b) (Cube.literal_count a)) (Cover.cubes f)
+  in
+  Cover.make ~n_in:(Cover.num_inputs f) ~n_out:(Cover.num_outputs f) (go [] cs)
+
+let irredundant_minimal ?dc f =
+  let n_in = Cover.num_inputs f and n_out = Cover.num_outputs f in
+  if n_in > 12 then invalid_arg "Minimize.irredundant_minimal: too many inputs";
+  let dc = match dc with Some d -> d | None -> default_dc f in
+  let cubes = Array.of_list (Cover.cubes f) in
+  let nc = Array.length cubes in
+  if nc = 0 then f
+  else begin
+    let tt_on = Logic.Truth_table.of_cover f in
+    let tt_dc = Logic.Truth_table.of_cover dc in
+    let required = ref [] in
+    for m = (1 lsl n_in) - 1 downto 0 do
+      for o = n_out - 1 downto 0 do
+        if
+          Logic.Truth_table.get tt_on ~minterm:m ~output:o
+          && not (Logic.Truth_table.get tt_dc ~minterm:m ~output:o)
+        then required := (m, o) :: !required
+      done
+    done;
+    let covers j (m, o) =
+      Util.Bitvec.get (Cube.outputs cubes.(j)) o
+      && Cube.matches cubes.(j) (Array.init n_in (fun i -> m land (1 lsl i) <> 0))
+    in
+    if !required = [] then Cover.empty ~n_in ~n_out
+    else begin
+      (* Greedy upper bound, then branch-and-bound over the covering
+         table, as in the exact minimizers. *)
+      let best = ref [] and best_size = ref max_int in
+      let greedy () =
+        let uncovered = ref !required in
+        let chosen = ref [] in
+        while !uncovered <> [] do
+          let bestj = ref 0 and bestg = ref (-1) in
+          for j = 0 to nc - 1 do
+            let g = List.length (List.filter (covers j) !uncovered) in
+            if g > !bestg then begin
+              bestg := g;
+              bestj := j
+            end
+          done;
+          chosen := !bestj :: !chosen;
+          uncovered := List.filter (fun r -> not (covers !bestj r)) !uncovered
+        done;
+        !chosen
+      in
+      let g = greedy () in
+      best := g;
+      best_size := List.length g;
+      let table =
+        List.sort
+          (fun (_, a) (_, b) -> compare (List.length a) (List.length b))
+          (List.map
+             (fun r -> (r, List.filter (fun j -> covers j r) (List.init nc Fun.id)))
+             !required)
+      in
+      let rec bb chosen size remaining =
+        if size >= !best_size then ()
+        else
+          match remaining with
+          | [] ->
+            best := chosen;
+            best_size := size
+          | (r, cands) :: rest ->
+            if List.exists (fun j -> covers j r) chosen then bb chosen size rest
+            else List.iter (fun j -> bb (j :: chosen) (size + 1) rest) cands
+      in
+      bb [] 0 table;
+      let chosen = List.sort_uniq compare !best in
+      Cover.make ~n_in ~n_out (List.map (fun j -> cubes.(j)) chosen)
+    end
+  end
+
+let essentials ?dc f =
+  let dc = match dc with Some d -> d | None -> default_dc f in
+  let all = Cover.cubes f in
+  let ess, rest =
+    List.partition
+      (fun c ->
+        let others = List.filter (fun d -> not (Cube.equal d c)) all in
+        let cover_others =
+          Cover.make ~n_in:(Cover.num_inputs f) ~n_out:(Cover.num_outputs f) others
+        in
+        not (Cover.covers_cube (Cover.union cover_others dc) c))
+      all
+  in
+  ( Cover.make ~n_in:(Cover.num_inputs f) ~n_out:(Cover.num_outputs f) ess,
+    Cover.make ~n_in:(Cover.num_inputs f) ~n_out:(Cover.num_outputs f) rest )
+
+(* Smallest cube containing the complement of [q] inside the space of cube
+   [c] (q is already cofactored by c). Computed per output with the
+   single-output complement, then supercubed. Returns None when the
+   complement is empty (c is redundant — fully covered by q). *)
+let smallest_cube_containing_complement q ~n_in ~n_out ~outs =
+  let acc = ref None in
+  let join cube =
+    acc := Some (match !acc with None -> cube | Some s -> Cube.supercube2 s cube)
+  in
+  for o = 0 to n_out - 1 do
+    if Util.Bitvec.get outs o then begin
+      let qo = Cover.restrict_output q o in
+      let comp = Cover.complement qo in
+      if not (Cover.is_empty comp) then
+        List.iter
+          (fun cc ->
+            let wide =
+              Cube.of_literals
+                (List.init n_in (Cube.get cc))
+                ~outs:(Util.Bitvec.of_list n_out [ o ])
+            in
+            join wide)
+          (Cover.cubes comp)
+    end
+  done;
+  !acc
+
+let reduce ?dc f =
+  let dc = match dc with Some d -> d | None -> default_dc f in
+  let n_in = Cover.num_inputs f and n_out = Cover.num_outputs f in
+  (* Visit largest cubes first (espresso's heuristic ordering). *)
+  let cs =
+    List.sort (fun a b -> compare (Cube.literal_count a) (Cube.literal_count b)) (Cover.cubes f)
+  in
+  let rec go done_ = function
+    | [] -> List.rev done_
+    | c :: rest ->
+      let others = Cover.make ~n_in ~n_out (List.rev_append done_ rest) in
+      let q = Cover.cofactor_cube (Cover.union others dc) ~by:c in
+      let c' =
+        match
+          smallest_cube_containing_complement q ~n_in ~n_out ~outs:(Cube.outputs c)
+        with
+        | None -> None (* fully covered by the others: drop it *)
+        | Some sccc -> Cube.intersect c sccc
+      in
+      (match c' with
+      | None -> go done_ rest
+      | Some c' -> go (c' :: done_) rest)
+  in
+  Cover.make ~n_in ~n_out (go [] cs)
+
+let minimize ?dc f =
+  let dc = match dc with Some d -> d | None -> default_dc f in
+  let initial_cost = cost f in
+  if Cover.is_empty f then
+    { cover = f; iterations = 0; initial_cost; final_cost = initial_cost }
+  else begin
+    let offset = Cover.complement (Cover.union f dc) in
+    let f = expand f ~offset in
+    let f = irredundant ~dc f in
+    let ess, rest = essentials ~dc f in
+    let dc_with_ess = Cover.union dc ess in
+    let rec loop f best_cost iters =
+      let f' = reduce ~dc:dc_with_ess f in
+      let f' = expand f' ~offset in
+      let f' = irredundant ~dc:dc_with_ess f' in
+      let c' = cost f' in
+      if c' < best_cost then
+        if iters < 16 then loop f' c' (iters + 1) else (f', iters + 1)
+      else (f, iters)
+    in
+    let rest_min, iterations =
+      if Cover.is_empty rest then (rest, 0) else loop rest (cost rest) 0
+    in
+    let final = Cover.single_cube_containment (Cover.union ess rest_min) in
+    { cover = final; iterations; initial_cost; final_cost = cost final }
+  end
+
+let cover ?dc f = (minimize ?dc f).cover
+
+(* Expand visiting the most specific cubes last (the reverse of the main
+   heuristic) — a different escape direction for LAST_GASP. *)
+let expand_reversed f ~offset =
+  let cs =
+    List.sort
+      (fun a b -> compare (Cube.literal_count b) (Cube.literal_count a))
+      (Cover.cubes f)
+  in
+  let step primes c =
+    if List.exists (fun p -> Cube.contains p c) primes then primes
+    else expand_cube c ~offset :: primes
+  in
+  let primes = List.fold_left step [] cs in
+  Cover.single_cube_containment
+    (Cover.make ~n_in:(Cover.num_inputs f) ~n_out:(Cover.num_outputs f) (List.rev primes))
+
+let minimize_harder ?dc ?(gasp_rounds = 4) f =
+  let dc = match dc with Some d -> d | None -> default_dc f in
+  let base = minimize ~dc f in
+  if Cover.is_empty base.cover then base
+  else begin
+    let offset = Cover.complement (Cover.union f dc) in
+    let rec gasp best round =
+      if round >= gasp_rounds then best
+      else begin
+        let cand = reduce ~dc best in
+        let cand = expand_reversed cand ~offset in
+        let cand = irredundant ~dc cand in
+        if cost cand < cost best then gasp cand (round + 1) else best
+      end
+    in
+    let final = gasp base.cover 0 in
+    {
+      cover = final;
+      iterations = base.iterations;
+      initial_cost = base.initial_cost;
+      final_cost = cost final;
+    }
+  end
+
+let verify ?dc ~original m =
+  let dc = match dc with Some d -> d | None -> default_dc original in
+  Cover.covers (Cover.union m dc) original && Cover.covers (Cover.union original dc) m

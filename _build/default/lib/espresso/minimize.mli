@@ -1,0 +1,61 @@
+(** Heuristic two-level minimization in the espresso style.
+
+    The minimizer receives an on-set cover [f] and a don't-care cover [d]
+    and returns a smaller prime, irredundant cover of the same (incompletely
+    specified) function. The classic loop is implemented:
+
+    {ol
+    {- compute the off-set [r = ¬(f ∪ d)];}
+    {- EXPAND every cube against [r] into a prime, discarding covered
+       cubes;}
+    {- IRREDUNDANT: drop cubes covered by the rest;}
+    {- extract relatively essential cubes into the don't-care set;}
+    {- iterate REDUCE → EXPAND → IRREDUNDANT while the cost improves.}}
+
+    Cost is (number of cubes, total literals), lexicographic. *)
+
+type result = {
+  cover : Logic.Cover.t;  (** minimized on-set *)
+  iterations : int;  (** number of reduce/expand/irredundant rounds *)
+  initial_cost : int * int;  (** (cubes, literals) before minimization *)
+  final_cost : int * int;  (** (cubes, literals) after minimization *)
+}
+
+val minimize : ?dc:Logic.Cover.t -> Logic.Cover.t -> result
+(** [minimize ?dc f] minimizes [f] under the optional don't-care set
+    (default empty). *)
+
+val cover : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cover.t
+(** Convenience: [(minimize ?dc f).cover]. *)
+
+val minimize_harder : ?dc:Logic.Cover.t -> ?gasp_rounds:int -> Logic.Cover.t -> result
+(** {!minimize} followed by LAST_GASP-style escape attempts: up to
+    [gasp_rounds] (default 4) rounds of reduce → expand-in-reverse-order →
+    irredundant, keeping only improvements. Never worse than
+    {!minimize}. *)
+
+val expand : Logic.Cover.t -> offset:Logic.Cover.t -> Logic.Cover.t
+(** One EXPAND pass: raise literals and output parts of each cube while the
+    cube stays disjoint from the off-set; remove cubes covered by earlier
+    expanded primes. Exposed for tests and ablations. *)
+
+val irredundant : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cover.t
+(** Drop cubes covered by the remainder of the cover plus don't-cares. *)
+
+val irredundant_minimal : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cover.t
+(** Minimum-cardinality subset of the cover's own cubes still covering the
+    function — exact covering over (minterm, output) pairs, so limited to
+    ≤ 12 inputs. The cardinality-optimal counterpart of the
+    order-dependent {!irredundant}. *)
+
+val reduce : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cover.t
+(** One REDUCE pass: shrink each cube to the smallest cube still covering
+    the part of the function only it covers. *)
+
+val essentials : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cover.t * Logic.Cover.t
+(** [essentials ?dc f] splits [f] into (relatively essential, remainder). *)
+
+val verify : ?dc:Logic.Cover.t -> original:Logic.Cover.t -> Logic.Cover.t -> bool
+(** [verify ?dc ~original m] checks [m] implements the same incompletely
+    specified function: [m ∪ dc ⊇ original] and every cube of [m] lies in
+    [original ∪ dc]. *)

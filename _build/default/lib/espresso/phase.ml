@@ -1,0 +1,89 @@
+module Cover = Logic.Cover
+module Cube = Logic.Cube
+
+type assignment = bool array
+
+type result = {
+  phases : assignment;
+  cover : Cover.t;
+  products_all_positive : int;
+  products_optimized : int;
+}
+
+let apply_phases ?dc f phases =
+  let n_in = Cover.num_inputs f and n_out = Cover.num_outputs f in
+  if Array.length phases <> n_out then invalid_arg "Phase.apply_phases";
+  let dc = match dc with Some d -> d | None -> Cover.empty ~n_in ~n_out in
+  let parts = ref [] in
+  for o = n_out - 1 downto 0 do
+    let widen c =
+      Cube.of_literals (List.init n_in (Cube.get c)) ~outs:(Util.Bitvec.of_list n_out [ o ])
+    in
+    let on_o = Cover.restrict_output f o in
+    let chosen =
+      if phases.(o) then on_o
+      else
+        (* Negative phase: on-set of ¬f_o is the complement of on ∪ dc
+           (minterms that are certainly 0 in f_o). *)
+        Cover.complement_of_incompletely_specified on_o (Cover.restrict_output dc o)
+    in
+    parts := List.map widen (Cover.cubes chosen) @ !parts
+  done;
+  Cover.make ~n_in ~n_out !parts
+
+let optimize_exhaustive ?dc f =
+  let n_out = Cover.num_outputs f in
+  if n_out > 10 then invalid_arg "Phase.optimize_exhaustive: too many outputs";
+  let minimize_for phases = Minimize.cover ?dc (apply_phases ?dc f phases) in
+  let all_pos = Array.make n_out true in
+  let base = minimize_for all_pos in
+  let best_cover = ref base and best_phases = ref (Array.copy all_pos) in
+  let best_size = ref (Cover.size base) in
+  for mask = 1 to (1 lsl n_out) - 1 do
+    let phases = Array.init n_out (fun o -> mask land (1 lsl o) = 0) in
+    let m = minimize_for phases in
+    if Cover.size m < !best_size then begin
+      best_size := Cover.size m;
+      best_cover := m;
+      best_phases := phases
+    end
+  done;
+  {
+    phases = !best_phases;
+    cover = !best_cover;
+    products_all_positive = Cover.size base;
+    products_optimized = !best_size;
+  }
+
+let optimize ?dc ?(max_rounds = 3) f =
+  let n_out = Cover.num_outputs f in
+  let minimize_for phases =
+    Minimize.cover ?dc (apply_phases ?dc f phases)
+  in
+  let all_pos = Array.make n_out true in
+  let base = minimize_for all_pos in
+  let best_cover = ref base and best_phases = ref (Array.copy all_pos) in
+  let best_size = ref (Cover.size base) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    for o = 0 to n_out - 1 do
+      let cand = Array.copy !best_phases in
+      cand.(o) <- not cand.(o);
+      let m = minimize_for cand in
+      if Cover.size m < !best_size then begin
+        best_size := Cover.size m;
+        best_cover := m;
+        best_phases := cand;
+        improved := true
+      end
+    done
+  done;
+  {
+    phases = !best_phases;
+    cover = !best_cover;
+    products_all_positive = Cover.size base;
+    products_optimized = !best_size;
+  }

@@ -1,0 +1,33 @@
+(** Output-phase optimization (Sasao, MINI II style).
+
+    A GNOR-based PLA produces each product term in both polarities, so every
+    output may be implemented in either positive or negative phase and
+    inverted for free at the driver. Choosing phases jointly can shrink the
+    product-term count. This module provides the greedy flip heuristic used
+    in the paper's §5 discussion. *)
+
+type assignment = bool array
+(** [assignment.(o) = true] means output [o] is implemented in positive
+    phase. *)
+
+type result = {
+  phases : assignment;
+  cover : Logic.Cover.t;  (** minimized cover of the phase-assigned function *)
+  products_all_positive : int;  (** baseline product count (all positive) *)
+  products_optimized : int;
+}
+
+val apply_phases : ?dc:Logic.Cover.t -> Logic.Cover.t -> assignment -> Logic.Cover.t
+(** On-set of the function whose output [o] equals [f_o] when
+    [phases.(o)], and [¬f_o] otherwise (don't-cares preserved). *)
+
+val optimize : ?dc:Logic.Cover.t -> ?max_rounds:int -> Logic.Cover.t -> result
+(** Greedy descent: start from the all-positive assignment and flip the
+    phase of one output at a time whenever re-minimization lowers the
+    product count; stop at a fixpoint or after [max_rounds] (default 3)
+    sweeps. *)
+
+val optimize_exhaustive : ?dc:Logic.Cover.t -> Logic.Cover.t -> result
+(** Try {e every} of the [2^n_out] assignments (≤ 10 outputs) — the
+    optimum over phase choices given the heuristic minimizer, used to
+    audit the greedy descent. *)

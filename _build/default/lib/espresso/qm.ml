@@ -1,0 +1,139 @@
+module Cube = Logic.Cube
+module Cover = Logic.Cover
+
+let check_single f =
+  if Cover.num_outputs f <> 1 then invalid_arg "Qm: single-output only";
+  if Cover.num_inputs f > 16 then invalid_arg "Qm: too many inputs"
+
+(* Implicants are represented as (mask, value): bit i of mask set means
+   input i is don't-care; otherwise bit i of value gives the literal. *)
+
+let cube_of_impl n_in (mask, value) =
+  let lits =
+    List.init n_in (fun i ->
+        if mask land (1 lsl i) <> 0 then Cube.Dc
+        else if value land (1 lsl i) <> 0 then Cube.One
+        else Cube.Zero)
+  in
+  Cube.of_literals lits ~outs:(Util.Bitvec.of_list 1 [ 0 ])
+
+let minterm_list f dc =
+  let tt = Logic.Truth_table.of_cover (Cover.union f dc) in
+  let n_in = Cover.num_inputs f in
+  let ms = ref [] in
+  for m = (1 lsl n_in) - 1 downto 0 do
+    if Logic.Truth_table.get tt ~minterm:m ~output:0 then ms := m :: !ms
+  done;
+  !ms
+
+let prime_implicants ?dc f =
+  check_single f;
+  let n_in = Cover.num_inputs f in
+  let dc =
+    match dc with Some d -> d | None -> Cover.empty ~n_in ~n_out:1
+  in
+  let minterms = minterm_list f dc in
+  (* Level k holds implicants with k don't-care positions. Two implicants
+     merge when they share the mask and differ in exactly one bit. *)
+  let module S = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let primes = ref S.empty in
+  let current = ref (S.of_list (List.map (fun m -> (0, m)) minterms)) in
+  while not (S.is_empty !current) do
+    let merged = Hashtbl.create 64 in
+    let next = ref S.empty in
+    S.iter
+      (fun (mask, value) ->
+        for i = 0 to n_in - 1 do
+          let bit = 1 lsl i in
+          if mask land bit = 0 then begin
+            let partner = (mask, value lxor bit) in
+            if S.mem partner !current then begin
+              Hashtbl.replace merged (mask, value) ();
+              next := S.add (mask lor bit, value land lnot bit) !next
+            end
+          end
+        done)
+      !current;
+    S.iter
+      (fun impl -> if not (Hashtbl.mem merged impl) then primes := S.add impl !primes)
+      !current;
+    current := !next
+  done;
+  Cover.make ~n_in ~n_out:1 (List.map (cube_of_impl n_in) (S.elements !primes))
+
+(* Branch-and-bound minimum unate covering: rows = required on-set
+   minterms, columns = primes. *)
+let minimize ?dc f =
+  check_single f;
+  let n_in = Cover.num_inputs f in
+  let dc = match dc with Some d -> d | None -> Cover.empty ~n_in ~n_out:1 in
+  let required = minterm_list f (Cover.empty ~n_in ~n_out:1) in
+  (* Minterms that are pure don't-cares need not be covered. *)
+  let dc_tt = Logic.Truth_table.of_cover dc in
+  let required = List.filter (fun m -> not (Logic.Truth_table.get dc_tt ~minterm:m ~output:0)) required in
+  let primes = Array.of_list (Cover.cubes (prime_implicants ~dc f)) in
+  let np = Array.length primes in
+  if required = [] then Cover.empty ~n_in ~n_out:1
+  else begin
+    let covers_m p m =
+      Cube.matches p (Array.init n_in (fun i -> m land (1 lsl i) <> 0))
+    in
+    let cols_of = (* for each required minterm, the primes covering it *)
+      List.map (fun m -> (m, List.filter (fun j -> covers_m primes.(j) m) (List.init np Fun.id))) required
+    in
+    let best = ref None in
+    let best_size = ref max_int in
+    (* Greedy upper bound first to prune. *)
+    let greedy () =
+      let uncovered = ref (List.map fst cols_of) in
+      let chosen = ref [] in
+      while !uncovered <> [] do
+        let gain j =
+          List.length (List.filter (fun m -> covers_m primes.(j) m) !uncovered)
+        in
+        let bestj = ref 0 and bestg = ref (-1) in
+        for j = 0 to np - 1 do
+          let g = gain j in
+          if g > !bestg then begin
+            bestg := g;
+            bestj := j
+          end
+        done;
+        chosen := !bestj :: !chosen;
+        uncovered := List.filter (fun m -> not (covers_m primes.(!bestj) m)) !uncovered
+      done;
+      !chosen
+    in
+    let g = greedy () in
+    best := Some g;
+    best_size := List.length g;
+    (* Branch and bound over minterms ordered by fewest covering primes. *)
+    let table =
+      List.sort (fun (_, a) (_, b) -> compare (List.length a) (List.length b)) cols_of
+    in
+    let rec bb chosen size remaining =
+      if size >= !best_size then ()
+      else
+        match remaining with
+        | [] ->
+          best := Some chosen;
+          best_size := size
+        | (m, cands) :: rest ->
+          let already = List.exists (fun j -> covers_m primes.(j) m) chosen in
+          if already then bb chosen size rest
+          else
+            List.iter (fun j -> bb (j :: chosen) (size + 1) rest) cands
+    in
+    bb [] 0 table;
+    match !best with
+    | None -> assert false
+    | Some chosen ->
+      let chosen = List.sort_uniq compare chosen in
+      Cover.make ~n_in ~n_out:1 (List.map (fun j -> primes.(j)) chosen)
+  end
+
+let minimum_size ?dc f = Cover.size (minimize ?dc f)

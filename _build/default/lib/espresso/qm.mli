@@ -1,0 +1,17 @@
+(** Exact two-level minimization (Quine–McCluskey + branch-and-bound
+    covering) for {e single-output} functions of few inputs.
+
+    Serves as an optimality oracle in tests and as the exact baseline in
+    ablation benches. Complexity is exponential; intended for at most ~12
+    inputs. *)
+
+val prime_implicants : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cover.t
+(** All prime implicants of the single-output function [on ∪ dc], by
+    iterated merging of adjacent implicants. *)
+
+val minimize : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cover.t
+(** Minimum-cardinality prime cover of the on-set (don't-cares may be used
+    but need not be covered). Branch-and-bound on the covering table. *)
+
+val minimum_size : ?dc:Logic.Cover.t -> Logic.Cover.t -> int
+(** Size of a minimum prime cover. *)

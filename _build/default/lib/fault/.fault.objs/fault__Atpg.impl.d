@@ -1,0 +1,1 @@
+lib/fault/atpg.ml: Array Cnfet Defect Hashtbl List

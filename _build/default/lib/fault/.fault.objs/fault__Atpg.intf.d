@@ -1,0 +1,1 @@
+lib/fault/atpg.mli: Cnfet Defect

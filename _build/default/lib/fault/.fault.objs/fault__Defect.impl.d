@@ -1,0 +1,1 @@
+lib/fault/defect.ml: Array Cnfet Util

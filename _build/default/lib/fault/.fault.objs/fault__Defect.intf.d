@@ -1,0 +1,1 @@
+lib/fault/defect.mli: Cnfet Util

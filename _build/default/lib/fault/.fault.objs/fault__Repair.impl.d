@@ -1,0 +1,1 @@
+lib/fault/repair.ml: Array Cnfet Defect Fun List Util

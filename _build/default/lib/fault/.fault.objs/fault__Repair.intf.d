@@ -1,0 +1,1 @@
+lib/fault/repair.mli: Cnfet Defect Util

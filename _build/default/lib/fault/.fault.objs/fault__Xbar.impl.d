@@ -1,0 +1,1 @@
+lib/fault/xbar.ml: Array Defect Fun List

@@ -1,0 +1,1 @@
+lib/fault/xbar.mli: Defect Util

@@ -1,0 +1,1 @@
+lib/fault/yield.ml: Array Cnfet Defect List Logic Repair Util

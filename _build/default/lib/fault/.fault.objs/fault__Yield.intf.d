@@ -1,0 +1,1 @@
+lib/fault/yield.mli: Cnfet Logic Util

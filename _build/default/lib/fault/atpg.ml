@@ -1,0 +1,107 @@
+module Pla = Cnfet.Pla
+module Plane = Cnfet.Plane
+module Gnor = Cnfet.Gnor
+
+type plane_kind = And_plane | Or_plane
+
+type fault = { plane : plane_kind; row : int; col : int; kind : Defect.kind }
+
+let all_faults pla =
+  let faults = ref [] in
+  let scan plane_kind plane =
+    Plane.iter
+      (fun row col mode ->
+        if mode <> Gnor.Drop then
+          faults := { plane = plane_kind; row; col; kind = Defect.Stuck_open } :: !faults;
+        faults := { plane = plane_kind; row; col; kind = Defect.Stuck_closed } :: !faults)
+      plane
+  in
+  scan And_plane (Pla.and_plane pla);
+  scan Or_plane (Pla.or_plane pla);
+  List.rev !faults
+
+let maps_for pla fault =
+  let and_plane = Pla.and_plane pla and or_plane = Pla.or_plane pla in
+  let and_d = Defect.perfect ~rows:(Plane.rows and_plane) ~cols:(Plane.cols and_plane) in
+  let or_d = Defect.perfect ~rows:(Plane.rows or_plane) ~cols:(Plane.cols or_plane) in
+  (match fault.plane with
+  | And_plane -> Defect.set and_d ~row:fault.row ~col:fault.col fault.kind
+  | Or_plane -> Defect.set or_d ~row:fault.row ~col:fault.col fault.kind);
+  (and_d, or_d)
+
+let eval_with pla (and_d, or_d) inputs =
+  let products = Defect.eval_with_defects and_d (Pla.and_plane pla) inputs in
+  let rows = Defect.eval_with_defects or_d (Pla.or_plane pla) products in
+  Array.init (Pla.num_outputs pla) (fun o ->
+      if Pla.output_inverted pla o then not rows.(o) else rows.(o))
+
+let faulty_outputs pla fault inputs = eval_with pla (maps_for pla fault) inputs
+
+let detects pla fault inputs = faulty_outputs pla fault inputs <> Pla.eval pla inputs
+
+let check_size pla =
+  if Pla.num_inputs pla > 14 then invalid_arg "Atpg: too many inputs"
+
+let generate pla =
+  check_size pla;
+  let n_in = Pla.num_inputs pla in
+  let faults = Array.of_list (all_faults pla) in
+  let nf = Array.length faults in
+  let maps = Array.map (maps_for pla) faults in
+  (* detection matrix: for each vector, the set of faults it exposes. *)
+  let total = 1 lsl n_in in
+  let vector m = Array.init n_in (fun i -> m land (1 lsl i) <> 0) in
+  let detected_by =
+    Array.init total (fun m ->
+        let inputs = vector m in
+        let good = Pla.eval pla inputs in
+        let hits = ref [] in
+        for k = 0 to nf - 1 do
+          if eval_with pla maps.(k) inputs <> good then hits := k :: !hits
+        done;
+        !hits)
+  in
+  let detectable = Array.make nf false in
+  Array.iter (List.iter (fun k -> detectable.(k) <- true)) detected_by;
+  (* Greedy cover: repeatedly take the vector exposing the most remaining
+     faults. *)
+  let remaining = Hashtbl.create nf in
+  Array.iteri (fun k d -> if d then Hashtbl.replace remaining k ()) detectable;
+  let tests = ref [] in
+  while Hashtbl.length remaining > 0 do
+    let best_m = ref 0 and best_gain = ref (-1) in
+    for m = 0 to total - 1 do
+      let gain = List.length (List.filter (Hashtbl.mem remaining) detected_by.(m)) in
+      if gain > !best_gain then begin
+        best_gain := gain;
+        best_m := m
+      end
+    done;
+    assert (!best_gain > 0);
+    tests := vector !best_m :: !tests;
+    List.iter (Hashtbl.remove remaining) detected_by.(!best_m)
+  done;
+  let undetectable = List.filteri (fun k _ -> not detectable.(k)) (Array.to_list faults) in
+  (List.rev !tests, undetectable)
+
+let coverage pla tests =
+  check_size pla;
+  let faults = all_faults pla in
+  let detectable =
+    List.filter
+      (fun f ->
+        let n_in = Pla.num_inputs pla in
+        let rec any m =
+          m < 1 lsl n_in
+          && (detects pla f (Array.init n_in (fun i -> m land (1 lsl i) <> 0)) || any (m + 1))
+        in
+        any 0)
+      faults
+  in
+  if detectable = [] then 1.0
+  else begin
+    let caught =
+      List.filter (fun f -> List.exists (fun v -> detects pla f v) tests) detectable
+    in
+    float_of_int (List.length caught) /. float_of_int (List.length detectable)
+  end

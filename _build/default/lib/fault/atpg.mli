@@ -1,0 +1,39 @@
+(** Test-pattern generation for programmed CNFET PLAs.
+
+    After manufacture (or field reconfiguration) the array must be
+    {e tested}: which input vectors expose which crosspoint faults? The
+    single-fault model covers every crosspoint of both planes going
+    stuck-open or stuck-closed. A fault is {e detected} by a vector when
+    the faulty PLA's outputs differ from the good one's.
+
+    Generation enumerates the input space (≤ 14 inputs), finds the
+    detectable faults, and greedily compacts a complete test set — the
+    regular structure keeps these sets small, one more practical payoff of
+    the PLA architecture. *)
+
+type plane_kind = And_plane | Or_plane
+
+type fault = {
+  plane : plane_kind;
+  row : int;
+  col : int;
+  kind : Defect.kind;  (** [Stuck_open] or [Stuck_closed] *)
+}
+
+val all_faults : Cnfet.Pla.t -> fault list
+(** Every crosspoint of both planes × both fault kinds, except
+    stuck-open faults on crosspoints programmed [Drop] (no effect by
+    construction). *)
+
+val faulty_outputs : Cnfet.Pla.t -> fault -> bool array -> bool array
+(** Outputs of the PLA with the single fault injected. *)
+
+val detects : Cnfet.Pla.t -> fault -> bool array -> bool
+
+val generate : Cnfet.Pla.t -> bool array list * fault list
+(** [(tests, undetectable)]: a compacted vector set detecting every
+    detectable fault, and the faults no vector exposes (logically
+    redundant crosspoint states). *)
+
+val coverage : Cnfet.Pla.t -> bool array list -> float
+(** Fraction of detectable faults caught by a given vector set. *)

@@ -1,0 +1,224 @@
+type assignment = int array
+
+type outcome = Repaired of assignment | Unrepairable
+
+(* A stuck-closed device conducts regardless of its gate: anywhere in an OR
+   row it discharges that output's pre-charged line on every evaluation and
+   kills the output outright — no assignment can help. *)
+let or_row_dead or_defects o =
+  let dead = ref false in
+  for c = 0 to Defect.cols or_defects - 1 do
+    if Defect.kind or_defects ~row:o ~col:c = Defect.Stuck_closed then dead := true
+  done;
+  !dead
+
+let product_row_compatible ~and_defects ~or_defects pla ~product ~row =
+  let and_plane = Cnfet.Pla.and_plane pla and or_plane = Cnfet.Pla.or_plane pla in
+  if product < 0 || product >= Cnfet.Plane.rows and_plane then invalid_arg "Repair: bad product";
+  Defect.compatible_and_row and_defects ~row (Cnfet.Plane.row_modes and_plane product)
+  &&
+  (* OR plane: physical column [row] feeds every output; a stuck-open
+     crosspoint (o, row) cannot deliver a selected product, and any
+     stuck-closed crosspoint kills the output (checked globally too). *)
+  (let n_out = Cnfet.Plane.rows or_plane in
+   let rec outputs_ok o =
+     if o >= n_out then true
+     else begin
+       let selected = Cnfet.Plane.mode or_plane ~row:o ~col:product = Cnfet.Gnor.Pass in
+       let ok =
+         match Defect.kind or_defects ~row:o ~col:row with
+         | Defect.Good -> true
+         | Defect.Stuck_open -> not selected
+         | Defect.Stuck_closed -> false
+       in
+       ok && outputs_ok (o + 1)
+     end
+   in
+   outputs_ok 0)
+
+(* Augmenting-path bipartite matching: products on the left, physical rows
+   on the right. Returns the assignment array (unmatched products hold -1)
+   and the matching size. *)
+let matching compat n_products n_rows =
+  let row_of = Array.make n_rows (-1) in
+  let assigned = Array.make n_products (-1) in
+  let rec augment j visited =
+    let rec try_rows r =
+      if r >= n_rows then false
+      else if (not visited.(r)) && compat j r then begin
+        visited.(r) <- true;
+        if row_of.(r) = -1 || augment row_of.(r) visited then begin
+          row_of.(r) <- j;
+          assigned.(j) <- r;
+          true
+        end
+        else try_rows (r + 1)
+      end
+      else try_rows (r + 1)
+    in
+    try_rows 0
+  in
+  let size = ref 0 in
+  for j = 0 to n_products - 1 do
+    if augment j (Array.make n_rows false) then incr size
+  done;
+  (assigned, !size)
+
+let repair ?(spare_rows = 0) ~and_defects ~or_defects pla =
+  let n_products = Cnfet.Pla.num_products pla in
+  let n_rows = n_products + spare_rows in
+  if Defect.rows and_defects <> n_rows then
+    invalid_arg "Repair.repair: AND defect map must cover products + spares";
+  if Defect.cols or_defects <> n_rows then
+    invalid_arg "Repair.repair: OR defect map must cover products + spares";
+  let n_out = Cnfet.Plane.rows (Cnfet.Pla.or_plane pla) in
+  let any_dead_output =
+    List.exists (fun o -> or_row_dead or_defects o) (List.init n_out Fun.id)
+  in
+  if any_dead_output then Unrepairable
+  else begin
+    let compat j r = product_row_compatible ~and_defects ~or_defects pla ~product:j ~row:r in
+    let assigned, size = matching compat n_products n_rows in
+    if size = n_products then Repaired assigned else Unrepairable
+  end
+
+let identity_works ~and_defects ~or_defects pla =
+  let n_products = Cnfet.Pla.num_products pla in
+  let n_out = Cnfet.Plane.rows (Cnfet.Pla.or_plane pla) in
+  (not (List.exists (fun o -> or_row_dead or_defects o) (List.init n_out Fun.id)))
+  &&
+  let rec go j =
+    j >= n_products
+    || (product_row_compatible ~and_defects ~or_defects pla ~product:j ~row:j && go (j + 1))
+  in
+  go 0
+
+let apply pla assignment ~rows =
+  let and_plane = Cnfet.Pla.and_plane pla and or_plane = Cnfet.Pla.or_plane pla in
+  let n_products = Cnfet.Pla.num_products pla in
+  if Array.length assignment <> n_products then invalid_arg "Repair.apply";
+  let n_in = Cnfet.Pla.num_inputs pla and n_out = Cnfet.Pla.num_outputs pla in
+  let new_and = Cnfet.Plane.create ~rows ~cols:(Cnfet.Plane.cols and_plane) in
+  let new_or = Cnfet.Plane.create ~rows:(Cnfet.Plane.rows or_plane) ~cols:rows in
+  Array.iteri
+    (fun j r ->
+      if r < 0 || r >= rows then invalid_arg "Repair.apply: assignment out of range";
+      Cnfet.Plane.configure_row new_and r (Cnfet.Plane.row_modes and_plane j);
+      for o = 0 to Cnfet.Plane.rows or_plane - 1 do
+        Cnfet.Plane.set_mode new_or ~row:o ~col:r (Cnfet.Plane.mode or_plane ~row:o ~col:j)
+      done)
+    assignment;
+  let inverted = Array.init n_out (fun o -> Cnfet.Pla.output_inverted pla o) in
+  Cnfet.Pla.of_planes ~n_in ~n_out ~and_plane:new_and ~or_plane:new_or
+    ~inverted_outputs:(Array.map not inverted)
+
+(* --- input-column permutation --------------------------------------------- *)
+
+type column_outcome = { row_assignment : assignment; column_of_input : int array }
+
+(* Compatibility of product [j] with physical row [r] when logical input [i]
+   rides physical column [columns.(i)]. *)
+let compatible_permuted ~and_defects ~or_defects ~columns pla ~product ~row =
+  let and_plane = Cnfet.Pla.and_plane pla in
+  let logical = Cnfet.Plane.row_modes and_plane product in
+  let physical = Array.make (Defect.cols and_defects) Cnfet.Gnor.Drop in
+  Array.iteri (fun i m -> physical.(columns.(i)) <- m) logical;
+  Defect.compatible_and_row and_defects ~row physical
+  &&
+  let or_plane = Cnfet.Pla.or_plane pla in
+  let n_out = Cnfet.Plane.rows or_plane in
+  let rec outputs_ok o =
+    if o >= n_out then true
+    else begin
+      let selected = Cnfet.Plane.mode or_plane ~row:o ~col:product = Cnfet.Gnor.Pass in
+      let ok =
+        match Defect.kind or_defects ~row:o ~col:row with
+        | Defect.Good -> true
+        | Defect.Stuck_open -> not selected
+        | Defect.Stuck_closed -> false
+      in
+      ok && outputs_ok (o + 1)
+    end
+  in
+  outputs_ok 0
+
+let matching_size ?(spare_rows = 0) ~and_defects ~or_defects ~columns pla =
+  let n_products = Cnfet.Pla.num_products pla in
+  let n_rows = n_products + spare_rows in
+  if Defect.rows and_defects <> n_rows || Defect.cols or_defects <> n_rows then
+    invalid_arg "Repair.matching_size: defect map shape";
+  let n_out = Cnfet.Plane.rows (Cnfet.Pla.or_plane pla) in
+  if List.exists (fun o -> or_row_dead or_defects o) (List.init n_out Fun.id) then 0
+  else begin
+    let compat j r =
+      compatible_permuted ~and_defects ~or_defects ~columns pla ~product:j ~row:r
+    in
+    snd (matching compat n_products n_rows)
+  end
+
+let repair_permuting_inputs rng ?(spare_rows = 0) ?(attempts = 200) ~and_defects ~or_defects
+    pla =
+  let n_products = Cnfet.Pla.num_products pla in
+  let n_cols = Defect.cols and_defects in
+  if n_cols < Cnfet.Pla.num_inputs pla then
+    invalid_arg "Repair.repair_permuting_inputs: defect map narrower than inputs";
+  let columns = Array.init n_cols Fun.id in
+  let score cols = matching_size ~spare_rows ~and_defects ~or_defects ~columns:cols pla in
+  let best = ref (score columns) in
+  let result () =
+    if !best < n_products then None
+    else begin
+      let compat j r =
+        compatible_permuted ~and_defects ~or_defects ~columns pla ~product:j ~row:r
+      in
+      let assigned, size = matching compat n_products (n_products + spare_rows) in
+      assert (size = n_products);
+      Some { row_assignment = assigned; column_of_input = Array.copy columns }
+    end
+  in
+  match result () with
+  | Some r -> Some r
+  | None ->
+    (* Hill-climb on random column swaps, keeping non-degrading moves. *)
+    let rec climb k =
+      if k = 0 then result ()
+      else if !best >= n_products then result ()
+      else begin
+        let a = Util.Rng.int rng n_cols and b = Util.Rng.int rng n_cols in
+        if a = b then climb (k - 1)
+        else begin
+          let swap () =
+            let t = columns.(a) in
+            columns.(a) <- columns.(b);
+            columns.(b) <- t
+          in
+          swap ();
+          let s = score columns in
+          if s >= !best then begin
+            best := s;
+            climb (k - 1)
+          end
+          else begin
+            swap ();
+            climb (k - 1)
+          end
+        end
+      end
+    in
+    climb attempts
+
+let apply_with_columns pla outcome ~rows =
+  let moved = apply pla outcome.row_assignment ~rows in
+  let and_plane = Cnfet.Pla.and_plane moved in
+  let n_in = Cnfet.Pla.num_inputs pla and n_out = Cnfet.Pla.num_outputs pla in
+  let n_cols = Cnfet.Plane.cols and_plane in
+  let permuted = Cnfet.Plane.create ~rows:(Cnfet.Plane.rows and_plane) ~cols:n_cols in
+  for r = 0 to Cnfet.Plane.rows and_plane - 1 do
+    for i = 0 to n_in - 1 do
+      Cnfet.Plane.set_mode permuted ~row:r ~col:outcome.column_of_input.(i)
+        (Cnfet.Plane.mode and_plane ~row:r ~col:i)
+    done
+  done;
+  let inverted = Array.init n_out (fun o -> Cnfet.Pla.output_inverted pla o) in
+  Cnfet.Pla.of_planes ~n_in ~n_out ~and_plane:permuted
+    ~or_plane:(Cnfet.Pla.or_plane moved) ~inverted_outputs:(Array.map not inverted)

@@ -1,0 +1,67 @@
+(** Defect-avoiding mapping of a cover onto a PLA with spare rows.
+
+    Product terms are interchangeable across physical AND-plane rows, so a
+    defective array can still host a function if an assignment of products
+    to rows exists in which every product lands on a compatible row. The
+    assignment must respect both planes:
+    {ul
+    {- the AND-plane row must accept the product's literal pattern
+       ({!Defect.compatible_and_row});}
+    {- for every output, the OR-plane crosspoint [(o, row)] must be
+       programmable to the needed state: [Stuck_open] is fine when output
+       [o] does not select the product; a [Stuck_closed] crosspoint
+       conducts regardless of its gate and therefore kills output [o]
+       outright (the whole PLA is unrepairable without a spare output).}}
+
+    The assignment is found with augmenting-path bipartite matching
+    (optimal for this per-row compatibility model: it finds a complete
+    matching whenever one exists). *)
+
+type assignment = int array
+(** [assignment.(j)] = physical AND row hosting product [j]. *)
+
+type outcome = Repaired of assignment | Unrepairable
+
+val product_row_compatible : and_defects:Defect.map -> or_defects:Defect.map -> Cnfet.Pla.t -> product:int -> row:int -> bool
+(** Can product [product] of the mapped PLA live on physical row [row]? *)
+
+val repair : ?spare_rows:int -> and_defects:Defect.map -> or_defects:Defect.map -> Cnfet.Pla.t -> outcome
+(** Find an assignment of the PLA's products to the physical rows
+    (products + [spare_rows] of them; the defect maps must have exactly
+    that many rows in the AND plane / columns in the OR plane). *)
+
+val identity_works : and_defects:Defect.map -> or_defects:Defect.map -> Cnfet.Pla.t -> bool
+(** Baseline without remapping: does the identity assignment (product [j]
+    on row [j], spares unused) survive the defects? *)
+
+val apply : Cnfet.Pla.t -> assignment -> rows:int -> Cnfet.Pla.t
+(** Rebuild the PLA with products moved to their assigned physical rows
+    ([rows] total; unused rows stay fully dropped). The result computes
+    the same function on a defect-free array. *)
+
+(** {1 Input-column permutation}
+
+    Rows are not the only degree of freedom of the regular array: which
+    {e physical column} carries which logical input is also free (the
+    column order only changes wiring at the PLA boundary). Permuting
+    columns can dodge defects that no row assignment avoids. *)
+
+type column_outcome = {
+  row_assignment : assignment;
+  column_of_input : int array;  (** logical input [i] rides physical column
+                                    [column_of_input.(i)] *)
+}
+
+val matching_size : ?spare_rows:int -> and_defects:Defect.map -> or_defects:Defect.map -> columns:int array -> Cnfet.Pla.t -> int
+(** Largest number of products placeable under the given column
+    permutation (bipartite matching size); equals the product count iff a
+    full repair exists. *)
+
+val repair_permuting_inputs : Util.Rng.t -> ?spare_rows:int -> ?attempts:int -> and_defects:Defect.map -> or_defects:Defect.map -> Cnfet.Pla.t -> column_outcome option
+(** Hill-climb over column swaps (default 200 attempts), maximizing the
+    matching size; returns the first permutation achieving a complete
+    repair. Starts from the identity, so it subsumes {!repair}. *)
+
+val apply_with_columns : Cnfet.Pla.t -> column_outcome -> rows:int -> Cnfet.Pla.t
+(** Rebuild the PLA with both the row assignment and the column
+    permutation applied. *)

@@ -1,0 +1,111 @@
+type demand = { row : int; label : int }
+
+let stuck_closed_rows_of_col m c =
+  let acc = ref [] in
+  for r = 0 to Defect.rows m - 1 do
+    if Defect.kind m ~row:r ~col:c = Defect.Stuck_closed then acc := r :: !acc
+  done;
+  !acc
+
+let rows_shorted m =
+  let pairs = ref [] in
+  for c = 0 to Defect.cols m - 1 do
+    let rec all_pairs = function
+      | r1 :: rest ->
+        List.iter (fun r2 -> pairs := (min r1 r2, max r1 r2) :: !pairs) rest;
+        all_pairs rest
+      | [] -> ()
+    in
+    all_pairs (stuck_closed_rows_of_col m c)
+  done;
+  List.sort_uniq compare !pairs
+
+let column_usable m ~row ~col =
+  (match Defect.kind m ~row ~col with
+  | Defect.Stuck_open -> false
+  | Defect.Good | Defect.Stuck_closed -> true)
+  && List.for_all
+       (fun r -> r = row)
+       (stuck_closed_rows_of_col m col)
+
+let check_demands m demands =
+  let rows = List.map (fun d -> d.row) demands in
+  if List.length (List.sort_uniq compare rows) <> List.length rows then
+    invalid_arg "Xbar: demands must use distinct rows";
+  List.iter
+    (fun d ->
+      if d.row < 0 || d.row >= Defect.rows m then invalid_arg "Xbar: demand row out of range")
+    demands
+
+(* Demanded rows shorted together carry conflicting signals. *)
+let shorted_demand_conflict m demands =
+  let demanded = List.map (fun d -> d.row) demands in
+  List.exists
+    (fun (r1, r2) -> List.mem r1 demanded && List.mem r2 demanded)
+    (rows_shorted m)
+
+let assign m demands =
+  check_demands m demands;
+  if shorted_demand_conflict m demands then None
+  else begin
+    let darr = Array.of_list demands in
+    let n = Array.length darr in
+    let n_cols = Defect.cols m in
+    (* Augmenting-path matching demands -> columns. *)
+    let col_of = Array.make n_cols (-1) in
+    let assigned = Array.make n (-1) in
+    let rec augment k visited =
+      let rec try_cols c =
+        if c >= n_cols then false
+        else if (not visited.(c)) && column_usable m ~row:darr.(k).row ~col:c then begin
+          visited.(c) <- true;
+          if col_of.(c) = -1 || augment col_of.(c) visited then begin
+            col_of.(c) <- k;
+            assigned.(k) <- c;
+            true
+          end
+          else try_cols (c + 1)
+        end
+        else try_cols (c + 1)
+      in
+      try_cols 0
+    in
+    let ok = ref true in
+    for k = 0 to n - 1 do
+      if !ok && not (augment k (Array.make n_cols false)) then ok := false
+    done;
+    if !ok then Some (List.mapi (fun k d -> (d, assigned.(k))) (Array.to_list darr))
+    else None
+  end
+
+let identity_feasible m demands =
+  check_demands m demands;
+  (not (shorted_demand_conflict m demands))
+  && List.for_all Fun.id
+       (List.mapi (fun k d -> k < Defect.cols m && column_usable m ~row:d.row ~col:k) demands)
+
+type point = {
+  defect_rate : float;
+  yield_identity : float;
+  yield_assigned : float;
+  trials : int;
+}
+
+let yield_sweep rng ?(trials = 300) ~rows ~cols ~demands rates =
+  if demands > rows || demands > cols then invalid_arg "Xbar.yield_sweep";
+  let demand_list = List.init demands (fun k -> { row = k; label = k }) in
+  List.map
+    (fun rate ->
+      let id_ok = ref 0 and as_ok = ref 0 in
+      for _ = 1 to trials do
+        let m = Defect.random rng ~rows ~cols ~rate () in
+        if identity_feasible m demand_list then incr id_ok;
+        if assign m demand_list <> None then incr as_ok
+      done;
+      {
+        defect_rate = rate;
+        yield_identity = float_of_int !id_ok /. float_of_int trials;
+        yield_assigned = float_of_int !as_ok /. float_of_int trials;
+        trials;
+      })
+    rates

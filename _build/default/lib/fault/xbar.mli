@@ -1,0 +1,46 @@
+(** Defect tolerance in the interconnect crossbar (paper §4's pass-
+    transistor array meets §5's unreliable devices).
+
+    A routing demand asks each logical signal, entering on a fixed row, to
+    reach its own output column; which {e physical} column serves which
+    logical output is free. Defects constrain the choice:
+    {ul
+    {- a [Stuck_open] crosspoint cannot realize its connection;}
+    {- a [Stuck_closed] crosspoint permanently ties its row and column:
+       harmless when that very connection is wanted (a free switch), fatal
+       for the column otherwise, and two stuck-closed devices on one
+       column short their rows together, killing both if both carry
+       demanded signals.}}
+
+    Feasibility reduces to bipartite matching of logical outputs onto
+    usable columns. *)
+
+type demand = { row : int; label : int }
+(** One signal entering on [row]; [label] identifies the logical output. *)
+
+val rows_shorted : Defect.map -> (int * int) list
+(** Pairs of distinct rows tied together by a doubly-stuck-closed
+    column. *)
+
+val column_usable : Defect.map -> row:int -> col:int -> bool
+(** Can [col] deliver the signal of [row]? *)
+
+val assign : Defect.map -> demand list -> (demand * int) list option
+(** Assign a distinct physical column to every demand, avoiding defects;
+    [None] when impossible. Demands must sit on distinct rows. *)
+
+val identity_feasible : Defect.map -> demand list -> bool
+(** Baseline without column freedom: demand [k] (in list order) must use
+    physical column [k]. *)
+
+type point = {
+  defect_rate : float;
+  yield_identity : float;
+  yield_assigned : float;
+  trials : int;
+}
+
+val yield_sweep : Util.Rng.t -> ?trials:int -> rows:int -> cols:int -> demands:int -> float list -> point list
+(** [yield_sweep rng ~rows ~cols ~demands rates]: random defect maps at each rate, demands on the first
+    [demands] rows; fraction of trials routable without and with column
+    reassignment ([cols ≥ demands] gives spare columns). *)

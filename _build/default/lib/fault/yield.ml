@@ -1,0 +1,91 @@
+type point = {
+  defect_rate : float;
+  yield_baseline : float;
+  yield_remap : float;
+  yield_spares : float;
+  trials : int;
+}
+
+let draw_maps rng ?closed_share pla ~spare_rows ~defect_rate =
+  let n_products = Cnfet.Pla.num_products pla in
+  let n_rows = n_products + spare_rows in
+  let n_in = Cnfet.Plane.cols (Cnfet.Pla.and_plane pla) in
+  let n_out = Cnfet.Plane.rows (Cnfet.Pla.or_plane pla) in
+  let and_defects =
+    Defect.random rng ~rows:n_rows ~cols:n_in ~rate:defect_rate ?closed_share ()
+  in
+  let or_defects =
+    Defect.random rng ~rows:n_out ~cols:n_rows ~rate:defect_rate ?closed_share ()
+  in
+  (and_defects, or_defects)
+
+(* Restrict a defect map pair to the first n_products rows/columns for the
+   no-spare scenarios. *)
+let truncate_maps (and_defects, or_defects) n_products =
+  let a = Defect.perfect ~rows:n_products ~cols:(Defect.cols and_defects) in
+  for r = 0 to n_products - 1 do
+    for c = 0 to Defect.cols and_defects - 1 do
+      Defect.set a ~row:r ~col:c (Defect.kind and_defects ~row:r ~col:c)
+    done
+  done;
+  let o = Defect.perfect ~rows:(Defect.rows or_defects) ~cols:n_products in
+  for r = 0 to Defect.rows or_defects - 1 do
+    for c = 0 to n_products - 1 do
+      Defect.set o ~row:r ~col:c (Defect.kind or_defects ~row:r ~col:c)
+    done
+  done;
+  (a, o)
+
+let estimate rng ?(trials = 200) ?(spare_rows = 2) ?closed_share pla ~defect_rate =
+  let n_products = Cnfet.Pla.num_products pla in
+  let base = ref 0 and remap = ref 0 and spared = ref 0 in
+  for _ = 1 to trials do
+    let maps = draw_maps rng ?closed_share pla ~spare_rows ~defect_rate in
+    let and_trunc, or_trunc = truncate_maps maps n_products in
+    if Repair.identity_works ~and_defects:and_trunc ~or_defects:or_trunc pla then incr base;
+    (match Repair.repair ~spare_rows:0 ~and_defects:and_trunc ~or_defects:or_trunc pla with
+    | Repair.Repaired _ -> incr remap
+    | Repair.Unrepairable -> ());
+    let and_full, or_full = maps in
+    match Repair.repair ~spare_rows ~and_defects:and_full ~or_defects:or_full pla with
+    | Repair.Repaired _ -> incr spared
+    | Repair.Unrepairable -> ()
+  done;
+  let frac n = float_of_int n /. float_of_int trials in
+  {
+    defect_rate;
+    yield_baseline = frac !base;
+    yield_remap = frac !remap;
+    yield_spares = frac !spared;
+    trials;
+  }
+
+let sweep rng ?trials ?spare_rows ?closed_share pla ~rates =
+  List.map (fun r -> estimate rng ?trials ?spare_rows ?closed_share pla ~defect_rate:r) rates
+
+let functional_check rng ?closed_share pla cover ~defect_rate ~spare_rows =
+  let n_in = Cnfet.Pla.num_inputs pla in
+  if n_in > 16 then invalid_arg "Yield.functional_check: too many inputs";
+  let maps = draw_maps rng ?closed_share pla ~spare_rows ~defect_rate in
+  let and_defects, or_defects = maps in
+  match Repair.repair ~spare_rows ~and_defects ~or_defects pla with
+  | Repair.Unrepairable -> None
+  | Repair.Repaired assignment ->
+    let rows = Cnfet.Pla.num_products pla + spare_rows in
+    let physical = Repair.apply pla assignment ~rows in
+    (* Evaluate the physical PLA through the defects and compare with the
+       intended function. *)
+    let ok = ref true in
+    for m = 0 to (1 lsl n_in) - 1 do
+      let inputs = Array.init n_in (fun i -> m land (1 lsl i) <> 0) in
+      let products =
+        Defect.eval_with_defects and_defects (Cnfet.Pla.and_plane physical) inputs
+      in
+      let or_rows = Defect.eval_with_defects or_defects (Cnfet.Pla.or_plane physical) products in
+      let want = Logic.Cover.eval cover inputs in
+      for o = 0 to Cnfet.Pla.num_outputs physical - 1 do
+        let got = if Cnfet.Pla.output_inverted physical o then not or_rows.(o) else or_rows.(o) in
+        if got <> Util.Bitvec.get want o then ok := false
+      done
+    done;
+    Some !ok

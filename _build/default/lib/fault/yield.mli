@@ -1,0 +1,26 @@
+(** Monte-Carlo yield of PLAs on defective arrays.
+
+    For each trial a defect map is drawn at the given device defect rate
+    and the mapped function is declared alive if (a) the identity mapping
+    survives (baseline), or (b) remapping products to rows — with optional
+    spare rows — finds a working assignment (fault-tolerant flow). The
+    ratio of live trials estimates functional yield, the quantity the
+    paper expects the regular architecture to improve. *)
+
+type point = {
+  defect_rate : float;
+  yield_baseline : float;  (** identity mapping, no spares *)
+  yield_remap : float;  (** matching-based remap, no spares *)
+  yield_spares : float;  (** remap with the requested spare rows *)
+  trials : int;
+}
+
+val estimate : Util.Rng.t -> ?trials:int -> ?spare_rows:int -> ?closed_share:float -> Cnfet.Pla.t -> defect_rate:float -> point
+(** Default 200 trials, 2 spare rows. *)
+
+val sweep : Util.Rng.t -> ?trials:int -> ?spare_rows:int -> ?closed_share:float -> Cnfet.Pla.t -> rates:float list -> point list
+
+val functional_check : Util.Rng.t -> ?closed_share:float -> Cnfet.Pla.t -> Logic.Cover.t -> defect_rate:float -> spare_rows:int -> bool option
+(** Draw one defect map; if repair succeeds, exhaustively verify that the
+    repaired PLA {e evaluated through the defects} still implements the
+    cover ([Some ok]); [None] when unrepairable. Inputs must be ≤ 16. *)

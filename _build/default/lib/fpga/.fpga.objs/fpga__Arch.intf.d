@@ -1,0 +1,1 @@
+lib/fpga/arch.mli:

@@ -1,0 +1,1 @@
+lib/fpga/design.ml: Array Float List Util

@@ -1,0 +1,1 @@
+lib/fpga/flow.ml: Arch Array Design Format Place Route Timing Util

@@ -1,0 +1,1 @@
+lib/fpga/flow.mli: Arch Design Format Timing Util

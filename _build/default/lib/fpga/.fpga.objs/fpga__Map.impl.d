@@ -1,0 +1,1 @@
+lib/fpga/map.ml: Array Design Espresso Fun Hashtbl List Logic Printf String Util

@@ -1,0 +1,1 @@
+lib/fpga/map.mli: Design Logic

@@ -1,0 +1,1 @@
+lib/fpga/place.ml: Arch Array Design Fun Hashtbl List Printf Util

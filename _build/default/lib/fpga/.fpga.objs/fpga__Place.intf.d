@@ -1,0 +1,1 @@
+lib/fpga/place.mli: Arch Design Util

@@ -1,0 +1,1 @@
+lib/fpga/route.ml: Arch Array Hashtbl List Place Set

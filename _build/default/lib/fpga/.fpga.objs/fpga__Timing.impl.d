@@ -1,0 +1,1 @@
+lib/fpga/timing.ml: Arch Array Design Float Format List Place Route

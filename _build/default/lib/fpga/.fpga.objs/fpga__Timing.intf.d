@@ -1,0 +1,1 @@
+lib/fpga/timing.mli: Arch Format Place Route

@@ -1,0 +1,85 @@
+type flavour = Standard | Cnfet
+
+let flavour_name = function Standard -> "Standard FPGA" | Cnfet -> "CNFET FPGA"
+
+type t = {
+  flavour : flavour;
+  grid : int;
+  tracks : int;
+  clb_inputs : int;
+  clb_outputs : int;
+  wires_per_connection : int;
+  clb_pitch : float;
+  seg_resistance : float;
+  seg_capacitance : float;
+  switch_resistance : float;
+  clb_delay : float;
+  driver_resistance : float;
+  sink_capacitance : float;
+  load_alpha : float;
+}
+
+(* Reference pitch and RC for the standard PLA-based CLB; these constants
+   are the calibration knob that places the standard FPGA near the paper's
+   154 MHz (see EXPERIMENTS.md). *)
+let ref_pitch = 12.0 (* µm *)
+let ref_seg_r = 600.0 (* Ω per pitch of routing wire *)
+let ref_seg_c = 5.5e-15 (* F per pitch *)
+let ref_switch_r = 600.0 (* Ω per switch-point *)
+let ref_clb_delay = 0.08e-9 (* s; dynamic GNOR-plane evaluation *)
+
+(* A classical PLA CLB spans 2k+m plane columns against the GNOR plane's
+   k+m (both input polarities need a column), so its word lines — and the
+   dynamic evaluation they gate — are proportionally slower. *)
+let clb_delay_of ~wires_per_connection ~k ~m =
+  let columns = float_of_int ((wires_per_connection * k) + m) in
+  ref_clb_delay *. (columns /. float_of_int (k + m))
+let ref_driver_r = 3.0e3 (* Ω *)
+let ref_sink_c = 4.0e-15 (* F *)
+let ref_tracks = 14
+let ref_load_alpha = 3.5
+
+let standard ~grid =
+  {
+    flavour = Standard;
+    grid;
+    tracks = ref_tracks;
+    clb_inputs = 9;
+    clb_outputs = 3;
+    wires_per_connection = 2;
+    clb_pitch = ref_pitch;
+    seg_resistance = ref_seg_r;
+    seg_capacitance = ref_seg_c;
+    switch_resistance = ref_switch_r;
+    clb_delay = clb_delay_of ~wires_per_connection:2 ~k:9 ~m:3;
+    driver_resistance = ref_driver_r;
+    sink_capacitance = ref_sink_c;
+    load_alpha = ref_load_alpha;
+  }
+
+let cnfet ~grid =
+  let shrink = sqrt 2.0 in
+  (* Half-area CLBs double the site count on the same die; the square grid
+     side is the floor of grid·√2, and the pitch (hence per-segment RC)
+     shrinks by √2. *)
+  let grid' = int_of_float (floor (float_of_int grid *. shrink)) in
+  {
+    flavour = Cnfet;
+    grid = grid';
+    tracks = ref_tracks;
+    clb_inputs = 9;
+    clb_outputs = 3;
+    wires_per_connection = 1;
+    clb_pitch = ref_pitch /. shrink;
+    seg_resistance = ref_seg_r /. shrink;
+    seg_capacitance = ref_seg_c /. shrink;
+    switch_resistance = ref_switch_r;
+    clb_delay = clb_delay_of ~wires_per_connection:1 ~k:9 ~m:3;
+    driver_resistance = ref_driver_r;
+    sink_capacitance = ref_sink_c;
+    load_alpha = ref_load_alpha;
+  }
+
+let sites t = t.grid * t.grid
+
+let occupancy t ~used = float_of_int used /. float_of_int (sites t)

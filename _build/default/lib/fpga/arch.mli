@@ -1,0 +1,53 @@
+(** Island-style PLA-based FPGA architecture parameters (paper §5).
+
+    The device is a square grid of configurable logic blocks (CLBs), each
+    a small PLA, separated by routing channels with a fixed number of
+    tracks. Two architecture flavours are compared:
+
+    {ul
+    {- [Standard]: classical PLA CLBs. Both polarities of every signal
+       must be delivered, so each logical connection consumes {e two}
+       routing wires; inverters are explicit blocks.}
+    {- [Cnfet]: GNOR-based CLBs at {e half} the area (so the CLB pitch
+       shrinks by [√2] on the same die) — only one wire per connection and
+       inverters are absorbed into the polarity configuration.}} *)
+
+type flavour = Standard | Cnfet
+
+val flavour_name : flavour -> string
+
+type t = {
+  flavour : flavour;
+  grid : int;  (** CLBs per side *)
+  tracks : int;  (** routing tracks per channel *)
+  clb_inputs : int;
+  clb_outputs : int;
+  wires_per_connection : int;  (** 2 for [Standard], 1 for [Cnfet] *)
+  clb_pitch : float;  (** centre-to-centre CLB distance, µm *)
+  seg_resistance : float;  (** Ω per channel segment (one pitch) *)
+  seg_capacitance : float;  (** F per channel segment *)
+  switch_resistance : float;  (** Ω per switch-point crossing *)
+  clb_delay : float;  (** s, intrinsic CLB (PLA) evaluation delay *)
+  driver_resistance : float;  (** Ω, output driver *)
+  sink_capacitance : float;  (** F, CLB input load *)
+  load_alpha : float;
+      (** switch-box loading coefficient: a routed segment's capacitance is
+          [seg_capacitance × (1 + load_alpha × usage/capacity)] — crowded
+          switch matrices present longer internal wires and more parasitic
+          junctions *)
+}
+
+val standard : grid:int -> t
+(** Reference 90 nm-class parameters; the CLB pitch and RC values are the
+    single calibration knob recorded in EXPERIMENTS.md. *)
+
+val cnfet : grid:int -> t
+(** Same die as [standard ~grid]: the half-area CLB shrinks the pitch by
+    [√2] and the grid gains [√2] sites per side; segment RC scales with the
+    pitch. *)
+
+val sites : t -> int
+(** Total CLB sites. *)
+
+val occupancy : t -> used:int -> float
+(** Fraction of sites used by a design. *)

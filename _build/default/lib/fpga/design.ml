@@ -1,0 +1,129 @@
+type source = Pi of int | Block of int
+
+type block = { is_inverter : bool; fanin : source array }
+
+type t = { n_pi : int; blocks : block array; pos : source array }
+
+let validate t =
+  if t.n_pi <= 0 then invalid_arg "Design: no primary inputs";
+  let check_src limit = function
+    | Pi i -> if i < 0 || i >= t.n_pi then invalid_arg "Design: bad PI reference"
+    | Block b -> if b < 0 || b >= limit then invalid_arg "Design: fanin must reference earlier block"
+  in
+  Array.iteri
+    (fun i b ->
+      if b.is_inverter && Array.length b.fanin <> 1 then
+        invalid_arg "Design: inverter with fanin <> 1";
+      Array.iter (check_src i) b.fanin)
+    t.blocks;
+  Array.iter (check_src (Array.length t.blocks)) t.pos
+
+let block_count t = Array.length t.blocks
+
+let inverter_count t =
+  Array.fold_left (fun n b -> if b.is_inverter then n + 1 else n) 0 t.blocks
+
+let connection_count t =
+  Array.fold_left (fun n b -> n + Array.length b.fanin) 0 t.blocks
+  + Array.length t.pos
+
+let depth t =
+  let d = Array.make (Array.length t.blocks) 0 in
+  Array.iteri
+    (fun i b ->
+      let from_src = function Pi _ -> 0 | Block j -> d.(j) in
+      let m = Array.fold_left (fun acc s -> max acc (from_src s)) 0 b.fanin in
+      d.(i) <- m + 1)
+    t.blocks;
+  Array.fold_left
+    (fun acc s -> match s with Pi _ -> acc | Block j -> max acc d.(j))
+    0 t.pos
+
+let random rng ~n_pi ~n_blocks ?(fanin = 4) ?(inverter_fraction = 0.10) ?(layers = 12) () =
+  if n_pi <= 0 || n_blocks <= 0 || layers <= 0 then invalid_arg "Design.random";
+  let layers = min layers n_blocks in
+  (* Rank boundaries: block i belongs to rank (i * layers / n_blocks). *)
+  let rank_of i = i * layers / n_blocks in
+  let rank_start = Array.make (layers + 1) n_blocks in
+  for i = n_blocks - 1 downto 0 do
+    rank_start.(rank_of i) <- i
+  done;
+  rank_start.(0) <- 0;
+  let pick_source i =
+    let r = rank_of i in
+    if r = 0 then Pi (Util.Rng.int rng n_pi)
+    else begin
+      (* Mostly the previous rank, occasionally any earlier rank or a PI —
+         mapped netlists have a few long feed-forward and input nets. *)
+      let roll = Util.Rng.float rng 1.0 in
+      if roll < 0.75 then begin
+        let lo = rank_start.(r - 1) and hi = rank_start.(r) in
+        Block (lo + Util.Rng.int rng (max 1 (hi - lo)))
+      end
+      else if roll < 0.9 then Block (Util.Rng.int rng (max 1 rank_start.(r)))
+      else Pi (Util.Rng.int rng n_pi)
+    end
+  in
+  (* Deterministic inverter share: every stride-th block outside rank 0,
+     so the measured block counts do not ride on sampling luck. *)
+  let stride =
+    if inverter_fraction <= 0.0 then max_int
+    else max 1 (int_of_float (Float.round (1.0 /. inverter_fraction)))
+  in
+  let blocks =
+    Array.init n_blocks (fun i ->
+        let is_inverter = rank_of i > 0 && i mod stride = stride - 1 in
+        let n_fanin = if is_inverter then 1 else 2 + Util.Rng.int rng (max 1 (fanin - 1)) in
+        { is_inverter; fanin = Array.init n_fanin (fun _ -> pick_source i) })
+  in
+  let n_po = max 1 (n_blocks / 10) in
+  let last_lo = rank_start.(layers - 1) in
+  let last_width = n_blocks - last_lo in
+  let pos = Array.init n_po (fun k -> Block (last_lo + (k mod last_width))) in
+  let t = { n_pi; blocks; pos } in
+  validate t;
+  t
+
+let absorb_inverters t =
+  let n = Array.length t.blocks in
+  (* Resolve a source through any chain of inverters to its driving
+     non-inverter source. *)
+  let resolved = Array.make n None in
+  let rec resolve = function
+    | Pi i -> Pi i
+    | Block j ->
+      if t.blocks.(j).is_inverter then begin
+        match resolved.(j) with
+        | Some s -> s
+        | None ->
+          let s = resolve t.blocks.(j).fanin.(0) in
+          resolved.(j) <- Some s;
+          s
+      end
+      else Block j
+  in
+  (* Renumber surviving blocks. *)
+  let new_id = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if not t.blocks.(i).is_inverter then begin
+      new_id.(i) <- !next;
+      incr next
+    end
+  done;
+  let remap s =
+    match resolve s with
+    | Pi i -> Pi i
+    | Block j -> Block new_id.(j)
+  in
+  let blocks =
+    Array.of_list
+      (List.filter_map
+         (fun b ->
+           if b.is_inverter then None
+           else Some { b with fanin = Array.map remap b.fanin })
+         (Array.to_list t.blocks))
+  in
+  let out = { n_pi = t.n_pi; blocks; pos = Array.map remap t.pos } in
+  validate out;
+  out

@@ -1,0 +1,52 @@
+(** Logical designs mapped onto FPGA CLBs.
+
+    A design is a DAG of blocks. Each block is either a logic block (one
+    CLB's worth of function) or an explicit inverter; sources are primary
+    inputs or other blocks' outputs. The synthetic generator produces
+    layered netlists with a controlled inverter fraction, mimicking how a
+    technology mapper splits a large function into CLB-sized pieces
+    ("the same way standard FPGAs split large functions into different
+    CLBs", paper §5).
+
+    The key architectural transform is {!absorb_inverters}: on the GNOR
+    fabric an inverter is free (a polarity setting at the consuming CLB),
+    so inverter blocks disappear and their fanout reconnects to the
+    inverter's source. *)
+
+type source = Pi of int | Block of int
+
+type block = { is_inverter : bool; fanin : source array }
+
+type t = {
+  n_pi : int;
+  blocks : block array;
+  pos : source array;  (** primary outputs *)
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] if a fanin references a later or missing
+    block (the DAG must be topologically ordered) or an out-of-range PI. *)
+
+val block_count : t -> int
+
+val inverter_count : t -> int
+
+val connection_count : t -> int
+(** Total fanin edges (each is one routed connection). *)
+
+val depth : t -> int
+(** Longest PI→PO path in blocks. *)
+
+val random : Util.Rng.t -> n_pi:int -> n_blocks:int -> ?fanin:int -> ?inverter_fraction:float -> ?layers:int -> unit -> t
+(** Layered random DAG, the shape a technology mapper produces: blocks are
+    spread over [layers] ranks (default 12); a block in rank [k] draws its
+    [2..fanin] sources from rank [k-1] (mostly) and earlier ranks or PIs.
+    A deterministic [inverter_fraction] of blocks are inverters (default
+    0.10, a typical post-mapping share; placed by stride so the count does
+    not depend on sampling luck). The primary outputs tap the last rank,
+    so {!depth} ≈ [layers]. *)
+
+val absorb_inverters : t -> t
+(** Remove inverter blocks by rewiring their consumers to the inverter's
+    source (polarity is then a CLB configuration, not logic). Chains of
+    inverters collapse. Block indices are renumbered. *)

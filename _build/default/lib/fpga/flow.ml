@@ -1,0 +1,106 @@
+type outcome = {
+  flavour : Arch.flavour;
+  grid : int;
+  sites : int;
+  blocks_used : int;
+  occupancy : float;
+  wirelength : int;
+  routed_segments : int;
+  route_overflow : int;
+  route_iterations : int;
+  timing : Timing.report;
+}
+
+let run rng arch design =
+  let placement = Place.place rng arch design in
+  let routing = Route.route placement in
+  let timing = Timing.analyze placement routing in
+  let used = Design.block_count design in
+  {
+    flavour = arch.Arch.flavour;
+    grid = arch.Arch.grid;
+    sites = Arch.sites arch;
+    blocks_used = used;
+    occupancy = Arch.occupancy arch ~used;
+    wirelength = Place.total_wirelength placement;
+    routed_segments = routing.Route.total_segments;
+    route_overflow = routing.Route.overflow;
+    route_iterations = routing.Route.iterations;
+    timing;
+  }
+
+let outcome_of arch design placement =
+  let routing = Route.route placement in
+  let timing = Timing.analyze placement routing in
+  let used = Design.block_count design in
+  ( routing,
+    {
+      flavour = arch.Arch.flavour;
+      grid = arch.Arch.grid;
+      sites = Arch.sites arch;
+      blocks_used = used;
+      occupancy = Arch.occupancy arch ~used;
+      wirelength = Place.total_wirelength placement;
+      routed_segments = routing.Route.total_segments;
+      route_overflow = routing.Route.overflow;
+      route_iterations = routing.Route.iterations;
+      timing;
+    } )
+
+let run_timing_driven ?(rounds = 1) rng arch design =
+  let placement = Place.place rng arch design in
+  let routing, first = outcome_of arch design placement in
+  let rec refine best_outcome prev_placement prev_routing k =
+    if k = 0 then best_outcome
+    else begin
+      let crits = Timing.criticalities prev_placement prev_routing in
+      (* Sharp exponent (VPR-style): only the truly critical connections
+         should dominate the cost. *)
+      let weights = Array.map (fun c -> 1.0 +. (7.0 *. (c ** 8.0))) crits in
+      let placement' = Place.place ~weights rng arch design in
+      let routing', outcome' = outcome_of arch design placement' in
+      let best =
+        if
+          outcome'.timing.Timing.critical_path
+          < best_outcome.timing.Timing.critical_path
+        then outcome'
+        else best_outcome
+      in
+      refine best placement' routing' (k - 1)
+    end
+  in
+  refine first placement routing rounds
+
+let run_standard rng ~grid design = run rng (Arch.standard ~grid) design
+
+let run_cnfet rng ~grid design =
+  let absorbed = Design.absorb_inverters design in
+  (* Same die: the CNFET grid is derived from the standard one; half-area
+     CLBs pack √2 more per side. *)
+  let arch = Arch.cnfet ~grid in
+  run rng arch absorbed
+
+type table2 = { standard : outcome; cnfet : outcome; speedup : float }
+
+let table2_experiment ?(seed = 2008) ?(grid = 17) () =
+  let rng = Util.Rng.create seed in
+  let sites = grid * grid in
+  let n_blocks = int_of_float (0.99 *. float_of_int sites) in
+  let design =
+    Design.random rng ~n_pi:(2 * grid) ~n_blocks ~fanin:4 ~inverter_fraction:0.095
+      ~layers:12 ()
+  in
+  let standard = run_standard (Util.Rng.split rng) ~grid design in
+  let cnfet = run_cnfet (Util.Rng.split rng) ~grid design in
+  {
+    standard;
+    cnfet;
+    speedup = cnfet.timing.Timing.frequency_hz /. standard.timing.Timing.frequency_hz;
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "%s: grid=%dx%d blocks=%d occ=%.1f%% wl=%d segs=%d overflow=%d iters=%d %a"
+    (Arch.flavour_name o.flavour) o.grid o.grid o.blocks_used (100.0 *. o.occupancy)
+    o.wirelength o.routed_segments o.route_overflow o.route_iterations Timing.pp_report
+    o.timing

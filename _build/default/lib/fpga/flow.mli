@@ -1,0 +1,47 @@
+(** End-to-end FPGA flow (generate → place → route → time) and the paper's
+    Table 2 experiment.
+
+    The experiment mirrors the paper's emulation: one logical design is
+    implemented on (a) a standard PLA-based FPGA it fills to ~99%, routing
+    two wires per connection and keeping inverters as blocks, and (b) the
+    ambipolar-CNFET fabric on the same die — CLBs at half area (pitch /
+    √2), one wire per connection, inverters absorbed into GNOR polarity
+    configuration. *)
+
+type outcome = {
+  flavour : Arch.flavour;
+  grid : int;
+  sites : int;
+  blocks_used : int;
+  occupancy : float;
+  wirelength : int;
+  routed_segments : int;
+  route_overflow : int;
+  route_iterations : int;
+  timing : Timing.report;
+}
+
+val run : Util.Rng.t -> Arch.t -> Design.t -> outcome
+(** Place, route and time one design on one architecture. *)
+
+val run_timing_driven : ?rounds:int -> Util.Rng.t -> Arch.t -> Design.t -> outcome
+(** {!run}, then re-place with connection weights [1 + 7·criticality⁸]
+    from the previous round's timing and re-route — [rounds] refinement
+    passes (default 1), keeping whichever placement times best. Gains a
+    few percent on designs with uneven path depths (mapped functions);
+    depth-uniform netlists have nothing to trade. *)
+
+val run_standard : Util.Rng.t -> grid:int -> Design.t -> outcome
+
+val run_cnfet : Util.Rng.t -> grid:int -> Design.t -> outcome
+(** [grid] is the {e standard} grid; the CNFET architecture derives its
+    own (larger) grid from the same die. Inverters are absorbed before
+    mapping. *)
+
+type table2 = { standard : outcome; cnfet : outcome; speedup : float }
+
+val table2_experiment : ?seed:int -> ?grid:int -> unit -> table2
+(** Full Table 2 reproduction. The design is sized to fill the standard
+    device to ≈99%; defaults: [seed 2008], [grid 17]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,228 @@
+module Cover = Logic.Cover
+module Cube = Logic.Cube
+
+type source = Pi of int | Block_out of int
+
+type block = { cover : Cover.t; inputs : source array }
+
+type t = { n_pi : int; blocks : block array; outputs : source array }
+
+let block_count t = Array.length t.blocks
+
+(* Support of a single-output cover: inputs bound in some cube. *)
+let support cover =
+  let n_in = Cover.num_inputs cover in
+  let used = Array.make n_in false in
+  List.iter
+    (fun c ->
+      for i = 0 to n_in - 1 do
+        if Cube.get c i <> Cube.Dc then used.(i) <- true
+      done)
+    (Cover.cubes cover);
+  List.filter (fun i -> used.(i)) (List.init n_in Fun.id)
+
+(* Re-index a cover onto exactly the given variables. *)
+let compress cover vars =
+  let n_sub = List.length vars in
+  let cubes =
+    List.map
+      (fun c ->
+        Cube.of_literals (List.map (Cube.get c) vars) ~outs:(Cube.outputs c))
+      (Cover.cubes cover)
+  in
+  Cover.make ~n_in:n_sub ~n_out:1 cubes
+
+type sub = Const of bool | Sig of source
+
+let map_cover ?(clb_inputs = 6) cover =
+  if clb_inputs < 3 then invalid_arg "Map.map_cover: need at least 3 CLB inputs";
+  let n_pi = Cover.num_inputs cover in
+  let blocks = ref [] in
+  let n_blocks = ref 0 in
+  let add_block b =
+    blocks := b :: !blocks;
+    incr n_blocks;
+    Block_out (!n_blocks - 1)
+  in
+  (* Share identical (minimized) sub-functions. *)
+  let memo = Hashtbl.create 32 in
+  let key f =
+    String.concat "|" (List.sort compare (List.map Cube.to_string (Cover.cubes f)))
+  in
+  (* synth: single-output cover over the full PI space -> sub *)
+  let rec synth f =
+    let f = Espresso.Minimize.cover f in
+    if Cover.is_empty f then Const false
+    else if List.exists (fun c -> Cube.literal_count c = 0) (Cover.cubes f) then Const true
+    else begin
+      let k = key f in
+      match Hashtbl.find_opt memo k with
+      | Some s -> s
+      | None ->
+        let s = synth_uncached f in
+        Hashtbl.replace memo k s;
+        s
+    end
+  and synth_uncached f =
+    let sup = support f in
+    if List.length sup <= clb_inputs then
+      Sig (add_block { cover = compress f sup; inputs = Array.of_list (List.map (fun i -> Pi i) sup) })
+    else begin
+      (* Shannon: split on the most frequently bound variable. *)
+      let counts = Array.make (Cover.num_inputs f) 0 in
+      List.iter
+        (fun c ->
+          List.iter (fun i -> if Cube.get c i <> Cube.Dc then counts.(i) <- counts.(i) + 1) sup)
+        (Cover.cubes f);
+      let x = List.fold_left (fun b i -> if counts.(i) > counts.(b) then i else b) (List.hd sup) sup in
+      let hi = synth (Cover.cofactor_var f x Cube.One) in
+      let lo = synth (Cover.cofactor_var f x Cube.Zero) in
+      (* Recombine: f = x·hi + x'·lo over the available sub-signals. *)
+      let inputs, cubes =
+        let out1 = Util.Bitvec.of_list 1 [ 0 ] in
+        let lit n_in pairs =
+          List.fold_left
+            (fun c (pos, lit) -> Cube.set c pos lit)
+            (Cube.make ~n_in ~n_out:1 |> fun c -> Cube.with_outputs c out1)
+            pairs
+        in
+        match (hi, lo) with
+        | Sig a, Sig b ->
+          ( [| Pi x; a; b |],
+            [ lit 3 [ (0, Cube.One); (1, Cube.One) ]; lit 3 [ (0, Cube.Zero); (2, Cube.One) ] ] )
+        | Sig a, Const false -> ([| Pi x; a |], [ lit 2 [ (0, Cube.One); (1, Cube.One) ] ])
+        | Sig a, Const true ->
+          ( [| Pi x; a |],
+            [ lit 2 [ (0, Cube.One); (1, Cube.One) ]; lit 2 [ (0, Cube.Zero) ] ] )
+        | Const false, Sig b -> ([| Pi x; b |], [ lit 2 [ (0, Cube.Zero); (1, Cube.One) ] ])
+        | Const true, Sig b ->
+          ( [| Pi x; b |],
+            [ lit 2 [ (0, Cube.Zero); (1, Cube.One) ]; lit 2 [ (0, Cube.One) ] ] )
+        | Const a, Const b ->
+          (* Both cofactors constant would mean support ≤ 1. *)
+          ( [| Pi x |],
+            (if a then [ lit 1 [ (0, Cube.One) ] ] else [])
+            @ if b then [ lit 1 [ (0, Cube.Zero) ] ] else [] )
+      in
+      let n_in = Array.length inputs in
+      Sig (add_block { cover = Cover.make ~n_in ~n_out:1 cubes; inputs })
+    end
+  in
+  let constant_block value =
+    (* A 1-input block ignoring its input. *)
+    let out1 = Util.Bitvec.of_list 1 [ 0 ] in
+    let cubes = if value then [ Cube.with_outputs (Cube.make ~n_in:1 ~n_out:1) out1 ] else [] in
+    add_block { cover = Cover.make ~n_in:1 ~n_out:1 cubes; inputs = [| Pi 0 |] }
+  in
+  let outputs =
+    Array.init (Cover.num_outputs cover) (fun o ->
+        match synth (Cover.restrict_output cover o) with
+        | Sig s -> s
+        | Const v -> constant_block v)
+  in
+  { n_pi; blocks = Array.of_list (List.rev !blocks); outputs }
+
+let eval t pis =
+  if Array.length pis <> t.n_pi then invalid_arg "Map.eval";
+  let values = Array.make (Array.length t.blocks) false in
+  let read = function Pi i -> pis.(i) | Block_out b -> values.(b) in
+  Array.iteri
+    (fun b blk ->
+      let local = Array.map read blk.inputs in
+      values.(b) <- Util.Bitvec.get (Cover.eval blk.cover local) 0)
+    t.blocks;
+  Array.map read t.outputs
+
+let levels t =
+  let depth = Array.make (Array.length t.blocks) 1 in
+  Array.iteri
+    (fun b blk ->
+      let from_src = function Pi _ -> 0 | Block_out j -> depth.(j) in
+      depth.(b) <- 1 + Array.fold_left (fun m s -> max m (from_src s)) 0 blk.inputs)
+    t.blocks;
+  Array.fold_left
+    (fun m s -> match s with Pi _ -> m | Block_out b -> max m depth.(b))
+    0 t.outputs
+
+let max_block_inputs t =
+  Array.fold_left (fun m b -> max m (Array.length b.inputs)) 0 t.blocks
+
+let verify_against t cover =
+  let n_pi = Cover.num_inputs cover in
+  if n_pi > 20 then invalid_arg "Map.verify_against: too many inputs";
+  (* BDD comparison: build each block's function over the PIs. *)
+  let man = Logic.Bdd.manager () in
+  let block_bdds = Array.make (Array.length t.blocks) (Logic.Bdd.zero man) in
+  let bdd_of_source = function
+    | Pi i -> Logic.Bdd.var man i
+    | Block_out b -> block_bdds.(b)
+  in
+  Array.iteri
+    (fun b blk ->
+      let inputs = Array.map bdd_of_source blk.inputs in
+      (* Compose the sub-cover over its input BDDs. *)
+      let cube_bdd c =
+        let acc = ref (Logic.Bdd.one man) in
+        for i = 0 to Cube.num_inputs c - 1 do
+          match Cube.get c i with
+          | Cube.Dc -> ()
+          | Cube.One -> acc := Logic.Bdd.and_ man !acc inputs.(i)
+          | Cube.Zero -> acc := Logic.Bdd.and_ man !acc (Logic.Bdd.not_ man inputs.(i))
+        done;
+        !acc
+      in
+      block_bdds.(b) <-
+        List.fold_left
+          (fun acc c -> Logic.Bdd.or_ man acc (cube_bdd c))
+          (Logic.Bdd.zero man) (Cover.cubes blk.cover))
+    t.blocks;
+  let want = Logic.Bdd.of_cover man cover in
+  Array.length t.outputs = Array.length want
+  && Array.for_all2 Logic.Bdd.equal (Array.map bdd_of_source t.outputs) want
+
+let to_blif ~name t =
+  let signal_of = function Pi i -> Printf.sprintf "x%d" i | Block_out b -> Printf.sprintf "n%d" b in
+  let tables =
+    List.mapi
+      (fun b blk ->
+        (Printf.sprintf "n%d" b, blk.cover, Array.map signal_of blk.inputs))
+      (Array.to_list t.blocks)
+  in
+  (* Outputs may be PIs or block outputs; BLIF outputs must be named
+     signals, so alias each output through a buffer table. *)
+  let out1 = Util.Bitvec.of_list 1 [ 0 ] in
+  let buffer_cover =
+    Cover.make ~n_in:1 ~n_out:1
+      [ Cube.of_literals [ Cube.One ] ~outs:out1 ]
+  in
+  let out_tables =
+    List.mapi
+      (fun o s -> (Printf.sprintf "y%d" o, buffer_cover, [| signal_of s |]))
+      (Array.to_list t.outputs)
+  in
+  {
+    Logic.Blif.name;
+    inputs = Array.init t.n_pi (Printf.sprintf "x%d");
+    outputs = Array.init (Array.length t.outputs) (Printf.sprintf "y%d");
+    tables = tables @ out_tables;
+  }
+
+let to_design t =
+  let blocks =
+    Array.map
+      (fun blk ->
+        {
+          Design.is_inverter = false;
+          fanin =
+            Array.map
+              (function Pi i -> Design.Pi i | Block_out b -> Design.Block b)
+              blk.inputs;
+        })
+      t.blocks
+  in
+  let outputs =
+    Array.map (function Pi i -> Design.Pi i | Block_out b -> Design.Block b) t.outputs
+  in
+  let d = { Design.n_pi = t.n_pi; blocks; pos = outputs } in
+  Design.validate d;
+  d

@@ -1,0 +1,55 @@
+(** Technology mapping: splitting a function into PLA-CLB-sized blocks.
+
+    The paper expects functions "to be split into blocks the same way
+    standard FPGAs split large functions into different CLBs" (§5). This
+    mapper takes a multi-output cover and produces a DAG of blocks, each
+    a sub-PLA with at most [clb_inputs] inputs:
+
+    {ul
+    {- an output whose support already fits becomes one block;}
+    {- an output with a wider support is Shannon-decomposed:
+       [f = x·f_x + x'·f_x'] — the cofactors are mapped recursively and a
+       3-input multiplexer block recombines them.}}
+
+    The result carries full functional semantics ({!eval} is checked
+    against the source cover in tests) and lowers to a {!Design} for
+    placement and routing. *)
+
+type source = Pi of int | Block_out of int
+
+type block = {
+  cover : Logic.Cover.t;  (** single-output sub-function *)
+  inputs : source array;  (** signal feeding each sub-function input *)
+}
+
+type t = {
+  n_pi : int;
+  blocks : block array;  (** topologically ordered *)
+  outputs : source array;
+}
+
+val map_cover : ?clb_inputs:int -> Logic.Cover.t -> t
+(** Map every output (default CLB input budget: 6). Raises
+    [Invalid_argument] if [clb_inputs < 3] (the multiplexer block needs
+    3). *)
+
+val block_count : t -> int
+
+val levels : t -> int
+(** Depth of the block DAG. *)
+
+val eval : t -> bool array -> bool array
+
+val verify_against : t -> Logic.Cover.t -> bool
+(** BDD equivalence with the source cover. *)
+
+val to_design : t -> Design.t
+(** Forget the logic, keep the structure: one design block per mapped
+    block, fanins wired accordingly — ready for {!Place} / {!Route}. *)
+
+val max_block_inputs : t -> int
+(** Largest input count over all blocks (must be ≤ the budget). *)
+
+val to_blif : name:string -> t -> Logic.Blif.t
+(** Multi-level BLIF export: one [.names] table per block — loadable by
+    ABC/SIS/VPR-class tools. *)

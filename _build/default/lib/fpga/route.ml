@@ -1,0 +1,235 @@
+type routed = { connection : Place.connection; path : (int * int) list }
+
+type result = {
+  routes : routed list;
+  iterations : int;
+  overflow : int;
+  max_usage : int;
+  total_segments : int;
+  usage_histogram : (int * int) list;
+  usage_at : int * int -> int;
+}
+
+let capacity_per_cell (a : Arch.t) = 2 * a.Arch.tracks
+
+(* Cells are channel positions aligned with the CLB grid, extended one ring
+   outward for the I/O pads: coordinates in [-1, grid]. *)
+let cell_index grid (x, y) = ((y + 1) * (grid + 2)) + (x + 1)
+
+let in_bounds grid (x, y) = x >= -1 && x <= grid && y >= -1 && y <= grid
+
+let neighbours (x, y) = [ (x + 1, y); (x - 1, y); (x, y + 1); (x, y - 1) ]
+
+(* Multi-source A*: grow from every cell of [seeds] (at cost 0) to [dst].
+   Returns the path from the seed it grew out of to [dst], inclusive. *)
+let astar_from_tree grid ~cost ~seeds ~dst =
+  let ncells = (grid + 2) * (grid + 2) in
+  let dist = Array.make ncells infinity in
+  let prev = Array.make ncells None in
+  let heur (x, y) =
+    let dx, dy = dst in
+    float_of_int (abs (x - dx) + abs (y - dy))
+  in
+  let module Pq = Set.Make (struct
+    type t = float * int * (int * int)
+
+    let compare = compare
+  end) in
+  let q = ref Pq.empty in
+  List.iter
+    (fun xy ->
+      let i = cell_index grid xy in
+      if dist.(i) > 0.0 then begin
+        dist.(i) <- 0.0;
+        q := Pq.add (heur xy, i, xy) !q
+      end)
+    seeds;
+  let found = ref false in
+  while (not !found) && not (Pq.is_empty !q) do
+    let ((_, ci, cxy) as elt) = Pq.min_elt !q in
+    q := Pq.remove elt !q;
+    if cxy = dst then found := true
+    else
+      List.iter
+        (fun nxy ->
+          if in_bounds grid nxy then begin
+            let ni = cell_index grid nxy in
+            let nd = dist.(ci) +. cost nxy in
+            if nd < dist.(ni) then begin
+              dist.(ni) <- nd;
+              prev.(ni) <- Some cxy;
+              q := Pq.add (nd +. heur nxy, ni, nxy) !q
+            end
+          end)
+        (neighbours cxy)
+  done;
+  if not !found then None
+  else begin
+    let rec walk acc xy =
+      match prev.(cell_index grid xy) with
+      | Some p -> walk (xy :: acc) p
+      | None -> xy :: acc
+    in
+    Some (walk [] dst)
+  end
+
+let route ?(max_iterations = 24) ?capacity ?(share_nets = false) placement =
+  let a = Place.arch placement in
+  let grid = a.Arch.grid in
+  let wires = a.Arch.wires_per_connection in
+  let cap = match capacity with Some c -> c | None -> capacity_per_cell a in
+  let ncells = (grid + 2) * (grid + 2) in
+  let usage = Array.make ncells 0 in
+  let history = Array.make ncells 0.0 in
+  let conns = Array.of_list (Place.connections placement) in
+  let n_conns = Array.length conns in
+  (* Nets: groups of connection indices sharing a driver. Without
+     share_nets every connection is its own single-sink net. *)
+  let nets =
+    if not share_nets then List.init n_conns (fun k -> [ k ])
+    else begin
+      let tbl = Hashtbl.create 64 in
+      let order = ref [] in
+      Array.iteri
+        (fun k c ->
+          let key = c.Place.src in
+          (match Hashtbl.find_opt tbl key with
+          | None ->
+            Hashtbl.replace tbl key [ k ];
+            order := key :: !order
+          | Some ks -> Hashtbl.replace tbl key (k :: ks)))
+        conns;
+      List.rev_map (fun key -> List.rev (Hashtbl.find tbl key)) !order
+    end
+  in
+  let paths = Array.make n_conns [] in
+  (* Channel cells each net currently occupies (interior of its tree). *)
+  let net_cells = Array.make (List.length nets) [] in
+  let occupy cells sign =
+    List.iter
+      (fun xy ->
+        let i = cell_index grid xy in
+        usage.(i) <- usage.(i) + (sign * wires))
+      cells
+  in
+  let iteration = ref 0 in
+  (* Pathfinder schedule: the present-overuse penalty sharpens every
+     iteration so early exploration gives way to strict legality. *)
+  let cost_of xy =
+    let i = cell_index grid xy in
+    let over = float_of_int (max 0 (usage.(i) + wires - cap)) in
+    let pres_fac = 2.0 *. (1.4 ** float_of_int !iteration) in
+    1.0 +. history.(i) +. (pres_fac *. over)
+  in
+  let overflow () = Array.fold_left (fun acc u -> acc + max 0 (u - cap)) 0 usage in
+  let route_net net_id sinks =
+    (* Rip up the previous tree. *)
+    occupy net_cells.(net_id) (-1);
+    net_cells.(net_id) <- [];
+    let src = Place.source_loc placement conns.(List.hd sinks).Place.src in
+    (* Tree: cell -> path from source to that cell, inclusive. *)
+    let tree = Hashtbl.create 32 in
+    Hashtbl.replace tree src [ src ];
+    (* Nearest sinks first grow the trunk cheaply. *)
+    let manhattan (x0, y0) (x1, y1) = abs (x0 - x1) + abs (y0 - y1) in
+    let ordered =
+      List.sort
+        (fun k1 k2 ->
+          compare
+            (manhattan src conns.(k1).Place.dst_loc)
+            (manhattan src conns.(k2).Place.dst_loc))
+        sinks
+    in
+    List.iter
+      (fun k ->
+        let dst = conns.(k).Place.dst_loc in
+        let seeds = Hashtbl.fold (fun xy _ acc -> xy :: acc) tree [] in
+        match astar_from_tree grid ~cost:cost_of ~seeds ~dst with
+        | None -> failwith "Route: no path (should not happen on a full grid)"
+        | Some segment ->
+          let join = List.hd segment in
+          let prefix =
+            match Hashtbl.find_opt tree join with
+            | Some p -> p
+            | None -> assert false
+          in
+          let full = prefix @ List.tl segment in
+          paths.(k) <- full;
+          (* Grow the tree along the new segment. *)
+          let rec extend path_so_far = function
+            | [] -> ()
+            | cell :: rest ->
+              let path_here = path_so_far @ [ cell ] in
+              if not (Hashtbl.mem tree cell) then Hashtbl.replace tree cell path_here;
+              extend path_here rest
+          in
+          extend prefix (List.tl segment))
+      ordered;
+    (* Occupy the tree interior: everything except the driver cell and the
+       sink cells (dedicated pins, as in per-connection mode). *)
+    let sink_cells = List.map (fun k -> conns.(k).Place.dst_loc) sinks in
+    let cells =
+      Hashtbl.fold
+        (fun xy _ acc ->
+          if xy = src || List.mem xy sink_cells then acc else xy :: acc)
+        tree []
+    in
+    net_cells.(net_id) <- cells;
+    occupy cells 1
+  in
+  let do_iteration () =
+    incr iteration;
+    List.iteri route_net nets;
+    Array.iteri
+      (fun i u -> if u > cap then history.(i) <- history.(i) +. (0.5 *. float_of_int (u - cap)))
+      usage
+  in
+  do_iteration ();
+  while overflow () > 0 && !iteration < max_iterations do
+    do_iteration ()
+  done;
+  let routes =
+    List.init n_conns (fun k -> { connection = conns.(k); path = paths.(k) })
+  in
+  let max_usage = Array.fold_left max 0 usage in
+  let total_segments =
+    List.fold_left (fun acc r -> acc + (List.length r.path - 1)) 0 routes
+  in
+  let histogram =
+    let tbl = Hashtbl.create 16 in
+    Array.iter
+      (fun u ->
+        let cur = try Hashtbl.find tbl u with Not_found -> 0 in
+        Hashtbl.replace tbl u (cur + 1))
+      usage;
+    List.sort compare (Hashtbl.fold (fun u n acc -> (u, n) :: acc) tbl [])
+  in
+  {
+    routes;
+    iterations = !iteration;
+    overflow = overflow ();
+    max_usage;
+    total_segments;
+    usage_histogram = histogram;
+    usage_at = (fun xy -> if in_bounds grid xy then usage.(cell_index grid xy) else 0);
+  }
+
+let path_length r = List.length r.path - 1
+
+let minimum_channel_width ?(max_tracks = 64) placement =
+  let feasible tracks = (route ~capacity:(2 * tracks) placement).overflow = 0 in
+  if not (feasible max_tracks) then None
+  else begin
+    (* Binary search for the smallest feasible track count. Feasibility is
+       monotone for all practical purposes (more capacity never hurts the
+       negotiated router). *)
+    let rec search lo hi =
+      (* invariant: hi feasible, lo infeasible (lo = 0 sentinel) *)
+      if hi - lo <= 1 then hi
+      else begin
+        let mid = (lo + hi) / 2 in
+        if feasible mid then search lo mid else search mid hi
+      end
+    in
+    Some (search 0 max_tracks)
+  end

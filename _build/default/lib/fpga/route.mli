@@ -1,0 +1,48 @@
+(** Negotiated-congestion maze routing (Pathfinder-style).
+
+    The routing fabric is abstracted as one capacity per channel cell:
+    a connection occupies [Arch.wires_per_connection] wire units in every
+    cell it crosses (this is precisely where the standard fabric pays for
+    routing both signal polarities). Each iteration routes every
+    connection with A* under a cost that penalizes present overuse and
+    accumulated history; rip-up and re-route until no cell exceeds its
+    capacity or the iteration budget is spent. *)
+
+type routed = {
+  connection : Place.connection;
+  path : (int * int) list;  (** cells crossed, source to sink inclusive *)
+}
+
+type result = {
+  routes : routed list;
+  iterations : int;
+  overflow : int;  (** wire units above capacity after the last iteration *)
+  max_usage : int;
+  total_segments : int;
+  usage_histogram : (int * int) list;  (** (usage, cell count), ascending *)
+  usage_at : int * int -> int;  (** wire units used in a channel cell *)
+}
+
+val capacity_per_cell : Arch.t -> int
+(** [2 × tracks] wire units (horizontal + vertical). *)
+
+val route : ?max_iterations:int -> ?capacity:int -> ?share_nets:bool -> Place.t -> result
+(** Route every connection of the placement (default 24 iterations).
+    [capacity] overrides the architecture's per-cell wire budget
+    ({!capacity_per_cell}) — used by the channel-width search.
+
+    With [share_nets] (default false), connections driven by the same
+    source are routed as one {e net tree}: each additional sink grows the
+    existing tree from its nearest point (multi-source maze expansion), so
+    fanout shares wire instead of paying per sink. Per-connection [path]s
+    still run source → sink (through the tree) for timing. *)
+
+val minimum_channel_width : ?max_tracks:int -> Place.t -> int option
+(** Smallest per-channel track count at which the placement routes with no
+    overflow (binary search, re-routing at each probe). [None] if even
+    [max_tracks] (default 64) is not enough. The classical fabric demands
+    roughly twice the tracks of the GNOR fabric for the same design — the
+    routability counterpart of the paper's wire-count claim. *)
+
+val path_length : routed -> int
+(** Hops (segments) of one route. *)

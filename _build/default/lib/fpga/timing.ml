@@ -1,0 +1,169 @@
+type report = {
+  critical_path : float;
+  frequency_hz : float;
+  worst_connection : float;
+  mean_connection : float;
+  logic_levels : int;
+}
+
+(* Buffered-segment wire model: every switch-point crossing re-drives the
+   wire, so delay is linear in hops. The capacitance a segment presents
+   grows with local switch-box utilization (load_alpha): crowded switch
+   matrices mean longer internal wires and more parasitic junctions. *)
+let seg_delay (a : Arch.t) ~load =
+  let c = a.Arch.seg_capacitance *. (1.0 +. (a.Arch.load_alpha *. load)) in
+  (a.Arch.seg_resistance +. a.Arch.switch_resistance) *. c
+
+let connection_delay (a : Arch.t) ~hops =
+  let hops = max 1 hops in
+  (a.Arch.driver_resistance *. (a.Arch.seg_capacitance +. a.Arch.sink_capacitance))
+  +. (float_of_int hops *. seg_delay a ~load:0.0)
+  +. ((a.Arch.seg_resistance +. a.Arch.switch_resistance) *. a.Arch.sink_capacitance)
+
+let path_delay (a : Arch.t) ~usage_at ~capacity path =
+  match path with
+  | [] | [ _ ] ->
+    (* Source and sink in the same channel cell. *)
+    a.Arch.driver_resistance *. (a.Arch.seg_capacitance +. a.Arch.sink_capacitance)
+  | first :: rest ->
+    let load xy = float_of_int (usage_at xy) /. float_of_int (max 1 capacity) in
+    let d0 =
+      a.Arch.driver_resistance
+      *. ((a.Arch.seg_capacitance *. (1.0 +. (a.Arch.load_alpha *. load first)))
+         +. a.Arch.sink_capacitance)
+    in
+    let hops = List.fold_left (fun acc xy -> acc +. seg_delay a ~load:(load xy)) 0.0 rest in
+    d0 +. hops
+    +. ((a.Arch.seg_resistance +. a.Arch.switch_resistance) *. a.Arch.sink_capacitance)
+
+let analyze placement (routing : Route.result) =
+  let a = Place.arch placement in
+  let d = Place.design placement in
+  let n_blocks = Array.length d.Design.blocks in
+  let capacity = Route.capacity_per_cell a in
+  (* The route list is in Place.connections order: block fanins in block
+     order, then POs; walk it in step with the DAG. *)
+  let delays =
+    List.map
+      (fun r -> path_delay a ~usage_at:routing.Route.usage_at ~capacity r.Route.path)
+      routing.Route.routes
+  in
+  let delays = Array.of_list delays in
+  let arrival = Array.make n_blocks 0.0 in
+  let idx = ref 0 in
+  Array.iteri
+    (fun b (blk : Design.block) ->
+      let worst = ref 0.0 in
+      Array.iter
+        (fun s ->
+          let src_arrival = match s with Design.Pi _ -> 0.0 | Design.Block j -> arrival.(j) in
+          let t = src_arrival +. delays.(!idx) in
+          incr idx;
+          if t > !worst then worst := t)
+        blk.Design.fanin;
+      arrival.(b) <- !worst +. a.Arch.clb_delay)
+    d.Design.blocks;
+  let critical = ref 0.0 in
+  Array.iter
+    (fun s ->
+      let src_arrival = match s with Design.Pi _ -> 0.0 | Design.Block j -> arrival.(j) in
+      let t = src_arrival +. delays.(!idx) in
+      incr idx;
+      if t > !critical then critical := t)
+    d.Design.pos;
+  assert (!idx = Array.length delays);
+  let worst_conn = Array.fold_left Float.max 0.0 delays in
+  let mean_conn =
+    if Array.length delays = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 delays /. float_of_int (Array.length delays)
+  in
+  {
+    critical_path = !critical;
+    frequency_hz = (if !critical > 0.0 then 1.0 /. !critical else infinity);
+    worst_connection = worst_conn;
+    mean_connection = mean_conn;
+    logic_levels = Design.depth d;
+  }
+
+let criticalities placement (routing : Route.result) =
+  let a = Place.arch placement in
+  let d = Place.design placement in
+  let n_blocks = Array.length d.Design.blocks in
+  let capacity = Route.capacity_per_cell a in
+  let delays =
+    Array.of_list
+      (List.map
+         (fun r -> path_delay a ~usage_at:routing.Route.usage_at ~capacity r.Route.path)
+         routing.Route.routes)
+  in
+  (* Forward pass: arrival at each block output. *)
+  let arrival = Array.make n_blocks 0.0 in
+  let idx = ref 0 in
+  let conn_src = Array.make (Array.length delays) (Design.Pi 0) in
+  let conn_dst = Array.make (Array.length delays) None in
+  Array.iteri
+    (fun b (blk : Design.block) ->
+      let worst = ref 0.0 in
+      Array.iter
+        (fun s ->
+          conn_src.(!idx) <- s;
+          conn_dst.(!idx) <- Some b;
+          let src_arrival = match s with Design.Pi _ -> 0.0 | Design.Block j -> arrival.(j) in
+          let t = src_arrival +. delays.(!idx) in
+          incr idx;
+          if t > !worst then worst := t)
+        blk.Design.fanin;
+      arrival.(b) <- !worst +. a.Arch.clb_delay)
+    d.Design.blocks;
+  Array.iter
+    (fun s ->
+      conn_src.(!idx) <- s;
+      conn_dst.(!idx) <- None;
+      incr idx)
+    d.Design.pos;
+  (* Backward pass: longest remaining path from each block output to a PO,
+     starting at the block's output pin (net delay not yet paid). *)
+  let downstream = Array.make n_blocks 0.0 in
+  let conn_count = Array.length delays in
+  (* Connections are listed fanins-first in block order, so walking them in
+     reverse visits consumers before producers. *)
+  for k = conn_count - 1 downto 0 do
+    let tail =
+      match conn_dst.(k) with
+      | None -> delays.(k)
+      | Some b -> delays.(k) +. a.Arch.clb_delay +. downstream.(b)
+    in
+    match conn_src.(k) with
+    | Design.Pi _ -> ()
+    | Design.Block j -> if tail > downstream.(j) then downstream.(j) <- tail
+  done;
+  let critical =
+    Array.fold_left max 1e-30
+      (Array.mapi
+         (fun k _ ->
+           let src_arrival =
+             match conn_src.(k) with Design.Pi _ -> 0.0 | Design.Block j -> arrival.(j)
+           in
+           let after =
+             match conn_dst.(k) with
+             | None -> 0.0
+             | Some b -> a.Arch.clb_delay +. downstream.(b)
+           in
+           src_arrival +. delays.(k) +. after)
+         delays)
+  in
+  Array.mapi
+    (fun k _ ->
+      let src_arrival =
+        match conn_src.(k) with Design.Pi _ -> 0.0 | Design.Block j -> arrival.(j)
+      in
+      let after =
+        match conn_dst.(k) with None -> 0.0 | Some b -> a.Arch.clb_delay +. downstream.(b)
+      in
+      Float.min 1.0 ((src_arrival +. delays.(k) +. after) /. critical))
+    delays
+
+let pp_report fmt r =
+  Format.fprintf fmt "critical=%.3g ns freq=%.1f MHz levels=%d worst_net=%.3g ns mean_net=%.3g ns"
+    (r.critical_path *. 1e9) (r.frequency_hz /. 1e6) r.logic_levels
+    (r.worst_connection *. 1e9) (r.mean_connection *. 1e9)

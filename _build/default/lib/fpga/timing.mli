@@ -1,0 +1,31 @@
+(** Static timing over the routed design.
+
+    Every connection's delay follows its routed path with a buffered
+    switch-point model (linear in hops) whose per-segment capacitance
+    grows with local switch-box utilization; block arrival times propagate
+    through the DAG; the critical path fixes the clock frequency. *)
+
+type report = {
+  critical_path : float;  (** seconds *)
+  frequency_hz : float;
+  worst_connection : float;  (** slowest single connection, seconds *)
+  mean_connection : float;
+  logic_levels : int;  (** depth of the design in blocks *)
+}
+
+val connection_delay : Arch.t -> hops:int -> float
+(** Delay of an unloaded connection crossing [hops] segments (buffered
+    switch points: linear in hops). *)
+
+val path_delay : Arch.t -> usage_at:(int * int -> int) -> capacity:int -> (int * int) list -> float
+(** Delay along an actual routed path, with per-cell switch-box loading. *)
+
+val analyze : Place.t -> Route.result -> report
+
+val criticalities : Place.t -> Route.result -> float array
+(** Per-connection criticality in [\[0, 1\]] ({!Place.connections} order):
+    the longest PI→PO path through the connection divided by the critical
+    path. 1.0 marks the critical path itself; timing-driven placement uses
+    these as connection weights. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/logic/blif.ml: Array Buffer Cover Cube Hashtbl List Printf String Truth_table Util

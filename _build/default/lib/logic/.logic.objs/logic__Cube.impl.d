@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Array Buffer Bytes Char Format Hashtbl List Printf Util

@@ -1,0 +1,1 @@
+lib/logic/expr.ml: Array Cover Cube Format List Stdlib Util

@@ -1,0 +1,1 @@
+lib/logic/pla_io.ml: Array Buffer Cover Cube List Printf String Util

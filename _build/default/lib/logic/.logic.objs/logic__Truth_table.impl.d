@@ -1,0 +1,1 @@
+lib/logic/truth_table.ml: Array Cover Cube Format List Util

@@ -1,0 +1,195 @@
+(* Hash-consed ROBDD with an ite-based apply. Node 0 = constant false,
+   node 1 = constant true; every other node is (var, low, high) with
+   low/high distinct and both branches reduced. *)
+
+type node = { var : int; low : int; high : int }
+
+type manager = {
+  mutable nodes : node array;  (* indexed by id; ids 0/1 are sentinels *)
+  mutable n_nodes : int;
+  unique : (node, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+type t = { man : manager; root : int }
+
+let sentinel = { var = max_int; low = -1; high = -1 }
+
+let manager ?(size_hint = 1024) () =
+  let m =
+    {
+      nodes = Array.make (max 2 size_hint) sentinel;
+      n_nodes = 2;
+      unique = Hashtbl.create size_hint;
+      ite_cache = Hashtbl.create size_hint;
+    }
+  in
+  m.nodes.(0) <- sentinel;
+  m.nodes.(1) <- sentinel;
+  m
+
+let zero man = { man; root = 0 }
+let one man = { man; root = 1 }
+
+let mk man var low high =
+  if low = high then low
+  else begin
+    let n = { var; low; high } in
+    match Hashtbl.find_opt man.unique n with
+    | Some id -> id
+    | None ->
+      let id = man.n_nodes in
+      if id >= Array.length man.nodes then begin
+        let bigger = Array.make (2 * Array.length man.nodes) sentinel in
+        Array.blit man.nodes 0 bigger 0 man.n_nodes;
+        man.nodes <- bigger
+      end;
+      man.nodes.(id) <- n;
+      man.n_nodes <- id + 1;
+      Hashtbl.replace man.unique n id;
+      id
+  end
+
+let var_of man id = if id < 2 then max_int else man.nodes.(id).var
+
+let low_of man id = man.nodes.(id).low
+
+let high_of man id = man.nodes.(id).high
+
+let rec ite_raw man f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else begin
+    match Hashtbl.find_opt man.ite_cache (f, g, h) with
+    | Some r -> r
+    | None ->
+      let top = min (var_of man f) (min (var_of man g) (var_of man h)) in
+      let branch id side =
+        if var_of man id = top then (if side then high_of man id else low_of man id) else id
+      in
+      let hi = ite_raw man (branch f true) (branch g true) (branch h true) in
+      let lo = ite_raw man (branch f false) (branch g false) (branch h false) in
+      let r = mk man top lo hi in
+      Hashtbl.replace man.ite_cache (f, g, h) r;
+      r
+  end
+
+let check_same a b = if a.man != b.man then invalid_arg "Bdd: mixed managers"
+
+let var man i =
+  if i < 0 then invalid_arg "Bdd.var";
+  { man; root = mk man i 0 1 }
+
+let nvar man i =
+  if i < 0 then invalid_arg "Bdd.nvar";
+  { man; root = mk man i 1 0 }
+
+let ite man f g h =
+  check_same f g;
+  check_same g h;
+  ignore man;
+  { man = f.man; root = ite_raw f.man f.root g.root h.root }
+
+let not_ man f = ite man f (zero f.man) (one f.man)
+
+let and_ man f g = ite man f g (zero f.man)
+
+let or_ man f g = ite man f (one f.man) g
+
+let xor man f g = ite man f (not_ man g) g
+
+let equal a b = a.man == b.man && a.root = b.root
+
+let is_zero t = t.root = 0
+
+let is_one t = t.root = 1
+
+let eval t assignment =
+  let rec go id =
+    if id = 0 then false
+    else if id = 1 then true
+    else begin
+      let n = t.man.nodes.(id) in
+      if n.var >= Array.length assignment then invalid_arg "Bdd.eval: assignment too short";
+      go (if assignment.(n.var) then n.high else n.low)
+    end
+  in
+  go t.root
+
+let node_count man t =
+  ignore man;
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if id >= 2 && not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      go (low_of t.man id);
+      go (high_of t.man id)
+    end
+  in
+  go t.root;
+  Hashtbl.length seen
+
+let of_cube man c =
+  let acc = ref (one man) in
+  for i = Cube.num_inputs c - 1 downto 0 do
+    match Cube.get c i with
+    | Cube.Dc -> ()
+    | Cube.One -> acc := and_ man (var man i) !acc
+    | Cube.Zero -> acc := and_ man (nvar man i) !acc
+  done;
+  !acc
+
+let of_cover_output man cover o =
+  List.fold_left
+    (fun acc c ->
+      if Util.Bitvec.get (Cube.outputs c) o then or_ man acc (of_cube man c) else acc)
+    (zero man) (Cover.cubes cover)
+
+let of_cover man cover =
+  Array.init (Cover.num_outputs cover) (fun o -> of_cover_output man cover o)
+
+let equivalent_covers a b =
+  Cover.num_inputs a = Cover.num_inputs b
+  && Cover.num_outputs a = Cover.num_outputs b
+  &&
+  let man = manager () in
+  let fa = of_cover man a and fb = of_cover man b in
+  Array.for_all2 equal fa fb
+
+let sat_count man t ~n_vars =
+  let cache = Hashtbl.create 64 in
+  ignore man;
+  (* count over variables in [var_of id, n_vars) *)
+  let rec go id from_var =
+    if id = 0 then 0.0
+    else if id = 1 then 2.0 ** float_of_int (n_vars - from_var)
+    else begin
+      let v = var_of t.man id in
+      let skipped = 2.0 ** float_of_int (v - from_var) in
+      let core =
+        match Hashtbl.find_opt cache id with
+        | Some c -> c
+        | None ->
+          let c = go (low_of t.man id) (v + 1) +. go (high_of t.man id) (v + 1) in
+          Hashtbl.replace cache id c;
+          c
+      in
+      skipped *. core
+    end
+  in
+  go t.root 0
+
+let any_sat t =
+  let rec go id acc =
+    if id = 1 then Some (List.rev acc)
+    else if id = 0 then None
+    else begin
+      let n = t.man.nodes.(id) in
+      match go n.high ((n.var, true) :: acc) with
+      | Some r -> Some r
+      | None -> go n.low ((n.var, false) :: acc)
+    end
+  in
+  go t.root []

@@ -1,0 +1,69 @@
+(** Reduced ordered binary decision diagrams.
+
+    A second, scalable equivalence oracle: truth tables stop at ~20 inputs,
+    BDDs handle the 17-input [t2]-class functions comfortably. Nodes are
+    hash-consed in a shared manager, so semantic equality is pointer
+    equality on node identifiers. Variable order is the natural input
+    order. *)
+
+type manager
+
+type t
+(** A BDD rooted in some manager. Only combine BDDs from the same
+    manager. *)
+
+val manager : ?size_hint:int -> unit -> manager
+
+val zero : manager -> t
+
+val one : manager -> t
+
+val var : manager -> int -> t
+(** [var m i] is the function "input [i]". *)
+
+val nvar : manager -> int -> t
+(** Complement of {!var}. *)
+
+val not_ : manager -> t -> t
+
+val and_ : manager -> t -> t -> t
+
+val or_ : manager -> t -> t -> t
+
+val xor : manager -> t -> t -> t
+
+val ite : manager -> t -> t -> t -> t
+(** If-then-else, the core operator. *)
+
+val equal : t -> t -> bool
+(** Semantic equivalence (constant time thanks to hash-consing). *)
+
+val is_zero : t -> bool
+
+val is_one : t -> bool
+
+val eval : t -> bool array -> bool
+(** Evaluate under an assignment (indexed by variable). *)
+
+val node_count : manager -> t -> int
+(** Nodes reachable from the root (a size measure). *)
+
+val of_cube : manager -> Cube.t -> t
+(** Input part of a cube (outputs ignored). *)
+
+val of_cover_output : manager -> Cover.t -> int -> t
+(** The function of one output of a cover. *)
+
+val of_cover : manager -> Cover.t -> t array
+(** All outputs. *)
+
+val equivalent_covers : Cover.t -> Cover.t -> bool
+(** BDD-based logical equivalence of two covers (same arities required;
+    returns [false] on arity mismatch). *)
+
+val sat_count : manager -> t -> n_vars:int -> float
+(** Number of satisfying assignments over [n_vars] variables. *)
+
+val any_sat : t -> (int * bool) list option
+(** Some partial assignment reaching [one], or [None] for the zero BDD.
+    Variables not mentioned are don't-cares. *)

@@ -1,0 +1,180 @@
+type t = {
+  name : string;
+  inputs : string array;
+  outputs : string array;
+  tables : (string * Cover.t * string array) list;
+}
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+(* Logical lines: strip comments, join backslash continuations. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip s = match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s in
+  let rec join acc pending pending_line lineno = function
+    | [] -> List.rev (match pending with Some p -> (pending_line, p) :: acc | None -> acc)
+    | line :: rest ->
+      let lineno = lineno + 1 in
+      let line = strip line in
+      let line = String.trim line in
+      let continued = String.length line > 0 && line.[String.length line - 1] = '\\' in
+      let body = if continued then String.sub line 0 (String.length line - 1) else line in
+      let merged, merged_line =
+        match pending with
+        | Some p -> (p ^ " " ^ body, pending_line)
+        | None -> (body, lineno)
+      in
+      if continued then join acc (Some merged) merged_line lineno rest
+      else if String.trim merged = "" then join acc None 0 lineno rest
+      else join ((merged_line, merged) :: acc) None 0 lineno rest
+  in
+  join [] None 0 0 raw
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse text =
+  let lines = logical_lines text in
+  let name = ref "" in
+  let inputs = ref [] and outputs = ref [] in
+  let tables = ref [] in
+  let current = ref None in
+  let finish_table () =
+    match !current with
+    | None -> ()
+    | Some (lineno, signal, sigs, rows) ->
+      let n_in = List.length sigs in
+      let out1 = Util.Bitvec.of_list 1 [ 0 ] in
+      let cube_of_row row =
+        if String.length row <> n_in then fail lineno "row width %d, expected %d" (String.length row) n_in;
+        let lits =
+          List.init n_in (fun i ->
+              match row.[i] with
+              | '0' -> Cube.Zero
+              | '1' -> Cube.One
+              | '-' -> Cube.Dc
+              | c -> fail lineno "bad plane character %C" c)
+        in
+        Cube.of_literals lits ~outs:out1
+      in
+      let cover = Cover.make ~n_in:(max n_in 0) ~n_out:1 (List.rev_map cube_of_row rows) in
+      tables := (signal, cover, Array.of_list sigs) :: !tables;
+      current := None
+  in
+  List.iter
+    (fun (lineno, line) ->
+      match words line with
+      | [] -> ()
+      | w :: rest when String.length w > 0 && w.[0] = '.' -> (
+        finish_table ();
+        match (w, rest) with
+        | ".model", [ n ] -> name := n
+        | ".model", _ -> fail lineno ".model needs one name"
+        | ".inputs", sigs -> inputs := !inputs @ sigs
+        | ".outputs", sigs -> outputs := !outputs @ sigs
+        | ".names", [] -> fail lineno ".names needs at least an output signal"
+        | ".names", sigs ->
+          let rec split_last acc = function
+            | [ last ] -> (List.rev acc, last)
+            | x :: rest -> split_last (x :: acc) rest
+            | [] -> assert false
+          in
+          let ins, out = split_last [] sigs in
+          current := Some (lineno, out, ins, [])
+        | ".end", _ -> ()
+        | _, _ -> fail lineno "unsupported directive %s" w)
+      | row -> (
+        match (!current, row) with
+        | Some (ln, signal, sigs, rows), [ plane; "1" ] ->
+          current := Some (ln, signal, sigs, plane :: rows)
+        | Some (ln, signal, sigs, rows), [ "1" ] when sigs = [] ->
+          (* constant 1 *)
+          current := Some (ln, signal, sigs, "" :: rows)
+        | Some _, _ -> fail lineno "unsupported table row (only 1-terminated rows)"
+        | None, _ -> fail lineno "table row outside .names"))
+    lines;
+  finish_table ();
+  {
+    name = !name;
+    inputs = Array.of_list !inputs;
+    outputs = Array.of_list !outputs;
+    tables = List.rev !tables;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf ".model %s\n" t.name;
+  Printf.bprintf buf ".inputs %s\n" (String.concat " " (Array.to_list t.inputs));
+  Printf.bprintf buf ".outputs %s\n" (String.concat " " (Array.to_list t.outputs));
+  List.iter
+    (fun (signal, cover, sigs) ->
+      Printf.bprintf buf ".names %s %s\n" (String.concat " " (Array.to_list sigs)) signal;
+      List.iter
+        (fun c ->
+          let n_in = Array.length sigs in
+          let row =
+            String.init n_in (fun i ->
+                match Cube.get c i with Cube.Zero -> '0' | Cube.One -> '1' | Cube.Dc -> '-')
+          in
+          if n_in = 0 then Buffer.add_string buf "1\n"
+          else Printf.bprintf buf "%s 1\n" row)
+        (Cover.cubes cover))
+    t.tables;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let of_cover ~name cover =
+  let n_in = Cover.num_inputs cover and n_out = Cover.num_outputs cover in
+  let inputs = Array.init n_in (Printf.sprintf "x%d") in
+  let outputs = Array.init n_out (Printf.sprintf "y%d") in
+  let tables =
+    List.init n_out (fun o -> (outputs.(o), Cover.restrict_output cover o, inputs))
+  in
+  { name; inputs; outputs; tables }
+
+let eval t pis =
+  if Array.length pis <> Array.length t.inputs then invalid_arg "Blif.eval";
+  let env = Hashtbl.create 32 in
+  Array.iteri (fun i n -> Hashtbl.replace env n pis.(i)) t.inputs;
+  List.iter
+    (fun (signal, cover, sigs) ->
+      let local =
+        Array.map
+          (fun s ->
+            match Hashtbl.find_opt env s with
+            | Some v -> v
+            | None -> invalid_arg (Printf.sprintf "Blif.eval: %s used before definition" s))
+          sigs
+      in
+      Hashtbl.replace env signal (Util.Bitvec.get (Cover.eval cover local) 0))
+    t.tables;
+  Array.map
+    (fun s ->
+      match Hashtbl.find_opt env s with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Blif.eval: undefined output %s" s))
+    t.outputs
+
+let to_cover t =
+  let n_in = Array.length t.inputs in
+  if n_in > 20 then invalid_arg "Blif.to_cover: too many inputs";
+  let tt =
+    Truth_table.of_fun ~n_in ~n_out:(Array.length t.outputs) (fun a o -> (eval t a).(o))
+  in
+  Truth_table.to_minterm_cover tt

@@ -1,0 +1,39 @@
+(** Berkeley Logic Interchange Format (BLIF) reader/writer — the common
+    exchange format of academic synthesis tools (SIS, ABC, VPR).
+
+    Supported subset: one [.model] with [.inputs], [.outputs] and
+    combinational [.names] tables (1-terminated rows; [.names] with no
+    rows is constant 0, a single empty row is constant 1). No latches,
+    no subcircuits. Line continuations ([\\]) and [#] comments are
+    handled. *)
+
+type t = {
+  name : string;
+  inputs : string array;
+  outputs : string array;
+  tables : (string * Cover.t * string array) list;
+      (** (signal defined, single-output cover, input signal names) in
+          file order *)
+}
+
+exception Parse_error of int * string
+
+val parse : string -> t
+
+val parse_file : string -> t
+
+val to_string : t -> string
+
+val write_file : string -> t -> unit
+
+val of_cover : name:string -> Cover.t -> t
+(** Flat export: one [.names] per output over the primary inputs, signals
+    named [x0..] / [y0..]. *)
+
+val to_cover : t -> Cover.t
+(** Flatten a (possibly multi-level) BLIF back to a two-level cover over
+    its primary inputs by evaluating table by table (inputs ≤ 20). *)
+
+val eval : t -> bool array -> bool array
+(** Evaluate the network (tables must be in dependency order, as this
+    module writes them). *)

@@ -1,0 +1,270 @@
+type t = { n_in : int; n_out : int; cubes : Cube.t list }
+
+let check_arity t c =
+  if Cube.num_inputs c <> t.n_in || Cube.num_outputs c <> t.n_out then
+    invalid_arg "Cover: cube arity mismatch"
+
+let make ~n_in ~n_out cubes =
+  let t = { n_in; n_out; cubes } in
+  List.iter (check_arity t) cubes;
+  t
+
+let empty ~n_in ~n_out = { n_in; n_out; cubes = [] }
+
+let num_inputs t = t.n_in
+let num_outputs t = t.n_out
+let cubes t = t.cubes
+let size t = List.length t.cubes
+let is_empty t = t.cubes = []
+
+let literal_total t =
+  List.fold_left (fun acc c -> acc + Cube.literal_count c) 0 t.cubes
+
+let add t c =
+  check_arity t c;
+  { t with cubes = c :: t.cubes }
+
+let union a b =
+  if a.n_in <> b.n_in || a.n_out <> b.n_out then invalid_arg "Cover.union: arity mismatch";
+  { a with cubes = a.cubes @ b.cubes }
+
+let equal_as_sets a b =
+  let mem c cs = List.exists (Cube.equal c) cs in
+  a.n_in = b.n_in && a.n_out = b.n_out
+  && List.for_all (fun c -> mem c b.cubes) a.cubes
+  && List.for_all (fun c -> mem c a.cubes) b.cubes
+
+let single_cube_containment t =
+  (* Keep a cube only if no *other* kept-or-later cube strictly contains it;
+     among equal cubes keep the first occurrence. *)
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      let contained_elsewhere =
+        List.exists (fun d -> Cube.contains d c) rest
+        || List.exists (fun d -> Cube.contains d c) kept
+      in
+      if contained_elsewhere then go kept rest else go (c :: kept) rest
+  in
+  { t with cubes = go [] t.cubes }
+
+let eval t minterm =
+  let acc = Util.Bitvec.create t.n_out in
+  List.iter
+    (fun c -> if Cube.matches c minterm then Util.Bitvec.union_inplace acc (Cube.outputs c))
+    t.cubes;
+  acc
+
+let restrict_output t o =
+  let on = Util.Bitvec.of_list 1 [ 0 ] in
+  let keep c =
+    if Util.Bitvec.get (Cube.outputs c) o then Some (Cube.with_outputs c on) else None
+  in
+  { n_in = t.n_in; n_out = 1; cubes = List.filter_map keep t.cubes }
+
+let cofactor_cube t ~by =
+  { t with cubes = List.filter_map (fun c -> Cube.cofactor c ~by) t.cubes }
+
+let cofactor_var t i lit =
+  (match lit with
+  | Cube.Dc -> invalid_arg "Cover.cofactor_var: Dc"
+  | Cube.Zero | Cube.One -> ());
+  let p = Cube.set (Cube.universe ~n_in:t.n_in ~n_out:t.n_out) i lit in
+  cofactor_cube t ~by:p
+
+(* --- Unate recursive paradigm ------------------------------------------- *)
+
+(* A cube's input part is "all don't care" iff it imposes no input
+   constraint; with a full output part it covers the whole space. The
+   recursions below work on covers whose output parts are already full
+   (guaranteed by entry points that cofactor per output). *)
+
+let input_universe c =
+  let n = Cube.num_inputs c in
+  let rec go i = i >= n || (Cube.raw_get c i = 3 && go (i + 1)) in
+  go 0
+
+(* Most binate variable: maximise the number of cubes in which the variable
+   appears; tie-break on balance between 0- and 1-phase occurrences. Returns
+   None when the cover is unate in every variable that appears. *)
+let most_binate_var t =
+  let zeros = Array.make t.n_in 0 and ones = Array.make t.n_in 0 in
+  List.iter
+    (fun c ->
+      for i = 0 to t.n_in - 1 do
+        match Cube.raw_get c i with
+        | 1 -> zeros.(i) <- zeros.(i) + 1
+        | 2 -> ones.(i) <- ones.(i) + 1
+        | _ -> ()
+      done)
+    t.cubes;
+  let best = ref None in
+  for i = 0 to t.n_in - 1 do
+    if zeros.(i) > 0 && ones.(i) > 0 then begin
+      let score = (zeros.(i) + ones.(i), -abs (zeros.(i) - ones.(i))) in
+      match !best with
+      | Some (_, s) when s >= score -> ()
+      | _ -> best := Some (i, score)
+    end
+  done;
+  match !best with Some (i, _) -> Some i | None -> None
+
+(* Any variable that actually appears (used when the cover is unate but we
+   still want to recurse — not needed for tautology thanks to the unate leaf
+   rule, but kept for the complement). *)
+let any_active_var t =
+  let active i =
+    List.exists (fun c -> Cube.raw_get c i <> 3) t.cubes
+  in
+  let rec go i = if i >= t.n_in then None else if active i then Some i else go (i + 1) in
+  go 0
+
+let rec tautology_inputs t =
+  if List.exists input_universe t.cubes then true
+  else if t.cubes = [] then false
+  else
+    match most_binate_var t with
+    | None ->
+      (* Unate cover: tautology iff it contains the universal cube, which we
+         already checked. *)
+      false
+    | Some j ->
+      tautology_inputs (cofactor_var t j Cube.Zero)
+      && tautology_inputs (cofactor_var t j Cube.One)
+
+let tautology t =
+  if t.n_out = 0 then true
+  else
+    let rec go o =
+      o >= t.n_out
+      || (tautology_inputs (restrict_output t o) && go (o + 1))
+    in
+    go 0
+
+let covers_cube t c =
+  check_arity t c;
+  let outs = Cube.outputs c in
+  let rec check_output o =
+    if o >= t.n_out then true
+    else if not (Util.Bitvec.get outs o) then check_output (o + 1)
+    else
+      let fo = restrict_output t o in
+      let single = Cube.with_outputs c (Util.Bitvec.of_list 1 [ 0 ]) in
+      tautology_inputs (cofactor_cube fo ~by:single) && check_output (o + 1)
+  in
+  check_output 0
+
+let covers t g = List.for_all (covers_cube t) g.cubes
+
+let equivalent a b = covers a b && covers b a
+
+(* Complement of a single-output cover (output parts assumed full width 1),
+   by unate recursion: ¬F = x'·¬F_{x'} ∪ x·¬F_x, merged with the branch
+   literal. Base cases: empty cover → universe; cover containing the
+   universal cube → empty; single cube → De Morgan. *)
+let complement_single t =
+  let out1 = Util.Bitvec.of_list 1 [ 0 ] in
+  let universe = Cube.universe ~n_in:t.n_in ~n_out:1 in
+  let demorgan c =
+    let acc = ref [] in
+    for i = 0 to t.n_in - 1 do
+      match Cube.raw_get c i with
+      | 3 -> ()
+      | v ->
+        (* flip within the 2-bit domain *)
+        let flipped = lnot v land 3 in
+        acc := Cube.raw_set universe i flipped :: !acc
+    done;
+    !acc
+  in
+  let rec go t =
+    if List.exists input_universe t.cubes then []
+    else
+      match t.cubes with
+      | [] -> [ universe ]
+      | [ c ] -> demorgan c
+      | _ ->
+        let j =
+          match most_binate_var t with
+          | Some j -> j
+          | None -> (
+            match any_active_var t with
+            | Some j -> j
+            | None -> assert false (* some cube would be the universe *))
+        in
+        let left = go (cofactor_var t j Cube.Zero) in
+        let right = go (cofactor_var t j Cube.One) in
+        List.map (fun c -> Cube.set c j Cube.Zero) left
+        @ List.map (fun c -> Cube.set c j Cube.One) right
+  in
+  let cubes = go t in
+  single_cube_containment { n_in = t.n_in; n_out = 1; cubes = List.map (fun c -> Cube.with_outputs c out1) cubes }
+
+let complement t =
+  if t.n_out = 0 then { t with cubes = [] }
+  else begin
+    let parts = ref [] in
+    for o = t.n_out - 1 downto 0 do
+      let single = complement_single (restrict_output t o) in
+      let widen c =
+        let outs = Util.Bitvec.of_list t.n_out [ o ] in
+        Cube.of_literals (List.init t.n_in (Cube.get c)) ~outs
+      in
+      parts := List.map widen (cubes single) @ !parts
+    done;
+    { t with cubes = !parts }
+  end
+
+let sharp a b =
+  if a.n_in <> b.n_in || a.n_out <> b.n_out then invalid_arg "Cover.sharp: arity mismatch";
+  let nb = complement b in
+  let cubes =
+    List.concat_map
+      (fun c -> List.filter_map (fun d -> Cube.intersect c d) nb.cubes)
+      a.cubes
+  in
+  single_cube_containment { a with cubes }
+
+let complement_of_incompletely_specified on dc = complement (union on dc)
+
+let minterms t =
+  if t.n_in > 24 then invalid_arg "Cover.minterms: too many inputs";
+  let total = 1 lsl t.n_in in
+  let acc = ref [] in
+  let minterm_cube idx o =
+    let lits =
+      List.init t.n_in (fun i -> if idx land (1 lsl i) <> 0 then Cube.One else Cube.Zero)
+    in
+    Cube.of_literals lits ~outs:(Util.Bitvec.of_list t.n_out [ o ])
+  in
+  for idx = total - 1 downto 0 do
+    let assignment = Array.init t.n_in (fun i -> idx land (1 lsl i) <> 0) in
+    let outs = eval t assignment in
+    Util.Bitvec.iter_set (fun o -> acc := minterm_cube idx o :: !acc) outs
+  done;
+  { t with cubes = !acc }
+
+let random rng ~n_in ~n_out ~n_cubes ~dc_bias =
+  let cube () =
+    let lits =
+      List.init n_in (fun _ ->
+          if Util.Rng.bernoulli rng dc_bias then Cube.Dc
+          else if Util.Rng.bool rng then Cube.One
+          else Cube.Zero)
+    in
+    let outs = Util.Bitvec.create n_out in
+    Util.Bitvec.set outs (Util.Rng.int rng n_out) true;
+    for o = 0 to n_out - 1 do
+      if Util.Rng.bernoulli rng (1.0 /. float_of_int (2 * n_out)) then
+        Util.Bitvec.set outs o true
+    done;
+    Cube.of_literals lits ~outs
+  in
+  { n_in; n_out; cubes = List.init n_cubes (fun _ -> cube ()) }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun c -> Format.fprintf fmt "%a@," Cube.pp c) t.cubes;
+  Format.fprintf fmt "@]"
+
+let to_string t = String.concat "\n" (List.map Cube.to_string t.cubes)

@@ -1,0 +1,88 @@
+(** Multiple-output cubes in positional-cube notation.
+
+    A cube is a product term over [n_in] binary inputs together with the set
+    of outputs it feeds. Each input position holds one of three literals:
+    {ul
+    {- [Zero] — the input appears complemented (the input must be 0);}
+    {- [One] — the input appears uncomplemented (the input must be 1);}
+    {- [Dc] — the input does not appear (don't care).}}
+
+    Internally a literal is a 2-bit set ([01] = Zero, [10] = One,
+    [11] = Dc): bit 0 says "matches input value 0", bit 1 says "matches
+    input value 1". Set operations on cubes are then bitwise, exactly as in
+    espresso's positional-cube representation. A cube denotes the set of
+    (minterm, output) pairs where the minterm lies in the input product and
+    the output belongs to the cube's output part. *)
+
+type literal = Zero | One | Dc
+
+type t
+
+val make : n_in:int -> n_out:int -> t
+(** All-don't-care input part, empty output part. *)
+
+val universe : n_in:int -> n_out:int -> t
+(** All-don't-care input part, all outputs set: the full space. *)
+
+val of_literals : literal list -> outs:Util.Bitvec.t -> t
+
+val num_inputs : t -> int
+
+val num_outputs : t -> int
+
+val get : t -> int -> literal
+(** Literal at input position [i]. *)
+
+val set : t -> int -> literal -> t
+(** Functional update of input position [i]. *)
+
+val outputs : t -> Util.Bitvec.t
+(** The output part (do not mutate; treat as read-only). *)
+
+val with_outputs : t -> Util.Bitvec.t -> t
+
+val raw_get : t -> int -> int
+(** 2-bit literal set at position [i] (1, 2 or 3). *)
+
+val raw_set : t -> int -> int -> t
+(** Functional update with a raw 2-bit literal set (must be 1, 2 or 3). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val contains : t -> t -> bool
+(** [contains a b] iff cube [b]'s (minterm, output) set is a subset of
+    [a]'s. *)
+
+val intersect : t -> t -> t option
+(** Set intersection; [None] when empty. *)
+
+val distance : t -> t -> int
+(** Number of input positions whose literal sets are disjoint, plus 1 if the
+    output parts are disjoint. Distance 0 iff the cubes intersect. *)
+
+val supercube : t -> t
+(** Identity (for symmetry with {!supercube2}). *)
+
+val supercube2 : t -> t -> t
+(** Smallest cube containing both arguments. *)
+
+val cofactor : t -> by:t -> t option
+(** Espresso generalized cofactor [a / p]; [None] when [a] and [p] are
+    disjoint. Input positions: [a_i ∪ ¬p_i]; outputs: [a_o ∪ ¬p_o]. *)
+
+val literal_count : t -> int
+(** Number of non-[Dc] input positions. *)
+
+val matches : t -> bool array -> bool
+(** [matches c minterm] iff the input part of [c] covers the minterm
+    (outputs not considered). *)
+
+val to_string : t -> string
+(** Espresso-style text: input part as [0/1/-], space, output part as
+    [0/1]. *)
+
+val pp : Format.formatter -> t -> unit

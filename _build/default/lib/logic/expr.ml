@@ -1,0 +1,97 @@
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+
+let v i = Var i
+let ( && ) a b = And [ a; b ]
+let ( || ) a b = Or [ a; b ]
+let ( ^^ ) a b = Xor (a, b)
+let not_ a = Not a
+
+let rec eval e env =
+  match e with
+  | Const b -> b
+  | Var i -> env.(i)
+  | Not a -> Stdlib.not (eval a env)
+  | And es -> List.for_all (fun a -> eval a env) es
+  | Or es -> List.exists (fun a -> eval a env) es
+  | Xor (a, b) -> Stdlib.( <> ) (eval a env) (eval b env)
+
+let rec max_var = function
+  | Const _ -> -1
+  | Var i -> i
+  | Not a -> max_var a
+  | And es | Or es -> List.fold_left (fun m a -> max (max_var a) m) (-1) es
+  | Xor (a, b) -> max (max_var a) (max_var b)
+
+(* Cover algebra on single-output covers: OR is cube union, AND is pairwise
+   intersection, NOT is unate-recursive complement. *)
+let to_cover ~n_in e =
+  if max_var e >= n_in then invalid_arg "Expr.to_cover: variable out of range";
+  let out1 = Util.Bitvec.of_list 1 [ 0 ] in
+  let universe = Cover.make ~n_in ~n_out:1 [ Cube.universe ~n_in ~n_out:1 ] in
+  let none = Cover.empty ~n_in ~n_out:1 in
+  let rec go = function
+    | Const true -> universe
+    | Const false -> none
+    | Var i ->
+      Cover.make ~n_in ~n_out:1 [ Cube.set (Cube.universe ~n_in ~n_out:1) i Cube.One ]
+    | Not a -> Cover.complement (go a)
+    | Or es ->
+      Cover.single_cube_containment
+        (List.fold_left (fun acc a -> Cover.union acc (go a)) none es)
+    | And es ->
+      let product f g =
+        let cs =
+          List.concat_map
+            (fun c -> List.filter_map (fun d -> Cube.intersect c d) (Cover.cubes g))
+            (Cover.cubes f)
+        in
+        Cover.single_cube_containment (Cover.make ~n_in ~n_out:1 cs)
+      in
+      List.fold_left (fun acc a -> product acc (go a)) universe es
+    | Xor (a, b) -> go (Or [ And [ a; Not b ]; And [ Not a; b ] ])
+  in
+  let c = go e in
+  Cover.make ~n_in ~n_out:1 (List.map (fun c -> Cube.with_outputs c out1) (Cover.cubes c))
+
+let to_cover_multi ~n_in exprs =
+  let n_out = List.length exprs in
+  let widen o c =
+    Cube.of_literals (List.init n_in (Cube.get c)) ~outs:(Util.Bitvec.of_list n_out [ o ])
+  in
+  let cubes =
+    List.concat (List.mapi (fun o e -> List.map (widen o) (Cover.cubes (to_cover ~n_in e))) exprs)
+  in
+  Cover.make ~n_in ~n_out cubes
+
+let majority3 a b c = Or [ And [ a; b ]; And [ a; c ]; And [ b; c ] ]
+
+let mux ~sel a b = Or [ And [ Not sel; a ]; And [ sel; b ] ]
+
+let parity = function
+  | [] -> Const false
+  | e :: es -> List.fold_left (fun acc a -> Xor (acc, a)) e es
+
+let rec pp fmt = function
+  | Const b -> Format.pp_print_string fmt (if b then "1" else "0")
+  | Var i -> Format.fprintf fmt "x%d" i
+  | Not a -> Format.fprintf fmt "!%a" pp_atom a
+  | And es ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " & ") pp)
+      es
+  | Or es ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " | ") pp)
+      es
+  | Xor (a, b) -> Format.fprintf fmt "(%a ^ %a)" pp a pp b
+
+and pp_atom fmt e =
+  match e with
+  | Const _ | Var _ -> pp fmt e
+  | Not _ | And _ | Or _ | Xor _ -> Format.fprintf fmt "(%a)" pp e

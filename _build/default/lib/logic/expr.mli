@@ -1,0 +1,40 @@
+(** Boolean expression AST.
+
+    A convenient front end for building functions in examples and tests;
+    converted to covers (sum-of-products) through cover algebra, or
+    evaluated directly. Variables are input indices. *)
+
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+
+val v : int -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val ( ^^ ) : t -> t -> t
+val not_ : t -> t
+
+val eval : t -> bool array -> bool
+
+val max_var : t -> int
+(** Largest variable index occurring, or [-1] for a constant expression. *)
+
+val to_cover : n_in:int -> t -> Cover.t
+(** Single-output sum-of-products cover of the expression over [n_in]
+    inputs (all variable indices must be < [n_in]). *)
+
+val to_cover_multi : n_in:int -> t list -> Cover.t
+(** Multi-output cover; expression [i] drives output [i]. *)
+
+val majority3 : t -> t -> t -> t
+
+val mux : sel:t -> t -> t -> t
+(** [mux ~sel a b] is [a] when [sel] is false, [b] when [sel] is true. *)
+
+val parity : t list -> t
+
+val pp : Format.formatter -> t -> unit

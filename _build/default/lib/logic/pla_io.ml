@@ -1,0 +1,155 @@
+type spec = {
+  n_in : int;
+  n_out : int;
+  input_labels : string array option;
+  output_labels : string array option;
+  on_set : Cover.t;
+  dc_set : Cover.t;
+}
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s
+
+type raw_line = { lineno : int; ins : string; outs : string }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let n_in = ref None and n_out = ref None in
+  let ilb = ref None and ob = ref None in
+  let raw = ref [] in
+  let handle_cube_line lineno words =
+    match words with
+    | [ ins; outs ] -> raw := { lineno; ins; outs } :: !raw
+    | [ single ] ->
+      (* Allow "110-1 1" written without space only when arities known. *)
+      (match (!n_in, !n_out) with
+      | Some ni, Some no when String.length single = ni + no ->
+        raw :=
+          { lineno; ins = String.sub single 0 ni; outs = String.sub single ni no } :: !raw
+      | _ -> fail lineno "cube line %S needs input and output fields" single)
+    | _ -> fail lineno "malformed cube line"
+  in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line = strip_comment line in
+      match split_ws line with
+      | [] -> ()
+      | word :: rest when String.length word > 0 && word.[0] = '.' -> (
+        match (word, rest) with
+        | ".i", [ n ] -> n_in := Some (int_of_string n)
+        | ".o", [ n ] -> n_out := Some (int_of_string n)
+        | ".p", [ _ ] -> ()
+        | ".ilb", labels -> ilb := Some (Array.of_list labels)
+        | ".ob", labels -> ob := Some (Array.of_list labels)
+        | ".type", [ ("f" | "fd" | "fr" | "fdr") ] -> ()
+        | ".type", [ ty ] -> fail lineno "unsupported .type %s" ty
+        | (".e" | ".end"), _ -> ()
+        | ".phase", _ | ".pair", _ | ".symbolic", _ ->
+          fail lineno "unsupported directive %s" word
+        | _, _ -> fail lineno "unknown directive %s" word)
+      | words -> handle_cube_line lineno words)
+    lines;
+  let n_in =
+    match !n_in with Some n -> n | None -> fail 0 ".i missing"
+  in
+  let n_out =
+    match !n_out with Some n -> n | None -> fail 0 ".o missing"
+  in
+  let on = ref [] and dc = ref [] in
+  let parse_cube { lineno; ins; outs } =
+    if String.length ins <> n_in then fail lineno "input field has %d chars, expected %d" (String.length ins) n_in;
+    if String.length outs <> n_out then
+      fail lineno "output field has %d chars, expected %d" (String.length outs) n_out;
+    let lits =
+      List.init n_in (fun i ->
+          match ins.[i] with
+          | '0' -> Cube.Zero
+          | '1' -> Cube.One
+          | '-' | '2' | 'x' | 'X' -> Cube.Dc
+          | c -> fail lineno "bad input character %C" c)
+    in
+    let on_outs = Util.Bitvec.create n_out and dc_outs = Util.Bitvec.create n_out in
+    String.iteri
+      (fun o c ->
+        match c with
+        | '1' -> Util.Bitvec.set on_outs o true
+        | '0' -> ()
+        | '-' | '~' | '4' | '2' -> Util.Bitvec.set dc_outs o true
+        | c -> fail lineno "bad output character %C" c)
+      outs;
+    if not (Util.Bitvec.is_empty on_outs) then
+      on := Cube.of_literals lits ~outs:on_outs :: !on;
+    if not (Util.Bitvec.is_empty dc_outs) then
+      dc := Cube.of_literals lits ~outs:dc_outs :: !dc
+  in
+  List.iter parse_cube (List.rev !raw);
+  {
+    n_in;
+    n_out;
+    input_labels = !ilb;
+    output_labels = !ob;
+    on_set = Cover.make ~n_in ~n_out !on;
+    dc_set = Cover.make ~n_in ~n_out !dc;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let to_string ?input_labels ?output_labels ~on_set ~dc_set () =
+  let n_in = Cover.num_inputs on_set and n_out = Cover.num_outputs on_set in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf ".i %d\n.o %d\n" n_in n_out;
+  (match input_labels with
+  | Some ls -> Printf.bprintf buf ".ilb %s\n" (String.concat " " (Array.to_list ls))
+  | None -> ());
+  (match output_labels with
+  | Some ls -> Printf.bprintf buf ".ob %s\n" (String.concat " " (Array.to_list ls))
+  | None -> ());
+  Printf.bprintf buf ".p %d\n" (Cover.size on_set + Cover.size dc_set);
+  let emit marker c =
+    let outs = Cube.outputs c in
+    for i = 0 to n_in - 1 do
+      Buffer.add_char buf
+        (match Cube.get c i with Cube.Zero -> '0' | Cube.One -> '1' | Cube.Dc -> '-')
+    done;
+    Buffer.add_char buf ' ';
+    for o = 0 to n_out - 1 do
+      Buffer.add_char buf (if Util.Bitvec.get outs o then marker else '0')
+    done;
+    Buffer.add_char buf '\n'
+  in
+  List.iter (emit '1') (Cover.cubes on_set);
+  List.iter (emit '-') (Cover.cubes dc_set);
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+let write_file path spec =
+  let oc = open_out path in
+  output_string oc
+    (to_string ?input_labels:spec.input_labels ?output_labels:spec.output_labels
+       ~on_set:spec.on_set ~dc_set:spec.dc_set ());
+  close_out oc
+
+let spec_of_cover on_set =
+  {
+    n_in = Cover.num_inputs on_set;
+    n_out = Cover.num_outputs on_set;
+    input_labels = None;
+    output_labels = None;
+    on_set;
+    dc_set = Cover.empty ~n_in:(Cover.num_inputs on_set) ~n_out:(Cover.num_outputs on_set);
+  }

@@ -1,0 +1,33 @@
+(** Reader/writer for the Berkeley espresso [.pla] exchange format.
+
+    Supported directives: [.i], [.o], [.p] (advisory), [.ilb], [.ob],
+    [.type] ([f], [fd], [fr], [fdr]), [.e]/[.end], comments ([#]). Cube
+    lines use [0 1 -] for inputs and [0 1 - ~ 4] for outputs; [1] adds the
+    minterm set to the on-set of that output, [-]/[~]/[4] to the don't-care
+    set, [0] to neither. *)
+
+type spec = {
+  n_in : int;
+  n_out : int;
+  input_labels : string array option;
+  output_labels : string array option;
+  on_set : Cover.t;
+  dc_set : Cover.t;
+}
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> spec
+(** Parse the full text of a [.pla] file. *)
+
+val parse_file : string -> spec
+(** Read and parse a file from disk. *)
+
+val to_string : ?input_labels:string array -> ?output_labels:string array -> on_set:Cover.t -> dc_set:Cover.t -> unit -> string
+(** Render a [.pla] file (type [fd]; the dc-set may be empty). *)
+
+val write_file : string -> spec -> unit
+
+val spec_of_cover : Cover.t -> spec
+(** Wrap a cover as a spec with an empty don't-care set. *)

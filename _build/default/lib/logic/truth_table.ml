@@ -1,0 +1,72 @@
+type t = { n_in : int; n_out : int; bits : Util.Bitvec.t array }
+
+let max_inputs = 20
+
+let create ~n_in ~n_out =
+  if n_in < 0 || n_in > max_inputs then invalid_arg "Truth_table.create: bad n_in";
+  { n_in; n_out; bits = Array.init n_out (fun _ -> Util.Bitvec.create (1 lsl n_in)) }
+
+let num_inputs t = t.n_in
+let num_outputs t = t.n_out
+
+let get t ~minterm ~output = Util.Bitvec.get t.bits.(output) minterm
+
+let set t ~minterm ~output b = Util.Bitvec.set t.bits.(output) minterm b
+
+let assignment_of_minterm n_in m = Array.init n_in (fun i -> m land (1 lsl i) <> 0)
+
+let of_cover cover =
+  let n_in = Cover.num_inputs cover and n_out = Cover.num_outputs cover in
+  let t = create ~n_in ~n_out in
+  for m = 0 to (1 lsl n_in) - 1 do
+    let outs = Cover.eval cover (assignment_of_minterm n_in m) in
+    Util.Bitvec.iter_set (fun o -> set t ~minterm:m ~output:o true) outs
+  done;
+  t
+
+let of_fun ~n_in ~n_out f =
+  let t = create ~n_in ~n_out in
+  for m = 0 to (1 lsl n_in) - 1 do
+    let a = assignment_of_minterm n_in m in
+    for o = 0 to n_out - 1 do
+      if f a o then set t ~minterm:m ~output:o true
+    done
+  done;
+  t
+
+let equal a b =
+  a.n_in = b.n_in && a.n_out = b.n_out
+  && Array.for_all2 Util.Bitvec.equal a.bits b.bits
+
+let ones t ~output = Util.Bitvec.pop_count t.bits.(output)
+
+let to_minterm_cover t =
+  let acc = ref [] in
+  for m = (1 lsl t.n_in) - 1 downto 0 do
+    let outs = Util.Bitvec.create t.n_out in
+    let any = ref false in
+    for o = 0 to t.n_out - 1 do
+      if get t ~minterm:m ~output:o then begin
+        Util.Bitvec.set outs o true;
+        any := true
+      end
+    done;
+    if !any then begin
+      let lits =
+        List.init t.n_in (fun i -> if m land (1 lsl i) <> 0 then Cube.One else Cube.Zero)
+      in
+      acc := Cube.of_literals lits ~outs :: !acc
+    end
+  done;
+  Cover.make ~n_in:t.n_in ~n_out:t.n_out !acc
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for m = 0 to (1 lsl t.n_in) - 1 do
+    Format.fprintf fmt "%*d:" 4 m;
+    for o = 0 to t.n_out - 1 do
+      Format.pp_print_char fmt (if get t ~minterm:m ~output:o then '1' else '0')
+    done;
+    Format.pp_print_cut fmt ()
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,35 @@
+(** Explicit truth tables for small multi-output functions.
+
+    The table stores one bit per (minterm, output) pair; minterm index [m]
+    encodes input [i] in bit [i] of [m]. Intended as an exact oracle for
+    testing and for functions of at most ~20 inputs. *)
+
+type t
+
+val create : n_in:int -> n_out:int -> t
+(** All-zero function. *)
+
+val num_inputs : t -> int
+
+val num_outputs : t -> int
+
+val get : t -> minterm:int -> output:int -> bool
+
+val set : t -> minterm:int -> output:int -> bool -> unit
+
+val of_cover : Cover.t -> t
+(** Exact evaluation of a cover (raises [Invalid_argument] above 20
+    inputs). *)
+
+val of_fun : n_in:int -> n_out:int -> (bool array -> int -> bool) -> t
+(** [of_fun ~n_in ~n_out f] tabulates [f assignment output]. *)
+
+val equal : t -> t -> bool
+
+val ones : t -> output:int -> int
+(** Number of on-set minterms of one output. *)
+
+val to_minterm_cover : t -> Cover.t
+(** Canonical sum-of-minterms cover. *)
+
+val pp : Format.formatter -> t -> unit

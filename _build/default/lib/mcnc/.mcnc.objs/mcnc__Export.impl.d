@@ -1,0 +1,1 @@
+lib/mcnc/export.ml: Filename Generators List Logic Profiles Synthetic Sys Util

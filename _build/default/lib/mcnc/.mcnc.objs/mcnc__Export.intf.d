@@ -1,0 +1,1 @@
+lib/mcnc/export.mli: Logic

@@ -1,0 +1,1 @@
+lib/mcnc/generators.mli: Logic

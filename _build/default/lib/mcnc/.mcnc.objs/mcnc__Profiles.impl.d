@@ -1,0 +1,1 @@
+lib/mcnc/profiles.ml: List

@@ -1,0 +1,1 @@
+lib/mcnc/synthetic.ml: Espresso Float List Logic Profiles

@@ -1,0 +1,1 @@
+lib/mcnc/synthetic.mli: Logic Profiles Util

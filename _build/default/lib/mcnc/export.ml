@@ -1,0 +1,18 @@
+let suite_entries () =
+  let rng = Util.Rng.create 2008 in
+  Generators.all
+  @ List.map
+      (fun r ->
+        (r.Synthetic.profile.Profiles.name ^ "_twin", r.Synthetic.on_set))
+      (Synthetic.table1_set rng)
+
+let write_suite ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun (name, cover) ->
+      let pla_path = Filename.concat dir (name ^ ".pla") in
+      Logic.Pla_io.write_file pla_path (Logic.Pla_io.spec_of_cover cover);
+      let blif_path = Filename.concat dir (name ^ ".blif") in
+      Logic.Blif.write_file blif_path (Logic.Blif.of_cover ~name cover);
+      (name, pla_path))
+    (suite_entries ())

@@ -1,0 +1,9 @@
+(** Write the benchmark suite to disk as espresso [.pla] and BLIF files —
+    shippable inputs for external tools and for this repo's own CLI. *)
+
+val suite_entries : unit -> (string * Logic.Cover.t) list
+(** {!Generators.all} plus synthetic Table 1 twins (deterministic seed). *)
+
+val write_suite : dir:string -> (string * string) list
+(** Write every entry as [<name>.pla] and [<name>.blif] under [dir]
+    (created if missing). Returns (name, pla-path) pairs. *)

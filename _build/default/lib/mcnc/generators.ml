@@ -1,0 +1,109 @@
+module Tt = Logic.Truth_table
+
+let count_ones a = Array.fold_left (fun n b -> if b then n + 1 else n) 0 a
+
+let bits_needed n =
+  let rec go k = if 1 lsl k > n then k else go (k + 1) in
+  go 1
+
+let of_fun ~n_in ~n_out f = Tt.to_minterm_cover (Tt.of_fun ~n_in ~n_out f)
+
+let rd ~n =
+  if n < 2 || n > 12 then invalid_arg "Generators.rd";
+  let n_out = bits_needed n in
+  of_fun ~n_in:n ~n_out (fun a o -> (count_ones a lsr o) land 1 = 1)
+
+let xor_n n =
+  if n < 1 || n > 14 then invalid_arg "Generators.xor_n";
+  of_fun ~n_in:n ~n_out:1 (fun a _ -> count_ones a mod 2 = 1)
+
+let majority n =
+  if n < 1 || n mod 2 = 0 || n > 13 then invalid_arg "Generators.majority";
+  of_fun ~n_in:n ~n_out:1 (fun a _ -> 2 * count_ones a > n)
+
+let operand a lo bits =
+  let v = ref 0 in
+  for k = bits - 1 downto 0 do
+    v := (2 * !v) + if a.(lo + k) then 1 else 0
+  done;
+  !v
+
+let adder ~bits =
+  if bits < 1 || bits > 6 then invalid_arg "Generators.adder";
+  of_fun ~n_in:(2 * bits) ~n_out:(bits + 1) (fun a o ->
+      let sum = operand a 0 bits + operand a bits bits in
+      (sum lsr o) land 1 = 1)
+
+let comparator ~bits =
+  if bits < 1 || bits > 7 then invalid_arg "Generators.comparator";
+  of_fun ~n_in:(2 * bits) ~n_out:3 (fun a o ->
+      let x = operand a 0 bits and y = operand a bits bits in
+      match o with 0 -> x < y | 1 -> x = y | _ -> x > y)
+
+let decoder ~bits =
+  if bits < 1 || bits > 6 then invalid_arg "Generators.decoder";
+  of_fun ~n_in:bits ~n_out:(1 lsl bits) (fun a o -> operand a 0 bits = o)
+
+let mux ~select_bits =
+  if select_bits < 1 || select_bits > 3 then invalid_arg "Generators.mux";
+  let n_data = 1 lsl select_bits in
+  of_fun ~n_in:(select_bits + n_data) ~n_out:1 (fun a _ ->
+      a.(select_bits + operand a 0 select_bits))
+
+let priority_encoder ~bits =
+  if bits < 1 || bits > 4 then invalid_arg "Generators.priority_encoder";
+  let n_req = 1 lsl bits in
+  of_fun ~n_in:n_req ~n_out:(bits + 1) (fun a o ->
+      let rec first i = if i >= n_req then None else if a.(i) then Some i else first (i + 1) in
+      match first 0 with
+      | None -> false
+      | Some idx -> if o = bits then true else (idx lsr o) land 1 = 1)
+
+let gray ~bits =
+  if bits < 1 || bits > 10 then invalid_arg "Generators.gray";
+  of_fun ~n_in:bits ~n_out:bits (fun a o ->
+      let v = operand a 0 bits in
+      let g = v lxor (v lsr 1) in
+      (g lsr o) land 1 = 1)
+
+(* Segment patterns for digits 0-9: bit k of the entry drives segment
+   'a'+k (standard seven-segment encoding). *)
+let seven_seg_patterns =
+  [| 0x3F; 0x06; 0x5B; 0x4F; 0x66; 0x6D; 0x7D; 0x07; 0x7F; 0x6F |]
+
+let bcd7seg () =
+  of_fun ~n_in:4 ~n_out:7 (fun a o ->
+      let d = operand a 0 4 in
+      d <= 9 && (seven_seg_patterns.(d) lsr o) land 1 = 1)
+
+let alu_slice () =
+  of_fun ~n_in:6 ~n_out:3 (fun a o ->
+      let x = operand a 0 2 and y = operand a 2 2 and op = operand a 4 2 in
+      let result, carry =
+        match op with
+        | 0 ->
+          let s = x + y in
+          (s land 3, s lsr 2)
+        | 1 ->
+          let s = x - y in
+          (s land 3, if x < y then 1 else 0)
+        | 2 -> (x land y, 0)
+        | _ -> (x lxor y, 0)
+      in
+      if o = 2 then carry = 1 else (result lsr o) land 1 = 1)
+
+let all =
+  [
+    ("rd53", rd ~n:5);
+    ("rd73", rd ~n:7);
+    ("xor5", xor_n 5);
+    ("maj5", majority 5);
+    ("add3", adder ~bits:3);
+    ("cmp3", comparator ~bits:3);
+    ("dec4", decoder ~bits:4);
+    ("mux2", mux ~select_bits:2);
+    ("pri3", priority_encoder ~bits:3);
+    ("gray4", gray ~bits:4);
+    ("bcd7seg", bcd7seg ());
+    ("alu2", alu_slice ());
+  ]

@@ -1,0 +1,49 @@
+(** Exactly-specified benchmark function families.
+
+    Classic two-level benchmark shapes generated from first principles
+    (not recalled from data files), so every function here is exact by
+    construction and usable as a minimizer test oracle. *)
+
+val rd : n:int -> Logic.Cover.t
+(** "rdXY"-style rate detector: [n] inputs, [⌈log2 (n+1)⌉] outputs giving
+    the binary count of ones (rd53 = [rd ~n:5], rd73 = [rd ~n:7]). *)
+
+val xor_n : int -> Logic.Cover.t
+(** Parity of [n] inputs; worst case for two-level logic ([2^(n-1)]
+    products). *)
+
+val majority : int -> Logic.Cover.t
+(** Majority of [n] (odd) inputs. *)
+
+val adder : bits:int -> Logic.Cover.t
+(** Ripple-carry adder as a flat two-level function: inputs are two
+    [bits]-wide operands, outputs the [bits+1]-bit sum. *)
+
+val comparator : bits:int -> Logic.Cover.t
+(** 3 outputs: A<B, A=B, A>B over two [bits]-wide operands. *)
+
+val decoder : bits:int -> Logic.Cover.t
+(** Full decoder: [bits] inputs, [2^bits] one-hot outputs. *)
+
+val mux : select_bits:int -> Logic.Cover.t
+(** Multiplexer: [select_bits + 2^select_bits] inputs, one output. *)
+
+val priority_encoder : bits:int -> Logic.Cover.t
+(** [2^bits] request inputs, [bits + 1] outputs: the index of the
+    highest-priority (lowest-numbered) active request plus a valid flag
+    (output [bits]). *)
+
+val gray : bits:int -> Logic.Cover.t
+(** Binary → Gray-code converter, [bits] in / [bits] out. *)
+
+val bcd7seg : unit -> Logic.Cover.t
+(** BCD digit (4 inputs) to seven-segment drive (7 outputs, segments
+    a..g); inputs 10–15 are mapped to all-off. *)
+
+val alu_slice : unit -> Logic.Cover.t
+(** A 2-bit ALU slice: inputs a1 a0 b1 b0 op1 op0 (6), outputs r1 r0
+    carry (3); ops: 00 = add, 01 = sub, 10 = and, 11 = xor. *)
+
+val all : (string * Logic.Cover.t) list
+(** The suite used by tests and benches: rd53, rd73, xor5, maj5, add3,
+    cmp3, dec4, mux2, pri3, gray4, bcd7seg, alu2. *)

@@ -1,0 +1,11 @@
+type t = { name : string; n_in : int; n_out : int; n_products : int }
+
+let max46 = { name = "max46"; n_in = 9; n_out = 1; n_products = 46 }
+
+let apla = { name = "apla"; n_in = 10; n_out = 12; n_products = 25 }
+
+let t2 = { name = "t2"; n_in = 17; n_out = 16; n_products = 52 }
+
+let table1 = [ max46; apla; t2 ]
+
+let find name = List.find_opt (fun p -> p.name = name) table1

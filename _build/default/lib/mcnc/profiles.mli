@@ -1,0 +1,30 @@
+(** Recorded MCNC benchmark profiles (Yang, MCNC tech report 1991/2001).
+
+    The proprietary MCNC [.pla] files are not redistributable, but Table 1
+    of the paper is a closed-form function of each benchmark's
+    (inputs, outputs, espresso product count) profile — the published
+    profiles below reproduce the paper's numbers exactly (verified in
+    DESIGN.md §2). For end-to-end pipeline runs use
+    {!Synthetic.with_profile}, which manufactures a function with the same
+    profile. *)
+
+type t = {
+  name : string;
+  n_in : int;
+  n_out : int;
+  n_products : int;  (** after two-level minimization *)
+}
+
+val max46 : t
+(** 9 inputs, 1 output, 46 products. *)
+
+val apla : t
+(** 10 inputs, 12 outputs, 25 products. *)
+
+val t2 : t
+(** 17 inputs, 16 outputs, 52 products. *)
+
+val table1 : t list
+(** The paper's Table 1 set, in row order. *)
+
+val find : string -> t option

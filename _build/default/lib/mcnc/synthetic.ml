@@ -1,0 +1,47 @@
+module Cover = Logic.Cover
+
+type result = {
+  profile : Profiles.t;
+  on_set : Cover.t;
+  minimized : Cover.t;
+  achieved_products : int;
+}
+
+(* Cube size must match the target: if random cubes are too large their
+   union collapses toward a tautology and the minimized count never grows.
+   Aim for the on-set to cover roughly a third of the space, which fixes
+   the don't-care count per cube at
+   log2(0.35 · 2^n_in / target_products). *)
+let dc_bias_for ~n_in ~target =
+  let dcs =
+    Float.max 0.0
+      (Float.log2 (0.35 *. float_of_int (1 lsl n_in) /. float_of_int (max 1 target)))
+  in
+  Float.min 0.8 (dcs /. float_of_int n_in)
+
+let with_profile rng (p : Profiles.t) =
+  let target = p.Profiles.n_products in
+  let dc_bias = dc_bias_for ~n_in:p.Profiles.n_in ~target in
+  let fresh n =
+    Cover.random rng ~n_in:p.Profiles.n_in ~n_out:p.Profiles.n_out ~n_cubes:n ~dc_bias
+  in
+  let rec grow acc best rounds =
+    let minimized = Espresso.Minimize.cover acc in
+    let best = if Cover.size minimized > Cover.size best then minimized else best in
+    if Cover.size minimized >= target || rounds >= 40 then best
+    else grow (Cover.union acc (fresh (max 4 ((target + 3) / 4)))) best (rounds + 1)
+  in
+  let seed = fresh (max 1 (target / 2)) in
+  let minimized = grow seed (Cover.empty ~n_in:p.Profiles.n_in ~n_out:p.Profiles.n_out) 0 in
+  (* Trim the minimized prime cover down to exactly the target count; the
+     trimmed cover is a new, typically near-irredundant function. *)
+  let trimmed_cubes =
+    List.filteri (fun k _ -> k < target) (Cover.cubes minimized)
+  in
+  let on_set =
+    Cover.make ~n_in:p.Profiles.n_in ~n_out:p.Profiles.n_out trimmed_cubes
+  in
+  let minimized = Espresso.Minimize.cover on_set in
+  { profile = p; on_set; minimized; achieved_products = Cover.size minimized }
+
+let table1_set rng = List.map (with_profile rng) Profiles.table1

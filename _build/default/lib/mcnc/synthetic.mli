@@ -1,0 +1,23 @@
+(** Profile-matched synthetic benchmark functions.
+
+    Substitution for the MCNC [.pla] files (see DESIGN.md §3): given a
+    target (inputs, outputs, minimized product count) profile, manufacture
+    a random function whose espresso-minimized cover has (approximately)
+    that many products, so the full parse → minimize → map → area pipeline
+    can run end to end on functions shaped like the paper's workloads. *)
+
+type result = {
+  profile : Profiles.t;  (** target profile *)
+  on_set : Logic.Cover.t;  (** the manufactured function (unminimized) *)
+  minimized : Logic.Cover.t;
+  achieved_products : int;  (** [Cover.size minimized] *)
+}
+
+val with_profile : Util.Rng.t -> Profiles.t -> result
+(** Grow a random cover until its minimized form reaches the target
+    product count, then trim primes down to the target. The achieved
+    count is within a few products of the target (exactness is not
+    guaranteed; both values are reported). *)
+
+val table1_set : Util.Rng.t -> result list
+(** Synthetic twins of max46, apla and t2. *)

@@ -1,0 +1,1 @@
+lib/util/tableau.ml: Array Buffer List Printf String

@@ -1,0 +1,133 @@
+type t = { len : int; words : Bytes.t }
+
+(* Bits are stored little-endian within bytes: bit [i] lives in byte [i/8],
+   position [i mod 8]. Unused padding bits in the last byte stay zero, which
+   lets equality/compare/popcount work bytewise. *)
+
+let nbytes len = (len + 7) / 8
+
+let create len =
+  assert (len >= 0);
+  { len; words = Bytes.make (nbytes len) '\000' }
+
+let length t = t.len
+
+let copy t = { len = t.len; words = Bytes.copy t.words }
+
+let get t i =
+  assert (i >= 0 && i < t.len);
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i b =
+  assert (i >= 0 && i < t.len);
+  let byte = Char.code (Bytes.get t.words (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte' = if b then byte lor mask else byte land lnot mask in
+  Bytes.set t.words (i lsr 3) (Char.chr (byte' land 0xff))
+
+let clear_padding t =
+  let nb = nbytes t.len in
+  if nb > 0 && t.len land 7 <> 0 then begin
+    let keep = (1 lsl (t.len land 7)) - 1 in
+    let last = Char.code (Bytes.get t.words (nb - 1)) in
+    Bytes.set t.words (nb - 1) (Char.chr (last land keep))
+  end
+
+let set_all t b =
+  Bytes.fill t.words 0 (Bytes.length t.words) (if b then '\255' else '\000');
+  if b then clear_padding t
+
+let create_full len =
+  let t = create len in
+  set_all t true;
+  t
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun c -> tbl.(Char.code c)
+
+let pop_count t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte c) t.words;
+  !n
+
+let is_empty t =
+  let rec go i = i >= Bytes.length t.words || (Bytes.get t.words i = '\000' && go (i + 1)) in
+  go 0
+
+let is_full t = pop_count t = t.len
+
+let equal a b = a.len = b.len && Bytes.equal a.words b.words
+
+let compare a b =
+  let c = Stdlib.compare a.len b.len in
+  if c <> 0 then c else Bytes.compare a.words b.words
+
+let map2 f a b =
+  assert (a.len = b.len);
+  let r = create a.len in
+  for i = 0 to Bytes.length a.words - 1 do
+    let x = Char.code (Bytes.get a.words i) and y = Char.code (Bytes.get b.words i) in
+    Bytes.set r.words i (Char.chr (f x y land 0xff))
+  done;
+  r
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let complement a =
+  let r = map2 (fun x _ -> lnot x) a a in
+  clear_padding r;
+  r
+
+let subset a b =
+  assert (a.len = b.len);
+  let rec go i =
+    i >= Bytes.length a.words
+    || (Char.code (Bytes.get a.words i) land lnot (Char.code (Bytes.get b.words i)) = 0
+        && go (i + 1))
+  in
+  go 0
+
+let disjoint a b =
+  assert (a.len = b.len);
+  let rec go i =
+    i >= Bytes.length a.words
+    || (Char.code (Bytes.get a.words i) land Char.code (Bytes.get b.words i) = 0 && go (i + 1))
+  in
+  go 0
+
+let union_inplace a b =
+  assert (a.len = b.len);
+  for i = 0 to Bytes.length a.words - 1 do
+    let x = Char.code (Bytes.get a.words i) lor Char.code (Bytes.get b.words i) in
+    Bytes.set a.words i (Char.chr (x land 0xff))
+  done
+
+let iter_set f t =
+  for i = 0 to t.len - 1 do
+    if get t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    if get t i then acc := i :: !acc
+  done;
+  !acc
+
+let of_list len indices =
+  let t = create len in
+  List.iter (fun i -> set t i true) indices;
+  t
+
+let pp fmt t =
+  for i = 0 to t.len - 1 do
+    Format.pp_print_char fmt (if get t i then '1' else '0')
+  done
+
+let hash t = Hashtbl.hash (t.len, Bytes.to_string t.words)

@@ -1,0 +1,68 @@
+(** Fixed-length mutable bit vectors.
+
+    Used for output parts of multi-output cubes, defect maps, and
+    routing-resource occupancy. Indices are 0-based; all operations on two
+    vectors require equal lengths. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of length [n]. *)
+
+val create_full : int -> t
+(** [create_full n] is an all-one vector of length [n]. *)
+
+val length : t -> int
+
+val copy : t -> t
+
+val get : t -> int -> bool
+
+val set : t -> int -> bool -> unit
+
+val set_all : t -> bool -> unit
+
+val pop_count : t -> int
+(** Number of set bits. *)
+
+val is_empty : t -> bool
+(** [true] iff no bit is set. *)
+
+val is_full : t -> bool
+(** [true] iff every bit is set. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order, consistent with {!equal}. *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+(** [diff a b] has the bits of [a] not in [b]. *)
+
+val complement : t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] iff every bit of [a] is set in [b]. *)
+
+val disjoint : t -> t -> bool
+
+val union_inplace : t -> t -> unit
+(** [union_inplace a b] sets [a := a ∪ b]. *)
+
+val iter_set : (int -> unit) -> t -> unit
+(** Iterate over indices of set bits, ascending. *)
+
+val to_list : t -> int list
+(** Indices of set bits, ascending. *)
+
+val of_list : int -> int list -> t
+(** [of_list n indices] is a vector of length [n] with the given bits set. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as a 0/1 string, index 0 leftmost. *)
+
+val hash : t -> int

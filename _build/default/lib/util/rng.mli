@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All stochastic parts of the library (synthetic benchmark generation,
+    placement annealing, defect injection) draw from this generator so that
+    every experiment is reproducible from a single integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent child
+    generator, useful for giving sub-experiments their own streams. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

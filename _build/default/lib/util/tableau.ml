@@ -1,0 +1,95 @@
+type row = Cells of string list | Rule
+
+type t = { headers : string list; ncols : int; mutable rows : row list }
+
+let create headers = { headers; ncols = List.length headers; rows = [] }
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > t.ncols then invalid_arg "Tableau.add_row: too many cells";
+  let padded = cells @ List.init (t.ncols - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let measure = function
+    | Rule -> ()
+    | Cells cells ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let pad i s =
+    Buffer.add_string buf s;
+    Buffer.add_string buf (String.make (widths.(i) - String.length s) ' ')
+  in
+  let line cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        pad i c)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  rule ();
+  List.iter (function Rule -> rule () | Cells cells -> line cells) rows;
+  Buffer.contents buf
+
+let to_csv t =
+  let quote cell =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then begin
+      let buf = Buffer.create (String.length cell + 2) in
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+        cell;
+      Buffer.add_char buf '"';
+      Buffer.contents buf
+    end
+    else cell
+  in
+  let line cells = String.concat "," (List.map quote cells) ^ "\n" in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.headers);
+  List.iter
+    (function Rule -> () | Cells cells -> Buffer.add_string buf (line cells))
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | Some s ->
+    print_newline ();
+    print_endline s;
+    print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (render t)
+
+let cell_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ' ';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cell_float ?(dec = 2) x = Printf.sprintf "%.*f" dec x
+
+let cell_pct x = Printf.sprintf "%.1f%%" (100. *. x)

@@ -1,0 +1,36 @@
+(** ASCII table rendering for benchmark/experiment reports.
+
+    A tableau is built row by row; columns are sized to the widest cell and
+    rendered with a header separator, in the style of the paper's tables. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Rows shorter than the header are padded with empty cells;
+    longer rows raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : t -> string
+(** Render the whole table, trailing newline included. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header first, rules skipped); cells
+    containing commas or quotes are quoted per RFC 4180. *)
+
+val print : ?title:string -> t -> unit
+(** [print ?title t] writes the table (preceded by an underlined title when
+    given) to stdout. *)
+
+val cell_int : int -> string
+(** Thousands-separated integer cell, e.g. [34 960]. *)
+
+val cell_float : ?dec:int -> float -> string
+(** Fixed-point float cell, default 2 decimals. *)
+
+val cell_pct : float -> string
+(** Percentage cell with one decimal, e.g. [44.9%] for input [0.449]. *)

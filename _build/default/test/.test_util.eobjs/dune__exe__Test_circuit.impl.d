@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Device Filename Float List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char Circuit Cnfet Device Espresso Filename Float List Logic Mcnc Printf QCheck QCheck_alcotest String Sys Util

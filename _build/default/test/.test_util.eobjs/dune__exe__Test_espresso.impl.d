@@ -1,0 +1,1 @@
+test/test_espresso.ml: Alcotest Array Espresso List Logic QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Cnfet Fault Fun List Logic Mcnc Util

@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Array Float Fpga Hashtbl List Logic Mcnc Util

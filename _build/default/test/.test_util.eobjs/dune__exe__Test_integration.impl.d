@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cnfet Device Espresso Fault Float Fpga List Logic Mcnc Printf Util

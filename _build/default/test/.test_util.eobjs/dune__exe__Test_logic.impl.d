@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Espresso Filename List Logic Mcnc QCheck QCheck_alcotest String Sys Util

@@ -1,0 +1,1 @@
+test/test_mcnc.ml: Alcotest Array Cnfet Device Espresso Filename List Logic Mcnc Sys Util

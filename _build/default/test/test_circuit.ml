@@ -1,0 +1,476 @@
+(* Tests for the circuit library: value lattice, netlists, switch-level
+   simulation (static and dynamic), Elmore delay. *)
+
+module V = Circuit.Value
+module N = Circuit.Netlist
+module Sim = Circuit.Sim
+module A = Device.Ambipolar
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-18)
+
+(* --- Value lattice --------------------------------------------------------- *)
+
+let test_value_merge_strength () =
+  let m = V.merge V.supply1 (V.charged V.L0) in
+  checkb "supply beats charge" true (V.equal m V.supply1);
+  let m2 = V.merge (V.driven V.L0) (V.charged V.L1) in
+  checkb "driven beats charge" true (V.equal m2 (V.driven V.L0))
+
+let test_value_merge_conflict () =
+  let m = V.merge (V.driven V.L0) (V.driven V.L1) in
+  checkb "equal strength conflict is X" true (m.V.level = V.X && m.V.strength = V.Driven)
+
+let test_value_merge_charge_sharing () =
+  let m = V.merge (V.charged V.L0) (V.charged V.L1) in
+  checkb "charge sharing gives X" true (m.V.level = V.X)
+
+let test_value_merge_floating_identity () =
+  let m = V.merge V.floating (V.charged V.L1) in
+  checkb "floating loses" true (V.equal m (V.charged V.L1))
+
+let test_value_weaken () =
+  checkb "driven decays to charged" true
+    (V.equal (V.weaken (V.driven V.L1)) (V.charged V.L1));
+  checkb "supply decays to charged" true (V.equal (V.weaken V.supply0) (V.charged V.L0));
+  checkb "charged unchanged" true (V.equal (V.weaken (V.charged V.L1)) (V.charged V.L1))
+
+let test_value_to_bool () =
+  checkb "1" true (V.to_bool V.supply1 = Some true);
+  checkb "0" true (V.to_bool (V.charged V.L0) = Some false);
+  checkb "X" true (V.to_bool (V.driven V.X) = None);
+  checkb "floating" true (V.to_bool V.floating = None)
+
+(* --- Netlist ----------------------------------------------------------------- *)
+
+let test_netlist_basics () =
+  let nl = N.create () in
+  checki "rails present" 2 (N.net_count nl);
+  let a = N.add_net nl "a" in
+  Alcotest.check Alcotest.string "name" "a" (N.net_name nl a);
+  checki "three nets" 3 (N.net_count nl);
+  let d = N.add_device nl ~name:"m0" ~gate:a ~src:(N.vdd nl) ~drn:(N.gnd nl) ~polarity:A.N_type in
+  checki "one device" 1 (N.device_count nl);
+  checkb "polarity stored" true (N.polarity nl d = A.N_type);
+  N.set_polarity nl d A.Off_state;
+  checkb "polarity reprogrammed" true (N.polarity nl d = A.Off_state);
+  let g, s, dr = N.device_terminals nl d in
+  checkb "terminals" true (g = a && s = N.vdd nl && dr = N.gnd nl)
+
+let test_netlist_growth () =
+  (* Exceed the initial array capacity to exercise growth. *)
+  let nl = N.create () in
+  let nets = List.init 100 (fun i -> N.add_net nl (Printf.sprintf "n%d" i)) in
+  checki "100 + rails" 102 (N.net_count nl);
+  List.iteri
+    (fun i n ->
+      Alcotest.check Alcotest.string "name preserved" (Printf.sprintf "n%d" i)
+        (N.net_name nl n))
+    nets
+
+(* --- static switch simulation --------------------------------------------------- *)
+
+(* A CMOS inverter: out follows NOT(in). *)
+let build_inverter () =
+  let nl = N.create () in
+  let inp = N.add_net nl "in" in
+  let out = N.add_net nl "out" in
+  let _ = N.add_device nl ~name:"p" ~gate:inp ~src:(N.vdd nl) ~drn:out ~polarity:A.P_type in
+  let _ = N.add_device nl ~name:"n" ~gate:inp ~src:out ~drn:(N.gnd nl) ~polarity:A.N_type in
+  (nl, inp, out)
+
+let test_inverter () =
+  let nl, inp, out = build_inverter () in
+  let sim = Sim.create nl in
+  Sim.set_input sim inp true;
+  Sim.phase sim;
+  checkb "inverts 1" true (Sim.bool_of_net sim out = Some false);
+  Sim.set_input sim inp false;
+  Sim.phase sim;
+  checkb "inverts 0" true (Sim.bool_of_net sim out = Some true)
+
+let test_pass_transistor () =
+  let nl = N.create () in
+  let a = N.add_net nl "a" and b = N.add_net nl "b" and g = N.add_net nl "g" in
+  let _ = N.add_device nl ~name:"pass" ~gate:g ~src:a ~drn:b ~polarity:A.N_type in
+  let sim = Sim.create nl in
+  Sim.set_input sim a true;
+  Sim.set_input sim g true;
+  Sim.phase sim;
+  checkb "conducting pass copies value" true (Sim.bool_of_net sim b = Some true);
+  Sim.set_input sim g false;
+  Sim.set_input sim a false;
+  Sim.phase sim;
+  (* b keeps its charge from the previous phase: dynamic retention. *)
+  checkb "disconnected node retains charge" true (Sim.bool_of_net sim b = Some true)
+
+let test_off_state_isolation () =
+  let nl = N.create () in
+  let a = N.add_net nl "a" and b = N.add_net nl "b" and g = N.add_net nl "g" in
+  let _ = N.add_device nl ~name:"off" ~gate:g ~src:a ~drn:b ~polarity:A.Off_state in
+  let sim = Sim.create nl in
+  Sim.set_input sim a true;
+  Sim.set_input sim g true;
+  Sim.phase sim;
+  checkb "off device never conducts" true (Sim.bool_of_net sim b = None)
+
+let test_x_gate_propagates_x () =
+  let nl = N.create () in
+  let a = N.add_net nl "a" and b = N.add_net nl "b" and g = N.add_net nl "g" in
+  let _ = N.add_device nl ~name:"m" ~gate:g ~src:a ~drn:b ~polarity:A.N_type in
+  let sim = Sim.create nl in
+  Sim.set_input sim a true;
+  Sim.set_input sim b false;
+  Sim.set_input_x sim g;
+  Sim.phase sim;
+  (* Both sides are pinned here, so just check nothing crashes and inputs
+     keep their values. *)
+  checkb "a stays 1" true (Sim.bool_of_net sim a = Some true);
+  let nl2 = N.create () in
+  let a2 = N.add_net nl2 "a" and b2 = N.add_net nl2 "b" and g2 = N.add_net nl2 "g" in
+  let _ = N.add_device nl2 ~name:"m" ~gate:g2 ~src:a2 ~drn:b2 ~polarity:A.N_type in
+  let sim2 = Sim.create nl2 in
+  Sim.set_input sim2 a2 true;
+  Sim.set_input_x sim2 g2;
+  Sim.phase sim2;
+  checkb "unknown gate gives X on the far side" true (Sim.bool_of_net sim2 b2 = None)
+
+let test_transmission_chain () =
+  (* A chain of 5 n-type pass devices, all gates high. *)
+  let nl = N.create () in
+  let g = N.add_net nl "g" in
+  let nets = Array.init 6 (fun i -> N.add_net nl (Printf.sprintf "n%d" i)) in
+  for i = 0 to 4 do
+    ignore
+      (N.add_device nl ~name:(Printf.sprintf "m%d" i) ~gate:g ~src:nets.(i) ~drn:nets.(i + 1)
+         ~polarity:A.N_type)
+  done;
+  let sim = Sim.create nl in
+  Sim.set_input sim g true;
+  Sim.set_input sim nets.(0) true;
+  Sim.phase sim;
+  checkb "value reaches the end" true (Sim.bool_of_net sim nets.(5) = Some true)
+
+let test_release_input () =
+  let nl, inp, out = build_inverter () in
+  let sim = Sim.create nl in
+  Sim.set_input sim inp true;
+  Sim.phase sim;
+  Sim.release_input sim inp;
+  Sim.phase sim;
+  (* Input keeps its charge, so the inverter output should hold. *)
+  checkb "holds after release" true (Sim.bool_of_net sim out = Some false)
+
+let test_ring_oscillator_detected () =
+  (* A 3-inverter ring has no stable point; the bounded relaxation must
+     report non-convergence instead of looping forever. *)
+  let nl = N.create () in
+  let nets = Array.init 3 (fun i -> N.add_net nl (Printf.sprintf "n%d" i)) in
+  for i = 0 to 2 do
+    let inp = nets.(i) and out = nets.((i + 1) mod 3) in
+    ignore (N.add_device nl ~name:(Printf.sprintf "p%d" i) ~gate:inp ~src:(N.vdd nl) ~drn:out ~polarity:A.P_type);
+    ignore (N.add_device nl ~name:(Printf.sprintf "n%d" i) ~gate:inp ~src:out ~drn:(N.gnd nl) ~polarity:A.N_type)
+  done;
+  let sim = Sim.create nl in
+  (* Seed one node so the ring has a definite contradiction to chase. *)
+  Sim.set_input sim nets.(0) true;
+  Sim.release_input sim nets.(0);
+  match Sim.phase sim with
+  | () -> () (* settling to X everywhere is acceptable *)
+  | exception Failure _ -> () (* bounded non-convergence is acceptable too *)
+
+(* --- dynamic logic --------------------------------------------------------------- *)
+
+let test_dynamic_nor () =
+  (* Pre-charge/evaluate NOR of two inputs, as in the paper's Fig. 2 but
+     with fixed polarities. *)
+  let nl = N.create () in
+  let clk = N.add_net nl "clk" in
+  let a = N.add_net nl "a" and b = N.add_net nl "b" in
+  let y = N.add_net nl "y" and s = N.add_net nl "s" in
+  let _ = N.add_device nl ~name:"tpc" ~gate:clk ~src:(N.vdd nl) ~drn:y ~polarity:A.P_type in
+  let _ = N.add_device nl ~name:"tev" ~gate:clk ~src:s ~drn:(N.gnd nl) ~polarity:A.N_type in
+  let _ = N.add_device nl ~name:"ma" ~gate:a ~src:y ~drn:s ~polarity:A.N_type in
+  let _ = N.add_device nl ~name:"mb" ~gate:b ~src:y ~drn:s ~polarity:A.N_type in
+  let cases = [ (false, false, true); (true, false, false); (false, true, false); (true, true, false) ] in
+  List.iter
+    (fun (va, vb, expect) ->
+      let sim = Sim.create nl in
+      Sim.set_input sim a va;
+      Sim.set_input sim b vb;
+      Sim.set_input sim clk false;
+      Sim.phase sim;
+      checkb "precharged high" true (Sim.bool_of_net sim y = Some true);
+      Sim.set_input sim clk true;
+      Sim.phase sim;
+      checkb "NOR value" true (Sim.bool_of_net sim y = Some expect))
+    cases
+
+let test_run_phases () =
+  let nl, inp, out = build_inverter () in
+  let sim = Sim.create nl in
+  Sim.set_input sim inp true;
+  Sim.run_phases sim 3;
+  checkb "stable over phases" true (Sim.bool_of_net sim out = Some false)
+
+(* --- Elmore ------------------------------------------------------------------------ *)
+
+let test_elmore_single_rc () =
+  let t = Circuit.Elmore.create ~driver_resistance:1000.0 in
+  let n = Circuit.Elmore.add_node t ~parent:(Circuit.Elmore.root t) ~resistance:0.0 ~capacitance:1e-12 in
+  checkf "R*C" 1e-9 (Circuit.Elmore.delay t n)
+
+let test_elmore_two_segments () =
+  (* driver R, then two segments r=100 c=1p each:
+     delay = R*(c1+c2) + r*c1 + (r+r)*c2 = 1000*2p + 100*1p + 200*1p. *)
+  let t = Circuit.Elmore.create ~driver_resistance:1000.0 in
+  let n1 = Circuit.Elmore.add_node t ~parent:(Circuit.Elmore.root t) ~resistance:100.0 ~capacitance:1e-12 in
+  let n2 = Circuit.Elmore.add_node t ~parent:n1 ~resistance:100.0 ~capacitance:1e-12 in
+  checkf "chain delay" 2.3e-9 (Circuit.Elmore.delay t n2)
+
+let test_elmore_branch () =
+  (* A side branch loads the main path only through the shared driver. *)
+  let t = Circuit.Elmore.create ~driver_resistance:1000.0 in
+  let root = Circuit.Elmore.root t in
+  let main = Circuit.Elmore.add_node t ~parent:root ~resistance:100.0 ~capacitance:1e-12 in
+  let _side = Circuit.Elmore.add_node t ~parent:root ~resistance:500.0 ~capacitance:1e-12 in
+  (* delay(main) = 1000*(1p + 1p) + 100*1p  (side cap shares only the driver) *)
+  checkf "branch shares driver only" 2.1e-9 (Circuit.Elmore.delay t main)
+
+let test_elmore_add_capacitance () =
+  let t = Circuit.Elmore.create ~driver_resistance:1000.0 in
+  let n = Circuit.Elmore.add_node t ~parent:(Circuit.Elmore.root t) ~resistance:0.0 ~capacitance:1e-12 in
+  Circuit.Elmore.add_capacitance t n 1e-12;
+  checkf "load added" 2e-9 (Circuit.Elmore.delay t n)
+
+let test_elmore_max_and_total () =
+  let t = Circuit.Elmore.create ~driver_resistance:100.0 in
+  let a = Circuit.Elmore.add_node t ~parent:(Circuit.Elmore.root t) ~resistance:10.0 ~capacitance:1e-12 in
+  let _b = Circuit.Elmore.add_node t ~parent:a ~resistance:10.0 ~capacitance:2e-12 in
+  checkf "total capacitance" 3e-12 (Circuit.Elmore.total_capacitance t);
+  checkb "max ≥ any node delay" true
+    (Circuit.Elmore.max_delay t >= Circuit.Elmore.delay t a)
+
+let test_elmore_wire_monotone_in_length () =
+  let d k =
+    Circuit.Elmore.wire ~driver_resistance:1000.0 ~r_per_seg:100.0 ~c_per_seg:1e-13
+      ~segments:k ~load:1e-13
+  in
+  checkb "longer wire is slower" true (d 10 > d 5 && d 5 > d 1)
+
+let test_elmore_wire_quadratic_unbuffered () =
+  (* Unbuffered RC lines grow superlinearly. *)
+  let d k =
+    Circuit.Elmore.wire ~driver_resistance:0.0 ~r_per_seg:100.0 ~c_per_seg:1e-13 ~segments:k
+      ~load:0.0
+  in
+  checkb "superlinear growth" true (d 20 > 3.5 *. d 10)
+
+(* --- Transient --------------------------------------------------------------------- *)
+
+let vdd = Device.Ambipolar.default.Device.Ambipolar.vdd
+
+let test_transient_rc_charge () =
+  (* A single n-device with gate high charges its drain toward VDD - Vth-ish;
+     check monotone rise and a sensible final level. *)
+  let nl = N.create () in
+  let g = N.add_net nl "g" and out = N.add_net nl "out" in
+  let _ = N.add_device nl ~name:"m" ~gate:g ~src:(N.vdd nl) ~drn:out ~polarity:A.N_type in
+  let tr = Circuit.Transient.create nl in
+  Circuit.Transient.drive tr g vdd;
+  Circuit.Transient.record tr out;
+  Circuit.Transient.run tr ~until:100e-12;
+  let samples = List.map snd (Circuit.Transient.waveform tr out) in
+  let monotone =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a <= b +. 1e-4 && go rest
+      | _ -> true
+    in
+    go samples
+  in
+  checkb "monotone rise" true monotone;
+  checkb "reaches a high level" true (Circuit.Transient.voltage tr out > 0.5 *. vdd)
+
+let test_transient_inverter_switches () =
+  let nl, inp, out = build_inverter () in
+  let tr = Circuit.Transient.create nl in
+  Circuit.Transient.record tr out;
+  Circuit.Transient.drive tr inp 0.0;
+  Circuit.Transient.run tr ~until:100e-12;
+  checkb "output high for low input" true (Circuit.Transient.voltage tr out > 0.9 *. vdd);
+  Circuit.Transient.drive tr inp vdd;
+  Circuit.Transient.run tr ~until:250e-12;
+  checkb "output low for high input" true (Circuit.Transient.voltage tr out < 0.1 *. vdd);
+  (match Circuit.Transient.crossing_time tr out ~level:(vdd /. 2.0) ~rising:false with
+  | Some t -> checkb "fall crossing after the input step" true (t > 100e-12)
+  | None -> Alcotest.fail "expected a falling crossing")
+
+let test_transient_dynamic_gnor_phases () =
+  (* Pre-charge then evaluate at waveform level; discharging and
+     non-discharging input cases. *)
+  let build () =
+    let nl = N.create () in
+    let clk = N.add_net nl "clk" and a = N.add_net nl "a" in
+    let y = N.add_net nl "y" and s = N.add_net nl "s" in
+    let _ = N.add_device nl ~name:"tpc" ~gate:clk ~src:(N.vdd nl) ~drn:y ~polarity:A.P_type in
+    let _ = N.add_device nl ~name:"tev" ~gate:clk ~src:s ~drn:(N.gnd nl) ~polarity:A.N_type in
+    let _ = N.add_device nl ~name:"m" ~gate:a ~src:y ~drn:s ~polarity:A.N_type in
+    (nl, clk, a, y)
+  in
+  let run input_high =
+    let nl, clk, a, y = build () in
+    let tr = Circuit.Transient.create nl in
+    Circuit.Transient.drive tr a (if input_high then vdd else 0.0);
+    Circuit.Transient.drive tr clk 0.0;
+    Circuit.Transient.run tr ~until:60e-12;
+    let after_precharge = Circuit.Transient.voltage tr y in
+    Circuit.Transient.drive tr clk vdd;
+    Circuit.Transient.run tr ~until:200e-12;
+    (after_precharge, Circuit.Transient.voltage tr y)
+  in
+  let pre1, eval1 = run true in
+  checkb "precharged high" true (pre1 > 0.9 *. vdd);
+  checkb "discharges when input high" true (eval1 < 0.1 *. vdd);
+  let pre0, eval0 = run false in
+  checkb "precharged high (case 0)" true (pre0 > 0.9 *. vdd);
+  checkb "holds when input low" true (eval0 > 0.9 *. vdd)
+
+let test_transient_charge_retention () =
+  (* A floating node keeps its voltage when every device is off. *)
+  let nl = N.create () in
+  let g = N.add_net nl "g" and out = N.add_net nl "out" in
+  let _ = N.add_device nl ~name:"m" ~gate:g ~src:(N.vdd nl) ~drn:out ~polarity:A.N_type in
+  let tr = Circuit.Transient.create nl in
+  Circuit.Transient.drive tr g vdd;
+  Circuit.Transient.run tr ~until:100e-12;
+  let charged = Circuit.Transient.voltage tr out in
+  Circuit.Transient.drive tr g 0.0;
+  Circuit.Transient.run tr ~until:300e-12;
+  let later = Circuit.Transient.voltage tr out in
+  checkb "retains charge within 5%" true (Float.abs (later -. charged) < 0.05 *. vdd)
+
+let test_transient_capacitance_slows_node () =
+  let fall_time cap =
+    let nl = N.create () in
+    let g = N.add_net nl "g" and out = N.add_net nl "out" in
+    let _ = N.add_device nl ~name:"m" ~gate:g ~src:out ~drn:(N.gnd nl) ~polarity:A.N_type in
+    let tr = Circuit.Transient.create nl in
+    Circuit.Transient.set_capacitance tr out cap;
+    (* start the node high, then discharge through the device *)
+    Circuit.Transient.drive tr out vdd;
+    Circuit.Transient.run tr ~until:5e-12;
+    Circuit.Transient.release tr out;
+    Circuit.Transient.record tr out;
+    Circuit.Transient.drive tr g vdd;
+    Circuit.Transient.run tr ~until:500e-12;
+    Circuit.Transient.crossing_time tr out ~level:(vdd /. 2.0) ~rising:false
+  in
+  match (fall_time 0.2e-15, fall_time 2.0e-15) with
+  | Some fast, Some slow -> checkb "10x capacitance is slower" true (slow > 3.0 *. fast)
+  | _ -> Alcotest.fail "expected both crossings"
+
+(* --- Vcd -------------------------------------------------------------------------- *)
+
+let run_recorded_inverter () =
+  let nl, inp, out = build_inverter () in
+  let tr = Circuit.Transient.create nl in
+  Circuit.Transient.record tr out;
+  Circuit.Transient.record tr inp;
+  Circuit.Transient.drive tr inp 0.0;
+  Circuit.Transient.run tr ~until:50e-12;
+  Circuit.Transient.drive tr inp vdd;
+  Circuit.Transient.run tr ~until:120e-12;
+  (tr, inp, out)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_vcd_structure () =
+  let tr, inp, out = run_recorded_inverter () in
+  let vcd = Circuit.Vcd.to_string tr ~nets:[ (inp, "in"); (out, "out") ] in
+  let has s = contains vcd s in
+  checkb "timescale" true (has "$timescale 1 ps $end");
+  checkb "two vars" true (has "$var real 64 ! in $end" && has "$var real 64 \" out $end");
+  checkb "enddefinitions" true (has "$enddefinitions $end");
+  checkb "has timestamps" true (has "#0" || has "#1");
+  checkb "has real changes" true (has "r1.2" || has "r0 ")
+
+let test_vcd_resolution_limits_samples () =
+  let tr, _, out = run_recorded_inverter () in
+  let fine = Circuit.Vcd.to_string ~resolution:1e-4 tr ~nets:[ (out, "out") ] in
+  let coarse = Circuit.Vcd.to_string ~resolution:0.3 tr ~nets:[ (out, "out") ] in
+  checkb "coarser resolution fewer changes" true (String.length coarse < String.length fine)
+
+let test_vcd_file () =
+  let tr, inp, out = run_recorded_inverter () in
+  let path = Filename.temp_file "cnfet" ".vcd" in
+  Circuit.Vcd.write_file path tr ~nets:[ (inp, "in"); (out, "out") ];
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  checkb "non-empty file" true (len > 100)
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "merge strength" `Quick test_value_merge_strength;
+          Alcotest.test_case "merge conflict" `Quick test_value_merge_conflict;
+          Alcotest.test_case "charge sharing" `Quick test_value_merge_charge_sharing;
+          Alcotest.test_case "floating identity" `Quick test_value_merge_floating_identity;
+          Alcotest.test_case "weaken" `Quick test_value_weaken;
+          Alcotest.test_case "to_bool" `Quick test_value_to_bool;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "basics" `Quick test_netlist_basics;
+          Alcotest.test_case "array growth" `Quick test_netlist_growth;
+        ] );
+      ( "static-sim",
+        [
+          Alcotest.test_case "inverter" `Quick test_inverter;
+          Alcotest.test_case "pass transistor + retention" `Quick test_pass_transistor;
+          Alcotest.test_case "off-state isolation" `Quick test_off_state_isolation;
+          Alcotest.test_case "X gate propagates X" `Quick test_x_gate_propagates_x;
+          Alcotest.test_case "transmission chain" `Quick test_transmission_chain;
+          Alcotest.test_case "release input" `Quick test_release_input;
+          Alcotest.test_case "ring oscillator bounded" `Quick test_ring_oscillator_detected;
+        ] );
+      ( "dynamic-sim",
+        [
+          Alcotest.test_case "precharge/evaluate NOR" `Quick test_dynamic_nor;
+          Alcotest.test_case "run_phases" `Quick test_run_phases;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "RC charge" `Quick test_transient_rc_charge;
+          Alcotest.test_case "inverter switches" `Quick test_transient_inverter_switches;
+          Alcotest.test_case "dynamic GNOR phases" `Quick test_transient_dynamic_gnor_phases;
+          Alcotest.test_case "charge retention" `Quick test_transient_charge_retention;
+          Alcotest.test_case "capacitance slows node" `Quick
+            test_transient_capacitance_slows_node;
+        ] );
+      ( "vcd",
+        [
+          Alcotest.test_case "structure" `Quick test_vcd_structure;
+          Alcotest.test_case "resolution limits samples" `Quick
+            test_vcd_resolution_limits_samples;
+          Alcotest.test_case "file output" `Quick test_vcd_file;
+        ] );
+      ( "elmore",
+        [
+          Alcotest.test_case "single RC" `Quick test_elmore_single_rc;
+          Alcotest.test_case "two segments" `Quick test_elmore_two_segments;
+          Alcotest.test_case "branch" `Quick test_elmore_branch;
+          Alcotest.test_case "added load" `Quick test_elmore_add_capacitance;
+          Alcotest.test_case "max and total" `Quick test_elmore_max_and_total;
+          Alcotest.test_case "wire monotone" `Quick test_elmore_wire_monotone_in_length;
+          Alcotest.test_case "unbuffered superlinear" `Quick
+            test_elmore_wire_quadratic_unbuffered;
+        ] );
+    ]

@@ -1,0 +1,1100 @@
+(* Tests for the cnfet core library: GNOR gates and planes (functional and
+   switch-level), PLA mapping, programming protocol, crossbar, area model,
+   Whirlpool PLA. *)
+
+module G = Cnfet.Gnor
+module Plane = Cnfet.Plane
+module Pla = Cnfet.Pla
+module Cover = Logic.Cover
+module Expr = Logic.Expr
+module A = Device.Ambipolar
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- GNOR functional model ---------------------------------------------- *)
+
+let test_gnor_modes_map_to_polarities () =
+  checkb "pass is n" true (G.mode_polarity G.Pass = A.N_type);
+  checkb "invert is p" true (G.mode_polarity G.Invert = A.P_type);
+  checkb "drop is off" true (G.mode_polarity G.Drop = A.Off_state);
+  List.iter
+    (fun m -> checkb "roundtrip" true (G.mode_of_polarity (G.mode_polarity m) = m))
+    [ G.Pass; G.Invert; G.Drop ]
+
+let test_gnor_pg_voltages () =
+  let p = A.default in
+  checkf "pass at V+" (A.v_plus p) (G.mode_pg_voltage p G.Pass);
+  checkf "invert at V-" (A.v_minus p) (G.mode_pg_voltage p G.Invert);
+  checkf "drop at V0" (A.v_zero p) (G.mode_pg_voltage p G.Drop)
+
+let test_gnor_eval_nor () =
+  let modes = [| G.Pass; G.Pass |] in
+  checkb "00" true (G.eval_functional modes [| false; false |]);
+  checkb "10" false (G.eval_functional modes [| true; false |]);
+  checkb "01" false (G.eval_functional modes [| false; true |]);
+  checkb "11" false (G.eval_functional modes [| true; true |])
+
+let test_gnor_eval_xor_via_controls () =
+  (* Paper §3: NOR(C1 ⊕ A, C2 ⊕ B) with suitable controls gives EXOR-family
+     functions; with one input inverted the gate is A'B + ... check
+     NOR(A, B') = A' B. *)
+  let modes = [| G.Pass; G.Invert |] in
+  checkb "01 -> 1" true (G.eval_functional modes [| false; true |]);
+  checkb "00 -> 0" false (G.eval_functional modes [| false; false |]);
+  checkb "11 -> 0" false (G.eval_functional modes [| true; true |])
+
+let test_gnor_eval_drop () =
+  let modes = [| G.Pass; G.Drop |] in
+  checkb "dropped input ignored (1)" false (G.eval_functional modes [| true; true |]);
+  checkb "dropped input ignored (0)" true (G.eval_functional modes [| false; true |])
+
+let test_gnor_eval_all_dropped () =
+  checkb "all dropped gives 1" true (G.eval_functional [| G.Drop; G.Drop |] [| true; true |])
+
+let test_gnor_eval_length_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Gnor.eval_functional") (fun () ->
+      ignore (G.eval_functional [| G.Pass |] [| true; false |]))
+
+(* --- GNOR switch level: Fig. 2 ------------------------------------------- *)
+
+let test_gnor_fig2_configuration () =
+  (* Y = NOR(A, B', D) with C dropped: the paper's configured example. *)
+  let modes = [| G.Pass; G.Invert; G.Drop; G.Pass |] in
+  for m = 0 to 15 do
+    let inputs = Array.init 4 (fun i -> m land (1 lsl i) <> 0) in
+    let expect = not (inputs.(0) || not inputs.(1) || inputs.(3)) in
+    checkb
+      (Printf.sprintf "fig2 pattern %d" m)
+      expect
+      (G.simulate modes inputs)
+  done
+
+let test_gnor_switch_matches_functional_random () =
+  let rng = Util.Rng.create 808 in
+  for _ = 1 to 40 do
+    let n = 1 + Util.Rng.int rng 5 in
+    let modes =
+      Array.init n (fun _ ->
+          match Util.Rng.int rng 3 with 0 -> G.Pass | 1 -> G.Invert | _ -> G.Drop)
+    in
+    let inputs = Array.init n (fun _ -> Util.Rng.bool rng) in
+    checkb "switch == functional" (G.eval_functional modes inputs) (G.simulate modes inputs)
+  done
+
+let test_gnor_reconfiguration () =
+  (* The same physical gate, reprogrammed, computes a different function. *)
+  let nl = Circuit.Netlist.create () in
+  let clk = Circuit.Netlist.add_net nl "clk" in
+  let a = Circuit.Netlist.add_net nl "a" in
+  let g = G.build nl ~name:"g" ~clock:clk ~inputs:[| a |] in
+  let run modes va =
+    G.configure nl g modes;
+    let sim = Circuit.Sim.create nl in
+    Circuit.Sim.set_input sim a va;
+    Circuit.Sim.set_input sim clk false;
+    Circuit.Sim.phase sim;
+    Circuit.Sim.set_input sim clk true;
+    Circuit.Sim.phase sim;
+    Circuit.Sim.bool_of_net sim (G.output g)
+  in
+  checkb "as NOT" true (run [| G.Pass |] true = Some false);
+  checkb "as BUF(¬)" true (run [| G.Invert |] true = Some true);
+  checkb "as const 1" true (run [| G.Drop |] true = Some true)
+
+(* --- Plane ------------------------------------------------------------------ *)
+
+let test_plane_eval_rows () =
+  let p = Plane.create ~rows:2 ~cols:2 in
+  Plane.configure_row p 0 [| G.Pass; G.Drop |];
+  Plane.configure_row p 1 [| G.Invert; G.Pass |];
+  let out = Plane.eval p [| false; false |] in
+  checkb "row0 = NOR(a)" true out.(0);
+  checkb "row1 = NOR(a', b)" false out.(1)
+
+let test_plane_counts () =
+  let p = Plane.create ~rows:3 ~cols:4 in
+  checki "crosspoints" 12 (Plane.crosspoint_count p);
+  checki "none used" 0 (Plane.used_crosspoints p);
+  Plane.set_mode p ~row:1 ~col:2 G.Pass;
+  Plane.set_mode p ~row:2 ~col:0 G.Invert;
+  checki "two used" 2 (Plane.used_crosspoints p)
+
+let test_plane_copy_independent () =
+  let p = Plane.create ~rows:1 ~cols:1 in
+  let q = Plane.copy p in
+  Plane.set_mode q ~row:0 ~col:0 G.Pass;
+  checkb "original untouched" true (Plane.mode p ~row:0 ~col:0 = G.Drop);
+  checkb "not equal anymore" false (Plane.equal p q)
+
+let test_plane_hw_matches_functional () =
+  let rng = Util.Rng.create 909 in
+  let p = Plane.create ~rows:3 ~cols:3 in
+  Plane.iter
+    (fun r c _ ->
+      let m = match Util.Rng.int rng 3 with 0 -> G.Pass | 1 -> G.Invert | _ -> G.Drop in
+      Plane.set_mode p ~row:r ~col:c m)
+    p;
+  let hw = Plane.build_hw p in
+  for m = 0 to 7 do
+    let inputs = Array.init 3 (fun i -> m land (1 lsl i) <> 0) in
+    Alcotest.check (Alcotest.array Alcotest.bool)
+      (Printf.sprintf "pattern %d" m)
+      (Plane.eval p inputs) (Plane.simulate_hw hw inputs)
+  done
+
+let test_plane_bounds () =
+  let p = Plane.create ~rows:2 ~cols:2 in
+  Alcotest.check_raises "row out of range" (Invalid_argument "Plane: out of range")
+    (fun () -> ignore (Plane.mode p ~row:2 ~col:0))
+
+(* --- PLA mapping ----------------------------------------------------------------- *)
+
+let cover_of_exprs n_in exprs = Expr.to_cover_multi ~n_in exprs
+
+let test_pla_maps_sop () =
+  let f = cover_of_exprs 3 [ Expr.(v 0 && v 1 || (not_ (v 2) && v 0)) ] in
+  let pla = Pla.of_cover f in
+  checkb "implements cover" true (Pla.verify_against pla f)
+
+let test_pla_eval_random () =
+  let rng = Util.Rng.create 111 in
+  for _ = 1 to 25 do
+    let n_in = 2 + Util.Rng.int rng 5 in
+    let n_out = 1 + Util.Rng.int rng 3 in
+    let f = Cover.random rng ~n_in ~n_out ~n_cubes:(1 + Util.Rng.int rng 10) ~dc_bias:0.4 in
+    let pla = Pla.of_cover f in
+    checkb "verify_against" true (Pla.verify_against pla f)
+  done
+
+let test_pla_single_column_per_input () =
+  let f = cover_of_exprs 4 [ Expr.(v 0 && not_ (v 1) && v 2 && not_ (v 3)) ] in
+  let pla = Pla.of_cover f in
+  checki "AND plane has n_in columns" 4 (Plane.cols (Pla.and_plane pla));
+  checki "one product row" 1 (Plane.rows (Pla.and_plane pla))
+
+let test_pla_of_minimized_smaller () =
+  let rng = Util.Rng.create 222 in
+  let f = Cover.random rng ~n_in:5 ~n_out:2 ~n_cubes:20 ~dc_bias:0.4 in
+  let raw = Pla.of_cover f in
+  let minimized = Pla.of_minimized f in
+  checkb "minimized PLA no larger" true (Pla.num_products minimized <= Pla.num_products raw);
+  checkb "still correct" true (Pla.verify_against minimized f)
+
+let test_pla_inverted_outputs () =
+  (* Map the complement cover with inverted_outputs: the PLA must realize
+     the original function. *)
+  let f = cover_of_exprs 3 [ Expr.(v 0 && v 1 && v 2) ] in
+  let neg = Cover.complement f in
+  let pla = Pla.of_cover ~inverted_outputs:[| true |] neg in
+  checkb "negative-phase mapping" true (Pla.verify_against pla f)
+
+let test_pla_constant_outputs () =
+  let f = cover_of_exprs 2 [ Expr.Const false; Expr.Const true ] in
+  let pla = Pla.of_cover f in
+  checkb "constants" true (Pla.verify_against pla f)
+
+let test_pla_eval_products () =
+  let f = cover_of_exprs 2 [ Expr.(v 0 && v 1) ] in
+  let pla = Pla.of_cover f in
+  let prods = Pla.eval_products pla [| true; true |] in
+  checkb "product fires" true prods.(0);
+  let prods0 = Pla.eval_products pla [| true; false |] in
+  checkb "product silent" false prods0.(0)
+
+let test_pla_hw_matches_functional () =
+  let rng = Util.Rng.create 333 in
+  for _ = 1 to 5 do
+    let n_in = 2 + Util.Rng.int rng 3 in
+    let n_out = 1 + Util.Rng.int rng 2 in
+    let f = Cover.random rng ~n_in ~n_out ~n_cubes:(1 + Util.Rng.int rng 6) ~dc_bias:0.4 in
+    let pla = Pla.of_minimized f in
+    let hw = Pla.build_hw pla in
+    for m = 0 to (1 lsl n_in) - 1 do
+      let inputs = Array.init n_in (fun i -> m land (1 lsl i) <> 0) in
+      Alcotest.check (Alcotest.array Alcotest.bool) "hw == functional" (Pla.eval pla inputs)
+        (Pla.simulate_hw hw inputs)
+    done
+  done
+
+let test_pla_of_planes_roundtrip () =
+  let f = cover_of_exprs 3 [ Expr.(v 0 || (v 1 && v 2)) ] in
+  let pla = Pla.of_cover f in
+  let rebuilt =
+    Pla.of_planes ~n_in:3 ~n_out:1 ~and_plane:(Pla.and_plane pla) ~or_plane:(Pla.or_plane pla)
+      ~inverted_outputs:[| not (Pla.output_inverted pla 0) |]
+  in
+  checkb "of_planes preserves behaviour" true (Pla.verify_against rebuilt f)
+
+(* --- programming protocol (Fig. 3/4) ----------------------------------------- *)
+
+let test_program_roundtrip () =
+  let rng = Util.Rng.create 444 in
+  let plane = Plane.create ~rows:4 ~cols:5 in
+  Plane.iter
+    (fun r c _ ->
+      let m = match Util.Rng.int rng 3 with 0 -> G.Pass | 1 -> G.Invert | _ -> G.Drop in
+      Plane.set_mode plane ~row:r ~col:c m)
+    plane;
+  let prog = Cnfet.Program.create ~rows:4 ~cols:5 () in
+  Cnfet.Program.program_plane prog plane;
+  checkb "readback matches" true (Cnfet.Program.verify prog plane);
+  checki "one step per crosspoint" 20 (Cnfet.Program.steps prog)
+
+let test_program_initial_state_off () =
+  let prog = Cnfet.Program.create ~rows:2 ~cols:2 () in
+  let plane = Cnfet.Program.readback prog in
+  Plane.iter (fun _ _ m -> checkb "starts dropped" true (m = G.Drop)) plane
+
+let test_program_single_write () =
+  let prog = Cnfet.Program.create ~rows:3 ~cols:3 () in
+  Cnfet.Program.write_mode prog ~row:1 ~col:2 G.Pass;
+  let plane = Cnfet.Program.readback prog in
+  checkb "written cell" true (Plane.mode plane ~row:1 ~col:2 = G.Pass);
+  checkb "neighbour untouched" true (Plane.mode plane ~row:1 ~col:1 = G.Drop)
+
+let test_program_disturb () =
+  (* With heavy disturb, repeatedly writing one cell drags its row/column
+     half-selected neighbours toward the written voltage. *)
+  let p = A.default in
+  let prog = Cnfet.Program.create ~disturb:0.2 ~rows:2 ~cols:2 () in
+  for _ = 1 to 20 do
+    Cnfet.Program.write prog ~row:0 ~col:0 (A.v_plus p)
+  done;
+  let v_half = Cnfet.Program.stored_voltage prog ~row:0 ~col:1 in
+  checkb "half-selected cell disturbed" true (v_half > A.v_zero p +. 0.1);
+  let v_unselected = Cnfet.Program.stored_voltage prog ~row:1 ~col:1 in
+  checkf "unselected cell keeps V0" (A.v_zero p) v_unselected
+
+let test_program_retention () =
+  let prog = Cnfet.Program.create ~rows:1 ~cols:1 () in
+  Cnfet.Program.write_mode prog ~row:0 ~col:0 G.Pass;
+  Cnfet.Program.age prog ~seconds:1.0;
+  let plane = Cnfet.Program.readback prog in
+  checkb "state survives 1 s" true (Plane.mode plane ~row:0 ~col:0 = G.Pass);
+  Cnfet.Program.age prog ~seconds:1e6;
+  let plane' = Cnfet.Program.readback prog in
+  checkb "charge eventually decays to off" true (Plane.mode plane' ~row:0 ~col:0 = G.Drop)
+
+(* --- Program_hw (physical select network) ----------------------------------------- *)
+
+let test_program_hw_selected_cell_full_level () =
+  let hw = Cnfet.Program_hw.build ~rows:3 ~cols:3 () in
+  Cnfet.Program_hw.write_mode hw ~row:1 ~col:1 G.Pass;
+  let v = Cnfet.Program_hw.stored_voltage hw ~row:1 ~col:1 in
+  checkb "boosted write reaches full VDD" true (v > 1.15)
+
+let test_program_hw_half_select_isolation () =
+  let hw = Cnfet.Program_hw.build ~rows:3 ~cols:3 () in
+  Cnfet.Program_hw.write_mode hw ~row:1 ~col:1 G.Pass;
+  let v0 = Device.Ambipolar.v_zero Device.Ambipolar.default in
+  List.iter
+    (fun (r, c) ->
+      let v = Cnfet.Program_hw.stored_voltage hw ~row:r ~col:c in
+      checkb
+        (Printf.sprintf "cell (%d,%d) undisturbed" r c)
+        true
+        (Float.abs (v -. v0) < 0.05))
+    [ (1, 0); (0, 1); (2, 2); (0, 0) ]
+
+let test_program_hw_plane_roundtrip () =
+  let rng = Util.Rng.create 21 in
+  let plane = Plane.create ~rows:3 ~cols:4 in
+  Plane.iter
+    (fun r c _ ->
+      let m = match Util.Rng.int rng 3 with 0 -> G.Pass | 1 -> G.Invert | _ -> G.Drop in
+      Plane.set_mode plane ~row:r ~col:c m)
+    plane;
+  let hw = Cnfet.Program_hw.build ~rows:3 ~cols:4 () in
+  Cnfet.Program_hw.program_plane hw plane;
+  checkb "physical program + readback" true (Cnfet.Program_hw.verify hw plane);
+  checki "two access devices per crosspoint" 24 (Cnfet.Program_hw.device_count hw)
+
+let test_program_hw_rewrite () =
+  (* Reprogramming a cell in a used array must overwrite the old charge. *)
+  let hw = Cnfet.Program_hw.build ~rows:2 ~cols:2 () in
+  Cnfet.Program_hw.write_mode hw ~row:0 ~col:0 G.Pass;
+  Cnfet.Program_hw.write_mode hw ~row:0 ~col:0 G.Invert;
+  let plane = Cnfet.Program_hw.readback hw in
+  checkb "rewritten to invert" true (Plane.mode plane ~row:0 ~col:0 = G.Invert)
+
+let test_program_hw_matches_charge_model () =
+  (* The physical network and the charge-level protocol agree on the final
+     configuration. *)
+  let plane = Plane.create ~rows:2 ~cols:3 in
+  Plane.configure_row plane 0 [| G.Pass; G.Drop; G.Invert |];
+  Plane.configure_row plane 1 [| G.Invert; G.Pass; G.Drop |];
+  let hw = Cnfet.Program_hw.build ~rows:2 ~cols:3 () in
+  Cnfet.Program_hw.program_plane hw plane;
+  let prog = Cnfet.Program.create ~rows:2 ~cols:3 () in
+  Cnfet.Program.program_plane prog plane;
+  checkb "both readbacks equal" true
+    (Plane.equal (Cnfet.Program_hw.readback hw) (Cnfet.Program.readback prog))
+
+(* --- Crossbar ------------------------------------------------------------------ *)
+
+let test_crossbar_connectivity () =
+  let x = Cnfet.Crossbar.create ~rows:3 ~cols:3 in
+  checkb "initially open" false (Cnfet.Crossbar.route_point_to_point x ~from_row:0 ~to_col:0);
+  Cnfet.Crossbar.connect x ~row:0 ~col:1;
+  checkb "direct connection" true (Cnfet.Crossbar.route_point_to_point x ~from_row:0 ~to_col:1);
+  Cnfet.Crossbar.connect x ~row:2 ~col:1;
+  checkb "transitive through column" true
+    (Cnfet.Crossbar.route_point_to_point x ~from_row:2 ~to_col:1);
+  Cnfet.Crossbar.disconnect x ~row:0 ~col:1;
+  checkb "disconnect works" false (Cnfet.Crossbar.route_point_to_point x ~from_row:0 ~to_col:1)
+
+let test_crossbar_polarity () =
+  let x = Cnfet.Crossbar.create ~rows:2 ~cols:2 in
+  Cnfet.Crossbar.connect x ~row:0 ~col:0;
+  checkb "connected is n-type" true
+    (Cnfet.Crossbar.crosspoint_polarity x ~row:0 ~col:0 = A.N_type);
+  checkb "open is off" true (Cnfet.Crossbar.crosspoint_polarity x ~row:1 ~col:1 = A.Off_state)
+
+let test_crossbar_components () =
+  let x = Cnfet.Crossbar.create ~rows:2 ~cols:2 in
+  checki "all isolated" 4 (List.length (Cnfet.Crossbar.components x));
+  Cnfet.Crossbar.connect x ~row:0 ~col:0;
+  Cnfet.Crossbar.connect x ~row:1 ~col:0;
+  (* {R0, R1, C0} fused; C1 alone. *)
+  checki "two groups" 2 (List.length (Cnfet.Crossbar.components x))
+
+let test_crossbar_resolve () =
+  let x = Cnfet.Crossbar.create ~rows:2 ~cols:2 in
+  Cnfet.Crossbar.connect x ~row:0 ~col:0;
+  let v = Cnfet.Crossbar.resolve x ~driven:[ (Cnfet.Crossbar.Row 0, true) ] (Cnfet.Crossbar.Col 0) in
+  checkb "signal propagates" true (v = Cnfet.Crossbar.Driven true);
+  let z = Cnfet.Crossbar.resolve x ~driven:[ (Cnfet.Crossbar.Row 0, true) ] (Cnfet.Crossbar.Col 1) in
+  checkb "isolated floats" true (z = Cnfet.Crossbar.Floating);
+  Cnfet.Crossbar.connect x ~row:1 ~col:0;
+  let c =
+    Cnfet.Crossbar.resolve x
+      ~driven:[ (Cnfet.Crossbar.Row 0, true); (Cnfet.Crossbar.Row 1, false) ]
+      (Cnfet.Crossbar.Col 0)
+  in
+  checkb "conflict detected" true (c = Cnfet.Crossbar.Conflict)
+
+let test_crossbar_area () =
+  let x = Cnfet.Crossbar.create ~rows:4 ~cols:5 in
+  checki "area = cell * crosspoints" (60 * 20) (Cnfet.Crossbar.area Device.Tech.cnfet x)
+
+let test_crossbar_hw_matches_resolve () =
+  let rng = Util.Rng.create 66 in
+  for _ = 1 to 10 do
+    let rows = 2 + Util.Rng.int rng 3 and cols = 2 + Util.Rng.int rng 3 in
+    let x = Cnfet.Crossbar.create ~rows ~cols in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        if Util.Rng.bernoulli rng 0.3 then Cnfet.Crossbar.connect x ~row:r ~col:c
+      done
+    done;
+    let hw = Cnfet.Crossbar.build_hw x in
+    let driven = [ (0, Util.Rng.bool rng) ] in
+    let _, cols_hw = Cnfet.Crossbar.simulate_hw hw ~driven in
+    for c = 0 to cols - 1 do
+      let want =
+        match
+          Cnfet.Crossbar.resolve x
+            ~driven:(List.map (fun (r, v) -> (Cnfet.Crossbar.Row r, v)) driven)
+            (Cnfet.Crossbar.Col c)
+        with
+        | Cnfet.Crossbar.Driven b -> Some b
+        | Cnfet.Crossbar.Conflict | Cnfet.Crossbar.Floating -> None
+      in
+      checkb "hw column matches resolve" true (cols_hw.(c) = want)
+    done
+  done
+
+(* Random NOR networks: generator + mapping property. *)
+let random_network seed =
+  let rng = Util.Rng.create seed in
+  let n_pi = 2 + Util.Rng.int rng 4 in
+  let n_nodes = 1 + Util.Rng.int rng 10 in
+  let nodes =
+    Array.init n_nodes (fun k ->
+        let n_fanin = 1 + Util.Rng.int rng 3 in
+        List.init n_fanin (fun _ ->
+            let s =
+              if k = 0 || Util.Rng.bool rng then Cnfet.Cascade.Pi (Util.Rng.int rng n_pi)
+              else Cnfet.Cascade.Node (Util.Rng.int rng k)
+            in
+            (s, Util.Rng.bool rng)))
+  in
+  (* Drop duplicate-signal fanins with conflicting flags (unmappable). *)
+  let nodes =
+    Array.map
+      (fun fanins ->
+        List.fold_left
+          (fun acc (s, inv) ->
+            if List.exists (fun (s', _) -> s = s') acc then acc else (s, inv) :: acc)
+          [] fanins)
+      nodes
+  in
+  let outputs =
+    Array.init
+      (1 + Util.Rng.int rng 3)
+      (fun _ -> Cnfet.Cascade.Node (Util.Rng.int rng n_nodes))
+  in
+  { Cnfet.Cascade.n_pi; nodes; outputs }
+
+let prop_cascade_mapping_preserves =
+  QCheck.Test.make ~name:"cascade mapping preserves any NOR network" ~count:100
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let net = random_network seed in
+      Cnfet.Cascade.verify_against_network (Cnfet.Cascade.of_network net) net)
+
+(* qcheck: mapping any random cover onto a PLA preserves the function. *)
+let prop_pla_mapping_preserves =
+  let gen =
+    QCheck.Gen.(
+      let* n_in = int_range 1 6 in
+      let* n_out = int_range 1 3 in
+      let* n_cubes = int_range 0 10 in
+      let* seed = int_bound 1_000_000 in
+      return (Logic.Cover.random (Util.Rng.create seed) ~n_in ~n_out ~n_cubes ~dc_bias:0.4))
+  in
+  QCheck.Test.make ~name:"PLA mapping preserves any cover" ~count:100
+    (QCheck.make ~print:Logic.Cover.to_string gen) (fun f ->
+      Pla.verify_against (Pla.of_cover f) f)
+
+let prop_wpla_preserves =
+  let gen =
+    QCheck.Gen.(
+      let* n_in = int_range 1 5 in
+      let* n_out = int_range 1 3 in
+      let* n_cubes = int_range 0 8 in
+      let* seed = int_bound 1_000_000 in
+      return (Logic.Cover.random (Util.Rng.create seed) ~n_in ~n_out ~n_cubes ~dc_bias:0.4))
+  in
+  QCheck.Test.make ~name:"WPLA synthesis preserves any cover" ~count:50
+    (QCheck.make ~print:Logic.Cover.to_string gen) (fun f ->
+      Cnfet.Wpla.verify_against (Cnfet.Wpla.of_function f) f)
+
+(* --- Area model (Table 1) --------------------------------------------------------- *)
+
+let table1_profiles =
+  [
+    ({ Cnfet.Area.n_in = 9; n_out = 1; n_products = 46 }, 34960, 87400, 27600);
+    ({ Cnfet.Area.n_in = 10; n_out = 12; n_products = 25 }, 32000, 80000, 33000);
+    ({ Cnfet.Area.n_in = 17; n_out = 16; n_products = 52 }, 104000, 260000, 102960);
+  ]
+
+let test_area_table1_exact () =
+  List.iter
+    (fun (p, flash, eeprom, cnfet) ->
+      checki "flash" flash (Cnfet.Area.pla_area Device.Tech.flash p);
+      checki "eeprom" eeprom (Cnfet.Area.pla_area Device.Tech.eeprom p);
+      checki "cnfet" cnfet (Cnfet.Area.pla_area Device.Tech.cnfet p))
+    table1_profiles
+
+let test_area_wire_reduction () =
+  let p = { Cnfet.Area.n_in = 9; n_out = 1; n_products = 46 } in
+  checkf "factor 2 on input wires" 2.0 (Cnfet.Area.wire_reduction_factor p);
+  checki "classical wires" 19 (Cnfet.Area.total_wires Device.Tech.flash p);
+  checki "gnor wires" 10 (Cnfet.Area.total_wires Device.Tech.cnfet p)
+
+let test_area_crossover () =
+  (* CNFET beats Flash exactly when n_in > n_out. *)
+  (match Cnfet.Area.crossover_inputs Device.Tech.flash ~n_out:1 with
+  | Some n -> checki "flash crossover at n_out+1" 2 n
+  | None -> Alcotest.fail "expected crossover");
+  (match Cnfet.Area.crossover_inputs Device.Tech.flash ~n_out:12 with
+  | Some n -> checki "flash crossover scales" 13 n
+  | None -> Alcotest.fail "expected crossover");
+  (* CNFET always beats EEPROM. *)
+  match Cnfet.Area.crossover_inputs Device.Tech.eeprom ~n_out:5 with
+  | Some n -> checki "eeprom from 1 input" 1 n
+  | None -> Alcotest.fail "expected crossover"
+
+let test_area_profile_of_pla () =
+  let f = cover_of_exprs 3 [ Expr.(v 0 || v 1 || v 2) ] in
+  let pla = Pla.of_cover f in
+  let p = Cnfet.Area.profile_of_pla pla in
+  checki "inputs" 3 p.Cnfet.Area.n_in;
+  checki "outputs" 1 p.Cnfet.Area.n_out;
+  checki "products" 3 p.Cnfet.Area.n_products
+
+let test_area_saving_sign () =
+  (* max46-shaped PLA saves ~21% vs Flash; apla-shaped loses ~3%. *)
+  let max46 = { Cnfet.Area.n_in = 9; n_out = 1; n_products = 46 } in
+  let apla = { Cnfet.Area.n_in = 10; n_out = 12; n_products = 25 } in
+  let s_max46 = Cnfet.Area.cnfet_saving_vs Device.Tech.flash max46 in
+  let s_apla = Cnfet.Area.cnfet_saving_vs Device.Tech.flash apla in
+  checkb "max46 saves ~21%" true (s_max46 > 0.20 && s_max46 < 0.22);
+  checkb "apla overhead ~3%" true (s_apla < 0.0 && s_apla > -0.04)
+
+(* --- Whirlpool PLA ------------------------------------------------------------------ *)
+
+let test_wpla_correct_random () =
+  let rng = Util.Rng.create 555 in
+  for _ = 1 to 15 do
+    let n_in = 2 + Util.Rng.int rng 4 in
+    let n_out = 1 + Util.Rng.int rng 3 in
+    let f = Cover.random rng ~n_in ~n_out ~n_cubes:(1 + Util.Rng.int rng 8) ~dc_bias:0.4 in
+    let w = Cnfet.Wpla.of_function f in
+    checkb "wpla implements f" true (Cnfet.Wpla.verify_against w f);
+    checki "four planes" 4 (Cnfet.Wpla.num_planes w)
+  done
+
+let test_wpla_mixed_polarity_split () =
+  (* Output 0 cheap negative (OR), output 1 cheap positive (AND): both
+     pairs are used. *)
+  let f = cover_of_exprs 4 [ Expr.(Or [ v 0; v 1; v 2; v 3 ]); Expr.(v 0 && v 1) ] in
+  let w = Cnfet.Wpla.of_function f in
+  checkb "has positive pair" true (Cnfet.Wpla.positive_pla w <> None);
+  checkb "has negative pair" true (Cnfet.Wpla.negative_pla w <> None);
+  checkb "correct" true (Cnfet.Wpla.verify_against w f);
+  checkb "beats two-level on products" true
+    (Cnfet.Wpla.products w <= Cnfet.Wpla.products_two_level w + 1)
+
+let test_wpla_all_positive () =
+  let f = cover_of_exprs 2 [ Expr.(v 0 && v 1) ] in
+  let w = Cnfet.Wpla.of_function f in
+  checkb "no negative pair needed" true (Cnfet.Wpla.negative_pla w = None);
+  checkb "correct" true (Cnfet.Wpla.verify_against w f)
+
+let test_wpla_area_positive () =
+  let rng = Util.Rng.create 666 in
+  let f = Cover.random rng ~n_in:4 ~n_out:2 ~n_cubes:6 ~dc_bias:0.4 in
+  let w = Cnfet.Wpla.of_function f in
+  checkb "area positive" true (Cnfet.Wpla.area Device.Tech.cnfet w > 0)
+
+(* --- Bitstream ----------------------------------------------------------------------- *)
+
+let test_bitstream_roundtrip_random () =
+  let rng = Util.Rng.create 123 in
+  for _ = 1 to 10 do
+    let n_in = 2 + Util.Rng.int rng 4 in
+    let n_out = 1 + Util.Rng.int rng 3 in
+    let f = Cover.random rng ~n_in ~n_out ~n_cubes:(1 + Util.Rng.int rng 8) ~dc_bias:0.4 in
+    let pla = Pla.of_cover f in
+    let bytes = Cnfet.Bitstream.to_bytes (Cnfet.Bitstream.of_pla pla) in
+    let inv = Array.init n_out (fun o -> not (Pla.output_inverted pla o)) in
+    let pla2 =
+      Cnfet.Bitstream.to_pla ~n_in ~n_out ~inverted_outputs:inv
+        (Cnfet.Bitstream.of_bytes bytes)
+    in
+    checkb "bitstream roundtrip preserves function" true (Pla.verify_against pla2 f)
+  done
+
+let test_bitstream_compact () =
+  (* 2 bits per crosspoint plus a small header. *)
+  let pla = Pla.of_minimized (Mcnc.Generators.comparator ~bits:2) in
+  let bs = Cnfet.Bitstream.of_pla pla in
+  let crosspoints = Pla.crosspoint_count pla in
+  checkb "about 2 bits per crosspoint" true
+    (Cnfet.Bitstream.size_bytes bs <= (crosspoints / 4) + 20);
+  checki "program steps = crosspoints" crosspoints (Cnfet.Bitstream.program_steps bs)
+
+let test_bitstream_corruption_detected () =
+  let pla = Pla.of_minimized (Mcnc.Generators.mux ~select_bits:2) in
+  let bytes = Cnfet.Bitstream.to_bytes (Cnfet.Bitstream.of_pla pla) in
+  (* Flip one payload bit. *)
+  let corrupted = Bytes.of_string bytes in
+  Bytes.set corrupted 9 (Char.chr (Char.code (Bytes.get corrupted 9) lxor 1));
+  checkb "checksum catches bit flip" true
+    (try
+       ignore (Cnfet.Bitstream.of_bytes (Bytes.to_string corrupted));
+       false
+     with Invalid_argument _ -> true);
+  checkb "bad magic rejected" true
+    (try
+       ignore (Cnfet.Bitstream.of_bytes ("XXXX" ^ String.sub bytes 4 (String.length bytes - 4)));
+       false
+     with Invalid_argument _ -> true);
+  checkb "truncation rejected" true
+    (try
+       ignore (Cnfet.Bitstream.of_bytes (String.sub bytes 0 (String.length bytes - 3)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_bitstream_file_io () =
+  let pla = Pla.of_minimized (Mcnc.Generators.gray ~bits:3) in
+  let bs = Cnfet.Bitstream.of_pla pla in
+  let path = Filename.temp_file "cnfet" ".bit" in
+  Cnfet.Bitstream.write_file path bs;
+  let bs2 = Cnfet.Bitstream.read_file path in
+  Sys.remove path;
+  checkb "file roundtrip equal planes" true
+    (List.for_all2 Plane.equal (Cnfet.Bitstream.to_planes bs) (Cnfet.Bitstream.to_planes bs2))
+
+(* --- Folding ------------------------------------------------------------------------ *)
+
+let test_folding_disjoint_columns_fold () =
+  (* Two products on disjoint input pairs: columns can share. *)
+  let f = cover_of_exprs 4 [ Expr.(v 0 && v 1 || (v 2 && v 3)) ] in
+  let plane = Pla.and_plane (Pla.of_cover f) in
+  let r = Cnfet.Folding.fold_plane plane in
+  checkb "two folds" true (List.length r.Cnfet.Folding.folds = 2);
+  checki "physical columns halved" 2 r.Cnfet.Folding.physical_columns;
+  checkb "valid" true (Cnfet.Folding.validate plane r)
+
+let test_folding_dense_plane_unfoldable () =
+  (* Parity uses every input in every product: nothing folds. *)
+  let plane = Pla.and_plane (Pla.of_minimized (Mcnc.Generators.xor_n 4)) in
+  let r = Cnfet.Folding.fold_plane plane in
+  checki "no folds" 0 (List.length r.Cnfet.Folding.folds);
+  checkb "valid" true (Cnfet.Folding.validate plane r)
+
+let test_folding_validates_row_separation () =
+  let rng = Util.Rng.create 41 in
+  for _ = 1 to 15 do
+    let f = Cover.random rng ~n_in:(4 + Util.Rng.int rng 3) ~n_out:2
+        ~n_cubes:(3 + Util.Rng.int rng 8) ~dc_bias:0.5
+    in
+    let pla = Pla.of_cover f in
+    List.iter
+      (fun plane ->
+        let r = Cnfet.Folding.fold_plane plane in
+        checkb "fold result validates" true (Cnfet.Folding.validate plane r);
+        checkb "column count consistent" true
+          (r.Cnfet.Folding.physical_columns
+          = Cnfet.Plane.cols plane - List.length r.Cnfet.Folding.folds))
+      [ Pla.and_plane pla; Pla.or_plane pla ]
+  done
+
+let test_folding_validate_rejects_bogus () =
+  let f = cover_of_exprs 4 [ Expr.(v 0 && v 1 || (v 2 && v 3)) ] in
+  let plane = Pla.and_plane (Pla.of_cover f) in
+  let r = Cnfet.Folding.fold_plane plane in
+  (* Corrupt the row order: put a bottom user above a top user. *)
+  let bogus = { r with Cnfet.Folding.row_order = Array.of_list (List.rev (Array.to_list r.Cnfet.Folding.row_order)) } in
+  checkb "reversed order rejected" false (Cnfet.Folding.validate plane bogus)
+
+let test_folding_area_never_grows () =
+  List.iter
+    (fun (_, f) ->
+      let pla = Pla.of_minimized f in
+      let base = Cnfet.Area.pla_area Device.Tech.cnfet (Cnfet.Area.profile_of_pla pla) in
+      checkb "folded ≤ flat" true (Cnfet.Folding.folded_pla_area Device.Tech.cnfet pla <= base))
+    Mcnc.Generators.all
+
+(* --- Pla_timing -------------------------------------------------------------------- *)
+
+let max46_profile = { Cnfet.Area.n_in = 9; n_out = 1; n_products = 46 }
+
+let test_pla_timing_positive () =
+  List.iter
+    (fun (_, r) ->
+      checkb "delays positive" true
+        (r.Cnfet.Pla_timing.input_delay > 0.0
+        && r.Cnfet.Pla_timing.and_plane_delay > 0.0
+        && r.Cnfet.Pla_timing.or_plane_delay > 0.0
+        && r.Cnfet.Pla_timing.total_delay > 0.0);
+      checkb "energy positive" true (r.Cnfet.Pla_timing.energy_per_eval > 0.0);
+      checkb "frequency consistent" true
+        (Float.abs
+           ((1.0 /. (2.0 *. r.Cnfet.Pla_timing.total_delay))
+           -. r.Cnfet.Pla_timing.max_frequency)
+        < 1.0))
+    (Cnfet.Pla_timing.compare_table1 max46_profile)
+
+let test_pla_timing_shorter_rows_faster () =
+  (* The CNFET AND plane has half the columns of a classical plane: its
+     word-line (row) discharge must be faster than EEPROM's (same pitch
+     class as its own cell, far fewer cells than 2x columns). *)
+  let cnfet = Cnfet.Pla_timing.evaluate Device.Tech.cnfet max46_profile in
+  let eeprom = Cnfet.Pla_timing.evaluate Device.Tech.eeprom max46_profile in
+  checkb "CNFET AND-plane faster than EEPROM" true
+    (cnfet.Cnfet.Pla_timing.and_plane_delay < eeprom.Cnfet.Pla_timing.and_plane_delay);
+  checkb "CNFET lowest energy" true
+    (let flash = Cnfet.Pla_timing.evaluate Device.Tech.flash max46_profile in
+     cnfet.Cnfet.Pla_timing.energy_per_eval < flash.Cnfet.Pla_timing.energy_per_eval
+     && cnfet.Cnfet.Pla_timing.energy_per_eval < eeprom.Cnfet.Pla_timing.energy_per_eval)
+
+let test_pla_timing_monotone_in_products () =
+  let d products =
+    (Cnfet.Pla_timing.evaluate Device.Tech.cnfet
+       { Cnfet.Area.n_in = 8; n_out = 2; n_products = products })
+      .Cnfet.Pla_timing.total_delay
+  in
+  checkb "more products, more delay" true (d 64 > d 16 && d 16 > d 4)
+
+let test_pla_timing_activity_scales_energy () =
+  let e activity =
+    (Cnfet.Pla_timing.evaluate ~activity Device.Tech.cnfet max46_profile)
+      .Cnfet.Pla_timing.energy_per_eval
+  in
+  checkf "activity linear" (2.0 *. e 0.25) (e 0.5)
+
+(* --- Cascade ------------------------------------------------------------------------ *)
+
+let test_cascade_network_eval () =
+  (* Single NOR node over two PIs. *)
+  let net =
+    {
+      Cnfet.Cascade.n_pi = 2;
+      nodes = [| [ (Cnfet.Cascade.Pi 0, false); (Cnfet.Cascade.Pi 1, false) ] |];
+      outputs = [| Cnfet.Cascade.Node 0 |];
+    }
+  in
+  Cnfet.Cascade.validate_network net;
+  let e a b = (Cnfet.Cascade.eval_network net [| a; b |]).(0) in
+  checkb "NOR 00" true (e false false);
+  checkb "NOR 10" false (e true false);
+  checkb "NOR 11" false (e true true)
+
+let test_cascade_rejects_forward_reference () =
+  let bad =
+    {
+      Cnfet.Cascade.n_pi = 1;
+      nodes = [| [ (Cnfet.Cascade.Node 0, false) ] |];
+      outputs = [| Cnfet.Cascade.Node 0 |];
+    }
+  in
+  checkb "self reference rejected" true
+    (try
+       Cnfet.Cascade.validate_network bad;
+       false
+     with Invalid_argument _ -> true)
+
+let test_cascade_xor_tree () =
+  List.iter
+    (fun n ->
+      let net = Cnfet.Cascade.xor_tree ~n in
+      let c = Cnfet.Cascade.of_network net in
+      checkb
+        (Printf.sprintf "xor%d mapped correctly" n)
+        true
+        (Cnfet.Cascade.verify_against_network c net);
+      (* and it really is parity *)
+      let ok = ref true in
+      for m = 0 to (1 lsl n) - 1 do
+        let pis = Array.init n (fun i -> m land (1 lsl i) <> 0) in
+        let want = Array.fold_left (fun a b -> if b then not a else a) false pis in
+        if (Cnfet.Cascade.eval c pis).(0) <> want then ok := false
+      done;
+      checkb (Printf.sprintf "xor%d is parity" n) true !ok)
+    [ 2; 3; 5; 8 ]
+
+let test_cascade_beats_two_level_on_parity () =
+  let n = 8 in
+  let net = Cnfet.Cascade.xor_tree ~n in
+  let c = Cnfet.Cascade.of_network net in
+  let pla = Pla.of_minimized (Expr.to_cover_multi ~n_in:n [ Expr.parity (List.init n Expr.v) ]) in
+  checkb "cascade uses far fewer devices" true
+    (3 * Cnfet.Cascade.device_count c < Pla.crosspoint_count pla)
+
+let test_cascade_two_level_embedding () =
+  let rng = Util.Rng.create 91 in
+  for _ = 1 to 10 do
+    let n_in = 2 + Util.Rng.int rng 3 in
+    let n_out = 1 + Util.Rng.int rng 2 in
+    let f = Cover.random rng ~n_in ~n_out ~n_cubes:(1 + Util.Rng.int rng 6) ~dc_bias:0.4 in
+    let net = Cnfet.Cascade.network_of_cover f in
+    let c = Cnfet.Cascade.of_network net in
+    checkb "mapping == network" true (Cnfet.Cascade.verify_against_network c net);
+    (* and the network == the cover *)
+    let ok = ref true in
+    for m = 0 to (1 lsl n_in) - 1 do
+      let pis = Array.init n_in (fun i -> m land (1 lsl i) <> 0) in
+      let want = Cover.eval f pis in
+      let got = Cnfet.Cascade.eval_network net pis in
+      for o = 0 to n_out - 1 do
+        if got.(o) <> Util.Bitvec.get want o then ok := false
+      done
+    done;
+    checkb "network == cover" true !ok
+  done
+
+let test_cascade_from_factored () =
+  (* Auto-synthesis: minimize -> factor -> NOR network -> mapped cascade,
+     equivalent to the source at every step. *)
+  let cases =
+    [ Mcnc.Generators.comparator ~bits:2; Mcnc.Generators.gray ~bits:4; Mcnc.Generators.bcd7seg () ]
+  in
+  List.iter
+    (fun f ->
+      let m = Espresso.Minimize.cover f in
+      let exprs = Espresso.Factor.factor_multi m in
+      let net = Cnfet.Cascade.network_of_factored ~n_in:(Cover.num_inputs m) exprs in
+      let c = Cnfet.Cascade.of_network net in
+      checkb "cascade == network" true (Cnfet.Cascade.verify_against_network c net);
+      let n_in = Cover.num_inputs f in
+      let ok = ref true in
+      for mm = 0 to (1 lsl n_in) - 1 do
+        let pis = Array.init n_in (fun i -> mm land (1 lsl i) <> 0) in
+        let want = Cover.eval f pis in
+        let got = Cnfet.Cascade.eval c pis in
+        for o = 0 to Cover.num_outputs f - 1 do
+          if got.(o) <> Util.Bitvec.get want o then ok := false
+        done
+      done;
+      checkb "cascade == original function" true !ok)
+    cases
+
+let test_cascade_rejects_conflicting_fanins () =
+  (* NOR(x, x') cannot live on one plane row. *)
+  let net =
+    {
+      Cnfet.Cascade.n_pi = 1;
+      nodes = [| [ (Cnfet.Cascade.Pi 0, false); (Cnfet.Cascade.Pi 0, true) ] |];
+      outputs = [| Cnfet.Cascade.Node 0 |];
+    }
+  in
+  checkb "mapper refuses both polarities" true
+    (try
+       ignore (Cnfet.Cascade.of_network net);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cascade_factored_shares_subexpressions () =
+  (* Two outputs with a common subexpression share nodes. *)
+  let shared = Espresso.Factor.And [ Espresso.Factor.Lit (0, true); Espresso.Factor.Lit (1, true) ] in
+  let e0 = Espresso.Factor.Or [ shared; Espresso.Factor.Lit (2, true) ] in
+  let e1 = Espresso.Factor.Or [ shared; Espresso.Factor.Lit (3, true) ] in
+  let net = Cnfet.Cascade.network_of_factored ~n_in:4 [| e0; e1 |] in
+  (* shared AND appears once: expect 1 (AND) + 2 (ORs) + 2 (inverters) = 5 *)
+  checki "five nodes with sharing" 5 (Array.length net.Cnfet.Cascade.nodes)
+
+let test_cascade_switch_level () =
+  (* The multi-phase domino cascade agrees with the functional model. *)
+  let net = Cnfet.Cascade.xor_tree ~n:4 in
+  let c = Cnfet.Cascade.of_network net in
+  let hw = Cnfet.Cascade.build_hw c in
+  for m = 0 to 15 do
+    let pis = Array.init 4 (fun i -> m land (1 lsl i) <> 0) in
+    Alcotest.check (Alcotest.array Alcotest.bool)
+      (Printf.sprintf "pattern %d" m)
+      (Cnfet.Cascade.eval c pis) (Cnfet.Cascade.simulate_hw hw pis)
+  done
+
+let test_cascade_switch_level_factored () =
+  let f = Espresso.Minimize.cover (Mcnc.Generators.gray ~bits:3) in
+  let exprs = Espresso.Factor.factor_multi f in
+  let net = Cnfet.Cascade.network_of_factored ~n_in:3 exprs in
+  let c = Cnfet.Cascade.of_network net in
+  let hw = Cnfet.Cascade.build_hw c in
+  for m = 0 to 7 do
+    let pis = Array.init 3 (fun i -> m land (1 lsl i) <> 0) in
+    Alcotest.check (Alcotest.array Alcotest.bool)
+      (Printf.sprintf "pattern %d" m)
+      (Cnfet.Cascade.eval c pis) (Cnfet.Cascade.simulate_hw hw pis)
+  done
+
+(* --- Fsm ------------------------------------------------------------------------- *)
+
+let test_fsm_sequence_detector_trace () =
+  let spec = Cnfet.Fsm.sequence_detector ~pattern:[ true; false; true ] in
+  let fsm = Cnfet.Fsm.synthesize spec in
+  let stim =
+    List.map (fun b -> [| b |]) [ true; false; true; false; true; true; false; true ]
+  in
+  let outs = List.map (fun o -> o.(0)) (Cnfet.Fsm.run fsm stim) in
+  (* overlapping matches: ..101, ..0101, and the final ..101 *)
+  Alcotest.check (Alcotest.list Alcotest.bool) "101 detections"
+    [ false; false; true; false; true; false; false; true ]
+    outs
+
+let test_fsm_both_encodings_verify () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun enc ->
+          let fsm = Cnfet.Fsm.synthesize ~encoding:enc spec in
+          checkb "random stimulus equivalence" true
+            (Cnfet.Fsm.verify_against_spec ~steps:300 fsm spec))
+        [ Cnfet.Fsm.Binary; Cnfet.Fsm.One_hot ])
+    [
+      Cnfet.Fsm.sequence_detector ~pattern:[ true; true; false ];
+      Cnfet.Fsm.counter ~modulo:5;
+      Cnfet.Fsm.counter ~modulo:8;
+    ]
+
+let test_fsm_counter_counts () =
+  let spec = Cnfet.Fsm.counter ~modulo:5 in
+  let fsm = Cnfet.Fsm.synthesize spec in
+  (* 7 enabled ticks from reset: counts 1,2,3,4,0,1,2 visible on outputs
+     (Mealy: output reflects the pre-tick state). *)
+  let stim = List.init 7 (fun _ -> [| true |]) in
+  let outs = Cnfet.Fsm.run fsm stim in
+  let as_int o = (if o.(0) then 1 else 0) lor (if o.(1) then 2 else 0) lor if o.(2) then 4 else 0 in
+  Alcotest.check (Alcotest.list Alcotest.int) "counts" [ 0; 1; 2; 3; 4; 0; 1 ]
+    (List.map as_int outs)
+
+let test_fsm_disabled_counter_holds () =
+  let spec = Cnfet.Fsm.counter ~modulo:4 in
+  let fsm = Cnfet.Fsm.synthesize spec in
+  let regs = ref (Cnfet.Fsm.reset_vector fsm) in
+  (* two enabled ticks then three disabled ones *)
+  for _ = 1 to 2 do
+    let r, _ = Cnfet.Fsm.step fsm ~registers:!regs [| true |] in
+    regs := r
+  done;
+  let frozen = Array.copy !regs in
+  for _ = 1 to 3 do
+    let r, _ = Cnfet.Fsm.step fsm ~registers:!regs [| false |] in
+    regs := r
+  done;
+  checkb "state held while disabled" true (!regs = frozen)
+
+let test_fsm_onehot_wider_but_valid () =
+  let spec = Cnfet.Fsm.counter ~modulo:6 in
+  let bin = Cnfet.Fsm.synthesize ~encoding:Cnfet.Fsm.Binary spec in
+  let hot = Cnfet.Fsm.synthesize ~encoding:Cnfet.Fsm.One_hot spec in
+  checki "binary bits" 3 (Cnfet.Fsm.state_bits bin);
+  checki "one-hot bits" 6 (Cnfet.Fsm.state_bits hot);
+  checkb "one-hot reset vector is one-hot" true
+    (Array.fold_left (fun n b -> if b then n + 1 else n) 0 (Cnfet.Fsm.reset_vector hot) = 1)
+
+let test_fsm_dont_cares_help () =
+  (* Invalid state codes are don't-cares: the mod-5 binary counter (3 state
+     bits, 3 unused codes) must minimize below the no-dc tabulation. *)
+  let spec = Cnfet.Fsm.counter ~modulo:5 in
+  let fsm = Cnfet.Fsm.synthesize spec in
+  checkb "reasonably small" true (Cnfet.Pla.num_products (Cnfet.Fsm.pla fsm) <= 10)
+
+let test_cascade_stage_structure () =
+  let net = Cnfet.Cascade.xor_tree ~n:4 in
+  let c = Cnfet.Cascade.of_network net in
+  checkb "at least 2 stages" true (Cnfet.Cascade.num_stages c >= 2);
+  checki "one plane per stage" (Cnfet.Cascade.num_stages c)
+    (List.length (Cnfet.Cascade.plane_dims c));
+  checki "one crossbar per stage" (Cnfet.Cascade.num_stages c)
+    (List.length (Cnfet.Cascade.crossbar_dims c));
+  checkb "area positive" true (Cnfet.Cascade.area Device.Tech.cnfet c > 0)
+
+let () =
+  Alcotest.run "cnfet-core"
+    [
+      ( "gnor-functional",
+        [
+          Alcotest.test_case "modes to polarities" `Quick test_gnor_modes_map_to_polarities;
+          Alcotest.test_case "pg voltages" `Quick test_gnor_pg_voltages;
+          Alcotest.test_case "plain NOR" `Quick test_gnor_eval_nor;
+          Alcotest.test_case "inverted input" `Quick test_gnor_eval_xor_via_controls;
+          Alcotest.test_case "dropped input" `Quick test_gnor_eval_drop;
+          Alcotest.test_case "all dropped" `Quick test_gnor_eval_all_dropped;
+          Alcotest.test_case "length mismatch" `Quick test_gnor_eval_length_mismatch;
+        ] );
+      ( "gnor-switch",
+        [
+          Alcotest.test_case "Fig. 2 configuration" `Quick test_gnor_fig2_configuration;
+          Alcotest.test_case "switch == functional (random)" `Quick
+            test_gnor_switch_matches_functional_random;
+          Alcotest.test_case "reconfiguration" `Quick test_gnor_reconfiguration;
+        ] );
+      ( "plane",
+        [
+          Alcotest.test_case "row evaluation" `Quick test_plane_eval_rows;
+          Alcotest.test_case "crosspoint counts" `Quick test_plane_counts;
+          Alcotest.test_case "copy independence" `Quick test_plane_copy_independent;
+          Alcotest.test_case "hw matches functional" `Quick test_plane_hw_matches_functional;
+          Alcotest.test_case "bounds" `Quick test_plane_bounds;
+        ] );
+      ( "pla",
+        [
+          Alcotest.test_case "maps SOP" `Quick test_pla_maps_sop;
+          Alcotest.test_case "random covers" `Quick test_pla_eval_random;
+          Alcotest.test_case "single column per input" `Quick test_pla_single_column_per_input;
+          Alcotest.test_case "of_minimized smaller" `Quick test_pla_of_minimized_smaller;
+          Alcotest.test_case "inverted outputs" `Quick test_pla_inverted_outputs;
+          Alcotest.test_case "constant outputs" `Quick test_pla_constant_outputs;
+          Alcotest.test_case "product evaluation" `Quick test_pla_eval_products;
+          Alcotest.test_case "hw matches functional" `Quick test_pla_hw_matches_functional;
+          Alcotest.test_case "of_planes roundtrip" `Quick test_pla_of_planes_roundtrip;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_program_roundtrip;
+          Alcotest.test_case "initial state off" `Quick test_program_initial_state_off;
+          Alcotest.test_case "single write" `Quick test_program_single_write;
+          Alcotest.test_case "half-select disturb" `Quick test_program_disturb;
+          Alcotest.test_case "retention" `Quick test_program_retention;
+        ] );
+      ( "program-hw",
+        [
+          Alcotest.test_case "full write level" `Quick test_program_hw_selected_cell_full_level;
+          Alcotest.test_case "half-select isolation" `Quick
+            test_program_hw_half_select_isolation;
+          Alcotest.test_case "plane roundtrip" `Quick test_program_hw_plane_roundtrip;
+          Alcotest.test_case "rewrite" `Quick test_program_hw_rewrite;
+          Alcotest.test_case "matches charge model" `Quick
+            test_program_hw_matches_charge_model;
+        ] );
+      ( "crossbar",
+        [
+          Alcotest.test_case "connectivity" `Quick test_crossbar_connectivity;
+          Alcotest.test_case "polarity" `Quick test_crossbar_polarity;
+          Alcotest.test_case "components" `Quick test_crossbar_components;
+          Alcotest.test_case "resolve" `Quick test_crossbar_resolve;
+          Alcotest.test_case "area" `Quick test_crossbar_area;
+          Alcotest.test_case "hw matches resolve" `Quick test_crossbar_hw_matches_resolve;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_pla_mapping_preserves;
+          QCheck_alcotest.to_alcotest prop_wpla_preserves;
+          QCheck_alcotest.to_alcotest prop_cascade_mapping_preserves;
+        ] );
+      ( "area",
+        [
+          Alcotest.test_case "Table 1 exact" `Quick test_area_table1_exact;
+          Alcotest.test_case "wire reduction factor 2" `Quick test_area_wire_reduction;
+          Alcotest.test_case "crossover inputs" `Quick test_area_crossover;
+          Alcotest.test_case "profile of PLA" `Quick test_area_profile_of_pla;
+          Alcotest.test_case "saving signs (paper §5)" `Quick test_area_saving_sign;
+        ] );
+      ( "wpla",
+        [
+          Alcotest.test_case "correct (random)" `Quick test_wpla_correct_random;
+          Alcotest.test_case "mixed polarity split" `Quick test_wpla_mixed_polarity_split;
+          Alcotest.test_case "all positive" `Quick test_wpla_all_positive;
+          Alcotest.test_case "area positive" `Quick test_wpla_area_positive;
+        ] );
+      ( "bitstream",
+        [
+          Alcotest.test_case "roundtrip (random)" `Quick test_bitstream_roundtrip_random;
+          Alcotest.test_case "compact" `Quick test_bitstream_compact;
+          Alcotest.test_case "corruption detected" `Quick test_bitstream_corruption_detected;
+          Alcotest.test_case "file io" `Quick test_bitstream_file_io;
+        ] );
+      ( "folding",
+        [
+          Alcotest.test_case "disjoint columns fold" `Quick test_folding_disjoint_columns_fold;
+          Alcotest.test_case "dense plane unfoldable" `Quick test_folding_dense_plane_unfoldable;
+          Alcotest.test_case "validates row separation" `Quick
+            test_folding_validates_row_separation;
+          Alcotest.test_case "rejects bogus order" `Quick test_folding_validate_rejects_bogus;
+          Alcotest.test_case "area never grows" `Quick test_folding_area_never_grows;
+        ] );
+      ( "pla-timing",
+        [
+          Alcotest.test_case "positive and consistent" `Quick test_pla_timing_positive;
+          Alcotest.test_case "shorter rows are faster" `Quick
+            test_pla_timing_shorter_rows_faster;
+          Alcotest.test_case "monotone in products" `Quick test_pla_timing_monotone_in_products;
+          Alcotest.test_case "activity scales energy" `Quick
+            test_pla_timing_activity_scales_energy;
+        ] );
+      ( "cascade",
+        [
+          Alcotest.test_case "network eval" `Quick test_cascade_network_eval;
+          Alcotest.test_case "rejects forward reference" `Quick
+            test_cascade_rejects_forward_reference;
+          Alcotest.test_case "xor trees" `Quick test_cascade_xor_tree;
+          Alcotest.test_case "beats two-level on parity" `Quick
+            test_cascade_beats_two_level_on_parity;
+          Alcotest.test_case "two-level embedding" `Quick test_cascade_two_level_embedding;
+          Alcotest.test_case "from factored forms" `Quick test_cascade_from_factored;
+          Alcotest.test_case "rejects conflicting fanins" `Quick
+            test_cascade_rejects_conflicting_fanins;
+          Alcotest.test_case "shares subexpressions" `Quick
+            test_cascade_factored_shares_subexpressions;
+          Alcotest.test_case "stage structure" `Quick test_cascade_stage_structure;
+          Alcotest.test_case "switch level (xor tree)" `Quick test_cascade_switch_level;
+          Alcotest.test_case "switch level (factored)" `Quick
+            test_cascade_switch_level_factored;
+        ] );
+      ( "fsm",
+        [
+          Alcotest.test_case "101 detector trace" `Quick test_fsm_sequence_detector_trace;
+          Alcotest.test_case "both encodings verify" `Quick test_fsm_both_encodings_verify;
+          Alcotest.test_case "counter counts" `Quick test_fsm_counter_counts;
+          Alcotest.test_case "disabled counter holds" `Quick test_fsm_disabled_counter_holds;
+          Alcotest.test_case "one-hot shape" `Quick test_fsm_onehot_wider_but_valid;
+          Alcotest.test_case "don't-cares exploited" `Quick test_fsm_dont_cares_help;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+(* Tests for the device library: ambipolar CNFET states, I–V model,
+   retention, technology parameters. *)
+
+module A = Device.Ambipolar
+module Tech = Device.Tech
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-12)
+
+let p = A.default
+
+(* --- polarity selection (paper Fig. 1 semantics) -------------------------- *)
+
+let test_polarity_thresholds () =
+  checkb "V+ gives n-type" true (A.polarity_of_pg p (A.v_plus p) = A.N_type);
+  checkb "V- gives p-type" true (A.polarity_of_pg p (A.v_minus p) = A.P_type);
+  checkb "V0 gives off" true (A.polarity_of_pg p (A.v_zero p) = A.Off_state)
+
+let test_polarity_dead_zone () =
+  let mid = A.v_zero p in
+  let half = p.A.polarity_window *. p.A.vdd in
+  checkb "just inside dead zone (above)" true
+    (A.polarity_of_pg p (mid +. (half /. 2.)) = A.Off_state);
+  checkb "just inside dead zone (below)" true
+    (A.polarity_of_pg p (mid -. (half /. 2.)) = A.Off_state);
+  checkb "at upper edge" true (A.polarity_of_pg p (mid +. half) = A.N_type);
+  checkb "at lower edge" true (A.polarity_of_pg p (mid -. half) = A.P_type)
+
+let test_polarity_roundtrip () =
+  List.iter
+    (fun pol ->
+      checkb "pg_of_polarity inverts polarity_of_pg" true
+        (A.polarity_of_pg p (A.pg_of_polarity p pol) = pol))
+    [ A.N_type; A.P_type; A.Off_state ]
+
+(* --- switch-level conduction ----------------------------------------------- *)
+
+let test_conducts () =
+  checkb "n conducts with CG high" true (A.conducts p A.N_type ~cg:p.A.vdd);
+  checkb "n blocks with CG low" false (A.conducts p A.N_type ~cg:0.0);
+  checkb "p conducts with CG low" true (A.conducts p A.P_type ~cg:0.0);
+  checkb "p blocks with CG high" false (A.conducts p A.P_type ~cg:p.A.vdd);
+  checkb "off never conducts (high)" false (A.conducts p A.Off_state ~cg:p.A.vdd);
+  checkb "off never conducts (low)" false (A.conducts p A.Off_state ~cg:0.0)
+
+(* --- I–V model --------------------------------------------------------------- *)
+
+let test_drain_current_off () =
+  let i = A.drain_current p A.Off_state ~vgs:p.A.vdd ~vds:p.A.vdd in
+  checkf "off leaks i_off" p.A.i_off i
+
+let test_drain_current_n_on () =
+  let i = A.drain_current p A.N_type ~vgs:p.A.vdd ~vds:p.A.vdd in
+  checkb "n-type on current near i_on" true (i > 0.5 *. p.A.i_on && i <= 1.1 *. p.A.i_on)
+
+let test_drain_current_subthreshold () =
+  let i = A.drain_current p A.N_type ~vgs:(p.A.vth /. 2.) ~vds:p.A.vdd in
+  checkf "below threshold only leakage" p.A.i_off i
+
+let test_drain_current_sign () =
+  let i = A.drain_current p A.N_type ~vgs:p.A.vdd ~vds:(-.p.A.vdd) in
+  checkb "reverse vds gives negative current" true (i < 0.0)
+
+let test_drain_current_monotone_vds () =
+  let prev = ref 0.0 in
+  for k = 0 to 10 do
+    let vds = p.A.vdd *. float_of_int k /. 10.0 in
+    let i = A.drain_current p A.N_type ~vgs:p.A.vdd ~vds in
+    checkb "monotone in vds" true (i >= !prev -. 1e-15);
+    prev := i
+  done
+
+let test_drain_current_monotone_vgs () =
+  let prev = ref (-1.0) in
+  for k = 0 to 10 do
+    let vgs = p.A.vdd *. float_of_int k /. 10.0 in
+    let i = A.drain_current p A.N_type ~vgs ~vds:p.A.vdd in
+    checkb "monotone in vgs" true (i >= !prev);
+    prev := i
+  done
+
+(* --- transfer curve: the ambipolar V shape (Fig. 1) ------------------------- *)
+
+let test_transfer_curve_v_shape () =
+  let pts = A.transfer_curve p ~cg:p.A.vdd ~vds:p.A.vdd ~n:41 in
+  checki "sample count" 41 (List.length pts);
+  (* The minimum current must sit at the middle (V0) and both extremes must
+     conduct orders of magnitude more. *)
+  let currents = List.map snd pts in
+  let at_mid = List.nth currents 20 in
+  let at_lo = List.hd currents in
+  let at_hi = List.nth currents 40 in
+  checkb "valley at V0" true (at_mid <= p.A.i_off *. 1.001);
+  checkb "p-branch conducts" true (at_lo > 100.0 *. at_mid);
+  checkb "n-branch conducts" true (at_hi > 100.0 *. at_mid)
+
+let test_transfer_curve_branch_monotone () =
+  let pts = Array.of_list (A.transfer_curve p ~cg:p.A.vdd ~vds:p.A.vdd ~n:41) in
+  (* Within the n branch, deeper PG voltage must not reduce current. *)
+  for k = 31 to 39 do
+    checkb "n branch rises" true (snd pts.(k + 1) >= snd pts.(k) -. 1e-15)
+  done
+
+(* --- resistance and retention ------------------------------------------------ *)
+
+let test_effective_resistance () =
+  checkf "on resistance" p.A.r_on (A.effective_resistance p A.N_type ~cg:p.A.vdd);
+  let off_r = A.effective_resistance p A.N_type ~cg:0.0 in
+  checkb "off resistance huge" true (off_r > 1e5 *. p.A.r_on)
+
+let test_retention_decay_toward_v0 () =
+  let v0 = A.v_plus p in
+  let late = A.retention_after p v0 (10.0 /. p.A.pg_leak_per_s) in
+  checkb "decays toward V0" true (Float.abs (late -. A.v_zero p) < 0.01);
+  let soon = A.retention_after p v0 0.0 in
+  checkf "no decay at t=0" v0 soon
+
+let test_retention_state_lifetime () =
+  (* The stored n-state must survive at least one second at default leak. *)
+  let v = A.retention_after p (A.v_plus p) 1.0 in
+  checkb "still n-type after 1 s" true (A.polarity_of_pg p v = A.N_type)
+
+(* --- technology parameters (Table 1 first row) ------------------------------- *)
+
+let test_corners () =
+  let fast = A.corner A.Fast and slow = A.corner A.Slow and typ = A.corner A.Typical in
+  checkb "typical is default" true (typ = A.default);
+  checkb "fast drives harder" true (fast.A.r_on < typ.A.r_on && fast.A.i_on > typ.A.i_on);
+  checkb "slow drives softer" true (slow.A.r_on > typ.A.r_on && slow.A.i_on < typ.A.i_on);
+  checkb "corner spread symmetric-ish" true
+    (Float.abs ((fast.A.r_on *. slow.A.r_on) -. (typ.A.r_on *. typ.A.r_on))
+    < 0.01 *. typ.A.r_on *. typ.A.r_on)
+
+let test_cell_areas () =
+  checki "Flash 40" 40 Tech.flash.Tech.cell_area;
+  checki "EEPROM 100" 100 Tech.eeprom.Tech.cell_area;
+  checki "CNFET 60" 60 Tech.cnfet.Tech.cell_area
+
+let test_cell_area_relations () =
+  (* Paper: CNFET cell 50% larger than Flash, 40% smaller than EEPROM. *)
+  checkf "1.5x flash" 1.5
+    (float_of_int Tech.cnfet.Tech.cell_area /. float_of_int Tech.flash.Tech.cell_area);
+  checkf "0.6x eeprom" 0.6
+    (float_of_int Tech.cnfet.Tech.cell_area /. float_of_int Tech.eeprom.Tech.cell_area)
+
+let test_columns_per_input () =
+  checki "flash 2" 2 (Tech.columns_per_input Tech.flash);
+  checki "eeprom 2" 2 (Tech.columns_per_input Tech.eeprom);
+  checki "cnfet 1" 1 (Tech.columns_per_input Tech.cnfet)
+
+let test_get_consistent () =
+  List.iter
+    (fun fam -> checkb "family matches" true ((Tech.get fam).Tech.family = fam))
+    Tech.all
+
+let () =
+  Alcotest.run "device"
+    [
+      ( "polarity",
+        [
+          Alcotest.test_case "thresholds" `Quick test_polarity_thresholds;
+          Alcotest.test_case "dead zone" `Quick test_polarity_dead_zone;
+          Alcotest.test_case "roundtrip" `Quick test_polarity_roundtrip;
+        ] );
+      ( "conduction",
+        [
+          Alcotest.test_case "switch-level" `Quick test_conducts;
+          Alcotest.test_case "off leakage" `Quick test_drain_current_off;
+          Alcotest.test_case "n-type on current" `Quick test_drain_current_n_on;
+          Alcotest.test_case "subthreshold" `Quick test_drain_current_subthreshold;
+          Alcotest.test_case "sign follows vds" `Quick test_drain_current_sign;
+          Alcotest.test_case "monotone in vds" `Quick test_drain_current_monotone_vds;
+          Alcotest.test_case "monotone in vgs" `Quick test_drain_current_monotone_vgs;
+        ] );
+      ( "transfer-curve",
+        [
+          Alcotest.test_case "V shape (Fig. 1)" `Quick test_transfer_curve_v_shape;
+          Alcotest.test_case "branch monotone" `Quick test_transfer_curve_branch_monotone;
+        ] );
+      ( "resistance-retention",
+        [
+          Alcotest.test_case "effective resistance" `Quick test_effective_resistance;
+          Alcotest.test_case "decay toward V0" `Quick test_retention_decay_toward_v0;
+          Alcotest.test_case "state lifetime" `Quick test_retention_state_lifetime;
+        ] );
+      ( "technology",
+        [
+          Alcotest.test_case "process corners" `Quick test_corners;
+          Alcotest.test_case "cell areas" `Quick test_cell_areas;
+          Alcotest.test_case "area relations (paper §5)" `Quick test_cell_area_relations;
+          Alcotest.test_case "columns per input" `Quick test_columns_per_input;
+          Alcotest.test_case "get consistent" `Quick test_get_consistent;
+        ] );
+    ]

@@ -1,0 +1,309 @@
+(* Cross-module integration tests: whole pipelines from function
+   specification down to programmed, simulated, repaired hardware. *)
+
+module Cover = Logic.Cover
+module Expr = Logic.Expr
+module Tt = Logic.Truth_table
+module G = Cnfet.Gnor
+module Plane = Cnfet.Plane
+module Pla = Cnfet.Pla
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Pipeline 1: .pla text → parse → minimize → map → program → readback →
+   rebuild → switch-level simulate → compare with the parsed function. *)
+let test_pla_text_to_silicon () =
+  let text =
+    ".i 4\n.o 2\n1-1- 10\n01-- 10\n--11 01\n1--- 01\n0000 11\n.e\n"
+  in
+  let spec = Logic.Pla_io.parse text in
+  let minimized = Espresso.Minimize.cover spec.Logic.Pla_io.on_set in
+  let pla = Pla.of_cover minimized in
+  (* Program both planes crosspoint by crosspoint. *)
+  let program_plane plane =
+    let prog =
+      Cnfet.Program.create ~rows:(Plane.rows plane) ~cols:(Plane.cols plane) ()
+    in
+    Cnfet.Program.program_plane prog plane;
+    checkb "programming verified" true (Cnfet.Program.verify prog plane);
+    Cnfet.Program.readback prog
+  in
+  let and_plane = program_plane (Pla.and_plane pla) in
+  let or_plane = program_plane (Pla.or_plane pla) in
+  let rebuilt =
+    Pla.of_planes ~n_in:4 ~n_out:2 ~and_plane ~or_plane
+      ~inverted_outputs:(Array.init 2 (fun o -> not (Pla.output_inverted pla o)))
+  in
+  (* Switch-level check of the readback-rebuilt PLA on all 16 patterns. *)
+  let hw = Pla.build_hw rebuilt in
+  for m = 0 to 15 do
+    let inputs = Array.init 4 (fun i -> m land (1 lsl i) <> 0) in
+    let want = Cover.eval spec.Logic.Pla_io.on_set inputs in
+    let got = Pla.simulate_hw hw inputs in
+    for o = 0 to 1 do
+      checkb
+        (Printf.sprintf "pattern %d output %d" m o)
+        (Util.Bitvec.get want o) got.(o)
+    done
+  done
+
+(* Pipeline 2: a generated benchmark → phase optimization → CNFET PLA →
+   area accounting consistent between the model and the mapped planes. *)
+let test_benchmark_to_area () =
+  let f = Mcnc.Generators.rd ~n:5 in
+  let phase = Espresso.Phase.optimize f in
+  let inverted = Array.map not phase.Espresso.Phase.phases in
+  let pla = Pla.of_cover ~inverted_outputs:inverted phase.Espresso.Phase.cover in
+  checkb "phase-mapped PLA implements rd53" true (Pla.verify_against pla f);
+  let profile = Cnfet.Area.profile_of_pla pla in
+  let model_area = Cnfet.Area.pla_area Device.Tech.cnfet profile in
+  let device_area = Device.Tech.cnfet.Device.Tech.cell_area * Pla.crosspoint_count pla in
+  checki "area model equals crosspoint accounting" model_area device_area
+
+(* Pipeline 3: cascade PLAs through a crossbar (Fig. 3): the first PLA's
+   outputs route through a programmed interconnect into a second PLA. *)
+let test_pla_crossbar_cascade () =
+  (* Stage 1: f(a,b,c) = (a·b, b⊕c). Stage 2: g(x,y) = x ∨ y. *)
+  let stage1 = Pla.of_cover (Expr.to_cover_multi ~n_in:3 [ Expr.(v 0 && v 1); Expr.(v 1 ^^ v 2) ]) in
+  let stage2 = Pla.of_cover (Expr.to_cover_multi ~n_in:2 [ Expr.(v 0 || v 1) ]) in
+  (* Crossbar: 2 stage-1 output rows onto 2 stage-2 input columns,
+     crossed: output 0 → input 1, output 1 → input 0. *)
+  let x = Cnfet.Crossbar.create ~rows:2 ~cols:2 in
+  Cnfet.Crossbar.connect x ~row:0 ~col:1;
+  Cnfet.Crossbar.connect x ~row:1 ~col:0;
+  for m = 0 to 7 do
+    let inputs = Array.init 3 (fun i -> m land (1 lsl i) <> 0) in
+    let s1 = Pla.eval stage1 inputs in
+    let routed =
+      Array.init 2 (fun col ->
+          match
+            Cnfet.Crossbar.resolve x
+              ~driven:[ (Cnfet.Crossbar.Row 0, s1.(0)); (Cnfet.Crossbar.Row 1, s1.(1)) ]
+              (Cnfet.Crossbar.Col col)
+          with
+          | Cnfet.Crossbar.Driven b -> b
+          | Cnfet.Crossbar.Conflict | Cnfet.Crossbar.Floating ->
+            Alcotest.fail "crossbar must deliver a clean value")
+    in
+    let s2 = Pla.eval stage2 routed in
+    let expect = (inputs.(0) && inputs.(1)) || inputs.(1) <> inputs.(2) in
+    checkb (Printf.sprintf "cascade pattern %d" m) expect s2.(0)
+  done
+
+(* Pipeline 4: defect injection on a mapped benchmark, repair, and
+   functional verification through the defects. *)
+let test_defect_repair_pipeline () =
+  let f = Mcnc.Generators.comparator ~bits:2 in
+  let pla = Pla.of_minimized f in
+  let rng = Util.Rng.create 77 in
+  let repaired = ref 0 and functional = ref 0 in
+  for _ = 1 to 25 do
+    match Fault.Yield.functional_check rng pla f ~defect_rate:0.03 ~spare_rows:2 with
+    | Some ok ->
+      incr repaired;
+      if ok then incr functional
+    | None -> ()
+  done;
+  checkb "most trials repaired" true (!repaired > 12);
+  checki "every repair functional" !repaired !functional
+
+(* Pipeline 5: WPLA against plain PLA on a phase-asymmetric function:
+   both implement the function; the WPLA uses no more products. *)
+let test_wpla_vs_pla () =
+  let f =
+    Expr.to_cover_multi ~n_in:5
+      [ Expr.(Or [ v 0; v 1; v 2; v 3; v 4 ]); Expr.(And [ v 0; v 1 ]) ]
+  in
+  let pla = Pla.of_minimized f in
+  let wpla = Cnfet.Wpla.of_function f in
+  checkb "pla correct" true (Pla.verify_against pla f);
+  checkb "wpla correct" true (Cnfet.Wpla.verify_against wpla f);
+  checkb "wpla no more products" true (Cnfet.Wpla.products wpla <= Pla.num_products pla)
+
+(* Pipeline 6: the end-to-end Table 1 pipeline on a synthetic twin:
+   synthesize → minimize → map → measure areas in all three technologies,
+   then check the orderings the paper claims. *)
+let test_table1_pipeline_shape () =
+  let rng = Util.Rng.create 2008 in
+  let r = Mcnc.Synthetic.with_profile rng Mcnc.Profiles.max46 in
+  let profile = Cnfet.Area.profile_of_cover r.Mcnc.Synthetic.minimized in
+  let flash = Cnfet.Area.pla_area Device.Tech.flash profile in
+  let eeprom = Cnfet.Area.pla_area Device.Tech.eeprom profile in
+  let cnfet = Cnfet.Area.pla_area Device.Tech.cnfet profile in
+  checkb "CNFET < EEPROM always" true (cnfet < eeprom);
+  checkb "CNFET < Flash on the input-rich max46 shape" true (cnfet < flash)
+
+(* Pipeline 7: an FSM synthesized, its PLA programmed through the physical
+   select network, rebuilt from the readback, and run cycle-accurately. *)
+let test_fsm_through_physical_programming () =
+  let spec = Cnfet.Fsm.sequence_detector ~pattern:[ true; false; true ] in
+  let fsm = Cnfet.Fsm.synthesize spec in
+  let pla = Cnfet.Fsm.pla fsm in
+  let reprogram plane =
+    let hw =
+      Cnfet.Program_hw.build ~rows:(Plane.rows plane) ~cols:(Plane.cols plane) ()
+    in
+    Cnfet.Program_hw.program_plane hw plane;
+    checkb "physical programming verified" true (Cnfet.Program_hw.verify hw plane);
+    Cnfet.Program_hw.readback hw
+  in
+  let rebuilt =
+    Pla.of_planes ~n_in:(Pla.num_inputs pla) ~n_out:(Pla.num_outputs pla)
+      ~and_plane:(reprogram (Pla.and_plane pla))
+      ~or_plane:(reprogram (Pla.or_plane pla))
+      ~inverted_outputs:
+        (Array.init (Pla.num_outputs pla) (fun o -> not (Pla.output_inverted pla o)))
+  in
+  (* Drive the rebuilt combinational core as the FSM for a stimulus. *)
+  let regs = ref (Cnfet.Fsm.reset_vector fsm) in
+  let state_bits = Cnfet.Fsm.state_bits fsm in
+  let stim = [ true; false; true; false; true; true; false; true ] in
+  let outs =
+    List.map
+      (fun b ->
+        let all = Array.append [| b |] !regs in
+        let o = Pla.eval rebuilt all in
+        regs := Array.sub o 0 state_bits;
+        o.(state_bits))
+      stim
+  in
+  Alcotest.check (Alcotest.list Alcotest.bool) "detector trace survives programming"
+    [ false; false; true; false; true; false; false; true ]
+    outs
+
+(* Pipeline 8: minimize -> factor -> NOR cascade -> BLIF -> parse -> still
+   the same function. *)
+let test_factor_cascade_blif_roundtrip () =
+  let f = Espresso.Minimize.cover (Mcnc.Generators.gray ~bits:4) in
+  let exprs = Espresso.Factor.factor_multi f in
+  let net = Cnfet.Cascade.network_of_factored ~n_in:4 exprs in
+  (* Export the NOR network as BLIF: every node is a single-row table. *)
+  let signal_of = function
+    | Cnfet.Cascade.Pi i -> Printf.sprintf "x%d" i
+    | Cnfet.Cascade.Node j -> Printf.sprintf "n%d" j
+  in
+  let out1 = Util.Bitvec.of_list 1 [ 0 ] in
+  let node_table k fanins =
+    (* NOR: output 1 exactly when every fanin contribution is 0, i.e. a
+       single row where a non-inverted fanin must be 0 and an inverted one
+       must be 1. *)
+    let lits =
+      List.map (fun (_, inv) -> if inv then Logic.Cube.One else Logic.Cube.Zero) fanins
+    in
+    let cover =
+      Cover.make ~n_in:(List.length fanins) ~n_out:1
+        [ Logic.Cube.of_literals lits ~outs:out1 ]
+    in
+    ( Printf.sprintf "n%d" k,
+      cover,
+      Array.of_list (List.map (fun (s, _) -> signal_of s) fanins) )
+  in
+  let buffer s = Cover.make ~n_in:1 ~n_out:1 [ Logic.Cube.of_literals [ Logic.Cube.One ] ~outs:out1 ] |> fun c -> (s, c) in
+  let tables =
+    List.mapi node_table (Array.to_list net.Cnfet.Cascade.nodes)
+    @ List.mapi
+        (fun o s ->
+          let name, cover = buffer (Printf.sprintf "y%d" o) in
+          (name, cover, [| signal_of s |]))
+        (Array.to_list net.Cnfet.Cascade.outputs)
+  in
+  let blif =
+    {
+      Logic.Blif.name = "gray4_nor";
+      inputs = Array.init 4 (Printf.sprintf "x%d");
+      outputs = Array.init 4 (Printf.sprintf "y%d");
+      tables;
+    }
+  in
+  let parsed = Logic.Blif.parse (Logic.Blif.to_string blif) in
+  checkb "NOR-network BLIF equals source" true
+    (Cover.equivalent f (Logic.Blif.to_cover parsed))
+
+(* Pipeline 9: technology mapping -> placement -> routing -> timing is
+   self-consistent: the critical path is at least depth × CLB delay and
+   every criticality is realized by some connection. *)
+let test_map_place_route_time () =
+  let f = Mcnc.Generators.rd ~n:7 in
+  let mapped = Fpga.Map.map_cover ~clb_inputs:4 f in
+  let d = Fpga.Map.to_design mapped in
+  let a = Fpga.Arch.cnfet ~grid:6 in
+  let p = Fpga.Place.place (Util.Rng.create 12) a d in
+  let r = Fpga.Route.route ~share_nets:true p in
+  checki "routes clean" 0 r.Fpga.Route.overflow;
+  let t = Fpga.Timing.analyze p r in
+  checkb "critical ≥ levels × clb" true
+    (t.Fpga.Timing.critical_path
+    >= float_of_int (Fpga.Map.levels mapped) *. a.Fpga.Arch.clb_delay);
+  checkb "finite frequency" true (Float.is_finite t.Fpga.Timing.frequency_hz)
+
+(* Pipeline 10: a 17-input synthetic twin end to end with the BDD oracle
+   (beyond truth-table scale). *)
+let test_t2_scale_end_to_end () =
+  let r = Mcnc.Synthetic.with_profile (Util.Rng.create 7) Mcnc.Profiles.t2 in
+  let minimized = r.Mcnc.Synthetic.minimized in
+  checkb "minimizer correct at 17 inputs" true
+    (Logic.Bdd.equivalent_covers r.Mcnc.Synthetic.on_set minimized);
+  let pla = Pla.of_cover minimized in
+  checki "single column per input" 17 (Cnfet.Plane.cols (Pla.and_plane pla));
+  let profile = Cnfet.Area.profile_of_pla pla in
+  checkb "CNFET beats EEPROM here too" true
+    (Cnfet.Area.pla_area Device.Tech.cnfet profile
+    < Cnfet.Area.pla_area Device.Tech.eeprom profile)
+
+(* Pipeline 11: an FSM clocked through the switch-level transistor network
+   — the combinational core simulated with pre-charge/evaluate phases at
+   every step. *)
+let test_fsm_switch_level_cycles () =
+  let spec = Cnfet.Fsm.counter ~modulo:4 in
+  let fsm = Cnfet.Fsm.synthesize spec in
+  let pla = Cnfet.Fsm.pla fsm in
+  let hw = Pla.build_hw pla in
+  let state_bits = Cnfet.Fsm.state_bits fsm in
+  let regs = ref (Cnfet.Fsm.reset_vector fsm) in
+  let counts = ref [] in
+  for _ = 1 to 6 do
+    let all = Array.append [| true |] !regs in
+    let outs = Pla.simulate_hw hw all in
+    regs := Array.sub outs 0 state_bits;
+    let v = ref 0 in
+    Array.iteri (fun b bit -> if bit then v := !v lor (1 lsl b))
+      (Array.sub outs state_bits (Array.length outs - state_bits));
+    counts := !v :: !counts
+  done;
+  Alcotest.check (Alcotest.list Alcotest.int) "transistor-level counting"
+    [ 0; 1; 2; 3; 0; 1 ] (List.rev !counts)
+
+(* Pipeline 12: determinism of a full flow — same seed, same results. *)
+let test_flow_determinism () =
+  let run seed =
+    let rng = Util.Rng.create seed in
+    let f = Cover.random rng ~n_in:5 ~n_out:2 ~n_cubes:10 ~dc_bias:0.4 in
+    let m = Espresso.Minimize.cover f in
+    let pla = Pla.of_cover m in
+    (Cover.size m, Pla.num_products pla, Cover.literal_total m)
+  in
+  checkb "deterministic" true (run 9 = run 9);
+  checkb "seed-sensitive" true (run 9 <> run 10)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "pla text to silicon" `Quick test_pla_text_to_silicon;
+          Alcotest.test_case "benchmark to area" `Quick test_benchmark_to_area;
+          Alcotest.test_case "PLA-crossbar cascade (Fig. 3)" `Quick test_pla_crossbar_cascade;
+          Alcotest.test_case "defect repair pipeline" `Quick test_defect_repair_pipeline;
+          Alcotest.test_case "wpla vs pla" `Quick test_wpla_vs_pla;
+          Alcotest.test_case "table 1 pipeline shape" `Quick test_table1_pipeline_shape;
+          Alcotest.test_case "fsm through physical programming" `Quick
+            test_fsm_through_physical_programming;
+          Alcotest.test_case "factor-cascade-blif roundtrip" `Quick
+            test_factor_cascade_blif_roundtrip;
+          Alcotest.test_case "map-place-route-time" `Quick test_map_place_route_time;
+          Alcotest.test_case "t2-scale end to end" `Quick test_t2_scale_end_to_end;
+          Alcotest.test_case "fsm at switch level" `Quick test_fsm_switch_level_cycles;
+          Alcotest.test_case "determinism" `Quick test_flow_determinism;
+        ] );
+    ]

@@ -1,0 +1,647 @@
+(* Tests for the logic substrate: cubes, covers (tautology / complement /
+   containment), truth tables, expressions, and .pla I/O. *)
+
+module Cube = Logic.Cube
+module Cover = Logic.Cover
+module Tt = Logic.Truth_table
+module Expr = Logic.Expr
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let out1 = Util.Bitvec.of_list 1 [ 0 ]
+
+let cube_of_string s outs =
+  let lits =
+    List.init (String.length s) (fun i ->
+        match s.[i] with
+        | '0' -> Cube.Zero
+        | '1' -> Cube.One
+        | '-' -> Cube.Dc
+        | _ -> assert false)
+  in
+  Cube.of_literals lits ~outs
+
+let c1 s = cube_of_string s out1
+
+let cover1 strs = Cover.make ~n_in:(String.length (List.hd strs)) ~n_out:1 (List.map c1 strs)
+
+(* --- Cube ---------------------------------------------------------------- *)
+
+let test_cube_roundtrip () =
+  let c = c1 "01-" in
+  Alcotest.check Alcotest.string "to_string" "01- 1" (Cube.to_string c);
+  Alcotest.check Alcotest.int "literal count" 2 (Cube.literal_count c);
+  checkb "get 0" true (Cube.get c 0 = Cube.Zero);
+  checkb "get 1" true (Cube.get c 1 = Cube.One);
+  checkb "get 2" true (Cube.get c 2 = Cube.Dc)
+
+let test_cube_set_functional () =
+  let c = c1 "000" in
+  let c' = Cube.set c 1 Cube.Dc in
+  checkb "original untouched" true (Cube.get c 1 = Cube.Zero);
+  checkb "copy updated" true (Cube.get c' 1 = Cube.Dc)
+
+let test_cube_containment () =
+  checkb "0- contains 00" true (Cube.contains (c1 "0-") (c1 "00"));
+  checkb "0- contains 01" true (Cube.contains (c1 "0-") (c1 "01"));
+  checkb "00 not contains 0-" false (Cube.contains (c1 "00") (c1 "0-"));
+  checkb "self containment" true (Cube.contains (c1 "01") (c1 "01"));
+  checkb "disjoint" false (Cube.contains (c1 "0-") (c1 "10"))
+
+let test_cube_containment_outputs () =
+  let a = cube_of_string "--" (Util.Bitvec.of_list 2 [ 0; 1 ]) in
+  let b = cube_of_string "--" (Util.Bitvec.of_list 2 [ 0 ]) in
+  checkb "wider outputs contain narrower" true (Cube.contains a b);
+  checkb "narrower don't contain wider" false (Cube.contains b a)
+
+let test_cube_intersect () =
+  (match Cube.intersect (c1 "0-") (c1 "-1") with
+  | Some c -> Alcotest.check Alcotest.string "intersection" "01 1" (Cube.to_string c)
+  | None -> Alcotest.fail "expected intersection");
+  checkb "disjoint gives None" true (Cube.intersect (c1 "0-") (c1 "1-") = None)
+
+let test_cube_intersect_output_disjoint () =
+  let a = cube_of_string "--" (Util.Bitvec.of_list 2 [ 0 ]) in
+  let b = cube_of_string "--" (Util.Bitvec.of_list 2 [ 1 ]) in
+  checkb "output-disjoint cubes don't intersect" true (Cube.intersect a b = None)
+
+let test_cube_distance () =
+  checki "distance 0" 0 (Cube.distance (c1 "0-") (c1 "00"));
+  checki "distance 1" 1 (Cube.distance (c1 "00") (c1 "01"));
+  checki "distance 2" 2 (Cube.distance (c1 "00") (c1 "11"))
+
+let test_cube_supercube2 () =
+  let s = Cube.supercube2 (c1 "00") (c1 "01") in
+  Alcotest.check Alcotest.string "merge adjacent" "0- 1" (Cube.to_string s);
+  let s2 = Cube.supercube2 (c1 "00") (c1 "11") in
+  Alcotest.check Alcotest.string "merge opposite" "-- 1" (Cube.to_string s2)
+
+let test_cube_cofactor () =
+  (match Cube.cofactor (c1 "01") ~by:(c1 "0-") with
+  | Some c -> Alcotest.check Alcotest.string "cofactor" "-1 1" (Cube.to_string c)
+  | None -> Alcotest.fail "expected cofactor");
+  checkb "disjoint cofactor None" true (Cube.cofactor (c1 "1-") ~by:(c1 "0-") = None)
+
+let test_cube_matches () =
+  let c = c1 "1-0" in
+  checkb "matches" true (Cube.matches c [| true; false; false |]);
+  checkb "matches dc" true (Cube.matches c [| true; true; false |]);
+  checkb "fails lit 0" false (Cube.matches c [| false; true; false |]);
+  checkb "fails lit 2" false (Cube.matches c [| true; true; true |])
+
+let test_cube_universe () =
+  let u = Cube.universe ~n_in:4 ~n_out:2 in
+  checki "no literals" 0 (Cube.literal_count u);
+  checkb "all outputs" true (Util.Bitvec.is_full (Cube.outputs u))
+
+(* --- Cover basics -------------------------------------------------------- *)
+
+let test_cover_eval () =
+  let f = cover1 [ "1-"; "01" ] in
+  let v a b = Util.Bitvec.get (Cover.eval f [| a; b |]) 0 in
+  checkb "10" true (v true false);
+  checkb "11" true (v true true);
+  checkb "01" true (v false true);
+  checkb "00" false (v false false)
+
+let test_cover_literal_total () =
+  let f = cover1 [ "1-"; "01" ] in
+  checki "literals" 3 (Cover.literal_total f)
+
+let test_cover_scc () =
+  let f = cover1 [ "1-"; "11"; "0-"; "0-" ] in
+  let r = Cover.single_cube_containment f in
+  checki "kept" 2 (Cover.size r)
+
+let test_cover_restrict_output () =
+  let c01 = cube_of_string "1-" (Util.Bitvec.of_list 2 [ 0; 1 ]) in
+  let c0 = cube_of_string "0-" (Util.Bitvec.of_list 2 [ 0 ]) in
+  let f = Cover.make ~n_in:2 ~n_out:2 [ c01; c0 ] in
+  checki "output 0 has both" 2 (Cover.size (Cover.restrict_output f 0));
+  checki "output 1 has one" 1 (Cover.size (Cover.restrict_output f 1))
+
+(* --- Tautology ----------------------------------------------------------- *)
+
+let test_tautology_simple () =
+  checkb "x + x' is tautology" true (Cover.tautology (cover1 [ "1-"; "0-" ]));
+  checkb "x is not" false (Cover.tautology (cover1 [ "1-" ]));
+  checkb "universe is" true (Cover.tautology (cover1 [ "--" ]));
+  checkb "empty is not" false (Cover.tautology (Cover.empty ~n_in:2 ~n_out:1))
+
+let test_tautology_needs_recursion () =
+  checkb "4 minterms of 2 vars" true (Cover.tautology (cover1 [ "11"; "10"; "01"; "00" ]));
+  checkb "3 minterms are not" false (Cover.tautology (cover1 [ "11"; "10"; "01" ]))
+
+let test_tautology_unate_leaf () =
+  let f = cover1 [ "1--"; "-1-"; "--1" ] in
+  checkb "unate, no universe" false (Cover.tautology f)
+
+let test_tautology_multi_output () =
+  let both = cube_of_string "--" (Util.Bitvec.of_list 2 [ 0; 1 ]) in
+  let f = Cover.make ~n_in:2 ~n_out:2 [ both ] in
+  checkb "both outputs tautology" true (Cover.tautology f);
+  let only0 = cube_of_string "--" (Util.Bitvec.of_list 2 [ 0 ]) in
+  let g = Cover.make ~n_in:2 ~n_out:2 [ only0 ] in
+  checkb "output 1 uncovered" false (Cover.tautology g)
+
+(* --- Complement ---------------------------------------------------------- *)
+
+let test_complement_single_cube () =
+  let f = cover1 [ "11" ] in
+  let c = Cover.complement f in
+  let tt = Tt.of_cover c in
+  let expect = Tt.of_fun ~n_in:2 ~n_out:1 (fun a _ -> not (a.(0) && a.(1))) in
+  checkb "¬(x0 x1)" true (Tt.equal tt expect)
+
+let test_complement_empty_and_universe () =
+  let empty = Cover.empty ~n_in:3 ~n_out:1 in
+  let c = Cover.complement empty in
+  checkb "¬∅ = universe" true (Cover.tautology c);
+  let u = cover1 [ "---" ] in
+  checkb "¬universe = ∅" true (Cover.is_empty (Cover.complement u))
+
+let test_complement_involution_random () =
+  let rng = Util.Rng.create 17 in
+  for _ = 1 to 30 do
+    let n_in = 2 + Util.Rng.int rng 5 in
+    let f = Cover.random rng ~n_in ~n_out:1 ~n_cubes:(1 + Util.Rng.int rng 8) ~dc_bias:0.4 in
+    let cc = Cover.complement (Cover.complement f) in
+    checkb "¬¬f ≡ f" true (Tt.equal (Tt.of_cover f) (Tt.of_cover cc))
+  done
+
+let test_complement_partitions_space () =
+  let rng = Util.Rng.create 23 in
+  for _ = 1 to 30 do
+    let n_in = 2 + Util.Rng.int rng 5 in
+    let n_out = 1 + Util.Rng.int rng 3 in
+    let f = Cover.random rng ~n_in ~n_out ~n_cubes:(1 + Util.Rng.int rng 8) ~dc_bias:0.4 in
+    let c = Cover.complement f in
+    checkb "f ∪ ¬f tautology" true (Cover.tautology (Cover.union f c));
+    let tf = Tt.of_cover f and tc = Tt.of_cover c in
+    let overlap = ref false in
+    for m = 0 to (1 lsl n_in) - 1 do
+      for o = 0 to n_out - 1 do
+        if Tt.get tf ~minterm:m ~output:o && Tt.get tc ~minterm:m ~output:o then overlap := true
+      done
+    done;
+    checkb "f ∩ ¬f empty" false !overlap
+  done
+
+(* --- covers_cube / covers / equivalent ----------------------------------- *)
+
+let test_covers_cube () =
+  let f = cover1 [ "1-"; "01" ] in
+  checkb "covers 11" true (Cover.covers_cube f (c1 "11"));
+  checkb "covers 01" true (Cover.covers_cube f (c1 "01"));
+  checkb "not covers 0-" false (Cover.covers_cube f (c1 "0-"));
+  checkb "covers own cube" true (Cover.covers_cube f (c1 "1-"))
+
+let test_covers_cube_needs_two () =
+  let f = cover1 [ "0-"; "1-" ] in
+  checkb "union covers universe cube" true (Cover.covers_cube f (c1 "--"))
+
+let test_equivalent () =
+  let a = cover1 [ "1-"; "01" ] in
+  let b = cover1 [ "-1"; "10" ] in
+  checkb "x0+x1 two writings" true (Cover.equivalent a b);
+  let c = cover1 [ "11" ] in
+  checkb "not equivalent" false (Cover.equivalent a c)
+
+let test_minterms () =
+  let f = cover1 [ "1-" ] in
+  let m = Cover.minterms f in
+  checki "two minterms" 2 (Cover.size m);
+  checkb "equivalent" true (Cover.equivalent f m)
+
+(* --- Truth tables -------------------------------------------------------- *)
+
+let test_tt_of_cover_and_back () =
+  let rng = Util.Rng.create 31 in
+  for _ = 1 to 20 do
+    let n_in = 2 + Util.Rng.int rng 4 in
+    let n_out = 1 + Util.Rng.int rng 3 in
+    let f = Cover.random rng ~n_in ~n_out ~n_cubes:(1 + Util.Rng.int rng 6) ~dc_bias:0.3 in
+    let tt = Tt.of_cover f in
+    let back = Tt.to_minterm_cover tt in
+    checkb "roundtrip equivalent" true (Cover.equivalent f back)
+  done
+
+let test_tt_ones () =
+  let tt = Tt.of_fun ~n_in:3 ~n_out:1 (fun a _ -> a.(0)) in
+  checki "half the space" 4 (Tt.ones tt ~output:0)
+
+let test_tt_rejects_large () =
+  Alcotest.check_raises "too many inputs"
+    (Invalid_argument "Truth_table.create: bad n_in") (fun () ->
+      ignore (Tt.create ~n_in:21 ~n_out:1))
+
+(* --- Expr ---------------------------------------------------------------- *)
+
+let test_expr_eval () =
+  let e = Expr.(majority3 (v 0) (v 1) (v 2)) in
+  checkb "110 -> 1" true (Expr.eval e [| true; true; false |]);
+  checkb "100 -> 0" false (Expr.eval e [| true; false; false |])
+
+let test_expr_to_cover_matches_eval () =
+  let exprs =
+    [
+      Expr.(v 0 && v 1);
+      Expr.(v 0 || not_ (v 1));
+      Expr.(v 0 ^^ v 1 ^^ v 2);
+      Expr.(mux ~sel:(v 0) (v 1) (v 2));
+      Expr.(majority3 (v 0) (v 1) (v 2));
+      Expr.Const true;
+      Expr.Const false;
+      Expr.(not_ (v 0 && v 1) || (v 2 && v 3));
+    ]
+  in
+  List.iter
+    (fun e ->
+      let n_in = 4 in
+      let f = Expr.to_cover ~n_in e in
+      let tt = Tt.of_cover f in
+      let expect = Tt.of_fun ~n_in ~n_out:1 (fun a _ -> Expr.eval e a) in
+      checkb "cover matches eval" true (Tt.equal tt expect))
+    exprs
+
+let test_expr_to_cover_multi () =
+  let exprs = [ Expr.(v 0 && v 1); Expr.(v 0 ^^ v 1) ] in
+  let f = Expr.to_cover_multi ~n_in:2 exprs in
+  checki "two outputs" 2 (Cover.num_outputs f);
+  let tt = Tt.of_cover f in
+  let expect = Tt.of_fun ~n_in:2 ~n_out:2 (fun a o -> Expr.eval (List.nth exprs o) a) in
+  checkb "matches" true (Tt.equal tt expect)
+
+let test_expr_out_of_range () =
+  Alcotest.check_raises "var out of range"
+    (Invalid_argument "Expr.to_cover: variable out of range") (fun () ->
+      ignore (Expr.to_cover ~n_in:2 (Expr.v 5)))
+
+let test_expr_parity_empty () =
+  checkb "empty parity is false" false (Expr.eval (Expr.parity []) [||])
+
+(* --- Pla_io -------------------------------------------------------------- *)
+
+let test_pla_parse_basic () =
+  let text = ".i 3\n.o 2\n.p 2\n1-0 10\n011 01\n.e\n" in
+  let spec = Logic.Pla_io.parse text in
+  checki "inputs" 3 spec.Logic.Pla_io.n_in;
+  checki "outputs" 2 spec.Logic.Pla_io.n_out;
+  checki "on-set cubes" 2 (Cover.size spec.Logic.Pla_io.on_set);
+  checki "dc-set empty" 0 (Cover.size spec.Logic.Pla_io.dc_set)
+
+let test_pla_parse_dc_outputs () =
+  let text = ".i 2\n.o 2\n11 1-\n" in
+  let spec = Logic.Pla_io.parse text in
+  checki "on cube" 1 (Cover.size spec.Logic.Pla_io.on_set);
+  checki "dc cube" 1 (Cover.size spec.Logic.Pla_io.dc_set)
+
+let test_pla_parse_labels_comments () =
+  let text = "# a comment\n.i 2\n.o 1\n.ilb a b\n.ob f\n11 1 # trailing\n.end\n" in
+  let spec = Logic.Pla_io.parse text in
+  (match spec.Logic.Pla_io.input_labels with
+  | Some [| "a"; "b" |] -> ()
+  | _ -> Alcotest.fail "labels");
+  checki "one cube" 1 (Cover.size spec.Logic.Pla_io.on_set)
+
+let test_pla_parse_errors () =
+  let expect_error text =
+    match Logic.Pla_io.parse text with
+    | exception Logic.Pla_io.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  expect_error ".o 1\n1 1\n";
+  expect_error ".i 2\n.o 1\n111 1\n";
+  expect_error ".i 2\n.o 1\n11 11\n";
+  expect_error ".i 2\n.o 1\nzz 1\n";
+  expect_error ".i 2\n.o 1\n.type xyz\n11 1\n"
+
+let test_pla_roundtrip_random () =
+  let rng = Util.Rng.create 5 in
+  for _ = 1 to 20 do
+    let n_in = 2 + Util.Rng.int rng 5 in
+    let n_out = 1 + Util.Rng.int rng 3 in
+    let f = Cover.random rng ~n_in ~n_out ~n_cubes:(1 + Util.Rng.int rng 8) ~dc_bias:0.4 in
+    let text = Logic.Pla_io.to_string ~on_set:f ~dc_set:(Cover.empty ~n_in ~n_out) () in
+    let spec = Logic.Pla_io.parse text in
+    checkb "roundtrip equivalent" true (Cover.equivalent f spec.Logic.Pla_io.on_set)
+  done
+
+let test_pla_file_io () =
+  let f = cover1 [ "1-"; "01" ] in
+  let spec = Logic.Pla_io.spec_of_cover f in
+  let path = Filename.temp_file "cnfet_test" ".pla" in
+  Logic.Pla_io.write_file path spec;
+  let spec' = Logic.Pla_io.parse_file path in
+  Sys.remove path;
+  checkb "file roundtrip" true (Cover.equivalent f spec'.Logic.Pla_io.on_set)
+
+
+(* --- Bdd ------------------------------------------------------------------ *)
+
+let test_bdd_constants () =
+  let man = Logic.Bdd.manager () in
+  checkb "zero is zero" true (Logic.Bdd.is_zero (Logic.Bdd.zero man));
+  checkb "one is one" true (Logic.Bdd.is_one (Logic.Bdd.one man));
+  checkb "not zero = one" true
+    (Logic.Bdd.equal (Logic.Bdd.not_ man (Logic.Bdd.zero man)) (Logic.Bdd.one man))
+
+let test_bdd_var_laws () =
+  let man = Logic.Bdd.manager () in
+  let x = Logic.Bdd.var man 0 and y = Logic.Bdd.var man 1 in
+  checkb "x & !x = 0" true
+    (Logic.Bdd.is_zero (Logic.Bdd.and_ man x (Logic.Bdd.not_ man x)));
+  checkb "x | !x = 1" true
+    (Logic.Bdd.is_one (Logic.Bdd.or_ man x (Logic.Bdd.not_ man x)));
+  checkb "commutative and" true
+    (Logic.Bdd.equal (Logic.Bdd.and_ man x y) (Logic.Bdd.and_ man y x));
+  checkb "xor self" true (Logic.Bdd.is_zero (Logic.Bdd.xor man x x));
+  checkb "nvar = not var" true
+    (Logic.Bdd.equal (Logic.Bdd.nvar man 0) (Logic.Bdd.not_ man x))
+
+let test_bdd_hash_consing () =
+  let man = Logic.Bdd.manager () in
+  let x = Logic.Bdd.var man 0 and y = Logic.Bdd.var man 1 in
+  let a = Logic.Bdd.or_ man (Logic.Bdd.and_ man x y) (Logic.Bdd.and_ man x (Logic.Bdd.not_ man y)) in
+  checkb "x&y | x&!y collapses to x" true (Logic.Bdd.equal a x)
+
+let test_bdd_eval_matches_cover () =
+  let rng = Util.Rng.create 71 in
+  for _ = 1 to 20 do
+    let n_in = 2 + Util.Rng.int rng 5 in
+    let f = Cover.random rng ~n_in ~n_out:2 ~n_cubes:(1 + Util.Rng.int rng 8) ~dc_bias:0.4 in
+    let man = Logic.Bdd.manager () in
+    let bdds = Logic.Bdd.of_cover man f in
+    for m = 0 to (1 lsl n_in) - 1 do
+      let a = Array.init n_in (fun i -> m land (1 lsl i) <> 0) in
+      let want = Cover.eval f a in
+      for o = 0 to 1 do
+        checkb "bdd eval == cover eval" (Util.Bitvec.get want o) (Logic.Bdd.eval bdds.(o) a)
+      done
+    done
+  done
+
+let test_bdd_equivalence_oracle () =
+  let rng = Util.Rng.create 72 in
+  for _ = 1 to 20 do
+    let n_in = 2 + Util.Rng.int rng 5 in
+    let f = Cover.random rng ~n_in ~n_out:2 ~n_cubes:(1 + Util.Rng.int rng 8) ~dc_bias:0.4 in
+    let g = Cover.random rng ~n_in ~n_out:2 ~n_cubes:(1 + Util.Rng.int rng 8) ~dc_bias:0.4 in
+    checkb "bdd vs tt (equal case)" (Tt.equal (Tt.of_cover f) (Tt.of_cover f))
+      (Logic.Bdd.equivalent_covers f f);
+    checkb "bdd vs tt (general case)" (Tt.equal (Tt.of_cover f) (Tt.of_cover g))
+      (Logic.Bdd.equivalent_covers f g)
+  done
+
+let test_bdd_sat_count () =
+  let man = Logic.Bdd.manager () in
+  let x = Logic.Bdd.var man 0 and y = Logic.Bdd.var man 1 in
+  let f = Logic.Bdd.or_ man x y in
+  Alcotest.check (Alcotest.float 1e-9) "x|y over 2 vars" 3.0 (Logic.Bdd.sat_count man f ~n_vars:2);
+  Alcotest.check (Alcotest.float 1e-9) "x|y over 3 vars" 6.0 (Logic.Bdd.sat_count man f ~n_vars:3);
+  Alcotest.check (Alcotest.float 1e-9) "zero" 0.0
+    (Logic.Bdd.sat_count man (Logic.Bdd.zero man) ~n_vars:4)
+
+let test_bdd_any_sat () =
+  let man = Logic.Bdd.manager () in
+  checkb "zero unsat" true (Logic.Bdd.any_sat (Logic.Bdd.zero man) = None);
+  let x = Logic.Bdd.var man 0 and y = Logic.Bdd.nvar man 1 in
+  let f = Logic.Bdd.and_ man x y in
+  match Logic.Bdd.any_sat f with
+  | Some assignment ->
+    checkb "x=1 in witness" true (List.mem (0, true) assignment);
+    checkb "y=0 in witness" true (List.mem (1, false) assignment)
+  | None -> Alcotest.fail "expected witness"
+
+let test_bdd_parity_size () =
+  (* Parity has a linear-size BDD: 2n-1 internal nodes. *)
+  let man = Logic.Bdd.manager () in
+  let f = Logic.Bdd.of_cover_output man (Mcnc.Generators.xor_n 8) 0 in
+  checki "xor8 node count" 15 (Logic.Bdd.node_count man f)
+
+let test_bdd_large_inputs () =
+  (* 17-input functions are beyond truth tables; the BDD handles them. *)
+  let rng = Util.Rng.create 73 in
+  let f = Cover.random rng ~n_in:17 ~n_out:2 ~n_cubes:30 ~dc_bias:0.55 in
+  let m = Espresso.Minimize.cover f in
+  checkb "minimization preserved at 17 inputs" true (Logic.Bdd.equivalent_covers f m)
+
+(* --- Blif --------------------------------------------------------------------- *)
+
+let test_blif_flat_roundtrip () =
+  let rng = Util.Rng.create 81 in
+  for _ = 1 to 15 do
+    let n_in = 2 + Util.Rng.int rng 4 in
+    let n_out = 1 + Util.Rng.int rng 3 in
+    let f = Cover.random rng ~n_in ~n_out ~n_cubes:(1 + Util.Rng.int rng 8) ~dc_bias:0.4 in
+    let b = Logic.Blif.of_cover ~name:"t" f in
+    let b' = Logic.Blif.parse (Logic.Blif.to_string b) in
+    checkb "roundtrip equivalent" true (Cover.equivalent f (Logic.Blif.to_cover b'))
+  done
+
+let test_blif_parse_features () =
+  let text =
+    "# comment\n.model demo\n.inputs a b \\\n c\n.outputs f\n.names a b c f\n1-0 1\n011 1\n.end\n"
+  in
+  let b = Logic.Blif.parse text in
+  Alcotest.check Alcotest.string "model name" "demo" b.Logic.Blif.name;
+  checki "3 inputs (continuation handled)" 3 (Array.length b.Logic.Blif.inputs);
+  checkb "f(1,1,0)" true (Logic.Blif.eval b [| true; true; false |]).(0);
+  checkb "f(0,1,1)" true (Logic.Blif.eval b [| false; true; true |]).(0);
+  checkb "f(0,0,0)" false (Logic.Blif.eval b [| false; false; false |]).(0)
+
+let test_blif_multilevel_eval () =
+  (* n = a AND b; f = n OR c *)
+  let text =
+    ".model two\n.inputs a b c\n.outputs f\n.names a b n\n11 1\n.names n c f\n1- 1\n-1 1\n.end\n"
+  in
+  let b = Logic.Blif.parse text in
+  let expect a_ b_ c_ = (a_ && b_) || c_ in
+  for m = 0 to 7 do
+    let a_ = m land 1 <> 0 and b_ = m land 2 <> 0 and c_ = m land 4 <> 0 in
+    checkb "multi-level eval" (expect a_ b_ c_) (Logic.Blif.eval b [| a_; b_; c_ |]).(0)
+  done
+
+let test_blif_constants () =
+  let text = ".model k\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n" in
+  let b = Logic.Blif.parse text in
+  let out = Logic.Blif.eval b [| true |] in
+  checkb "constant 1" true out.(0);
+  checkb "constant 0" false out.(1)
+
+let test_blif_errors () =
+  let expect_error text =
+    match Logic.Blif.parse text with
+    | exception Logic.Blif.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  expect_error ".model m\n.inputs a\n.outputs f\n.names a f\n1 0\n.end\n";
+  expect_error ".model m\n.inputs a\n.outputs f\n11 1\n";
+  expect_error ".model m\n.latch a b\n"
+
+(* --- qcheck properties ---------------------------------------------------- *)
+
+let arb_cover =
+  let gen =
+    QCheck.Gen.(
+      let* n_in = int_range 1 6 in
+      let* n_out = int_range 1 3 in
+      let* n_cubes = int_range 0 10 in
+      let* seed = int_bound 1_000_000 in
+      return (Cover.random (Util.Rng.create seed) ~n_in ~n_out ~n_cubes ~dc_bias:0.4))
+  in
+  QCheck.make ~print:Cover.to_string gen
+
+let prop_union_covers_both =
+  QCheck.Test.make ~name:"cover union covers both operands" ~count:100 arb_cover (fun f ->
+      let g = Cover.union f f in
+      Cover.covers g f)
+
+let prop_scc_preserves_function =
+  QCheck.Test.make ~name:"single-cube containment preserves function" ~count:100 arb_cover
+    (fun f -> Cover.equivalent f (Cover.single_cube_containment f))
+
+let prop_complement_is_complement =
+  QCheck.Test.make ~name:"complement covers exactly the rest" ~count:100 arb_cover (fun f ->
+      let c = Cover.complement f in
+      Cover.tautology (Cover.union f c)
+      &&
+      let tf = Tt.of_cover f and tc = Tt.of_cover c in
+      let n_in = Cover.num_inputs f and n_out = Cover.num_outputs f in
+      let ok = ref true in
+      for m = 0 to (1 lsl n_in) - 1 do
+        for o = 0 to n_out - 1 do
+          if Tt.get tf ~minterm:m ~output:o && Tt.get tc ~minterm:m ~output:o then ok := false
+        done
+      done;
+      !ok)
+
+let prop_sharp_partitions =
+  QCheck.Test.make ~name:"sharp: (a\\b) ∪ (a∩b) ≡ a" ~count:100
+    (QCheck.pair arb_cover arb_cover) (fun (a, b0) ->
+      (* regenerate b with a's arity *)
+      let b =
+        Cover.random
+          (Util.Rng.create (Cover.size b0 + (17 * Cover.size a)))
+          ~n_in:(Cover.num_inputs a) ~n_out:(Cover.num_outputs a)
+          ~n_cubes:(max 1 (Cover.size b0)) ~dc_bias:0.4
+      in
+      let diff = Cover.sharp a b in
+      (* diff ∩ b = ∅ and diff ∪ b ⊇ a *)
+      let tt_d = Tt.of_cover diff and tt_b = Tt.of_cover b and tt_a = Tt.of_cover a in
+      let n_in = Cover.num_inputs a and n_out = Cover.num_outputs a in
+      let ok = ref true in
+      for m = 0 to (1 lsl n_in) - 1 do
+        for o = 0 to n_out - 1 do
+          let da = Tt.get tt_a ~minterm:m ~output:o in
+          let dd = Tt.get tt_d ~minterm:m ~output:o in
+          let db = Tt.get tt_b ~minterm:m ~output:o in
+          if dd <> (da && not db) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_minterms_equivalent =
+  QCheck.Test.make ~name:"minterm expansion is equivalent" ~count:50 arb_cover (fun f ->
+      Cover.equivalent f (Cover.minterms f))
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "cube",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cube_roundtrip;
+          Alcotest.test_case "functional set" `Quick test_cube_set_functional;
+          Alcotest.test_case "containment" `Quick test_cube_containment;
+          Alcotest.test_case "containment with outputs" `Quick test_cube_containment_outputs;
+          Alcotest.test_case "intersect" `Quick test_cube_intersect;
+          Alcotest.test_case "output-disjoint intersect" `Quick
+            test_cube_intersect_output_disjoint;
+          Alcotest.test_case "distance" `Quick test_cube_distance;
+          Alcotest.test_case "supercube" `Quick test_cube_supercube2;
+          Alcotest.test_case "cofactor" `Quick test_cube_cofactor;
+          Alcotest.test_case "matches" `Quick test_cube_matches;
+          Alcotest.test_case "universe" `Quick test_cube_universe;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "eval" `Quick test_cover_eval;
+          Alcotest.test_case "literal total" `Quick test_cover_literal_total;
+          Alcotest.test_case "single-cube containment" `Quick test_cover_scc;
+          Alcotest.test_case "restrict output" `Quick test_cover_restrict_output;
+        ] );
+      ( "tautology",
+        [
+          Alcotest.test_case "simple" `Quick test_tautology_simple;
+          Alcotest.test_case "needs recursion" `Quick test_tautology_needs_recursion;
+          Alcotest.test_case "unate leaf rule" `Quick test_tautology_unate_leaf;
+          Alcotest.test_case "multi-output" `Quick test_tautology_multi_output;
+        ] );
+      ( "complement",
+        [
+          Alcotest.test_case "single cube" `Quick test_complement_single_cube;
+          Alcotest.test_case "empty / universe" `Quick test_complement_empty_and_universe;
+          Alcotest.test_case "involution (random)" `Quick test_complement_involution_random;
+          Alcotest.test_case "partitions space (random)" `Quick
+            test_complement_partitions_space;
+        ] );
+      ( "covering",
+        [
+          Alcotest.test_case "covers_cube" `Quick test_covers_cube;
+          Alcotest.test_case "cooperative covering" `Quick test_covers_cube_needs_two;
+          Alcotest.test_case "equivalent" `Quick test_equivalent;
+          Alcotest.test_case "minterms" `Quick test_minterms;
+        ] );
+      ( "truth-table",
+        [
+          Alcotest.test_case "cover roundtrip" `Quick test_tt_of_cover_and_back;
+          Alcotest.test_case "ones" `Quick test_tt_ones;
+          Alcotest.test_case "rejects large" `Quick test_tt_rejects_large;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "eval" `Quick test_expr_eval;
+          Alcotest.test_case "to_cover matches eval" `Quick test_expr_to_cover_matches_eval;
+          Alcotest.test_case "multi-output" `Quick test_expr_to_cover_multi;
+          Alcotest.test_case "out of range" `Quick test_expr_out_of_range;
+          Alcotest.test_case "empty parity" `Quick test_expr_parity_empty;
+        ] );
+      ( "pla-io",
+        [
+          Alcotest.test_case "parse basic" `Quick test_pla_parse_basic;
+          Alcotest.test_case "parse dc outputs" `Quick test_pla_parse_dc_outputs;
+          Alcotest.test_case "labels and comments" `Quick test_pla_parse_labels_comments;
+          Alcotest.test_case "parse errors" `Quick test_pla_parse_errors;
+          Alcotest.test_case "roundtrip (random)" `Quick test_pla_roundtrip_random;
+          Alcotest.test_case "file io" `Quick test_pla_file_io;
+        ] );
+      ( "bdd",
+        [
+          Alcotest.test_case "constants" `Quick test_bdd_constants;
+          Alcotest.test_case "variable laws" `Quick test_bdd_var_laws;
+          Alcotest.test_case "hash consing collapses" `Quick test_bdd_hash_consing;
+          Alcotest.test_case "eval matches cover" `Quick test_bdd_eval_matches_cover;
+          Alcotest.test_case "equivalence oracle" `Quick test_bdd_equivalence_oracle;
+          Alcotest.test_case "sat count" `Quick test_bdd_sat_count;
+          Alcotest.test_case "any sat" `Quick test_bdd_any_sat;
+          Alcotest.test_case "parity linear size" `Quick test_bdd_parity_size;
+          Alcotest.test_case "17-input oracle" `Quick test_bdd_large_inputs;
+        ] );
+      ( "blif",
+        [
+          Alcotest.test_case "flat roundtrip" `Quick test_blif_flat_roundtrip;
+          Alcotest.test_case "parse features" `Quick test_blif_parse_features;
+          Alcotest.test_case "multi-level eval" `Quick test_blif_multilevel_eval;
+          Alcotest.test_case "constants" `Quick test_blif_constants;
+          Alcotest.test_case "errors" `Quick test_blif_errors;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_union_covers_both;
+          QCheck_alcotest.to_alcotest prop_scc_preserves_function;
+          QCheck_alcotest.to_alcotest prop_complement_is_complement;
+          QCheck_alcotest.to_alcotest prop_minterms_equivalent;
+          QCheck_alcotest.to_alcotest prop_sharp_partitions;
+        ] );
+    ]

@@ -1,0 +1,302 @@
+(* Tests for the benchmark suite: recorded profiles (Table 1 inputs),
+   exactly-generated classic functions, synthetic profile matching. *)
+
+module Cover = Logic.Cover
+module Tt = Logic.Truth_table
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Profiles -------------------------------------------------------------- *)
+
+let test_profiles_recorded () =
+  checki "max46 inputs" 9 Mcnc.Profiles.max46.Mcnc.Profiles.n_in;
+  checki "max46 outputs" 1 Mcnc.Profiles.max46.Mcnc.Profiles.n_out;
+  checki "max46 products" 46 Mcnc.Profiles.max46.Mcnc.Profiles.n_products;
+  checki "apla inputs" 10 Mcnc.Profiles.apla.Mcnc.Profiles.n_in;
+  checki "apla outputs" 12 Mcnc.Profiles.apla.Mcnc.Profiles.n_out;
+  checki "apla products" 25 Mcnc.Profiles.apla.Mcnc.Profiles.n_products;
+  checki "t2 inputs" 17 Mcnc.Profiles.t2.Mcnc.Profiles.n_in;
+  checki "t2 outputs" 16 Mcnc.Profiles.t2.Mcnc.Profiles.n_out;
+  checki "t2 products" 52 Mcnc.Profiles.t2.Mcnc.Profiles.n_products
+
+let test_profiles_reproduce_table1 () =
+  (* The whole point of the recorded profiles: they regenerate the paper's
+     Table 1 exactly through the area model. *)
+  let expect =
+    [ ("max46", 34960, 87400, 27600); ("apla", 32000, 80000, 33000); ("t2", 104000, 260000, 102960) ]
+  in
+  List.iter2
+    (fun p (name, flash, eeprom, cnfet) ->
+      let prof =
+        {
+          Cnfet.Area.n_in = p.Mcnc.Profiles.n_in;
+          n_out = p.Mcnc.Profiles.n_out;
+          n_products = p.Mcnc.Profiles.n_products;
+        }
+      in
+      Alcotest.check Alcotest.string "order" name p.Mcnc.Profiles.name;
+      checki (name ^ " flash") flash (Cnfet.Area.pla_area Device.Tech.flash prof);
+      checki (name ^ " eeprom") eeprom (Cnfet.Area.pla_area Device.Tech.eeprom prof);
+      checki (name ^ " cnfet") cnfet (Cnfet.Area.pla_area Device.Tech.cnfet prof))
+    Mcnc.Profiles.table1 expect
+
+let test_profiles_find () =
+  checkb "find hit" true (Mcnc.Profiles.find "apla" = Some Mcnc.Profiles.apla);
+  checkb "find miss" true (Mcnc.Profiles.find "nope" = None)
+
+(* --- Generators -------------------------------------------------------------- *)
+
+let test_rd53_shape () =
+  let f = Mcnc.Generators.rd ~n:5 in
+  checki "5 inputs" 5 (Cover.num_inputs f);
+  checki "3 outputs" 3 (Cover.num_outputs f);
+  (* rd53's known espresso result: 31 products. *)
+  checki "espresso products" 31 (Cover.size (Espresso.Minimize.cover f))
+
+let test_rd_correct () =
+  let f = Mcnc.Generators.rd ~n:4 in
+  let tt = Tt.of_cover f in
+  for m = 0 to 15 do
+    let ones =
+      let rec go k acc = if k >= 4 then acc else go (k + 1) (acc + ((m lsr k) land 1)) in
+      go 0 0
+    in
+    for o = 0 to Cover.num_outputs f - 1 do
+      checkb "count encoding" ((ones lsr o) land 1 = 1) (Tt.get tt ~minterm:m ~output:o)
+    done
+  done
+
+let test_xor_worst_case () =
+  let f = Mcnc.Generators.xor_n 6 in
+  (* Parity admits no merging: 2^(n-1) products both raw and minimized. *)
+  checki "xor6 minterms" 32 (Cover.size f);
+  checki "xor6 minimized" 32 (Cover.size (Espresso.Minimize.cover f))
+
+let test_majority_products () =
+  let f = Mcnc.Generators.majority 5 in
+  (* maj5 optimum: C(5,3) = 10 products of 3 literals. *)
+  let m = Espresso.Minimize.cover f in
+  checki "maj5 products" 10 (Cover.size m);
+  checki "3 literals each" 30 (Cover.literal_total m)
+
+let test_adder_correct () =
+  let f = Mcnc.Generators.adder ~bits:2 in
+  let tt = Tt.of_cover f in
+  for m = 0 to 15 do
+    let a = m land 3 and b = (m lsr 2) land 3 in
+    let sum = a + b in
+    for o = 0 to 2 do
+      checkb "sum bit" ((sum lsr o) land 1 = 1) (Tt.get tt ~minterm:m ~output:o)
+    done
+  done
+
+let test_comparator_one_hot () =
+  let f = Mcnc.Generators.comparator ~bits:2 in
+  let tt = Tt.of_cover f in
+  for m = 0 to 15 do
+    let hits = ref 0 in
+    for o = 0 to 2 do
+      if Tt.get tt ~minterm:m ~output:o then incr hits
+    done;
+    checki "exactly one of <,=,>" 1 !hits
+  done
+
+let test_decoder_one_hot () =
+  let f = Mcnc.Generators.decoder ~bits:3 in
+  checki "8 outputs" 8 (Cover.num_outputs f);
+  let tt = Tt.of_cover f in
+  for m = 0 to 7 do
+    for o = 0 to 7 do
+      checkb "one-hot" (m = o) (Tt.get tt ~minterm:m ~output:o)
+    done
+  done;
+  (* A decoder is already minimal: 8 products. *)
+  checki "8 products" 8 (Cover.size (Espresso.Minimize.cover f))
+
+let test_mux_minimal () =
+  let f = Mcnc.Generators.mux ~select_bits:2 in
+  checki "6 inputs" 6 (Cover.num_inputs f);
+  checki "4 products" 4 (Cover.size (Espresso.Minimize.cover f))
+
+let test_priority_encoder_correct () =
+  let f = Mcnc.Generators.priority_encoder ~bits:2 in
+  let tt = Tt.of_cover f in
+  for m = 0 to 15 do
+    let first =
+      let rec go i = if i >= 4 then None else if m land (1 lsl i) <> 0 then Some i else go (i + 1) in
+      go 0
+    in
+    (match first with
+    | None ->
+      for o = 0 to 2 do
+        checkb "idle all zero" false (Tt.get tt ~minterm:m ~output:o)
+      done
+    | Some idx ->
+      checkb "valid set" true (Tt.get tt ~minterm:m ~output:2);
+      for o = 0 to 1 do
+        checkb "index bits" ((idx lsr o) land 1 = 1) (Tt.get tt ~minterm:m ~output:o)
+      done)
+  done
+
+let test_gray_correct () =
+  let f = Mcnc.Generators.gray ~bits:4 in
+  let tt = Tt.of_cover f in
+  for m = 0 to 15 do
+    let g = m lxor (m lsr 1) in
+    for o = 0 to 3 do
+      checkb "gray bit" ((g lsr o) land 1 = 1) (Tt.get tt ~minterm:m ~output:o)
+    done
+  done;
+  (* Consecutive codes differ in exactly one bit. *)
+  let code m =
+    let g = ref 0 in
+    for o = 3 downto 0 do
+      g := (2 * !g) + if Tt.get tt ~minterm:m ~output:o then 1 else 0
+    done;
+    !g
+  in
+  for m = 0 to 14 do
+    let diff = code m lxor code (m + 1) in
+    checkb "one-bit steps" true (diff land (diff - 1) = 0 && diff <> 0)
+  done
+
+let test_bcd7seg_digits () =
+  let f = Mcnc.Generators.bcd7seg () in
+  let tt = Tt.of_cover f in
+  let segments d =
+    let s = ref 0 in
+    for o = 6 downto 0 do
+      s := (2 * !s) + if Tt.get tt ~minterm:d ~output:o then 1 else 0
+    done;
+    !s
+  in
+  checki "digit 0 pattern" 0x3F (segments 0);
+  checki "digit 1 pattern" 0x06 (segments 1);
+  checki "digit 8 lights all" 0x7F (segments 8);
+  for d = 10 to 15 do
+    checki "non-digits dark" 0 (segments d)
+  done
+
+let test_alu_slice_ops () =
+  let f = Mcnc.Generators.alu_slice () in
+  let tt = Tt.of_cover f in
+  let run a b op =
+    let m = a lor (b lsl 2) lor (op lsl 4) in
+    let r =
+      (if Tt.get tt ~minterm:m ~output:0 then 1 else 0)
+      lor if Tt.get tt ~minterm:m ~output:1 then 2 else 0
+    in
+    let carry = Tt.get tt ~minterm:m ~output:2 in
+    (r, carry)
+  in
+  checkb "1+1=2 nc" true (run 1 1 0 = (2, false));
+  checkb "3+2=1 carry" true (run 3 2 0 = (1, true));
+  checkb "1-2 borrows" true (snd (run 1 2 1));
+  checkb "and" true (run 3 2 2 = (2, false));
+  checkb "xor" true (run 3 1 3 = (2, false))
+
+let test_all_suite_minimizes_correctly () =
+  List.iter
+    (fun (name, f) ->
+      let m = Espresso.Minimize.cover f in
+      checkb (name ^ " preserved") true (Tt.equal (Tt.of_cover f) (Tt.of_cover m)))
+    Mcnc.Generators.all
+
+let test_generators_reject_bad_sizes () =
+  checkb "rd too big" true
+    (try
+       ignore (Mcnc.Generators.rd ~n:20);
+       false
+     with Invalid_argument _ -> true);
+  checkb "majority even" true
+    (try
+       ignore (Mcnc.Generators.majority 4);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Synthetic --------------------------------------------------------------- *)
+
+let test_synthetic_hits_targets () =
+  let rng = Util.Rng.create 2024 in
+  List.iter
+    (fun r ->
+      let target = r.Mcnc.Synthetic.profile.Mcnc.Profiles.n_products in
+      let achieved = r.Mcnc.Synthetic.achieved_products in
+      checkb
+        (r.Mcnc.Synthetic.profile.Mcnc.Profiles.name ^ " within 10% of target")
+        true
+        (abs (achieved - target) <= max 1 (target / 10)))
+    (Mcnc.Synthetic.table1_set rng)
+
+let test_synthetic_arity () =
+  let rng = Util.Rng.create 3 in
+  let r = Mcnc.Synthetic.with_profile rng Mcnc.Profiles.apla in
+  checki "inputs" 10 (Cover.num_inputs r.Mcnc.Synthetic.on_set);
+  checki "outputs" 12 (Cover.num_outputs r.Mcnc.Synthetic.on_set)
+
+let test_synthetic_minimized_equivalent () =
+  let rng = Util.Rng.create 4 in
+  let r = Mcnc.Synthetic.with_profile rng Mcnc.Profiles.max46 in
+  checkb "minimized ≡ on_set" true
+    (Tt.equal (Tt.of_cover r.Mcnc.Synthetic.on_set) (Tt.of_cover r.Mcnc.Synthetic.minimized))
+
+let test_export_suite () =
+  let dir = Filename.temp_file "cnfet_suite" "" in
+  Sys.remove dir;
+  let written = Mcnc.Export.write_suite ~dir in
+  checkb "all entries written" true (List.length written >= 15);
+  (* Parse one back and check equivalence through both formats. *)
+  let rd53_path = List.assoc "rd53" written in
+  let spec = Logic.Pla_io.parse_file rd53_path in
+  checkb "pla file equivalent" true
+    (Cover.equivalent (Mcnc.Generators.rd ~n:5) spec.Logic.Pla_io.on_set);
+  let blif = Logic.Blif.parse_file (Filename.concat dir "rd53.blif") in
+  checkb "blif file equivalent" true
+    (Cover.equivalent (Mcnc.Generators.rd ~n:5) (Logic.Blif.to_cover blif));
+  (* Clean up. *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_synthetic_deterministic () =
+  let a = Mcnc.Synthetic.with_profile (Util.Rng.create 5) Mcnc.Profiles.apla in
+  let b = Mcnc.Synthetic.with_profile (Util.Rng.create 5) Mcnc.Profiles.apla in
+  checkb "same seed same function" true
+    (Cover.equal_as_sets a.Mcnc.Synthetic.on_set b.Mcnc.Synthetic.on_set)
+
+let () =
+  Alcotest.run "mcnc"
+    [
+      ( "profiles",
+        [
+          Alcotest.test_case "recorded values" `Quick test_profiles_recorded;
+          Alcotest.test_case "reproduce Table 1" `Quick test_profiles_reproduce_table1;
+          Alcotest.test_case "find" `Quick test_profiles_find;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "rd53 shape" `Quick test_rd53_shape;
+          Alcotest.test_case "rd correctness" `Quick test_rd_correct;
+          Alcotest.test_case "xor worst case" `Quick test_xor_worst_case;
+          Alcotest.test_case "majority products" `Quick test_majority_products;
+          Alcotest.test_case "adder correctness" `Quick test_adder_correct;
+          Alcotest.test_case "comparator one-hot" `Quick test_comparator_one_hot;
+          Alcotest.test_case "decoder one-hot" `Quick test_decoder_one_hot;
+          Alcotest.test_case "mux minimal" `Quick test_mux_minimal;
+          Alcotest.test_case "priority encoder" `Quick test_priority_encoder_correct;
+          Alcotest.test_case "gray code" `Quick test_gray_correct;
+          Alcotest.test_case "bcd to 7-segment" `Quick test_bcd7seg_digits;
+          Alcotest.test_case "alu slice" `Quick test_alu_slice_ops;
+          Alcotest.test_case "suite minimizes correctly" `Quick
+            test_all_suite_minimizes_correctly;
+          Alcotest.test_case "rejects bad sizes" `Quick test_generators_reject_bad_sizes;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "hits targets" `Quick test_synthetic_hits_targets;
+          Alcotest.test_case "arity" `Quick test_synthetic_arity;
+          Alcotest.test_case "minimized equivalent" `Quick test_synthetic_minimized_equivalent;
+          Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+        ] );
+      ("export", [ Alcotest.test_case "suite roundtrip" `Quick test_export_suite ]);
+    ]
