@@ -9,7 +9,8 @@
      map       — split into CLB-sized blocks (Shannon decomposition)
      fpga      — the Table 2 experiment
      yield     — Monte-Carlo yield of a mapped .pla under defects
-     suite     — export the benchmark suite as .pla/.blif files *)
+     suite     — export the benchmark suite as .pla/.blif files
+     bench-parallel — sequential vs parallel batch-evaluation benchmark *)
 
 open Cmdliner
 
@@ -283,7 +284,75 @@ let yield_cmd =
   Cmd.v (Cmd.info "yield" ~doc ~exits)
     Term.(const run $ pla_file $ rate $ spares $ trials $ seed)
 
+(* --- bench-parallel ------------------------------------------------------ *)
+
+let bench_parallel_cmd =
+  let run jobs trials seed show_metrics out =
+    if trials < 1 then begin
+      prerr_endline "cnfet_tool: --trials must be at least 1";
+      2
+    end
+    else begin
+      let jobs = match jobs with Some n -> max 1 n | None -> Runtime.Pool.default_jobs () in
+      let metrics = Runtime.Metrics.global in
+      let cache = Runtime.Cache.create () in
+      Printf.printf "parallel batch-evaluation benchmark: %d job(s), %d yield trials\n%!" jobs
+        trials;
+      let reports = Runtime.Bench.run ~metrics ~cache ~seed ~trials ~jobs () in
+      List.iter (fun r -> Format.printf "%a@." Runtime.Bench.pp_report r) reports;
+      Printf.printf "cache: %d hits / %d misses (hit rate %.1f%%)\n" (Runtime.Cache.hits cache)
+        (Runtime.Cache.misses cache)
+        (100.0 *. Runtime.Cache.hit_rate cache);
+      let write_failed =
+        match out with
+        | None -> false
+        | Some path -> (
+          try
+            Runtime.Bench.write_json ~cache ~metrics ~jobs ~path reports;
+            Printf.printf "wrote %s\n" path;
+            false
+          with Sys_error msg ->
+            Printf.eprintf "cnfet_tool: cannot write results: %s\n" msg;
+            true)
+      in
+      if show_metrics then begin
+        print_endline "--- metrics ---";
+        print_string (Runtime.Metrics.dump metrics)
+      end;
+      if write_failed then 1
+      else if List.for_all (fun r -> r.Runtime.Bench.identical) reports then 0
+      else begin
+        prerr_endline "ERROR: parallel results diverged from sequential";
+        1
+      end
+    end
+  in
+  let jobs =
+    let doc = "Worker domains (default: recommended for this machine)." in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let trials =
+    let doc = "Monte-Carlo yield trials (variation uses 8x this)." in
+    Arg.(value & opt int 1000 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Random seed for the Monte-Carlo workloads." in
+    Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let show_metrics =
+    let doc = "Dump the metrics registry (counters, gauges, latency histograms) after the run." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let out =
+    let doc = "Write machine-readable results to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE.json" ~doc)
+  in
+  let doc = "Benchmark the parallel batch-evaluation engine against the sequential path" in
+  Cmd.v
+    (Cmd.info "bench-parallel" ~doc ~exits)
+    Term.(const run $ jobs $ trials $ seed $ show_metrics $ out)
+
 let () =
   let doc = "programmable logic built from ambipolar carbon-nanotube FETs" in
   let info = Cmd.info "cnfet_tool" ~version:"1.0.0" ~doc ~exits in
-  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd ]))

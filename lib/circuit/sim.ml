@@ -67,6 +67,37 @@ let assert_pins t =
       | Free -> ())
     t.pins
 
+(* Cumulative relaxation work across every simulator instance, for the
+   runtime metrics layer. [Atomic] so parallel batch workers can share the
+   counters without locking. *)
+let total_phases = Atomic.make 0
+let total_sweeps = Atomic.make 0
+
+let phases_total () = Atomic.get total_phases
+let sweeps_total () = Atomic.get total_sweeps
+
+let nonconvergence_message t ~limit ~oscillating =
+  let n = Array.length t.values in
+  let names =
+    List.sort_uniq compare oscillating
+    |> List.map (fun i -> Netlist.net_name t.nl (Netlist.net_of_int t.nl i))
+  in
+  let shown, more =
+    let rec take k = function
+      | [] -> ([], 0)
+      | _ :: _ as rest when k = 0 -> ([], List.length rest)
+      | x :: rest ->
+        let xs, dropped = take (k - 1) rest in
+        (x :: xs, dropped)
+    in
+    take 8 names
+  in
+  Printf.sprintf
+    "Sim.phase: relaxation did not converge (%d nets, sweep limit %d); still-oscillating nets: %s%s"
+    n limit
+    (if shown = [] then "<none recorded>" else String.concat ", " shown)
+    (if more > 0 then Printf.sprintf " (+%d more)" more else "")
+
 let phase t =
   sync t;
   (* Decay previous phase's driven values to charge. *)
@@ -77,10 +108,16 @@ let phase t =
   let limit = (4 * n) + 16 in
   let changed = ref true in
   let sweeps = ref 0 in
+  Atomic.incr total_phases;
+  (* Net indices that changed during the current sweep; on non-convergence
+     the last completed sweep's set names the oscillating nets. *)
+  let osc = ref [] in
   while !changed do
-    if !sweeps > limit then failwith "Sim.phase: relaxation did not converge";
+    if !sweeps > limit then failwith (nonconvergence_message t ~limit ~oscillating:!osc);
     incr sweeps;
+    Atomic.incr total_sweeps;
     changed := false;
+    osc := [];
     List.iter
       (fun d ->
         let gate, src, drn = Netlist.device_terminals t.nl d in
@@ -93,6 +130,7 @@ let phase t =
             let merged = Value.merge t.values.(i) v in
             if not (Value.equal merged t.values.(i)) then begin
               t.values.(i) <- merged;
+              osc := i :: !osc;
               changed := true
             end
           end

@@ -36,7 +36,15 @@ val phase : t -> unit
 (** Run one phase: weaken previous driven values, re-assert rails and
     pinned inputs, relax to fixpoint. Raises [Failure] if the relaxation
     does not converge (it always does on pass-transistor networks; the
-    bound is [4 × nets + 16] sweeps). *)
+    bound is [4 × nets + 16] sweeps); the message names the net count, the
+    sweep limit and the nets still changing in the last sweep. *)
+
+val phases_total : unit -> int
+(** Cumulative number of {!phase} calls across every simulator instance
+    (and every domain) since program start. Feeds the runtime metrics. *)
+
+val sweeps_total : unit -> int
+(** Cumulative relaxation sweeps across every simulator instance. *)
 
 val run_phases : t -> int -> unit
 (** [run_phases t k] runs [k] consecutive phases. *)

@@ -223,6 +223,10 @@ let of_network net =
 
 let num_stages t = List.length t.stages
 
+let num_inputs t = t.net.n_pi
+
+let num_outputs t = Array.length t.net.outputs
+
 let plane_dims t =
   List.map (fun s -> (Plane.rows s.plane, Plane.cols s.plane)) t.stages
 
@@ -318,9 +322,9 @@ let simulate_hw hw pis =
       Circuit.Sim.set_input sim clk true;
       Circuit.Sim.phase sim)
     hw.clocks;
-  Array.map
-    (fun net ->
+  Array.mapi
+    (fun o net ->
       match Circuit.Sim.bool_of_net sim net with
       | Some b -> b
-      | None -> failwith "Cascade.simulate_hw: floating output")
+      | None -> raise (Gnor.Floating_output { output = o; phase = "final-stage" }))
     hw.output_nets

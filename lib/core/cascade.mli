@@ -58,6 +58,11 @@ val of_network : network -> t
 
 val num_stages : t -> int
 
+val num_inputs : t -> int
+(** Primary inputs of the source network. *)
+
+val num_outputs : t -> int
+
 val plane_dims : t -> (int * int) list
 (** Per stage, (rows, cols) of the GNOR plane. *)
 

@@ -3,6 +3,16 @@ module N = Circuit.Netlist
 
 type input_mode = Pass | Invert | Drop
 
+exception Floating_output of { output : int; phase : string }
+
+let () =
+  Printexc.register_printer (function
+    | Floating_output { output; phase } ->
+      Some
+        (Printf.sprintf "Floating_output (output %d, %s phase): net is neither driven nor held"
+           output phase)
+    | _ -> None)
+
 let mode_to_string = function Pass -> "pass" | Invert -> "invert" | Drop -> "drop"
 
 let pp_mode fmt m = Format.pp_print_string fmt (mode_to_string m)
@@ -89,4 +99,4 @@ let simulate ?params modes inputs =
   Circuit.Sim.phase sim;
   match Circuit.Sim.bool_of_net sim (output g) with
   | Some b -> b
-  | None -> failwith "Gnor.simulate: output is floating or unknown"
+  | None -> raise (Floating_output { output = 0; phase = "evaluate" })

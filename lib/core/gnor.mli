@@ -17,6 +17,14 @@
 
 type input_mode = Pass | Invert | Drop
 
+exception Floating_output of { output : int; phase : string }
+(** Raised by the switch-level simulation helpers ({!simulate},
+    {!Plane.simulate_hw}, {!Pla.simulate_hw}, {!Cascade.simulate_hw}) when
+    an output net resolves to neither 0 nor 1 after the evaluation phases.
+    [output] is the index of the offending output in the raising module's
+    output array and [phase] names the schedule step, so batch evaluation
+    workers can report exactly which vector and output failed. *)
+
 val mode_to_string : input_mode -> string
 
 val pp_mode : Format.formatter -> input_mode -> unit
@@ -60,4 +68,4 @@ val evaluate_device : gate -> Circuit.Netlist.device
 
 val simulate : ?params:Device.Ambipolar.params -> input_mode array -> bool array -> bool
 (** Build a standalone gate, program it, run a pre-charge then an evaluate
-    phase, and read the output. Raises [Failure] if the output floats. *)
+    phase, and read the output. Raises {!Floating_output} if the output floats. *)

@@ -173,9 +173,9 @@ let simulate_hw hw inputs =
   (* Phase 3: evaluate the OR plane while the AND plane holds. *)
   Circuit.Sim.set_input sim hw.clock2 true;
   Circuit.Sim.phase sim;
-  Array.map
-    (fun net ->
+  Array.mapi
+    (fun o net ->
       match Circuit.Sim.bool_of_net sim net with
       | Some b -> b
-      | None -> failwith "Pla.simulate_hw: floating output")
+      | None -> raise (Gnor.Floating_output { output = o; phase = "or-evaluate" }))
     hw.output_nets

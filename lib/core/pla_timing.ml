@@ -98,32 +98,39 @@ let lognormalish rng sigma =
   done;
   exp (sigma *. !g)
 
-let monte_carlo rng ?(trials = 300) ?(sigma = 0.15) ?(params = A.default) tech p =
-  let nominal = (evaluate ~params tech p).total_delay in
-  let delays =
-    List.init trials (fun _ ->
-        let scale_r = lognormalish rng sigma in
-        let scale_wire = lognormalish rng sigma in
-        (* Slowed devices and wires: scale r_on (device drive) and, through
-           an effective params tweak, the gate load. *)
-        let varied =
-          {
-            params with
-            A.r_on = params.A.r_on *. scale_r;
-            A.c_gate = params.A.c_gate *. scale_wire;
-          }
-        in
-        (evaluate ~params:varied tech p).total_delay)
+let trial_delay rng ?(sigma = 0.15) ?(params = A.default) tech p =
+  let scale_r = lognormalish rng sigma in
+  let scale_wire = lognormalish rng sigma in
+  (* Slowed devices and wires: scale r_on (device drive) and, through
+     an effective params tweak, the gate load. *)
+  let varied =
+    {
+      params with
+      A.r_on = params.A.r_on *. scale_r;
+      A.c_gate = params.A.c_gate *. scale_wire;
+    }
   in
+  (evaluate ~params:varied tech p).total_delay
+
+let variation_of_delays ?(params = A.default) tech p delays =
+  let nominal = (evaluate ~params tech p).total_delay in
   let mean = Util.Stats.mean delays in
   let sd = Util.Stats.stddev delays in
   let _, worst = Util.Stats.min_max delays in
   let budget = 1.15 *. nominal in
   let met = List.length (List.filter (fun d -> d <= budget) delays) in
+  let trials = List.length delays in
   {
     mean_delay = mean;
     sigma_delay = sd;
     worst_delay = worst;
-    yield_at_nominal = float_of_int met /. float_of_int trials;
+    yield_at_nominal = (if trials = 0 then 0.0 else float_of_int met /. float_of_int trials);
     trials;
   }
+
+let monte_carlo rng ?(trials = 300) ?(sigma = 0.15) ?(params = A.default) tech p =
+  let acc = ref [] in
+  for _ = 1 to trials do
+    acc := trial_delay rng ~sigma ~params tech p :: !acc
+  done;
+  variation_of_delays ~params tech p (List.rev !acc)

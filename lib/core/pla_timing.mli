@@ -40,6 +40,15 @@ type variation = {
   trials : int;
 }
 
+val trial_delay : Util.Rng.t -> ?sigma:float -> ?params:Device.Ambipolar.params -> Device.Tech.t -> Area.profile -> float
+(** One variation trial: draw device and wire spread factors from [rng]
+    and re-evaluate the total delay. Exposed so batch engines can run
+    trials on independently-seeded rngs in parallel. *)
+
+val variation_of_delays : ?params:Device.Ambipolar.params -> Device.Tech.t -> Area.profile -> float list -> variation
+(** Fold trial delays into a {!variation} (nominal delay is recomputed
+    from the variation-free parameters). *)
+
 val monte_carlo : Util.Rng.t -> ?trials:int -> ?sigma:float -> ?params:Device.Ambipolar.params -> Device.Tech.t -> Area.profile -> variation
 (** Device-to-device variation: each trial scales [r_on] and the wire RC
     by independent lognormal-ish factors of relative spread [sigma]

@@ -74,9 +74,9 @@ let simulate_hw hw inputs =
   Circuit.Sim.phase sim;
   Circuit.Sim.set_input sim hw.clock true;
   Circuit.Sim.phase sim;
-  Array.map
-    (fun g ->
+  Array.mapi
+    (fun r g ->
       match Circuit.Sim.bool_of_net sim (Gnor.output g) with
       | Some b -> b
-      | None -> failwith "Plane.simulate_hw: floating output")
+      | None -> raise (Gnor.Floating_output { output = r; phase = "evaluate" }))
     hw.gates

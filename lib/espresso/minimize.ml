@@ -10,6 +10,14 @@ type result = {
 
 let cost c = (Cover.size c, Cover.literal_total c)
 
+(* Cumulative work counters for the runtime metrics layer ([Atomic] so
+   parallel workers can share them without locking). *)
+let total_calls = Atomic.make 0
+let total_iterations = Atomic.make 0
+
+let calls_total () = Atomic.get total_calls
+let iterations_total () = Atomic.get total_iterations
+
 let default_dc f = Cover.empty ~n_in:(Cover.num_inputs f) ~n_out:(Cover.num_outputs f)
 
 (* A raised candidate is valid iff it intersects no off-set cube. *)
@@ -226,6 +234,7 @@ let reduce ?dc f =
   Cover.make ~n_in ~n_out (go [] cs)
 
 let minimize ?dc f =
+  Atomic.incr total_calls;
   let dc = match dc with Some d -> d | None -> default_dc f in
   let initial_cost = cost f in
   if Cover.is_empty f then
@@ -249,6 +258,7 @@ let minimize ?dc f =
       if Cover.is_empty rest then (rest, 0) else loop rest (cost rest) 0
     in
     let final = Cover.single_cube_containment (Cover.union ess rest_min) in
+    ignore (Atomic.fetch_and_add total_iterations iterations);
     { cover = final; iterations; initial_cost; final_cost = cost final }
   end
 

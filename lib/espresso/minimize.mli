@@ -25,6 +25,14 @@ val minimize : ?dc:Logic.Cover.t -> Logic.Cover.t -> result
 (** [minimize ?dc f] minimizes [f] under the optional don't-care set
     (default empty). *)
 
+val calls_total : unit -> int
+(** Cumulative {!minimize} invocations across the program (all domains).
+    Feeds the runtime metrics. *)
+
+val iterations_total : unit -> int
+(** Cumulative reduce/expand/irredundant rounds across every {!minimize}
+    call. *)
+
 val cover : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cover.t
 (** Convenience: [(minimize ?dc f).cover]. *)
 

@@ -36,29 +36,46 @@ let truncate_maps (and_defects, or_defects) n_products =
   done;
   (a, o)
 
-let estimate rng ?(trials = 200) ?(spare_rows = 2) ?closed_share pla ~defect_rate =
+type trial_outcome = { ok_baseline : bool; ok_remap : bool; ok_spares : bool }
+
+let trial rng ?(spare_rows = 2) ?closed_share pla ~defect_rate =
   let n_products = Cnfet.Pla.num_products pla in
-  let base = ref 0 and remap = ref 0 and spared = ref 0 in
-  for _ = 1 to trials do
-    let maps = draw_maps rng ?closed_share pla ~spare_rows ~defect_rate in
-    let and_trunc, or_trunc = truncate_maps maps n_products in
-    if Repair.identity_works ~and_defects:and_trunc ~or_defects:or_trunc pla then incr base;
-    (match Repair.repair ~spare_rows:0 ~and_defects:and_trunc ~or_defects:or_trunc pla with
-    | Repair.Repaired _ -> incr remap
-    | Repair.Unrepairable -> ());
-    let and_full, or_full = maps in
+  let maps = draw_maps rng ?closed_share pla ~spare_rows ~defect_rate in
+  let and_trunc, or_trunc = truncate_maps maps n_products in
+  let ok_baseline = Repair.identity_works ~and_defects:and_trunc ~or_defects:or_trunc pla in
+  let ok_remap =
+    match Repair.repair ~spare_rows:0 ~and_defects:and_trunc ~or_defects:or_trunc pla with
+    | Repair.Repaired _ -> true
+    | Repair.Unrepairable -> false
+  in
+  let and_full, or_full = maps in
+  let ok_spares =
     match Repair.repair ~spare_rows ~and_defects:and_full ~or_defects:or_full pla with
-    | Repair.Repaired _ -> incr spared
-    | Repair.Unrepairable -> ()
-  done;
-  let frac n = float_of_int n /. float_of_int trials in
+    | Repair.Repaired _ -> true
+    | Repair.Unrepairable -> false
+  in
+  { ok_baseline; ok_remap; ok_spares }
+
+let point_of_outcomes ~defect_rate outcomes =
+  let trials = Array.length outcomes in
+  let count f = Array.fold_left (fun n o -> if f o then n + 1 else n) 0 outcomes in
+  let frac n = if trials = 0 then 0.0 else float_of_int n /. float_of_int trials in
   {
     defect_rate;
-    yield_baseline = frac !base;
-    yield_remap = frac !remap;
-    yield_spares = frac !spared;
+    yield_baseline = frac (count (fun o -> o.ok_baseline));
+    yield_remap = frac (count (fun o -> o.ok_remap));
+    yield_spares = frac (count (fun o -> o.ok_spares));
     trials;
   }
+
+let estimate rng ?(trials = 200) ?(spare_rows = 2) ?closed_share pla ~defect_rate =
+  (* Explicit loop: the rng must be consumed in trial order so results are
+     reproducible against the pre-refactor sequential code. *)
+  let acc = ref [] in
+  for _ = 1 to trials do
+    acc := trial rng ~spare_rows ?closed_share pla ~defect_rate :: !acc
+  done;
+  point_of_outcomes ~defect_rate (Array.of_list (List.rev !acc))
 
 let sweep rng ?trials ?spare_rows ?closed_share pla ~rates =
   List.map (fun r -> estimate rng ?trials ?spare_rows ?closed_share pla ~defect_rate:r) rates

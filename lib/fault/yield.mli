@@ -15,8 +15,20 @@ type point = {
   trials : int;
 }
 
+type trial_outcome = { ok_baseline : bool; ok_remap : bool; ok_spares : bool }
+(** Survival of one drawn defect map under the three repair policies. *)
+
+val trial : Util.Rng.t -> ?spare_rows:int -> ?closed_share:float -> Cnfet.Pla.t -> defect_rate:float -> trial_outcome
+(** One Monte-Carlo trial: draw a defect map from [rng] and judge the
+    three policies on it. Exposed so batch engines can run trials on
+    independently-seeded rngs in parallel (see [Runtime.Batch]). *)
+
+val point_of_outcomes : defect_rate:float -> trial_outcome array -> point
+(** Fold trial outcomes into a yield point. *)
+
 val estimate : Util.Rng.t -> ?trials:int -> ?spare_rows:int -> ?closed_share:float -> Cnfet.Pla.t -> defect_rate:float -> point
-(** Default 200 trials, 2 spare rows. *)
+(** Default 200 trials, 2 spare rows. Equivalent to folding {!trial}
+    outcomes drawn sequentially from [rng]. *)
 
 val sweep : Util.Rng.t -> ?trials:int -> ?spare_rows:int -> ?closed_share:float -> Cnfet.Pla.t -> rates:float list -> point list
 

@@ -1,0 +1,240 @@
+(* Compiled-PLA cache.
+
+   Mapping a cover onto a PLA (espresso-free path: cube -> plane modes)
+   and building its switch-level netlist are pure functions of the
+   programmed cover — the cube list plus the output-polarity
+   configuration. The cache keys on an MD5 digest of that content and
+   memoises three artefacts per entry:
+
+     - the mapped [Pla.t];
+     - a compiled evaluator: per-row closures over precomputed masks /
+       index lists that skip [Drop] crosspoints (bit-parallel over the
+       inputs when they fit a native int), bit-identical to [Pla.eval];
+     - the switch-level netlist, built lazily on first use.
+
+   Hits, misses and evictions are counted. Eviction is
+   least-recently-used at a fixed capacity. All operations are guarded by
+   a mutex so batch workers can share one cache. *)
+
+module Cover = Logic.Cover
+module Cube = Logic.Cube
+module Pla = Cnfet.Pla
+module Plane = Cnfet.Plane
+module Gnor = Cnfet.Gnor
+
+type key = string
+
+let key_of_cover ?inverted_outputs cover =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "i%d;o%d;" (Cover.num_inputs cover) (Cover.num_outputs cover));
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (Cube.to_string c);
+      Buffer.add_char buf '\n')
+    (Cover.cubes cover);
+  Buffer.add_string buf "pol:";
+  (match inverted_outputs with
+  | None -> Buffer.add_char buf '.'
+  | Some a -> Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) a);
+  Digest.string (Buffer.contents buf)
+
+(* --- compiled evaluator ------------------------------------------------ *)
+
+(* A GNOR row is the NOR of its contributions: a [Pass] crosspoint
+   contributes the input, an [Invert] one its complement, a [Drop] one
+   nothing. Row i is therefore high iff no Pass input is 1 and no Invert
+   input is 0. With <= 62 columns the row compiles to two masks and the
+   whole test is two ANDs; otherwise to index lists that still skip every
+   Drop crosspoint. *)
+type row =
+  | Masked of { pass : int; invert : int }
+  | Indexed of { pass : int array; invert : int array }
+
+let compile_plane plane =
+  let cols = Plane.cols plane in
+  Array.init (Plane.rows plane) (fun r ->
+      let modes = Plane.row_modes plane r in
+      if cols <= 62 then begin
+        let pass = ref 0 and invert = ref 0 in
+        Array.iteri
+          (fun c m ->
+            match m with
+            | Gnor.Pass -> pass := !pass lor (1 lsl c)
+            | Gnor.Invert -> invert := !invert lor (1 lsl c)
+            | Gnor.Drop -> ())
+          modes;
+        Masked { pass = !pass; invert = !invert }
+      end
+      else begin
+        let pass = ref [] and invert = ref [] in
+        Array.iteri
+          (fun c m ->
+            match m with
+            | Gnor.Pass -> pass := c :: !pass
+            | Gnor.Invert -> invert := c :: !invert
+            | Gnor.Drop -> ())
+          modes;
+        Indexed
+          {
+            pass = Array.of_list (List.rev !pass);
+            invert = Array.of_list (List.rev !invert);
+          }
+      end)
+
+let eval_rows rows inputs =
+  let n = Array.length inputs in
+  (* Pack once per evaluation; shared by every Masked row. *)
+  let packed =
+    if n <= 62 then begin
+      let w = ref 0 in
+      for i = 0 to n - 1 do
+        if inputs.(i) then w := !w lor (1 lsl i)
+      done;
+      !w
+    end
+    else 0
+  in
+  Array.map
+    (fun row ->
+      match row with
+      | Masked { pass; invert } -> packed land pass = 0 && lnot packed land invert = 0
+      | Indexed { pass; invert } ->
+        (not (Array.exists (fun c -> inputs.(c)) pass))
+        && not (Array.exists (fun c -> not inputs.(c)) invert))
+    rows
+
+type compiled = {
+  pla : Pla.t;
+  and_rows : row array;
+  or_rows : row array;
+  inverted : bool array;
+  hw : Pla.hw Lazy.t;
+}
+
+let compile_pla pla =
+  {
+    pla;
+    and_rows = compile_plane (Pla.and_plane pla);
+    or_rows = compile_plane (Pla.or_plane pla);
+    inverted = Array.init (Pla.num_outputs pla) (Pla.output_inverted pla);
+    hw = lazy (Pla.build_hw pla);
+  }
+
+let pla c = c.pla
+
+let hw c = Lazy.force c.hw
+
+let eval c inputs =
+  if Array.length inputs <> Pla.num_inputs c.pla then invalid_arg "Cache.eval";
+  let padded =
+    (* Degenerate shapes pad the AND plane to at least one column. *)
+    let cols = Plane.cols (Pla.and_plane c.pla) in
+    if Array.length inputs = cols then inputs
+    else Array.append inputs (Array.make (cols - Array.length inputs) false)
+  in
+  let products = eval_rows c.and_rows padded in
+  let rows = eval_rows c.or_rows products in
+  Array.init (Array.length c.inverted) (fun o ->
+      if c.inverted.(o) then not rows.(o) else rows.(o))
+
+(* --- the cache proper --------------------------------------------------- *)
+
+type entry = { compiled : compiled; mutable last_used : int }
+
+type t = {
+  lock : Mutex.t;
+  table : (key, entry) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity";
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, age) when e.last_used >= age -> ()
+      | _ -> victim := Some (k, e.last_used))
+    t.table;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.table k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let find_or_compile t key build =
+  locked t (fun () ->
+      t.clock <- t.clock + 1;
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        e.last_used <- t.clock;
+        e.compiled
+      | None ->
+        t.misses <- t.misses + 1;
+        let compiled = build () in
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        Hashtbl.replace t.table key { compiled; last_used = t.clock };
+        compiled)
+
+let compile t ?inverted_outputs cover =
+  let key = key_of_cover ?inverted_outputs cover in
+  find_or_compile t key (fun () -> compile_pla (Pla.of_cover ?inverted_outputs cover))
+
+let compile_of_pla t pla_v =
+  (* Key on the planes' programmed content rather than a source cover. *)
+  let buf = Buffer.create 256 in
+  let add_plane p =
+    Buffer.add_string buf (Printf.sprintf "%dx%d:" (Plane.rows p) (Plane.cols p));
+    Plane.iter
+      (fun _ _ m ->
+        Buffer.add_char buf
+          (match m with Gnor.Pass -> 'p' | Gnor.Invert -> 'i' | Gnor.Drop -> '.'))
+      p
+  in
+  add_plane (Pla.and_plane pla_v);
+  Buffer.add_char buf '|';
+  add_plane (Pla.or_plane pla_v);
+  Buffer.add_string buf "pol:";
+  for o = 0 to Pla.num_outputs pla_v - 1 do
+    Buffer.add_char buf (if Pla.output_inverted pla_v o then '1' else '0')
+  done;
+  let key = Digest.string (Buffer.contents buf) in
+  find_or_compile t key (fun () -> compile_pla pla_v)
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let evictions t = locked t (fun () -> t.evictions)
+let size t = locked t (fun () -> Hashtbl.length t.table)
+
+let hit_rate t =
+  locked t (fun () ->
+      let total = t.hits + t.misses in
+      if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total)
+
+let export_metrics t m =
+  Metrics.register_gauge m "cache.entries" (fun () -> float_of_int (size t));
+  Metrics.register_gauge m "cache.hits" (fun () -> float_of_int (hits t));
+  Metrics.register_gauge m "cache.misses" (fun () -> float_of_int (misses t));
+  Metrics.register_gauge m "cache.evictions" (fun () -> float_of_int (evictions t));
+  Metrics.register_gauge m "cache.hit_rate" (fun () -> hit_rate t)

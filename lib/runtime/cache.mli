@@ -1,0 +1,60 @@
+(** Compiled-PLA cache with content-hash keys and hit/miss accounting.
+
+    Mapping a cover onto a PLA and building its switch-level netlist are
+    pure functions of the programmed content — the cube list plus the
+    output-polarity configuration — so they are memoised under an MD5
+    digest of exactly that content. Each entry holds the mapped
+    {!Cnfet.Pla.t}, a compiled evaluator (per-row closures over
+    precomputed masks that skip [Drop] crosspoints; bit-identical to
+    [Pla.eval]) and the lazily-built switch-level netlist. Eviction is
+    LRU at a fixed capacity. Thread-safe. *)
+
+type t
+
+type key = string
+(** MD5 digest of the programmed content. *)
+
+val key_of_cover : ?inverted_outputs:bool array -> Logic.Cover.t -> key
+(** The cache key {!compile} uses: digest of [n_in], [n_out], the cube
+    list in order, and the polarity configuration. *)
+
+val create : ?capacity:int -> unit -> t
+(** LRU capacity defaults to 256 entries. *)
+
+(** {2 Compiled entries} *)
+
+type compiled
+
+val compile : t -> ?inverted_outputs:bool array -> Logic.Cover.t -> compiled
+(** Find-or-build the compiled PLA for this programmed cover.
+    [inverted_outputs] follows {!Cnfet.Pla.of_cover}'s convention and is
+    part of the key. *)
+
+val compile_of_pla : t -> Cnfet.Pla.t -> compiled
+(** Same, keyed on an already-mapped PLA's plane contents (used for
+    repaired / hand-built PLAs that have no source cover). *)
+
+val pla : compiled -> Cnfet.Pla.t
+
+val eval : compiled -> bool array -> bool array
+(** Compiled functional evaluation; bit-identical to [Pla.eval] on the
+    underlying PLA. *)
+
+val hw : compiled -> Cnfet.Pla.hw
+(** The switch-level realization, built on first use and memoised. *)
+
+(** {2 Accounting} *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int
+
+val size : t -> int
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 before any lookup. *)
+
+val export_metrics : t -> Metrics.t -> unit
+(** Register [cache.*] callback gauges on a registry. *)

@@ -1,0 +1,42 @@
+(** Thread-safe sample histograms with percentile queries.
+
+    Observations are kept exactly (the evaluation workloads record
+    thousands of latencies, not millions), so percentiles follow the same
+    nearest-rank convention as {!Util.Stats.percentile} and the metrics
+    dump agrees with offline analysis of the raw samples. All operations
+    may be called from any domain. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0..100]; nearest-rank, identical to
+    {!Util.Stats.percentile} on the same samples. 0 when empty. *)
+
+val snapshot : t -> float array
+(** The observations so far, in observation order. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : t -> summary
+
+val reset : t -> unit
+
+val pp_summary : Format.formatter -> summary -> unit

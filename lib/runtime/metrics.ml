@@ -1,0 +1,126 @@
+(* A small metrics registry: named counters (monotone, atomic), gauges
+   (instantaneous, settable or computed by callback) and latency
+   histograms. One registry per service; a process-wide [global] registry
+   is provided for convenience and is what the CLI's [--metrics] flag
+   dumps.
+
+   All mutation paths are safe to call from any domain: counters are
+   [Atomic], histograms carry their own lock, and the name table is
+   guarded by the registry mutex. *)
+
+type counter = int Atomic.t
+
+type gauge_value = Set of float | Callback of (unit -> float)
+
+type gauge = { mutable value : gauge_value }
+
+type t = {
+  lock : Mutex.t;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let global = create ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let intern table lock name fresh =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some v -> v
+      | None ->
+        let v = fresh () in
+        Hashtbl.replace table name v;
+        v)
+
+let counter t name = intern t.counters t.lock name (fun () -> Atomic.make 0)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+
+let count c = Atomic.get c
+
+let gauge t name = intern t.gauges t.lock name (fun () -> { value = Set 0.0 })
+
+let set_gauge g v = g.value <- Set v
+
+let register_gauge t name f =
+  let g = gauge t name in
+  g.value <- Callback f
+
+let read_gauge g = match g.value with Set v -> v | Callback f -> f ()
+
+let histogram t name = intern t.histograms t.lock name (fun () -> Histogram.create ())
+
+let observe t name x = Histogram.observe (histogram t name) x
+
+let time t name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> observe t name (Unix.gettimeofday () -. t0))
+    f
+
+(* --- dump ------------------------------------------------------------- *)
+
+let sorted_bindings table = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+let histograms t =
+  locked t (fun () -> sorted_bindings t.histograms)
+  |> List.map (fun (name, h) -> (name, Histogram.summarize h))
+
+let counters t = locked t (fun () -> sorted_bindings t.counters) |> List.map (fun (n, c) -> (n, count c))
+
+let gauges t = locked t (fun () -> sorted_bindings t.gauges) |> List.map (fun (n, g) -> (n, read_gauge g))
+
+let dump t =
+  let counters, gauges, histograms =
+    locked t (fun () ->
+        (sorted_bindings t.counters, sorted_bindings t.gauges, sorted_bindings t.histograms))
+  in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, c) -> Buffer.add_string buf (Printf.sprintf "counter %-32s %d\n" name (count c)))
+    counters;
+  List.iter
+    (fun (name, g) ->
+      Buffer.add_string buf (Printf.sprintf "gauge   %-32s %.6g\n" name (read_gauge g)))
+    gauges;
+  List.iter
+    (fun (name, h) ->
+      let s = Histogram.summarize h in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "hist    %-32s n=%d mean=%.6g min=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g\n" name
+           s.Histogram.n s.Histogram.mean s.Histogram.min s.Histogram.p50 s.Histogram.p95
+           s.Histogram.p99 s.Histogram.max))
+    histograms;
+  Buffer.contents buf
+
+let reset t =
+  locked t (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) t.counters;
+      Hashtbl.iter (fun _ g -> match g.value with Set _ -> g.value <- Set 0.0 | Callback _ -> ()) t.gauges;
+      Hashtbl.iter (fun _ h -> Histogram.reset h) t.histograms)
+
+(* Wire the library-wide work counters (simulator sweeps, espresso rounds)
+   into a registry as callback gauges. *)
+let register_library_gauges t =
+  register_gauge t "sim.phases_total" (fun () -> float_of_int (Circuit.Sim.phases_total ()));
+  register_gauge t "sim.sweeps_total" (fun () -> float_of_int (Circuit.Sim.sweeps_total ()));
+  register_gauge t "espresso.minimize_calls" (fun () ->
+      float_of_int (Espresso.Minimize.calls_total ()));
+  register_gauge t "espresso.minimize_iterations" (fun () ->
+      float_of_int (Espresso.Minimize.iterations_total ()))

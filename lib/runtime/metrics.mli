@@ -1,0 +1,72 @@
+(** A lightweight metrics registry: counters, gauges and latency
+    histograms, all safe to mutate from any domain.
+
+    Counters are monotone and atomic; gauges hold an instantaneous value
+    or a callback evaluated at dump time; histograms are
+    {!Histogram.t}s keyed by name. {!dump} renders the whole registry as
+    sorted text, one metric per line. *)
+
+type t
+
+val create : unit -> t
+
+val global : t
+(** Process-wide registry used by the CLI front ends. *)
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Find-or-create by name. *)
+
+val incr : ?by:int -> counter -> unit
+
+val count : counter -> int
+
+(** {2 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+val set_gauge : gauge -> float -> unit
+
+val register_gauge : t -> string -> (unit -> float) -> unit
+(** Computed gauge: the callback is evaluated at read/dump time. *)
+
+val read_gauge : gauge -> float
+
+(** {2 Histograms} *)
+
+val histogram : t -> string -> Histogram.t
+
+val observe : t -> string -> float -> unit
+(** Observe into the named histogram (created on first use). *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, observing its wall-clock duration (seconds) into the
+    named histogram, whether it returns or raises. *)
+
+(** {2 Reporting} *)
+
+val dump : t -> string
+(** Text rendering, metrics sorted by name within each kind. *)
+
+val counters : t -> (string * int) list
+(** Name-sorted counter values. *)
+
+val gauges : t -> (string * float) list
+(** Name-sorted gauge readings (callbacks evaluated now). *)
+
+val histograms : t -> (string * Histogram.summary) list
+(** Name-sorted histogram summaries. *)
+
+val reset : t -> unit
+(** Zero counters and set gauges, clear histograms. Callback gauges keep
+    their callback. *)
+
+val register_library_gauges : t -> unit
+(** Register callback gauges exposing the library-wide work counters:
+    [sim.phases_total], [sim.sweeps_total], [espresso.minimize_calls] and
+    [espresso.minimize_iterations]. *)

@@ -1,0 +1,149 @@
+(* A fixed-size worker pool on OCaml 5 domains.
+
+   Tasks are closures pushed onto a FIFO queue guarded by a mutex and a
+   condition variable; [jobs] worker domains loop popping tasks until
+   shutdown. Each [submit] returns a future; [await] blocks until the
+   task ran and re-raises its exception (with the worker-side backtrace)
+   if it failed, so errors surface at the join point exactly as they
+   would have sequentially.
+
+   When [jobs = 1] and the machine is single-core this degenerates to a
+   slightly slower sequential loop — the pool never reorders work, so
+   results are deterministic regardless of the domain count (fan-in is
+   always by submission index, see {!Batch}). *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_lock : Mutex.t;
+  f_cond : Condition.t;
+  mutable state : 'a state;
+}
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  jobs : int;
+  metrics : Metrics.t option;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let jobs t = t.jobs
+
+let worker pool i =
+  let busy_gauge =
+    Option.map (fun m -> Metrics.gauge m (Printf.sprintf "pool.domain%d.busy_s" i)) pool.metrics
+  in
+  let busy = ref 0.0 in
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.nonempty pool.lock
+    done;
+    if Queue.is_empty pool.queue && pool.stopping then Mutex.unlock pool.lock
+    else begin
+      let task = Queue.pop pool.queue in
+      (match pool.metrics with
+      | Some m -> Metrics.set_gauge (Metrics.gauge m "pool.queue_depth") (float_of_int (Queue.length pool.queue))
+      | None -> ());
+      Mutex.unlock pool.lock;
+      let t0 = Unix.gettimeofday () in
+      task ();
+      busy := !busy +. (Unix.gettimeofday () -. t0);
+      Option.iter (fun g -> Metrics.set_gauge g !busy) busy_gauge;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?metrics ?jobs () =
+  let jobs = match jobs with Some n -> max 1 n | None -> default_jobs () in
+  let pool =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      domains = [];
+      jobs;
+      metrics;
+    }
+  in
+  pool.domains <- List.init jobs (fun i -> Domain.spawn (fun () -> worker pool i));
+  pool
+
+let submit pool f =
+  let fut = { f_lock = Mutex.create (); f_cond = Condition.create (); state = Pending } in
+  let task () =
+    let outcome =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.f_lock;
+    fut.state <- outcome;
+    Condition.broadcast fut.f_cond;
+    Mutex.unlock fut.f_lock
+  in
+  let task =
+    match pool.metrics with
+    | None -> task
+    | Some m ->
+      fun () -> Metrics.time m "pool.task_latency_s" task
+  in
+  Mutex.lock pool.lock;
+  if pool.stopping then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task pool.queue;
+  (match pool.metrics with
+  | Some m ->
+    Metrics.incr (Metrics.counter m "pool.tasks");
+    Metrics.set_gauge (Metrics.gauge m "pool.queue_depth") (float_of_int (Queue.length pool.queue))
+  | None -> ());
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.lock;
+  fut
+
+let is_pending fut = match fut.state with Pending -> true | Done _ | Failed _ -> false
+
+let await fut =
+  Mutex.lock fut.f_lock;
+  while is_pending fut do
+    Condition.wait fut.f_cond fut.f_lock
+  done;
+  let st = fut.state in
+  Mutex.unlock fut.f_lock;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let run_all pool thunks =
+  let futures = Array.map (fun f -> submit pool f) thunks in
+  (* Await in submission order: the first failure (by index) is the one
+     re-raised, matching what a sequential run would have hit first. *)
+  Array.map await futures
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  if not pool.stopping then begin
+    pool.stopping <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+  end
+  else Mutex.unlock pool.lock
+
+let with_pool ?metrics ?jobs f =
+  let pool = create ?metrics ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

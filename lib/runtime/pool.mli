@@ -1,0 +1,42 @@
+(** Fixed-size worker pool on OCaml 5 domains.
+
+    A FIFO task queue guarded by a mutex/condition pair feeds [jobs]
+    worker domains. Submitting returns a future; awaiting re-raises the
+    task's exception (with its backtrace) at the join point, so parallel
+    failures surface exactly where sequential ones would. Shutdown is
+    graceful: queued tasks drain before the domains are joined. *)
+
+type t
+
+type 'a future
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core to
+    the submitting domain. *)
+
+val create : ?metrics:Metrics.t -> ?jobs:int -> unit -> t
+(** Spawn the worker domains. [jobs] defaults to {!default_jobs}; it is
+    clamped to at least 1. With [metrics], the pool maintains the
+    [pool.tasks] counter, the [pool.queue_depth] gauge, per-domain
+    [pool.domain<i>.busy_s] gauges and the [pool.task_latency_s]
+    histogram. *)
+
+val jobs : t -> int
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the task completed; re-raise its exception if it failed. *)
+
+val run_all : t -> (unit -> 'a) array -> 'a array
+(** Submit every thunk, then await them in submission order — the result
+    array lines up index-for-index with the input, and the first failing
+    index (not the first to fail in wall time) is the exception that
+    propagates. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join every worker domain. Idempotent. *)
+
+val with_pool : ?metrics:Metrics.t -> ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} even on exceptions. *)

@@ -1,0 +1,268 @@
+(* Tests for the runtime library: pool determinism (parallel results
+   bit-identical to sequential), compiled-PLA cache semantics, metrics
+   histogram percentiles, and failure propagation through the pool. *)
+
+module Pla = Cnfet.Pla
+module Cover = Logic.Cover
+module Pool = Runtime.Pool
+module Batch = Runtime.Batch
+module Cache = Runtime.Cache
+module Metrics = Runtime.Metrics
+module Histogram = Runtime.Histogram
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-12)
+
+let truth = Alcotest.array (Alcotest.array Alcotest.bool)
+
+(* --- Pool determinism ----------------------------------------------------- *)
+
+let seq_sweep f pla =
+  let n = Pla.num_inputs pla in
+  Array.init (1 lsl n) (fun m -> f pla (Batch.minterm n m))
+
+let test_sweep_matches_sequential () =
+  let pla = Pla.of_minimized (Mcnc.Generators.adder ~bits:2) in
+  let reference = seq_sweep Pla.eval pla in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      checkb "parallel eval sweep = sequential" true
+        (Batch.sweep_pla pool pla = reference);
+      (* Tiny chunks force many fan-in merges. *)
+      checkb "chunk=1 sweep = sequential" true
+        (Batch.sweep_pla ~chunk:1 pool pla = reference))
+
+let test_hw_sweep_matches_sequential () =
+  let pla = Pla.of_minimized (Mcnc.Generators.majority 3) in
+  let hw = Pla.build_hw pla in
+  let n = Pla.num_inputs pla in
+  let reference = Array.init (1 lsl n) (fun m -> Pla.simulate_hw hw (Batch.minterm n m)) in
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.check truth "switch-level sweep = sequential" reference
+        (Batch.sweep_pla_hw pool pla))
+
+let test_jobs_invariance () =
+  let pla = Pla.of_minimized (Mcnc.Generators.xor_n 4) in
+  let with_jobs jobs = Pool.with_pool ~jobs (fun pool -> Batch.sweep_pla pool pla) in
+  Alcotest.check truth "jobs=1 = jobs=4" (with_jobs 1) (with_jobs 4)
+
+let test_monte_carlo_deterministic () =
+  (* Same seed, different parallelism: the per-trial rngs depend only on
+     the trial index, so the draws must be identical. *)
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Batch.monte_carlo pool (Util.Rng.create 42) ~trials:97 (fun rng ->
+            Util.Rng.int rng 1_000_000))
+  in
+  checkb "seeded MC identical across jobs" true (run 1 = run 3);
+  (* And against a plain sequential fold over the same split discipline. *)
+  let rngs = Batch.split_rngs (Util.Rng.create 42) 97 in
+  let reference = Array.map (fun rng -> Util.Rng.int rng 1_000_000) rngs in
+  checkb "seeded MC = sequential reference" true (run 4 = reference)
+
+let test_yield_estimate_deterministic () =
+  let pla = Pla.of_minimized (Mcnc.Generators.xor_n 3) in
+  let point jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Batch.yield_estimate pool (Util.Rng.create 7) ~trials:60 ~spare_rows:2 pla
+          ~defect_rate:0.05)
+  in
+  let p1 = point 1 and p4 = point 4 in
+  checkf "baseline yield" p1.Fault.Yield.yield_baseline p4.Fault.Yield.yield_baseline;
+  checkf "remap yield" p1.Fault.Yield.yield_remap p4.Fault.Yield.yield_remap;
+  checkf "spares yield" p1.Fault.Yield.yield_spares p4.Fault.Yield.yield_spares;
+  (* Sequential reference: fold Yield.trial over the same split rngs. *)
+  let rngs = Batch.split_rngs (Util.Rng.create 7) 60 in
+  let outcomes =
+    Array.map (fun rng -> Fault.Yield.trial rng ~spare_rows:2 pla ~defect_rate:0.05) rngs
+  in
+  let ref_pt = Fault.Yield.point_of_outcomes ~defect_rate:0.05 outcomes in
+  checkf "parallel = sequential trials" ref_pt.Fault.Yield.yield_spares
+    p4.Fault.Yield.yield_spares
+
+(* --- Cache ---------------------------------------------------------------- *)
+
+let cmp2 = Mcnc.Generators.comparator ~bits:1
+let dec2 = Mcnc.Generators.decoder ~bits:2
+
+let test_cache_hit_miss () =
+  let cache = Cache.create () in
+  checkf "empty hit rate" 0.0 (Cache.hit_rate cache);
+  let c1 = Cache.compile cache cmp2 in
+  checki "first compile misses" 1 (Cache.misses cache);
+  checki "no hits yet" 0 (Cache.hits cache);
+  let _ = Cache.compile cache cmp2 in
+  checki "same cover hits" 1 (Cache.hits cache);
+  checki "still one miss" 1 (Cache.misses cache);
+  (* A structurally equal but distinct Cover value must hit: the key is
+     the content digest, not physical identity. *)
+  let copy = Cover.make ~n_in:(Cover.num_inputs cmp2) ~n_out:(Cover.num_outputs cmp2) (Cover.cubes cmp2) in
+  let _ = Cache.compile cache copy in
+  checki "equal content hits" 2 (Cache.hits cache);
+  let _ = Cache.compile cache dec2 in
+  checki "different cover misses" 2 (Cache.misses cache);
+  checki "two entries" 2 (Cache.size cache);
+  (* Compiled evaluation agrees with the plain evaluator everywhere. *)
+  let pla = Pla.of_cover cmp2 in
+  let n = Cover.num_inputs cmp2 in
+  for m = 0 to (1 lsl n) - 1 do
+    let v = Batch.minterm n m in
+    checkb "compiled = Pla.eval" true (Cache.eval c1 v = Pla.eval pla v)
+  done
+
+let test_cache_key_distinguishes_polarity () =
+  (* Same cubes, different output polarity: must not collide. *)
+  let k_plain = Cache.key_of_cover cmp2 in
+  let inv = Array.make (Cover.num_outputs cmp2) false in
+  inv.(0) <- true;
+  let k_inv = Cache.key_of_cover ~inverted_outputs:inv cmp2 in
+  checkb "polarity is part of the key" false (k_plain = k_inv);
+  let cache = Cache.create () in
+  let plain = Cache.compile cache cmp2 in
+  let inverted = Cache.compile cache ~inverted_outputs:inv cmp2 in
+  checki "distinct entries" 2 (Cache.size cache);
+  let n = Cover.num_inputs cmp2 in
+  let differs = ref false in
+  for m = 0 to (1 lsl n) - 1 do
+    let v = Batch.minterm n m in
+    if Cache.eval plain v <> Cache.eval inverted v then differs := true
+  done;
+  checkb "polarity changes behaviour" true !differs
+
+let test_cache_key_sensitive_to_cubes () =
+  let a = Mcnc.Generators.xor_n 3 and b = Mcnc.Generators.majority 3 in
+  checkb "different covers, different keys" false
+    (Cache.key_of_cover a = Cache.key_of_cover b)
+
+let test_cache_lru_eviction () =
+  let cache = Cache.create ~capacity:2 () in
+  let covers = [| Mcnc.Generators.xor_n 2; Mcnc.Generators.xor_n 3; Mcnc.Generators.xor_n 4 |] in
+  Array.iter (fun c -> ignore (Cache.compile cache c)) covers;
+  checki "capacity respected" 2 (Cache.size cache);
+  checki "one eviction" 1 (Cache.evictions cache);
+  (* covers.(0) was least recently used, so it was the victim. *)
+  let misses_before = Cache.misses cache in
+  ignore (Cache.compile cache covers.(0));
+  checki "evicted entry misses again" (misses_before + 1) (Cache.misses cache);
+  ignore (Cache.compile cache covers.(2));
+  checki "recent entry still hits" 1 (Cache.hits cache)
+
+(* --- Metrics -------------------------------------------------------------- *)
+
+let test_histogram_percentiles_match_stats () =
+  let h = Histogram.create () in
+  (* Deterministic but unordered samples. *)
+  let rng = Util.Rng.create 11 in
+  let samples = List.init 137 (fun _ -> Util.Rng.float rng 100.0) in
+  List.iter (Histogram.observe h) samples;
+  checki "count" 137 (Histogram.count h);
+  List.iter
+    (fun p ->
+      checkf (Printf.sprintf "p%g" p) (Util.Stats.percentile p samples)
+        (Histogram.percentile h p))
+    [ 0.0; 25.0; 50.0; 90.0; 95.0; 99.0; 100.0 ];
+  let s = Histogram.summarize h in
+  checkf "summary p50" (Util.Stats.percentile 50.0 samples) s.Histogram.p50;
+  checkf "summary p99" (Util.Stats.percentile 99.0 samples) s.Histogram.p99
+
+let test_metrics_counters_and_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "test.count" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  checki "counter" 5 (Metrics.count c);
+  let g = Metrics.gauge m "test.gauge" in
+  Metrics.set_gauge g 2.5;
+  checkf "gauge" 2.5 (Metrics.read_gauge g);
+  Metrics.register_gauge m "test.cb" (fun () -> 7.0);
+  checkb "callback gauge listed" true (List.mem_assoc "test.cb" (Metrics.gauges m));
+  Metrics.observe m "test.lat" 0.5;
+  Metrics.observe m "test.lat" 1.5;
+  let summaries = Metrics.histograms m in
+  let s = List.assoc "test.lat" summaries in
+  checki "histogram n" 2 s.Histogram.n;
+  checkf "histogram mean" 1.0 s.Histogram.mean;
+  Metrics.reset m;
+  checki "counter reset" 0 (Metrics.count c);
+  checkb "callback survives reset" true (List.mem_assoc "test.cb" (Metrics.gauges m))
+
+let test_pool_records_metrics () =
+  let m = Metrics.create () in
+  Pool.with_pool ~metrics:m ~jobs:2 (fun pool ->
+      ignore (Pool.run_all pool (Array.init 10 (fun i () -> i * i))));
+  checki "tasks counted" 10 (List.assoc "pool.tasks" (Metrics.counters m));
+  let lat = List.assoc "pool.task_latency_s" (Metrics.histograms m) in
+  checki "latency observed per task" 10 lat.Histogram.n
+
+(* --- Failure propagation -------------------------------------------------- *)
+
+exception Boom of int
+
+let test_batch_reports_smallest_failing_index () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let items = Array.init 64 (fun i -> i) in
+      (match
+         Batch.map ~chunk:1 pool
+           (fun i -> if i = 13 || i = 57 then raise (Boom i) else i)
+           items
+       with
+      | _ -> Alcotest.fail "expected Item_failed"
+      | exception Batch.Item_failed { index; exn = Boom b } ->
+        checki "smallest failing index" 13 index;
+        checki "original exception payload" 13 b
+      | exception e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e));
+      (* The pool survives a failed batch: later work still runs. *)
+      let r = Batch.map pool (fun i -> i + 1) (Array.init 8 (fun i -> i)) in
+      checkb "pool usable after failure" true (r = Array.init 8 (fun i -> i + 1)))
+
+let test_await_reraises () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let fut = Pool.submit pool (fun () -> raise (Boom 3)) in
+      (match Pool.await fut with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 3 -> ());
+      let ok = Pool.submit pool (fun () -> 21 * 2) in
+      checki "pool survives a raising task" 42 (Pool.await ok))
+
+let test_submit_after_shutdown_rejected () =
+  let pool = Pool.create ~jobs:1 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  match Pool.submit pool (fun () -> ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "pool determinism",
+        [
+          Alcotest.test_case "PLA sweep = sequential" `Quick test_sweep_matches_sequential;
+          Alcotest.test_case "switch-level sweep = sequential" `Quick
+            test_hw_sweep_matches_sequential;
+          Alcotest.test_case "jobs invariance" `Quick test_jobs_invariance;
+          Alcotest.test_case "seeded Monte-Carlo" `Quick test_monte_carlo_deterministic;
+          Alcotest.test_case "yield estimate" `Quick test_yield_estimate_deterministic;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_cache_hit_miss;
+          Alcotest.test_case "polarity in key" `Quick test_cache_key_distinguishes_polarity;
+          Alcotest.test_case "cube content in key" `Quick test_cache_key_sensitive_to_cubes;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram percentiles = Util.Stats" `Quick
+            test_histogram_percentiles_match_stats;
+          Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_and_gauges;
+          Alcotest.test_case "pool instrumentation" `Quick test_pool_records_metrics;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "smallest failing index" `Quick
+            test_batch_reports_smallest_failing_index;
+          Alcotest.test_case "await re-raises" `Quick test_await_reraises;
+          Alcotest.test_case "submit after shutdown" `Quick test_submit_after_shutdown_rejected;
+        ] );
+    ]
