@@ -10,7 +10,10 @@
              table1_delay variation table2 wires phase wpla yield
              yield_columns waveform cascade factored mapping fsm exact_gap
              ablation_crossover ablation_shrink ablation_tracks
-             ablation_sharing parallel micro *)
+             ablation_sharing parallel espresso micro
+
+   The --quick flag shortens the espresso section's measurement windows
+   (the CI smoke mode: dune exec bench/main.exe -- --quick espresso). *)
 
 let section name description =
   Printf.printf "\n================================================================\n";
@@ -1007,6 +1010,47 @@ let run_parallel () =
      worker-domain count on multicore hosts (a single-core container\n\
      reports ~1x). Set CNFET_BENCH_JOBS to override the domain count."
 
+(* --- espresso: the word-parallel cover kernel --------------------------------------------------- *)
+
+let quick_mode = ref false
+
+let run_espresso () =
+  section "espresso"
+    "Word-parallel packed cover kernel vs naive reference (minimize, set ops, compiled eval)";
+  let quick = !quick_mode in
+  let metrics = Runtime.Metrics.create () in
+  let reports = Runtime.Bench_espresso.run ~metrics ~quick ~seed:2008 () in
+  let t =
+    Util.Tableau.create
+      [ "function"; "in/out"; "cubes"; "minimize (s)"; "packed Mop/s"; "naive Mop/s"; "speedup"; "eval Meval/s"; "identical" ]
+  in
+  List.iter
+    (fun r ->
+      Util.Tableau.add_row t
+        [
+          r.Runtime.Bench_espresso.name;
+          Printf.sprintf "%d/%d" r.Runtime.Bench_espresso.n_in r.Runtime.Bench_espresso.n_out;
+          Printf.sprintf "%d->%d" r.Runtime.Bench_espresso.cubes_before
+            r.Runtime.Bench_espresso.cubes_after;
+          Printf.sprintf "%.4f" r.Runtime.Bench_espresso.minimize_s;
+          Printf.sprintf "%.2f" r.Runtime.Bench_espresso.packed_mops;
+          Printf.sprintf "%.2f" r.Runtime.Bench_espresso.naive_mops;
+          Printf.sprintf "%.2fx" r.Runtime.Bench_espresso.op_speedup;
+          Printf.sprintf "%.2f" r.Runtime.Bench_espresso.eval_mevals;
+          string_of_bool r.Runtime.Bench_espresso.identical;
+        ])
+    reports;
+  Util.Tableau.print t;
+  Printf.printf "packed-vs-naive op speedup (geomean): %.2fx\n"
+    (Runtime.Bench_espresso.geomean_speedup reports);
+  let path = "BENCH_espresso.json" in
+  Runtime.Bench_espresso.write_json ~quick ~seed:2008 ~path reports;
+  Printf.printf "machine-readable results -> %s\n" path;
+  print_endline
+    "Both kernels run the same all-pairs contains/distance/intersect/\n\
+     supercube workload and must produce identical checksums; the speedup\n\
+     column is the bit-packing win. Pass --quick for the short CI windows."
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------------ *)
 
 let run_micro () =
@@ -1106,14 +1150,18 @@ let sections =
     ("ablation_tracks", run_ablation_tracks);
     ("ablation_sharing", run_ablation_sharing);
     ("parallel", run_parallel);
+    ("espresso", run_espresso);
     ("micro", run_micro);
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let names = List.filter (fun a -> a <> "--quick") args in
+  quick_mode := List.mem "--quick" args;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match names with
+    | _ :: _ -> names
+    | [] -> List.map fst sections
   in
   List.iter
     (fun name ->

@@ -10,7 +10,8 @@
      fpga      — the Table 2 experiment
      yield     — Monte-Carlo yield of a mapped .pla under defects
      suite     — export the benchmark suite as .pla/.blif files
-     bench-parallel — sequential vs parallel batch-evaluation benchmark *)
+     bench-parallel — sequential vs parallel batch-evaluation benchmark
+     bench-espresso — word-parallel cover kernel + minimization benchmark *)
 
 open Cmdliner
 
@@ -352,7 +353,60 @@ let bench_parallel_cmd =
     (Cmd.info "bench-parallel" ~doc ~exits)
     Term.(const run $ jobs $ trials $ seed $ show_metrics $ out)
 
+(* --- bench-espresso ------------------------------------------------------ *)
+
+let bench_espresso_cmd =
+  let run quick seed show_metrics out =
+    let metrics = Runtime.Metrics.global in
+    Printf.printf "espresso + cover-kernel benchmark%s (seed %d)\n%!"
+      (if quick then " (quick)" else "")
+      seed;
+    let reports = Runtime.Bench_espresso.run ~metrics ~quick ~seed () in
+    List.iter (fun r -> Format.printf "%a@." Runtime.Bench_espresso.pp_report r) reports;
+    Printf.printf "packed-vs-naive op speedup (geomean): %.2fx\n"
+      (Runtime.Bench_espresso.geomean_speedup reports);
+    let write_failed =
+      try
+        Runtime.Bench_espresso.write_json ~quick ~seed ~path:out reports;
+        Printf.printf "wrote %s\n" out;
+        false
+      with Sys_error msg ->
+        Printf.eprintf "cnfet_tool: cannot write results: %s\n" msg;
+        true
+    in
+    if show_metrics then begin
+      print_endline "--- metrics ---";
+      print_string (Runtime.Metrics.dump metrics)
+    end;
+    if write_failed then 1
+    else if List.for_all (fun r -> r.Runtime.Bench_espresso.identical) reports then 0
+    else begin
+      prerr_endline "ERROR: packed cover ops diverged from the naive reference";
+      1
+    end
+  in
+  let quick =
+    let doc = "Short measurement windows, Table-1 profiles only (CI smoke mode)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let seed =
+    let doc = "Random seed for the synthetic workloads and eval minterms." in
+    Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let show_metrics =
+    let doc = "Dump the metrics registry (counters, gauges, latency histograms) after the run." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let out =
+    let doc = "Write machine-readable results to $(docv)." in
+    Arg.(value & opt string "BENCH_espresso.json" & info [ "out" ] ~docv:"FILE.json" ~doc)
+  in
+  let doc = "Benchmark the word-parallel cover kernel and espresso minimization" in
+  Cmd.v
+    (Cmd.info "bench-espresso" ~doc ~exits)
+    Term.(const run $ quick $ seed $ show_metrics $ out)
+
 let () =
   let doc = "programmable logic built from ambipolar carbon-nanotube FETs" in
   let info = Cmd.info "cnfet_tool" ~version:"1.0.0" ~doc ~exits in
-  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd ]))

@@ -32,7 +32,7 @@ let eval_network net pis =
 
 let network_of_cover cover =
   let n_in = Cover.num_inputs cover and n_out = Cover.num_outputs cover in
-  let cubes = Array.of_list (Cover.cubes cover) in
+  let cubes = Cover.to_array cover in
   let n_products = Array.length cubes in
   (* Level 1: one NOR node per product. P_j = NOR of the complement-adjusted
      literals (positive literal -> inverted fanin). *)

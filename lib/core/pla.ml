@@ -15,7 +15,7 @@ type t = {
 
 let of_cover ?inverted_outputs cover =
   let n_in = Cover.num_inputs cover and n_out = Cover.num_outputs cover in
-  let cubes = Array.of_list (Cover.cubes cover) in
+  let cubes = Cover.to_array cover in
   let n_products = Array.length cubes in
   let neg =
     match inverted_outputs with

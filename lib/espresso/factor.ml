@@ -111,7 +111,7 @@ let factor cover =
   (* Drop cubes contained in others first; a universal cube makes the
      function constant 1. *)
   let cover = Cover.single_cube_containment cover in
-  if List.exists (fun c -> Cube.literal_count c = 0) (Cover.cubes cover) then And []
+  if Array.exists (fun c -> Cube.literal_count c = 0) (Cover.to_array cover) then And []
   else simplify (factor_cubes (Cover.num_inputs cover) (Cover.cubes cover))
 
 let factor_multi cover =

@@ -33,6 +33,17 @@ val iterations_total : unit -> int
 (** Cumulative reduce/expand/irredundant rounds across every {!minimize}
     call. *)
 
+val expand_cubes_total : unit -> int
+(** Cumulative cubes expanded against an off-set across the program. *)
+
+val blocker_scans_total : unit -> int
+(** Cumulative off-set cubes inspected by expand's one-pass blocker-count
+    cache. *)
+
+val blocker_scans_naive_total : unit -> int
+(** Off-set cubes the pre-cache per-position rescan would have inspected
+    for the same work; [1 - scans/naive] is the cache's savings. *)
+
 val cover : ?dc:Logic.Cover.t -> Logic.Cover.t -> Logic.Cover.t
 (** Convenience: [(minimize ?dc f).cover]. *)
 

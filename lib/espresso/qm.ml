@@ -75,7 +75,7 @@ let minimize ?dc f =
   (* Minterms that are pure don't-cares need not be covered. *)
   let dc_tt = Logic.Truth_table.of_cover dc in
   let required = List.filter (fun m -> not (Logic.Truth_table.get dc_tt ~minterm:m ~output:0)) required in
-  let primes = Array.of_list (Cover.cubes (prime_implicants ~dc f)) in
+  let primes = Cover.to_array (prime_implicants ~dc f) in
   let np = Array.length primes in
   if required = [] then Cover.empty ~n_in ~n_out:1
   else begin

@@ -11,6 +11,9 @@ type t
 val make : n_in:int -> n_out:int -> Cube.t list -> t
 (** Builds a cover; every cube must have the stated arity. *)
 
+val of_array : n_in:int -> n_out:int -> Cube.t array -> t
+(** As {!make} from an array (the array is copied). *)
+
 val empty : n_in:int -> n_out:int -> t
 
 val num_inputs : t -> int
@@ -18,12 +21,18 @@ val num_inputs : t -> int
 val num_outputs : t -> int
 
 val cubes : t -> Cube.t list
+(** The cubes as a fresh list (O(n) copy; prefer {!to_array} in hot
+    loops). *)
+
+val to_array : t -> Cube.t array
+(** The underlying cube array, without copying — treat as read-only. *)
 
 val size : t -> int
-(** Number of cubes. *)
+(** Number of cubes. O(1). *)
 
 val literal_total : t -> int
-(** Total input-literal count over all cubes (a standard cost metric). *)
+(** Total input-literal count over all cubes (a standard cost metric).
+    Cached after the first computation. *)
 
 val is_empty : t -> bool
 
@@ -37,7 +46,22 @@ val equal_as_sets : t -> t -> bool
     equivalence; see {!equivalent}). *)
 
 val single_cube_containment : t -> t
-(** Remove every cube contained in another single cube of the cover. *)
+(** Remove every cube contained in another single cube of the cover.
+    Sort-based: cubes are visited by ascending literal count so only
+    already-kept cubes need be tested as containers. *)
+
+val scc_calls_total : unit -> int
+(** Cumulative {!single_cube_containment} invocations across the program
+    (all domains). Feeds the runtime metrics. *)
+
+val scc_checks_total : unit -> int
+(** Cumulative containment tests actually run by
+    {!single_cube_containment}. *)
+
+val scc_pairs_total : unit -> int
+(** Cumulative ordered cube pairs an all-pairs containment scan would have
+    inspected; [1 - checks/pairs] is the prune rate of the sort-based
+    algorithm. *)
 
 val eval : t -> bool array -> Util.Bitvec.t
 (** [eval f minterm] is the set of outputs on for that input assignment. *)

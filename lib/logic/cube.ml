@@ -1,14 +1,22 @@
 type literal = Zero | One | Dc
 
-type t = { ins : Bytes.t; outs : Util.Bitvec.t }
+(* Word-parallel bit-packed positional-cube representation.
 
-(* Input literal sets are one byte per position holding 1 (Zero), 2 (One) or
-   3 (Dc); 0 would denote the empty literal set and never appears in a
-   well-formed cube. *)
+   The input part packs 2 bits per literal into 63-bit native ints, 31
+   literals per word (62 payload bits): bit [2k] of a word says "position
+   matches input value 0", bit [2k+1] says "matches input value 1". A
+   literal is therefore the 2-bit set 01 (Zero), 10 (One) or 11 (Dc); 00
+   (the empty set) never appears in a well-formed cube, which is what lets
+   intersection emptiness, containment and distance collapse to a handful
+   of AND/OR/popcount operations per 31 positions. Padding bits above the
+   last valid field of the final word are kept at 0 by every constructor,
+   so whole-word AND/OR/XOR need no end-of-cube masking. *)
 
 let lit_zero = 1
 let lit_one = 2
 let lit_dc = 3
+
+let fields_per_word = 31
 
 let int_of_literal = function Zero -> lit_zero | One -> lit_one | Dc -> lit_dc
 
@@ -18,28 +26,70 @@ let literal_of_int = function
   | 3 -> Dc
   | n -> invalid_arg (Printf.sprintf "Cube.literal_of_int: %d" n)
 
+type t = { n_in : int; ins : int array; outs : Util.Bitvec.t }
+
+let words_for n = (n + fields_per_word - 1) / fields_per_word
+
+(* dc_masks.(k): the k lowest 2-bit fields all set to 11 (the all-Dc word
+   for k valid fields, and also the padding mask). low_masks.(k): bit 0 of
+   each of those fields (the 01…01 pattern popcounts work against). For
+   k = 31 the 62-bit all-ones value is exactly [max_int]. *)
+let dc_masks =
+  Array.init (fields_per_word + 1) (fun k ->
+      if k = fields_per_word then max_int else (1 lsl (2 * k)) - 1)
+
+let low_masks = Array.map (fun m -> m / 3) dc_masks
+
+(* Number of valid 2-bit fields in word [k] of an [n]-input cube. *)
+let fields_in n k =
+  let w = words_for n in
+  if k = w - 1 then n - (k * fields_per_word) else fields_per_word
+
+(* SWAR popcount for 62-bit payloads. The first mask only needs to cover
+   bits 0..60 because [x lsr 1] of a 62-bit value has no higher bit set. *)
+let m1 = 0x1555555555555555
+let m2 = 0x3333333333333333
+let m4 = 0x0F0F0F0F0F0F0F0F
+let h01 = 0x0101010101010101
+
+let popcount x =
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * h01) lsr 56
+
+let all_dc_ins n =
+  let w = words_for n in
+  Array.init w (fun k -> dc_masks.(fields_in n k))
+
 let make ~n_in ~n_out =
-  { ins = Bytes.make n_in (Char.chr lit_dc); outs = Util.Bitvec.create n_out }
+  { n_in; ins = all_dc_ins n_in; outs = Util.Bitvec.create n_out }
 
 let universe ~n_in ~n_out =
-  { ins = Bytes.make n_in (Char.chr lit_dc); outs = Util.Bitvec.create_full n_out }
+  { n_in; ins = all_dc_ins n_in; outs = Util.Bitvec.create_full n_out }
 
 let of_literals lits ~outs =
   let n = List.length lits in
-  let ins = Bytes.create n in
-  List.iteri (fun i l -> Bytes.set ins i (Char.chr (int_of_literal l))) lits;
-  { ins; outs }
+  let ins = Array.make (words_for n) 0 in
+  List.iteri
+    (fun i l ->
+      let k = i / fields_per_word and j = i mod fields_per_word in
+      ins.(k) <- ins.(k) lor (int_of_literal l lsl (2 * j)))
+    lits;
+  { n_in = n; ins; outs }
 
-let num_inputs t = Bytes.length t.ins
+let num_inputs t = t.n_in
 
 let num_outputs t = Util.Bitvec.length t.outs
 
-let raw_get t i = Char.code (Bytes.get t.ins i)
+let raw_get t i =
+  (t.ins.(i / fields_per_word) lsr (2 * (i mod fields_per_word))) land 3
 
 let raw_set t i v =
   assert (v >= 1 && v <= 3);
-  let ins = Bytes.copy t.ins in
-  Bytes.set ins i (Char.chr v);
+  let ins = Array.copy t.ins in
+  let k = i / fields_per_word and j = i mod fields_per_word in
+  ins.(k) <- (ins.(k) land lnot (3 lsl (2 * j))) lor (v lsl (2 * j));
   { t with ins }
 
 let get t i = literal_of_int (raw_get t i)
@@ -50,102 +100,182 @@ let outputs t = t.outs
 
 let with_outputs t outs = { t with outs }
 
-let equal a b = Bytes.equal a.ins b.ins && Util.Bitvec.equal a.outs b.outs
+let raw_words t = Array.copy t.ins
 
+let equal a b =
+  a.n_in = b.n_in
+  && (let rec go k = k < 0 || (a.ins.(k) = b.ins.(k) && go (k - 1)) in
+      go (Array.length a.ins - 1))
+  && Util.Bitvec.equal a.outs b.outs
+
+(* Positional-lexicographic order with literal values 1 < 2 < 3 — the same
+   total order the old byte-per-literal [Bytes.compare] induced, which the
+   deterministic espresso pipeline depends on. The first differing word is
+   decided by its lowest differing 2-bit field. *)
 let compare a b =
-  let c = Bytes.compare a.ins b.ins in
-  if c <> 0 then c else Util.Bitvec.compare a.outs b.outs
+  if a.n_in <> b.n_in then Stdlib.compare a.n_in b.n_in
+  else begin
+    let w = Array.length a.ins in
+    let rec go k =
+      if k >= w then Util.Bitvec.compare a.outs b.outs
+      else
+        let x = a.ins.(k) and y = b.ins.(k) in
+        if x = y then go (k + 1)
+        else begin
+          let d = x lxor y in
+          let j = ref 0 in
+          while (d lsr (2 * !j)) land 3 = 0 do incr j done;
+          Stdlib.compare ((x lsr (2 * !j)) land 3) ((y lsr (2 * !j)) land 3)
+        end
+    in
+    go 0
+  end
 
-let hash t = Hashtbl.hash (Bytes.to_string t.ins, Util.Bitvec.hash t.outs)
+let hash t = Hashtbl.hash (t.n_in, t.ins, Util.Bitvec.hash t.outs)
 
 let contains a b =
-  assert (num_inputs a = num_inputs b);
-  let rec go i =
-    i >= Bytes.length a.ins
-    || (let x = Char.code (Bytes.get a.ins i) and y = Char.code (Bytes.get b.ins i) in
-        y land lnot x = 0 && go (i + 1))
-  in
+  assert (a.n_in = b.n_in);
+  let w = Array.length a.ins in
+  let rec go k = k >= w || (b.ins.(k) land lnot a.ins.(k) = 0 && go (k + 1)) in
   go 0 && Util.Bitvec.subset b.outs a.outs
 
-let intersect a b =
-  assert (num_inputs a = num_inputs b);
-  let n = Bytes.length a.ins in
-  let ins = Bytes.create n in
-  let rec go i =
-    if i >= n then true
+(* A word of an intersection is valid iff no 2-bit field went to 00:
+   fold each field's two bits onto its low bit and compare with the
+   all-fields-present pattern. *)
+
+let input_universe t =
+  let w = Array.length t.ins in
+  let rec go k = k >= w || (t.ins.(k) = dc_masks.(fields_in t.n_in k) && go (k + 1)) in
+  go 0
+
+let intersects a b =
+  assert (a.n_in = b.n_in);
+  let w = Array.length a.ins in
+  let rec go k =
+    if k >= w then true
     else
-      let v = Char.code (Bytes.get a.ins i) land Char.code (Bytes.get b.ins i) in
-      if v = 0 then false
+      let v = a.ins.(k) land b.ins.(k) in
+      let lm = low_masks.(fields_in a.n_in k) in
+      (v lor (v lsr 1)) land lm = lm && go (k + 1)
+  in
+  go 0 && not (Util.Bitvec.disjoint a.outs b.outs)
+
+let intersect a b =
+  assert (a.n_in = b.n_in);
+  let w = Array.length a.ins in
+  let ins = Array.make w 0 in
+  let rec go k =
+    if k >= w then true
+    else
+      let v = a.ins.(k) land b.ins.(k) in
+      let lm = low_masks.(fields_in a.n_in k) in
+      if (v lor (v lsr 1)) land lm <> lm then false
       else begin
-        Bytes.set ins i (Char.chr v);
-        go (i + 1)
+        ins.(k) <- v;
+        go (k + 1)
       end
   in
   if not (go 0) then None
   else
     let outs = Util.Bitvec.inter a.outs b.outs in
-    if Util.Bitvec.is_empty outs then None else Some { ins; outs }
+    if Util.Bitvec.is_empty outs then None else Some { a with ins; outs }
 
 let distance a b =
-  assert (num_inputs a = num_inputs b);
+  assert (a.n_in = b.n_in);
+  let w = Array.length a.ins in
   let d = ref 0 in
-  for i = 0 to Bytes.length a.ins - 1 do
-    if Char.code (Bytes.get a.ins i) land Char.code (Bytes.get b.ins i) = 0 then incr d
+  for k = 0 to w - 1 do
+    let v = a.ins.(k) land b.ins.(k) in
+    let lm = low_masks.(fields_in a.n_in k) in
+    d := !d + popcount (lm lxor ((v lor (v lsr 1)) land lm))
   done;
   if Util.Bitvec.disjoint a.outs b.outs then incr d;
   !d
 
+(* [(count, pos)] where [count] is the number of input positions at which
+   [a] and [b] conflict (their literal sets are disjoint), capped at 2, and
+   [pos] is the first such position (or -1). The single-position case is
+   what expand's blocker-count cache consumes. *)
+let first_input_conflicts a b =
+  assert (a.n_in = b.n_in);
+  let w = Array.length a.ins in
+  let count = ref 0 and pos = ref (-1) in
+  (try
+     for k = 0 to w - 1 do
+       let v = a.ins.(k) land b.ins.(k) in
+       let lm = low_masks.(fields_in a.n_in k) in
+       let empty = lm lxor ((v lor (v lsr 1)) land lm) in
+       if empty <> 0 then begin
+         if !pos < 0 then begin
+           let j = ref 0 in
+           while (empty lsr (2 * !j)) land 1 = 0 do incr j done;
+           pos := (k * fields_per_word) + !j
+         end;
+         count := !count + popcount empty;
+         if !count >= 2 then raise Exit
+       end
+     done
+   with Exit -> ());
+  (min !count 2, !pos)
+
 let supercube t = t
 
 let supercube2 a b =
-  assert (num_inputs a = num_inputs b);
-  let n = Bytes.length a.ins in
-  let ins = Bytes.create n in
-  for i = 0 to n - 1 do
-    Bytes.set ins i (Char.chr (Char.code (Bytes.get a.ins i) lor Char.code (Bytes.get b.ins i)))
-  done;
-  { ins; outs = Util.Bitvec.union a.outs b.outs }
+  assert (a.n_in = b.n_in);
+  let ins = Array.mapi (fun k x -> x lor b.ins.(k)) a.ins in
+  { a with ins; outs = Util.Bitvec.union a.outs b.outs }
 
 let cofactor a ~by:p =
-  assert (num_inputs a = num_inputs p);
-  match intersect a p with
-  | None -> None
-  | Some _ ->
-    let n = Bytes.length a.ins in
-    let ins = Bytes.create n in
-    for i = 0 to n - 1 do
-      let v =
-        Char.code (Bytes.get a.ins i) lor (lnot (Char.code (Bytes.get p.ins i)) land lit_dc)
-      in
-      Bytes.set ins i (Char.chr v)
-    done;
+  assert (a.n_in = p.n_in);
+  if not (intersects a p) then None
+  else begin
+    let ins =
+      Array.mapi
+        (fun k x -> x lor (lnot p.ins.(k) land dc_masks.(fields_in a.n_in k)))
+        a.ins
+    in
     let outs = Util.Bitvec.union a.outs (Util.Bitvec.complement p.outs) in
-    Some { ins; outs }
+    Some { a with ins; outs }
+  end
 
 let literal_count t =
-  let n = ref 0 in
-  Bytes.iter (fun c -> if Char.code c <> lit_dc then incr n) t.ins;
-  !n
+  let w = Array.length t.ins in
+  let dc = ref 0 in
+  for k = 0 to w - 1 do
+    let v = t.ins.(k) in
+    dc := !dc + popcount (v land (v lsr 1) land low_masks.(fields_in t.n_in k))
+  done;
+  t.n_in - !dc
 
-let matches t minterm =
-  assert (Array.length minterm = num_inputs t);
-  let rec go i =
-    i >= Bytes.length t.ins
-    || (let bit = if minterm.(i) then lit_one else lit_zero in
-        Char.code (Bytes.get t.ins i) land bit <> 0 && go (i + 1))
-  in
+let pack_minterm minterm =
+  let n = Array.length minterm in
+  let ins = Array.make (words_for n) 0 in
+  for i = n - 1 downto 0 do
+    let k = i / fields_per_word and j = i mod fields_per_word in
+    ins.(k) <- ins.(k) lor ((if minterm.(i) then lit_one else lit_zero) lsl (2 * j))
+  done;
+  ins
+
+let matches_packed t packed =
+  assert (Array.length packed = Array.length t.ins);
+  let w = Array.length t.ins in
+  let rec go k = k >= w || (t.ins.(k) land packed.(k) = packed.(k) && go (k + 1)) in
   go 0
 
+let matches t minterm =
+  assert (Array.length minterm = t.n_in);
+  matches_packed t (pack_minterm minterm)
+
 let to_string t =
-  let buf = Buffer.create (num_inputs t + num_outputs t + 1) in
-  Bytes.iter
-    (fun c ->
-      Buffer.add_char buf
-        (match Char.code c with 1 -> '0' | 2 -> '1' | 3 -> '-' | _ -> '?'))
-    t.ins;
-  if num_outputs t > 0 then begin
+  let n_out = num_outputs t in
+  let buf = Buffer.create (t.n_in + n_out + 1) in
+  for i = 0 to t.n_in - 1 do
+    Buffer.add_char buf
+      (match raw_get t i with 1 -> '0' | 2 -> '1' | 3 -> '-' | _ -> '?')
+  done;
+  if n_out > 0 then begin
     Buffer.add_char buf ' ';
-    for o = 0 to num_outputs t - 1 do
+    for o = 0 to n_out - 1 do
       Buffer.add_char buf (if Util.Bitvec.get t.outs o then '1' else '0')
     done
   end;

@@ -9,10 +9,14 @@
 
     Internally a literal is a 2-bit set ([01] = Zero, [10] = One,
     [11] = Dc): bit 0 says "matches input value 0", bit 1 says "matches
-    input value 1". Set operations on cubes are then bitwise, exactly as in
-    espresso's positional-cube representation. A cube denotes the set of
-    (minterm, output) pairs where the minterm lies in the input product and
-    the output belongs to the cube's output part. *)
+    input value 1". The sets are packed 31 literals per 63-bit [int] word
+    (bit [2k] / [2k+1] of a word for field [k]), so set operations on cubes
+    are word-parallel AND/OR/popcount, exactly as in espresso's
+    positional-cube representation; [00] (the empty literal set) never
+    appears in a well-formed cube, and padding bits past the last field are
+    always 0. A cube denotes the set of (minterm, output) pairs where the
+    minterm lies in the input product and the output belongs to the cube's
+    output part. *)
 
 type literal = Zero | One | Dc
 
@@ -47,6 +51,11 @@ val raw_get : t -> int -> int
 val raw_set : t -> int -> int -> t
 (** Functional update with a raw 2-bit literal set (must be 1, 2 or 3). *)
 
+val raw_words : t -> int array
+(** Copy of the packed input words (31 2-bit fields per word, padding bits
+    zero). Canonical for a given input part — suitable for digests and
+    content hashes. *)
+
 val equal : t -> t -> bool
 
 val compare : t -> t -> int
@@ -60,9 +69,24 @@ val contains : t -> t -> bool
 val intersect : t -> t -> t option
 (** Set intersection; [None] when empty. *)
 
+val intersects : t -> t -> bool
+(** [intersects a b] iff the cubes share a (minterm, output) pair —
+    equivalent to [distance a b = 0] but early-exits on the first
+    conflicting word. *)
+
+val input_universe : t -> bool
+(** [true] iff every input position is [Dc] (the input part imposes no
+    constraint). *)
+
 val distance : t -> t -> int
 (** Number of input positions whose literal sets are disjoint, plus 1 if the
     output parts are disjoint. Distance 0 iff the cubes intersect. *)
+
+val first_input_conflicts : t -> t -> int * int
+(** [first_input_conflicts a b] is [(count, pos)]: the number of input
+    positions at which the literal sets are disjoint, capped at 2, and the
+    first such position ([-1] if none). Output parts are not considered.
+    Feeds expand's blocker-count cache. *)
 
 val supercube : t -> t
 (** Identity (for symmetry with {!supercube2}). *)
@@ -80,6 +104,14 @@ val literal_count : t -> int
 val matches : t -> bool array -> bool
 (** [matches c minterm] iff the input part of [c] covers the minterm
     (outputs not considered). *)
+
+val pack_minterm : bool array -> int array
+(** Pack a minterm into the cube word layout once, for repeated
+    {!matches_packed} tests against many cubes of the same arity. *)
+
+val matches_packed : t -> int array -> bool
+(** [matches_packed c (pack_minterm m)] = [matches c m], one AND-compare
+    per word. *)
 
 val to_string : t -> string
 (** Espresso-style text: input part as [0/1/-], space, output part as

@@ -1,0 +1,161 @@
+(* The pre-packing byte-per-literal cube implementation, retained verbatim
+   as a differential-testing and benchmarking reference for the
+   word-parallel kernel in {!Cube}. One byte per input position holding
+   1 (Zero), 2 (One) or 3 (Dc); 0 would denote the empty literal set and
+   never appears in a well-formed cube. *)
+
+type t = { ins : Bytes.t; outs : Util.Bitvec.t }
+
+let lit_zero = 1
+let lit_one = 2
+let lit_dc = 3
+
+let int_of_literal = function
+  | Cube.Zero -> lit_zero
+  | Cube.One -> lit_one
+  | Cube.Dc -> lit_dc
+
+let literal_of_int = function
+  | 1 -> Cube.Zero
+  | 2 -> Cube.One
+  | 3 -> Cube.Dc
+  | n -> invalid_arg (Printf.sprintf "Cube_naive.literal_of_int: %d" n)
+
+let make ~n_in ~n_out =
+  { ins = Bytes.make n_in (Char.chr lit_dc); outs = Util.Bitvec.create n_out }
+
+let universe ~n_in ~n_out =
+  { ins = Bytes.make n_in (Char.chr lit_dc); outs = Util.Bitvec.create_full n_out }
+
+let of_literals lits ~outs =
+  let n = List.length lits in
+  let ins = Bytes.create n in
+  List.iteri (fun i l -> Bytes.set ins i (Char.chr (int_of_literal l))) lits;
+  { ins; outs }
+
+let of_cube c =
+  let n = Cube.num_inputs c in
+  let ins = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set ins i (Char.chr (Cube.raw_get c i))
+  done;
+  { ins; outs = Util.Bitvec.copy (Cube.outputs c) }
+
+let num_inputs t = Bytes.length t.ins
+
+let num_outputs t = Util.Bitvec.length t.outs
+
+let raw_get t i = Char.code (Bytes.get t.ins i)
+
+let raw_set t i v =
+  assert (v >= 1 && v <= 3);
+  let ins = Bytes.copy t.ins in
+  Bytes.set ins i (Char.chr v);
+  { t with ins }
+
+let get t i = literal_of_int (raw_get t i)
+
+let set t i l = raw_set t i (int_of_literal l)
+
+let outputs t = t.outs
+
+let with_outputs t outs = { t with outs }
+
+let equal a b = Bytes.equal a.ins b.ins && Util.Bitvec.equal a.outs b.outs
+
+let compare a b =
+  let c = Bytes.compare a.ins b.ins in
+  if c <> 0 then c else Util.Bitvec.compare a.outs b.outs
+
+let contains a b =
+  assert (num_inputs a = num_inputs b);
+  let rec go i =
+    i >= Bytes.length a.ins
+    || (let x = Char.code (Bytes.get a.ins i) and y = Char.code (Bytes.get b.ins i) in
+        y land lnot x = 0 && go (i + 1))
+  in
+  go 0 && Util.Bitvec.subset b.outs a.outs
+
+let intersect a b =
+  assert (num_inputs a = num_inputs b);
+  let n = Bytes.length a.ins in
+  let ins = Bytes.create n in
+  let rec go i =
+    if i >= n then true
+    else
+      let v = Char.code (Bytes.get a.ins i) land Char.code (Bytes.get b.ins i) in
+      if v = 0 then false
+      else begin
+        Bytes.set ins i (Char.chr v);
+        go (i + 1)
+      end
+  in
+  if not (go 0) then None
+  else
+    let outs = Util.Bitvec.inter a.outs b.outs in
+    if Util.Bitvec.is_empty outs then None else Some { ins; outs }
+
+let distance a b =
+  assert (num_inputs a = num_inputs b);
+  let d = ref 0 in
+  for i = 0 to Bytes.length a.ins - 1 do
+    if Char.code (Bytes.get a.ins i) land Char.code (Bytes.get b.ins i) = 0 then incr d
+  done;
+  if Util.Bitvec.disjoint a.outs b.outs then incr d;
+  !d
+
+let supercube2 a b =
+  assert (num_inputs a = num_inputs b);
+  let n = Bytes.length a.ins in
+  let ins = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set ins i (Char.chr (Char.code (Bytes.get a.ins i) lor Char.code (Bytes.get b.ins i)))
+  done;
+  { ins; outs = Util.Bitvec.union a.outs b.outs }
+
+let cofactor a ~by:p =
+  assert (num_inputs a = num_inputs p);
+  match intersect a p with
+  | None -> None
+  | Some _ ->
+    let n = Bytes.length a.ins in
+    let ins = Bytes.create n in
+    for i = 0 to n - 1 do
+      let v =
+        Char.code (Bytes.get a.ins i) lor (lnot (Char.code (Bytes.get p.ins i)) land lit_dc)
+      in
+      Bytes.set ins i (Char.chr v)
+    done;
+    let outs = Util.Bitvec.union a.outs (Util.Bitvec.complement p.outs) in
+    Some { ins; outs }
+
+let literal_count t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if Char.code c <> lit_dc then incr n) t.ins;
+  !n
+
+let matches t minterm =
+  assert (Array.length minterm = num_inputs t);
+  let rec go i =
+    i >= Bytes.length t.ins
+    || (let bit = if minterm.(i) then lit_one else lit_zero in
+        Char.code (Bytes.get t.ins i) land bit <> 0 && go (i + 1))
+  in
+  go 0
+
+let to_string t =
+  let buf = Buffer.create (num_inputs t + num_outputs t + 1) in
+  Bytes.iter
+    (fun c ->
+      Buffer.add_char buf
+        (match Char.code c with 1 -> '0' | 2 -> '1' | 3 -> '-' | _ -> '?'))
+    t.ins;
+  if num_outputs t > 0 then begin
+    Buffer.add_char buf ' ';
+    for o = 0 to num_outputs t - 1 do
+      Buffer.add_char buf (if Util.Bitvec.get t.outs o then '1' else '0')
+    done
+  end;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

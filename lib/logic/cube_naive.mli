@@ -1,0 +1,58 @@
+(** Byte-per-literal reference cubes.
+
+    The pre-packing implementation of {!Cube}, retained as the oracle for
+    the word-parallel bit-packed kernel: the differential test suite runs
+    every set operation through both representations and demands identical
+    results, and the espresso benchmark reports packed-vs-naive throughput
+    against this module. Semantics match {!Cube} operation for operation;
+    only the representation (one byte per input literal) differs. Not for
+    production use. *)
+
+type t
+
+val make : n_in:int -> n_out:int -> t
+
+val universe : n_in:int -> n_out:int -> t
+
+val of_literals : Cube.literal list -> outs:Util.Bitvec.t -> t
+
+val of_cube : Cube.t -> t
+(** Convert from the packed representation (copies the output part). *)
+
+val num_inputs : t -> int
+
+val num_outputs : t -> int
+
+val get : t -> int -> Cube.literal
+
+val set : t -> int -> Cube.literal -> t
+
+val raw_get : t -> int -> int
+
+val raw_set : t -> int -> int -> t
+
+val outputs : t -> Util.Bitvec.t
+
+val with_outputs : t -> Util.Bitvec.t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val contains : t -> t -> bool
+
+val intersect : t -> t -> t option
+
+val distance : t -> t -> int
+
+val supercube2 : t -> t -> t
+
+val cofactor : t -> by:t -> t option
+
+val literal_count : t -> int
+
+val matches : t -> bool array -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,209 @@
+(* Espresso + cover-kernel microbenchmarks shared by the [bench-espresso]
+   CLI subcommand and the [espresso] section of bench/main.exe.
+
+   For each Table-1 MCNC profile (max46, apla, t2 — via their synthetic
+   twins) and a few generator functions, the harness measures:
+
+     - espresso minimize wall-time on the unminimized on-set;
+     - cover set-operation throughput (contains/distance/intersect/
+       supercube2 over all cube pairs) through the word-parallel packed
+       kernel AND through the retained byte-per-literal reference
+       ({!Logic.Cube_naive}), cross-checking both paths' checksums;
+     - compiled-PLA evaluation throughput on random minterms.
+
+   The packed-vs-naive ratio is the measured speedup of the bit-packed
+   representation. Reports render to BENCH_espresso.json. *)
+
+module Cube = Logic.Cube
+module Cube_naive = Logic.Cube_naive
+module Cover = Logic.Cover
+
+type report = {
+  name : string;
+  n_in : int;
+  n_out : int;
+  cubes_before : int;
+  cubes_after : int;
+  lits_after : int;
+  minimize_s : float;
+  iterations : int;
+  packed_mops : float;  (* million cover set-ops per second, packed kernel *)
+  naive_mops : float;  (* same workload through the naive reference *)
+  op_speedup : float;  (* packed_mops / naive_mops *)
+  eval_mevals : float;  (* million compiled-PLA evals per second *)
+  identical : bool;  (* packed and naive op checksums agree *)
+}
+
+(* Run [f] repeatedly until [min_s] of wall time has accumulated (at least
+   once); returns (last result, seconds per run). *)
+let time_amortized ~min_s f =
+  let t0 = Unix.gettimeofday () in
+  let v = ref (f ()) in
+  let reps = ref 1 in
+  while Unix.gettimeofday () -. t0 < min_s do
+    v := f ();
+    incr reps
+  done;
+  (!v, (Unix.gettimeofday () -. t0) /. float_of_int !reps)
+
+(* One pass of cover set-ops over all ordered cube pairs, folded into a
+   checksum so the work cannot be optimized away and the two kernels can
+   be cross-checked. 4 ops per pair. *)
+let packed_pass cubes =
+  let n = Array.length cubes in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let ci = cubes.(i) in
+    for j = 0 to n - 1 do
+      let cj = cubes.(j) in
+      acc := !acc + Cube.distance ci cj;
+      if Cube.contains ci cj then incr acc;
+      (match Cube.intersect ci cj with
+      | Some x -> acc := !acc + Cube.literal_count x
+      | None -> ());
+      acc := !acc + Cube.literal_count (Cube.supercube2 ci cj)
+    done
+  done;
+  !acc
+
+let naive_pass cubes =
+  let n = Array.length cubes in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let ci = cubes.(i) in
+    for j = 0 to n - 1 do
+      let cj = cubes.(j) in
+      acc := !acc + Cube_naive.distance ci cj;
+      if Cube_naive.contains ci cj then incr acc;
+      (match Cube_naive.intersect ci cj with
+      | Some x -> acc := !acc + Cube_naive.literal_count x
+      | None -> ());
+      acc := !acc + Cube_naive.literal_count (Cube_naive.supercube2 ci cj)
+    done
+  done;
+  !acc
+
+let bench_function ~quick ~rng name on_set =
+  let min_s = if quick then 0.02 else 0.2 in
+  let n_in = Cover.num_inputs on_set and n_out = Cover.num_outputs on_set in
+  let result, minimize_s =
+    time_amortized ~min_s (fun () -> Espresso.Minimize.minimize on_set)
+  in
+  (* Cover-op throughput over the on-set's cubes, both kernels. *)
+  let packed = Cover.to_array on_set in
+  let naive = Array.map Cube_naive.of_cube packed in
+  let ops_per_pass = 4 * Array.length packed * Array.length packed in
+  let packed_sum, packed_pass_s =
+    time_amortized ~min_s (fun () -> packed_pass packed)
+  in
+  let naive_sum, naive_pass_s = time_amortized ~min_s (fun () -> naive_pass naive) in
+  let mops s = float_of_int ops_per_pass /. s /. 1e6 in
+  (* Compiled-PLA evaluation on random minterms. *)
+  let compiled = Cache.compile (Cache.create ~capacity:4 ()) result.Espresso.Minimize.cover in
+  let n_minterms = 1024 in
+  let minterms =
+    Array.init n_minterms (fun _ -> Array.init n_in (fun _ -> Util.Rng.bool rng))
+  in
+  let _, eval_s =
+    time_amortized ~min_s (fun () ->
+        let acc = ref 0 in
+        Array.iter
+          (fun m -> if (Cache.eval compiled m).(0) then incr acc)
+          minterms;
+        !acc)
+  in
+  {
+    name;
+    n_in;
+    n_out;
+    cubes_before = Cover.size on_set;
+    cubes_after = Cover.size result.Espresso.Minimize.cover;
+    lits_after = Cover.literal_total result.Espresso.Minimize.cover;
+    minimize_s;
+    iterations = result.Espresso.Minimize.iterations;
+    packed_mops = mops packed_pass_s;
+    naive_mops = mops naive_pass_s;
+    op_speedup = naive_pass_s /. packed_pass_s;
+    eval_mevals = float_of_int n_minterms /. eval_s /. 1e6;
+    identical = packed_sum = naive_sum;
+  }
+
+let run ?metrics ?(quick = false) ?(seed = 2008) () =
+  (match metrics with Some m -> Metrics.register_library_gauges m | None -> ());
+  let rng = Util.Rng.create seed in
+  (* Synthetic twins of the paper's Table-1 workloads. *)
+  let profile_reports =
+    List.map
+      (fun r ->
+        bench_function ~quick ~rng
+          (r.Mcnc.Synthetic.profile.Mcnc.Profiles.name ^ "-synth")
+          r.Mcnc.Synthetic.on_set)
+      (Mcnc.Synthetic.table1_set (Util.Rng.create seed))
+  in
+  let generator_reports =
+    if quick then []
+    else
+      List.map
+        (fun (name, f) -> bench_function ~quick ~rng name f)
+        (List.filter
+           (fun (_, f) -> Cover.num_inputs f <= 10)
+           Mcnc.Generators.all)
+  in
+  profile_reports @ generator_reports
+
+let geomean_speedup reports =
+  match reports with
+  | [] -> 1.0
+  | _ ->
+    exp
+      (List.fold_left (fun acc r -> acc +. log r.op_speedup) 0.0 reports
+      /. float_of_int (List.length reports))
+
+(* --- JSON rendering ------------------------------------------------------ *)
+
+let json_of_report r =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"n_in\":%d,\"n_out\":%d,\"cubes_before\":%d,\"cubes_after\":%d,\"lits_after\":%d,\"minimize_s\":%.6f,\"iterations\":%d,\"packed_mops\":%.3f,\"naive_mops\":%.3f,\"op_speedup\":%.3f,\"eval_mevals\":%.3f,\"identical\":%b}"
+    (Bench.json_escape r.name) r.n_in r.n_out r.cubes_before r.cubes_after
+    r.lits_after r.minimize_s r.iterations r.packed_mops r.naive_mops r.op_speedup
+    r.eval_mevals r.identical
+
+let counters_json () =
+  let naive = Espresso.Minimize.blocker_scans_naive_total () in
+  let scans = Espresso.Minimize.blocker_scans_total () in
+  let pairs = Cover.scc_pairs_total () in
+  let checks = Cover.scc_checks_total () in
+  let rate saved total = if total = 0 then 0.0 else 1.0 -. (float_of_int saved /. float_of_int total) in
+  Printf.sprintf
+    "{\"minimize_calls\":%d,\"minimize_iterations\":%d,\"expand_cubes\":%d,\"blocker_scans\":%d,\"blocker_scans_naive\":%d,\"blocker_cache_savings\":%.4f,\"scc_calls\":%d,\"scc_checks\":%d,\"scc_pairs\":%d,\"scc_prune_rate\":%.4f}"
+    (Espresso.Minimize.calls_total ())
+    (Espresso.Minimize.iterations_total ())
+    (Espresso.Minimize.expand_cubes_total ())
+    scans naive (rate scans naive) (Cover.scc_calls_total ()) checks pairs
+    (rate checks pairs)
+
+let to_json ~quick ~seed reports =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf "  \"functions\": [\n    ";
+  Buffer.add_string buf (String.concat ",\n    " (List.map json_of_report reports));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"op_speedup_geomean\": %.3f,\n" (geomean_speedup reports));
+  Buffer.add_string buf (Printf.sprintf "  \"espresso_counters\": %s\n" (counters_json ()));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_json ~quick ~seed ~path reports =
+  let oc = open_out path in
+  output_string oc (to_json ~quick ~seed reports);
+  close_out oc
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%-16s %2d in %2d out  %3d->%3d cubes  min %8.4fs  ops %8.2f vs %8.2f Mop/s  %5.2fx  %s"
+    r.name r.n_in r.n_out r.cubes_before r.cubes_after r.minimize_s r.packed_mops
+    r.naive_mops r.op_speedup
+    (if r.identical then "bit-identical" else "MISMATCH")

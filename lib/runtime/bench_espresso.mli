@@ -1,0 +1,40 @@
+(** Espresso + cover-kernel microbenchmarks.
+
+    Measures, per MCNC Table-1 profile (synthetic twins of max46, apla and
+    t2) and per small generator function: espresso minimize wall-time,
+    cover set-operation throughput through the word-parallel packed kernel
+    versus the retained byte-per-literal reference ({!Logic.Cube_naive}),
+    and compiled-PLA evaluation throughput. Renders to
+    [BENCH_espresso.json]. Shared by [cnfet_tool bench-espresso] and the
+    [espresso] section of [bench/main.exe]. *)
+
+type report = {
+  name : string;
+  n_in : int;
+  n_out : int;
+  cubes_before : int;  (** on-set cubes before minimization *)
+  cubes_after : int;  (** cubes in the minimized cover *)
+  lits_after : int;  (** literal total of the minimized cover *)
+  minimize_s : float;  (** seconds per {!Espresso.Minimize.minimize} call *)
+  iterations : int;  (** reduce/expand/irredundant rounds of that call *)
+  packed_mops : float;  (** million cover set-ops per second, packed kernel *)
+  naive_mops : float;  (** same workload through the naive reference *)
+  op_speedup : float;  (** [packed_mops /. naive_mops] *)
+  eval_mevals : float;  (** million compiled-PLA evaluations per second *)
+  identical : bool;  (** packed and naive checksums agreed *)
+}
+
+val run : ?metrics:Metrics.t -> ?quick:bool -> ?seed:int -> unit -> report list
+(** Runs the benchmark set. [quick] (default false) shortens measurement
+    windows and skips the generator functions — the CI smoke mode. The
+    three Table-1 profiles are always measured. Registers the library
+    gauges on [metrics] when given. *)
+
+val geomean_speedup : report list -> float
+(** Geometric mean of the packed-vs-naive op speedups. *)
+
+val to_json : quick:bool -> seed:int -> report list -> string
+
+val write_json : quick:bool -> seed:int -> path:string -> report list -> unit
+
+val pp_report : Format.formatter -> report -> unit

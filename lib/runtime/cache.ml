@@ -28,11 +28,17 @@ let key_of_cover ?inverted_outputs cover =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     (Printf.sprintf "i%d;o%d;" (Cover.num_inputs cover) (Cover.num_outputs cover));
-  List.iter
+  Array.iter
     (fun c ->
-      Buffer.add_string buf (Cube.to_string c);
+      (* The packed input words are canonical for the input part (padding
+         bits always zero), so digest them directly instead of rendering
+         the cube to text. *)
+      Array.iter (fun w -> Buffer.add_int64_le buf (Int64.of_int w)) (Cube.raw_words c);
+      Util.Bitvec.iter_set
+        (fun o -> Buffer.add_string buf (string_of_int o ^ ","))
+        (Cube.outputs c);
       Buffer.add_char buf '\n')
-    (Cover.cubes cover);
+    (Cover.to_array cover);
   Buffer.add_string buf "pol:";
   (match inverted_outputs with
   | None -> Buffer.add_char buf '.'

@@ -123,4 +123,27 @@ let register_library_gauges t =
   register_gauge t "espresso.minimize_calls" (fun () ->
       float_of_int (Espresso.Minimize.calls_total ()));
   register_gauge t "espresso.minimize_iterations" (fun () ->
-      float_of_int (Espresso.Minimize.iterations_total ()))
+      float_of_int (Espresso.Minimize.iterations_total ()));
+  register_gauge t "espresso.expand_cubes" (fun () ->
+      float_of_int (Espresso.Minimize.expand_cubes_total ()));
+  (* Fraction of the old per-position off-set rescans the blocker-count
+     cache avoids (0 until expand has run). *)
+  register_gauge t "espresso.blocker_cache_savings" (fun () ->
+      let naive = Espresso.Minimize.blocker_scans_naive_total () in
+      if naive = 0 then 0.0
+      else
+        1.0
+        -. (float_of_int (Espresso.Minimize.blocker_scans_total ())
+           /. float_of_int naive));
+  register_gauge t "cover.scc_calls" (fun () ->
+      float_of_int (Logic.Cover.scc_calls_total ()));
+  register_gauge t "cover.scc_containment_checks" (fun () ->
+      float_of_int (Logic.Cover.scc_checks_total ()));
+  (* Fraction of all-pairs containment tests the sort-based
+     single-cube-containment skipped. *)
+  register_gauge t "cover.scc_prune_rate" (fun () ->
+      let pairs = Logic.Cover.scc_pairs_total () in
+      if pairs = 0 then 0.0
+      else
+        1.0
+        -. (float_of_int (Logic.Cover.scc_checks_total ()) /. float_of_int pairs))

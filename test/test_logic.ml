@@ -546,6 +546,137 @@ let prop_minterms_equivalent =
   QCheck.Test.make ~name:"minterm expansion is equivalent" ~count:50 arb_cover (fun f ->
       Cover.equivalent f (Cover.minterms f))
 
+(* --- Differential: packed kernel vs byte-per-literal reference ----------- *)
+
+module Naive = Logic.Cube_naive
+
+let random_literal rng =
+  match Util.Rng.int rng 3 with 0 -> Cube.Zero | 1 -> Cube.One | _ -> Cube.Dc
+
+let random_outs rng n_out =
+  let on = List.filter (fun _ -> Util.Rng.bool rng) (List.init n_out Fun.id) in
+  let on = match on with [] -> [ Util.Rng.int rng n_out ] | l -> l in
+  Util.Bitvec.of_list n_out on
+
+(* The same random cube in both representations. *)
+let random_pair rng ~n_in ~n_out =
+  let lits = List.init n_in (fun _ -> random_literal rng) in
+  let outs = random_outs rng n_out in
+  (Cube.of_literals lits ~outs, Naive.of_literals lits ~outs)
+
+let sign (x : int) = compare x 0
+let str_opt = function None -> "none" | Some s -> s
+
+(* Widths straddling the 31-literal word boundary (31 fields per 63-bit
+   word), plus small and multi-word cases. *)
+let diff_widths = [ 1; 2; 5; 17; 30; 31; 32; 33; 61; 62; 63; 64; 100 ]
+
+let test_differential_unary () =
+  let rng = Util.Rng.create 4242 in
+  List.iter
+    (fun n_in ->
+      for _ = 1 to 20 do
+        let p, n = random_pair rng ~n_in ~n_out:3 in
+        checki "literal_count" (Naive.literal_count n) (Cube.literal_count p);
+        Alcotest.check Alcotest.string "to_string" (Naive.to_string n)
+          (Cube.to_string p);
+        for i = 0 to n_in - 1 do
+          checkb "get" true (Cube.get p i = Naive.get n i);
+          checki "raw_get" (Naive.raw_get n i) (Cube.raw_get p i)
+        done;
+        let i = Util.Rng.int rng n_in in
+        let v = random_literal rng in
+        Alcotest.check Alcotest.string "set"
+          (Naive.to_string (Naive.set n i v))
+          (Cube.to_string (Cube.set p i v));
+        for _ = 1 to 8 do
+          let m = Array.init n_in (fun _ -> Util.Rng.bool rng) in
+          checkb "matches" (Naive.matches n m) (Cube.matches p m)
+        done
+      done)
+    diff_widths
+
+let test_differential_binary () =
+  let rng = Util.Rng.create 77077 in
+  List.iter
+    (fun n_in ->
+      for _ = 1 to 30 do
+        let pa, na = random_pair rng ~n_in ~n_out:2 in
+        let pb, nb =
+          (* Half the time derive b from a (widen one literal) so
+             containment and low distances actually occur. *)
+          if Util.Rng.bool rng then random_pair rng ~n_in ~n_out:2
+          else
+            let i = Util.Rng.int rng n_in in
+            (Cube.set pa i Cube.Dc, Naive.set na i Cube.Dc)
+        in
+        checkb "equal" (Naive.equal na nb) (Cube.equal pa pb);
+        checki "compare sign"
+          (sign (Naive.compare na nb))
+          (sign (Cube.compare pa pb));
+        checkb "contains" (Naive.contains na nb) (Cube.contains pa pb);
+        checkb "contains rev" (Naive.contains nb na) (Cube.contains pb pa);
+        checki "distance" (Naive.distance na nb) (Cube.distance pa pb);
+        checkb "intersects"
+          (Naive.intersect na nb <> None)
+          (Cube.intersects pa pb);
+        Alcotest.check Alcotest.string "intersect"
+          (str_opt (Option.map Naive.to_string (Naive.intersect na nb)))
+          (str_opt (Option.map Cube.to_string (Cube.intersect pa pb)));
+        Alcotest.check Alcotest.string "supercube2"
+          (Naive.to_string (Naive.supercube2 na nb))
+          (Cube.to_string (Cube.supercube2 pa pb));
+        Alcotest.check Alcotest.string "cofactor"
+          (str_opt (Option.map Naive.to_string (Naive.cofactor na ~by:nb)))
+          (str_opt (Option.map Cube.to_string (Cube.cofactor pa ~by:pb)))
+      done)
+    diff_widths
+
+let test_differential_of_cube () =
+  let rng = Util.Rng.create 99 in
+  List.iter
+    (fun n_in ->
+      for _ = 1 to 10 do
+        let p, n = random_pair rng ~n_in ~n_out:4 in
+        checkb "of_cube equals of_literals" true (Naive.equal n (Naive.of_cube p))
+      done)
+    diff_widths
+
+(* --- Cover cached-count and union regressions ----------------------------- *)
+
+let recount c =
+  List.fold_left (fun acc cb -> acc + Cube.literal_count cb) 0 (Cover.cubes c)
+
+let test_cover_union_arity () =
+  let a = cover1 [ "1-"; "01" ] in
+  let wide = Cover.make ~n_in:3 ~n_out:1 [ c1 "1-0" ] in
+  Alcotest.check_raises "input arity mismatch"
+    (Invalid_argument "Cover.union: arity mismatch") (fun () ->
+      ignore (Cover.union a wide));
+  let c2 = cube_of_string "--" (Util.Bitvec.of_list 2 [ 0 ]) in
+  let two_out = Cover.make ~n_in:2 ~n_out:2 [ c2 ] in
+  Alcotest.check_raises "output arity mismatch"
+    (Invalid_argument "Cover.union: arity mismatch") (fun () ->
+      ignore (Cover.union a two_out))
+
+let test_cover_cached_counts () =
+  let a = cover1 [ "1-"; "01" ] in
+  let b = cover1 [ "00"; "--" ] in
+  (* Force a's cache but leave b's sentinel: union must handle both. *)
+  checki "a lits" (recount a) (Cover.literal_total a);
+  let u = Cover.union a b in
+  checki "union size" 4 (Cover.size u);
+  checki "union lits" (recount u) (Cover.literal_total u);
+  let u2 = Cover.union a (cover1 [ "11" ]) in
+  ignore (Cover.literal_total (cover1 [ "11" ]));
+  checki "union lits (one side cached)" (recount u2) (Cover.literal_total u2);
+  let w = Cover.add u (c1 "11") in
+  checki "add size" 5 (Cover.size w);
+  checki "add lits" (recount w) (Cover.literal_total w);
+  let s = Cover.single_cube_containment w in
+  checki "scc lits" (recount s) (Cover.literal_total s);
+  checki "scc size" (List.length (Cover.cubes s)) (Cover.size s)
+
 let () =
   Alcotest.run "logic"
     [
@@ -635,6 +766,14 @@ let () =
           Alcotest.test_case "multi-level eval" `Quick test_blif_multilevel_eval;
           Alcotest.test_case "constants" `Quick test_blif_constants;
           Alcotest.test_case "errors" `Quick test_blif_errors;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "unary ops vs naive" `Quick test_differential_unary;
+          Alcotest.test_case "binary ops vs naive" `Quick test_differential_binary;
+          Alcotest.test_case "of_cube roundtrip" `Quick test_differential_of_cube;
+          Alcotest.test_case "union arity checks" `Quick test_cover_union_arity;
+          Alcotest.test_case "cached counts" `Quick test_cover_cached_counts;
         ] );
       ( "properties",
         [
