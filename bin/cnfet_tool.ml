@@ -406,7 +406,70 @@ let bench_espresso_cmd =
     (Cmd.info "bench-espresso" ~doc ~exits)
     Term.(const run $ quick $ seed $ show_metrics $ out)
 
+(* --- fuzz ---------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run seed budget filter corpus jobs list_only show_metrics =
+    if list_only then begin
+      List.iter
+        (fun p -> Printf.printf "%-36s %d cases\n" (Prop.Runner.name p) (Prop.Runner.count p))
+        (Prop.Fuzz.select ?filter Prop.Props.all);
+      0
+    end
+    else begin
+      let metrics = Runtime.Metrics.global in
+      let config =
+        { Prop.Fuzz.seed; budget_ms = budget; filter; corpus_dir = corpus; jobs }
+      in
+      Printf.printf "property fuzz (seed %d%s%s)\n%!" seed
+        (match budget with Some ms -> Printf.sprintf ", budget %d ms" ms | None -> "")
+        (match filter with Some re -> Printf.sprintf ", filter %s" re | None -> "");
+      let report = Prop.Fuzz.run ~metrics config in
+      print_string (Prop.Fuzz.render report);
+      if show_metrics then begin
+        print_endline "--- metrics ---";
+        print_string (Runtime.Metrics.dump metrics)
+      end;
+      if Prop.Fuzz.failures report = 0 then 0 else 1
+    end
+  in
+  let seed =
+    let doc = "Master seed; every property derives its own deterministic case-seed chain from it." in
+    Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let budget =
+    let doc =
+      "Wall-clock budget (milliseconds) for fresh generation; checked between properties, so \
+       corpus replay always completes and a partial run is a prefix of the full one."
+    in
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"MS" ~doc)
+  in
+  let filter =
+    let doc = "Only run properties whose name matches the regexp $(docv) (Str syntax, searched anywhere in the name)." in
+    Arg.(value & opt (some string) None & info [ "filter" ] ~docv:"RE" ~doc)
+  in
+  let corpus =
+    let doc = "Counterexample corpus directory: replayed before fresh generation, written on new failures." in
+    Arg.(value & opt string Prop.Corpus.default_dir & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let jobs =
+    let doc = "Run properties on $(docv) worker domains (results are identical at any job count)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+  in
+  let list_only =
+    let doc = "List the (filtered) properties and their case counts, then exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let show_metrics =
+    let doc = "Dump the metrics registry (counters, gauges, latency histograms) after the run." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let doc = "Property-based fuzzing with shrinking and a persistent counterexample corpus" in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc ~exits)
+    Term.(const run $ seed $ budget $ filter $ corpus $ jobs $ list_only $ show_metrics)
+
 let () =
   let doc = "programmable logic built from ambipolar carbon-nanotube FETs" in
   let info = Cmd.info "cnfet_tool" ~version:"1.0.0" ~doc ~exits in
-  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; fuzz_cmd ]))

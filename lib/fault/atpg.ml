@@ -39,8 +39,13 @@ let faulty_outputs pla fault inputs = eval_with pla (maps_for pla fault) inputs
 
 let detects pla fault inputs = faulty_outputs pla fault inputs <> Pla.eval pla inputs
 
+exception Too_many_inputs of { inputs : int; limit : int }
+
+let input_limit = 14
+
 let check_size pla =
-  if Pla.num_inputs pla > 14 then invalid_arg "Atpg: too many inputs"
+  let inputs = Pla.num_inputs pla in
+  if inputs > input_limit then raise (Too_many_inputs { inputs; limit = input_limit })
 
 let generate pla =
   check_size pla;

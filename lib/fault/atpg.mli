@@ -20,6 +20,15 @@ type fault = {
   kind : Defect.kind;  (** [Stuck_open] or [Stuck_closed] *)
 }
 
+exception Too_many_inputs of { inputs : int; limit : int }
+(** Raised by {!generate} and {!coverage} when the PLA has more than
+    {!input_limit} inputs: both enumerate the whole input space, so the
+    work is [2^inputs] and the limit is a guard against runaway jobs, not
+    a soft heuristic. Catch it to fall back to sampled testing. *)
+
+val input_limit : int
+(** Largest exhaustively-enumerable input count (14). *)
+
 val all_faults : Cnfet.Pla.t -> fault list
 (** Every crosspoint of both planes × both fault kinds, except
     stuck-open faults on crosspoints programmed [Drop] (no effect by
@@ -33,7 +42,11 @@ val detects : Cnfet.Pla.t -> fault -> bool array -> bool
 val generate : Cnfet.Pla.t -> bool array list * fault list
 (** [(tests, undetectable)]: a compacted vector set detecting every
     detectable fault, and the faults no vector exposes (logically
-    redundant crosspoint states). *)
+    redundant crosspoint states).
+
+    @raise Too_many_inputs above {!input_limit} inputs. *)
 
 val coverage : Cnfet.Pla.t -> bool array list -> float
-(** Fraction of detectable faults caught by a given vector set. *)
+(** Fraction of detectable faults caught by a given vector set.
+
+    @raise Too_many_inputs above {!input_limit} inputs. *)

@@ -1,0 +1,16 @@
+type 'a t = { gen : 'a Gen.t; shrink : 'a Shrink.t; print : 'a -> string }
+
+let make ?(shrink = Shrink.nil) ?(print = fun _ -> "<opaque>") gen = { gen; shrink; print }
+
+let gen t = t.gen
+
+let shrink t = t.shrink
+
+let print t = t.print
+
+let map ?shrink ?print f t =
+  {
+    gen = Gen.map f t.gen;
+    shrink = (match shrink with Some s -> s | None -> Shrink.nil);
+    print = (match print with Some p -> p | None -> fun _ -> "<opaque>");
+  }

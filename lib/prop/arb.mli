@@ -1,0 +1,20 @@
+(** An arbitrary: a generator bundled with its shrinker and printer.
+
+    The unit a property is declared over. The shrinker defaults to
+    {!Shrink.nil} (no minimization) and the printer to an opaque
+    placeholder, so quick properties can be stated from a bare
+    generator. *)
+
+type 'a t = { gen : 'a Gen.t; shrink : 'a Shrink.t; print : 'a -> string }
+
+val make : ?shrink:'a Shrink.t -> ?print:('a -> string) -> 'a Gen.t -> 'a t
+
+val gen : 'a t -> 'a Gen.t
+
+val shrink : 'a t -> 'a Shrink.t
+
+val print : 'a t -> 'a -> string
+
+val map : ?shrink:'b Shrink.t -> ?print:('b -> string) -> ('a -> 'b) -> 'a t -> 'b t
+(** Mapped arbitrary; note the shrinker does {e not} transport (supply a
+    new one or lose shrinking). *)

@@ -1,0 +1,57 @@
+type entry = { prop : string; seed : int; size : int }
+
+let default_dir = Filename.concat "_fuzz" "corpus"
+
+let to_sexp e =
+  Sexp.List
+    [
+      Sexp.List [ Sexp.Atom "prop"; Sexp.Atom e.prop ];
+      Sexp.List [ Sexp.Atom "seed"; Sexp.Atom (string_of_int e.seed) ];
+      Sexp.List [ Sexp.Atom "size"; Sexp.Atom (string_of_int e.size) ];
+    ]
+
+let of_sexp s =
+  match (Sexp.field_string s "prop", Sexp.field_int s "seed", Sexp.field_int s "size") with
+  | Some prop, Some seed, Some size -> Ok { prop; seed; size }
+  | _ -> Error "corpus entry needs (prop ...), (seed ...) and (size ...) fields"
+
+let parse text =
+  match Sexp.of_string text with Ok s -> of_sexp s | Error e -> Error e
+
+let sanitize name =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '-') name
+
+let filename e = Printf.sprintf "%s-%d.sexp" (sanitize e.prop) e.seed
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ~dir e =
+  mkdir_p dir;
+  let path = Filename.concat dir (filename e) in
+  let oc = open_out path in
+  output_string oc (Sexp.to_string (to_sexp e));
+  output_char oc '\n';
+  close_out oc;
+  path
+
+let load ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else begin
+    let files = Sys.readdir dir in
+    Array.sort compare files;
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+    |> List.filter_map (fun f ->
+           let path = Filename.concat dir f in
+           let ic = open_in path in
+           let n = in_channel_length ic in
+           let text = really_input_string ic n in
+           close_in ic;
+           match parse text with
+           | Ok e -> Some (path, Ok e)
+           | Error msg -> Some (path, Error msg))
+  end

@@ -1,0 +1,34 @@
+(** Persistent counterexample corpus.
+
+    A failing case is fully determined by (property name, case seed, size):
+    replaying regenerates the failing value from the seed and re-shrinks it
+    deterministically, so only those three fields are stored — one small
+    s-expression per file, e.g.
+    [((prop "cube/ops-vs-naive") (seed 123456) (size 22))].
+
+    Files live under a corpus directory ({!default_dir} by default,
+    [_fuzz/corpus/] relative to the working directory) and are replayed by
+    [Runner.regress] / [cnfet_tool fuzz] {e before} fresh generation, so a
+    once-found bug is re-checked first on every subsequent run. *)
+
+type entry = { prop : string; seed : int; size : int }
+
+val default_dir : string
+(** [_fuzz/corpus]. *)
+
+val to_sexp : entry -> Sexp.t
+
+val of_sexp : Sexp.t -> (entry, string) result
+
+val parse : string -> (entry, string) result
+
+val filename : entry -> string
+(** Stable name derived from the property and seed. *)
+
+val save : dir:string -> entry -> string
+(** Write (creating the directory as needed); returns the path. *)
+
+val load : dir:string -> (string * (entry, string) result) list
+(** Every [.sexp] file in the directory in sorted filename order, parsed;
+    unparsable files are reported with their error. Missing directory =
+    empty corpus. *)

@@ -1,0 +1,145 @@
+(* The fuzzing front end: corpus replay first, then fresh generation under
+   an optional wall-clock budget, saving every fresh counterexample back
+   into the corpus.
+
+   Determinism contract: with no [--budget], the set of cases run — and
+   therefore the whole report — is a pure function of (seed, filter,
+   corpus contents). The budget only gates which properties still get a
+   {e fresh} run (checked between properties, never inside one), so a
+   budgeted run is always a prefix of the unbudgeted run's property list.
+   [--jobs] parallelizes across properties on [Runtime.Pool] domains; each
+   property's case-seed chain is self-contained, so results are identical
+   at any job count. *)
+
+type config = {
+  seed : int;
+  budget_ms : int option;
+  filter : string option;
+  corpus_dir : string;
+  jobs : int;
+}
+
+let default_config =
+  { seed = 2008; budget_ms = None; filter = None; corpus_dir = Corpus.default_dir; jobs = 1 }
+
+type report = {
+  replayed : Runner.replay_result list;
+  fresh : Runner.outcome list;
+  skipped : string list;  (** properties not run because the budget ran out *)
+  saved : string list;  (** corpus paths written for fresh failures *)
+}
+
+let select ?filter props =
+  match filter with
+  | None -> props
+  | Some re ->
+    let r = Str.regexp re in
+    List.filter
+      (fun p ->
+        match Str.search_forward r (Runner.name p) 0 with
+        | _ -> true
+        | exception Not_found -> false)
+      props
+
+let replay_failed = function
+  | Runner.Replayed { outcome = { failure = Some _; _ }; _ } -> true
+  | Runner.Replayed _ -> false
+  | Runner.Unreadable _ -> true
+
+let outcome_failed (o : Runner.outcome) = o.failure <> None
+
+let failures report =
+  List.length (List.filter replay_failed report.replayed)
+  + List.length (List.filter outcome_failed report.fresh)
+
+let run ?metrics ?(props = Props.all) config =
+  let props = select ?filter:config.filter props in
+  let replayed = Runner.regress ?metrics ~dir:config.corpus_dir props in
+  let t0 = Unix.gettimeofday () in
+  let in_budget () =
+    match config.budget_ms with
+    | None -> true
+    | Some ms -> (Unix.gettimeofday () -. t0) *. 1000.0 < float_of_int ms
+  in
+  let fresh, skipped =
+    if config.jobs <= 1 then begin
+      let fresh = ref [] and skipped = ref [] in
+      List.iter
+        (fun p ->
+          if in_budget () then
+            fresh := Runner.check ?metrics ~seed:config.seed p :: !fresh
+          else skipped := Runner.name p :: !skipped)
+        props;
+      (List.rev !fresh, List.rev !skipped)
+    end
+    else begin
+      (* The budget decides up front which properties run; the pool then
+         evaluates them in parallel (results land in property order). *)
+      let thunks =
+        Array.of_list (List.map (fun p () -> Runner.check ?metrics ~seed:config.seed p) props)
+      in
+      let results = Runtime.Pool.with_pool ?metrics ~jobs:config.jobs (fun pool -> Runtime.Pool.run_all pool thunks) in
+      (Array.to_list results, [])
+    end
+  in
+  let saved =
+    List.filter_map
+      (fun (o : Runner.outcome) ->
+        match o.failure with
+        | None -> None
+        | Some f ->
+          Some
+            (Corpus.save ~dir:config.corpus_dir
+               { Corpus.prop = o.prop; seed = f.case_seed; size = f.size }))
+      fresh
+  in
+  { replayed; fresh; skipped; saved }
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let pp_failure buf prefix (f : Runner.failure_info) =
+  Buffer.add_string buf
+    (Printf.sprintf "%s  seed=%d size=%d case=%d shrink_steps=%d\n" prefix f.case_seed f.size
+       f.case_index f.shrink_steps);
+  (match f.error with
+  | Some e -> Buffer.add_string buf (Printf.sprintf "%s  raised: %s\n" prefix e)
+  | None -> ());
+  String.split_on_char '\n' f.printed
+  |> List.iter (fun line -> Buffer.add_string buf (Printf.sprintf "%s  | %s\n" prefix line))
+
+let render report =
+  let buf = Buffer.create 1024 in
+  if report.replayed <> [] then begin
+    Buffer.add_string buf (Printf.sprintf "corpus: %d entr%s\n" (List.length report.replayed)
+        (if List.length report.replayed = 1 then "y" else "ies"));
+    List.iter
+      (function
+        | Runner.Unreadable { path; reason } ->
+          Buffer.add_string buf (Printf.sprintf "  UNREADABLE %s: %s\n" path reason)
+        | Runner.Replayed { path; entry; outcome } -> (
+          match outcome.failure with
+          | None ->
+            Buffer.add_string buf (Printf.sprintf "  pass %s (%s)\n" path entry.Corpus.prop)
+          | Some f ->
+            Buffer.add_string buf (Printf.sprintf "  FAIL %s (%s)\n" path entry.Corpus.prop);
+            pp_failure buf "      " f))
+      report.replayed
+  end;
+  List.iter
+    (fun (o : Runner.outcome) ->
+      match o.failure with
+      | None -> Buffer.add_string buf (Printf.sprintf "pass %-36s %d cases\n" o.prop o.cases)
+      | Some f ->
+        Buffer.add_string buf (Printf.sprintf "FAIL %-36s after %d cases\n" o.prop o.cases);
+        pp_failure buf "    " f)
+    report.fresh;
+  List.iter
+    (fun name -> Buffer.add_string buf (Printf.sprintf "skip %-36s (budget exhausted)\n" name))
+    report.skipped;
+  List.iter
+    (fun path -> Buffer.add_string buf (Printf.sprintf "counterexample saved to %s\n" path))
+    report.saved;
+  let n = failures report in
+  Buffer.add_string buf
+    (if n = 0 then "all properties passed\n" else Printf.sprintf "%d FAILURE%s\n" n (if n = 1 then "" else "S"));
+  Buffer.contents buf

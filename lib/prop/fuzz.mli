@@ -1,0 +1,42 @@
+(** Fuzzing front end: corpus replay, then fresh generation under an
+    optional wall-clock budget, persisting new counterexamples.
+
+    Without a budget the whole run is a pure function of (seed, filter,
+    corpus contents) — two invocations with the same arguments produce the
+    same report, at any [--jobs] count. The budget only gates which
+    properties still get a fresh run and is checked {e between} properties,
+    so partial runs are prefixes of full runs. *)
+
+type config = {
+  seed : int;  (** master seed; per-property chains derive from it *)
+  budget_ms : int option;  (** wall-clock budget for fresh generation *)
+  filter : string option;  (** regexp ({!Str} syntax) matched anywhere in
+                               the property name *)
+  corpus_dir : string;
+  jobs : int;  (** > 1 = run properties on a {!Runtime.Pool} *)
+}
+
+val default_config : config
+(** seed 2008, no budget, no filter, {!Corpus.default_dir}, 1 job. *)
+
+type report = {
+  replayed : Runner.replay_result list;
+  fresh : Runner.outcome list;
+  skipped : string list;  (** properties not run because the budget ran out *)
+  saved : string list;  (** corpus paths written for fresh failures *)
+}
+
+val select : ?filter:string -> Runner.t list -> Runner.t list
+(** Properties whose name matches the filter (all of them when [None]). *)
+
+val run : ?metrics:Runtime.Metrics.t -> ?props:Runner.t list -> config -> report
+(** Replay the corpus against the (filtered) properties, then run each
+    fresh; every fresh failure is saved back into the corpus. [props]
+    defaults to {!Props.all}. *)
+
+val failures : report -> int
+(** Failed replays (including unreadable corpus files) + failed fresh
+    runs. *)
+
+val render : report -> string
+(** Human-readable multi-line summary. *)

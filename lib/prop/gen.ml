@@ -1,0 +1,81 @@
+type 'a t = Util.Rng.t -> size:int -> 'a
+
+let run g rng ~size = g rng ~size
+
+let return x _ ~size:_ = x
+
+let map f g rng ~size = f (g rng ~size)
+
+let map2 f ga gb rng ~size =
+  let a = ga rng ~size in
+  let b = gb rng ~size in
+  f a b
+
+let bind g f rng ~size =
+  let x = g rng ~size in
+  f x rng ~size
+
+let ( let* ) g f = bind g f
+
+let sized f rng ~size = f size rng ~size
+
+let with_size n g rng ~size:_ = g rng ~size:n
+
+let bool rng ~size:_ = Util.Rng.bool rng
+
+let int_range lo hi rng ~size:_ =
+  if hi < lo then invalid_arg "Gen.int_range";
+  lo + Util.Rng.int rng (hi - lo + 1)
+
+let small_nat rng ~size = Util.Rng.int rng (size + 1)
+
+let float_range lo hi rng ~size:_ = lo +. Util.Rng.float rng (hi -. lo)
+
+let oneofl xs rng ~size:_ =
+  match xs with
+  | [] -> invalid_arg "Gen.oneofl"
+  | _ -> List.nth xs (Util.Rng.int rng (List.length xs))
+
+let oneof gens rng ~size =
+  match gens with
+  | [] -> invalid_arg "Gen.oneof"
+  | _ -> (List.nth gens (Util.Rng.int rng (List.length gens))) rng ~size
+
+let frequency weighted rng ~size =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Gen.frequency";
+  let k = Util.Rng.int rng total in
+  let rec pick k = function
+    | [] -> assert false
+    | (w, g) :: rest -> if k < w then g rng ~size else pick (k - w) rest
+  in
+  pick k weighted
+
+(* Generation order is part of the deterministic contract, so build
+   sequences with explicit left-to-right loops rather than [List.init]. *)
+let list_n n g rng ~size =
+  let rec go i acc = if i = 0 then List.rev acc else go (i - 1) (g rng ~size :: acc) in
+  go n []
+
+let array_n n g rng ~size =
+  if n = 0 then [||]
+  else begin
+    let first = g rng ~size in
+    let a = Array.make n first in
+    for i = 1 to n - 1 do
+      a.(i) <- g rng ~size
+    done;
+    a
+  end
+
+let list g rng ~size =
+  let n = Util.Rng.int rng (size + 1) in
+  list_n n g rng ~size
+
+let pair ga gb = map2 (fun a b -> (a, b)) ga gb
+
+let triple ga gb gc rng ~size =
+  let a = ga rng ~size in
+  let b = gb rng ~size in
+  let c = gc rng ~size in
+  (a, b, c)

@@ -1,0 +1,58 @@
+(** Size-driven deterministic generators.
+
+    A generator is a function of an explicit {!Util.Rng.t} (the splittable
+    SplitMix64 generator — no [Random] global state, so generation is
+    reproducible from one integer seed and safe on [Runtime.Pool] domains)
+    and a [size] parameter that the runner ramps from small to large over a
+    property's cases. Values drawn from the same seed and size are
+    identical across runs, machines and domain counts; combinators draw in
+    a fixed left-to-right order to keep that contract. *)
+
+type 'a t = Util.Rng.t -> size:int -> 'a
+
+val run : 'a t -> Util.Rng.t -> size:int -> 'a
+
+val return : 'a -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+
+val sized : (int -> 'a t) -> 'a t
+(** Access the current size. *)
+
+val with_size : int -> 'a t -> 'a t
+(** Override the size for a sub-generator. *)
+
+val bool : bool t
+
+val int_range : int -> int -> int t
+(** Inclusive bounds. *)
+
+val small_nat : int t
+(** Uniform in [\[0, size\]]. *)
+
+val float_range : float -> float -> float t
+
+val oneofl : 'a list -> 'a t
+(** Uniform element of a non-empty list. *)
+
+val oneof : 'a t list -> 'a t
+
+val frequency : (int * 'a t) list -> 'a t
+(** Weighted choice; weights must sum to a positive value. *)
+
+val list_n : int -> 'a t -> 'a list t
+
+val array_n : int -> 'a t -> 'a array t
+
+val list : 'a t -> 'a list t
+(** Length uniform in [\[0, size\]]. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t

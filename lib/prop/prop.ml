@@ -1,0 +1,18 @@
+(** Property-based testing for the CNFET stack: deterministic generators
+    with integrated shrinking, differential oracles, a persistent
+    counterexample corpus and a fuzzing front end. See DESIGN.md §7. *)
+
+module Sexp = Sexp
+module Gen = Gen
+module Shrink = Shrink
+module Arb = Arb
+module Gens = Gens
+module Corpus = Corpus
+module Runner = Runner
+module Props = Props
+module Fuzz = Fuzz
+
+let all_props = Props.all
+
+let regress ?metrics ?(dir = Corpus.default_dir) ?(props = Props.all) () =
+  Runner.regress ?metrics ~dir props

@@ -1,0 +1,302 @@
+(* The differential / invariant property battery.
+
+   Each property pairs a generator from [Gens] with a law checked against
+   an independent oracle: the byte-per-literal reference cube kernel, exact
+   Quine–McCluskey minimization, exhaustive truth tables, or a second
+   implementation of the same structure (functional vs switch-level).
+   Everything runs from explicit seeds — no global state anywhere. *)
+
+module Cube = Logic.Cube
+module N = Logic.Cube_naive
+module Cover = Logic.Cover
+
+let opt_equal eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | _ -> false
+
+(* --- cubes ------------------------------------------------------------- *)
+
+(* Every exported set operation of the packed kernel against the naive
+   byte-per-literal reference, on cube pairs straddling the 31-field word
+   boundary. *)
+let cube_ops_vs_naive =
+  Runner.make ~name:"cube/ops-vs-naive" ~count:250 (Gens.arb_cube_case ())
+    (fun (c : Gens.cube_case) ->
+      let a, b = Gens.cube_case_to_cubes c in
+      let na = N.of_cube a and nb = N.of_cube b in
+      let same_cube packed naive = N.equal (N.of_cube packed) naive in
+      Cube.num_inputs a = N.num_inputs na
+      && Cube.contains a b = N.contains na nb
+      && Cube.contains b a = N.contains nb na
+      && Cube.distance a b = N.distance na nb
+      && Cube.intersects a b = (N.distance na nb = 0)
+      && opt_equal same_cube (Cube.intersect a b) (N.intersect na nb)
+      && same_cube (Cube.supercube2 a b) (N.supercube2 na nb)
+      && opt_equal same_cube (Cube.cofactor a ~by:b) (N.cofactor na ~by:nb)
+      && Cube.literal_count a = N.literal_count na
+      && Cube.matches a c.cc_minterm = N.matches na c.cc_minterm
+      && Cube.to_string a = N.to_string na
+      && (let ok = ref true in
+          for i = 0 to c.cc_n_in - 1 do
+            if Cube.raw_get a i <> N.raw_get na i || Cube.get a i <> N.get na i then ok := false
+          done;
+          !ok))
+
+(* Algebraic laws of the packed kernel alone. *)
+let cube_algebra =
+  Runner.make ~name:"cube/algebra" ~count:250 (Gens.arb_cube_case ())
+    (fun (c : Gens.cube_case) ->
+      let a, b = Gens.cube_case_to_cubes c in
+      let univ = Cube.universe ~n_in:c.cc_n_in ~n_out:c.cc_n_out in
+      Cube.contains a a
+      && Cube.contains univ a
+      && Cube.intersects a b = (Cube.distance a b = 0)
+      && (match Cube.intersect a b with
+         | None -> not (Cube.intersects a b)
+         | Some i -> Cube.contains a i && Cube.contains b i)
+      && (let s = Cube.supercube2 a b in
+          Cube.contains s a && Cube.contains s b)
+      && (match Cube.cofactor a ~by:univ with
+         | Some r -> Cube.equal r a
+         | None ->
+           (* cofactor is None exactly when the cubes are disjoint, which
+              against the universe only happens for an empty output part *)
+           not (Cube.intersects a univ))
+      && Cube.matches_packed a (Cube.pack_minterm c.cc_minterm) = Cube.matches a c.cc_minterm)
+
+(* --- covers ------------------------------------------------------------ *)
+
+let scc_widths = Gens.small_widths @ [ 29; 31; 32; 33 ]
+
+let cover_scc =
+  Runner.make ~name:"cover/scc-preserves-function" ~count:120
+    (Gens.arb_cover_spec ~widths:scc_widths ())
+    (fun spec ->
+      let f = Gens.cover_of_spec spec in
+      let s = Cover.single_cube_containment f in
+      Cover.size s <= Cover.size f && Cover.equivalent s f)
+
+let cover_complement =
+  Runner.make ~name:"cover/complement-partition" ~count:80
+    (Gens.arb_cover_spec ~widths:Gens.small_widths ())
+    (fun spec ->
+      let f = Gens.cover_of_spec spec in
+      let c = Cover.complement f in
+      Cover.tautology (Cover.union f c)
+      && List.for_all
+           (fun m ->
+             let on = Cover.eval f m and off = Cover.eval c m in
+             let ok = ref true in
+             for o = 0 to spec.Gens.cv_n_out - 1 do
+               if Util.Bitvec.get on o = Util.Bitvec.get off o then ok := false
+             done;
+             !ok)
+           (Gens.all_minterms spec.Gens.cv_n_in))
+
+(* --- espresso ---------------------------------------------------------- *)
+
+let minimize_verifies =
+  Runner.make ~name:"espresso/minimize-verifies" ~count:60
+    (Gens.arb_cover_dc_spec ~widths:Gens.small_widths ())
+    (fun (s : Gens.cover_dc_spec) ->
+      let f = Gens.cover_of_spec s.fd_f and dc = Gens.cover_of_spec s.fd_dc in
+      let r = Espresso.Minimize.minimize ~dc f in
+      Espresso.Minimize.verify ~dc ~original:f r.Espresso.Minimize.cover
+      && r.Espresso.Minimize.final_cost <= r.Espresso.Minimize.initial_cost)
+
+let harder_never_worse =
+  Runner.make ~name:"espresso/harder-never-worse" ~count:40
+    (Gens.arb_cover_dc_spec ~widths:Gens.small_widths ())
+    (fun (s : Gens.cover_dc_spec) ->
+      let f = Gens.cover_of_spec s.fd_f and dc = Gens.cover_of_spec s.fd_dc in
+      let base = Espresso.Minimize.minimize ~dc f in
+      let harder = Espresso.Minimize.minimize_harder ~dc f in
+      Espresso.Minimize.verify ~dc ~original:f harder.Espresso.Minimize.cover
+      && harder.Espresso.Minimize.final_cost <= base.Espresso.Minimize.final_cost)
+
+let qm_optimality =
+  Runner.make ~name:"espresso/qm-optimality" ~count:50 ~max_size:20
+    (Gens.arb_cover_spec ~widths:[ 2; 3; 4; 5 ] ~max_out:1 ())
+    (fun spec ->
+      let f = Gens.cover_of_spec spec in
+      let exact = Espresso.Qm.minimize f in
+      let optimum = Espresso.Qm.minimum_size f in
+      let heuristic = (Espresso.Minimize.minimize f).Espresso.Minimize.cover in
+      Cover.equivalent exact f
+      && Cover.size exact = optimum
+      && Cover.size heuristic >= optimum
+      && Cover.equivalent heuristic f)
+
+(* --- PLA and cascades --------------------------------------------------- *)
+
+let pla_eval =
+  Runner.make ~name:"pla/eval-matches-cover" ~count:80
+    (Gens.arb_cover_spec ~widths:Gens.small_widths ())
+    (fun spec ->
+      let f = Gens.cover_of_spec spec in
+      Cnfet.Pla.verify_against (Cnfet.Pla.of_cover f) f)
+
+let cascade_network_eval =
+  Runner.make ~name:"cascade/network-eval" ~count:60 (Gens.arb_network ())
+    (fun net ->
+      let c = Cnfet.Cascade.of_network net in
+      Cnfet.Cascade.verify_against_network c net)
+
+let cascade_cover_embedding =
+  Runner.make ~name:"cascade/cover-embedding" ~count:60
+    (Gens.arb_cover_spec ~widths:Gens.small_widths ())
+    (fun spec ->
+      let f = Gens.cover_of_spec spec in
+      let net = Cnfet.Cascade.network_of_cover f in
+      List.for_all
+        (fun m ->
+          let got = Cnfet.Cascade.eval_network net m in
+          let want = Cover.eval f m in
+          let ok = ref true in
+          for o = 0 to spec.Gens.cv_n_out - 1 do
+            if got.(o) <> Util.Bitvec.get want o then ok := false
+          done;
+          !ok)
+        (Gens.all_minterms spec.Gens.cv_n_in))
+
+(* --- programming protocol ----------------------------------------------- *)
+
+let program_roundtrip =
+  Runner.make ~name:"program/charge-roundtrip" ~count:60 (Gens.arb_plane_spec ())
+    (fun spec ->
+      let plane = Gens.plane_of_spec spec in
+      let rows = Gens.plane_rows spec and cols = Gens.plane_cols spec in
+      let p = Cnfet.Program.create ~rows ~cols () in
+      Cnfet.Program.program_plane p plane;
+      Cnfet.Program.verify p plane && Cnfet.Program.steps p = rows * cols)
+
+(* Transient-solver writes: a handful of tiny arrays is all the runtime
+   budget allows, and all the coverage the protocol needs on top of the
+   charge-level property above. *)
+let program_hw_roundtrip =
+  Runner.make ~name:"program_hw/transistor-roundtrip" ~count:4 ~max_size:6
+    (Gens.arb_plane_spec ~max_rows:2 ~max_cols:3 ())
+    (fun spec ->
+      let plane = Gens.plane_of_spec spec in
+      let p = Cnfet.Program_hw.build ~rows:(Gens.plane_rows spec) ~cols:(Gens.plane_cols spec) () in
+      Cnfet.Program_hw.program_plane p plane;
+      Cnfet.Program_hw.verify p plane)
+
+(* --- fault tolerance ----------------------------------------------------- *)
+
+let atpg_widths = [ 2; 3; 4 ]
+
+let atpg_full_coverage =
+  Runner.make ~name:"atpg/full-coverage" ~count:40
+    (Gens.arb_cover_spec ~widths:atpg_widths ~max_out:2 ~max_cubes:4 ())
+    (fun spec ->
+      let pla = Cnfet.Pla.of_cover (Gens.cover_of_spec spec) in
+      let tests, _undetectable = Fault.Atpg.generate pla in
+      Fault.Atpg.coverage pla tests = 1.0)
+
+(* What the physically defective array computes once the repair assignment
+   is programmed: push every minterm through [Defect.eval_with_defects] on
+   both planes and demand the original function. *)
+let defective_eval pla ~and_defects ~or_defects inputs =
+  let products = Fault.Defect.eval_with_defects and_defects (Cnfet.Pla.and_plane pla) inputs in
+  let rows = Fault.Defect.eval_with_defects or_defects (Cnfet.Pla.or_plane pla) products in
+  Array.init (Cnfet.Pla.num_outputs pla) (fun o ->
+      if Cnfet.Pla.output_inverted pla o then not rows.(o) else rows.(o))
+
+let repair_revalidation =
+  Runner.make ~name:"repair/defect-map-revalidation" ~count:60 (Gens.arb_repair_case ())
+    (fun (rc : Gens.repair_case) ->
+      let f = Gens.cover_of_spec rc.rp_cover in
+      let pla = Cnfet.Pla.of_cover f in
+      let and_defects = Gens.defect_map_of_spec rc.rp_and in
+      let or_defects = Gens.defect_map_of_spec rc.rp_or in
+      match Fault.Repair.repair ~spare_rows:rc.rp_spares ~and_defects ~or_defects pla with
+      | Fault.Repair.Unrepairable ->
+        (* Matching is complete, so "unrepairable" must mean the identity
+           placement fails too. *)
+        not (Fault.Repair.identity_works ~and_defects ~or_defects pla)
+      | Fault.Repair.Repaired assignment ->
+        let rows = Cnfet.Pla.num_products pla + rc.rp_spares in
+        let repaired = Fault.Repair.apply pla assignment ~rows in
+        List.for_all
+          (fun m ->
+            let got = defective_eval repaired ~and_defects ~or_defects m in
+            let want = Cover.eval f m in
+            let ok = ref true in
+            for o = 0 to rc.rp_cover.Gens.cv_n_out - 1 do
+              if got.(o) <> Util.Bitvec.get want o then ok := false
+            done;
+            !ok)
+          (Gens.all_minterms rc.rp_cover.Gens.cv_n_in))
+
+(* --- crossbar ----------------------------------------------------------- *)
+
+let crossbar_resolve_vs_hw =
+  Runner.make ~name:"crossbar/resolve-vs-hw" ~count:8 ~max_size:8
+    (Gens.arb_crossbar_spec ~max_rows:3 ~max_cols:3 ())
+    (fun (spec : Gens.crossbar_spec) ->
+      let xb = Gens.crossbar_of_spec spec in
+      let hw = Cnfet.Crossbar.build_hw xb in
+      let row_vals, col_vals = Cnfet.Crossbar.simulate_hw hw ~driven:spec.xb_driven in
+      let driven = List.map (fun (r, b) -> (Cnfet.Crossbar.Row r, b)) spec.xb_driven in
+      let agrees wire observed =
+        match Cnfet.Crossbar.resolve xb ~driven wire with
+        | Cnfet.Crossbar.Driven b -> observed = Some b
+        | Cnfet.Crossbar.Floating -> observed = None
+        | Cnfet.Crossbar.Conflict ->
+          (* The switch-level sim clamps driven nets as inputs and has no X
+             state, so a conflicted component reads back whichever driver
+             wins; only the functional model can name the conflict. *)
+          true
+      in
+      let ok = ref true in
+      for r = 0 to spec.xb_rows - 1 do
+        if not (agrees (Cnfet.Crossbar.Row r) row_vals.(r)) then ok := false
+      done;
+      for c = 0 to spec.xb_cols - 1 do
+        if not (agrees (Cnfet.Crossbar.Col c) col_vals.(c)) then ok := false
+      done;
+      !ok)
+
+(* --- folding and FPGA --------------------------------------------------- *)
+
+let folding_witness =
+  Runner.make ~name:"folding/witness-valid" ~count:80 (Gens.arb_plane_spec ())
+    (fun spec ->
+      let plane = Gens.plane_of_spec spec in
+      let r = Cnfet.Folding.fold_plane plane in
+      Cnfet.Folding.validate plane r
+      && r.Cnfet.Folding.physical_columns
+         = Gens.plane_cols spec - List.length r.Cnfet.Folding.folds)
+
+let fpga_inverter_absorption =
+  Runner.make ~name:"fpga/inverter-absorption" ~count:50 (Gens.arb_design_case ())
+    (fun case ->
+      let d = Gens.design_of_case case in
+      let d' = Fpga.Design.absorb_inverters d in
+      Fpga.Design.validate d';
+      Fpga.Design.inverter_count d' = 0
+      && Fpga.Design.block_count d' = Fpga.Design.block_count d - Fpga.Design.inverter_count d)
+
+let all =
+  [
+    cube_ops_vs_naive;
+    cube_algebra;
+    cover_scc;
+    cover_complement;
+    minimize_verifies;
+    harder_never_worse;
+    qm_optimality;
+    pla_eval;
+    cascade_network_eval;
+    cascade_cover_embedding;
+    program_roundtrip;
+    program_hw_roundtrip;
+    atpg_full_coverage;
+    repair_revalidation;
+    crossbar_resolve_vs_hw;
+    folding_witness;
+    fpga_inverter_absorption;
+  ]

@@ -1,0 +1,18 @@
+(** The built-in property battery: differential checks of the packed cube
+    kernel against the byte-per-literal reference, espresso against exact
+    Quine–McCluskey, PLA/cascade structures against truth-table oracles,
+    programming-protocol round-trips, repair revalidation through defect
+    maps, crossbar resolve vs switch-level simulation, folding witnesses
+    and FPGA inverter absorption. *)
+
+val all : Runner.t list
+(** Every property, in display order. Names are stable (corpus files refer
+    to them): [cube/ops-vs-naive], [cube/algebra],
+    [cover/scc-preserves-function], [cover/complement-partition],
+    [espresso/minimize-verifies], [espresso/harder-never-worse],
+    [espresso/qm-optimality], [pla/eval-matches-cover],
+    [cascade/network-eval], [cascade/cover-embedding],
+    [program/charge-roundtrip], [program_hw/transistor-roundtrip],
+    [atpg/full-coverage], [repair/defect-map-revalidation],
+    [crossbar/resolve-vs-hw], [folding/witness-valid],
+    [fpga/inverter-absorption]. *)

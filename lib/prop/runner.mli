@@ -1,0 +1,80 @@
+(** Deterministic property runner with integrated shrinking.
+
+    Case seeds come from a per-property SplitMix chain keyed on the master
+    seed and the property's name (FNV-1a hash), so the sequence a property
+    sees is independent of registration order and of [--filter] selection.
+    A failing case is replayable from [(prop, case_seed, size)] alone — the
+    triple {!Corpus} stores. *)
+
+(** Details of one (shrunk) counterexample. *)
+type failure_info = {
+  case_seed : int;  (** seed that regenerates the original failing value *)
+  size : int;  (** size the value was generated at *)
+  case_index : int;  (** 0-based index within the property's run *)
+  shrink_steps : int;  (** accepted shrink steps *)
+  printed : string;  (** printed form of the shrunk counterexample *)
+  error : string option;  (** exception text if the law raised *)
+}
+
+type outcome = { prop : string; cases : int; failure : failure_info option }
+
+(** Typed result of {!run}: unlike {!outcome} it carries the actual shrunk
+    value, for tests that assert on counterexample structure. *)
+type 'a fail = {
+  f_value : 'a;  (** fully shrunk counterexample *)
+  f_original : 'a;  (** the value as first generated *)
+  f_case_seed : int;
+  f_size : int;
+  f_case_index : int;
+  f_shrink_steps : int;
+  f_error : string option;
+}
+
+type 'a status = Passed of int | Failed of 'a fail
+
+val run :
+  ?count:int ->
+  ?min_size:int ->
+  ?max_size:int ->
+  seed:int ->
+  name:string ->
+  'a Arb.t ->
+  ('a -> bool) ->
+  'a status
+(** Low-level check: generate [count] cases with sizes ramping linearly from
+    [min_size] to [max_size], stop and greedily shrink on the first failure.
+    A law that raises counts as a failure (the exception text is kept). *)
+
+val run_case : 'a Arb.t -> ('a -> bool) -> case_seed:int -> size:int -> case_index:int -> 'a fail option
+(** Run exactly one case from an explicit seed (corpus replay). *)
+
+(** {1 Registered properties} *)
+
+type t
+
+val make : name:string -> ?count:int -> ?min_size:int -> ?max_size:int -> 'a Arb.t -> ('a -> bool) -> t
+(** Package an arbitrary and a law under a stable name. [count] defaults to
+    40, sizes to 2–30. *)
+
+val name : t -> string
+
+val count : t -> int
+
+val check : ?metrics:Runtime.Metrics.t -> seed:int -> t -> outcome
+(** Fresh generation. Records [prop.cases_total], [prop.<name>.cases] and on
+    failure [prop.failures_total] / [prop.shrink_steps_total] /
+    [prop.<name>.shrink_steps] counters. *)
+
+val replay : ?metrics:Runtime.Metrics.t -> case_seed:int -> size:int -> t -> outcome
+(** Re-run a single recorded case (regenerates and re-shrinks). *)
+
+(** {1 Corpus regression} *)
+
+type replay_result =
+  | Replayed of { path : string; entry : Corpus.entry; outcome : outcome }
+  | Unreadable of { path : string; reason : string }
+      (** unparsable file, or entry naming no registered property *)
+
+val regress : ?metrics:Runtime.Metrics.t -> dir:string -> t list -> replay_result list
+(** Replay every corpus entry under [dir] (sorted filename order) against
+    the given properties. Missing directory = no results. *)

@@ -1,0 +1,133 @@
+type t = Atom of string | List of t list
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\\' || c = '\n' || c = '\t')
+       s
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let rec to_buffer b = function
+  | Atom s -> Buffer.add_string b (if needs_quoting s then quote s else s)
+  | List xs ->
+    Buffer.add_char b '(';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ' ';
+        to_buffer b x)
+      xs;
+    Buffer.add_char b ')'
+
+let to_string t =
+  let b = Buffer.create 64 in
+  to_buffer b t;
+  Buffer.contents b
+
+exception Parse_fail of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let quoted_atom () =
+    advance () (* opening quote *);
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_fail "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some c -> Buffer.add_char b c
+        | None -> raise (Parse_fail "dangling escape"));
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Atom (Buffer.contents b)
+  in
+  let bare_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\n' | '\t' | '\r' | '(' | ')' | '"') | None -> ()
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ();
+    if !pos = start then raise (Parse_fail "empty atom");
+    Atom (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_fail "unexpected end of input")
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec items_loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> advance ()
+        | None -> raise (Parse_fail "unterminated list")
+        | Some _ ->
+          items := value () :: !items;
+          items_loop ()
+      in
+      items_loop ();
+      List (List.rev !items)
+    | Some ')' -> raise (Parse_fail "unexpected ')'")
+    | Some '"' -> quoted_atom ()
+    | Some _ -> bare_atom ()
+  in
+  try
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then Error "trailing characters after s-expression" else Ok v
+  with Parse_fail msg -> Error msg
+
+(* Association-list helpers over the ((key value) ...) shape corpus entries use. *)
+
+let field t key =
+  match t with
+  | List items ->
+    List.find_map
+      (function List [ Atom k; v ] when k = key -> Some v | _ -> None)
+      items
+  | Atom _ -> None
+
+let field_string t key =
+  match field t key with Some (Atom s) -> Some s | _ -> None
+
+let field_int t key =
+  match field t key with Some (Atom s) -> int_of_string_opt s | _ -> None

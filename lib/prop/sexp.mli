@@ -1,0 +1,22 @@
+(** Minimal s-expressions for corpus persistence.
+
+    Just enough of the classic syntax to round-trip counterexample records:
+    bare and double-quoted atoms (with backslash escapes for newline, tab,
+    quote and backslash) and
+    parenthesized lists. No external dependency, so {!Corpus} files stay
+    readable by any sexp tool and writable by hand. *)
+
+type t = Atom of string | List of t list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses exactly one s-expression; trailing non-whitespace is an error. *)
+
+val field : t -> string -> t option
+(** [field t key] looks up [value] in a [((key value) ...)] association
+    shape; [None] when absent or [t] is not a list. *)
+
+val field_string : t -> string -> string option
+
+val field_int : t -> string -> int option

@@ -1,0 +1,82 @@
+type 'a t = 'a -> 'a Seq.t
+
+let nil _ = Seq.empty
+
+let append (sa : 'a t) (sb : 'a t) : 'a t = fun v -> Seq.append (sa v) (sb v)
+
+let int_toward dest n =
+  if n = dest then Seq.empty
+  else
+    (* dest first (the most aggressive shrink), then successive halvings of
+       the remaining distance: dest + d/2, dest + 3d/4, ..., n - 1. *)
+    let rec halvings diff () =
+      (* diff = remaining distance from dest to the candidate *)
+      if diff = 0 || abs diff >= abs (n - dest) then Seq.Nil
+      else Seq.Cons (dest + diff, halvings (diff * 2))
+    in
+    let first_step = if n > dest then 1 else -1 in
+    Seq.cons dest (halvings first_step)
+
+let int n = int_toward 0 n
+
+(* Candidate lists with chunks removed, coarsest first: the empty list,
+   each half, then each single-element removal. *)
+let list_spine l =
+  let n = List.length l in
+  if n = 0 then Seq.empty
+  else begin
+    let without i = List.filteri (fun j _ -> j <> i) l in
+    let singles () = Seq.init n without in
+    if n = 1 then singles ()
+    else begin
+      let half = n / 2 in
+      let first_half = List.filteri (fun j _ -> j < half) l in
+      let second_half = List.filteri (fun j _ -> j >= half) l in
+      Seq.append (List.to_seq [ []; second_half; first_half ]) (singles ())
+    end
+  end
+
+let list_elems shrink_elt l =
+  (* Pointwise: for each position, each shrink of that element. *)
+  let rec go i = function
+    | [] -> Seq.empty
+    | x :: rest ->
+      let here =
+        Seq.map
+          (fun x' -> List.mapi (fun j y -> if j = i then x' else y) l)
+          (shrink_elt x)
+      in
+      fun () -> Seq.append here (go (i + 1) rest) ()
+  in
+  go 0 l
+
+let list ?elt l =
+  match elt with
+  | None -> list_spine l
+  | Some shrink_elt -> Seq.append (list_spine l) (list_elems shrink_elt l)
+
+let array_elems shrink_elt a =
+  let n = Array.length a in
+  Seq.concat
+    (Seq.init n (fun i ->
+         Seq.map
+           (fun x' ->
+             let a' = Array.copy a in
+             a'.(i) <- x';
+             a')
+           (shrink_elt a.(i))))
+
+let array ?elt a =
+  let spine = Seq.map Array.of_list (list_spine (Array.to_list a)) in
+  match elt with
+  | None -> spine
+  | Some shrink_elt -> Seq.append spine (array_elems shrink_elt a)
+
+let array_fixed shrink_elt a = array_elems shrink_elt a
+
+let pair sa sb (a, b) =
+  Seq.append (Seq.map (fun a' -> (a', b)) (sa a)) (Seq.map (fun b' -> (a, b')) (sb b))
+
+let option s = function
+  | None -> Seq.empty
+  | Some x -> Seq.cons None (Seq.map (fun x' -> Some x') (s x))

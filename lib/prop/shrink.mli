@@ -1,0 +1,34 @@
+(** Shrinkers: lazy sequences of simpler candidate values.
+
+    A shrinker maps a failing value to candidates ordered from most to
+    least aggressive; the runner greedily descends through the first
+    candidate that still fails, so earlier (coarser) candidates make
+    shrinking fast and later (finer) ones make it thorough. Shrinking is
+    deterministic: no randomness is drawn while minimizing, which keeps
+    corpus replay exact. *)
+
+type 'a t = 'a -> 'a Seq.t
+
+val nil : 'a t
+
+val append : 'a t -> 'a t -> 'a t
+
+val int : int t
+(** Toward 0: first 0 itself, then halvings of the distance. *)
+
+val int_toward : int -> int -> int Seq.t
+(** [int_toward dest n] shrinks [n] toward [dest]. *)
+
+val list : ?elt:'a t -> 'a list t
+(** Structure first (empty list, halves, single removals), then — when
+    [elt] is given — each element shrunk in place. *)
+
+val array : ?elt:'a t -> 'a array t
+
+val array_fixed : 'a t -> 'a array t
+(** Element-wise only: the array length never changes (for fixed-arity
+    values such as cube literal vectors). *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val option : 'a t -> 'a option t

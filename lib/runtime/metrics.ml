@@ -51,6 +51,8 @@ let counter t name = intern t.counters t.lock name (fun () -> Atomic.make 0)
 
 let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
 
+let incr_named ?by t name = incr ?by (counter t name)
+
 let count c = Atomic.get c
 
 let gauge t name = intern t.gauges t.lock name (fun () -> { value = Set 0.0 })

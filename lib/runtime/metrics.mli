@@ -22,6 +22,10 @@ val counter : t -> string -> counter
 
 val incr : ?by:int -> counter -> unit
 
+val incr_named : ?by:int -> t -> string -> unit
+(** [incr_named t name] bumps the counter [name], creating it on first
+    use — convenience for call sites that don't keep the handle. *)
+
 val count : counter -> int
 
 (** {2 Gauges} *)

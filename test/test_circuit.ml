@@ -414,6 +414,57 @@ let test_vcd_file () =
   Sys.remove path;
   checkb "non-empty file" true (len > 100)
 
+(* The paper's Fig. 2 sequence as a golden waveform: a two-input GNOR
+   (modes Pass/Invert) pre-charged with clk low for 60 ps, then evaluated
+   with clk high to 200 ps. A = 1 through Pass discharges the output. The
+   rendered VCD must match test/golden/gnor_fig2.vcd byte for byte — the
+   transient solver is deterministic, so any drift is a semantics change.
+   Set DUMP_VCD=1 to print the freshly rendered dump for updating the
+   golden file after an intentional change. *)
+let gnor_fig2_vcd () =
+  let nl = N.create () in
+  let clk = N.add_net nl "clk" in
+  let a = N.add_net nl "a" and b = N.add_net nl "b" in
+  let gate = Cnfet.Gnor.build nl ~name:"g" ~clock:clk ~inputs:[| a; b |] in
+  Cnfet.Gnor.configure nl gate [| Cnfet.Gnor.Pass; Cnfet.Gnor.Invert |];
+  let y = Cnfet.Gnor.output gate in
+  let tr = Circuit.Transient.create nl in
+  List.iter (fun n -> Circuit.Transient.record tr n) [ clk; a; b; y ];
+  Circuit.Transient.drive tr a vdd;
+  Circuit.Transient.drive tr b vdd;
+  Circuit.Transient.drive tr clk 0.0;
+  Circuit.Transient.run tr ~until:60e-12;
+  Circuit.Transient.drive tr clk vdd;
+  Circuit.Transient.run tr ~until:200e-12;
+  let vcd = Circuit.Vcd.to_string tr ~nets:[ (clk, "clk"); (a, "a"); (b, "b"); (y, "out") ] in
+  (vcd, Circuit.Transient.voltage tr y)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+let test_vcd_gnor_golden () =
+  let vcd, final_y = gnor_fig2_vcd () in
+  (* Functional cross-check first: Pass(A=1) must discharge the output,
+     matching the zero-delay model. *)
+  checkb "functional model agrees" false
+    (Cnfet.Gnor.eval_functional [| Cnfet.Gnor.Pass; Cnfet.Gnor.Invert |] [| true; true |]);
+  checkb "output discharged" true (final_y < 0.1 *. vdd);
+  if Sys.getenv_opt "DUMP_VCD" <> None then print_string vcd;
+  (* cwd is test/ under [dune runtest], the project root under [dune exec]. *)
+  let golden_path =
+    if Sys.file_exists "golden/gnor_fig2.vcd" then "golden/gnor_fig2.vcd"
+    else "test/golden/gnor_fig2.vcd"
+  in
+  let golden = read_file golden_path in
+  if vcd <> golden then
+    Alcotest.failf
+      "VCD drifted from golden/gnor_fig2.vcd (%d vs %d bytes). If the change is intentional, \
+       regenerate with: DUMP_VCD=1 dune exec test/test_circuit.exe -- test vcd"
+      (String.length vcd) (String.length golden)
+
 let () =
   Alcotest.run "circuit"
     [
@@ -461,6 +512,7 @@ let () =
           Alcotest.test_case "resolution limits samples" `Quick
             test_vcd_resolution_limits_samples;
           Alcotest.test_case "file output" `Quick test_vcd_file;
+          Alcotest.test_case "gnor fig2 golden dump" `Quick test_vcd_gnor_golden;
         ] );
       ( "elmore",
         [

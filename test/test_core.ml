@@ -663,6 +663,40 @@ let test_folding_validate_rejects_bogus () =
   let bogus = { r with Cnfet.Folding.row_order = Array.of_list (List.rev (Array.to_list r.Cnfet.Folding.row_order)) } in
   checkb "reversed order rejected" false (Cnfet.Folding.validate plane bogus)
 
+let test_folding_column_users () =
+  let plane = Plane.create ~rows:3 ~cols:3 in
+  (* col 0 used by rows 0 and 2 (Pass/Invert both count), col 1 by row 1,
+     col 2 by nobody. *)
+  Plane.set_mode plane ~row:0 ~col:0 G.Pass;
+  Plane.set_mode plane ~row:2 ~col:0 G.Invert;
+  Plane.set_mode plane ~row:1 ~col:1 G.Pass;
+  Alcotest.(check (list int)) "col 0 users" [ 0; 2 ] (Cnfet.Folding.column_users plane 0);
+  Alcotest.(check (list int)) "col 1 users" [ 1 ] (Cnfet.Folding.column_users plane 1);
+  Alcotest.(check (list int)) "col 2 users" [] (Cnfet.Folding.column_users plane 2)
+
+let test_folding_row_order_is_permutation () =
+  let rng = Util.Rng.create 77 in
+  for _ = 1 to 10 do
+    let f =
+      Cover.random rng ~n_in:(3 + Util.Rng.int rng 4) ~n_out:1 ~n_cubes:(2 + Util.Rng.int rng 6)
+        ~dc_bias:0.6
+    in
+    let plane = Pla.and_plane (Pla.of_cover f) in
+    let r = Cnfet.Folding.fold_plane plane in
+    let order = r.Cnfet.Folding.row_order in
+    checki "permutation length" (Plane.rows plane) (Array.length order);
+    let seen = Array.make (Plane.rows plane) false in
+    Array.iter (fun row -> seen.(row) <- true) order;
+    checkb "every row appears exactly once" true (Array.for_all Fun.id seen);
+    (* Folded columns are genuinely disjoint in the plane. *)
+    List.iter
+      (fun { Cnfet.Folding.top; bottom } ->
+        let users c = Cnfet.Folding.column_users plane c in
+        checkb "fold pairs disjoint columns" true
+          (List.for_all (fun r0 -> not (List.mem r0 (users bottom))) (users top)))
+      r.Cnfet.Folding.folds
+  done
+
 let test_folding_area_never_grows () =
   List.iter
     (fun (_, f) ->
@@ -1058,6 +1092,9 @@ let () =
           Alcotest.test_case "validates row separation" `Quick
             test_folding_validates_row_separation;
           Alcotest.test_case "rejects bogus order" `Quick test_folding_validate_rejects_bogus;
+          Alcotest.test_case "column users" `Quick test_folding_column_users;
+          Alcotest.test_case "row order is a permutation" `Quick
+            test_folding_row_order_is_permutation;
           Alcotest.test_case "area never grows" `Quick test_folding_area_never_grows;
         ] );
       ( "pla-timing",

@@ -367,6 +367,28 @@ let test_atpg_empty_tests_zero_coverage () =
   Alcotest.check (Alcotest.float 1e-9) "no vectors, no coverage" 0.0
     (Fault.Atpg.coverage pla [])
 
+let test_atpg_input_limit () =
+  checki "documented limit" 14 Fault.Atpg.input_limit;
+  let pla_with n_in =
+    let rng = Util.Rng.create 9 in
+    Cnfet.Pla.of_cover (Cover.random rng ~n_in ~n_out:1 ~n_cubes:3 ~dc_bias:0.8)
+  in
+  (* At the limit both entry points still enumerate. *)
+  let at_limit = pla_with Fault.Atpg.input_limit in
+  checkb "coverage works at the limit" true (Fault.Atpg.coverage at_limit [] = 0.0);
+  (* One past the limit, both raise the typed exception with the offending
+     size in the payload. *)
+  let over = pla_with (Fault.Atpg.input_limit + 1) in
+  let expect_raise f =
+    match f () with
+    | _ -> Alcotest.fail "expected Too_many_inputs"
+    | exception Fault.Atpg.Too_many_inputs { inputs; limit } ->
+      checki "payload inputs" (Fault.Atpg.input_limit + 1) inputs;
+      checki "payload limit" Fault.Atpg.input_limit limit
+  in
+  expect_raise (fun () -> Fault.Atpg.generate over);
+  expect_raise (fun () -> Fault.Atpg.coverage over [])
+
 (* --- Yield ------------------------------------------------------------------------ *)
 
 let test_yield_zero_rate () =
@@ -463,6 +485,7 @@ let () =
           Alcotest.test_case "fault list" `Quick test_atpg_fault_list;
           Alcotest.test_case "detection semantics" `Quick test_atpg_detection_semantics;
           Alcotest.test_case "complete and compact" `Quick test_atpg_complete_and_compact;
+          Alcotest.test_case "typed input-limit exception" `Quick test_atpg_input_limit;
           Alcotest.test_case "empty tests zero coverage" `Quick
             test_atpg_empty_tests_zero_coverage;
         ] );

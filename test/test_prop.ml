@@ -1,0 +1,217 @@
+(* The property-testing engine tested on itself: determinism, shrinking,
+   corpus replay ordering, and a deliberately planted cube-kernel bug that
+   the differential battery must catch and shrink to a tiny witness. *)
+
+module Cube = Logic.Cube
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Scratch directories under the test's working directory (the dune
+   sandbox), wiped at first use so reruns start clean. *)
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir = Filename.concat "_prop_scratch" (Printf.sprintf "corpus%d" !n) in
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    dir
+
+(* --- sexp + corpus ------------------------------------------------------ *)
+
+let test_sexp_roundtrip () =
+  let open Prop.Sexp in
+  let s = List [ Atom "prop"; Atom "with space"; List [ Atom "q\"uote"; Atom "42" ] ] in
+  (match of_string (to_string s) with
+  | Ok s' -> checkb "sexp round-trip" true (s = s')
+  | Error e -> Alcotest.failf "reparse failed: %s" e);
+  (match of_string "(a b) trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match of_string "((k v))" with
+  | Ok s -> check Alcotest.(option string) "field" (Some "v") (field_string s "k")
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_corpus_roundtrip () =
+  let dir = fresh_dir () in
+  let e = { Prop.Corpus.prop = "cube/ops-vs-naive"; seed = 123456789; size = 22 } in
+  let path = Prop.Corpus.save ~dir e in
+  match Prop.Corpus.load ~dir with
+  | [ (p, Ok e') ] ->
+    check Alcotest.string "path" path p;
+    checkb "entry round-trip" true (e = e')
+  | other -> Alcotest.failf "expected one parsed entry, got %d" (List.length other)
+
+(* --- generator / runner determinism ------------------------------------- *)
+
+let test_gen_deterministic () =
+  let gen = Prop.Gens.cover_spec () in
+  let v1 = Prop.Gen.run gen (Util.Rng.create 42) ~size:20 in
+  let v2 = Prop.Gen.run gen (Util.Rng.create 42) ~size:20 in
+  checkb "same seed, same value" true (v1 = v2);
+  let v3 = Prop.Gen.run gen (Util.Rng.create 43) ~size:20 in
+  checkb "different seed, different value" true (v1 <> v3)
+
+let test_shrink_int_toward () =
+  let first s = match s () with Seq.Cons (x, _) -> Some x | Seq.Nil -> None in
+  check Alcotest.(option int) "dest comes first" (Some 0) (first (Prop.Shrink.int_toward 0 16));
+  let all = List.of_seq (Prop.Shrink.int_toward 0 16) in
+  checkb "strictly smaller candidates" true (List.for_all (fun x -> x >= 0 && x < 16) all)
+
+let some_prop = List.nth Prop.Props.all 0
+
+let test_runner_deterministic () =
+  let o1 = Prop.Runner.check ~seed:2008 some_prop in
+  let o2 = Prop.Runner.check ~seed:2008 some_prop in
+  checkb "identical outcome records" true (o1 = o2)
+
+(* --- the planted cube-kernel bug ---------------------------------------- *)
+
+(* A test-only copy of cube containment with the classic packed-kernel
+   mistake: only the first word (literal positions 0–30) is inspected, so
+   any conflict at position >= 31 goes unseen. The differential property
+   against the real kernel must catch it at n_in = 35. *)
+let buggy_contains a b =
+  let ok = ref true in
+  for i = 0 to min 31 (Cube.num_inputs a) - 1 do
+    let ai = Cube.raw_get a i and bi = Cube.raw_get b i in
+    if bi land ai <> bi then ok := false
+  done;
+  let oa = Cube.outputs a and ob = Cube.outputs b in
+  for o = 0 to Cube.num_outputs b - 1 do
+    if Util.Bitvec.get ob o && not (Util.Bitvec.get oa o) then ok := false
+  done;
+  !ok
+
+let spec_literals (s : Prop.Gens.cube_spec) =
+  Array.fold_left (fun n l -> if l <> 3 then n + 1 else n) 0 s.Prop.Gens.lits
+
+let planted_arb = Prop.Gens.arb_cube_case ~widths:[ 35 ] ()
+
+let planted_law (c : Prop.Gens.cube_case) =
+  let a, b = Prop.Gens.cube_case_to_cubes c in
+  buggy_contains a b = Cube.contains a b
+
+let test_planted_bug_caught () =
+  match
+    Prop.Runner.run ~count:2000 ~seed:2008 ~name:"planted/single-word-containment" planted_arb
+      planted_law
+  with
+  | Prop.Runner.Passed n -> Alcotest.failf "planted bug not caught in %d cases" n
+  | Prop.Runner.Failed f ->
+    let shrunk : Prop.Gens.cube_case = f.Prop.Runner.f_value in
+    checkb "shrunk case still fails" false (planted_law shrunk);
+    (* The witness is one cube pair with at most 8 literals between the two
+       cubes — for this bug the greedy shrinker should reach a single
+       blocking literal past position 30. *)
+    let lits = spec_literals shrunk.Prop.Gens.cc_a + spec_literals shrunk.Prop.Gens.cc_b in
+    if lits > 8 then Alcotest.failf "shrunk witness has %d literals (want <= 8)" lits;
+    checkb "shrinking made progress" true (f.Prop.Runner.f_shrink_steps > 0);
+    (* Replaying the recorded (seed, size) finds and re-shrinks the same
+       counterexample. *)
+    (match
+       Prop.Runner.run_case planted_arb planted_law ~case_seed:f.Prop.Runner.f_case_seed
+         ~size:f.Prop.Runner.f_size ~case_index:0
+     with
+    | Some f' ->
+      checkb "replay reaches the same shrunk witness" true
+        (f'.Prop.Runner.f_value = shrunk)
+    | None -> Alcotest.fail "replay did not reproduce the failure")
+
+(* --- fuzz orchestration -------------------------------------------------- *)
+
+let planted_prop =
+  Prop.Runner.make ~name:"planted/single-word-containment" ~count:2000 planted_arb planted_law
+
+let test_fuzz_reproducible () =
+  let config dir = { Prop.Fuzz.default_config with corpus_dir = dir } in
+  let r1 = Prop.Fuzz.run ~props:Prop.Props.all (config (fresh_dir ())) in
+  let r2 = Prop.Fuzz.run ~props:Prop.Props.all (config (fresh_dir ())) in
+  checkb "two identical invocations, identical reports" true
+    (Prop.Fuzz.render r1 = Prop.Fuzz.render r2);
+  checki "no failures in the battery" 0 (Prop.Fuzz.failures r1);
+  checkb "at least 10 properties ran" true (List.length r1.Prop.Fuzz.fresh >= 10)
+
+let test_filter_stability () =
+  (* A property's outcome must not depend on which other properties run. *)
+  let dir1 = fresh_dir () and dir2 = fresh_dir () in
+  let full =
+    Prop.Fuzz.run ~props:Prop.Props.all { Prop.Fuzz.default_config with corpus_dir = dir1 }
+  in
+  let filtered =
+    Prop.Fuzz.run ~props:Prop.Props.all
+      { Prop.Fuzz.default_config with corpus_dir = dir2; filter = Some "cube/ops" }
+  in
+  let find report =
+    List.find (fun (o : Prop.Runner.outcome) -> o.prop = "cube/ops-vs-naive")
+      report.Prop.Fuzz.fresh
+  in
+  checkb "filtered run sees the same cases" true (find full = find filtered)
+
+let test_jobs_deterministic () =
+  let run jobs =
+    Prop.Fuzz.run ~props:Prop.Props.all
+      { Prop.Fuzz.default_config with corpus_dir = fresh_dir (); jobs }
+  in
+  let seq = run 1 and par = run 2 in
+  checkb "parallel run matches sequential" true (seq.Prop.Fuzz.fresh = par.Prop.Fuzz.fresh)
+
+let test_corpus_replay_first () =
+  let dir = fresh_dir () in
+  (* First run: the planted property fails and its counterexample is
+     persisted. *)
+  let props = [ planted_prop; some_prop ] in
+  let cfg = { Prop.Fuzz.default_config with corpus_dir = dir } in
+  let r1 = Prop.Fuzz.run ~props cfg in
+  checki "one counterexample saved" 1 (List.length r1.Prop.Fuzz.saved);
+  checkb "nothing replayed on a fresh corpus" true (r1.Prop.Fuzz.replayed = []);
+  (* Second run: the corpus entry is replayed (and still fails) before any
+     fresh generation. *)
+  let r2 = Prop.Fuzz.run ~props cfg in
+  (match r2.Prop.Fuzz.replayed with
+  | [ Prop.Runner.Replayed { path; entry; outcome } ] ->
+    checkb "replayed the saved file" true (List.mem path r1.Prop.Fuzz.saved);
+    check Alcotest.string "replayed the planted property" "planted/single-word-containment"
+      entry.Prop.Corpus.prop;
+    checkb "replay still fails" true (outcome.Prop.Runner.failure <> None)
+  | other -> Alcotest.failf "expected exactly one replayed entry, got %d" (List.length other));
+  (* An entry naming an unregistered property is reported, not dropped. *)
+  let r3 = Prop.Fuzz.run ~props:[ some_prop ] cfg in
+  match r3.Prop.Fuzz.replayed with
+  | [ Prop.Runner.Unreadable _ ] -> ()
+  | _ -> Alcotest.fail "stale corpus entry should be reported as unreadable"
+
+let test_metrics_recorded () =
+  let metrics = Runtime.Metrics.create () in
+  ignore (Prop.Runner.check ~metrics ~seed:2008 some_prop);
+  let count name =
+    match List.assoc_opt name (Runtime.Metrics.counters metrics) with Some n -> n | None -> 0
+  in
+  checkb "cases counted" true (count "prop.cases_total" > 0);
+  checki "per-property counter matches" (count "prop.cases_total")
+    (count "prop.cube/ops-vs-naive.cases")
+
+let () =
+  Alcotest.run "prop"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "sexp round-trip" `Quick test_sexp_roundtrip;
+          Alcotest.test_case "corpus round-trip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "generators are seed-deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "shrink targets the destination first" `Quick test_shrink_int_toward;
+          Alcotest.test_case "runner outcome is reproducible" `Quick test_runner_deterministic;
+        ] );
+      ( "planted-bug",
+        [ Alcotest.test_case "single-word containment bug caught and shrunk" `Quick test_planted_bug_caught ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "fixed seed reproduces the whole run" `Quick test_fuzz_reproducible;
+          Alcotest.test_case "outcome independent of --filter" `Quick test_filter_stability;
+          Alcotest.test_case "outcome independent of --jobs" `Quick test_jobs_deterministic;
+          Alcotest.test_case "corpus replays before fresh generation" `Quick test_corpus_replay_first;
+          Alcotest.test_case "metrics counters recorded" `Quick test_metrics_recorded;
+        ] );
+    ]
