@@ -13,7 +13,9 @@
              ablation_sharing parallel espresso micro
 
    The --quick flag shortens the espresso section's measurement windows
-   (the CI smoke mode: dune exec bench/main.exe -- --quick espresso). *)
+   (the CI smoke mode: dune exec bench/main.exe -- --quick espresso).
+   --trace FILE records tracing spans across the selected sections and
+   writes them as Chrome trace-event JSON (chrome://tracing, Perfetto). *)
 
 let section name description =
   Printf.printf "\n================================================================\n";
@@ -1154,10 +1156,33 @@ let sections =
     ("micro", run_micro);
   ]
 
+(* Pull "--trace FILE" out of the argument list, returning the file (if
+   any) and the remaining arguments. *)
+let rec extract_trace = function
+  | [] -> (None, [])
+  | "--trace" :: path :: rest ->
+    let _, others = extract_trace rest in
+    (Some path, others)
+  | [ "--trace" ] ->
+    prerr_endline "--trace needs a FILE argument";
+    exit 2
+  | a :: rest ->
+    let trace, others = extract_trace rest in
+    (trace, a :: others)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let trace, args = extract_trace args in
   let names = List.filter (fun a -> a <> "--quick") args in
   quick_mode := List.mem "--quick" args;
+  let collector =
+    match trace with
+    | None -> None
+    | Some path ->
+      let t = Obs.Trace.create () in
+      Obs.Trace.install t;
+      Some (t, path)
+  in
   let requested =
     match names with
     | _ :: _ -> names
@@ -1166,10 +1191,23 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some run -> run ()
+      | Some run -> Obs.Span.with_ ~args:[ ("section", name) ] "bench.section" run
       | None ->
         Printf.eprintf "unknown section %S; available: %s\n" name
           (String.concat " " (List.map fst sections));
         exit 2)
     requested;
+  (match collector with
+  | None -> ()
+  | Some (t, path) ->
+    Obs.Trace.uninstall ();
+    let events = Obs.Trace.events t in
+    let oc = open_out path in
+    output_string oc (Obs.Export.to_chrome_json events);
+    close_out oc;
+    Printf.printf "\ntrace: %d events (%d dropped); subsystems: %s -> %s\n"
+      (List.length events) (Obs.Trace.dropped t)
+      (String.concat ", " (Obs.Export.subsystems events))
+      path;
+    print_string (Obs.Export.text_profile events));
   print_newline ()

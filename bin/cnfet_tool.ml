@@ -27,6 +27,42 @@ let pla_file =
 
 let exits = Cmd.Exit.defaults
 
+(* --- shared --trace support -------------------------------------------------- *)
+
+let trace_arg =
+  let doc =
+    "Record tracing spans during the run and write them as Chrome trace-event \
+     JSON to $(docv) (loadable in chrome://tracing or ui.perfetto.dev). A \
+     hierarchical self/total text profile is printed afterwards, and every \
+     span feeds a $(b,span.)* histogram in the metrics registry."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Install a process-wide collector around [f], then flush it: Chrome JSON
+   to [path], text profile + span summary to stdout. The collector is
+   uninstalled (and the file written) whether [f] returns or raises. *)
+let with_tracing trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let t = Obs.Trace.create () in
+    Obs.Trace.set_observer t (fun ~name ~dur_s ->
+        Runtime.Metrics.span_observer Runtime.Metrics.global ~name ~dur_s);
+    Obs.Trace.install t;
+    let flush () =
+      Obs.Trace.uninstall ();
+      let events = Obs.Trace.events t in
+      let oc = open_out path in
+      output_string oc (Obs.Export.to_chrome_json events);
+      close_out oc;
+      Printf.printf "trace: %d events on %d track(s), %d dropped; subsystems: %s\n"
+        (List.length events) (Obs.Trace.tracks t) (Obs.Trace.dropped t)
+        (String.concat ", " (Obs.Export.subsystems events));
+      Printf.printf "trace written to %s\n" path;
+      print_string (Obs.Export.text_profile events)
+    in
+    Fun.protect ~finally:flush f
+
 (* --- minimize ---------------------------------------------------------------- *)
 
 let minimize_cmd =
@@ -288,12 +324,13 @@ let yield_cmd =
 (* --- bench-parallel ------------------------------------------------------ *)
 
 let bench_parallel_cmd =
-  let run jobs trials seed show_metrics out =
+  let run jobs trials seed show_metrics out trace =
     if trials < 1 then begin
       prerr_endline "cnfet_tool: --trials must be at least 1";
       2
     end
     else begin
+      with_tracing trace @@ fun () ->
       let jobs = match jobs with Some n -> max 1 n | None -> Runtime.Pool.default_jobs () in
       let metrics = Runtime.Metrics.global in
       let cache = Runtime.Cache.create () in
@@ -351,12 +388,13 @@ let bench_parallel_cmd =
   let doc = "Benchmark the parallel batch-evaluation engine against the sequential path" in
   Cmd.v
     (Cmd.info "bench-parallel" ~doc ~exits)
-    Term.(const run $ jobs $ trials $ seed $ show_metrics $ out)
+    Term.(const run $ jobs $ trials $ seed $ show_metrics $ out $ trace_arg)
 
 (* --- bench-espresso ------------------------------------------------------ *)
 
 let bench_espresso_cmd =
-  let run quick seed show_metrics out =
+  let run quick seed show_metrics out trace =
+    with_tracing trace @@ fun () ->
     let metrics = Runtime.Metrics.global in
     Printf.printf "espresso + cover-kernel benchmark%s (seed %d)\n%!"
       (if quick then " (quick)" else "")
@@ -365,6 +403,9 @@ let bench_espresso_cmd =
     List.iter (fun r -> Format.printf "%a@." Runtime.Bench_espresso.pp_report r) reports;
     Printf.printf "packed-vs-naive op speedup (geomean): %.2fx\n"
       (Runtime.Bench_espresso.geomean_speedup reports);
+    let hw_ok = Runtime.Bench_espresso.hw_crosscheck () in
+    Printf.printf "switch-level cross-check (cmp2): %s\n"
+      (if hw_ok then "ok" else "MISMATCH");
     let write_failed =
       try
         Runtime.Bench_espresso.write_json ~quick ~seed ~path:out reports;
@@ -379,6 +420,10 @@ let bench_espresso_cmd =
       print_string (Runtime.Metrics.dump metrics)
     end;
     if write_failed then 1
+    else if not hw_ok then begin
+      prerr_endline "ERROR: switch-level simulation diverged from the compiled evaluator";
+      1
+    end
     else if List.for_all (fun r -> r.Runtime.Bench_espresso.identical) reports then 0
     else begin
       prerr_endline "ERROR: packed cover ops diverged from the naive reference";
@@ -404,12 +449,12 @@ let bench_espresso_cmd =
   let doc = "Benchmark the word-parallel cover kernel and espresso minimization" in
   Cmd.v
     (Cmd.info "bench-espresso" ~doc ~exits)
-    Term.(const run $ quick $ seed $ show_metrics $ out)
+    Term.(const run $ quick $ seed $ show_metrics $ out $ trace_arg)
 
 (* --- fuzz ---------------------------------------------------------------- *)
 
 let fuzz_cmd =
-  let run seed budget filter corpus jobs list_only show_metrics =
+  let run seed budget filter corpus jobs list_only show_metrics trace =
     if list_only then begin
       List.iter
         (fun p -> Printf.printf "%-36s %d cases\n" (Prop.Runner.name p) (Prop.Runner.count p))
@@ -417,6 +462,7 @@ let fuzz_cmd =
       0
     end
     else begin
+      with_tracing trace @@ fun () ->
       let metrics = Runtime.Metrics.global in
       let config =
         { Prop.Fuzz.seed; budget_ms = budget; filter; corpus_dir = corpus; jobs }
@@ -467,7 +513,7 @@ let fuzz_cmd =
   let doc = "Property-based fuzzing with shrinking and a persistent counterexample corpus" in
   Cmd.v
     (Cmd.info "fuzz" ~doc ~exits)
-    Term.(const run $ seed $ budget $ filter $ corpus $ jobs $ list_only $ show_metrics)
+    Term.(const run $ seed $ budget $ filter $ corpus $ jobs $ list_only $ show_metrics $ trace_arg)
 
 let () =
   let doc = "programmable logic built from ambipolar carbon-nanotube FETs" in

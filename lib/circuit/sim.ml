@@ -99,6 +99,7 @@ let nonconvergence_message t ~limit ~oscillating =
     (if more > 0 then Printf.sprintf " (+%d more)" more else "")
 
 let phase t =
+  Obs.Span.with_ "sim.phase" @@ fun () ->
   sync t;
   (* Decay previous phase's driven values to charge. *)
   t.values <- Array.map Value.weaken t.values;
@@ -172,7 +173,9 @@ let phase t =
             end
           end)
       devs
-  done
+  done;
+  if Obs.Span.enabled () then
+    Obs.Span.instant ~args:[ ("sweeps", string_of_int !sweeps) ] "sim.settle"
 
 let run_phases t k =
   for _ = 1 to k do

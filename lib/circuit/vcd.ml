@@ -9,13 +9,24 @@ let identifier k =
   go k;
   Buffer.contents buf
 
+(* VCD reference names are whitespace-delimited tokens inside a
+   [$var ... $end] construct, so embedded whitespace splits the
+   declaration and a '$' can start a reserved keyword mid-token; both
+   corrupt the file for downstream readers. Map every such byte (plus
+   non-printables) to '_'. *)
+let sanitize_name name =
+  if name = "" then "_"
+  else
+    String.map (fun c -> if c <= ' ' || c = '$' || c > '~' then '_' else c) name
+
 let to_string ?(timescale_ps = 1) ?(resolution = 1e-3) tr ~nets =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "$comment ambipolar-cnfet transient dump $end\n";
   Printf.bprintf buf "$timescale %d ps $end\n" timescale_ps;
   Buffer.add_string buf "$scope module cnfet $end\n";
   List.iteri
-    (fun k (_, name) -> Printf.bprintf buf "$var real 64 %s %s $end\n" (identifier k) name)
+    (fun k (_, name) ->
+      Printf.bprintf buf "$var real 64 %s %s $end\n" (identifier k) (sanitize_name name))
     nets;
   Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
   (* Merge all waveforms into a time-ordered change list. *)

@@ -5,9 +5,15 @@
     are emitted only when a net moves by more than [resolution] volts, so
     dumps stay small. *)
 
+val sanitize_name : string -> string
+(** Display names are emitted as single VCD tokens: whitespace, ['$'] and
+    non-printable bytes would corrupt the [$var] declaration, so each maps
+    to ['_'] (empty names become ["_"]). *)
+
 val to_string : ?timescale_ps:int -> ?resolution:float -> Transient.t -> nets:(Netlist.net * string) list -> string
 (** [to_string tr ~nets] renders the recorded waveforms of the given nets
-    (with display names). Nets without recordings contribute no changes.
-    Default timescale 1 ps, resolution 1 mV. *)
+    (with display names, passed through {!sanitize_name}). Nets without
+    recordings contribute no changes. Default timescale 1 ps, resolution
+    1 mV. *)
 
 val write_file : string -> ?timescale_ps:int -> ?resolution:float -> Transient.t -> nets:(Netlist.net * string) list -> unit

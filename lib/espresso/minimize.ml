@@ -86,6 +86,7 @@ let expand_cube c ~offset =
   raise_outputs c 0
 
 let expand f ~offset =
+  Obs.Span.with_ "espresso.expand" @@ fun () ->
   (* Expand biggest cubes first so that small cubes are more likely to be
      swallowed by already-expanded primes. *)
   let cs =
@@ -102,6 +103,7 @@ let expand f ~offset =
     (Cover.make ~n_in:(Cover.num_inputs f) ~n_out:(Cover.num_outputs f) (List.rev primes))
 
 let irredundant ?dc f =
+  Obs.Span.with_ "espresso.irredundant" @@ fun () ->
   let dc = match dc with Some d -> d | None -> default_dc f in
   let rec go kept = function
     | [] -> List.rev kept
@@ -193,6 +195,7 @@ let irredundant_minimal ?dc f =
   end
 
 let essentials ?dc f =
+  Obs.Span.with_ "espresso.essentials" @@ fun () ->
   let dc = match dc with Some d -> d | None -> default_dc f in
   let all = Cover.cubes f in
   let ess, rest =
@@ -236,6 +239,7 @@ let smallest_cube_containing_complement q ~n_in ~n_out ~outs =
   !acc
 
 let reduce ?dc f =
+  Obs.Span.with_ "espresso.reduce" @@ fun () ->
   let dc = match dc with Some d -> d | None -> default_dc f in
   let n_in = Cover.num_inputs f and n_out = Cover.num_outputs f in
   (* Visit largest cubes first (espresso's heuristic ordering). *)
@@ -261,6 +265,7 @@ let reduce ?dc f =
   Cover.make ~n_in ~n_out (go [] cs)
 
 let minimize ?dc f =
+  Obs.Span.with_ "espresso.minimize" @@ fun () ->
   Atomic.incr total_calls;
   let dc = match dc with Some d -> d | None -> default_dc f in
   let initial_cost = cost f in
@@ -284,7 +289,10 @@ let minimize ?dc f =
     let rest_min, iterations =
       if Cover.is_empty rest then (rest, 0) else loop rest (cost rest) 0
     in
-    let final = Cover.single_cube_containment (Cover.union ess rest_min) in
+    let final =
+      Obs.Span.with_ "espresso.containment" (fun () ->
+          Cover.single_cube_containment (Cover.union ess rest_min))
+    in
     ignore (Atomic.fetch_and_add total_iterations iterations);
     { cover = final; iterations; initial_cost; final_cost = cost final }
   end

@@ -1,0 +1,17 @@
+(** Injectable time sources for tracing.
+
+    A clock returns nanoseconds as [int64]. Spans record one reading at
+    entry and one at exit; the only contract is that readings taken by
+    one domain never decrease. *)
+
+type t = unit -> int64
+
+val monotonic : t
+(** Wall-clock derived, clamped through a process-wide high-water mark so
+    it never goes backwards. Shared by all callers. *)
+
+val fixed_step : ?start_ns:int64 -> ?step_ns:int64 -> unit -> t
+(** Deterministic test double: successive calls return [start_ns],
+    [start_ns + step_ns], ... (defaults 0 and 1000). Each call to
+    [fixed_step] makes an independent sequence; traces taken against it
+    are byte-for-byte reproducible. *)

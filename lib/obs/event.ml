@@ -1,0 +1,80 @@
+(* The trace event model.
+
+   Every span produces a Begin/End pair on the track (domain-local ring
+   buffer) it executed on; instants are single marker events. [seq] is
+   the per-track emission index, so sorting by (track, seq) recovers the
+   exact order each domain emitted events in — timestamps alone cannot,
+   because a fixed-step test clock can hand equal or interleaved readings
+   to different tracks. *)
+
+type phase = Begin | End | Instant
+
+type t = {
+  name : string;
+  phase : phase;
+  ts_ns : int64;
+  track : int;  (* collector-local domain index, 0 = first domain seen *)
+  depth : int;  (* span-stack depth at emission *)
+  seq : int;  (* per-track emission index *)
+  args : (string * string) list;
+}
+
+let by_track_seq a b =
+  match compare a.track b.track with 0 -> compare a.seq b.seq | c -> c
+
+let phase_code = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+(* --- well-formedness ---------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* Per track, in seq order: every Begin is answered by an End naming the
+   same span, strictly stack-ordered; depths equal the stack height at
+   emission; timestamps never decrease. *)
+let check events =
+  let events = List.sort by_track_seq events in
+  let module M = Map.Make (Int) in
+  try
+    let tracks =
+      List.fold_left
+        (fun acc e ->
+          let stack, last_ts =
+            match M.find_opt e.track acc with
+            | Some s -> s
+            | None -> ([], Int64.min_int)
+          in
+          if Int64.compare e.ts_ns last_ts < 0 then
+            bad "track %d: timestamp went backwards at %S (%Ld after %Ld)" e.track e.name
+              e.ts_ns last_ts;
+          let stack =
+            match e.phase with
+            | Instant -> stack
+            | Begin ->
+              if e.depth <> List.length stack then
+                bad "track %d: begin %S at depth %d, stack height %d" e.track e.name e.depth
+                  (List.length stack);
+              e.name :: stack
+            | End -> (
+              match stack with
+              | [] -> bad "track %d: end %S with no open span" e.track e.name
+              | top :: rest ->
+                if top <> e.name then
+                  bad "track %d: end %S does not match open span %S" e.track e.name top;
+                if e.depth <> List.length rest then
+                  bad "track %d: end %S at depth %d, expected %d" e.track e.name e.depth
+                    (List.length rest);
+                rest)
+          in
+          M.add e.track (stack, e.ts_ns) acc)
+        M.empty events
+    in
+    M.iter
+      (fun track (stack, _) ->
+        match stack with
+        | [] -> ()
+        | name :: _ -> bad "track %d: span %S never ended" track name)
+      tracks;
+    Ok ()
+  with Bad msg -> Error msg

@@ -1,0 +1,27 @@
+(** Trace events: Begin/End span markers and instant markers, each tagged
+    with a monotone timestamp, the track (domain) that emitted it, the
+    span-stack depth, and a per-track sequence number. *)
+
+type phase = Begin | End | Instant
+
+type t = {
+  name : string;
+  phase : phase;
+  ts_ns : int64;
+  track : int;  (** collector-local domain index, 0 = first domain seen *)
+  depth : int;  (** span-stack depth at emission *)
+  seq : int;  (** per-track emission index *)
+  args : (string * string) list;
+}
+
+val by_track_seq : t -> t -> int
+(** Order by (track, seq): the canonical, deterministic export order. *)
+
+val phase_code : phase -> string
+(** Chrome trace-event phase letter: ["B"], ["E"], ["i"]. *)
+
+val check : t list -> (unit, string) result
+(** Well-formedness: per track (in [seq] order) every Begin has a
+    matching End, strictly stack-ordered; recorded depths equal the stack
+    height; timestamps never decrease; no span left open. The input list
+    may be in any order. *)

@@ -1,0 +1,352 @@
+(* Trace renderers.
+
+   [to_chrome_json] emits the Chrome trace-event format (the JSON object
+   form with a "traceEvents" array), loadable by chrome://tracing and
+   Perfetto. One event per line, events sorted by (track, seq), and
+   timestamps printed as microseconds with fixed three-digit nanosecond
+   fractions — so output under an injected deterministic clock is
+   byte-for-byte reproducible.
+
+   [text_profile] folds the same events into a hierarchical self/total
+   profile: spans are merged by call path (name stack), children are
+   printed under their parents sorted by total time, and self time is
+   total minus the children's totals.
+
+   [validate_chrome_json] re-parses exported JSON with a minimal built-in
+   JSON reader and checks the trace schema: a traceEvents array whose
+   entries carry name/ph/ts/pid/tid, phases limited to B/E/i, per-tid
+   Begin/End balance, and per-tid monotone timestamps. *)
+
+(* --- chrome trace-event JSON -------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let args_json args =
+  match args with
+  | [] -> ""
+  | _ ->
+    Printf.sprintf ",\"args\":{%s}"
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) args))
+
+let event_json (e : Event.t) =
+  Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%Ld.%03Ld,\"pid\":0,\"tid\":%d%s%s}"
+    (escape e.Event.name) (Event.phase_code e.Event.phase)
+    (Int64.div e.Event.ts_ns 1000L) (Int64.rem e.Event.ts_ns 1000L) e.Event.track
+    (match e.Event.phase with Event.Instant -> ",\"s\":\"t\"" | Event.Begin | Event.End -> "")
+    (args_json e.Event.args)
+
+let to_chrome_json events =
+  let events = List.sort Event.by_track_seq events in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (event_json e))
+    events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* --- hierarchical text profile ------------------------------------------ *)
+
+type node = {
+  mutable total_ns : int64;
+  mutable count : int;
+  children : (string, node) Hashtbl.t;
+}
+
+let new_node () = { total_ns = 0L; count = 0; children = Hashtbl.create 4 }
+
+let child_of node name =
+  match Hashtbl.find_opt node.children name with
+  | Some c -> c
+  | None ->
+    let c = new_node () in
+    Hashtbl.replace node.children name c;
+    c
+
+(* Merge spans into a call tree keyed by name path. Unmatched events
+   (possible after ring-buffer drops) are skipped rather than rejected:
+   the profile is a lossy summary, [Event.check] is the strict view. *)
+let profile_tree events =
+  let root = new_node () in
+  let module M = Map.Make (Int) in
+  let stacks = ref M.empty in
+  List.iter
+    (fun (e : Event.t) ->
+      let stack = match M.find_opt e.Event.track !stacks with Some s -> s | None -> [] in
+      match e.Event.phase with
+      | Event.Instant -> ()
+      | Event.Begin ->
+        let parent = match stack with [] -> root | (_, _, node) :: _ -> node in
+        let node = child_of parent e.Event.name in
+        stacks := M.add e.Event.track ((e.Event.name, e.Event.ts_ns, node) :: stack) !stacks
+      | Event.End -> (
+        match stack with
+        | (name, ts0, node) :: rest when name = e.Event.name ->
+          node.count <- node.count + 1;
+          node.total_ns <- Int64.add node.total_ns (Int64.sub e.Event.ts_ns ts0);
+          stacks := M.add e.Event.track rest !stacks
+        | _ -> ()))
+    (List.sort Event.by_track_seq events);
+  root
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let text_profile events =
+  let root = profile_tree events in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-44s %8s %12s %12s\n" "span" "count" "total(ms)" "self(ms)");
+  let rec render indent node =
+    let kids =
+      List.sort
+        (fun (_, a) (_, b) -> compare b.total_ns a.total_ns)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) node.children [])
+    in
+    List.iter
+      (fun (name, child) ->
+        let child_total =
+          Hashtbl.fold (fun _ c acc -> Int64.add acc c.total_ns) child.children 0L
+        in
+        let label = String.make (2 * indent) ' ' ^ name in
+        Buffer.add_string buf
+          (Printf.sprintf "%-44s %8d %12.3f %12.3f\n" label child.count (ms child.total_ns)
+             (ms (Int64.sub child.total_ns child_total)));
+        render (indent + 1) child)
+      kids
+  in
+  render 0 root;
+  Buffer.contents buf
+
+(* --- schema validation --------------------------------------------------- *)
+
+(* A deliberately small JSON reader: enough to re-parse what this module
+   (or any spec-conforming writer) emits. Numbers become floats; no
+   unicode decoding beyond pass-through of escaped code points. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse of string
+
+  let fail fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt
+
+  let parse (s : string) =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | Some c' -> fail "expected %c at offset %d, found %c" c !pos c'
+      | None -> fail "expected %c at offset %d, found end of input" c !pos
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let string_body () =
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some 'r' -> Buffer.add_char buf '\r'
+          | Some 'b' -> Buffer.add_char buf '\b'
+          | Some 'f' -> Buffer.add_char buf '\012'
+          | Some 'u' ->
+            if !pos + 4 >= n then fail "truncated \\u escape";
+            (* keep escaped code points as-is; the schema check only
+               compares ASCII field names *)
+            Buffer.add_string buf (String.sub s (!pos + 1) 4);
+            pos := !pos + 4
+          | Some c -> Buffer.add_char buf c
+          | None -> fail "unterminated escape");
+          advance ();
+          go ()
+        | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected a number at offset %d" start;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "malformed number at offset %d" start
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            expect '"';
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or } at offset %d" !pos
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] at offset %d" !pos
+          in
+          elements []
+        end
+      | Some '"' ->
+        advance ();
+        Str (string_body ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage at offset %d" !pos;
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+let validate_chrome_json text =
+  let module M = Map.Make (Int) in
+  try
+    let json = Json.parse text in
+    let events =
+      match Json.member "traceEvents" json with
+      | Some (Json.Arr es) -> es
+      | Some _ -> Json.fail "traceEvents is not an array"
+      | None -> Json.fail "missing traceEvents"
+    in
+    let stacks = ref M.empty in
+    List.iteri
+      (fun i e ->
+        let str k =
+          match Json.member k e with
+          | Some (Json.Str s) -> s
+          | _ -> Json.fail "event %d: missing string field %S" i k
+        in
+        let num k =
+          match Json.member k e with
+          | Some (Json.Num f) -> f
+          | _ -> Json.fail "event %d: missing numeric field %S" i k
+        in
+        let name = str "name" in
+        let ph = str "ph" in
+        let ts = num "ts" in
+        let _pid = num "pid" in
+        let tid = int_of_float (num "tid") in
+        let stack, last_ts =
+          match M.find_opt tid !stacks with Some s -> s | None -> ([], neg_infinity)
+        in
+        if ts < last_ts then
+          Json.fail "event %d: tid %d timestamp went backwards (%g after %g)" i tid ts last_ts;
+        let stack =
+          match ph with
+          | "i" -> stack
+          | "B" -> name :: stack
+          | "E" -> (
+            match stack with
+            | top :: rest when top = name -> rest
+            | top :: _ -> Json.fail "event %d: end %S does not match open span %S" i name top
+            | [] -> Json.fail "event %d: end %S with no open span" i name)
+          | _ -> Json.fail "event %d: unknown phase %S" i ph
+        in
+        stacks := M.add tid (stack, ts) !stacks)
+      events;
+    M.iter
+      (fun tid (stack, _) ->
+        match stack with
+        | [] -> ()
+        | name :: _ -> Json.fail "tid %d: span %S never ended" tid name)
+      !stacks;
+    Ok (List.length events)
+  with Json.Parse msg -> Error msg
+
+(* --- span-name subsystems ------------------------------------------------ *)
+
+let subsystems events =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (e : Event.t) ->
+         match (e.Event.phase, String.index_opt e.Event.name '.') with
+         | Event.Begin, Some i -> Some (String.sub e.Event.name 0 i)
+         | _ -> None)
+       events)

@@ -1,0 +1,11 @@
+(* Instrumentation entry points: record into the installed process-wide
+   collector, or cost one atomic load + branch when tracing is off. Hot
+   call sites should guard argument construction with [enabled]. *)
+
+let enabled () = Trace.active () <> None
+
+let with_ ?args name f =
+  match Trace.active () with None -> f () | Some t -> Trace.span t ?args name f
+
+let instant ?args name =
+  match Trace.active () with None -> () | Some t -> Trace.instant t ?args name

@@ -1,0 +1,13 @@
+(** Instrumentation entry points against the installed process-wide
+    collector ({!Trace.install}). With no collector installed every call
+    is a single atomic load and branch. *)
+
+val enabled : unit -> bool
+(** True when a collector is installed. Guard argument construction at
+    hot call sites: [if Span.enabled () then Span.instant ~args ...]. *)
+
+val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a span; the thunk's result (or
+    exception) passes through unchanged. *)
+
+val instant : ?args:(string * string) list -> string -> unit

@@ -1,0 +1,133 @@
+(* Structured-tracing collector.
+
+   A collector owns one ring buffer per domain that records into it.
+   Buffers are reached through domain-local storage, so the hot path
+   (span begin/end) takes no lock and shares no cache line with other
+   domains; the collector's mutex is only touched the first time a domain
+   records into this collector (to register the new buffer) and at flush
+   time. When a ring fills, the oldest events are overwritten and
+   counted in [dropped] — tracing never blocks or grows without bound.
+
+   A process-wide [current] collector can be installed; [Span.with_]
+   checks it with one atomic load, so an uninstalled tracer costs a
+   single branch per span site. *)
+
+type buffer = {
+  track : int;
+  ring : Event.t array;
+  mutable start : int;  (* index of the oldest retained event *)
+  mutable len : int;
+  mutable seq : int;  (* emission index, keeps counting past drops *)
+  mutable depth : int;
+  mutable dropped : int;
+}
+
+type t = {
+  clock : Clock.t;
+  capacity : int;
+  lock : Mutex.t;
+  mutable buffers : buffer list;  (* newest-registered first *)
+  dls : buffer option ref Domain.DLS.key;
+  mutable observer : (name:string -> dur_s:float -> unit) option;
+}
+
+let dummy =
+  { Event.name = ""; phase = Event.Instant; ts_ns = 0L; track = 0; depth = 0; seq = 0; args = [] }
+
+let create ?(clock = Clock.monotonic) ?(capacity = 65536) () =
+  {
+    clock;
+    capacity = max 16 capacity;
+    lock = Mutex.create ();
+    buffers = [];
+    dls = Domain.DLS.new_key (fun () -> ref None);
+    observer = None;
+  }
+
+let set_observer t f = t.observer <- Some f
+
+let buffer_of t =
+  let cell = Domain.DLS.get t.dls in
+  match !cell with
+  | Some b -> b
+  | None ->
+    Mutex.lock t.lock;
+    let b =
+      {
+        track = List.length t.buffers;
+        ring = Array.make t.capacity dummy;
+        start = 0;
+        len = 0;
+        seq = 0;
+        depth = 0;
+        dropped = 0;
+      }
+    in
+    t.buffers <- b :: t.buffers;
+    Mutex.unlock t.lock;
+    cell := Some b;
+    b
+
+let push b e =
+  let cap = Array.length b.ring in
+  if b.len = cap then begin
+    b.ring.(b.start) <- e;
+    b.start <- (b.start + 1) mod cap;
+    b.dropped <- b.dropped + 1
+  end
+  else begin
+    b.ring.((b.start + b.len) mod cap) <- e;
+    b.len <- b.len + 1
+  end;
+  b.seq <- b.seq + 1
+
+let emit t b phase name args =
+  let ts = t.clock () in
+  push b { Event.name; phase; ts_ns = ts; track = b.track; depth = b.depth; seq = b.seq; args };
+  ts
+
+let span t ?(args = []) name f =
+  let b = buffer_of t in
+  let ts0 = emit t b Event.Begin name args in
+  b.depth <- b.depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      b.depth <- b.depth - 1;
+      let ts1 = emit t b Event.End name [] in
+      match t.observer with
+      | Some obs -> obs ~name ~dur_s:(Int64.to_float (Int64.sub ts1 ts0) *. 1e-9)
+      | None -> ())
+    f
+
+let instant t ?(args = []) name =
+  let b = buffer_of t in
+  ignore (emit t b Event.Instant name args)
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let bufs = t.buffers in
+  Mutex.unlock t.lock;
+  bufs
+
+let events t =
+  let all =
+    List.concat_map
+      (fun b ->
+        List.init b.len (fun i -> b.ring.((b.start + i) mod Array.length b.ring)))
+      (snapshot t)
+  in
+  List.sort Event.by_track_seq all
+
+let dropped t = List.fold_left (fun n b -> n + b.dropped) 0 (snapshot t)
+
+let tracks t = List.length (snapshot t)
+
+(* --- the process-wide collector ----------------------------------------- *)
+
+let current : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set current (Some t)
+
+let uninstall () = Atomic.set current None
+
+let active () = Atomic.get current

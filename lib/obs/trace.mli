@@ -1,0 +1,48 @@
+(** Structured-tracing collector: per-domain ring buffers of
+    {!Event.t}s fed by {!span}/{!instant}, flushed with {!events}.
+
+    The hot path is lock-free: each domain records into its own ring,
+    reached through domain-local storage; the collector mutex is taken
+    only when a domain first touches the collector and at flush time.
+    Full rings overwrite their oldest events ({!dropped} counts them).
+
+    {!events} reads the rings without stopping writers; call it after the
+    traced work has completed (quiescence is the caller's job). *)
+
+type t
+
+val create : ?clock:Clock.t -> ?capacity:int -> unit -> t
+(** [capacity] is per-domain ring size in events (default 65536,
+    minimum 16). [clock] defaults to {!Clock.monotonic}. *)
+
+val set_observer : t -> (name:string -> dur_s:float -> unit) -> unit
+(** Called at every span end with the span's name and duration — the
+    metrics bridge ([Runtime.Metrics.span_observer]) hangs here. *)
+
+val span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a Begin/End pair on the calling domain's track.
+    The End event is recorded (and the observer fired) whether the thunk
+    returns or raises. [args] land on the Begin event. *)
+
+val instant : t -> ?args:(string * string) list -> string -> unit
+(** Record a single marker event at the current stack depth. *)
+
+val events : t -> Event.t list
+(** Every retained event, sorted by (track, seq). *)
+
+val dropped : t -> int
+(** Events overwritten because a ring was full. *)
+
+val tracks : t -> int
+(** Number of domains that have recorded into this collector. *)
+
+(** {2 The process-wide collector}
+
+    [Span.with_]/[Span.instant] record into the installed collector, or
+    do nothing (one atomic load) when none is installed. *)
+
+val install : t -> unit
+
+val uninstall : unit -> unit
+
+val active : unit -> t option

@@ -280,6 +280,87 @@ let fpga_inverter_absorption =
       Fpga.Design.inverter_count d' = 0
       && Fpga.Design.block_count d' = Fpga.Design.block_count d - Fpga.Design.inverter_count d)
 
+(* --- tracing ------------------------------------------------------------ *)
+
+(* Random span programs — nested spans, instants, and spans whose body
+   raises — executed against a private collector with a deterministic
+   clock. Whatever the control flow, the recorded event list must pass
+   [Event.check] and the Chrome-JSON export must re-validate with the
+   same event count. Raising bodies exercise the [Fun.protect] end-event
+   path; the name pool includes JSON-hostile characters to exercise
+   escaping. *)
+type span_op =
+  | Mark of string
+  | Span of { sp_name : string; sp_raises : bool; sp_body : span_op list }
+
+let trace_names = [ "alpha"; "beta.gamma"; "qu\"ote"; "back\\slash"; "tab\there" ]
+
+let gen_span_op =
+  let open Gen in
+  let name = oneofl trace_names in
+  let rec op depth =
+    if depth = 0 then map (fun n -> Mark n) name
+    else
+      frequency
+        [
+          (1, map (fun n -> Mark n) name);
+          ( 2,
+            let* sp_name = name in
+            let* sp_raises = bool in
+            let* sp_body = with_size 3 (list (op (depth - 1))) in
+            return (Span { sp_name; sp_raises; sp_body }) );
+        ]
+  in
+  list (op 3)
+
+let rec shrink_span_op op =
+  match op with
+  | Mark _ -> Seq.empty
+  | Span ({ sp_raises; sp_body; _ } as sp) ->
+    List.to_seq sp_body
+    |> Seq.append
+         (if sp_raises then Seq.return (Span { sp with sp_raises = false })
+          else Seq.empty)
+    |> Seq.append
+         (Seq.map
+            (fun body -> Span { sp with sp_body = body })
+            (Shrink.list ~elt:shrink_span_op sp_body))
+
+let rec print_span_op op =
+  match op with
+  | Mark n -> Printf.sprintf "Mark %S" n
+  | Span { sp_name; sp_raises; sp_body } ->
+    Printf.sprintf "Span(%S,%b,[%s])" sp_name sp_raises
+      (String.concat "; " (List.map print_span_op sp_body))
+
+exception Trace_prop_abort
+
+let rec exec_span_op t op =
+  match op with
+  | Mark n -> Obs.Trace.instant t ~args:[ ("k", "v") ] n
+  | Span { sp_name; sp_raises; sp_body } -> (
+    try
+      Obs.Trace.span t sp_name (fun () ->
+          List.iter (exec_span_op t) sp_body;
+          if sp_raises then raise Trace_prop_abort)
+    with Trace_prop_abort -> ())
+
+let trace_wellformed =
+  Runner.make ~name:"trace/wellformed" ~count:120
+    (Arb.make
+       ~shrink:(Shrink.list ~elt:shrink_span_op)
+       ~print:(fun ops -> "[" ^ String.concat "; " (List.map print_span_op ops) ^ "]")
+       gen_span_op)
+    (fun ops ->
+      let t = Obs.Trace.create ~clock:(Obs.Clock.fixed_step ()) () in
+      List.iter (exec_span_op t) ops;
+      let events = Obs.Trace.events t in
+      (match Obs.Event.check events with Ok () -> true | Error _ -> false)
+      &&
+      match Obs.Export.validate_chrome_json (Obs.Export.to_chrome_json events) with
+      | Ok n -> n = List.length events
+      | Error _ -> false)
+
 let all =
   [
     cube_ops_vs_naive;
@@ -299,4 +380,5 @@ let all =
     crossbar_resolve_vs_hw;
     folding_witness;
     fpga_inverter_absorption;
+    trace_wellformed;
   ]

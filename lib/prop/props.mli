@@ -2,8 +2,9 @@
     kernel against the byte-per-literal reference, espresso against exact
     Quine–McCluskey, PLA/cascade structures against truth-table oracles,
     programming-protocol round-trips, repair revalidation through defect
-    maps, crossbar resolve vs switch-level simulation, folding witnesses
-    and FPGA inverter absorption. *)
+    maps, crossbar resolve vs switch-level simulation, folding witnesses,
+    FPGA inverter absorption, and trace well-formedness over random span
+    programs. *)
 
 val all : Runner.t list
 (** Every property, in display order. Names are stable (corpus files refer
@@ -15,4 +16,4 @@ val all : Runner.t list
     [program/charge-roundtrip], [program_hw/transistor-roundtrip],
     [atpg/full-coverage], [repair/defect-map-revalidation],
     [crossbar/resolve-vs-hw], [folding/witness-valid],
-    [fpga/inverter-absorption]. *)
+    [fpga/inverter-absorption], [trace/wellformed]. *)

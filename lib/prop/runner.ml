@@ -69,6 +69,7 @@ let check_law law v =
 let shrink_eval_budget = 4000
 
 let minimize arb law v0 err0 =
+  Obs.Span.with_ "prop.shrink" @@ fun () ->
   let budget = ref shrink_eval_budget in
   let steps = ref 0 in
   let err = ref err0 in
@@ -164,6 +165,7 @@ let failure_of_fail arb (f : _ fail) =
 
 let make ~name:prop_name ?(count = 40) ?(min_size = 2) ?(max_size = 30) arb law =
   let check_fn ~metrics ~seed =
+    Obs.Span.with_ ~args:[ ("property", prop_name) ] "prop.generate" @@ fun () ->
     match run ~count ~min_size ~max_size ~seed ~name:prop_name arb law with
     | Passed n ->
       record_cases metrics prop_name n;

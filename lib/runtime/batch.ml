@@ -34,6 +34,10 @@ let map ?chunk ?metrics pool f items =
       match chunk with Some c -> max 1 c | None -> default_chunk ~jobs:(Pool.jobs pool) n
     in
     let n_chunks = (n + chunk - 1) / chunk in
+    Obs.Span.with_
+      ~args:[ ("items", string_of_int n); ("chunks", string_of_int n_chunks) ]
+      "batch.map"
+    @@ fun () ->
     (match metrics with
     | Some m ->
       Metrics.incr (Metrics.counter m "batch.jobs");
@@ -47,6 +51,7 @@ let map ?chunk ?metrics pool f items =
           let lo = c * chunk in
           let hi = min n (lo + chunk) in
           fun () ->
+            Obs.Span.with_ "batch.chunk" @@ fun () ->
             (* Record the chunk's first failing index but keep the chunk
                task itself from raising, so every chunk completes and the
                smallest failing index across the whole batch can win. *)

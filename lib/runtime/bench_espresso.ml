@@ -84,6 +84,7 @@ let naive_pass cubes =
   !acc
 
 let bench_function ~quick ~rng name on_set =
+  Obs.Span.with_ ~args:[ ("function", name) ] "bench.function" @@ fun () ->
   let min_s = if quick then 0.02 else 0.2 in
   let n_in = Cover.num_inputs on_set and n_out = Cover.num_outputs on_set in
   let result, minimize_s =
@@ -150,6 +151,29 @@ let run ?metrics ?(quick = false) ?(seed = 2008) () =
            Mcnc.Generators.all)
   in
   profile_reports @ generator_reports
+
+(* Switch-level cross-check: minimize a small comparator, program it onto
+   a PLA, and simulate the ambipolar-CNFET netlist against the symbolic
+   evaluator over every minterm. Cheap enough for CI smoke runs, and it
+   exercises the circuit simulator (so a traced bench run records spans
+   from the espresso, runtime and circuit subsystems even in quick
+   mode). *)
+let hw_crosscheck () =
+  Obs.Span.with_ "bench.hw-crosscheck" @@ fun () ->
+  let on_set = Mcnc.Generators.comparator ~bits:2 in
+  let result = Espresso.Minimize.minimize on_set in
+  let compiled =
+    Cache.compile (Cache.create ~capacity:4 ()) result.Espresso.Minimize.cover
+  in
+  let pla = Cache.pla compiled in
+  let hw = Cnfet.Pla.build_hw pla in
+  let n_in = Cnfet.Pla.num_inputs pla in
+  let ok = ref true in
+  for m = 0 to (1 lsl n_in) - 1 do
+    let inputs = Array.init n_in (fun i -> m land (1 lsl i) <> 0) in
+    if Cnfet.Pla.simulate_hw hw inputs <> Cache.eval compiled inputs then ok := false
+  done;
+  !ok
 
 let geomean_speedup reports =
   match reports with

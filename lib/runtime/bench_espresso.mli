@@ -30,6 +30,12 @@ val run : ?metrics:Metrics.t -> ?quick:bool -> ?seed:int -> unit -> report list
     three Table-1 profiles are always measured. Registers the library
     gauges on [metrics] when given. *)
 
+val hw_crosscheck : unit -> bool
+(** Minimizes a 2-bit comparator, programs it onto a PLA and simulates
+    the switch-level netlist against the compiled evaluator over all
+    minterms; [true] iff every minterm agrees. Exercises the espresso,
+    runtime and circuit subsystems, each under its tracing spans. *)
+
 val geomean_speedup : report list -> float
 (** Geometric mean of the packed-vs-naive op speedups. *)
 

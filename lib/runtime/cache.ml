@@ -198,7 +198,7 @@ let find_or_compile t key build =
         e.compiled
       | None ->
         t.misses <- t.misses + 1;
-        let compiled = build () in
+        let compiled = Obs.Span.with_ "cache.compile" build in
         if Hashtbl.length t.table >= t.capacity then evict_lru t;
         Hashtbl.replace t.table key { compiled; last_used = t.clock };
         compiled)

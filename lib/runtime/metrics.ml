@@ -69,6 +69,11 @@ let histogram t name = intern t.histograms t.lock name (fun () -> Histogram.crea
 
 let observe t name x = Histogram.observe (histogram t name) x
 
+(* Bridge for [Obs.Trace.set_observer]: every completed span feeds a
+   duration histogram named after it, so traces and metrics stay in one
+   registry without [obs] depending on [runtime]. *)
+let span_observer t ~name ~dur_s = observe t ("span." ^ name) dur_s
+
 let time t name f =
   let t0 = Unix.gettimeofday () in
   Fun.protect

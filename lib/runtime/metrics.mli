@@ -48,6 +48,11 @@ val histogram : t -> string -> Histogram.t
 val observe : t -> string -> float -> unit
 (** Observe into the named histogram (created on first use). *)
 
+val span_observer : t -> name:string -> dur_s:float -> unit
+(** Observer for {!Obs.Trace.set_observer}: records each completed span's
+    duration (seconds) into the histogram [span.<name>], creating it on
+    first use. *)
+
 val time : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk, observing its wall-clock duration (seconds) into the
     named histogram, whether it returns or raises. *)

@@ -414,6 +414,33 @@ let test_vcd_file () =
   Sys.remove path;
   checkb "non-empty file" true (len > 100)
 
+(* Hostile display names must still yield a parseable dump: VCD [$var]
+   lines are whitespace-delimited, so a name with spaces or reserved
+   characters would change the token count and corrupt the file. *)
+let test_vcd_name_sanitization () =
+  checkb "spaces replaced" true (Circuit.Vcd.sanitize_name "net 3 (out)" = "net_3_(out)");
+  checkb "dollar replaced" true (Circuit.Vcd.sanitize_name "$end" = "_end");
+  checkb "tab and newline replaced" true (Circuit.Vcd.sanitize_name "a\tb\nc" = "a_b_c");
+  checkb "empty becomes placeholder" true (Circuit.Vcd.sanitize_name "" = "_");
+  checkb "clean names untouched" true (Circuit.Vcd.sanitize_name "out[2]" = "out[2]");
+  let tr, inp, out = run_recorded_inverter () in
+  let vcd =
+    Circuit.Vcd.to_string tr ~nets:[ (inp, "in put $end"); (out, "") ]
+  in
+  (* Every $var declaration must tokenize to exactly 6 fields:
+     $var real 64 <id> <name> $end. *)
+  String.split_on_char '\n' vcd
+  |> List.iter (fun line ->
+         if String.length line >= 4 && String.sub line 0 4 = "$var" then begin
+           let tokens =
+             String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+           in
+           checki "six tokens in $var line" 6 (List.length tokens);
+           checkb "terminated by $end" true (List.nth tokens 5 = "$end")
+         end);
+  checkb "sanitized name present" true (contains vcd " in_put__end ");
+  checkb "empty name placeholder present" true (contains vcd " _ ")
+
 (* The paper's Fig. 2 sequence as a golden waveform: a two-input GNOR
    (modes Pass/Invert) pre-charged with clk low for 60 ps, then evaluated
    with clk high to 200 ps. A = 1 through Pass discharges the output. The
@@ -512,6 +539,7 @@ let () =
           Alcotest.test_case "resolution limits samples" `Quick
             test_vcd_resolution_limits_samples;
           Alcotest.test_case "file output" `Quick test_vcd_file;
+          Alcotest.test_case "name sanitization" `Quick test_vcd_name_sanitization;
           Alcotest.test_case "gnor fig2 golden dump" `Quick test_vcd_gnor_golden;
         ] );
       ( "elmore",

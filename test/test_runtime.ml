@@ -194,6 +194,62 @@ let test_pool_records_metrics () =
   let lat = List.assoc "pool.task_latency_s" (Metrics.histograms m) in
   checki "latency observed per task" 10 lat.Histogram.n
 
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  checki "empty count" 0 (Histogram.count h);
+  checkf "empty mean" 0.0 (Histogram.mean h);
+  checkf "empty percentile" 0.0 (Histogram.percentile h 50.0);
+  let s = Histogram.summarize h in
+  checki "summary n" 0 s.Histogram.n;
+  checkf "summary mean" 0.0 s.Histogram.mean;
+  checkf "summary min" 0.0 s.Histogram.min;
+  checkf "summary max" 0.0 s.Histogram.max;
+  checkf "summary p50" 0.0 s.Histogram.p50;
+  checkf "summary p99" 0.0 s.Histogram.p99
+
+let test_histogram_single_sample () =
+  let h = Histogram.create () in
+  Histogram.observe h 3.25;
+  List.iter
+    (fun p ->
+      checkf (Printf.sprintf "p%.0f of singleton" p) 3.25 (Histogram.percentile h p))
+    [ 0.0; 1.0; 50.0; 99.0; 100.0 ];
+  let s = Histogram.summarize h in
+  checki "n" 1 s.Histogram.n;
+  checkf "min = max = sample" 3.25 s.Histogram.min;
+  checkf "max" 3.25 s.Histogram.max
+
+let test_histogram_percentile_clamps () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 10.0; 20.0; 30.0; 40.0 ];
+  (* Out-of-range p clamps to the extreme samples instead of indexing out
+     of bounds. *)
+  checkf "p=0 is the minimum" 10.0 (Histogram.percentile h 0.0);
+  checkf "p<0 is the minimum" 10.0 (Histogram.percentile h (-5.0));
+  checkf "p=100 is the maximum" 40.0 (Histogram.percentile h 100.0);
+  checkf "p>100 is the maximum" 40.0 (Histogram.percentile h 150.0)
+
+let test_incr_named_across_domains () =
+  let m = Metrics.create () in
+  let per_domain = 5_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Metrics.incr_named m "smoke.hits"
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains;
+  checki "4 domains x 5000 increments" (4 * per_domain)
+    (List.assoc "smoke.hits" (Metrics.counters m))
+
+let test_span_observer_feeds_histogram () =
+  let m = Metrics.create () in
+  Metrics.span_observer m ~name:"unit.work" ~dur_s:0.25;
+  Metrics.span_observer m ~name:"unit.work" ~dur_s:0.75;
+  let s = List.assoc "span.unit.work" (Metrics.histograms m) in
+  checki "two spans observed" 2 s.Histogram.n;
+  checkf "mean duration" 0.5 s.Histogram.mean
+
 (* --- Failure propagation -------------------------------------------------- *)
 
 exception Boom of int
@@ -257,6 +313,11 @@ let () =
             test_histogram_percentiles_match_stats;
           Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_and_gauges;
           Alcotest.test_case "pool instrumentation" `Quick test_pool_records_metrics;
+          Alcotest.test_case "empty histogram" `Quick test_histogram_empty;
+          Alcotest.test_case "single-sample histogram" `Quick test_histogram_single_sample;
+          Alcotest.test_case "percentile clamping" `Quick test_histogram_percentile_clamps;
+          Alcotest.test_case "incr_named across domains" `Quick test_incr_named_across_domains;
+          Alcotest.test_case "span observer histograms" `Quick test_span_observer_feeds_histogram;
         ] );
       ( "failures",
         [
