@@ -515,7 +515,83 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc ~exits)
     Term.(const run $ seed $ budget $ filter $ corpus $ jobs $ list_only $ show_metrics $ trace_arg)
 
+(* --- chaos --------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let run seed budget max_rounds spares jobs out show_metrics trace =
+    match
+      let s = String.trim budget in
+      let s = if String.length s > 1 && s.[String.length s - 1] = 's' then String.sub s 0 (String.length s - 1) else s in
+      float_of_string_opt s
+    with
+    | None ->
+      Printf.eprintf "chaos: bad --budget %S (want seconds, e.g. 20 or 20s)\n" budget;
+      2
+    | Some budget_s ->
+      with_tracing trace @@ fun () ->
+      Printf.printf "chaos run (seed %d, budget %gs, max %d rounds)\n%!" seed budget_s max_rounds;
+      let report = Runtime.Chaos.run ~seed ~budget_s ~max_rounds ~spare_rows:spares ?jobs () in
+      print_string (Runtime.Chaos.summary report);
+      (match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Runtime.Chaos.to_json report);
+        close_out oc;
+        Printf.printf "report written to %s\n" path);
+      if show_metrics then begin
+        print_endline "--- metrics ---";
+        print_string (Runtime.Metrics.dump Runtime.Metrics.global)
+      end;
+      (* The self-healing gate: every detectable injected fault must end
+         up repaired (or proven unrepairable within the spare budget),
+         and the supervised batches must have stayed bit-correct. *)
+      if Runtime.Chaos.detected_unrepaired report > 0 then begin
+        Printf.eprintf "chaos: FAIL - %d detected faults left unrepaired\n"
+          (Runtime.Chaos.detected_unrepaired report);
+        1
+      end
+      else if report.Runtime.Chaos.miscompares > 0 then begin
+        Printf.eprintf "chaos: FAIL - %d supervised evaluations differed from the oracle\n"
+          report.Runtime.Chaos.miscompares;
+        1
+      end
+      else 0
+  in
+  let seed =
+    let doc = "Fault-plan seed: the injected fault set is a pure function of it." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let budget =
+    let doc = "Wall-clock budget in seconds (a trailing 's' is accepted: 20s)." in
+    Arg.(value & opt string "10" & info [ "budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_rounds =
+    let doc = "Stop after $(docv) chaos rounds even if budget remains." in
+    Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let spares =
+    let doc = "Spare physical rows available to the repair flow." in
+    Arg.(value & opt int 2 & info [ "spares" ] ~docv:"N" ~doc)
+  in
+  let jobs =
+    let doc = "Worker-pool size (default: cores - 1)." in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let out =
+    let doc = "Write the JSON chaos report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE.json" ~doc)
+  in
+  let show_metrics =
+    let doc = "Dump the metrics registry (counters, gauges, latency histograms) after the run." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let doc = "Inject runtime faults and prove the detect/repair/re-verify loop heals them" in
+  Cmd.v
+    (Cmd.info "chaos" ~doc ~exits)
+    Term.(const run $ seed $ budget $ max_rounds $ spares $ jobs $ out $ show_metrics $ trace_arg)
+
 let () =
   let doc = "programmable logic built from ambipolar carbon-nanotube FETs" in
   let info = Cmd.info "cnfet_tool" ~version:"1.0.0" ~doc ~exits in
-  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; fuzz_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; fuzz_cmd; chaos_cmd ]))

@@ -85,6 +85,12 @@ let route_point_to_point t ~from_row ~to_col =
   let find = union_find t in
   find (wire_id t (Row from_row)) = find (wire_id t (Col to_col))
 
+let copy t = { t with matrix = Array.map Array.copy t.matrix }
+
+let equal a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && Array.for_all2 (fun ra rb -> ra = rb) a.matrix b.matrix
+
 let programmed_count t =
   let n = ref 0 in
   Array.iter (Array.iter (fun b -> if b then incr n)) t.matrix;

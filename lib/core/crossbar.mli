@@ -42,6 +42,13 @@ val route_point_to_point : t -> from_row:int -> to_col:int -> bool
 (** Convenience: is the horizontal wire [from_row] electrically connected
     to the vertical wire [to_col]? *)
 
+val copy : t -> t
+(** Independent deep copy of the connection matrix — snapshot a known-good
+    configuration before a chaos run mutates crosspoints. *)
+
+val equal : t -> t -> bool
+(** Same shape and same connection matrix. *)
+
 val programmed_count : t -> int
 (** Number of conducting crosspoints. *)
 

@@ -109,6 +109,13 @@ let stored_voltage t ~row ~col =
   check t ~row ~col;
   Circuit.Transient.voltage t.tr t.storage.(row).(col)
 
+let disturb t ~row ~col delta =
+  check t ~row ~col;
+  let pg = t.storage.(row).(col) in
+  let v = Circuit.Transient.voltage t.tr pg +. delta in
+  Circuit.Transient.drive t.tr pg v;
+  Circuit.Transient.release t.tr pg
+
 let readback t =
   let plane = Plane.create ~rows:t.nrows ~cols:t.ncols in
   for r = 0 to t.nrows - 1 do

@@ -42,6 +42,12 @@ val program_plane : ?duration:float -> t -> Plane.t -> unit
 
 val stored_voltage : t -> row:int -> col:int -> float
 
+val disturb : t -> row:int -> col:int -> float -> unit
+(** Shift one storage node's charge by [delta] volts without a write —
+    the radiation-strike / retention-loss model the chaos engine uses.
+    A large enough shift moves the node across a decode boundary and
+    {!readback} returns the wrong mode until the cell is rewritten. *)
+
 val readback : t -> Plane.t
 (** Decode every storage node's voltage into a device mode. *)
 

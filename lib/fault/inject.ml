@@ -1,0 +1,192 @@
+(* Deterministic runtime fault injection.
+
+   The central trick: a decision at a site is a pure function of
+   (seed, site tag, index). Each tap hashes the coordinates (FNV-1a),
+   feeds the hash to a fresh SplitMix stream and draws from that. No
+   shared rng state means no lock on the hot path and no dependence on
+   domain scheduling — two runs with the same seed inject exactly the
+   same faults even when the pool interleaves differently. *)
+
+exception Injected_fault of { site : string; index : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected_fault { site; index } ->
+      Some (Printf.sprintf "Fault.Inject.Injected_fault (%s #%d)" site index)
+    | _ -> None)
+
+type site =
+  | Pool_task of { index : int }
+  | Cache_store of { key : string }
+  | Crosspoint of { index : int }
+  | Pg_charge of { index : int }
+
+type action =
+  | No_fault
+  | Raise of exn
+  | Crash_worker of exn
+  | Stall of float
+  | Corrupt
+
+type plan = {
+  task_raise : float;
+  task_stall : float;
+  stall_s : float;
+  worker_crash : float;
+  cache_corrupt : float;
+  crosspoint_flip : float;
+  crosspoint_closed_share : float;
+  pg_drift : float;
+  pg_drift_v : float;
+}
+
+let nothing =
+  {
+    task_raise = 0.0;
+    task_stall = 0.0;
+    stall_s = 0.0;
+    worker_crash = 0.0;
+    cache_corrupt = 0.0;
+    crosspoint_flip = 0.0;
+    crosspoint_closed_share = 0.25;
+    pg_drift = 0.0;
+    pg_drift_v = 0.0;
+  }
+
+let default =
+  {
+    task_raise = 0.04;
+    task_stall = 0.04;
+    stall_s = 0.002;
+    worker_crash = 0.03;
+    cache_corrupt = 0.4;
+    (* Device-fault rates must sit in the regime the spare budget can
+       absorb (paper §5 argues ~1e-2): much higher and every map is
+       honestly unrepairable, which exercises nothing. *)
+    crosspoint_flip = 0.015;
+    crosspoint_closed_share = 0.25;
+    pg_drift = 0.08;
+    pg_drift_v = 1.2;
+  }
+
+let categories =
+  [ "cache_corrupt"; "crosspoint_flip"; "pg_drift"; "task_raise"; "task_stall"; "worker_crash" ]
+
+type t = {
+  seed : int;
+  plan : plan;
+  tallies : (string * int Atomic.t) list;  (* category -> injected count *)
+}
+
+let engine : t option Atomic.t = Atomic.make None
+
+let check_probability name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Inject.arm: %s = %g not a probability" name p)
+
+let arm ~seed plan =
+  check_probability "task_raise" plan.task_raise;
+  check_probability "task_stall" plan.task_stall;
+  check_probability "worker_crash" plan.worker_crash;
+  check_probability "cache_corrupt" plan.cache_corrupt;
+  check_probability "crosspoint_flip" plan.crosspoint_flip;
+  check_probability "crosspoint_closed_share" plan.crosspoint_closed_share;
+  check_probability "pg_drift" plan.pg_drift;
+  let t = { seed; plan; tallies = List.map (fun c -> (c, Atomic.make 0)) categories } in
+  if not (Atomic.compare_and_set engine None (Some t)) then
+    invalid_arg "Inject.arm: an engine is already armed";
+  t
+
+let disarm () = Atomic.set engine None
+
+let armed () = Atomic.get engine <> None
+
+let with_armed ~seed plan f =
+  let t = arm ~seed plan in
+  Fun.protect ~finally:disarm (fun () -> f t)
+
+let counts t = List.map (fun (c, a) -> (c, Atomic.get a)) t.tallies
+
+let total t = List.fold_left (fun n (_, a) -> n + Atomic.get a) 0 t.tallies
+
+let tally t category = Atomic.incr (List.assoc category t.tallies)
+
+(* --- decision streams --------------------------------------------------- *)
+
+let fnv1a seed tag index_str =
+  let h = ref 0xcbf29ce484222325L in
+  let mix c =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L
+  in
+  String.iter mix (string_of_int seed);
+  mix '/';
+  String.iter mix tag;
+  mix '#';
+  String.iter mix index_str;
+  Int64.to_int !h
+
+(* A short private stream per decision; draw order within a site is fixed
+   by the code below, so every decision is reproducible in isolation. *)
+let stream t tag index_str = Util.Rng.create (fnv1a t.seed tag index_str)
+
+let site_tag = function
+  | Pool_task _ -> "pool_task"
+  | Cache_store _ -> "cache_store"
+  | Crosspoint _ -> "crosspoint"
+  | Pg_charge _ -> "pg_charge"
+
+let site_index_str = function
+  | Pool_task { index } | Crosspoint { index } | Pg_charge { index } -> string_of_int index
+  | Cache_store { key } -> Digest.to_hex (Digest.string key)
+
+let tap site =
+  match Atomic.get engine with
+  | None -> No_fault
+  | Some t -> (
+    let tag = site_tag site and idx = site_index_str site in
+    let rng = stream t tag idx in
+    let decide category action =
+      tally t category;
+      action
+    in
+    match site with
+    | Pool_task { index } ->
+      (* Draw order: crash, raise, stall — one decision wins. *)
+      if Util.Rng.bernoulli rng t.plan.worker_crash then
+        decide "worker_crash" (Crash_worker (Injected_fault { site = "worker_crash"; index }))
+      else if Util.Rng.bernoulli rng t.plan.task_raise then
+        decide "task_raise" (Raise (Injected_fault { site = "task_raise"; index }))
+      else if Util.Rng.bernoulli rng t.plan.task_stall then
+        decide "task_stall" (Stall t.plan.stall_s)
+      else No_fault
+    | Cache_store _ ->
+      if Util.Rng.bernoulli rng t.plan.cache_corrupt then decide "cache_corrupt" Corrupt
+      else No_fault
+    | Crosspoint _ ->
+      if Util.Rng.bernoulli rng t.plan.crosspoint_flip then decide "crosspoint_flip" Corrupt
+      else No_fault
+    | Pg_charge _ ->
+      if Util.Rng.bernoulli rng t.plan.pg_drift then decide "pg_drift" Corrupt else No_fault)
+
+let crosspoint_fault ~index =
+  match Atomic.get engine with
+  | None -> Defect.Good
+  | Some t ->
+    let rng = stream t "crosspoint" (string_of_int index) in
+    if Util.Rng.bernoulli rng t.plan.crosspoint_flip then begin
+      tally t "crosspoint_flip";
+      if Util.Rng.bernoulli rng t.plan.crosspoint_closed_share then Defect.Stuck_closed
+      else Defect.Stuck_open
+    end
+    else Defect.Good
+
+let pg_drift ~index =
+  match Atomic.get engine with
+  | None -> 0.0
+  | Some t ->
+    let rng = stream t "pg_charge" (string_of_int index) in
+    if Util.Rng.bernoulli rng t.plan.pg_drift then begin
+      tally t "pg_drift";
+      if Util.Rng.bool rng then t.plan.pg_drift_v else -.t.plan.pg_drift_v
+    end
+    else 0.0

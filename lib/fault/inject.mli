@@ -1,0 +1,102 @@
+(** Deterministic runtime fault injection (the chaos engine).
+
+    The offline fault layer ({!Defect}, {!Atpg}, {!Repair}) models a
+    fabric that was broken at manufacture; this module breaks it {e while
+    the runtime is serving}: pool tasks raise or stall, worker domains
+    die mid-task, compiled-cache entries rot, programmed crosspoints flip
+    to stuck states and polarity-gate charge drifts off its level — the
+    failure modes the paper's programming protocol (Figs. 3–4) exists to
+    survive.
+
+    Sites in the runtime call {!tap} (or a convenience wrapper) at each
+    hook point. With no engine armed every call is a single atomic load
+    and a branch — the production no-op. When armed, the decision at a
+    site is a {e pure function} of [(seed, site, index)]: a SplitMix
+    stream keyed by hashing the coordinates, never shared mutable state,
+    so the set of injected faults is identical no matter how pool
+    domains interleave and a seeded chaos run is exactly reproducible.
+
+    Only one engine can be armed at a time (they are process-global, like
+    {!Obs.Trace} collectors). Arming is not nestable. *)
+
+exception Injected_fault of { site : string; index : int }
+(** The exception delivered by [Raise] and [Crash_worker] decisions.
+    [site]/[index] name the decision coordinates so a failure is
+    attributable to the plan, not to real code. *)
+
+(** Where a fault can strike. The [index] (or key) is the deterministic
+    coordinate of the decision. *)
+type site =
+  | Pool_task of { index : int }  (** a submitted task, keyed by submission number *)
+  | Cache_store of { key : string }  (** a compiled entry at insert time *)
+  | Crosspoint of { index : int }  (** programmed array cell, keyed by round *)
+  | Pg_charge of { index : int }  (** polarity-gate storage node, keyed by round *)
+
+(** What the site should do. *)
+type action =
+  | No_fault
+  | Raise of exn  (** task fails alone with {!Injected_fault} *)
+  | Crash_worker of exn  (** task fails {e and} the worker domain dies *)
+  | Stall of float  (** artificial delay, seconds *)
+  | Corrupt  (** site-specific silent data corruption *)
+
+(** Per-site fault probabilities, all in [0, 1]. [nothing] disables
+    everything; start from it and override. *)
+type plan = {
+  task_raise : float;  (** pool task raises {!Injected_fault} *)
+  task_stall : float;  (** pool task stalls for [stall_s] first *)
+  stall_s : float;
+  worker_crash : float;  (** task poisons its whole worker domain *)
+  cache_corrupt : float;  (** compiled entry bit-flipped at store time *)
+  crosspoint_flip : float;  (** programmed cell goes stuck mid-run *)
+  crosspoint_closed_share : float;  (** fraction of flips that are stuck-closed *)
+  pg_drift : float;  (** stored PG charge drifts off its level *)
+  pg_drift_v : float;  (** drift magnitude, volts *)
+}
+
+val nothing : plan
+
+val default : plan
+(** A moderately hostile plan used by [cnfet_tool chaos]: a few percent
+    of tasks raise/stall, rare worker crashes, frequent cache corruption
+    and crosspoint/PG faults. *)
+
+type t
+(** An armed engine: the seed, the plan and the per-category counters. *)
+
+val arm : seed:int -> plan -> t
+(** Install the engine process-wide. Raises [Invalid_argument] if one is
+    already armed or a probability is out of range. *)
+
+val disarm : unit -> unit
+(** Remove the armed engine (idempotent). *)
+
+val armed : unit -> bool
+
+val with_armed : seed:int -> plan -> (t -> 'a) -> 'a
+(** [arm], run, [disarm] even on exceptions. *)
+
+val tap : site -> action
+(** The hook the runtime calls. [No_fault] when disarmed. Decisions are
+    counted on the armed engine by category. *)
+
+val counts : t -> (string * int) list
+(** Injected-fault counts by category ([task_raise], [task_stall],
+    [worker_crash], [cache_corrupt], [crosspoint_flip], [pg_drift]),
+    name-sorted, zero entries included. *)
+
+val total : t -> int
+(** Sum of all categories. *)
+
+(** {2 Derived site decisions}
+
+    Convenience wrappers for orchestrators that own the mutation (the
+    chaos loop flips the crosspoint itself; the engine only decides). *)
+
+val crosspoint_fault : index:int -> Defect.kind
+(** [Good] unless the armed plan fires, else [Stuck_open]/[Stuck_closed]
+    split by [crosspoint_closed_share]. *)
+
+val pg_drift : index:int -> float
+(** 0 unless the armed plan fires, else ±[pg_drift_v] (sign from the
+    decision stream). *)

@@ -2,6 +2,86 @@ type assignment = int array
 
 type outcome = Repaired of assignment | Unrepairable
 
+type plane_side = And_side | Or_side
+
+exception No_spare_rows of { fn : string; spare_rows : int }
+
+exception
+  Shape_mismatch of {
+    fn : string;
+    plane : plane_side;
+    expected_rows : int;
+    expected_cols : int;
+    got_rows : int;
+    got_cols : int;
+  }
+
+exception Bad_product of { fn : string; product : int; num_products : int }
+
+exception Bad_row of { fn : string; row : int; rows : int }
+
+exception Bad_assignment of { fn : string; expected : int; got : int }
+
+let side_name = function And_side -> "AND" | Or_side -> "OR"
+
+let () =
+  Printexc.register_printer (function
+    | No_spare_rows { fn; spare_rows } ->
+      Some (Printf.sprintf "Fault.Repair.No_spare_rows (%s: spare_rows = %d)" fn spare_rows)
+    | Shape_mismatch { fn; plane; expected_rows; expected_cols; got_rows; got_cols } ->
+      Some
+        (Printf.sprintf
+           "Fault.Repair.Shape_mismatch (%s: %s-plane defect map is %dx%d, PLA needs %dx%d)"
+           fn (side_name plane) got_rows got_cols expected_rows expected_cols)
+    | Bad_product { fn; product; num_products } ->
+      Some
+        (Printf.sprintf "Fault.Repair.Bad_product (%s: product %d of %d)" fn product
+           num_products)
+    | Bad_row { fn; row; rows } ->
+      Some (Printf.sprintf "Fault.Repair.Bad_row (%s: row %d of %d)" fn row rows)
+    | Bad_assignment { fn; expected; got } ->
+      Some
+        (Printf.sprintf "Fault.Repair.Bad_assignment (%s: %d entries for %d products)" fn got
+           expected)
+    | _ -> None)
+
+(* The defect maps must agree with the physical array hosting the PLA:
+   AND plane is [products + spares] rows x [input columns] (or wider,
+   when the flow also carries spare columns — column permutation),
+   OR plane is [outputs] rows x [products + spares] columns. Anything
+   else means the caller mixed up arrays — fail loudly before matching. *)
+let check_shapes ?(allow_spare_columns = false) ~fn ~spare_rows ~and_defects ~or_defects pla =
+  if spare_rows < 0 then raise (No_spare_rows { fn; spare_rows });
+  let n_rows = Cnfet.Pla.num_products pla + spare_rows in
+  let and_cols = Cnfet.Plane.cols (Cnfet.Pla.and_plane pla) in
+  let n_out = Cnfet.Plane.rows (Cnfet.Pla.or_plane pla) in
+  let and_cols_bad =
+    if allow_spare_columns then Defect.cols and_defects < and_cols
+    else Defect.cols and_defects <> and_cols
+  in
+  if Defect.rows and_defects <> n_rows || and_cols_bad then
+    raise
+      (Shape_mismatch
+         {
+           fn;
+           plane = And_side;
+           expected_rows = n_rows;
+           expected_cols = and_cols;
+           got_rows = Defect.rows and_defects;
+           got_cols = Defect.cols and_defects;
+         });
+  if Defect.rows or_defects <> n_out || Defect.cols or_defects <> n_rows then
+    raise
+      (Shape_mismatch
+         {
+           fn;
+           plane = Or_side;
+           expected_rows = n_out;
+           expected_cols = n_rows;
+           got_rows = Defect.rows or_defects;
+           got_cols = Defect.cols or_defects;
+         })
+
 (* A stuck-closed device conducts regardless of its gate: anywhere in an OR
    row it discharges that output's pre-charged line on every evaluation and
    kills the output outright — no assignment can help. *)
@@ -14,7 +94,16 @@ let or_row_dead or_defects o =
 
 let product_row_compatible ~and_defects ~or_defects pla ~product ~row =
   let and_plane = Cnfet.Pla.and_plane pla and or_plane = Cnfet.Pla.or_plane pla in
-  if product < 0 || product >= Cnfet.Plane.rows and_plane then invalid_arg "Repair: bad product";
+  if product < 0 || product >= Cnfet.Plane.rows and_plane then
+    raise
+      (Bad_product
+         {
+           fn = "product_row_compatible";
+           product;
+           num_products = Cnfet.Plane.rows and_plane;
+         });
+  if row < 0 || row >= Defect.rows and_defects then
+    raise (Bad_row { fn = "product_row_compatible"; row; rows = Defect.rows and_defects });
   Defect.compatible_and_row and_defects ~row (Cnfet.Plane.row_modes and_plane product)
   &&
   (* OR plane: physical column [row] feeds every output; a stuck-open
@@ -65,12 +154,9 @@ let matching compat n_products n_rows =
   (assigned, !size)
 
 let repair ?(spare_rows = 0) ~and_defects ~or_defects pla =
+  check_shapes ~fn:"repair" ~spare_rows ~and_defects ~or_defects pla;
   let n_products = Cnfet.Pla.num_products pla in
   let n_rows = n_products + spare_rows in
-  if Defect.rows and_defects <> n_rows then
-    invalid_arg "Repair.repair: AND defect map must cover products + spares";
-  if Defect.cols or_defects <> n_rows then
-    invalid_arg "Repair.repair: OR defect map must cover products + spares";
   let n_out = Cnfet.Plane.rows (Cnfet.Pla.or_plane pla) in
   let any_dead_output =
     List.exists (fun o -> or_row_dead or_defects o) (List.init n_out Fun.id)
@@ -96,13 +182,14 @@ let identity_works ~and_defects ~or_defects pla =
 let apply pla assignment ~rows =
   let and_plane = Cnfet.Pla.and_plane pla and or_plane = Cnfet.Pla.or_plane pla in
   let n_products = Cnfet.Pla.num_products pla in
-  if Array.length assignment <> n_products then invalid_arg "Repair.apply";
+  if Array.length assignment <> n_products then
+    raise (Bad_assignment { fn = "apply"; expected = n_products; got = Array.length assignment });
   let n_in = Cnfet.Pla.num_inputs pla and n_out = Cnfet.Pla.num_outputs pla in
   let new_and = Cnfet.Plane.create ~rows ~cols:(Cnfet.Plane.cols and_plane) in
   let new_or = Cnfet.Plane.create ~rows:(Cnfet.Plane.rows or_plane) ~cols:rows in
   Array.iteri
     (fun j r ->
-      if r < 0 || r >= rows then invalid_arg "Repair.apply: assignment out of range";
+      if r < 0 || r >= rows then raise (Bad_row { fn = "apply"; row = r; rows });
       Cnfet.Plane.configure_row new_and r (Cnfet.Plane.row_modes and_plane j);
       for o = 0 to Cnfet.Plane.rows or_plane - 1 do
         Cnfet.Plane.set_mode new_or ~row:o ~col:r (Cnfet.Plane.mode or_plane ~row:o ~col:j)
@@ -143,10 +230,10 @@ let compatible_permuted ~and_defects ~or_defects ~columns pla ~product ~row =
   outputs_ok 0
 
 let matching_size ?(spare_rows = 0) ~and_defects ~or_defects ~columns pla =
+  check_shapes ~allow_spare_columns:true ~fn:"matching_size" ~spare_rows ~and_defects
+    ~or_defects pla;
   let n_products = Cnfet.Pla.num_products pla in
   let n_rows = n_products + spare_rows in
-  if Defect.rows and_defects <> n_rows || Defect.cols or_defects <> n_rows then
-    invalid_arg "Repair.matching_size: defect map shape";
   let n_out = Cnfet.Plane.rows (Cnfet.Pla.or_plane pla) in
   if List.exists (fun o -> or_row_dead or_defects o) (List.init n_out Fun.id) then 0
   else begin
@@ -158,10 +245,10 @@ let matching_size ?(spare_rows = 0) ~and_defects ~or_defects ~columns pla =
 
 let repair_permuting_inputs rng ?(spare_rows = 0) ?(attempts = 200) ~and_defects ~or_defects
     pla =
+  check_shapes ~allow_spare_columns:true ~fn:"repair_permuting_inputs" ~spare_rows
+    ~and_defects ~or_defects pla;
   let n_products = Cnfet.Pla.num_products pla in
   let n_cols = Defect.cols and_defects in
-  if n_cols < Cnfet.Pla.num_inputs pla then
-    invalid_arg "Repair.repair_permuting_inputs: defect map narrower than inputs";
   let columns = Array.init n_cols Fun.id in
   let score cols = matching_size ~spare_rows ~and_defects ~or_defects ~columns:cols pla in
   let best = ref (score columns) in

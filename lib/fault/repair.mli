@@ -22,6 +22,39 @@ type assignment = int array
 
 type outcome = Repaired of assignment | Unrepairable
 
+(** {1 Typed errors}
+
+    Misuse raises one of these instead of a bare [Invalid_argument]: each
+    carries the offending call, the expected geometry and what was
+    actually passed, and registers a printer, so a failure deep inside a
+    chaos run or a shrunk property counterexample names itself. *)
+
+type plane_side = And_side | Or_side
+
+exception No_spare_rows of { fn : string; spare_rows : int }
+(** Negative spare-row budget. *)
+
+exception
+  Shape_mismatch of {
+    fn : string;
+    plane : plane_side;
+    expected_rows : int;
+    expected_cols : int;
+    got_rows : int;
+    got_cols : int;
+  }
+(** A defect map's dimensions disagree with the PLA being repaired: the
+    AND map must be [products + spares] x [input columns] (at least that
+    wide for the column-permuting flow), the OR map [outputs] x
+    [products + spares]. *)
+
+exception Bad_product of { fn : string; product : int; num_products : int }
+
+exception Bad_row of { fn : string; row : int; rows : int }
+
+exception Bad_assignment of { fn : string; expected : int; got : int }
+(** An assignment array whose length is not the product count. *)
+
 val product_row_compatible : and_defects:Defect.map -> or_defects:Defect.map -> Cnfet.Pla.t -> product:int -> row:int -> bool
 (** Can product [product] of the mapped PLA live on physical row [row]? *)
 

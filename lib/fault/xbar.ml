@@ -1,5 +1,24 @@
 type demand = { row : int; label : int }
 
+exception Duplicate_demand_row of { row : int }
+
+exception Demand_out_of_range of { row : int; rows : int }
+
+exception Bad_sweep_geometry of { demands : int; rows : int; cols : int }
+
+let () =
+  Printexc.register_printer (function
+    | Duplicate_demand_row { row } ->
+      Some (Printf.sprintf "Fault.Xbar.Duplicate_demand_row (row %d demanded twice)" row)
+    | Demand_out_of_range { row; rows } ->
+      Some (Printf.sprintf "Fault.Xbar.Demand_out_of_range (row %d of %d)" row rows)
+    | Bad_sweep_geometry { demands; rows; cols } ->
+      Some
+        (Printf.sprintf
+           "Fault.Xbar.Bad_sweep_geometry (%d demands cannot fit a %dx%d crossbar)" demands
+           rows cols)
+    | _ -> None)
+
 let stuck_closed_rows_of_col m c =
   let acc = ref [] in
   for r = 0 to Defect.rows m - 1 do
@@ -29,12 +48,17 @@ let column_usable m ~row ~col =
        (stuck_closed_rows_of_col m col)
 
 let check_demands m demands =
-  let rows = List.map (fun d -> d.row) demands in
-  if List.length (List.sort_uniq compare rows) <> List.length rows then
-    invalid_arg "Xbar: demands must use distinct rows";
+  let rec first_duplicate seen = function
+    | [] -> ()
+    | r :: rest ->
+      if List.mem r seen then raise (Duplicate_demand_row { row = r })
+      else first_duplicate (r :: seen) rest
+  in
+  first_duplicate [] (List.map (fun d -> d.row) demands);
   List.iter
     (fun d ->
-      if d.row < 0 || d.row >= Defect.rows m then invalid_arg "Xbar: demand row out of range")
+      if d.row < 0 || d.row >= Defect.rows m then
+        raise (Demand_out_of_range { row = d.row; rows = Defect.rows m }))
     demands
 
 (* Demanded rows shorted together carry conflicting signals. *)
@@ -92,7 +116,7 @@ type point = {
 }
 
 let yield_sweep rng ?(trials = 300) ~rows ~cols ~demands rates =
-  if demands > rows || demands > cols then invalid_arg "Xbar.yield_sweep";
+  if demands > rows || demands > cols then raise (Bad_sweep_geometry { demands; rows; cols });
   let demand_list = List.init demands (fun k -> { row = k; label = k }) in
   List.map
     (fun rate ->

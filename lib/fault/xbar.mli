@@ -18,6 +18,15 @@
 type demand = { row : int; label : int }
 (** One signal entering on [row]; [label] identifies the logical output. *)
 
+exception Duplicate_demand_row of { row : int }
+(** Two demands on the same physical row. *)
+
+exception Demand_out_of_range of { row : int; rows : int }
+(** A demand row outside the defect map. *)
+
+exception Bad_sweep_geometry of { demands : int; rows : int; cols : int }
+(** More demands than the crossbar has rows or columns. *)
+
 val rows_shorted : Defect.map -> (int * int) list
 (** Pairs of distinct rows tied together by a doubly-stuck-closed
     column. *)

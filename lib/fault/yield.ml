@@ -68,17 +68,32 @@ let point_of_outcomes ~defect_rate outcomes =
     trials;
   }
 
-let estimate rng ?(trials = 200) ?(spare_rows = 2) ?closed_share pla ~defect_rate =
-  (* Explicit loop: the rng must be consumed in trial order so results are
-     reproducible against the pre-refactor sequential code. *)
+(* The generic sweep engine: every yield curve in the repo — the offline
+   matching-feasibility one below, and the runtime chaos path in
+   [Runtime.Chaos] (detect -> repair -> re-verify through the serving
+   stack) — funnels through this one function, so BENCH/EXPERIMENTS
+   numbers and chaos reports cannot drift apart structurally. The rng is
+   consumed strictly in trial order within each rate, rates in list
+   order. *)
+let estimate_with ~trial:run_trial rng ?(trials = 200) ~defect_rate () =
   let acc = ref [] in
   for _ = 1 to trials do
-    acc := trial rng ~spare_rows ?closed_share pla ~defect_rate :: !acc
+    acc := run_trial rng ~defect_rate :: !acc
   done;
   point_of_outcomes ~defect_rate (Array.of_list (List.rev !acc))
 
-let sweep rng ?trials ?spare_rows ?closed_share pla ~rates =
-  List.map (fun r -> estimate rng ?trials ?spare_rows ?closed_share pla ~defect_rate:r) rates
+let sweep_with ~trial rng ?trials ~rates () =
+  List.map (fun r -> estimate_with ~trial rng ?trials ~defect_rate:r ()) rates
+
+let estimate rng ?trials ?(spare_rows = 2) ?closed_share pla ~defect_rate =
+  estimate_with
+    ~trial:(fun rng ~defect_rate -> trial rng ~spare_rows ?closed_share pla ~defect_rate)
+    rng ?trials ~defect_rate ()
+
+let sweep rng ?trials ?(spare_rows = 2) ?closed_share pla ~rates =
+  sweep_with
+    ~trial:(fun rng ~defect_rate -> trial rng ~spare_rows ?closed_share pla ~defect_rate)
+    rng ?trials ~rates ()
 
 let functional_check rng ?closed_share pla cover ~defect_rate ~spare_rows =
   let n_in = Cnfet.Pla.num_inputs pla in

@@ -26,6 +26,19 @@ val trial : Util.Rng.t -> ?spare_rows:int -> ?closed_share:float -> Cnfet.Pla.t 
 val point_of_outcomes : defect_rate:float -> trial_outcome array -> point
 (** Fold trial outcomes into a yield point. *)
 
+val draw_maps : Util.Rng.t -> ?closed_share:float -> Cnfet.Pla.t -> spare_rows:int -> defect_rate:float -> Defect.map * Defect.map
+(** Draw one (AND, OR) defect-map pair sized for [pla] plus [spare_rows]
+    physical rows — the same draw {!trial} makes internally. Exposed so
+    the runtime chaos loop injects defects with exactly the geometry the
+    offline yield model uses. *)
+
+val sweep_with : trial:(Util.Rng.t -> defect_rate:float -> trial_outcome) -> Util.Rng.t -> ?trials:int -> rates:float list -> unit -> point list
+(** Generic sweep engine behind {!sweep}: run [trial] at each rate and
+    fold the outcomes. [Runtime.Chaos] plugs in a trial that pushes each
+    drawn defect map through the full detect → repair → re-verify serving
+    path, so offline and chaos yield curves share one harness. The rng is
+    consumed in strict trial order within each rate. *)
+
 val estimate : Util.Rng.t -> ?trials:int -> ?spare_rows:int -> ?closed_share:float -> Cnfet.Pla.t -> defect_rate:float -> point
 (** Default 200 trials, 2 spare rows. Equivalent to folding {!trial}
     outcomes drawn sequentially from [rng]. *)

@@ -231,6 +231,57 @@ let repair_revalidation =
             !ok)
           (Gens.all_minterms rc.rp_cover.Gens.cv_n_in))
 
+(* The chaos engine's healing contract, shrunk to a property: a defect
+   map that ATPG vectors can see must, after repair within the spare
+   budget and re-verification {e through the defects}, evaluate
+   bit-identically to the fault-free reference on every minterm. A
+   failing case shrinks to a minimal unhealable witness. *)
+let chaos_heal_convergence =
+  Runner.make ~name:"chaos/detect-repair-reverify" ~count:40 (Gens.arb_repair_case ())
+    (fun (rc : Gens.repair_case) ->
+      let f = Gens.cover_of_spec rc.rp_cover in
+      let pla = Cnfet.Pla.of_cover f in
+      let and_defects = Gens.defect_map_of_spec rc.rp_and in
+      let or_defects = Gens.defect_map_of_spec rc.rp_or in
+      let products = Cnfet.Pla.num_products pla in
+      let truncate m ~rows ~cols =
+        let t = Fault.Defect.perfect ~rows ~cols in
+        for r = 0 to rows - 1 do
+          for c = 0 to cols - 1 do
+            Fault.Defect.set t ~row:r ~col:c (Fault.Defect.kind m ~row:r ~col:c)
+          done
+        done;
+        t
+      in
+      let and_id = truncate and_defects ~rows:products ~cols:(Fault.Defect.cols and_defects) in
+      let or_id = truncate or_defects ~rows:(Fault.Defect.rows or_defects) ~cols:products in
+      let tests, _ = Fault.Atpg.generate pla in
+      let detected =
+        List.exists
+          (fun v -> defective_eval pla ~and_defects:and_id ~or_defects:or_id v <> Cnfet.Pla.eval pla v)
+          tests
+      in
+      if not detected then true (* masked on the array as programmed: nothing to heal *)
+      else
+        match Fault.Repair.repair ~spare_rows:rc.rp_spares ~and_defects ~or_defects pla with
+        | Fault.Repair.Unrepairable ->
+          (* The claim must be sound: not even the identity placement may
+             survive when repair declares the spare budget insufficient. *)
+          not (Fault.Repair.identity_works ~and_defects ~or_defects pla)
+        | Fault.Repair.Repaired assignment ->
+          let rows = products + rc.rp_spares in
+          let repaired = Fault.Repair.apply pla assignment ~rows in
+          List.for_all
+            (fun m ->
+              let got = defective_eval repaired ~and_defects ~or_defects m in
+              let want = Cover.eval f m in
+              let ok = ref true in
+              for o = 0 to rc.rp_cover.Gens.cv_n_out - 1 do
+                if got.(o) <> Util.Bitvec.get want o then ok := false
+              done;
+              !ok)
+            (Gens.all_minterms rc.rp_cover.Gens.cv_n_in))
+
 (* --- crossbar ----------------------------------------------------------- *)
 
 let crossbar_resolve_vs_hw =
@@ -377,6 +428,7 @@ let all =
     program_hw_roundtrip;
     atpg_full_coverage;
     repair_revalidation;
+    chaos_heal_convergence;
     crossbar_resolve_vs_hw;
     folding_witness;
     fpga_inverter_absorption;

@@ -131,6 +131,53 @@ let pla c = c.pla
 
 let hw c = Lazy.force c.hw
 
+(* --- checksums ---------------------------------------------------------- *)
+
+(* A cheap integer digest over everything [eval] reads: both row arrays
+   and the output-polarity vector. SplitMix64's finalizer gives good
+   avalanche, so any single bit-flip in a mask, an index list or a
+   polarity changes the digest. Recomputed on every serve and compared
+   with the value recorded at compile time — the cache's defence against
+   entries rotting in place (injected by [Fault.Inject], or real memory
+   corruption in a long-lived server). *)
+let mix h x =
+  let h = Int64.logxor h (Int64.of_int x) in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 30)) 0xbf58476d1ce4e5b9L in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 27)) 0x94d049bb133111ebL in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+let checksum_of_compiled c =
+  let h = ref 0x9e3779b97f4a7c15L in
+  let row r =
+    match r with
+    | Masked { pass; invert } ->
+      h := mix !h 1;
+      h := mix !h pass;
+      h := mix !h invert
+    | Indexed { pass; invert } ->
+      h := mix !h 2;
+      Array.iter (fun x -> h := mix !h x) pass;
+      h := mix !h (-1);
+      Array.iter (fun x -> h := mix !h x) invert
+  in
+  Array.iter row c.and_rows;
+  h := mix !h (-2);
+  Array.iter row c.or_rows;
+  h := mix !h (-3);
+  Array.iter (fun b -> h := mix !h (if b then 1 else 0)) c.inverted;
+  Int64.to_int !h
+
+(* Deterministic silent corruption for the chaos engine: flip the first
+   output's polarity — [eval] keeps running but returns wrong bits, which
+   is exactly the failure the checksum must catch before serving. *)
+let corrupt_compiled c =
+  if Array.length c.inverted > 0 then c.inverted.(0) <- not c.inverted.(0)
+  else if Array.length c.and_rows > 0 then
+    c.and_rows.(0) <-
+      (match c.and_rows.(0) with
+      | Masked { pass; invert } -> Masked { pass = pass lxor 1; invert }
+      | Indexed r -> Indexed { r with pass = Array.map succ r.pass })
+
 let eval c inputs =
   if Array.length inputs <> Pla.num_inputs c.pla then invalid_arg "Cache.eval";
   let padded =
@@ -146,7 +193,15 @@ let eval c inputs =
 
 (* --- the cache proper --------------------------------------------------- *)
 
-type entry = { compiled : compiled; mutable last_used : int }
+type entry = { compiled : compiled; check : int; mutable last_used : int }
+
+exception Corrupt_entry of { key : key }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_entry { key } ->
+      Some (Printf.sprintf "Cache.Corrupt_entry (key %s)" (Digest.to_hex key))
+    | _ -> None)
 
 type t = {
   lock : Mutex.t;
@@ -156,6 +211,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable corruptions : int;
 }
 
 let create ?(capacity = 256) () =
@@ -168,6 +224,7 @@ let create ?(capacity = 256) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    corruptions = 0;
   }
 
 let locked t f =
@@ -195,12 +252,35 @@ let find_or_compile t key build =
       | Some e ->
         t.hits <- t.hits + 1;
         e.last_used <- t.clock;
+        (* Serve-time integrity check: never hand out an entry whose
+           content no longer matches the digest recorded at compile
+           time. The rotten entry is evicted so a retry recompiles. *)
+        if checksum_of_compiled e.compiled <> e.check then begin
+          t.corruptions <- t.corruptions + 1;
+          Hashtbl.remove t.table key;
+          if Obs.Span.enabled () then Obs.Span.instant "cache.corruption_detected";
+          raise (Corrupt_entry { key })
+        end;
         e.compiled
       | None ->
         t.misses <- t.misses + 1;
         let compiled = Obs.Span.with_ "cache.compile" build in
+        let check = checksum_of_compiled compiled in
         if Hashtbl.length t.table >= t.capacity then evict_lru t;
-        Hashtbl.replace t.table key { compiled; last_used = t.clock };
+        Hashtbl.replace t.table key { compiled; check; last_used = t.clock };
+        (* Chaos hook: a freshly stored entry may rot immediately. The
+           just-built value is the stored value, so verify before
+           returning it — the caller must never evaluate through a
+           corrupt entry. *)
+        (match Fault.Inject.tap (Fault.Inject.Cache_store { key }) with
+        | Fault.Inject.Corrupt -> corrupt_compiled compiled
+        | _ -> ());
+        if checksum_of_compiled compiled <> check then begin
+          t.corruptions <- t.corruptions + 1;
+          Hashtbl.remove t.table key;
+          if Obs.Span.enabled () then Obs.Span.instant "cache.corruption_detected";
+          raise (Corrupt_entry { key })
+        end;
         compiled)
 
 let compile t ?inverted_outputs cover =
@@ -231,7 +311,10 @@ let compile_of_pla t pla_v =
 let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)
 let evictions t = locked t (fun () -> t.evictions)
+let corruptions t = locked t (fun () -> t.corruptions)
 let size t = locked t (fun () -> Hashtbl.length t.table)
+
+let corrupt_for_test = corrupt_compiled
 
 let hit_rate t =
   locked t (fun () ->
@@ -243,4 +326,5 @@ let export_metrics t m =
   Metrics.register_gauge m "cache.hits" (fun () -> float_of_int (hits t));
   Metrics.register_gauge m "cache.misses" (fun () -> float_of_int (misses t));
   Metrics.register_gauge m "cache.evictions" (fun () -> float_of_int (evictions t));
+  Metrics.register_gauge m "cache.corruptions_detected" (fun () -> float_of_int (corruptions t));
   Metrics.register_gauge m "cache.hit_rate" (fun () -> hit_rate t)

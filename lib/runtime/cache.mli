@@ -14,6 +14,14 @@ type t
 type key = string
 (** MD5 digest of the programmed content. *)
 
+exception Corrupt_entry of { key : key }
+(** Raised by {!compile} / {!compile_of_pla} when the entry about to be
+    served (or just stored, under {!Fault.Inject} chaos) no longer
+    matches the integrity checksum recorded at compile time. The rotten
+    entry is evicted before raising, so a plain retry recompiles from
+    source; {!Supervisor} additionally counts these toward its
+    circuit breaker and falls back to uncompiled evaluation. *)
+
 val key_of_cover : ?inverted_outputs:bool array -> Logic.Cover.t -> key
 (** The cache key {!compile} uses: digest of [n_in], [n_out], the cube
     list in order, and the polarity configuration. *)
@@ -51,7 +59,16 @@ val misses : t -> int
 
 val evictions : t -> int
 
+val corruptions : t -> int
+(** Checksum mismatches detected (and evicted) so far. *)
+
 val size : t -> int
+
+val corrupt_for_test : compiled -> unit
+(** Deterministically rot a compiled entry in place (flips the first
+    output's polarity) {e without} updating its stored checksum — the
+    next serve of that entry must raise {!Corrupt_entry}. Chaos/test
+    hook; never call it in production paths. *)
 
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; 0 before any lookup. *)

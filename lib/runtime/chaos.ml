@@ -1,0 +1,489 @@
+(* The inject → detect → repair → re-verify loop. Orchestration runs in
+   the submitting domain; only the supervised batch scenario fans out to
+   pool workers, so every fault-site draw below happens in a fixed,
+   deterministic order for a given seed. *)
+
+module Pla = Cnfet.Pla
+module Plane = Cnfet.Plane
+module Program_hw = Cnfet.Program_hw
+module Crossbar = Cnfet.Crossbar
+module Inject = Fault.Inject
+module Defect = Fault.Defect
+module Repair = Fault.Repair
+module Atpg = Fault.Atpg
+
+type scenario = {
+  sc_name : string;
+  sc_rounds : int;
+  sc_injected : int;
+  sc_detected : int;
+  sc_repaired : int;
+  sc_unrepairable : int;
+  sc_undetected : int;
+}
+
+type report = {
+  seed : int;
+  budget_s : float;
+  wall_s : float;
+  rounds : int;
+  jobs : int;
+  spare_rows : int;
+  injected_by_category : (string * int) list;
+  injected_total : int;
+  scenarios : scenario list;
+  miscompares : int;
+  worker_crashes : int;
+  retries : int;
+  deadline_expiries : int;
+  serial_fallbacks : int;
+  cache_corruptions : int;
+  fallback_evals : int;
+  breaker_opens : int;
+  degradation : float;
+  recoveries : int;
+  recovery_p50_s : float;
+  recovery_p90_s : float;
+  recovery_p99_s : float;
+  recovery_max_s : float;
+}
+
+let detected_unrepaired r =
+  List.fold_left
+    (fun n sc -> n + (sc.sc_detected - sc.sc_repaired - sc.sc_unrepairable))
+    0 r.scenarios
+
+(* Mutable per-scenario tally, frozen into [scenario] at the end. *)
+type tally = {
+  name : string;
+  mutable rounds : int;
+  mutable injected : int;
+  mutable detected : int;
+  mutable repaired : int;
+  mutable unrepairable : int;
+  mutable undetected : int;
+}
+
+let tally name = { name; rounds = 0; injected = 0; detected = 0; repaired = 0; unrepairable = 0; undetected = 0 }
+
+let freeze t =
+  {
+    sc_name = t.name;
+    sc_rounds = t.rounds;
+    sc_injected = t.injected;
+    sc_detected = t.detected;
+    sc_repaired = t.repaired;
+    sc_unrepairable = t.unrepairable;
+    sc_undetected = t.undetected;
+  }
+
+(* --- fault-site draws ---------------------------------------------------- *)
+
+(* Each drawn decision consumes one fresh site index from a counter, so a
+   run's decision sequence is a pure function of the seed. *)
+let draw_defect_map ctr ~rows ~cols =
+  let m = Defect.perfect ~rows ~cols in
+  let injected = ref 0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      incr ctr;
+      match Inject.crosspoint_fault ~index:!ctr with
+      | Defect.Good -> ()
+      | k ->
+        incr injected;
+        Defect.set m ~row:r ~col:c k
+    done
+  done;
+  (m, !injected)
+
+let truncate_map m ~rows ~cols =
+  let t = Defect.perfect ~rows ~cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Defect.set t ~row:r ~col:c (Defect.kind m ~row:r ~col:c)
+    done
+  done;
+  t
+
+(* Outputs of [pla] evaluated through per-plane defect maps. *)
+let defective_outputs ~and_defects ~or_defects pla inputs =
+  let products = Defect.eval_with_defects and_defects (Pla.and_plane pla) inputs in
+  let or_rows = Defect.eval_with_defects or_defects (Pla.or_plane pla) products in
+  Array.mapi (fun o v -> if Pla.output_inverted pla o then not v else v) or_rows
+
+(* --- workloads ----------------------------------------------------------- *)
+
+type workload = {
+  w_name : string;
+  cover : Logic.Cover.t;
+  pla : Pla.t;
+  golden : bool array array;  (** oracle outputs for every minterm *)
+  tests : bool array list;  (** ATPG vectors for the programmed PLA *)
+}
+
+let minterm n_in m = Array.init n_in (fun i -> m land (1 lsl i) <> 0)
+
+let make_workload (w_name, cover) =
+  let pla = Pla.of_cover cover in
+  let n_in = Pla.num_inputs pla in
+  let golden = Array.init (1 lsl n_in) (fun m -> Pla.eval pla (minterm n_in m)) in
+  let tests, _undetectable = Atpg.generate pla in
+  { w_name; cover; pla; golden; tests }
+
+let workloads () =
+  Mcnc.Generators.all
+  |> List.filter (fun (_, c) ->
+         Logic.Cover.num_inputs c <= 6 && List.length (Logic.Cover.cubes c) <= 24)
+  |> List.map make_workload
+
+(* --- the run ------------------------------------------------------------- *)
+
+let run ?(seed = 42) ?(budget_s = 10.) ?(max_rounds = 50) ?(spare_rows = 2) ?jobs
+    ?(plan = Inject.default) () =
+  let metrics = Metrics.create () in
+  let clock = Obs.Clock.monotonic in
+  let now_s () = Int64.to_float (clock ()) /. 1e9 in
+  let t0 = now_s () in
+  let recovery = Histogram.create () in
+  let timed_recovery f =
+    let s = now_s () in
+    let r = f () in
+    Histogram.observe recovery (now_s () -. s);
+    r
+  in
+  let ws = Array.of_list (workloads ()) in
+  if Array.length ws = 0 then invalid_arg "Chaos.run: no workloads";
+  let batch_t = tally "supervised_batch"
+  and xpoint_t = tally "crosspoint_repair"
+  and pg_t = tally "pg_drift_scrub"
+  and xbar_t = tally "crossbar_scrub" in
+  let miscompares = Atomic.make 0 in
+  let evals = Atomic.make 0 in
+  let tasks = ref 0 in
+  let xp_ctr = ref 0 and pg_ctr = ref 1_000_000_000 in
+  let reprograms = ref 0 in
+  Inject.with_armed ~seed plan @@ fun engine ->
+  Pool.with_pool ~metrics ?jobs @@ fun pool ->
+  let sup =
+    Supervisor.create ~metrics
+      ~config:
+        {
+          Supervisor.default_config with
+          max_attempts = 4;
+          deadline_s = Some 0.5;
+          crash_tolerance = 64;
+        }
+      pool
+  in
+  let cache = Cache.create () in
+
+  (* Scenario 1 — supervised batch sweep: full input space through the
+     pool and the breaker-guarded cache, checked against the oracle. *)
+  let batch_round w =
+    batch_t.rounds <- batch_t.rounds + 1;
+    let n = Array.length w.golden in
+    let chunk = 8 in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let n_in = Pla.num_inputs w.pla in
+    let thunks =
+      Array.init n_chunks (fun c ->
+          let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+          fun () ->
+            for m = lo to hi - 1 do
+              Atomic.incr evals;
+              let out = Supervisor.eval sup cache w.cover (minterm n_in m) in
+              if out <> w.golden.(m) then Atomic.incr miscompares
+            done)
+    in
+    tasks := !tasks + n_chunks;
+    ignore (Supervisor.run_all ~label:("chaos." ^ w.w_name) sup thunks)
+  in
+
+  (* Scenario 2 — crosspoint faults: ATPG detect, spare-row repair,
+     physical reprogram, functional re-verify through the defects. *)
+  let crosspoint_round w =
+    xpoint_t.rounds <- xpoint_t.rounds + 1;
+    let products = Pla.num_products w.pla in
+    let rows = products + spare_rows in
+    let and_cols = Plane.cols (Pla.and_plane w.pla) in
+    let n_out = Plane.rows (Pla.or_plane w.pla) in
+    let and_defects, inj_a = draw_defect_map xp_ctr ~rows ~cols:and_cols in
+    let or_defects, inj_o = draw_defect_map xp_ctr ~rows:n_out ~cols:rows in
+    let injected = inj_a + inj_o in
+    xpoint_t.injected <- xpoint_t.injected + injected;
+    if injected > 0 then begin
+      (* Detection on the identity mapping (the array as programmed). *)
+      let and_id = truncate_map and_defects ~rows:products ~cols:and_cols in
+      let or_id = truncate_map or_defects ~rows:n_out ~cols:products in
+      let n_in = Pla.num_inputs w.pla in
+      let miscompare v =
+        defective_outputs ~and_defects:and_id ~or_defects:or_id w.pla v <> Pla.eval w.pla v
+      in
+      if not (List.exists miscompare w.tests) then
+        (* All faults masked on the test set: nothing observable to heal. *)
+        xpoint_t.undetected <- xpoint_t.undetected + injected
+      else begin
+        xpoint_t.detected <- xpoint_t.detected + injected;
+        let healed =
+          timed_recovery @@ fun () ->
+          match Repair.repair ~spare_rows ~and_defects ~or_defects w.pla with
+          | Repair.Unrepairable -> `Unrepairable
+          | Repair.Repaired assignment ->
+            let physical = Repair.apply w.pla assignment ~rows in
+            (* Re-verify the full function through the defects. *)
+            let ok = ref true in
+            for m = 0 to (1 lsl n_in) - 1 do
+              let v = minterm n_in m in
+              let got = defective_outputs ~and_defects ~or_defects physical v in
+              let want = Logic.Cover.eval w.cover v in
+              Array.iteri (fun o g -> if g <> Util.Bitvec.get want o then ok := false) got
+            done;
+            if not !ok then `Failed
+            else begin
+              (* Push the repaired AND plane through the physical
+                 programming network when the array is small enough to
+                 simulate, and check the stored charge pattern. *)
+              let ap = Pla.and_plane physical in
+              if !reprograms < 5 && Plane.rows ap * Plane.cols ap <= 64 then begin
+                incr reprograms;
+                let hw = Program_hw.build ~rows:(Plane.rows ap) ~cols:(Plane.cols ap) () in
+                Program_hw.program_plane hw ap;
+                if Program_hw.verify hw ap then `Repaired else `Failed
+              end
+              else `Repaired
+            end
+        in
+        match healed with
+        | `Repaired -> xpoint_t.repaired <- xpoint_t.repaired + injected
+        | `Unrepairable -> xpoint_t.unrepairable <- xpoint_t.unrepairable + injected
+        | `Failed -> ()
+      end
+    end
+  in
+
+  (* Scenario 3 — PG charge drift on a live programmed array: disturb
+     storage nodes, detect decode flips by readback, rewrite, verify.
+     The array persists across rounds, so masked drift can accumulate
+     until it finally flips a decode — exactly what periodic scrubbing
+     exists to catch. *)
+  let pg_plane = Pla.and_plane (Array.get ws 0).pla in
+  let pg_hw = Program_hw.build ~rows:(Plane.rows pg_plane) ~cols:(Plane.cols pg_plane) () in
+  Program_hw.program_plane pg_hw pg_plane;
+  let pg_round () =
+    pg_t.rounds <- pg_t.rounds + 1;
+    let injected = ref 0 in
+    for r = 0 to Plane.rows pg_plane - 1 do
+      for c = 0 to Plane.cols pg_plane - 1 do
+        incr pg_ctr;
+        let d = Inject.pg_drift ~index:!pg_ctr in
+        if d <> 0. then begin
+          incr injected;
+          Program_hw.disturb pg_hw ~row:r ~col:c d
+        end
+      done
+    done;
+    pg_t.injected <- pg_t.injected + !injected;
+    if !injected > 0 then begin
+      let readback = Program_hw.readback pg_hw in
+      let flipped = ref [] in
+      Plane.iter
+        (fun r c m -> if m <> Plane.mode pg_plane ~row:r ~col:c then flipped := (r, c) :: !flipped)
+        readback;
+      match !flipped with
+      | [] -> pg_t.undetected <- pg_t.undetected + !injected
+      | cells ->
+        let n = List.length cells in
+        pg_t.detected <- pg_t.detected + n;
+        pg_t.undetected <- pg_t.undetected + (!injected - n);
+        let ok =
+          timed_recovery @@ fun () ->
+          List.iter
+            (fun (r, c) ->
+              Program_hw.write_mode pg_hw ~row:r ~col:c (Plane.mode pg_plane ~row:r ~col:c))
+            cells;
+          Program_hw.verify pg_hw pg_plane
+        in
+        if ok then pg_t.repaired <- pg_t.repaired + n
+    end
+  in
+
+  (* Scenario 4 — crossbar scrubbing: flip interconnect crosspoints
+     against a golden snapshot, detect by comparison, restore, re-check
+     the demanded routes. *)
+  let xb_n = 6 in
+  let xb = Crossbar.create ~rows:xb_n ~cols:xb_n in
+  for i = 0 to xb_n - 1 do
+    Crossbar.connect xb ~row:i ~col:i
+  done;
+  let xb_golden = Crossbar.copy xb in
+  let xbar_round () =
+    xbar_t.rounds <- xbar_t.rounds + 1;
+    let injected = ref 0 in
+    for r = 0 to xb_n - 1 do
+      for c = 0 to xb_n - 1 do
+        incr xp_ctr;
+        match Inject.crosspoint_fault ~index:!xp_ctr with
+        | Defect.Good -> ()
+        | Defect.Stuck_closed ->
+          if not (Crossbar.connected xb ~row:r ~col:c) then begin
+            incr injected;
+            Crossbar.connect xb ~row:r ~col:c
+          end
+        | Defect.Stuck_open ->
+          if Crossbar.connected xb ~row:r ~col:c then begin
+            incr injected;
+            Crossbar.disconnect xb ~row:r ~col:c
+          end
+      done
+    done;
+    xbar_t.injected <- xbar_t.injected + !injected;
+    if !injected > 0 then
+      if Crossbar.equal xb xb_golden then xbar_t.undetected <- xbar_t.undetected + !injected
+      else begin
+        xbar_t.detected <- xbar_t.detected + !injected;
+        let ok =
+          timed_recovery @@ fun () ->
+          for r = 0 to xb_n - 1 do
+            for c = 0 to xb_n - 1 do
+              if Crossbar.connected xb_golden ~row:r ~col:c then Crossbar.connect xb ~row:r ~col:c
+              else Crossbar.disconnect xb ~row:r ~col:c
+            done
+          done;
+          Crossbar.equal xb xb_golden
+          && List.for_all
+               (fun i -> Crossbar.route_point_to_point xb ~from_row:i ~to_col:i)
+               (List.init xb_n Fun.id)
+        in
+        if ok then xbar_t.repaired <- xbar_t.repaired + !injected
+      end
+  in
+
+  let rounds = ref 0 in
+  Obs.Span.with_ ~args:[ ("seed", string_of_int seed) ] "chaos.run" (fun () ->
+      while !rounds < max_rounds && now_s () -. t0 < budget_s do
+        let w = ws.(!rounds mod Array.length ws) in
+        Obs.Span.with_
+          ~args:[ ("round", string_of_int !rounds); ("workload", w.w_name) ]
+          "chaos.round"
+          (fun () ->
+            batch_round w;
+            crosspoint_round w;
+            pg_round ();
+            xbar_round ());
+        incr rounds
+      done);
+  let counter name = Option.value ~default:0 (List.assoc_opt name (Metrics.counters metrics)) in
+  let retries = counter "supervisor.retries" in
+  let deadline_expiries = counter "supervisor.deadline_expiries" in
+  let serial_fallbacks = counter "supervisor.serial_fallbacks" in
+  let fallback_evals = counter "supervisor.fallback_evals" in
+  let breaker_opens = counter "supervisor.breaker_opens" in
+  let total_ops = Atomic.get evals + !tasks in
+  let degraded = retries + deadline_expiries + serial_fallbacks + fallback_evals in
+  let recoveries = Histogram.count recovery in
+  {
+    seed;
+    budget_s;
+    wall_s = now_s () -. t0;
+    rounds = !rounds;
+    jobs = Pool.jobs pool;
+    spare_rows;
+    injected_by_category = Inject.counts engine;
+    injected_total = Inject.total engine;
+    scenarios = [ freeze batch_t; freeze xpoint_t; freeze pg_t; freeze xbar_t ];
+    miscompares = Atomic.get miscompares;
+    worker_crashes = Pool.crashes pool;
+    retries;
+    deadline_expiries;
+    serial_fallbacks;
+    cache_corruptions = Cache.corruptions cache;
+    fallback_evals;
+    breaker_opens;
+    degradation = float_of_int degraded /. float_of_int (max 1 total_ops);
+    recoveries;
+    recovery_p50_s = (if recoveries = 0 then 0. else Histogram.percentile recovery 50.);
+    recovery_p90_s = (if recoveries = 0 then 0. else Histogram.percentile recovery 90.);
+    recovery_p99_s = (if recoveries = 0 then 0. else Histogram.percentile recovery 99.);
+    recovery_max_s = (if recoveries = 0 then 0. else Histogram.percentile recovery 100.);
+  }
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "{\n";
+  pf "  \"seed\": %d,\n" r.seed;
+  pf "  \"budget_s\": %g,\n" r.budget_s;
+  pf "  \"wall_s\": %.3f,\n" r.wall_s;
+  pf "  \"rounds\": %d,\n" r.rounds;
+  pf "  \"jobs\": %d,\n" r.jobs;
+  pf "  \"spare_rows\": %d,\n" r.spare_rows;
+  pf "  \"injected_total\": %d,\n" r.injected_total;
+  pf "  \"injected_by_category\": {";
+  List.iteri
+    (fun i (k, v) -> pf "%s\"%s\": %d" (if i = 0 then " " else ", ") (json_escape k) v)
+    r.injected_by_category;
+  pf " },\n";
+  pf "  \"scenarios\": [\n";
+  List.iteri
+    (fun i sc ->
+      pf
+        "    { \"name\": \"%s\", \"rounds\": %d, \"injected\": %d, \"detected\": %d, \
+         \"repaired\": %d, \"unrepairable\": %d, \"undetected\": %d }%s\n"
+        (json_escape sc.sc_name) sc.sc_rounds sc.sc_injected sc.sc_detected sc.sc_repaired
+        sc.sc_unrepairable sc.sc_undetected
+        (if i = List.length r.scenarios - 1 then "" else ","))
+    r.scenarios;
+  pf "  ],\n";
+  pf "  \"detected_unrepaired\": %d,\n" (detected_unrepaired r);
+  pf "  \"miscompares\": %d,\n" r.miscompares;
+  pf "  \"worker_crashes\": %d,\n" r.worker_crashes;
+  pf "  \"retries\": %d,\n" r.retries;
+  pf "  \"deadline_expiries\": %d,\n" r.deadline_expiries;
+  pf "  \"serial_fallbacks\": %d,\n" r.serial_fallbacks;
+  pf "  \"cache_corruptions\": %d,\n" r.cache_corruptions;
+  pf "  \"fallback_evals\": %d,\n" r.fallback_evals;
+  pf "  \"breaker_opens\": %d,\n" r.breaker_opens;
+  pf "  \"degradation\": %.6f,\n" r.degradation;
+  pf "  \"recoveries\": %d,\n" r.recoveries;
+  pf "  \"recovery_latency_s\": { \"p50\": %.6f, \"p90\": %.6f, \"p99\": %.6f, \"max\": %.6f }\n"
+    r.recovery_p50_s r.recovery_p90_s r.recovery_p99_s r.recovery_max_s;
+  pf "}\n";
+  Buffer.contents b
+
+let summary r =
+  let b = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "chaos: seed %d, %d rounds in %.2fs (%d jobs, %d spare rows)\n" r.seed r.rounds r.wall_s
+    r.jobs r.spare_rows;
+  pf "  injected %d faults:" r.injected_total;
+  List.iter (fun (k, v) -> if v > 0 then pf " %s=%d" k v) r.injected_by_category;
+  pf "\n";
+  List.iter
+    (fun sc ->
+      pf "  %-18s injected %4d  detected %4d  repaired %4d  unrepairable %2d  masked %4d\n"
+        sc.sc_name sc.sc_injected sc.sc_detected sc.sc_repaired sc.sc_unrepairable
+        sc.sc_undetected)
+    r.scenarios;
+  pf "  runtime: %d worker crashes, %d retries, %d deadline expiries, %d serial fallbacks\n"
+    r.worker_crashes r.retries r.deadline_expiries r.serial_fallbacks;
+  pf "  cache: %d corruptions detected, %d fallback evals, %d breaker opens\n"
+    r.cache_corruptions r.fallback_evals r.breaker_opens;
+  pf "  miscompares vs oracle: %d; degradation: %.2f%%\n" r.miscompares (100. *. r.degradation);
+  if r.recoveries > 0 then
+    pf "  recovery latency (s): p50 %.4f  p90 %.4f  p99 %.4f  max %.4f over %d recoveries\n"
+      r.recovery_p50_s r.recovery_p90_s r.recovery_p99_s r.recovery_max_s r.recoveries;
+  pf "  detected-but-unrepaired: %d\n" (detected_unrepaired r);
+  Buffer.contents b

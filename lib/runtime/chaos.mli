@@ -1,0 +1,89 @@
+(** The closed self-healing loop: inject → detect → repair → re-verify.
+
+    Arms {!Fault.Inject} and drives the whole serving stack through it in
+    rounds, exercising every recovery mechanism the runtime owns:
+
+    {ul
+    {- {b supervised batches}: input-space sweeps through
+       {!Supervisor.run_all} / {!Supervisor.eval} while pool tasks raise,
+       stall and crash their workers and compiled-cache entries rot —
+       results must stay bit-identical to the fault-free oracle (crashes
+       are respawned, failures retried, corrupt entries checksum-detected
+       and served via the uncompiled fallback);}
+    {- {b crosspoint faults}: programmed cells flip to stuck states,
+       {!Fault.Atpg} vectors expose the miscompares, {!Fault.Repair}
+       re-maps products onto spare rows, small arrays are physically
+       reprogrammed through {!Cnfet.Program_hw} and the result is
+       re-verified through the defects;}
+    {- {b PG charge drift}: storage nodes of a live programmed array
+       drift ({!Cnfet.Program_hw.disturb}), readback catches the decode
+       flips, the cells are rewritten and verified;}
+    {- {b crossbar scrub}: interconnect crosspoints flip against a
+       golden snapshot ({!Cnfet.Crossbar.copy}/[equal]); the scrubber
+       restores and re-verifies routing.}}
+
+    Every recovery is timed; the report carries latency percentiles and
+    a [degradation] fraction (operations that had to leave the fast
+    path), the numbers the CI smoke gate checks. *)
+
+type scenario = {
+  sc_name : string;
+  sc_rounds : int;
+  sc_injected : int;  (** faults this scenario's sites drew *)
+  sc_detected : int;
+  sc_repaired : int;
+  sc_unrepairable : int;  (** repair infeasible within the spare budget *)
+  sc_undetected : int;  (** injected but masked (no observable miscompare) *)
+}
+
+type report = {
+  seed : int;
+  budget_s : float;
+  wall_s : float;
+  rounds : int;
+  jobs : int;
+  spare_rows : int;
+  injected_by_category : (string * int) list;
+  injected_total : int;
+  scenarios : scenario list;
+  miscompares : int;  (** supervised-batch results differing from the oracle — must be 0 *)
+  worker_crashes : int;
+  retries : int;
+  deadline_expiries : int;
+  serial_fallbacks : int;
+  cache_corruptions : int;
+  fallback_evals : int;
+  breaker_opens : int;
+  degradation : float;  (** degraded operations / total operations *)
+  recoveries : int;
+  recovery_p50_s : float;
+  recovery_p90_s : float;
+  recovery_p99_s : float;
+  recovery_max_s : float;
+}
+
+val detected_unrepaired : report -> int
+(** Faults that were injected {e and} detected but neither repaired nor
+    proven unrepairable within the spare budget — the CI smoke gate
+    requires 0. *)
+
+val run :
+  ?seed:int ->
+  ?budget_s:float ->
+  ?max_rounds:int ->
+  ?spare_rows:int ->
+  ?jobs:int ->
+  ?plan:Fault.Inject.plan ->
+  unit ->
+  report
+(** Run chaos rounds until the wall-clock budget (default 10 s) or
+    [max_rounds] (default 50) is exhausted. Deterministic in [seed]
+    (default 42) up to wall-clock-dependent round count and latency
+    readings: pin [max_rounds] under a generous budget for exact
+    reproducibility. Arms {!Fault.Inject} for the duration; raises
+    [Invalid_argument] if an engine is already armed. *)
+
+val to_json : report -> string
+
+val summary : report -> string
+(** Human-readable multi-line rendering. *)

@@ -1,10 +1,17 @@
-(** Fixed-size worker pool on OCaml 5 domains.
+(** Fixed-size worker pool on OCaml 5 domains, with crash isolation.
 
     A FIFO task queue guarded by a mutex/condition pair feeds [jobs]
     worker domains. Submitting returns a future; awaiting re-raises the
     task's exception (with its backtrace) at the join point, so parallel
     failures surface exactly where sequential ones would. Shutdown is
-    graceful: queued tasks drain before the domains are joined. *)
+    graceful: queued tasks drain before the domains are joined.
+
+    A poisoned task — an exception escaping the task wrapper itself, as
+    injected by {!Fault.Inject} worker-crash decisions — fails alone: its
+    future is failed (joiners never hang), the crash is counted, and the
+    pool spawns a replacement domain and keeps draining. With [metrics],
+    crashes and respawns appear as [pool.worker_crashes] /
+    [pool.respawns]. *)
 
 type t
 
@@ -23,20 +30,36 @@ val create : ?metrics:Metrics.t -> ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
+val crashes : t -> int
+(** Worker domains poisoned (and replaced) so far. *)
+
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
 
 val await : 'a future -> 'a
 (** Block until the task completed; re-raise its exception if it failed. *)
 
+val await_result : 'a future -> ('a, exn * Printexc.raw_backtrace) result
+(** Blocking fan-in that never raises: the task's failure is a value, so
+    a caller draining many futures can collect every outcome before
+    deciding what to re-raise. *)
+
+val peek : 'a future -> ('a, exn * Printexc.raw_backtrace) result option
+(** Non-blocking: [None] while the task is still pending. The building
+    block for deadline-bounded awaiting ({!Supervisor}). *)
+
 val run_all : t -> (unit -> 'a) array -> 'a array
-(** Submit every thunk, then await them in submission order — the result
-    array lines up index-for-index with the input, and the first failing
-    index (not the first to fail in wall time) is the exception that
-    propagates. *)
+(** Submit every thunk, then await them in submission order. Every
+    future is drained — a failing task never abandons its queued
+    siblings — and only then is the failure with the smallest submission
+    index re-raised (what a sequential run would have hit first, not the
+    first to fail in wall time). *)
 
 val shutdown : t -> unit
-(** Drain the queue, stop and join every worker domain. Idempotent. *)
+(** Drain the queue, stop and join every worker domain ever spawned —
+    including replacements for crashed workers and the corpses they
+    replaced. Idempotent, and safe after any number of mid-task worker
+    deaths. *)
 
 val with_pool : ?metrics:Metrics.t -> ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, then {!shutdown} even on exceptions. *)

@@ -1,0 +1,354 @@
+(* Tests for the chaos/robustness stack: deterministic fault injection,
+   supervised retry with backoff and deadlines, the cache circuit
+   breaker, worker-crash isolation and the end-to-end self-healing
+   report. Everything time-dependent runs against [Obs.Clock.fixed_step]
+   and an injected no-op sleep, so no test waits on a real clock. *)
+
+module Inject = Fault.Inject
+module Pool = Runtime.Pool
+module Cache = Runtime.Cache
+module Supervisor = Runtime.Supervisor
+module Metrics = Runtime.Metrics
+module Chaos = Runtime.Chaos
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let counter m name = Option.value ~default:0 (List.assoc_opt name (Metrics.counters m))
+
+(* --- injection engine ----------------------------------------------------- *)
+
+let crash_all = { Inject.nothing with Inject.worker_crash = 1.0 }
+
+let test_inject_disarmed_noop () =
+  checkb "no engine armed" false (Inject.armed ());
+  checkb "tap is No_fault" true (Inject.tap (Inject.Pool_task { index = 0 }) = Inject.No_fault)
+
+let test_inject_deterministic () =
+  let draw seed =
+    Inject.with_armed ~seed Inject.default (fun t ->
+        let actions =
+          List.init 200 (fun i ->
+              match Inject.tap (Inject.Pool_task { index = i }) with
+              | Inject.No_fault -> 'n'
+              | Inject.Raise _ -> 'r'
+              | Inject.Crash_worker _ -> 'c'
+              | Inject.Stall _ -> 's'
+              | Inject.Corrupt -> 'x')
+        in
+        (actions, Inject.counts t, Inject.total t))
+  in
+  let a1, c1, t1 = draw 7 and a2, c2, t2 = draw 7 in
+  checkb "same seed, same decisions" true (a1 = a2);
+  checkb "same seed, same counts" true (c1 = c2);
+  checki "same seed, same total" t1 t2;
+  let a3, _, _ = draw 8 in
+  checkb "different seed, different decisions" true (a1 <> a3)
+
+let test_inject_single_engine () =
+  Inject.with_armed ~seed:1 Inject.nothing (fun _ ->
+      match Inject.arm ~seed:2 Inject.nothing with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "second arm must be rejected");
+  checkb "disarmed after with_armed" false (Inject.armed ())
+
+let test_inject_crosspoint_and_drift () =
+  Inject.with_armed ~seed:3
+    { Inject.nothing with Inject.crosspoint_flip = 1.0; pg_drift = 1.0; pg_drift_v = 0.7 }
+    (fun _ ->
+      checkb "crosspoint always fires" true
+        (Inject.crosspoint_fault ~index:0 <> Fault.Defect.Good);
+      let d = Inject.pg_drift ~index:0 in
+      checkb "drift magnitude" true (Float.abs (Float.abs d -. 0.7) < 1e-9));
+  checkb "good when disarmed" true (Inject.crosspoint_fault ~index:0 = Fault.Defect.Good);
+  checkb "no drift when disarmed" true (Inject.pg_drift ~index:0 = 0.)
+
+(* --- backoff --------------------------------------------------------------- *)
+
+let test_backoff_schedule () =
+  let p = { Supervisor.Backoff.base_s = 0.01; cap_s = 0.2 } in
+  let sched rng_seed = Supervisor.Backoff.schedule p (Util.Rng.create rng_seed) ~attempts:12 in
+  let s1 = sched 5 in
+  checki "requested length" 12 (List.length s1);
+  List.iter
+    (fun d -> checkb "delay within [base, cap]" true (d >= p.Supervisor.Backoff.base_s && d <= p.Supervisor.Backoff.cap_s))
+    s1;
+  checkb "deterministic in seed" true (s1 = sched 5);
+  checkb "jitter varies with seed" true (s1 <> sched 6);
+  (* The envelope grows: the max over the schedule reaches the cap
+     region, the first delay starts near the base. *)
+  checkb "first delay is small" true (List.hd s1 <= 3. *. p.Supervisor.Backoff.base_s);
+  checkb "envelope reaches cap" true (List.exists (fun d -> d > 0.1) s1)
+
+(* --- supervisor: deadline and retry ---------------------------------------- *)
+
+let fast_clock () = Obs.Clock.fixed_step ~step_ns:1_000_000L () (* 1 ms per reading *)
+
+let test_deadline_expiry () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let release = Atomic.make false in
+      let sup =
+        Supervisor.create ~clock:(fast_clock ())
+          ~sleep:(fun _ -> ())
+          ~config:{ Supervisor.default_config with max_attempts = 1; deadline_s = Some 0.01 }
+          pool
+      in
+      (match Supervisor.run ~label:"stuck" sup (fun () -> while not (Atomic.get release) do Domain.cpu_relax () done) with
+      | () -> Alcotest.fail "expected Deadline_exceeded"
+      | exception Supervisor.Deadline_exceeded { label; attempt; _ } ->
+        Alcotest.check Alcotest.string "label" "stuck" label;
+        checki "first attempt" 1 attempt);
+      Atomic.set release true)
+
+let test_retry_then_success () =
+  let metrics = Metrics.create () in
+  Pool.with_pool ~metrics ~jobs:1 (fun pool ->
+      let sup =
+        Supervisor.create ~metrics
+          ~sleep:(fun _ -> ())
+          ~config:{ Supervisor.default_config with max_attempts = 3 }
+          pool
+      in
+      let tries = Atomic.make 0 in
+      let v =
+        Supervisor.run sup (fun () ->
+            if Atomic.fetch_and_add tries 1 < 2 then failwith "flaky";
+            42)
+      in
+      checki "third attempt succeeded" 42 v;
+      checki "two retries counted" 2 (counter metrics "supervisor.retries"))
+
+let test_retries_exhausted () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let sup =
+        Supervisor.create
+          ~sleep:(fun _ -> ())
+          ~config:{ Supervisor.default_config with max_attempts = 2 }
+          pool
+      in
+      match Supervisor.run ~label:"doomed" sup (fun () -> failwith "always") with
+      | _ -> Alcotest.fail "expected Retries_exhausted"
+      | exception Supervisor.Retries_exhausted { label; attempts; last } ->
+        Alcotest.check Alcotest.string "label" "doomed" label;
+        checki "attempts" 2 attempts;
+        checkb "last exception kept" true (last = Failure "always"))
+
+let test_supervised_run_all_retries_per_index () =
+  let metrics = Metrics.create () in
+  Pool.with_pool ~metrics ~jobs:2 (fun pool ->
+      let sup =
+        Supervisor.create ~metrics
+          ~sleep:(fun _ -> ())
+          ~config:{ Supervisor.default_config with max_attempts = 2 }
+          pool
+      in
+      let failed_once = Atomic.make false in
+      let thunks =
+        Array.init 6 (fun i () ->
+            if i = 3 && not (Atomic.exchange failed_once true) then failwith "transient";
+            i * i)
+      in
+      let r = Supervisor.run_all sup thunks in
+      checkb "all results present" true (r = Array.init 6 (fun i -> i * i));
+      checki "exactly one retry" 1 (counter metrics "supervisor.retries"))
+
+(* --- circuit breaker -------------------------------------------------------- *)
+
+let breaker_cover = Mcnc.Generators.majority 3
+
+let corrupt_next_serve cache =
+  (* Plant rot: compile (or re-compile) the entry, then flip its contents
+     under the recorded checksum so the next serve must detect it. The
+     first compile may itself trip over rot left by a previous plant (it
+     evicts and raises); the recompile is then clean. *)
+  let compiled =
+    try Cache.compile cache breaker_cover
+    with Cache.Corrupt_entry _ -> Cache.compile cache breaker_cover
+  in
+  Cache.corrupt_for_test compiled
+
+let test_breaker_opens_and_recovers () =
+  let metrics = Metrics.create () in
+  Pool.with_pool ~metrics ~jobs:1 (fun pool ->
+      let golden = Cnfet.Pla.eval (Cnfet.Pla.of_cover breaker_cover) in
+      let inputs = [| true; false; true |] in
+      let sup =
+        Supervisor.create ~metrics ~clock:(fast_clock ())
+          ~sleep:(fun _ -> ())
+          ~config:
+            {
+              Supervisor.default_config with
+              breaker_threshold = 3;
+              breaker_cooldown_s = 0.05 (* 50 clock readings at 1 ms *);
+            }
+          pool
+      in
+      let cache = Cache.create () in
+      checkb "starts closed" true (Supervisor.breaker_state sup = Supervisor.Closed);
+      for _ = 1 to 3 do
+        corrupt_next_serve cache;
+        let out = Supervisor.eval sup cache breaker_cover inputs in
+        checkb "fallback result correct" true (out = golden inputs)
+      done;
+      checkb "opened after threshold strikes" true (Supervisor.breaker_state sup = Supervisor.Open);
+      checki "one open recorded" 1 (counter metrics "supervisor.breaker_opens");
+      (* While open every eval bypasses the cache, corrupt or not. *)
+      let before = Cache.hits cache + Cache.misses cache in
+      checkb "open-state eval correct" true (Supervisor.eval sup cache breaker_cover inputs = golden inputs);
+      checki "cache untouched while open" before (Cache.hits cache + Cache.misses cache);
+      (* Let the cooldown pass: each eval reads the clock at least once,
+         so spin until the half-open probe fires and succeeds. *)
+      let rec drain n =
+        if n = 0 then Alcotest.fail "breaker never closed"
+        else begin
+          ignore (Supervisor.eval sup cache breaker_cover inputs);
+          if Supervisor.breaker_state sup <> Supervisor.Closed then drain (n - 1)
+        end
+      in
+      drain 200;
+      checkb "clean probe closed the breaker" true
+        (Supervisor.breaker_state sup = Supervisor.Closed);
+      checki "close recorded" 1 (counter metrics "supervisor.breaker_closes"))
+
+let test_breaker_halfopen_failure_reopens () =
+  let metrics = Metrics.create () in
+  Pool.with_pool ~metrics ~jobs:1 (fun pool ->
+      let inputs = [| false; true; true |] in
+      let sup =
+        Supervisor.create ~metrics ~clock:(fast_clock ())
+          ~sleep:(fun _ -> ())
+          ~config:
+            { Supervisor.default_config with breaker_threshold = 1; breaker_cooldown_s = 0.002 }
+          pool
+      in
+      let cache = Cache.create () in
+      corrupt_next_serve cache;
+      ignore (Supervisor.eval sup cache breaker_cover inputs);
+      checkb "opened on first strike" true (Supervisor.breaker_state sup = Supervisor.Open);
+      (* Cooldown passes almost immediately; make the half-open probe hit
+         rot again: it must re-open, not close. *)
+      let reopened = ref false in
+      for _ = 1 to 10 do
+        if not !reopened then begin
+          corrupt_next_serve cache;
+          ignore (Supervisor.eval sup cache breaker_cover inputs);
+          if counter metrics "supervisor.breaker_opens" >= 2 then reopened := true
+        end
+      done;
+      checkb "failed probe re-opened" true !reopened;
+      checki "never closed" 0 (counter metrics "supervisor.breaker_closes"))
+
+(* --- cache corruption under injection -------------------------------------- *)
+
+let test_injected_store_corruption_detected () =
+  Inject.with_armed ~seed:11 { Inject.nothing with Inject.cache_corrupt = 1.0 } (fun t ->
+      let metrics = Metrics.create () in
+      Pool.with_pool ~metrics ~jobs:1 (fun pool ->
+          let sup = Supervisor.create ~metrics pool in
+          let cache = Cache.create () in
+          let golden = Cnfet.Pla.eval (Cnfet.Pla.of_cover breaker_cover) in
+          let inputs = [| true; true; false |] in
+          checkb "served correctly via fallback" true
+            (Supervisor.eval sup cache breaker_cover inputs = golden inputs);
+          checkb "corruption detected at store" true (Cache.corruptions cache >= 1);
+          checkb "fault counted by engine" true
+            (List.assoc "cache_corrupt" (Inject.counts t) >= 1);
+          checkb "fallback eval counted" true (counter metrics "supervisor.fallback_evals" >= 1)))
+
+(* --- worker crash isolation ------------------------------------------------- *)
+
+let test_worker_crash_respawn () =
+  let metrics = Metrics.create () in
+  Pool.with_pool ~metrics ~jobs:2 (fun pool ->
+      Inject.with_armed ~seed:5 crash_all (fun _ ->
+          match Pool.await (Pool.submit pool (fun () -> 1)) with
+          | _ -> Alcotest.fail "task should have been crashed"
+          | exception Inject.Injected_fault _ -> ());
+      checkb "crash counted" true (Pool.crashes pool >= 1);
+      (* The pool must still serve after losing a worker: the injection is
+         disarmed now, so fresh tasks run clean on the respawned domain. *)
+      let r = Pool.run_all pool (Array.init 16 (fun i () -> i + 1)) in
+      checkb "pool drains after respawn" true (r = Array.init 16 (fun i -> i + 1));
+      checkb "respawns recorded" true (counter metrics "pool.respawns" >= 1))
+
+let test_run_all_drains_after_crash () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let done_flags = Array.make 8 false in
+      let thunks =
+        Array.init 8 (fun i () ->
+            if i = 2 then failwith "boom2";
+            if i = 5 then failwith "boom5";
+            done_flags.(i) <- true)
+      in
+      (match Pool.run_all pool thunks with
+      | _ -> Alcotest.fail "expected failure"
+      | exception Failure m -> Alcotest.check Alcotest.string "smallest index wins" "boom2" m);
+      Array.iteri
+        (fun i flag -> if i <> 2 && i <> 5 then checkb "sibling completed" true flag)
+        done_flags)
+
+(* --- end-to-end chaos report ------------------------------------------------ *)
+
+let test_chaos_report_heals () =
+  let r = Chaos.run ~seed:42 ~budget_s:30. ~max_rounds:2 ~jobs:2 () in
+  checki "requested rounds ran" 2 r.Chaos.rounds;
+  checki "no miscompares against the oracle" 0 r.Chaos.miscompares;
+  checki "every detected fault handled" 0 (Chaos.detected_unrepaired r);
+  checkb "faults were actually injected" true (r.Chaos.injected_total > 0);
+  let json = Chaos.to_json r in
+  let contains needle =
+    let n = String.length needle and l = String.length json in
+    let rec go i = i + n <= l && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle -> checkb (Printf.sprintf "report has %s" needle) true (contains needle))
+    [ "\"degradation\""; "\"detected_unrepaired\""; "\"recovery_latency_s\""; "\"scenarios\"" ]
+
+let test_chaos_deterministic_injection () =
+  let r1 = Chaos.run ~seed:9 ~budget_s:30. ~max_rounds:1 ~jobs:2 () in
+  let r2 = Chaos.run ~seed:9 ~budget_s:30. ~max_rounds:1 ~jobs:2 () in
+  checkb "same seed, same injected set" true
+    (r1.Chaos.injected_by_category = r2.Chaos.injected_by_category);
+  checkb "same seed, same scenario tallies" true (r1.Chaos.scenarios = r2.Chaos.scenarios)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "inject",
+        [
+          Alcotest.test_case "disarmed is no-op" `Quick test_inject_disarmed_noop;
+          Alcotest.test_case "seeded determinism" `Quick test_inject_deterministic;
+          Alcotest.test_case "single engine" `Quick test_inject_single_engine;
+          Alcotest.test_case "crosspoint and drift draws" `Quick test_inject_crosspoint_and_drift;
+        ] );
+      ( "backoff",
+        [ Alcotest.test_case "decorrelated jitter schedule" `Quick test_backoff_schedule ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+          Alcotest.test_case "retry then success" `Quick test_retry_then_success;
+          Alcotest.test_case "retries exhausted" `Quick test_retries_exhausted;
+          Alcotest.test_case "run_all retries per index" `Quick
+            test_supervised_run_all_retries_per_index;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "open then recover" `Quick test_breaker_opens_and_recovers;
+          Alcotest.test_case "half-open failure re-opens" `Quick
+            test_breaker_halfopen_failure_reopens;
+          Alcotest.test_case "injected store corruption" `Quick
+            test_injected_store_corruption_detected;
+        ] );
+      ( "crash isolation",
+        [
+          Alcotest.test_case "worker crash respawn" `Quick test_worker_crash_respawn;
+          Alcotest.test_case "run_all drains after failures" `Quick
+            test_run_all_drains_after_crash;
+        ] );
+      ( "self-healing",
+        [
+          Alcotest.test_case "chaos report heals" `Quick test_chaos_report_heals;
+          Alcotest.test_case "deterministic injection" `Quick test_chaos_deterministic_injection;
+        ] );
+    ]

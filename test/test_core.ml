@@ -319,6 +319,24 @@ let test_program_hw_rewrite () =
   let plane = Cnfet.Program_hw.readback hw in
   checkb "rewritten to invert" true (Plane.mode plane ~row:0 ~col:0 = G.Invert)
 
+let test_program_hw_disturb_and_scrub () =
+  (* A large charge disturbance flips the stored mode; rewriting the cell
+     restores it — the retention-fault model the chaos scrubber relies
+     on. *)
+  let plane = Plane.create ~rows:2 ~cols:2 in
+  Plane.configure_row plane 0 [| G.Pass; G.Drop |];
+  Plane.configure_row plane 1 [| G.Drop; G.Invert |];
+  let hw = Cnfet.Program_hw.build ~rows:2 ~cols:2 () in
+  Cnfet.Program_hw.program_plane hw plane;
+  checkb "programmed clean" true (Cnfet.Program_hw.verify hw plane);
+  let v0 = Cnfet.Program_hw.stored_voltage hw ~row:0 ~col:0 in
+  Cnfet.Program_hw.disturb hw ~row:0 ~col:0 (-2.5);
+  checkb "charge moved" true
+    (Float.abs (Cnfet.Program_hw.stored_voltage hw ~row:0 ~col:0 -. v0) > 1.0);
+  checkb "readback detects the flip" false (Cnfet.Program_hw.verify hw plane);
+  Cnfet.Program_hw.write_mode hw ~row:0 ~col:0 (Plane.mode plane ~row:0 ~col:0);
+  checkb "scrub restores" true (Cnfet.Program_hw.verify hw plane)
+
 let test_program_hw_matches_charge_model () =
   (* The physical network and the charge-level protocol agree on the final
      configuration. *)
@@ -333,6 +351,20 @@ let test_program_hw_matches_charge_model () =
     (Plane.equal (Cnfet.Program_hw.readback hw) (Cnfet.Program.readback prog))
 
 (* --- Crossbar ------------------------------------------------------------------ *)
+
+let test_crossbar_copy_equal () =
+  let x = Cnfet.Crossbar.create ~rows:3 ~cols:4 in
+  Cnfet.Crossbar.connect x ~row:0 ~col:2;
+  Cnfet.Crossbar.connect x ~row:2 ~col:1;
+  let snap = Cnfet.Crossbar.copy x in
+  checkb "copy equals original" true (Cnfet.Crossbar.equal x snap);
+  Cnfet.Crossbar.connect x ~row:1 ~col:3;
+  checkb "copy is independent" false (Cnfet.Crossbar.equal x snap);
+  checkb "snapshot unchanged" false (Cnfet.Crossbar.connected snap ~row:1 ~col:3);
+  Cnfet.Crossbar.disconnect x ~row:1 ~col:3;
+  checkb "restored state equal again" true (Cnfet.Crossbar.equal x snap);
+  checkb "shape mismatch unequal" false
+    (Cnfet.Crossbar.equal x (Cnfet.Crossbar.create ~rows:3 ~cols:3))
 
 let test_crossbar_connectivity () =
   let x = Cnfet.Crossbar.create ~rows:3 ~cols:3 in
@@ -1045,11 +1077,13 @@ let () =
             test_program_hw_half_select_isolation;
           Alcotest.test_case "plane roundtrip" `Quick test_program_hw_plane_roundtrip;
           Alcotest.test_case "rewrite" `Quick test_program_hw_rewrite;
+          Alcotest.test_case "disturb and scrub" `Quick test_program_hw_disturb_and_scrub;
           Alcotest.test_case "matches charge model" `Quick
             test_program_hw_matches_charge_model;
         ] );
       ( "crossbar",
         [
+          Alcotest.test_case "copy and equal" `Quick test_crossbar_copy_equal;
           Alcotest.test_case "connectivity" `Quick test_crossbar_connectivity;
           Alcotest.test_case "polarity" `Quick test_crossbar_polarity;
           Alcotest.test_case "components" `Quick test_crossbar_components;

@@ -420,6 +420,69 @@ let test_yield_monotone_in_rate () =
       && b.Fault.Yield.yield_spares >= c.Fault.Yield.yield_spares -. 0.05)
   | _ -> Alcotest.fail "three points"
 
+let test_yield_sweep_with_is_sweep () =
+  (* [sweep] must be [sweep_with] plugged with the default trial — same
+     seed, same rng consumption order, bit-identical points. *)
+  let pla = sample_pla () in
+  let direct = Fault.Yield.sweep (Util.Rng.create 9) ~trials:50 pla ~rates:[ 0.02; 0.1 ] in
+  let generic =
+    Fault.Yield.sweep_with
+      ~trial:(fun rng ~defect_rate -> Fault.Yield.trial rng ~spare_rows:2 pla ~defect_rate)
+      (Util.Rng.create 9) ~trials:50 ~rates:[ 0.02; 0.1 ] ()
+  in
+  checkb "sweep = sweep_with(trial)" true (direct = generic)
+
+(* --- typed errors ----------------------------------------------------------- *)
+
+let test_repair_typed_errors () =
+  let f = cover_of_exprs 3 [ Expr.(v 0 && v 1 || v 2) ] in
+  let pla = Pla.of_cover f in
+  let products = Pla.num_products pla in
+  let and_cols = Cnfet.Plane.cols (Pla.and_plane pla) in
+  let good_and = Fault.Defect.perfect ~rows:(products + 1) ~cols:and_cols in
+  let good_or = Fault.Defect.perfect ~rows:(Pla.num_outputs pla) ~cols:(products + 1) in
+  (match Fault.Repair.repair ~spare_rows:(-1) ~and_defects:good_and ~or_defects:good_or pla with
+  | _ -> Alcotest.fail "negative spares must raise"
+  | exception Fault.Repair.No_spare_rows { spare_rows; _ } -> checki "payload" (-1) spare_rows);
+  let bad_and = Fault.Defect.perfect ~rows:products ~cols:and_cols in
+  (match Fault.Repair.repair ~spare_rows:1 ~and_defects:bad_and ~or_defects:good_or pla with
+  | _ -> Alcotest.fail "short AND map must raise"
+  | exception Fault.Repair.Shape_mismatch { plane; expected_rows; got_rows; _ } ->
+    checkb "names the AND plane" true (plane = Fault.Repair.And_side);
+    checki "expected rows" (products + 1) expected_rows;
+    checki "got rows" products got_rows);
+  let bad_or = Fault.Defect.perfect ~rows:(Pla.num_outputs pla) ~cols:products in
+  (match Fault.Repair.repair ~spare_rows:1 ~and_defects:good_and ~or_defects:bad_or pla with
+  | _ -> Alcotest.fail "short OR map must raise"
+  | exception Fault.Repair.Shape_mismatch { plane; _ } ->
+    checkb "names the OR plane" true (plane = Fault.Repair.Or_side));
+  (* The registered printer must name the call, not print a blank. *)
+  (match Fault.Repair.repair ~spare_rows:1 ~and_defects:bad_and ~or_defects:good_or pla with
+  | _ -> ()
+  | exception e ->
+    let s = Printexc.to_string e in
+    checkb "printer names the module" true
+      (String.length s > 10 && String.sub s 0 5 = "Fault"))
+
+let test_xbar_typed_errors () =
+  let m = Fault.Defect.perfect ~rows:4 ~cols:4 in
+  let dup = [ { Fault.Xbar.row = 1; label = 0 }; { Fault.Xbar.row = 1; label = 1 } ] in
+  (match Fault.Xbar.assign m dup with
+  | _ -> Alcotest.fail "duplicate rows must raise"
+  | exception Fault.Xbar.Duplicate_demand_row { row } -> checki "offending row" 1 row);
+  let oob = [ { Fault.Xbar.row = 9; label = 0 } ] in
+  (match Fault.Xbar.identity_feasible m oob with
+  | _ -> Alcotest.fail "out-of-range row must raise"
+  | exception Fault.Xbar.Demand_out_of_range { row; rows } ->
+    checki "offending row" 9 row;
+    checki "map rows" 4 rows);
+  match Fault.Xbar.yield_sweep (Util.Rng.create 1) ~rows:3 ~cols:3 ~demands:5 [ 0.1 ] with
+  | _ -> Alcotest.fail "oversubscribed sweep must raise"
+  | exception Fault.Xbar.Bad_sweep_geometry { demands; rows; cols } ->
+    checki "demands" 5 demands;
+    checki "rows" 3 rows;
+    checki "cols" 3 cols
+
 let test_yield_functional_check () =
   let rng = Util.Rng.create 7 in
   let f = cover_of_exprs 3 [ Expr.(v 0 && v 1 || v 2) ] in
@@ -495,5 +558,11 @@ let () =
           Alcotest.test_case "ordering baseline/remap/spares" `Quick test_yield_ordering;
           Alcotest.test_case "monotone in rate" `Quick test_yield_monotone_in_rate;
           Alcotest.test_case "functional through defects" `Quick test_yield_functional_check;
+          Alcotest.test_case "sweep_with generalizes sweep" `Quick test_yield_sweep_with_is_sweep;
+        ] );
+      ( "typed errors",
+        [
+          Alcotest.test_case "repair geometry exceptions" `Quick test_repair_typed_errors;
+          Alcotest.test_case "xbar demand exceptions" `Quick test_xbar_typed_errors;
         ] );
     ]
