@@ -11,7 +11,9 @@
      yield     — Monte-Carlo yield of a mapped .pla under defects
      suite     — export the benchmark suite as .pla/.blif files
      bench-parallel — sequential vs parallel batch-evaluation benchmark
-     bench-espresso — word-parallel cover kernel + minimization benchmark *)
+     bench-espresso — word-parallel cover kernel + minimization benchmark
+     serve     — the evaluation service daemon (socket or stdin/stdout pipe)
+     loadgen   — closed-loop load generator + oracle checker for serve *)
 
 open Cmdliner
 
@@ -591,7 +593,225 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc ~exits)
     Term.(const run $ seed $ budget $ max_rounds $ spares $ jobs $ out $ show_metrics $ trace_arg)
 
+(* --- serve / loadgen ------------------------------------------------------ *)
+
+let serve_cmd =
+  let run sock pipe jobs queue_limit max_inflight max_tenants tenant_quota chunk max_batch
+      show_metrics trace =
+    with_tracing trace @@ fun () ->
+    let cfg =
+      {
+        Serve.Server.default_config with
+        jobs;
+        queue_limit;
+        max_inflight;
+        max_tenants;
+        tenant_quota;
+        chunk_vectors = chunk;
+        max_batch;
+      }
+    in
+    let server = Serve.Server.create ~metrics:Runtime.Metrics.global cfg in
+    let stop_signal _ = Serve.Server.request_stop server in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal)
+     with Invalid_argument _ -> ());
+    if pipe then begin
+      (* stdin/stdout ARE the wire; all chatter goes to stderr *)
+      Printf.eprintf "serve: single session on stdin/stdout (inflight %d, queue %d)\n%!"
+        max_inflight queue_limit;
+      Serve.Server.serve_session server stdin stdout
+    end
+    else begin
+      Printf.printf "serve: listening on %s (inflight %d, queue %d, %d tenants x %d programs)\n%!"
+        sock max_inflight queue_limit max_tenants tenant_quota;
+      Serve.Server.run_unix server ~sock_path:sock
+    end;
+    Serve.Server.stop server;
+    let s = Serve.Server.stats server in
+    let err = if pipe then Printf.eprintf else Printf.printf in
+    err
+      "serve: %d sessions, %d requests (%d ok, %d errors), %d shed, %d vectors, %d session errors\n%!"
+      s.Serve.Server.sessions_total s.Serve.Server.requests s.Serve.Server.responses_ok
+      s.Serve.Server.request_errors
+      (Serve.Admission.shed_total (Serve.Server.admission server))
+      s.Serve.Server.vectors_evaluated s.Serve.Server.session_errors;
+    if show_metrics then begin
+      let oc = if pipe then stderr else stdout in
+      output_string oc "--- metrics ---\n";
+      output_string oc (Runtime.Metrics.dump Runtime.Metrics.global);
+      flush oc
+    end;
+    0
+  in
+  let sock =
+    let doc = "Unix-domain socket path to listen on." in
+    Arg.(value & opt string "cnfet-serve.sock" & info [ "sock" ] ~docv:"PATH" ~doc)
+  in
+  let pipe =
+    let doc =
+      "Serve exactly one session on stdin/stdout instead of listening on a socket \
+       (for tests, CI and inetd-style supervision)."
+    in
+    Arg.(value & flag & info [ "pipe" ] ~doc)
+  in
+  let jobs =
+    let doc = "Evaluation-pool worker domains (default: cores - 1)." in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let queue_limit =
+    let doc = "Admission wait-queue bound; beyond it requests are shed with Overloaded." in
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
+  in
+  let max_inflight =
+    let doc = "Requests allowed to compile/evaluate concurrently." in
+    Arg.(value & opt int 8 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let max_tenants =
+    let doc = "Tenant caches kept before whole-tenant LRU eviction." in
+    Arg.(value & opt int 16 & info [ "max-tenants" ] ~docv:"N" ~doc)
+  in
+  let tenant_quota =
+    let doc = "Compiled programs each tenant may cache (per-entry LRU within)." in
+    Arg.(value & opt int 32 & info [ "tenant-quota" ] ~docv:"N" ~doc)
+  in
+  let chunk =
+    let doc = "Result vectors per streamed chunk frame." in
+    Arg.(value & opt int 512 & info [ "chunk" ] ~docv:"N" ~doc)
+  in
+  let max_batch =
+    let doc = "Input vectors accepted per request; more is Batch_too_large." in
+    Arg.(value & opt int 65536 & info [ "max-batch" ] ~docv:"N" ~doc)
+  in
+  let show_metrics =
+    let doc = "Dump the metrics registry after the daemon exits." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let doc = "Run the PLA evaluation service daemon" in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~exits)
+    Term.(
+      const run $ sock $ pipe $ jobs $ queue_limit $ max_inflight $ max_tenants $ tenant_quota
+      $ chunk $ max_batch $ show_metrics $ trace_arg)
+
+let loadgen_cmd =
+  let run sock concurrency tenants requests batch seed sweep out trace =
+    with_tracing trace @@ fun () ->
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let connect () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX sock)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      let out_fd = Unix.dup fd in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr out_fd in
+      ( ic,
+        oc,
+        fun () ->
+          close_out_noerr oc;
+          close_in_noerr ic )
+    in
+    let run_point concurrency =
+      let cfg =
+        {
+          Serve.Loadgen.connect;
+          concurrency;
+          tenants;
+          requests_per_worker = requests;
+          batch;
+          seed;
+        }
+      in
+      let r = Serve.Loadgen.run ~label:(Printf.sprintf "c%d" concurrency) cfg in
+      Printf.printf
+        "c=%-3d  %6d req  %6.1f req/s  shed %5.1f%%  err %d  miscmp %d  p50 %.1fms  p95 %.1fms  p99 %.1fms\n%!"
+        concurrency r.Serve.Loadgen.requests r.Serve.Loadgen.throughput_rps
+        (100. *. r.Serve.Loadgen.shed_rate)
+        r.Serve.Loadgen.errors r.Serve.Loadgen.miscompares
+        (1e3 *. r.Serve.Loadgen.p50_s) (1e3 *. r.Serve.Loadgen.p95_s)
+        (1e3 *. r.Serve.Loadgen.p99_s);
+      r
+    in
+    let points =
+      match sweep with
+      | [] -> [ run_point concurrency ]
+      | cs -> List.map run_point cs
+    in
+    let json =
+      match points with
+      | [ r ] -> Serve.Loadgen.to_json r
+      | rs -> Serve.Loadgen.sweep_to_json rs
+    in
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "report written to %s\n" path);
+    let total f = List.fold_left (fun acc r -> acc + f r) 0 points in
+    let miscompares = total (fun r -> r.Serve.Loadgen.miscompares) in
+    let errors = total (fun r -> r.Serve.Loadgen.errors) in
+    let completed = total (fun r -> r.Serve.Loadgen.completed) in
+    if miscompares > 0 then begin
+      Printf.eprintf "loadgen: FAIL - %d served outputs differed from direct Pla.eval\n" miscompares;
+      1
+    end
+    else if errors > 0 then begin
+      Printf.eprintf "loadgen: FAIL - %d requests errored\n" errors;
+      1
+    end
+    else if completed = 0 then begin
+      Printf.eprintf "loadgen: FAIL - nothing completed (all shed or server down?)\n";
+      1
+    end
+    else 0
+  in
+  let sock =
+    let doc = "Unix-domain socket of the serve daemon." in
+    Arg.(value & opt string "cnfet-serve.sock" & info [ "sock" ] ~docv:"PATH" ~doc)
+  in
+  let concurrency =
+    let doc = "Closed-loop worker connections." in
+    Arg.(value & opt int 8 & info [ "c"; "concurrency" ] ~docv:"N" ~doc)
+  in
+  let tenants =
+    let doc = "Distinct tenant identities in the mix." in
+    Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let requests =
+    let doc = "Requests per worker." in
+    Arg.(value & opt int 50 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let batch =
+    let doc = "Input vectors per request." in
+    Arg.(value & opt int 256 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Workload seed; fixed seed = reproducible request sequence." in
+    Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let sweep =
+    let doc =
+      "Comma-separated concurrency sweep (e.g. 1,2,4,8,16); overrides $(b,--concurrency) and \
+       emits a sweep JSON with the saturation point promoted."
+    in
+    Arg.(value & opt (list int) [] & info [ "sweep" ] ~docv:"N,N,..." ~doc)
+  in
+  let out =
+    let doc = "Write BENCH_serve.json to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE.json" ~doc)
+  in
+  let doc = "Drive a running serve daemon closed-loop and verify every bit against Pla.eval" in
+  Cmd.v
+    (Cmd.info "loadgen" ~doc ~exits)
+    Term.(
+      const run $ sock $ concurrency $ tenants $ requests $ batch $ seed $ sweep $ out $ trace_arg)
+
 let () =
   let doc = "programmable logic built from ambipolar carbon-nanotube FETs" in
   let info = Cmd.info "cnfet_tool" ~version:"1.0.0" ~doc ~exits in
-  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; fuzz_cmd; chaos_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; fuzz_cmd; chaos_cmd; serve_cmd; loadgen_cmd ]))

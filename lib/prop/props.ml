@@ -412,6 +412,124 @@ let trace_wellformed =
       | Ok n -> n = List.length events
       | Error _ -> false)
 
+(* --- serve wire codec --------------------------------------------------- *)
+
+(* A frame case is either a well-formed message or a mangling of one:
+   truncated at a byte boundary, one byte xor-flipped, decoded under a
+   tiny limit, or outright garbage bytes. *)
+type codec_case =
+  | Cc_clean of Serve.Wire.message
+  | Cc_truncate of Serve.Wire.message * int  (* keep this fraction seed *)
+  | Cc_flip of Serve.Wire.message * int * int  (* position seed, xor byte *)
+  | Cc_oversize of Serve.Wire.message
+  | Cc_garbage of string
+
+let gen_wire_message : Serve.Wire.message Gen.t =
+  let open Gen in
+  let short_string = let* n = int_range 0 12 in map (String.concat "") (list_n n (oneofl [ "a"; "B"; "~"; "\000"; "\xff"; "." ])) in
+  let matrix =
+    let* rows = int_range 0 5 in
+    let* width = int_range 0 19 in
+    array_n rows (array_n width bool)
+  in
+  frequency
+    [
+      (4, let* tenant = short_string in
+          let* program = short_string in
+          let* batch = matrix in
+          return (Serve.Wire.Eval_request { tenant; program; batch }));
+      (1, return Serve.Wire.Ping);
+      (3, let* first = int_range 0 100000 in
+          let* outputs = matrix in
+          return (Serve.Wire.Result_chunk { first; outputs }));
+      (2, let* total = int_range 0 100000 in
+          let* cache_hit = bool in
+          let* ns = int_range 0 0x3FFF_FFFF_FFFF in
+          return (Serve.Wire.Eval_done { total; cache_hit; eval_ns = Int64.of_int ns }));
+      (1, let* queued = int_range 0 0xffff in
+          let* inflight = int_range 0 0xffff in
+          return (Serve.Wire.Overloaded { queued; inflight }));
+      (2, let* code = oneofl Serve.Wire.[ Parse_failed; Arity_mismatch; Batch_too_large; Internal ] in
+          let* message = short_string in
+          return (Serve.Wire.Error_response { code; message }));
+      (1, return Serve.Wire.Pong);
+    ]
+
+let gen_codec_case : codec_case Gen.t =
+  let open Gen in
+  frequency
+    [
+      (4, map (fun m -> Cc_clean m) gen_wire_message);
+      (2, map2 (fun m k -> Cc_truncate (m, k)) gen_wire_message (int_range 0 1_000_000));
+      (2, let* m = gen_wire_message in
+          let* p = int_range 0 1_000_000 in
+          let* x = int_range 1 255 in
+          return (Cc_flip (m, p, x)));
+      (1, map (fun m -> Cc_oversize m) gen_wire_message);
+      (2, let* n = int_range 0 40 in
+          map (fun l -> Cc_garbage (String.init (List.length l) (List.nth l))) (list_n n (map Char.chr (int_range 0 255))));
+    ]
+
+let print_codec_case = function
+  | Cc_clean m -> "clean " ^ Serve.Wire.tag_name m
+  | Cc_truncate (m, k) -> Printf.sprintf "truncate(%d) %s" k (Serve.Wire.tag_name m)
+  | Cc_flip (m, p, x) -> Printf.sprintf "flip(%d^%02x) %s" p x (Serve.Wire.tag_name m)
+  | Cc_oversize m -> "oversize " ^ Serve.Wire.tag_name m
+  | Cc_garbage s -> Printf.sprintf "garbage(%d bytes)" (String.length s)
+
+(* Decode is total: a frame either roundtrips exactly or fails with a
+   typed [Wire.error] — no exception ever escapes, whatever the bytes. *)
+let serve_codec_roundtrip =
+  Runner.make ~name:"serve/codec-roundtrip" ~count:300
+    (Arb.make ~print:print_codec_case gen_codec_case)
+    (fun case ->
+      let total_decode ?limit s =
+        match Serve.Wire.decode ?limit s with
+        | Ok _ | Error _ -> true
+        | exception _ -> false
+      in
+      match case with
+      | Cc_clean m -> (
+        let bytes = Serve.Wire.encode m in
+        match Serve.Wire.decode bytes with
+        | Ok (m', consumed) -> m' = m && consumed = String.length bytes
+        | Error _ -> false
+        | exception _ -> false)
+      | Cc_truncate (m, k) ->
+        let bytes = Serve.Wire.encode m in
+        let keep = if String.length bytes <= 1 then 0 else k mod String.length bytes in
+        let cut = String.sub bytes 0 keep in
+        (match Serve.Wire.decode cut with
+        | Error (Serve.Wire.Truncated _) -> true
+        | Ok _ | Error _ -> false
+        | exception _ -> false)
+      | Cc_flip (m, p, x) -> (
+        let bytes = Bytes.of_string (Serve.Wire.encode m) in
+        let p = p mod Bytes.length bytes in
+        Bytes.set bytes p (Char.chr (Char.code (Bytes.get bytes p) lxor x));
+        let s = Bytes.unsafe_to_string bytes in
+        total_decode s
+        &&
+        (* whatever decodes must re-encode and decode to the same value *)
+        match Serve.Wire.decode s with
+        | Ok (m', _) -> (
+          match Serve.Wire.decode (Serve.Wire.encode m') with
+          | Ok (m'', _) -> m'' = m'
+          | Error _ -> false
+          | exception _ -> false)
+        | Error _ -> true
+        | exception _ -> false)
+      | Cc_oversize m -> (
+        let bytes = Serve.Wire.encode m in
+        let payload = String.length bytes - Serve.Wire.header_bytes in
+        let limit = max 0 (payload - 1) in
+        match Serve.Wire.decode ~limit bytes with
+        | Error (Serve.Wire.Oversized _) -> true
+        | Ok (m', _) -> payload = 0 && m' = m
+        | Error _ -> false
+        | exception _ -> false)
+      | Cc_garbage s -> total_decode s)
+
 let all =
   [
     cube_ops_vs_naive;
@@ -433,4 +551,5 @@ let all =
     folding_witness;
     fpga_inverter_absorption;
     trace_wellformed;
+    serve_codec_roundtrip;
   ]

@@ -381,6 +381,8 @@ let run ?(seed = 42) ?(budget_s = 10.) ?(max_rounds = 50) ?(spare_rows = 2) ?job
   let total_ops = Atomic.get evals + !tasks in
   let degraded = retries + deadline_expiries + serial_fallbacks + fallback_evals in
   let recoveries = Histogram.count recovery in
+  let recovery_ps = Histogram.percentiles recovery [ 50.; 90.; 99.; 100. ] in
+  let recovery_p p = if recoveries = 0 then 0. else List.assoc p recovery_ps in
   {
     seed;
     budget_s;
@@ -401,10 +403,10 @@ let run ?(seed = 42) ?(budget_s = 10.) ?(max_rounds = 50) ?(spare_rows = 2) ?job
     breaker_opens;
     degradation = float_of_int degraded /. float_of_int (max 1 total_ops);
     recoveries;
-    recovery_p50_s = (if recoveries = 0 then 0. else Histogram.percentile recovery 50.);
-    recovery_p90_s = (if recoveries = 0 then 0. else Histogram.percentile recovery 90.);
-    recovery_p99_s = (if recoveries = 0 then 0. else Histogram.percentile recovery 99.);
-    recovery_max_s = (if recoveries = 0 then 0. else Histogram.percentile recovery 100.);
+    recovery_p50_s = recovery_p 50.;
+    recovery_p90_s = recovery_p 90.;
+    recovery_p99_s = recovery_p 99.;
+    recovery_max_s = recovery_p 100.;
   }
 
 (* --- rendering ----------------------------------------------------------- *)

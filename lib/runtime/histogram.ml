@@ -64,6 +64,14 @@ let percentile t p =
   Array.sort Float.compare a;
   percentile_of_sorted a p
 
+let percentiles t ps =
+  (* One snapshot, one sort, however many ranks — so a percentile family
+     (p50/p95/p99) is consistent: every rank is read off the same frozen
+     sample set even while other domains keep observing. *)
+  let a = snapshot t in
+  Array.sort Float.compare a;
+  List.map (fun p -> (p, percentile_of_sorted a p)) ps
+
 type summary = {
   n : int;
   mean : float;

@@ -22,6 +22,12 @@ val percentile : t -> float -> float
 (** [percentile t p] for [p] in [0..100]; nearest-rank, identical to
     {!Util.Stats.percentile} on the same samples. 0 when empty. *)
 
+val percentiles : t -> float list -> (float * float) list
+(** [percentiles t ps] is [(p, percentile)] for each requested rank, all
+    computed from one frozen snapshot sorted once — the one way every
+    bench and the serve tier compute percentile families, so p50/p95/p99
+    always describe the same sample set. *)
+
 val snapshot : t -> float array
 (** The observations so far, in observation order. *)
 

@@ -46,8 +46,11 @@ type task = {
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
+  idle : Condition.t;  (* broadcast when the last domain has been joined *)
   queue : task Queue.t;
   mutable stopping : bool;
+  mutable joining : bool;  (* some stopper currently owns the domain join *)
+  mutable stopped : bool;  (* every domain ever spawned has been joined *)
   mutable domains : unit Domain.t list;  (* every domain ever spawned *)
   mutable next_index : int;
   mutable crashes : int;
@@ -138,8 +141,11 @@ let create ?metrics ?jobs () =
     {
       lock = Mutex.create ();
       nonempty = Condition.create ();
+      idle = Condition.create ();
       queue = Queue.create ();
       stopping = false;
+      joining = false;
+      stopped = false;
       domains = [];
       next_index = 0;
       crashes = 0;
@@ -241,29 +247,65 @@ let run_all pool thunks =
   | None ->
     Array.map (function Ok v -> v | Error _ -> assert false) outcomes
 
-let shutdown pool =
+exception Shutdown
+
+let () =
+  Printexc.register_printer (function
+    | Shutdown -> Some "Pool.Shutdown (queued task discarded by shutdown)"
+    | _ -> None)
+
+(* Single stop path shared by [drain] and [shutdown]. Safe under any
+   number of concurrent callers (serve's signal handler racing a
+   supervisor fallback, say): the first caller to get here owns the
+   domain join; everyone else blocks on [idle] until the join completes,
+   so every stopper returns to a fully-stopped pool. [discard_queued]
+   fails queued-but-unstarted tasks with {!Shutdown} instead of running
+   them — their joiners unblock immediately rather than waiting on work
+   that will never start. *)
+let stop ~discard_queued pool =
   Mutex.lock pool.lock;
-  if pool.stopping then Mutex.unlock pool.lock
-  else begin
+  if not pool.stopping then begin
     pool.stopping <- true;
-    Condition.broadcast pool.nonempty;
+    Condition.broadcast pool.nonempty
+  end;
+  if discard_queued then begin
+    let bt = Printexc.get_callstack 0 in
+    while not (Queue.is_empty pool.queue) do
+      (Queue.pop pool.queue).poison Shutdown bt
+    done
+  end;
+  if pool.joining || pool.stopped then begin
+    while not pool.stopped do
+      Condition.wait pool.idle pool.lock
+    done;
+    Mutex.unlock pool.lock
+  end
+  else begin
+    pool.joining <- true;
     (* A crashing worker may have spawned a replacement after we took the
        list; loop until no new domains appear. Joining an already-exited
        domain returns immediately, so corpses cost nothing. *)
-    let rec drain () =
+    let rec join_all () =
       match pool.domains with
-      | [] -> Mutex.unlock pool.lock
+      | [] ->
+        pool.stopped <- true;
+        Condition.broadcast pool.idle;
+        Mutex.unlock pool.lock
       | ds ->
         pool.domains <- [];
         Mutex.unlock pool.lock;
         List.iter Domain.join ds;
         Mutex.lock pool.lock;
         Condition.broadcast pool.nonempty;
-        drain ()
+        join_all ()
     in
-    drain ()
+    join_all ()
   end
+
+let drain pool = stop ~discard_queued:false pool
+
+let shutdown pool = stop ~discard_queued:true pool
 
 let with_pool ?metrics ?jobs f =
   let pool = create ?metrics ?jobs () in
-  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+  Fun.protect ~finally:(fun () -> drain pool) (fun () -> f pool)

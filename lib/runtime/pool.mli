@@ -55,11 +55,25 @@ val run_all : t -> (unit -> 'a) array -> 'a array
     index re-raised (what a sequential run would have hit first, not the
     first to fail in wall time). *)
 
+exception Shutdown
+(** Failure recorded on a queued-but-unstarted task's future when
+    {!shutdown} discards it: joiners unblock with this instead of waiting
+    on work that will never start. *)
+
+val drain : t -> unit
+(** Graceful stop: reject new submissions ({!submit} raises from here
+    on), finish every queued and inflight task, then join every worker
+    domain ever spawned — including replacements for crashed workers and
+    the corpses they replaced. Idempotent and safe under concurrent
+    callers: every caller blocks until the pool is fully stopped, no
+    matter who got there first or how many workers died mid-task. *)
+
 val shutdown : t -> unit
-(** Drain the queue, stop and join every worker domain ever spawned —
-    including replacements for crashed workers and the corpses they
-    replaced. Idempotent, and safe after any number of mid-task worker
-    deaths. *)
+(** Fast stop: like {!drain}, but queued tasks that no worker has started
+    yet are discarded — their futures fail with {!Shutdown} — so only
+    tasks already inflight run to completion before the domains are
+    joined. Same idempotence and concurrent-caller guarantees as
+    {!drain}. The entry point for signal handlers. *)
 
 val with_pool : ?metrics:Metrics.t -> ?jobs:int -> (t -> 'a) -> 'a
-(** [create], run, then {!shutdown} even on exceptions. *)
+(** [create], run, then {!drain} even on exceptions. *)

@@ -1,0 +1,112 @@
+(* Two counters under one lock: [inflight] slots executing, [queued]
+   waiting for a slot. The shed decision is made without ever blocking —
+   a request either gets a slot, takes a bounded queue position, or is
+   refused on the spot. *)
+
+type t = {
+  lock : Mutex.t;
+  slot_free : Condition.t;
+  queue_limit : int;
+  max_inflight : int;
+  mutable queued : int;
+  mutable inflight : int;
+  mutable next_ticket : int;  (* arrival order of waiters *)
+  mutable serving : int;  (* lowest ticket allowed to take a slot *)
+  mutable admitted : int;
+  mutable shed : int;
+  mutable closed : bool;
+  metrics : Runtime.Metrics.t option;
+}
+
+type decision = Admitted | Shed of { queued : int; inflight : int }
+
+let create ?metrics ~queue_limit ~max_inflight () =
+  if max_inflight < 1 then invalid_arg "Admission.create: max_inflight < 1";
+  if queue_limit < 0 then invalid_arg "Admission.create: queue_limit < 0";
+  {
+    lock = Mutex.create ();
+    slot_free = Condition.create ();
+    queue_limit;
+    max_inflight;
+    queued = 0;
+    inflight = 0;
+    next_ticket = 0;
+    serving = 0;
+    admitted = 0;
+    shed = 0;
+    closed = false;
+    metrics;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set_gauges t =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    Runtime.Metrics.set_gauge (Runtime.Metrics.gauge m "serve.admission.queued") (float_of_int t.queued);
+    Runtime.Metrics.set_gauge (Runtime.Metrics.gauge m "serve.admission.inflight") (float_of_int t.inflight)
+
+let tick t name = match t.metrics with Some m -> Runtime.Metrics.incr_named m name | None -> ()
+
+let shed_locked t =
+  t.shed <- t.shed + 1;
+  tick t "serve.shed";
+  Shed { queued = t.queued; inflight = t.inflight }
+
+let admit_locked t =
+  t.inflight <- t.inflight + 1;
+  t.admitted <- t.admitted + 1;
+  tick t "serve.admitted";
+  set_gauges t;
+  Admitted
+
+let admit t =
+  locked t (fun () ->
+      if t.closed then shed_locked t
+      else if t.inflight < t.max_inflight && t.queued = 0 then
+        (* Fast path; [queued = 0] keeps arrival-order fairness — a free
+           slot with waiters present belongs to the head of the queue. *)
+        admit_locked t
+      else if t.queued >= t.queue_limit then shed_locked t
+      else begin
+        let ticket = t.next_ticket in
+        t.next_ticket <- ticket + 1;
+        t.queued <- t.queued + 1;
+        set_gauges t;
+        while (not t.closed) && not (t.inflight < t.max_inflight && t.serving = ticket) do
+          Condition.wait t.slot_free t.lock
+        done;
+        t.queued <- t.queued - 1;
+        t.serving <- t.serving + 1;
+        (* The next waiter may also be eligible (several slots freed at
+           once, or a closing controller draining its queue). *)
+        Condition.broadcast t.slot_free;
+        if t.closed then begin
+          set_gauges t;
+          shed_locked t
+        end
+        else admit_locked t
+      end)
+
+let release t =
+  locked t (fun () ->
+      if t.inflight <= 0 then invalid_arg "Admission.release: nothing inflight";
+      t.inflight <- t.inflight - 1;
+      set_gauges t;
+      Condition.broadcast t.slot_free)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.slot_free)
+
+let queued t = locked t (fun () -> t.queued)
+
+let inflight t = locked t (fun () -> t.inflight)
+
+let admitted_total t = locked t (fun () -> t.admitted)
+
+let shed_total t = locked t (fun () -> t.shed)

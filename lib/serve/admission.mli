@@ -1,0 +1,45 @@
+(** Admission control for the evaluation service: a bounded wait queue in
+    front of a max-inflight execution cap, with shed-on-overload.
+
+    A request first tries to take one of [max_inflight] execution slots.
+    If none is free it waits — but only if fewer than [queue_limit]
+    requests are already waiting; otherwise it is {e shed} immediately
+    and explicitly (the caller sends {!Wire.Overloaded}; nothing is ever
+    silently dropped). Waiters are admitted in arrival order.
+
+    All transitions are metered: [serve.admitted] / [serve.shed]
+    counters and [serve.admission.queued] / [serve.admission.inflight]
+    gauges when a {!Runtime.Metrics.t} is attached. *)
+
+type t
+
+type decision =
+  | Admitted  (** an execution slot is held; {!release} it when done *)
+  | Shed of { queued : int; inflight : int }
+      (** no slot and the wait queue is full (or the controller is
+          closed); the payload is the state at shed time *)
+
+val create : ?metrics:Runtime.Metrics.t -> queue_limit:int -> max_inflight:int -> unit -> t
+(** [max_inflight >= 1], [queue_limit >= 0] ([0] = shed as soon as all
+    slots are busy). *)
+
+val admit : t -> decision
+(** Take a slot, waiting in the bounded queue if necessary. Blocks only
+    while queued; never blocks when the queue is at [queue_limit]. *)
+
+val release : t -> unit
+(** Give back a slot taken by a successful {!admit}. *)
+
+val close : t -> unit
+(** Stop admitting: current and future {!admit} calls shed immediately
+    (counted). Queued waiters are woken and shed. Idempotent. *)
+
+(** {2 Introspection} *)
+
+val queued : t -> int
+
+val inflight : t -> int
+
+val admitted_total : t -> int
+
+val shed_total : t -> int

@@ -1,0 +1,277 @@
+module Rng = Util.Rng
+module Histogram = Runtime.Histogram
+
+type config = {
+  connect : unit -> in_channel * out_channel * (unit -> unit);
+  concurrency : int;
+  tenants : int;
+  requests_per_worker : int;
+  batch : int;
+  seed : int;
+}
+
+type report = {
+  label : string;
+  concurrency : int;
+  tenants : int;
+  batch : int;
+  requests : int;
+  completed : int;
+  shed : int;
+  errors : int;
+  miscompares : int;
+  vectors : int;
+  wall_s : float;
+  throughput_rps : float;
+  shed_rate : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  mean_s : float;
+  max_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Workload: exactly-constructed benchmark covers, pre-rendered to
+   [.pla] text once, each with a direct [Pla.eval] oracle. Small input
+   counts keep single requests cheap so saturation comes from request
+   volume, not one giant program. *)
+
+type workload = {
+  name : string;
+  n_in : int;
+  text : string;
+  oracle : Cnfet.Pla.t;
+}
+
+let workloads =
+  lazy
+    (Mcnc.Generators.all
+    |> List.filter (fun (_, c) -> Logic.Cover.num_inputs c <= 8)
+    |> List.map (fun (name, cover) ->
+           let n_in = Logic.Cover.num_inputs cover in
+           let n_out = Logic.Cover.num_outputs cover in
+           let text =
+             Logic.Pla_io.to_string ~on_set:cover ~dc_set:(Logic.Cover.empty ~n_in ~n_out) ()
+           in
+           { name; n_in; text; oracle = Cnfet.Pla.of_cover cover })
+    |> Array.of_list)
+
+(* ------------------------------------------------------------------ *)
+
+type tally = {
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable completed : int;
+  mutable shed : int;
+  mutable errors : int;
+  mutable miscompares : int;
+  mutable vectors : int;
+  latency : Histogram.t;
+}
+
+let tally_add tl ~requests ~completed ~shed ~errors ~miscompares ~vectors =
+  Mutex.lock tl.lock;
+  tl.requests <- tl.requests + requests;
+  tl.completed <- tl.completed + completed;
+  tl.shed <- tl.shed + shed;
+  tl.errors <- tl.errors + errors;
+  tl.miscompares <- tl.miscompares + miscompares;
+  tl.vectors <- tl.vectors + vectors;
+  Mutex.unlock tl.lock
+
+let random_vector rng n = Array.init n (fun _ -> Rng.bool rng)
+
+(* Read one full reply off the wire. Chunks accumulate until
+   [Eval_done]; anything session-fatal surfaces as [`Transport]. *)
+let read_reply ic =
+  let chunks = ref [] in
+  let rec go () =
+    match Wire.read_message ic with
+    | `Eof | `Error _ -> `Transport
+    | `Msg (Wire.Result_chunk { first; outputs }) ->
+      chunks := (first, outputs) :: !chunks;
+      go ()
+    | `Msg (Wire.Eval_done { total; _ }) -> `Done (total, List.rev !chunks)
+    | `Msg (Wire.Overloaded _) -> `Shed
+    | `Msg (Wire.Error_response { code; message }) -> `Error (code, message)
+    | `Msg _ -> `Transport
+  in
+  go ()
+
+(* Compare every served output against the oracle; returns mismatching
+   vector count. *)
+let miscompares_of ~oracle ~batch chunks =
+  let bad = ref 0 in
+  List.iter
+    (fun (first, outputs) ->
+      Array.iteri
+        (fun i got ->
+          let idx = first + i in
+          if idx < 0 || idx >= Array.length batch then incr bad
+          else if got <> Cnfet.Pla.eval oracle batch.(idx) then incr bad)
+        outputs)
+    chunks;
+  !bad
+
+let worker cfg tl rng () =
+  let wl = Lazy.force workloads in
+  match cfg.connect () with
+  | exception _ -> tally_add tl ~requests:0 ~completed:0 ~shed:0 ~errors:1 ~miscompares:0 ~vectors:0
+  | ic, oc, close ->
+    let alive = ref true in
+    let i = ref 0 in
+    while !alive && !i < cfg.requests_per_worker do
+      incr i;
+      let w = Rng.pick rng wl in
+      let tenant = Printf.sprintf "tenant-%d" (Rng.int rng (max 1 cfg.tenants)) in
+      let batch = Array.init cfg.batch (fun _ -> random_vector rng w.n_in) in
+      let t0 = Unix.gettimeofday () in
+      match
+        Wire.write_message oc (Wire.Eval_request { tenant; program = w.text; batch });
+        read_reply ic
+      with
+      | exception _ ->
+        tally_add tl ~requests:1 ~completed:0 ~shed:0 ~errors:1 ~miscompares:0 ~vectors:0;
+        alive := false
+      | `Transport ->
+        tally_add tl ~requests:1 ~completed:0 ~shed:0 ~errors:1 ~miscompares:0 ~vectors:0;
+        alive := false
+      | `Shed -> tally_add tl ~requests:1 ~completed:0 ~shed:1 ~errors:0 ~miscompares:0 ~vectors:0
+      | `Error _ ->
+        tally_add tl ~requests:1 ~completed:0 ~shed:0 ~errors:1 ~miscompares:0 ~vectors:0
+      | `Done (total, chunks) ->
+        let dt = Unix.gettimeofday () -. t0 in
+        Histogram.observe tl.latency dt;
+        let served = List.fold_left (fun acc (_, o) -> acc + Array.length o) 0 chunks in
+        let bad =
+          miscompares_of ~oracle:w.oracle ~batch chunks
+          + if total <> cfg.batch || served <> cfg.batch then 1 else 0
+        in
+        tally_add tl ~requests:1 ~completed:1 ~shed:0 ~errors:0 ~miscompares:bad ~vectors:served
+    done;
+    close ()
+
+let run ?(label = "loadgen") (cfg : config) =
+  if cfg.concurrency < 1 then invalid_arg "Loadgen.run: concurrency < 1";
+  if cfg.batch < 1 then invalid_arg "Loadgen.run: batch < 1";
+  let tl =
+    {
+      lock = Mutex.create ();
+      requests = 0;
+      completed = 0;
+      shed = 0;
+      errors = 0;
+      miscompares = 0;
+      vectors = 0;
+      latency = Histogram.create ();
+    }
+  in
+  let root = Rng.create cfg.seed in
+  let rngs = Array.init cfg.concurrency (fun _ -> Rng.split root) in
+  let t0 = Unix.gettimeofday () in
+  let threads = Array.map (fun rng -> Thread.create (worker cfg tl rng) ()) rngs in
+  Array.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let ps = Histogram.percentiles tl.latency [ 50.; 95.; 99. ] in
+  let p x = List.assoc x ps in
+  let count = Histogram.count tl.latency in
+  {
+    label;
+    concurrency = cfg.concurrency;
+    tenants = cfg.tenants;
+    batch = cfg.batch;
+    requests = tl.requests;
+    completed = tl.completed;
+    shed = tl.shed;
+    errors = tl.errors;
+    miscompares = tl.miscompares;
+    vectors = tl.vectors;
+    wall_s;
+    throughput_rps = (if wall_s > 0. then float_of_int tl.completed /. wall_s else 0.);
+    shed_rate =
+      (if tl.requests > 0 then float_of_int tl.shed /. float_of_int tl.requests else 0.);
+    p50_s = (if count > 0 then p 50. else 0.);
+    p95_s = (if count > 0 then p 95. else 0.);
+    p99_s = (if count > 0 then p 99. else 0.);
+    mean_s = (if count > 0 then Histogram.mean tl.latency else 0.);
+    max_s = (if count > 0 then Histogram.percentile tl.latency 100. else 0.);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (same hand-rolled style as the other bench JSON). *)
+
+let json_of_report ~indent r =
+  let pad = String.make indent ' ' in
+  let f = Printf.sprintf in
+  String.concat ("\n" ^ pad)
+    [
+      "{";
+      f "  \"label\": %S," r.label;
+      f "  \"concurrency\": %d," r.concurrency;
+      f "  \"tenants\": %d," r.tenants;
+      f "  \"batch\": %d," r.batch;
+      f "  \"requests\": %d," r.requests;
+      f "  \"completed\": %d," r.completed;
+      f "  \"shed\": %d," r.shed;
+      f "  \"errors\": %d," r.errors;
+      f "  \"miscompares\": %d," r.miscompares;
+      f "  \"vectors\": %d," r.vectors;
+      f "  \"wall_s\": %.6f," r.wall_s;
+      f "  \"throughput_rps\": %.2f," r.throughput_rps;
+      f "  \"shed_rate\": %.4f," r.shed_rate;
+      "  \"latency_s\": {";
+      f "    \"p50\": %.6f," r.p50_s;
+      f "    \"p95\": %.6f," r.p95_s;
+      f "    \"p99\": %.6f," r.p99_s;
+      f "    \"mean\": %.6f," r.mean_s;
+      f "    \"max\": %.6f" r.max_s;
+      "  }";
+      "}";
+    ]
+
+let to_json r =
+  String.concat "\n"
+    [
+      "{";
+      "  \"bench\": \"serve\",";
+      Printf.sprintf "  \"saturation_throughput_rps\": %.2f," r.throughput_rps;
+      Printf.sprintf "  \"shed_rate\": %.4f," r.shed_rate;
+      Printf.sprintf "  \"miscompares\": %d," r.miscompares;
+      "  \"run\": " ^ json_of_report ~indent:2 r;
+      "}";
+      "";
+    ]
+
+let sweep_to_json (reports : report list) =
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some b when b.throughput_rps >= r.throughput_rps -> acc
+        | _ -> Some r)
+      None reports
+  in
+  match best with
+  | None -> "{\n  \"bench\": \"serve\",\n  \"sweep\": []\n}\n"
+  | Some b ->
+    String.concat "\n"
+      [
+        "{";
+        "  \"bench\": \"serve\",";
+        Printf.sprintf "  \"saturation_throughput_rps\": %.2f," b.throughput_rps;
+        Printf.sprintf "  \"saturation_concurrency\": %d," b.concurrency;
+        Printf.sprintf "  \"shed_rate\": %.4f," b.shed_rate;
+        Printf.sprintf "  \"miscompares\": %d,"
+          (List.fold_left (fun acc (r : report) -> acc + r.miscompares) 0 reports);
+        "  \"latency_s\": {";
+        Printf.sprintf "    \"p50\": %.6f," b.p50_s;
+        Printf.sprintf "    \"p95\": %.6f," b.p95_s;
+        Printf.sprintf "    \"p99\": %.6f" b.p99_s;
+        "  },";
+        "  \"sweep\": [";
+        String.concat ",\n" (List.map (fun r -> "    " ^ json_of_report ~indent:4 r) reports);
+        "  ]";
+        "}";
+        "";
+      ]

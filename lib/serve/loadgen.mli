@@ -1,0 +1,55 @@
+(** Closed-loop load generator for the evaluation service.
+
+    [concurrency] worker threads each hold one connection and drive it
+    closed-loop: send an {!Wire.Eval_request}, wait for the full reply,
+    send the next. Programs are drawn from the {!Mcnc.Generators}
+    benchmark families, tenants round a configurable mix, and {e every}
+    returned output vector is checked bit-for-bit against a direct
+    [Pla.eval] oracle — a served result that differs is a miscompare,
+    the one number that must stay zero.
+
+    Latencies feed a shared {!Runtime.Histogram}; the report carries
+    p50/p95/p99, sustained (saturation) throughput and the shed rate,
+    and {!to_json} / {!sweep_to_json} render the [BENCH_serve.json]
+    artifact. Fixed [seed] ⇒ a reproducible request sequence. *)
+
+type config = {
+  connect : unit -> in_channel * out_channel * (unit -> unit);
+      (** fresh transport per worker; the thunk closes it *)
+  concurrency : int;  (** closed-loop workers *)
+  tenants : int;  (** distinct tenant identities in the mix *)
+  requests_per_worker : int;
+  batch : int;  (** input vectors per request *)
+  seed : int;
+}
+
+type report = {
+  label : string;
+  concurrency : int;
+  tenants : int;
+  batch : int;
+  requests : int;  (** issued = completed + shed + errors *)
+  completed : int;
+  shed : int;  (** answered {!Wire.Overloaded} *)
+  errors : int;  (** answered {!Wire.Error_response} or transport death *)
+  miscompares : int;  (** output vectors differing from the oracle *)
+  vectors : int;  (** oracle-checked output vectors *)
+  wall_s : float;
+  throughput_rps : float;  (** completed / wall — saturation throughput *)
+  shed_rate : float;  (** shed / requests *)
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  mean_s : float;
+  max_s : float;
+}
+
+val run : ?label:string -> config -> report
+
+val to_json : report -> string
+
+val sweep_to_json : report list -> string
+(** One JSON document for a concurrency sweep: the highest-throughput
+    point is promoted to the top level ([saturation_throughput_rps],
+    [latency_s], [shed_rate]) with the full per-point table under
+    ["sweep"]. *)

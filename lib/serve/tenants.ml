@@ -1,0 +1,93 @@
+module Cache = Runtime.Cache
+module Metrics = Runtime.Metrics
+
+type entry = { cache : Cache.t; mutable last_used : int }
+
+type t = {
+  lock : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  max_tenants : int;
+  quota : int;
+  mutable clock : int;
+  mutable tenant_evictions : int;
+  mutable carried_entry_evictions : int;
+      (* entry evictions recorded inside caches that have since been
+         evicted, plus their live entries at eviction time — kept so
+         [entry_evictions] never goes backwards when a tenant dies *)
+  metrics : Metrics.t option;
+}
+
+let create ?metrics ?(max_tenants = 16) ?(quota = 32) () =
+  if max_tenants < 1 then invalid_arg "Tenants.create: max_tenants < 1";
+  if quota < 1 then invalid_arg "Tenants.create: quota < 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      table = Hashtbl.create 16;
+      max_tenants;
+      quota;
+      clock = 0;
+      tenant_evictions = 0;
+      carried_entry_evictions = 0;
+      metrics;
+    }
+  in
+  (match metrics with
+  | Some m ->
+    Metrics.register_gauge m "serve.tenants" (fun () ->
+        Mutex.lock t.lock;
+        let n = Hashtbl.length t.table in
+        Mutex.unlock t.lock;
+        float_of_int n)
+  | None -> ());
+  t
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let evict_lru_tenant t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun name e ->
+      match !victim with
+      | Some (_, _, age) when e.last_used >= age -> ()
+      | _ -> victim := Some (name, e, e.last_used))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (name, e, _) ->
+    Hashtbl.remove t.table name;
+    t.tenant_evictions <- t.tenant_evictions + 1;
+    t.carried_entry_evictions <- t.carried_entry_evictions + Cache.evictions e.cache + Cache.size e.cache;
+    (match t.metrics with Some m -> Metrics.incr_named m "serve.tenant_evictions" | None -> ());
+    if Obs.Span.enabled () then Obs.Span.instant ~args:[ ("tenant", name) ] "serve.tenant_evicted"
+
+let cache t name =
+  locked t (fun () ->
+      t.clock <- t.clock + 1;
+      match Hashtbl.find_opt t.table name with
+      | Some e ->
+        e.last_used <- t.clock;
+        e.cache
+      | None ->
+        if Hashtbl.length t.table >= t.max_tenants then evict_lru_tenant t;
+        let cache = Cache.create ~capacity:t.quota () in
+        Hashtbl.replace t.table name { cache; last_used = t.clock };
+        cache)
+
+let quota t = t.quota
+
+let tenant_count t = locked t (fun () -> Hashtbl.length t.table)
+
+let tenant_evictions t = locked t (fun () -> t.tenant_evictions)
+
+let entry_evictions t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ e acc -> acc + Cache.evictions e.cache) t.table t.carried_entry_evictions)
+
+let stats t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.table []
+      |> List.sort (fun (_, a) (_, b) -> compare b.last_used a.last_used)
+      |> List.map (fun (name, e) -> (name, Cache.size e.cache)))

@@ -1,0 +1,40 @@
+(** Per-tenant compiled-PLA caches with quotas and two-level LRU
+    eviction.
+
+    Each tenant gets its own {!Runtime.Cache.t} capped at [quota]
+    entries, so one tenant churning through thousands of programs can
+    never evict another tenant's working set — {e within} a tenant the
+    cache's own LRU applies, and those per-entry evictions are metered
+    by the cache itself. Across tenants, at most [max_tenants] caches
+    are kept; creating one beyond that evicts the least-recently-used
+    {e tenant} wholesale (metered, with its discarded entry count
+    carried into {!entry_evictions}).
+
+    Thread-safe; all counts survive tenant eviction. *)
+
+type t
+
+val create : ?metrics:Runtime.Metrics.t -> ?max_tenants:int -> ?quota:int -> unit -> t
+(** Defaults: 16 tenants, 32 compiled programs per tenant. With
+    [metrics], maintains the [serve.tenants] gauge and
+    [serve.tenant_evictions] counter. *)
+
+val cache : t -> string -> Runtime.Cache.t
+(** Find-or-create the named tenant's cache (touches its LRU slot; may
+    evict the least-recently-used other tenant). *)
+
+val quota : t -> int
+
+val tenant_count : t -> int
+
+val tenant_evictions : t -> int
+(** Whole tenants evicted so far. *)
+
+val entry_evictions : t -> int
+(** Compiled entries lost to quota pressure: LRU evictions inside every
+    live tenant cache, plus all entries (evicted or live) of tenants
+    that were themselves evicted. *)
+
+val stats : t -> (string * int) list
+(** Live tenants with their current entry counts, most recently used
+    first. *)

@@ -1,0 +1,298 @@
+(* Length-prefixed binary frames.
+
+   Layout: 4-byte big-endian payload length, then the payload:
+
+     magic 'C' | version | tag | body
+
+   Integers are big-endian; strings are length-prefixed (u16 for tenant
+   names, u32 for programs and error messages); bit matrices are
+   u32 rows, u16 width, then rows * ceil(width/8) bytes with bit i of a
+   row in byte i/8 at position i mod 8 (LSB-first).
+
+   The decoder works through a bounds-checked cursor whose every read
+   can fail only by raising the private [Fail] exception, converted to a
+   [result] at the [decode] boundary — so no input, however mangled, can
+   escape as an exception or an out-of-bounds access. *)
+
+let version = 1
+
+let magic = 0x43 (* 'C' *)
+
+let default_limit = 16 * 1024 * 1024
+
+let header_bytes = 4
+
+type error_code = Parse_failed | Arity_mismatch | Batch_too_large | Internal
+
+type message =
+  | Eval_request of { tenant : string; program : string; batch : bool array array }
+  | Ping
+  | Result_chunk of { first : int; outputs : bool array array }
+  | Eval_done of { total : int; cache_hit : bool; eval_ns : int64 }
+  | Overloaded of { queued : int; inflight : int }
+  | Error_response of { code : error_code; message : string }
+  | Pong
+
+type error =
+  | Truncated of { expected : int; got : int }
+  | Bad_magic of int
+  | Unsupported_version of int
+  | Bad_tag of int
+  | Oversized of { length : int; limit : int }
+  | Bad_payload of string
+
+let error_to_string = function
+  | Truncated { expected; got } -> Printf.sprintf "truncated frame: expected %d bytes, got %d" expected got
+  | Bad_magic b -> Printf.sprintf "bad magic byte 0x%02x" b
+  | Unsupported_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Bad_tag t -> Printf.sprintf "unknown message tag 0x%02x" t
+  | Oversized { length; limit } -> Printf.sprintf "oversized frame: %d bytes (limit %d)" length limit
+  | Bad_payload msg -> Printf.sprintf "bad payload: %s" msg
+
+let tag_name = function
+  | Eval_request _ -> "eval_request"
+  | Ping -> "ping"
+  | Result_chunk _ -> "result_chunk"
+  | Eval_done _ -> "eval_done"
+  | Overloaded _ -> "overloaded"
+  | Error_response _ -> "error_response"
+  | Pong -> "pong"
+
+(* --- tags ---------------------------------------------------------------- *)
+
+let tag_of_message = function
+  | Eval_request _ -> 0x01
+  | Ping -> 0x02
+  | Result_chunk _ -> 0x81
+  | Eval_done _ -> 0x82
+  | Overloaded _ -> 0x83
+  | Error_response _ -> 0x84
+  | Pong -> 0x85
+
+let code_to_int = function Parse_failed -> 0 | Arity_mismatch -> 1 | Batch_too_large -> 2 | Internal -> 3
+
+let code_of_int = function
+  | 0 -> Some Parse_failed
+  | 1 -> Some Arity_mismatch
+  | 2 -> Some Batch_too_large
+  | 3 -> Some Internal
+  | _ -> None
+
+(* --- encoding ------------------------------------------------------------ *)
+
+let add_u8 b v = Buffer.add_uint8 b (v land 0xff)
+
+let add_u16 b v =
+  if v < 0 || v > 0xffff then invalid_arg "Wire.encode: u16 field out of range";
+  Buffer.add_uint16_be b v
+
+let add_u32 b v =
+  if v < 0 || v > 0xffff_ffff then invalid_arg "Wire.encode: u32 field out of range";
+  Buffer.add_int32_be b (Int32.of_int v)
+
+let add_str16 b s =
+  add_u16 b (String.length s);
+  Buffer.add_string b s
+
+let add_str32 b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let add_matrix b rows =
+  let n = Array.length rows in
+  let width = if n = 0 then 0 else Array.length rows.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> width then invalid_arg "Wire.encode: ragged batch")
+    rows;
+  add_u32 b n;
+  add_u16 b width;
+  let stride = (width + 7) / 8 in
+  let row = Bytes.create stride in
+  Array.iter
+    (fun r ->
+      Bytes.fill row 0 stride '\000';
+      Array.iteri
+        (fun i bit ->
+          if bit then
+            Bytes.unsafe_set row (i / 8)
+              (Char.chr (Char.code (Bytes.unsafe_get row (i / 8)) lor (1 lsl (i mod 8)))))
+        r;
+      Buffer.add_bytes b row)
+    rows
+
+let encode msg =
+  let body = Buffer.create 64 in
+  add_u8 body magic;
+  add_u8 body version;
+  add_u8 body (tag_of_message msg);
+  (match msg with
+  | Eval_request { tenant; program; batch } ->
+    add_str16 body tenant;
+    add_str32 body program;
+    add_matrix body batch
+  | Ping | Pong -> ()
+  | Result_chunk { first; outputs } ->
+    add_u32 body first;
+    add_matrix body outputs
+  | Eval_done { total; cache_hit; eval_ns } ->
+    add_u32 body total;
+    add_u8 body (if cache_hit then 1 else 0);
+    Buffer.add_int64_be body eval_ns
+  | Overloaded { queued; inflight } ->
+    add_u16 body queued;
+    add_u16 body inflight
+  | Error_response { code; message } ->
+    add_u8 body (code_to_int code);
+    add_str32 body message);
+  let frame = Buffer.create (Buffer.length body + header_bytes) in
+  add_u32 frame (Buffer.length body);
+  Buffer.add_buffer frame body;
+  Buffer.contents frame
+
+(* --- decoding ------------------------------------------------------------ *)
+
+exception Fail of error
+
+type cursor = { buf : string; limit : int; mutable pos : int }
+
+let need c n =
+  if c.pos + n > c.limit then raise (Fail (Truncated { expected = c.pos + n; got = c.limit }))
+
+let u8 c =
+  need c 1;
+  let v = Char.code (String.unsafe_get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  let hi = u8 c in
+  let lo = u8 c in
+  (hi lsl 8) lor lo
+
+let u32 c =
+  let hi = u16 c in
+  let lo = u16 c in
+  (hi lsl 16) lor lo
+
+let u64 c =
+  need c 8;
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8 c))
+  done;
+  !v
+
+let str c len =
+  need c len;
+  let s = String.sub c.buf c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let str16 c = str c (u16 c)
+
+let str32 c = str c (u32 c)
+
+let matrix c =
+  let n = u32 c in
+  let width = u16 c in
+  let stride = (width + 7) / 8 in
+  (* The size claim must fit the remaining payload before any allocation
+     is sized from it — a u32 row count in a 20-byte frame must die as
+     Truncated, not as a gigabyte allocation. *)
+  need c (n * stride);
+  Array.init n (fun _ ->
+      let base = c.pos in
+      c.pos <- c.pos + stride;
+      Array.init width (fun i ->
+          Char.code (String.unsafe_get c.buf (base + (i / 8))) land (1 lsl (i mod 8)) <> 0))
+
+let decode_payload payload =
+  let c = { buf = payload; limit = String.length payload; pos = 0 } in
+  let m = u8 c in
+  if m <> magic then raise (Fail (Bad_magic m));
+  let v = u8 c in
+  if v <> version then raise (Fail (Unsupported_version v));
+  let tag = u8 c in
+  let msg =
+    match tag with
+    | 0x01 ->
+      let tenant = str16 c in
+      let program = str32 c in
+      let batch = matrix c in
+      Eval_request { tenant; program; batch }
+    | 0x02 -> Ping
+    | 0x81 ->
+      let first = u32 c in
+      let outputs = matrix c in
+      Result_chunk { first; outputs }
+    | 0x82 ->
+      let total = u32 c in
+      let hit = u8 c in
+      if hit > 1 then raise (Fail (Bad_payload "cache_hit flag not 0/1"));
+      let eval_ns = u64 c in
+      Eval_done { total; cache_hit = hit = 1; eval_ns }
+    | 0x83 ->
+      let queued = u16 c in
+      let inflight = u16 c in
+      Overloaded { queued; inflight }
+    | 0x84 -> (
+      match code_of_int (u8 c) with
+      | None -> raise (Fail (Bad_payload "unknown error code"))
+      | Some code ->
+        let message = str32 c in
+        Error_response { code; message })
+    | 0x85 -> Pong
+    | t -> raise (Fail (Bad_tag t))
+  in
+  if c.pos <> c.limit then raise (Fail (Bad_payload "trailing bytes after message body"));
+  msg
+
+let decode ?(limit = default_limit) s =
+  match
+    let c = { buf = s; limit = String.length s; pos = 0 } in
+    let len = u32 c in
+    if len > limit then raise (Fail (Oversized { length = len; limit }));
+    let payload = str c len in
+    (decode_payload payload, c.pos)
+  with
+  | v -> Ok v
+  | exception Fail e -> Error e
+
+(* --- channels ------------------------------------------------------------ *)
+
+let write_message oc msg =
+  output_string oc (encode msg);
+  flush oc
+
+let really_read ic n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.unsafe_to_string b)
+    else
+      match input ic b off (n - off) with
+      | 0 -> if off = 0 then None else raise (Fail (Truncated { expected = n; got = off }))
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_message ?(limit = default_limit) ic =
+  match
+    match really_read ic header_bytes with
+    | None -> `Eof
+    | Some hdr ->
+      let len =
+        (Char.code hdr.[0] lsl 24)
+        lor (Char.code hdr.[1] lsl 16)
+        lor (Char.code hdr.[2] lsl 8)
+        lor Char.code hdr.[3]
+      in
+      if len > limit then `Error (Oversized { length = len; limit })
+      else begin
+        match really_read ic len with
+        | None -> `Error (Truncated { expected = len; got = 0 })
+        | Some payload -> `Msg (decode_payload payload)
+      end
+  with
+  | r -> r
+  | exception Fail e -> `Error e
+  | exception End_of_file -> `Error (Truncated { expected = header_bytes; got = 0 })

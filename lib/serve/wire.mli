@@ -1,0 +1,94 @@
+(** Versioned binary wire protocol for the evaluation service.
+
+    Every message travels as one length-prefixed frame: a 4-byte
+    big-endian payload length, then the payload — magic byte, protocol
+    version, message tag, body. Input batches and result batches are
+    packed bit matrices (one row per vector, LSB-first within each
+    byte), so a 16-input vector costs 2 bytes on the wire, not 16.
+
+    The decoder is {e total}: any byte string either decodes to a
+    message or to a typed {!error} — it never raises, never reads out
+    of bounds, and rejects both oversized frames (before buffering the
+    payload) and payloads with trailing bytes. That totality is what
+    lets the server treat a misbehaving client as a session-local
+    event, and it is enforced by the [serve/codec-roundtrip] property
+    in {!Prop.Props}. *)
+
+val version : int
+(** Current protocol version (1). *)
+
+val default_limit : int
+(** Default maximum payload size accepted by the decoder (16 MiB). *)
+
+val header_bytes : int
+(** Bytes of framing before the payload (the 4-byte length prefix). *)
+
+(** Why the server refused a request that was syntactically valid. *)
+type error_code =
+  | Parse_failed  (** the submitted [.pla] program did not parse *)
+  | Arity_mismatch  (** batch vector width ≠ the program's input count *)
+  | Batch_too_large  (** more vectors than the server's per-request cap *)
+  | Internal  (** anything else; the message says what *)
+
+type message =
+  | Eval_request of {
+      tenant : string;  (** cache-quota accounting identity *)
+      program : string;  (** the PLA program, espresso [.pla] text *)
+      batch : bool array array;  (** input vectors, all the same width *)
+    }
+  | Ping
+  | Result_chunk of {
+      first : int;  (** batch index of [outputs.(0)] *)
+      outputs : bool array array;
+    }
+  | Eval_done of {
+      total : int;  (** vectors evaluated, across all chunks *)
+      cache_hit : bool;  (** compiled PLA came from the tenant cache *)
+      eval_ns : int64;  (** server-side compile+eval wall time *)
+    }
+  | Overloaded of { queued : int; inflight : int }
+      (** Admission control shed the request; the fields are the
+          admission state at shed time, for client-side backoff. *)
+  | Error_response of { code : error_code; message : string }
+  | Pong
+
+(** Typed decode failures. *)
+type error =
+  | Truncated of { expected : int; got : int }
+      (** fewer bytes than the frame or field announced *)
+  | Bad_magic of int
+  | Unsupported_version of int
+  | Bad_tag of int
+  | Oversized of { length : int; limit : int }
+      (** announced payload length exceeds the decoder's limit; raised
+          before any payload byte is buffered *)
+  | Bad_payload of string
+      (** structurally invalid body (bad field, inconsistent sizes,
+          trailing bytes) *)
+
+val error_to_string : error -> string
+
+val tag_name : message -> string
+(** Short constructor name, for spans and logs. *)
+
+(** {2 Pure codec} *)
+
+val encode : message -> string
+(** The full frame, length prefix included. Raises [Invalid_argument]
+    on unencodable messages (ragged batch, string or batch dimensions
+    beyond the field widths). *)
+
+val decode : ?limit:int -> string -> (message * int, error) result
+(** Decode one frame from the head of the string; on success also
+    returns the number of bytes consumed (so a buffer holding several
+    frames can be walked). Never raises. *)
+
+(** {2 Channel transport} *)
+
+val write_message : out_channel -> message -> unit
+(** Write one frame and flush. *)
+
+val read_message : ?limit:int -> in_channel -> [ `Msg of message | `Eof | `Error of error ]
+(** Read one frame. [`Eof] only at a clean frame boundary; end-of-input
+    mid-frame is [`Error (Truncated _)]. An [Oversized] length prefix is
+    reported without buffering the payload. *)

@@ -288,6 +288,63 @@ let test_submit_after_shutdown_rejected () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+let test_drain_finishes_queued () =
+  let pool = Pool.create ~jobs:1 () in
+  let counter = Atomic.make 0 in
+  let futs =
+    List.init 6 (fun _ ->
+        Pool.submit pool (fun () ->
+            Thread.delay 0.005;
+            Atomic.incr counter))
+  in
+  Pool.drain pool;
+  Pool.drain pool (* idempotent *);
+  checki "every queued task ran before drain returned" 6 (Atomic.get counter);
+  List.iter Pool.await futs
+
+let test_shutdown_poisons_queued () =
+  let pool = Pool.create ~jobs:1 () in
+  let started = Atomic.make false in
+  let gate = Atomic.make false in
+  let first =
+    Pool.submit pool (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get gate) do
+          Thread.delay 0.001
+        done;
+        1)
+  in
+  while not (Atomic.get started) do
+    Thread.delay 0.001
+  done;
+  (* the only worker is pinned on [first]; these stay queued *)
+  let queued = List.init 3 (fun i -> Pool.submit pool (fun () -> i)) in
+  let stopper = Thread.create (fun () -> Pool.shutdown pool) () in
+  Thread.delay 0.02;
+  Atomic.set gate true;
+  Thread.join stopper;
+  checki "inflight task still finished" 1 (Pool.await first);
+  List.iter
+    (fun f ->
+      match Pool.await f with
+      | _ -> Alcotest.fail "queued-unstarted task must fail with Pool.Shutdown"
+      | exception Pool.Shutdown -> ())
+    queued
+
+let test_concurrent_stoppers () =
+  let pool = Pool.create ~jobs:2 () in
+  ignore (Pool.submit pool (fun () -> Thread.delay 0.01));
+  (* drain and shutdown racing from four threads: all must return, and
+     only to a fully-stopped pool *)
+  let stoppers =
+    List.init 4 (fun i ->
+        Thread.create (fun () -> if i mod 2 = 0 then Pool.shutdown pool else Pool.drain pool) ())
+  in
+  List.iter Thread.join stoppers;
+  match Pool.submit pool (fun () -> ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "runtime"
     [
@@ -325,5 +382,12 @@ let () =
             test_batch_reports_smallest_failing_index;
           Alcotest.test_case "await re-raises" `Quick test_await_reraises;
           Alcotest.test_case "submit after shutdown" `Quick test_submit_after_shutdown_rejected;
+        ] );
+      ( "stop protocol",
+        [
+          Alcotest.test_case "drain finishes queued work" `Quick test_drain_finishes_queued;
+          Alcotest.test_case "shutdown poisons queued-unstarted" `Quick
+            test_shutdown_poisons_queued;
+          Alcotest.test_case "concurrent stoppers" `Quick test_concurrent_stoppers;
         ] );
     ]

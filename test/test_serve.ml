@@ -1,0 +1,341 @@
+(* Tests for the evaluation service over the pipe transport: wire codec
+   edges the property battery can't pin down, happy-path serving with
+   oracle-checked outputs, deterministic queue-full shedding, tenant
+   quota eviction accounting, a client dying mid-stream while another
+   session keeps being served, and clean shutdown draining inflight
+   work. No sockets — every session runs on Unix.pipe pairs. *)
+
+module Wire = Serve.Wire
+module Server = Serve.Server
+module Admission = Serve.Admission
+module Tenants = Serve.Tenants
+module Pool = Runtime.Pool
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- transport harness ---------------------------------------------------- *)
+
+type client = {
+  ic : in_channel;  (* server -> client *)
+  oc : out_channel;  (* client -> server *)
+  thread : Thread.t;
+}
+
+(* Spawn one server session over two pipes; the returned client talks to
+   it. [finish] closes the client side and joins the session thread. *)
+let connect server =
+  let c2s_r, c2s_w = Unix.pipe () in
+  let s2c_r, s2c_w = Unix.pipe () in
+  let sic = Unix.in_channel_of_descr c2s_r in
+  let soc = Unix.out_channel_of_descr s2c_w in
+  let thread =
+    Thread.create
+      (fun () ->
+        Server.serve_session server sic soc;
+        close_out_noerr soc;
+        close_in_noerr sic)
+      ()
+  in
+  { ic = Unix.in_channel_of_descr s2c_r; oc = Unix.out_channel_of_descr c2s_w; thread }
+
+let finish c =
+  close_out_noerr c.oc;
+  Thread.join c.thread;
+  close_in_noerr c.ic
+
+let small_config =
+  {
+    Server.default_config with
+    jobs = Some 2;
+    queue_limit = 0;
+    max_inflight = 1;
+    max_tenants = 2;
+    tenant_quota = 1;
+    chunk_vectors = 4;
+    max_batch = 64;
+  }
+
+let read_msg c =
+  match Wire.read_message c.ic with
+  | `Msg m -> m
+  | `Eof -> Alcotest.fail "unexpected EOF from server"
+  | `Error e -> Alcotest.fail ("unexpected decode error: " ^ Wire.error_to_string e)
+
+(* Drive one eval request to completion, gathering streamed chunks. *)
+let request c ~tenant ~program ~batch =
+  Wire.write_message c.oc (Wire.Eval_request { tenant; program; batch });
+  let rec gather acc =
+    match read_msg c with
+    | Wire.Result_chunk { first; outputs } -> gather ((first, outputs) :: acc)
+    | Wire.Eval_done { total; cache_hit; _ } -> `Done (total, cache_hit, List.rev acc)
+    | Wire.Overloaded _ -> `Shed
+    | Wire.Error_response { code; message } -> `Error (code, message)
+    | m -> Alcotest.fail ("unexpected reply: " ^ Wire.tag_name m)
+  in
+  gather []
+
+let pla_text cover =
+  let n_in = Logic.Cover.num_inputs cover in
+  let n_out = Logic.Cover.num_outputs cover in
+  Logic.Pla_io.to_string ~on_set:cover ~dc_set:(Logic.Cover.empty ~n_in ~n_out) ()
+
+let all_vectors n = Array.init (1 lsl n) (fun m -> Runtime.Batch.minterm n m)
+
+(* --- wire codec edges ----------------------------------------------------- *)
+
+let test_wire_exact_roundtrip () =
+  let msgs =
+    [
+      Wire.Eval_request { tenant = "t0"; program = ".i 1\n.o 1\n1 1\n.e\n"; batch = [| [| true |]; [| false |] |] };
+      Wire.Eval_request { tenant = ""; program = ""; batch = [||] };
+      Wire.Ping;
+      Wire.Result_chunk { first = 7; outputs = [| [| true; false; true |] |] };
+      Wire.Eval_done { total = 12; cache_hit = true; eval_ns = 123456789L };
+      Wire.Overloaded { queued = 3; inflight = 8 };
+      Wire.Error_response { code = Wire.Parse_failed; message = "line 2: bad cube" };
+      Wire.Pong;
+    ]
+  in
+  List.iter
+    (fun m ->
+      let bytes = Wire.encode m in
+      match Wire.decode bytes with
+      | Ok (m', n) ->
+        checkb ("roundtrip " ^ Wire.tag_name m) true (m = m');
+        checki "consumed whole frame" (String.length bytes) n
+      | Error e -> Alcotest.fail (Wire.error_to_string e))
+    msgs
+
+let test_wire_oversized_rejected_before_buffering () =
+  let big = Wire.Eval_request { tenant = "t"; program = String.make 4096 '.'; batch = [||] } in
+  let bytes = Wire.encode big in
+  match Wire.decode ~limit:64 bytes with
+  | Error (Wire.Oversized { length; limit }) ->
+    checkb "announced length" true (length > 64);
+    checki "limit echoed" 64 limit
+  | _ -> Alcotest.fail "expected Oversized"
+
+let test_wire_garbage_is_typed_error () =
+  (* every prefix of a valid frame, with every byte clobbered in turn:
+     always a typed error or a clean parse, never an exception *)
+  let bytes = Wire.encode (Wire.Overloaded { queued = 1; inflight = 2 }) in
+  for cut = 0 to String.length bytes - 1 do
+    match Wire.decode (String.sub bytes 0 cut) with
+    | Error (Wire.Truncated _) -> ()
+    | Ok _ | Error _ -> Alcotest.fail "truncation must decode as Truncated"
+  done;
+  for i = 0 to String.length bytes - 1 do
+    let b = Bytes.of_string bytes in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    match Wire.decode (Bytes.to_string b) with
+    | Ok _ | Error _ -> ()
+  done
+
+(* --- happy path ------------------------------------------------------------ *)
+
+let test_happy_path () =
+  let server = Server.create { small_config with max_inflight = 4; queue_limit = 8 } in
+  let cover = Mcnc.Generators.gray ~bits:3 in
+  let oracle = Cnfet.Pla.of_cover cover in
+  let batch = all_vectors 3 in
+  let c = connect server in
+  Wire.write_message c.oc Wire.Ping;
+  checkb "ping-pong" true (read_msg c = Wire.Pong);
+  (match request c ~tenant:"alice" ~program:(pla_text cover) ~batch with
+  | `Done (total, hit_first, chunks) ->
+    checki "all vectors evaluated" (Array.length batch) total;
+    checkb "first compile is a miss" false hit_first;
+    (* chunking honoured and outputs bit-identical to direct Pla.eval *)
+    checkb "chunked" true (List.length chunks > 1);
+    List.iter
+      (fun (first, outputs) ->
+        Array.iteri
+          (fun i got -> checkb "oracle match" true (got = Cnfet.Pla.eval oracle batch.(first + i)))
+          outputs)
+      chunks
+  | _ -> Alcotest.fail "expected Done");
+  (match request c ~tenant:"alice" ~program:(pla_text cover) ~batch with
+  | `Done (_, hit_second, _) -> checkb "second compile hits the tenant cache" true hit_second
+  | _ -> Alcotest.fail "expected Done");
+  finish c;
+  Server.stop server;
+  let s = Server.stats server in
+  checki "no session errors" 0 s.Server.session_errors;
+  checki "two ok responses" 2 s.Server.responses_ok
+
+let test_request_errors_are_typed () =
+  let server = Server.create small_config in
+  let c = connect server in
+  (match request c ~tenant:"t" ~program:"this is not a pla" ~batch:[||] with
+  | `Error (Wire.Parse_failed, _) -> ()
+  | _ -> Alcotest.fail "expected Parse_failed");
+  let cover = Mcnc.Generators.xor_n 3 in
+  (match request c ~tenant:"t" ~program:(pla_text cover) ~batch:[| [| true; false |] |] with
+  | `Error (Wire.Arity_mismatch, _) -> ()
+  | _ -> Alcotest.fail "expected Arity_mismatch");
+  (match
+     request c ~tenant:"t" ~program:(pla_text cover)
+       ~batch:(Array.make 65 (Array.make 3 false))
+   with
+  | `Error (Wire.Batch_too_large, _) -> ()
+  | _ -> Alcotest.fail "expected Batch_too_large");
+  (* the session survived all three rejections *)
+  (match request c ~tenant:"t" ~program:(pla_text cover) ~batch:(all_vectors 3) with
+  | `Done _ -> ()
+  | _ -> Alcotest.fail "expected Done after rejected requests");
+  finish c;
+  Server.stop server
+
+(* --- admission control ------------------------------------------------------ *)
+
+let test_queue_full_sheds_overloaded () =
+  (* max_inflight 1, queue 0: occupy the only slot out-of-band, so the
+     next request must shed — deterministically, no timing involved. *)
+  let server = Server.create small_config in
+  let adm = Server.admission server in
+  checkb "slot taken out-of-band" true (Admission.admit adm = Admission.Admitted);
+  let program = pla_text (Mcnc.Generators.xor_n 3) in
+  let c = connect server in
+  (match request c ~tenant:"t" ~program ~batch:(all_vectors 3) with
+  | `Shed -> ()
+  | _ -> Alcotest.fail "expected Overloaded while the slot is held");
+  checki "shed metered" 1 (Admission.shed_total adm);
+  Admission.release adm;
+  (* slot free again: the same session is served normally *)
+  (match request c ~tenant:"t" ~program ~batch:(all_vectors 3) with
+  | `Done (total, _, _) -> checki "served after release" 8 total
+  | _ -> Alcotest.fail "expected Done once the slot freed");
+  finish c;
+  Server.stop server
+
+let test_clean_shutdown_drains_inflight () =
+  let server = Server.create { small_config with max_inflight = 4 } in
+  let pool = Server.pool server in
+  let counter = Atomic.make 0 in
+  let futs =
+    List.init 8 (fun _ ->
+        Pool.submit pool (fun () ->
+            Thread.delay 0.005;
+            Atomic.incr counter))
+  in
+  Server.stop server;
+  checki "every inflight task finished before stop returned" 8 (Atomic.get counter);
+  List.iter Pool.await futs;
+  (* and admission is closed: everything after stop is shed, not queued *)
+  match Admission.admit (Server.admission server) with
+  | Admission.Shed _ -> ()
+  | Admission.Admitted -> Alcotest.fail "admission must be closed after stop"
+
+(* --- tenant quotas ----------------------------------------------------------- *)
+
+let test_tenant_quota_entry_eviction () =
+  (* quota 1: a tenant's second program evicts its first (metered by the
+     tenant's own cache), and the other tenant's entry is untouched. *)
+  let server = Server.create small_config in
+  let tenants = Server.tenants server in
+  let p1 = pla_text (Mcnc.Generators.xor_n 3) in
+  let p2 = pla_text (Mcnc.Generators.majority 3) in
+  let c = connect server in
+  let eval ~tenant program =
+    match request c ~tenant ~program ~batch:(all_vectors 3) with
+    | `Done _ -> ()
+    | _ -> Alcotest.fail "expected Done"
+  in
+  eval ~tenant:"alice" p1;
+  eval ~tenant:"bob" p1;
+  checki "no evictions yet" 0 (Tenants.entry_evictions tenants);
+  eval ~tenant:"alice" p2;
+  checki "alice's LRU entry evicted" 1 (Tenants.entry_evictions tenants);
+  checki "no whole-tenant eviction" 0 (Tenants.tenant_evictions tenants);
+  (* bob's cached entry survived alice's churn *)
+  let bob_cache = Tenants.cache tenants "bob" in
+  let hits0 = Runtime.Cache.hits bob_cache in
+  eval ~tenant:"bob" p1;
+  checkb "bob still hits his cache" true (Runtime.Cache.hits bob_cache > hits0);
+  finish c;
+  Server.stop server
+
+let test_tenant_lru_eviction_metered () =
+  (* max_tenants 2: a third tenant evicts the least-recently-used one,
+     carrying its entry count into the meters. *)
+  let tenants = Tenants.create ~max_tenants:2 ~quota:4 () in
+  let touch name = ignore (Tenants.cache tenants name : Runtime.Cache.t) in
+  touch "alice";
+  touch "bob";
+  touch "alice" (* bob is now LRU *);
+  touch "carol";
+  checki "one tenant evicted" 1 (Tenants.tenant_evictions tenants);
+  checki "two tenants live" 2 (Tenants.tenant_count tenants);
+  checkb "bob was the victim" true
+    (List.for_all (fun (name, _) -> name <> "bob") (Tenants.stats tenants));
+  checkb "alice survived" true
+    (List.exists (fun (name, _) -> name = "alice") (Tenants.stats tenants))
+
+(* --- session supervision ------------------------------------------------------ *)
+
+let test_disconnect_leaves_other_sessions_alive () =
+  let server = Server.create { small_config with max_inflight = 4 } in
+  let cover = Mcnc.Generators.xor_n 3 in
+  let healthy = connect server in
+  (* victim dies mid-frame: half a header, then hangup *)
+  let victim = connect server in
+  output_string victim.oc "\x00\x00";
+  finish victim;
+  (* victim's death is metered as a session error, not a crash *)
+  let rec wait_metered n =
+    if n = 0 then Alcotest.fail "victim session never ended"
+    else if (Server.stats server).Server.session_errors = 0 then begin
+      Thread.delay 0.005;
+      wait_metered (n - 1)
+    end
+  in
+  wait_metered 200;
+  (* and the healthy session still serves, bit-exact *)
+  (match request healthy ~tenant:"t" ~program:(pla_text cover) ~batch:(all_vectors 3) with
+  | `Done (total, _, _) -> checki "healthy session served" 8 total
+  | _ -> Alcotest.fail "expected Done on the healthy session");
+  (* a poison frame (valid framing, garbage inside) also stays contained *)
+  let oversized = connect server in
+  Wire.write_message oversized.oc
+    (Wire.Eval_request
+       { tenant = "t"; program = String.make (Server.default_config.Server.max_frame / 1024) 'x'; batch = [||] });
+  (match request healthy ~tenant:"t" ~program:(pla_text cover) ~batch:(all_vectors 3) with
+  | `Done _ -> ()
+  | _ -> Alcotest.fail "healthy session must survive a noisy neighbour");
+  finish oversized;
+  finish healthy;
+  Server.stop server;
+  checki "daemon survived: no worker crashes" 0 (Pool.crashes (Server.pool server))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "exact roundtrip" `Quick test_wire_exact_roundtrip;
+          Alcotest.test_case "oversized rejected" `Quick test_wire_oversized_rejected_before_buffering;
+          Alcotest.test_case "mangled frames are typed errors" `Quick test_wire_garbage_is_typed_error;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "happy path, oracle-checked" `Quick test_happy_path;
+          Alcotest.test_case "typed request errors" `Quick test_request_errors_are_typed;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "queue-full sheds Overloaded" `Quick test_queue_full_sheds_overloaded;
+          Alcotest.test_case "clean shutdown drains inflight" `Quick
+            test_clean_shutdown_drains_inflight;
+        ] );
+      ( "tenants",
+        [
+          Alcotest.test_case "entry quota eviction metered" `Quick test_tenant_quota_entry_eviction;
+          Alcotest.test_case "tenant LRU eviction metered" `Quick test_tenant_lru_eviction_metered;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "mid-stream disconnect contained" `Quick
+            test_disconnect_leaves_other_sessions_alive;
+        ] );
+    ]
