@@ -245,6 +245,10 @@ let evict_lru t =
     t.evictions <- t.evictions + 1
   | None -> ()
 
+(* Returns the compiled entry plus whether it was already cached, so
+   callers that care (the serve layer reports cache_hit per request)
+   get the answer for this call alone instead of racing on the shared
+   [hits] counter. *)
 let find_or_compile t key build =
   locked t (fun () ->
       t.clock <- t.clock + 1;
@@ -261,7 +265,7 @@ let find_or_compile t key build =
           if Obs.Span.enabled () then Obs.Span.instant "cache.corruption_detected";
           raise (Corrupt_entry { key })
         end;
-        e.compiled
+        (e.compiled, true)
       | None ->
         t.misses <- t.misses + 1;
         let compiled = Obs.Span.with_ "cache.compile" build in
@@ -281,11 +285,13 @@ let find_or_compile t key build =
           if Obs.Span.enabled () then Obs.Span.instant "cache.corruption_detected";
           raise (Corrupt_entry { key })
         end;
-        compiled)
+        (compiled, false))
 
-let compile t ?inverted_outputs cover =
+let compile_hit t ?inverted_outputs cover =
   let key = key_of_cover ?inverted_outputs cover in
   find_or_compile t key (fun () -> compile_pla (Pla.of_cover ?inverted_outputs cover))
+
+let compile t ?inverted_outputs cover = fst (compile_hit t ?inverted_outputs cover)
 
 let compile_of_pla t pla_v =
   (* Key on the planes' programmed content rather than a source cover. *)
@@ -306,7 +312,7 @@ let compile_of_pla t pla_v =
     Buffer.add_char buf (if Pla.output_inverted pla_v o then '1' else '0')
   done;
   let key = Digest.string (Buffer.contents buf) in
-  find_or_compile t key (fun () -> compile_pla pla_v)
+  fst (find_or_compile t key (fun () -> compile_pla pla_v))
 
 let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)

@@ -38,6 +38,12 @@ val compile : t -> ?inverted_outputs:bool array -> Logic.Cover.t -> compiled
     [inverted_outputs] follows {!Cnfet.Pla.of_cover}'s convention and is
     part of the key. *)
 
+val compile_hit : t -> ?inverted_outputs:bool array -> Logic.Cover.t -> compiled * bool
+(** {!compile}, additionally reporting whether the entry was already
+    cached ([true] = hit). The flag describes this call alone —
+    inferring it by diffing the shared {!hits} counter races with
+    concurrent lookups on the same cache. *)
+
 val compile_of_pla : t -> Cnfet.Pla.t -> compiled
 (** Same, keyed on an already-mapped PLA's plane contents (used for
     repaired / hand-built PLAs that have no source cover). *)

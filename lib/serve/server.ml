@@ -105,17 +105,18 @@ let observe t name v = match t.metrics with Some m -> Metrics.observe m name v |
 exception Reject of Wire.error_code * string
 (* request-level failure; answered with [Error_response], session lives *)
 
-(* Compiled evaluator plus whether the tenant cache already had it. A
-   rotten cache entry ([Corrupt_entry] self-evicts) gets one recompile;
-   if the cache rots twice in a row we serve this request uncompiled
-   rather than bounce the client. *)
+(* Compiled evaluator plus whether the tenant cache already had it —
+   reported by the cache for this lookup alone, since diffing its
+   shared hit counter would race with concurrent requests on the same
+   tenant. A rotten cache entry ([Corrupt_entry] self-evicts) gets one
+   recompile; if the cache rots twice in a row we serve this request
+   uncompiled rather than bounce the client. *)
 let evaluator t tcache cover =
-  let hits0 = Cache.hits tcache in
-  match Cache.compile tcache cover with
-  | compiled -> (Cache.eval compiled, Cache.hits tcache > hits0)
+  match Cache.compile_hit tcache cover with
+  | compiled, hit -> (Cache.eval compiled, hit)
   | exception Cache.Corrupt_entry _ -> (
-    match Cache.compile tcache cover with
-    | compiled -> (Cache.eval compiled, false)
+    match Cache.compile_hit tcache cover with
+    | compiled, hit -> (Cache.eval compiled, hit)
     | exception Cache.Corrupt_entry _ ->
       bump t (fun s -> { s with fallback_evals = s.fallback_evals + 1 });
       tick t "serve.fallback_evals";
@@ -268,8 +269,13 @@ let stop t =
   Runtime.Pool.drain t.pool
 
 let request_stop t =
+  (* Runs from SIGINT/SIGTERM handlers, which OCaml executes at a safe
+     point in an {e arbitrary} thread — possibly one already holding
+     the admission lock, so taking any mutex here (Admission.close)
+     could self-deadlock. Only flip the atomic flag and poke the
+     listener; [stop], which the caller runs once the accept loop
+     returns, closes admission and drains the pool. *)
   Atomic.set t.stop_flag true;
-  Admission.close t.admission;
   (* wake a blocked [accept] by connecting to ourselves; harmless if the
      listener is already gone *)
   match t.sock_path with

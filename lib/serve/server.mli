@@ -58,8 +58,11 @@ val run_unix : t -> sock_path:string -> unit
     removed). *)
 
 val request_stop : t -> unit
-(** Ask a running {!run_unix} loop to exit: new requests are shed, the
-    accept loop is woken. Safe to call from a signal handler. *)
+(** Ask a running {!run_unix} loop to exit: sets the stop flag and
+    wakes the accept loop. Takes no locks, so it is safe to call from a
+    signal handler (which OCaml may run on a thread that already holds
+    one); the caller completes shutdown — shedding queued requests and
+    draining the pool — by calling {!stop} once {!run_unix} returns. *)
 
 val stop : t -> unit
 (** Close admission (queued requests shed) and gracefully drain the

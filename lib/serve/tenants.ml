@@ -13,7 +13,12 @@ type t = {
   mutable carried_entry_evictions : int;
       (* entry evictions recorded inside caches that have since been
          evicted, plus their live entries at eviction time — kept so
-         [entry_evictions] never goes backwards when a tenant dies *)
+         [entry_evictions] never goes backwards when a tenant dies.
+         Approximate under concurrency: a session thread that already
+         holds an evicted tenant's cache can keep compiling into the
+         orphaned object, and whatever it adds or evicts there after
+         this snapshot is never counted. Metrics-only drift, accepted;
+         an exact count would need weak references to dead caches. *)
   metrics : Metrics.t option;
 }
 

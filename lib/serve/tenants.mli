@@ -33,7 +33,10 @@ val tenant_evictions : t -> int
 val entry_evictions : t -> int
 (** Compiled entries lost to quota pressure: LRU evictions inside every
     live tenant cache, plus all entries (evicted or live) of tenants
-    that were themselves evicted. *)
+    that were themselves evicted, counted at the moment of tenant
+    eviction. Approximate under concurrency: a request that already
+    holds an evicted tenant's cache may keep using the orphaned object,
+    and activity in it after the eviction snapshot is not counted. *)
 
 val stats : t -> (string * int) list
 (** Live tenants with their current entry counts, most recently used

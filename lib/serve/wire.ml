@@ -6,8 +6,11 @@
 
    Integers are big-endian; strings are length-prefixed (u16 for tenant
    names, u32 for programs and error messages); bit matrices are
-   u32 rows, u16 width, then rows * ceil(width/8) bytes with bit i of a
-   row in byte i/8 at position i mod 8 (LSB-first).
+   u32 rows, u16 width, then rows * max(1, ceil(width/8)) bytes with
+   bit i of a row in byte i/8 at position i mod 8 (LSB-first). Every
+   row occupies at least one byte — even at width 0 — so a claimed row
+   count is always backed by payload bytes and the decoder can bound it
+   before allocating anything.
 
    The decoder works through a bounds-checked cursor whose every read
    can fail only by raising the private [Fail] exception, converted to a
@@ -106,7 +109,7 @@ let add_matrix b rows =
     rows;
   add_u32 b n;
   add_u16 b width;
-  let stride = (width + 7) / 8 in
+  let stride = max 1 ((width + 7) / 8) in
   let row = Bytes.create stride in
   Array.iter
     (fun r ->
@@ -139,8 +142,12 @@ let encode msg =
     add_u8 body (if cache_hit then 1 else 0);
     Buffer.add_int64_be body eval_ns
   | Overloaded { queued; inflight } ->
-    add_u16 body queued;
-    add_u16 body inflight
+    (* The overload response must be deliverable whatever queue bounds
+       the server was configured with: saturate at the field width
+       rather than raise and kill the session that most needs the
+       backoff hint. *)
+    add_u16 body (min queued 0xffff);
+    add_u16 body (min inflight 0xffff)
   | Error_response { code; message } ->
     add_u8 body (code_to_int code);
     add_str32 body message);
@@ -195,10 +202,12 @@ let str32 c = str c (u32 c)
 let matrix c =
   let n = u32 c in
   let width = u16 c in
-  let stride = (width + 7) / 8 in
+  let stride = max 1 ((width + 7) / 8) in
   (* The size claim must fit the remaining payload before any allocation
      is sized from it — a u32 row count in a 20-byte frame must die as
-     Truncated, not as a gigabyte allocation. *)
+     Truncated, not as a gigabyte allocation. Rows are at least one byte
+     each on the wire (see [add_matrix]), so this single check bounds
+     the row count even for zero-width matrices. *)
   need c (n * stride);
   Array.init n (fun _ ->
       let base = c.pos in

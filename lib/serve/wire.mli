@@ -4,7 +4,9 @@
     big-endian payload length, then the payload — magic byte, protocol
     version, message tag, body. Input batches and result batches are
     packed bit matrices (one row per vector, LSB-first within each
-    byte), so a 16-input vector costs 2 bytes on the wire, not 16.
+    byte), so a 16-input vector costs 2 bytes on the wire, not 16; a
+    row always occupies at least one byte, so a claimed row count can
+    never outrun the bytes that back it.
 
     The decoder is {e total}: any byte string either decodes to a
     message or to a typed {!error} — it never raises, never reads out
@@ -76,7 +78,9 @@ val tag_name : message -> string
 val encode : message -> string
 (** The full frame, length prefix included. Raises [Invalid_argument]
     on unencodable messages (ragged batch, string or batch dimensions
-    beyond the field widths). *)
+    beyond the field widths). Exception: [Overloaded] counters saturate
+    at 65535 instead of raising, so an overload response survives any
+    configured queue bound. *)
 
 val decode : ?limit:int -> string -> (message * int, error) result
 (** Decode one frame from the head of the string; on success also

@@ -91,6 +91,8 @@ let test_wire_exact_roundtrip () =
       Wire.Eval_request { tenant = ""; program = ""; batch = [||] };
       Wire.Ping;
       Wire.Result_chunk { first = 7; outputs = [| [| true; false; true |] |] };
+      (* width-0 rows still occupy one byte each on the wire *)
+      Wire.Result_chunk { first = 0; outputs = [| [||]; [||]; [||] |] };
       Wire.Eval_done { total = 12; cache_hit = true; eval_ns = 123456789L };
       Wire.Overloaded { queued = 3; inflight = 8 };
       Wire.Error_response { code = Wire.Parse_failed; message = "line 2: bad cube" };
@@ -131,6 +133,23 @@ let test_wire_garbage_is_typed_error () =
     match Wire.decode (Bytes.to_string b) with
     | Ok _ | Error _ -> ()
   done
+
+let test_wire_forged_row_count_bounded () =
+  (* A zero-width matrix claiming 2^32-1 rows in a 13-byte payload must
+     die as Truncated before any allocation is sized from the claim —
+     rows cost at least one byte each on the wire, so the bounds check
+     caps the count even when the per-row bit payload is empty. *)
+  let b = Buffer.create 32 in
+  Buffer.add_int32_be b 13l (* payload length *);
+  Buffer.add_uint8 b 0x43 (* magic *);
+  Buffer.add_uint8 b Wire.version;
+  Buffer.add_uint8 b 0x81 (* Result_chunk *);
+  Buffer.add_int32_be b 0l (* first *);
+  Buffer.add_int32_be b 0xFFFFFFFFl (* claimed rows *);
+  Buffer.add_uint16_be b 0 (* width 0 *);
+  match Wire.decode (Buffer.contents b) with
+  | Error (Wire.Truncated _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "forged row count must decode as Truncated"
 
 (* --- happy path ------------------------------------------------------------ *)
 
@@ -316,6 +335,7 @@ let () =
           Alcotest.test_case "exact roundtrip" `Quick test_wire_exact_roundtrip;
           Alcotest.test_case "oversized rejected" `Quick test_wire_oversized_rejected_before_buffering;
           Alcotest.test_case "mangled frames are typed errors" `Quick test_wire_garbage_is_typed_error;
+          Alcotest.test_case "forged row count bounded" `Quick test_wire_forged_row_count_bounded;
         ] );
       ( "serving",
         [
