@@ -1024,7 +1024,7 @@ let run_espresso () =
   let reports = Runtime.Bench_espresso.run ~metrics ~quick ~seed:2008 () in
   let t =
     Util.Tableau.create
-      [ "function"; "in/out"; "cubes"; "minimize (s)"; "packed Mop/s"; "naive Mop/s"; "speedup"; "eval Meval/s"; "identical" ]
+      [ "function"; "in/out"; "cubes"; "minimize (s)"; "packed Mop/s"; "naive Mop/s"; "speedup"; "eval Meval/s"; "block Meval/s"; "block speedup"; "identical" ]
   in
   List.iter
     (fun r ->
@@ -1039,12 +1039,18 @@ let run_espresso () =
           Printf.sprintf "%.2f" r.Runtime.Bench_espresso.naive_mops;
           Printf.sprintf "%.2fx" r.Runtime.Bench_espresso.op_speedup;
           Printf.sprintf "%.2f" r.Runtime.Bench_espresso.eval_mevals;
-          string_of_bool r.Runtime.Bench_espresso.identical;
+          Printf.sprintf "%.2f" r.Runtime.Bench_espresso.eval_block_mevals;
+          Printf.sprintf "%.2fx" r.Runtime.Bench_espresso.block_speedup;
+          string_of_bool
+            (r.Runtime.Bench_espresso.identical
+            && r.Runtime.Bench_espresso.block_identical);
         ])
     reports;
   Util.Tableau.print t;
   Printf.printf "packed-vs-naive op speedup (geomean): %.2fx\n"
     (Runtime.Bench_espresso.geomean_speedup reports);
+  Printf.printf "blocked-vs-scalar eval speedup (geomean): %.2fx\n"
+    (Runtime.Bench_espresso.geomean_block_speedup reports);
   let path = "BENCH_espresso.json" in
   Runtime.Bench_espresso.write_json ~quick ~seed:2008 ~path reports;
   Printf.printf "machine-readable results -> %s\n" path;

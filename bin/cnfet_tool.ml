@@ -405,6 +405,8 @@ let bench_espresso_cmd =
     List.iter (fun r -> Format.printf "%a@." Runtime.Bench_espresso.pp_report r) reports;
     Printf.printf "packed-vs-naive op speedup (geomean): %.2fx\n"
       (Runtime.Bench_espresso.geomean_speedup reports);
+    Printf.printf "blocked-vs-scalar eval speedup (geomean): %.2fx\n"
+      (Runtime.Bench_espresso.geomean_block_speedup reports);
     let hw_ok = Runtime.Bench_espresso.hw_crosscheck () in
     Printf.printf "switch-level cross-check (cmp2): %s\n"
       (if hw_ok then "ok" else "MISMATCH");
@@ -426,11 +428,18 @@ let bench_espresso_cmd =
       prerr_endline "ERROR: switch-level simulation diverged from the compiled evaluator";
       1
     end
-    else if List.for_all (fun r -> r.Runtime.Bench_espresso.identical) reports then 0
-    else begin
+    else if not (List.for_all (fun r -> r.Runtime.Bench_espresso.identical) reports)
+    then begin
       prerr_endline "ERROR: packed cover ops diverged from the naive reference";
       1
     end
+    else if
+      not (List.for_all (fun r -> r.Runtime.Bench_espresso.block_identical) reports)
+    then begin
+      prerr_endline "ERROR: bit-sliced eval diverged from the scalar evaluator";
+      1
+    end
+    else 0
   in
   let quick =
     let doc = "Short measurement windows, Table-1 profiles only (CI smoke mode)." in

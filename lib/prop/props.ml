@@ -412,6 +412,63 @@ let trace_wellformed =
       | Ok n -> n = List.length events
       | Error _ -> false)
 
+(* --- bit-sliced runtime eval -------------------------------------------- *)
+
+(* Covers straddling the 62/63-column Masked/Indexed boundary, and batch
+   sizes straddling the 63-lane block size: the blocked evaluator (full
+   blocks through [eval_block], ragged tail through scalar [eval], the
+   same split [Batch.eval_batch] uses) must be bit-identical to
+   [Pla.eval] on every vector. A partial block evaluated directly
+   (lanes < 63) is checked too. *)
+let bitslice_widths = [ 2; 5; 9; 30; 61; 62; 63; 64; 80 ]
+
+let runtime_bitslice_vs_scalar =
+  let gen =
+    let open Gen in
+    let* spec = Gens.cover_spec ~widths:bitslice_widths () in
+    let* vecs = array_n 127 (array_n spec.Gens.cv_n_in bool) in
+    return (spec, vecs)
+  in
+  Runner.make ~name:"runtime/bitslice-vs-scalar" ~count:60
+    (Arb.make ~print:(fun (spec, _) -> Gens.print_cover_spec spec) gen)
+    (fun (spec, vecs) ->
+      let f = Gens.cover_of_spec spec in
+      let pla = Cnfet.Pla.of_cover f in
+      let compiled = Runtime.Cache.compile (Runtime.Cache.create ~capacity:2 ()) f in
+      let scalar = Array.map (Cnfet.Pla.eval pla) vecs in
+      let lanes_max = Runtime.Cache.lanes_per_word in
+      let blocked_matches n =
+        let n_blocks = n / lanes_max in
+        let ok = ref true in
+        for b = 0 to n_blocks - 1 do
+          let block = Runtime.Cache.transpose vecs ~first:(b * lanes_max) ~lanes:lanes_max in
+          let outs =
+            Runtime.Cache.untranspose (Runtime.Cache.eval_block compiled block)
+              ~lanes:lanes_max
+          in
+          for v = 0 to lanes_max - 1 do
+            if outs.(v) <> scalar.((b * lanes_max) + v) then ok := false
+          done
+        done;
+        for i = n_blocks * lanes_max to n - 1 do
+          if Runtime.Cache.eval compiled vecs.(i) <> scalar.(i) then ok := false
+        done;
+        !ok
+      in
+      let partial_block_matches lanes =
+        let block = Runtime.Cache.transpose vecs ~first:0 ~lanes in
+        let outs =
+          Runtime.Cache.untranspose (Runtime.Cache.eval_block compiled block) ~lanes
+        in
+        let ok = ref true in
+        for v = 0 to lanes - 1 do
+          if outs.(v) <> scalar.(v) then ok := false
+        done;
+        !ok
+      in
+      List.for_all blocked_matches [ 1; 62; 63; 64; 126; 127 ]
+      && List.for_all partial_block_matches [ 1; 17; 62 ])
+
 (* --- serve wire codec --------------------------------------------------- *)
 
 (* A frame case is either a well-formed message or a mangling of one:
@@ -430,7 +487,7 @@ let gen_wire_message : Serve.Wire.message Gen.t =
   let matrix =
     let* rows = int_range 0 5 in
     let* width = int_range 0 19 in
-    array_n rows (array_n width bool)
+    map Serve.Wire.matrix_of_vectors (array_n rows (array_n width bool))
   in
   frequency
     [
@@ -551,5 +608,6 @@ let all =
     folding_witness;
     fpga_inverter_absorption;
     trace_wellformed;
+    runtime_bitslice_vs_scalar;
     serve_codec_roundtrip;
   ]

@@ -3,8 +3,9 @@
     Quine–McCluskey, PLA/cascade structures against truth-table oracles,
     programming-protocol round-trips, repair revalidation through defect
     maps, crossbar resolve vs switch-level simulation, folding witnesses,
-    FPGA inverter absorption, and trace well-formedness over random span
-    programs. *)
+    FPGA inverter absorption, trace well-formedness over random span
+    programs, bit-sliced blocked evaluation against scalar [Pla.eval],
+    and totality of the serve wire codec. *)
 
 val all : Runner.t list
 (** Every property, in display order. Names are stable (corpus files refer
@@ -16,4 +17,5 @@ val all : Runner.t list
     [program/charge-roundtrip], [program_hw/transistor-roundtrip],
     [atpg/full-coverage], [repair/defect-map-revalidation],
     [crossbar/resolve-vs-hw], [folding/witness-valid],
-    [fpga/inverter-absorption], [trace/wellformed]. *)
+    [fpga/inverter-absorption], [trace/wellformed],
+    [runtime/bitslice-vs-scalar], [serve/codec-roundtrip]. *)

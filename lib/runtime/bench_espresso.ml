@@ -30,8 +30,11 @@ type report = {
   packed_mops : float;  (* million cover set-ops per second, packed kernel *)
   naive_mops : float;  (* same workload through the naive reference *)
   op_speedup : float;  (* packed_mops / naive_mops *)
-  eval_mevals : float;  (* million compiled-PLA evals per second *)
+  eval_mevals : float;  (* million compiled-PLA evals per second, scalar *)
+  eval_block_mevals : float;  (* same workload through the bit-sliced path *)
+  block_speedup : float;  (* eval_block_mevals / eval_mevals *)
   identical : bool;  (* packed and naive op checksums agree *)
+  block_identical : bool;  (* blocked eval bit-identical to scalar eval *)
 }
 
 (* Run [f] repeatedly until [min_s] of wall time has accumulated (at least
@@ -113,6 +116,38 @@ let bench_function ~quick ~rng name on_set =
           minterms;
         !acc)
   in
+  (* The same minterms through the bit-sliced path: full 63-lane blocks
+     plus the scalar tail, folding output 0's popcount so the sweep
+     cannot be optimized away. *)
+  let lanes = Cache.lanes_per_word in
+  let n_blocks = n_minterms / lanes in
+  let popcount v =
+    let rec go v acc = if v = 0 then acc else go (v land (v - 1)) (acc + 1) in
+    go v 0
+  in
+  let _, eval_block_s =
+    time_amortized ~min_s (fun () ->
+        let acc = ref 0 in
+        for b = 0 to n_blocks - 1 do
+          let block = Cache.transpose minterms ~first:(b * lanes) ~lanes in
+          acc := !acc + popcount (Cache.eval_block compiled block).(0)
+        done;
+        for i = n_blocks * lanes to n_minterms - 1 do
+          if (Cache.eval compiled minterms.(i)).(0) then incr acc
+        done;
+        !acc)
+  in
+  let block_identical =
+    let ok = ref true in
+    for b = 0 to n_blocks - 1 do
+      let block = Cache.transpose minterms ~first:(b * lanes) ~lanes in
+      let outs = Cache.untranspose (Cache.eval_block compiled block) ~lanes in
+      for v = 0 to lanes - 1 do
+        if outs.(v) <> Cache.eval compiled minterms.((b * lanes) + v) then ok := false
+      done
+    done;
+    !ok
+  in
   {
     name;
     n_in;
@@ -126,7 +161,10 @@ let bench_function ~quick ~rng name on_set =
     naive_mops = mops naive_pass_s;
     op_speedup = naive_pass_s /. packed_pass_s;
     eval_mevals = float_of_int n_minterms /. eval_s /. 1e6;
+    eval_block_mevals = float_of_int n_minterms /. eval_block_s /. 1e6;
+    block_speedup = eval_s /. eval_block_s;
     identical = packed_sum = naive_sum;
+    block_identical;
   }
 
 let run ?metrics ?(quick = false) ?(seed = 2008) () =
@@ -183,14 +221,22 @@ let geomean_speedup reports =
       (List.fold_left (fun acc r -> acc +. log r.op_speedup) 0.0 reports
       /. float_of_int (List.length reports))
 
+let geomean_block_speedup reports =
+  match reports with
+  | [] -> 1.0
+  | _ ->
+    exp
+      (List.fold_left (fun acc r -> acc +. log r.block_speedup) 0.0 reports
+      /. float_of_int (List.length reports))
+
 (* --- JSON rendering ------------------------------------------------------ *)
 
 let json_of_report r =
   Printf.sprintf
-    "{\"name\":\"%s\",\"n_in\":%d,\"n_out\":%d,\"cubes_before\":%d,\"cubes_after\":%d,\"lits_after\":%d,\"minimize_s\":%.6f,\"iterations\":%d,\"packed_mops\":%.3f,\"naive_mops\":%.3f,\"op_speedup\":%.3f,\"eval_mevals\":%.3f,\"identical\":%b}"
+    "{\"name\":\"%s\",\"n_in\":%d,\"n_out\":%d,\"cubes_before\":%d,\"cubes_after\":%d,\"lits_after\":%d,\"minimize_s\":%.6f,\"iterations\":%d,\"packed_mops\":%.3f,\"naive_mops\":%.3f,\"op_speedup\":%.3f,\"eval_mevals\":%.3f,\"eval_block_mevals\":%.3f,\"block_speedup\":%.3f,\"identical\":%b,\"block_identical\":%b}"
     (Bench.json_escape r.name) r.n_in r.n_out r.cubes_before r.cubes_after
     r.lits_after r.minimize_s r.iterations r.packed_mops r.naive_mops r.op_speedup
-    r.eval_mevals r.identical
+    r.eval_mevals r.eval_block_mevals r.block_speedup r.identical r.block_identical
 
 let counters_json () =
   let naive = Espresso.Minimize.blocker_scans_naive_total () in
@@ -216,6 +262,9 @@ let to_json ~quick ~seed reports =
   Buffer.add_string buf "\n  ],\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"op_speedup_geomean\": %.3f,\n" (geomean_speedup reports));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"block_speedup_geomean\": %.3f,\n"
+       (geomean_block_speedup reports));
   Buffer.add_string buf (Printf.sprintf "  \"espresso_counters\": %s\n" (counters_json ()));
   Buffer.add_string buf "}\n";
   Buffer.contents buf
@@ -227,7 +276,7 @@ let write_json ~quick ~seed ~path reports =
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "%-16s %2d in %2d out  %3d->%3d cubes  min %8.4fs  ops %8.2f vs %8.2f Mop/s  %5.2fx  %s"
+    "%-16s %2d in %2d out  %3d->%3d cubes  min %8.4fs  ops %8.2f vs %8.2f Mop/s  %5.2fx  eval %6.2f vs %6.2f Mev/s  %5.2fx  %s"
     r.name r.n_in r.n_out r.cubes_before r.cubes_after r.minimize_s r.packed_mops
-    r.naive_mops r.op_speedup
-    (if r.identical then "bit-identical" else "MISMATCH")
+    r.naive_mops r.op_speedup r.eval_mevals r.eval_block_mevals r.block_speedup
+    (if r.identical && r.block_identical then "bit-identical" else "MISMATCH")

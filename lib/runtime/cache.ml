@@ -4,17 +4,23 @@
    and building its switch-level netlist are pure functions of the
    programmed cover — the cube list plus the output-polarity
    configuration. The cache keys on an MD5 digest of that content and
-   memoises three artefacts per entry:
+   memoises four artefacts per entry:
 
      - the mapped [Pla.t];
-     - a compiled evaluator: per-row closures over precomputed masks /
-       index lists that skip [Drop] crosspoints (bit-parallel over the
-       inputs when they fit a native int), bit-identical to [Pla.eval];
+     - a compiled scalar evaluator: per-row masks / index lists that
+       skip [Drop] crosspoints (bit-parallel over the inputs when they
+       fit a native int), bit-identical to [Pla.eval];
+     - a bit-sliced transposed evaluator: per-row column-index lists
+       driven by words in which lane v (bit position v) carries input
+       vector v, so one AND/NOR sweep evaluates 63 vectors at once
+       ([eval_block]);
      - the switch-level netlist, built lazily on first use.
 
    Hits, misses and evictions are counted. Eviction is
-   least-recently-used at a fixed capacity. All operations are guarded by
-   a mutex so batch workers can share one cache. *)
+   least-recently-used at a fixed capacity, tracked by an intrusive
+   doubly-linked list threaded through the entries (touch and evict are
+   O(1); no full-table scan). All operations are guarded by a mutex so
+   batch workers can share one cache. *)
 
 module Cover = Logic.Cover
 module Cube = Logic.Cube
@@ -57,6 +63,15 @@ type row =
   | Masked of { pass : int; invert : int }
   | Indexed of { pass : int array; invert : int array }
 
+(* The same row in bit-sliced form: explicit column-index lists, uniform
+   for both the Masked and the Indexed case. [eval_block] walks them with
+   one word op per non-Drop crosspoint, each op covering 63 vectors. *)
+type srow = { s_pass : int array; s_invert : int array }
+
+let lanes_per_word = 63
+
+type block = { words : int array; lanes : int }
+
 let compile_plane plane =
   let cols = Plane.cols plane in
   Array.init (Plane.rows plane) (fun r ->
@@ -88,7 +103,24 @@ let compile_plane plane =
           }
       end)
 
-let eval_rows rows inputs =
+(* Lower a compiled row onto the sliced lanes. The >62-column Indexed
+   form already is a column-index list; Masked rows expand their masks.
+   Arrays are copied so the scalar and sliced forms stay physically
+   independent — the integrity checksum covers each separately. *)
+let slice_of_row = function
+  | Masked { pass; invert } ->
+    let bits m =
+      let l = ref [] in
+      for c = 62 downto 0 do
+        if m land (1 lsl c) <> 0 then l := c :: !l
+      done;
+      Array.of_list !l
+    in
+    { s_pass = bits pass; s_invert = bits invert }
+  | Indexed { pass; invert } ->
+    { s_pass = Array.copy pass; s_invert = Array.copy invert }
+
+let eval_rows_into rows inputs out =
   let n = Array.length inputs in
   (* Pack once per evaluation; shared by every Masked row. *)
   let packed =
@@ -101,29 +133,51 @@ let eval_rows rows inputs =
     end
     else 0
   in
-  Array.map
-    (fun row ->
-      match row with
+  for r = 0 to Array.length rows - 1 do
+    out.(r) <-
+      (match rows.(r) with
       | Masked { pass; invert } -> packed land pass = 0 && lnot packed land invert = 0
       | Indexed { pass; invert } ->
         (not (Array.exists (fun c -> inputs.(c)) pass))
         && not (Array.exists (fun c -> not inputs.(c)) invert))
-    rows
+  done
+
+(* Reusable per-compiled buffers for the scalar path: the degenerate-shape
+   padding and both plane-output arrays used to be allocated on every
+   [eval] call. A single scratch is parked on the compiled entry and
+   claimed with an atomic exchange — concurrent evaluators on other
+   domains simply allocate a fresh one, so reuse is race-free without a
+   lock on the hot path. *)
+type scratch = { padded : bool array; products : bool array; sums : bool array }
+
+(* The blocked path's equivalent: one word per AND row and per OR row,
+   loaned the same way. *)
+type bscratch = { bproducts : int array; bsums : int array }
 
 type compiled = {
   pla : Pla.t;
   and_rows : row array;
   or_rows : row array;
+  sand_rows : srow array;  (* bit-sliced AND plane *)
+  sor_rows : srow array;  (* bit-sliced OR plane *)
   inverted : bool array;
+  scratch : scratch option Atomic.t;
+  bscratch : bscratch option Atomic.t;
   hw : Pla.hw Lazy.t;
 }
 
 let compile_pla pla =
+  let and_rows = compile_plane (Pla.and_plane pla) in
+  let or_rows = compile_plane (Pla.or_plane pla) in
   {
     pla;
-    and_rows = compile_plane (Pla.and_plane pla);
-    or_rows = compile_plane (Pla.or_plane pla);
+    and_rows;
+    or_rows;
+    sand_rows = Array.map slice_of_row and_rows;
+    sor_rows = Array.map slice_of_row or_rows;
     inverted = Array.init (Pla.num_outputs pla) (Pla.output_inverted pla);
+    scratch = Atomic.make None;
+    bscratch = Atomic.make None;
     hw = lazy (Pla.build_hw pla);
   }
 
@@ -133,12 +187,13 @@ let hw c = Lazy.force c.hw
 
 (* --- checksums ---------------------------------------------------------- *)
 
-(* A cheap integer digest over everything [eval] reads: both row arrays
-   and the output-polarity vector. SplitMix64's finalizer gives good
-   avalanche, so any single bit-flip in a mask, an index list or a
-   polarity changes the digest. Recomputed on every serve and compared
-   with the value recorded at compile time — the cache's defence against
-   entries rotting in place (injected by [Fault.Inject], or real memory
+(* A cheap integer digest over everything [eval] and [eval_block] read:
+   both scalar row arrays, both sliced row arrays and the output-polarity
+   vector. SplitMix64's finalizer gives good avalanche, so any single
+   bit-flip in a mask, an index list, a sliced lane list or a polarity
+   changes the digest. Recomputed on every serve and compared with the
+   value recorded at compile time — the cache's defence against entries
+   rotting in place (injected by [Fault.Inject], or real memory
    corruption in a long-lived server). *)
 let mix h x =
   let h = Int64.logxor h (Int64.of_int x) in
@@ -160,40 +215,190 @@ let checksum_of_compiled c =
       h := mix !h (-1);
       Array.iter (fun x -> h := mix !h x) invert
   in
+  let srow s =
+    h := mix !h 3;
+    h := mix !h (Array.length s.s_pass);
+    Array.iter (fun x -> h := mix !h x) s.s_pass;
+    h := mix !h (Array.length s.s_invert);
+    Array.iter (fun x -> h := mix !h x) s.s_invert
+  in
   Array.iter row c.and_rows;
   h := mix !h (-2);
   Array.iter row c.or_rows;
   h := mix !h (-3);
+  Array.iter srow c.sand_rows;
+  h := mix !h (-4);
+  Array.iter srow c.sor_rows;
+  h := mix !h (-5);
   Array.iter (fun b -> h := mix !h (if b then 1 else 0)) c.inverted;
   Int64.to_int !h
 
 (* Deterministic silent corruption for the chaos engine: flip the first
-   output's polarity — [eval] keeps running but returns wrong bits, which
+   output's polarity — both the scalar and the sliced evaluator read it,
+   so [eval] and [eval_block] keep running but return wrong bits, which
    is exactly the failure the checksum must catch before serving. *)
 let corrupt_compiled c =
   if Array.length c.inverted > 0 then c.inverted.(0) <- not c.inverted.(0)
-  else if Array.length c.and_rows > 0 then
+  else if Array.length c.and_rows > 0 then begin
     c.and_rows.(0) <-
       (match c.and_rows.(0) with
       | Masked { pass; invert } -> Masked { pass = pass lxor 1; invert }
-      | Indexed r -> Indexed { r with pass = Array.map succ r.pass })
+      | Indexed r -> Indexed { r with pass = Array.map succ r.pass });
+    if Array.length c.sand_rows > 0 then begin
+      let s = c.sand_rows.(0) in
+      c.sand_rows.(0) <- { s_pass = s.s_invert; s_invert = s.s_pass }
+    end
+  end
+
+(* Rot only the bit-sliced arrays, leaving the scalar rows intact: the
+   next serve must still raise [Corrupt_entry], proving the checksum
+   covers the transposed form and not just the scalar one. Pass/invert
+   swapping keeps every index in range, so even a mistaken evaluation of
+   the rotten entry stays memory-safe. *)
+let corrupt_block_compiled c =
+  let swap rows =
+    let found = ref false in
+    Array.iteri
+      (fun i s ->
+        if (not !found) && Array.length s.s_pass + Array.length s.s_invert > 0 then begin
+          found := true;
+          rows.(i) <- { s_pass = s.s_invert; s_invert = s.s_pass }
+        end)
+      rows;
+    !found
+  in
+  if not (swap c.sand_rows) then
+    if not (swap c.sor_rows) then
+      if Array.length c.inverted > 0 then c.inverted.(0) <- not c.inverted.(0)
+
+(* --- scalar evaluation --------------------------------------------------- *)
+
+let alloc_scratch c =
+  {
+    padded = Array.make (Plane.cols (Pla.and_plane c.pla)) false;
+    products = Array.make (Array.length c.and_rows) false;
+    sums = Array.make (Array.length c.or_rows) false;
+  }
 
 let eval c inputs =
-  if Array.length inputs <> Pla.num_inputs c.pla then invalid_arg "Cache.eval";
-  let padded =
-    (* Degenerate shapes pad the AND plane to at least one column. *)
-    let cols = Plane.cols (Pla.and_plane c.pla) in
-    if Array.length inputs = cols then inputs
-    else Array.append inputs (Array.make (cols - Array.length inputs) false)
+  let n_in = Pla.num_inputs c.pla in
+  if Array.length inputs <> n_in then invalid_arg "Cache.eval";
+  let s =
+    match Atomic.exchange c.scratch None with Some s -> s | None -> alloc_scratch c
   in
-  let products = eval_rows c.and_rows padded in
-  let rows = eval_rows c.or_rows products in
-  Array.init (Array.length c.inverted) (fun o ->
-      if c.inverted.(o) then not rows.(o) else rows.(o))
+  let padded =
+    (* Degenerate shapes pad the AND plane to at least one column; the
+       scratch pad's suffix is never written, so it stays false. *)
+    if Array.length s.padded = n_in then inputs
+    else begin
+      Array.blit inputs 0 s.padded 0 n_in;
+      s.padded
+    end
+  in
+  eval_rows_into c.and_rows padded s.products;
+  eval_rows_into c.or_rows s.products s.sums;
+  let result =
+    Array.init (Array.length c.inverted) (fun o ->
+        if c.inverted.(o) then not s.sums.(o) else s.sums.(o))
+  in
+  Atomic.set c.scratch (Some s);
+  result
+
+(* --- bit-sliced (transposed) evaluation ----------------------------------- *)
+
+let lane_mask lanes = if lanes >= lanes_per_word then -1 else (1 lsl lanes) - 1
+
+let transpose vectors ~first ~lanes =
+  if lanes < 0 || lanes > lanes_per_word then invalid_arg "Cache.transpose: lanes";
+  if first < 0 || first + lanes > Array.length vectors then
+    invalid_arg "Cache.transpose: vector range";
+  let n_in = if lanes = 0 then 0 else Array.length vectors.(first) in
+  let words = Array.make n_in 0 in
+  for v = 0 to lanes - 1 do
+    let row = vectors.(first + v) in
+    if Array.length row <> n_in then invalid_arg "Cache.transpose: ragged batch";
+    (* Branchless: a bool is already 0/1, so shift it into the lane
+       instead of testing it — random input bits would mispredict half
+       the time. *)
+    for c = 0 to n_in - 1 do
+      Array.unsafe_set words c
+        (Array.unsafe_get words c lor (Bool.to_int (Array.unsafe_get row c) lsl v))
+    done
+  done;
+  { words; lanes }
+
+let untranspose words ~lanes =
+  if lanes < 0 || lanes > lanes_per_word then invalid_arg "Cache.untranspose: lanes";
+  let n = Array.length words in
+  Array.init lanes (fun v ->
+      let bit = 1 lsl v in
+      Array.init n (fun c -> words.(c) land bit <> 0))
+
+(* One plane sweep: for each row, AND together the complements of its
+   Pass columns and its Invert columns — the GNOR test, 63 vectors per
+   word op. Bits above [lanes] carry garbage mid-pipeline; the output
+   stage masks them off. *)
+(* Sliced column indices are compile-derived and always in range for the
+   plane they index (every corruption path preserves that invariant), so
+   the word reads skip the bounds check — it is the hot loop. *)
+let eval_srows_into srows words out =
+  for r = 0 to Array.length srows - 1 do
+    let s = Array.unsafe_get srows r in
+    let acc = ref (-1) in
+    let pass = s.s_pass in
+    for i = 0 to Array.length pass - 1 do
+      acc := !acc land lnot (Array.unsafe_get words (Array.unsafe_get pass i))
+    done;
+    let invert = s.s_invert in
+    for i = 0 to Array.length invert - 1 do
+      acc := !acc land Array.unsafe_get words (Array.unsafe_get invert i)
+    done;
+    Array.unsafe_set out r !acc
+  done
+
+let alloc_bscratch c =
+  {
+    bproducts = Array.make (Array.length c.sand_rows) 0;
+    bsums = Array.make (Array.length c.sor_rows) 0;
+  }
+
+let eval_block c { words; lanes } =
+  let n_in = Pla.num_inputs c.pla in
+  if lanes < 0 || lanes > lanes_per_word then invalid_arg "Cache.eval_block: lanes";
+  if Array.length words <> n_in then invalid_arg "Cache.eval_block: input width";
+  let cols = Plane.cols (Pla.and_plane c.pla) in
+  let words =
+    (* Degenerate shapes pad the AND plane to at least one column; a
+       padded column reads as constant-0 lanes, like the scalar path's
+       false padding. *)
+    if cols = n_in then words else Array.append words (Array.make (cols - n_in) 0)
+  in
+  let s =
+    match Atomic.exchange c.bscratch None with Some s -> s | None -> alloc_bscratch c
+  in
+  eval_srows_into c.sand_rows words s.bproducts;
+  eval_srows_into c.sor_rows s.bproducts s.bsums;
+  let m = lane_mask lanes in
+  let sums = s.bsums in
+  let result =
+    Array.init (Array.length c.inverted) (fun o ->
+        (if c.inverted.(o) then lnot sums.(o) else sums.(o)) land m)
+  in
+  Atomic.set c.bscratch (Some s);
+  result
 
 (* --- the cache proper --------------------------------------------------- *)
 
-type entry = { compiled : compiled; check : int; mutable last_used : int }
+(* Entries carry their own LRU links: [prev] points toward the head
+   (most recently used), [next] toward the tail (the eviction victim).
+   Touch and evict are O(1) pointer splices under the cache lock. *)
+type entry = {
+  ekey : key;
+  compiled : compiled;
+  check : int;
+  mutable prev : entry option;
+  mutable next : entry option;
+}
 
 exception Corrupt_entry of { key : key }
 
@@ -207,7 +412,8 @@ type t = {
   lock : Mutex.t;
   table : (key, entry) Hashtbl.t;
   capacity : int;
-  mutable clock : int;
+  mutable head : entry option;  (* most recently used *)
+  mutable tail : entry option;  (* least recently used *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -220,7 +426,8 @@ let create ?(capacity = 256) () =
     lock = Mutex.create ();
     table = Hashtbl.create 64;
     capacity;
-    clock = 0;
+    head = None;
+    tail = None;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -231,17 +438,26 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let remove_entry t e =
+  unlink t e;
+  Hashtbl.remove t.table e.ekey
+
 let evict_lru t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun k e ->
-      match !victim with
-      | Some (_, age) when e.last_used >= age -> ()
-      | _ -> victim := Some (k, e.last_used))
-    t.table;
-  match !victim with
-  | Some (k, _) ->
-    Hashtbl.remove t.table k;
+  match t.tail with
+  | Some victim ->
+    remove_entry t victim;
     t.evictions <- t.evictions + 1
   | None -> ()
 
@@ -251,17 +467,17 @@ let evict_lru t =
    [hits] counter. *)
 let find_or_compile t key build =
   locked t (fun () ->
-      t.clock <- t.clock + 1;
       match Hashtbl.find_opt t.table key with
       | Some e ->
         t.hits <- t.hits + 1;
-        e.last_used <- t.clock;
+        unlink t e;
+        push_front t e;
         (* Serve-time integrity check: never hand out an entry whose
            content no longer matches the digest recorded at compile
            time. The rotten entry is evicted so a retry recompiles. *)
         if checksum_of_compiled e.compiled <> e.check then begin
           t.corruptions <- t.corruptions + 1;
-          Hashtbl.remove t.table key;
+          remove_entry t e;
           if Obs.Span.enabled () then Obs.Span.instant "cache.corruption_detected";
           raise (Corrupt_entry { key })
         end;
@@ -271,7 +487,9 @@ let find_or_compile t key build =
         let compiled = Obs.Span.with_ "cache.compile" build in
         let check = checksum_of_compiled compiled in
         if Hashtbl.length t.table >= t.capacity then evict_lru t;
-        Hashtbl.replace t.table key { compiled; check; last_used = t.clock };
+        let e = { ekey = key; compiled; check; prev = None; next = None } in
+        Hashtbl.replace t.table key e;
+        push_front t e;
         (* Chaos hook: a freshly stored entry may rot immediately. The
            just-built value is the stored value, so verify before
            returning it — the caller must never evaluate through a
@@ -281,7 +499,7 @@ let find_or_compile t key build =
         | _ -> ());
         if checksum_of_compiled compiled <> check then begin
           t.corruptions <- t.corruptions + 1;
-          Hashtbl.remove t.table key;
+          remove_entry t e;
           if Obs.Span.enabled () then Obs.Span.instant "cache.corruption_detected";
           raise (Corrupt_entry { key })
         end;
@@ -293,7 +511,7 @@ let compile_hit t ?inverted_outputs cover =
 
 let compile t ?inverted_outputs cover = fst (compile_hit t ?inverted_outputs cover)
 
-let compile_of_pla t pla_v =
+let compile_of_pla_hit t pla_v =
   (* Key on the planes' programmed content rather than a source cover. *)
   let buf = Buffer.create 256 in
   let add_plane p =
@@ -312,7 +530,9 @@ let compile_of_pla t pla_v =
     Buffer.add_char buf (if Pla.output_inverted pla_v o then '1' else '0')
   done;
   let key = Digest.string (Buffer.contents buf) in
-  fst (find_or_compile t key (fun () -> compile_pla pla_v))
+  find_or_compile t key (fun () -> compile_pla pla_v)
+
+let compile_of_pla t pla_v = fst (compile_of_pla_hit t pla_v)
 
 let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)
@@ -321,6 +541,7 @@ let corruptions t = locked t (fun () -> t.corruptions)
 let size t = locked t (fun () -> Hashtbl.length t.table)
 
 let corrupt_for_test = corrupt_compiled
+let corrupt_block_for_test = corrupt_block_compiled
 
 let hit_rate t =
   locked t (fun () ->

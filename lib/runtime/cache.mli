@@ -4,10 +4,12 @@
     pure functions of the programmed content — the cube list plus the
     output-polarity configuration — so they are memoised under an MD5
     digest of exactly that content. Each entry holds the mapped
-    {!Cnfet.Pla.t}, a compiled evaluator (per-row closures over
-    precomputed masks that skip [Drop] crosspoints; bit-identical to
-    [Pla.eval]) and the lazily-built switch-level netlist. Eviction is
-    LRU at a fixed capacity. Thread-safe. *)
+    {!Cnfet.Pla.t}, a compiled scalar evaluator (per-row masks that skip
+    [Drop] crosspoints; bit-identical to [Pla.eval]), a bit-sliced
+    transposed evaluator ({!eval_block}: 63 input vectors per native
+    int) and the lazily-built switch-level netlist. Eviction is LRU at a
+    fixed capacity, tracked by an intrusive doubly-linked list (touch
+    and evict are O(1)). Thread-safe. *)
 
 type t
 
@@ -48,14 +50,56 @@ val compile_of_pla : t -> Cnfet.Pla.t -> compiled
 (** Same, keyed on an already-mapped PLA's plane contents (used for
     repaired / hand-built PLAs that have no source cover). *)
 
+val compile_of_pla_hit : t -> Cnfet.Pla.t -> compiled * bool
+(** {!compile_of_pla} with the same per-call hit flag as
+    {!compile_hit}. *)
+
 val pla : compiled -> Cnfet.Pla.t
 
 val eval : compiled -> bool array -> bool array
 (** Compiled functional evaluation; bit-identical to [Pla.eval] on the
-    underlying PLA. *)
+    underlying PLA. Allocation-light: plane scratch buffers are reused
+    across calls on the same compiled entry (claimed atomically, so
+    concurrent evaluators on other domains stay correct). *)
 
 val hw : compiled -> Cnfet.Pla.hw
 (** The switch-level realization, built on first use and memoised. *)
+
+(** {2 Bit-sliced (transposed) evaluation}
+
+    The transposed layout: one native [int] per input column, in which
+    bit (lane) [v] holds that column's value for vector [v] of the
+    block. A block carries up to {!lanes_per_word} = 63 vectors — the
+    payload width of an OCaml tagged int — so one AND/NOR word op per
+    non-[Drop] crosspoint evaluates all 63 at once. *)
+
+val lanes_per_word : int
+(** 63: vectors per block word. *)
+
+type block = { words : int array; lanes : int }
+(** [words.(c)] packs input column [c] across [lanes] vectors; bit [v]
+    of [words.(c)] is vector [v]'s value. [0 <= lanes <= 63]. Bits at
+    and above [lanes] must be zero. *)
+
+val transpose : bool array array -> first:int -> lanes:int -> block
+(** [transpose vectors ~first ~lanes] packs
+    [vectors.(first .. first+lanes-1)] into a block. All selected
+    vectors must share [vectors.(first)]'s width.
+    @raise Invalid_argument on a ragged batch or out-of-range slice. *)
+
+val untranspose : int array -> lanes:int -> bool array array
+(** Inverse fan-in: unpack per-column (or per-output) words back into
+    [lanes] row vectors, in lane order — bit-identical to evaluating
+    the vectors one by one. *)
+
+val eval_block : compiled -> block -> int array
+(** Evaluate 63-at-a-time: returns one word per output, lane [v] of
+    word [o] being output [o] of vector [v] — bit-identical to {!eval}
+    on each lane. Covers with more than 62 input columns (the scalar
+    [Indexed] fallback) run on the same sliced lanes. Bits at and above
+    [block.lanes] are zero in the result.
+    @raise Invalid_argument if [Array.length block.words] differs from
+    the compiled PLA's input count or [block.lanes] is out of range. *)
 
 (** {2 Accounting} *)
 
@@ -75,6 +119,11 @@ val corrupt_for_test : compiled -> unit
     output's polarity) {e without} updating its stored checksum — the
     next serve of that entry must raise {!Corrupt_entry}. Chaos/test
     hook; never call it in production paths. *)
+
+val corrupt_block_for_test : compiled -> unit
+(** Like {!corrupt_for_test} but rots only the bit-sliced arrays,
+    leaving the scalar rows intact — proves the integrity checksum
+    covers the transposed form too. *)
 
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; 0 before any lookup. *)

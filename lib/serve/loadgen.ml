@@ -105,12 +105,12 @@ let miscompares_of ~oracle ~batch chunks =
   let bad = ref 0 in
   List.iter
     (fun (first, outputs) ->
-      Array.iteri
-        (fun i got ->
-          let idx = first + i in
-          if idx < 0 || idx >= Array.length batch then incr bad
-          else if got <> Cnfet.Pla.eval oracle batch.(idx) then incr bad)
-        outputs)
+      for i = 0 to Wire.matrix_rows outputs - 1 do
+        let idx = first + i in
+        if idx < 0 || idx >= Array.length batch then incr bad
+        else if Wire.matrix_row outputs i <> Cnfet.Pla.eval oracle batch.(idx) then
+          incr bad
+      done)
     chunks;
   !bad
 
@@ -128,7 +128,9 @@ let worker cfg tl rng () =
       let batch = Array.init cfg.batch (fun _ -> random_vector rng w.n_in) in
       let t0 = Unix.gettimeofday () in
       match
-        Wire.write_message oc (Wire.Eval_request { tenant; program = w.text; batch });
+        Wire.write_message oc
+          (Wire.Eval_request
+             { tenant; program = w.text; batch = Wire.matrix_of_vectors batch });
         read_reply ic
       with
       | exception _ ->
@@ -143,7 +145,9 @@ let worker cfg tl rng () =
       | `Done (total, chunks) ->
         let dt = Unix.gettimeofday () -. t0 in
         Histogram.observe tl.latency dt;
-        let served = List.fold_left (fun acc (_, o) -> acc + Array.length o) 0 chunks in
+        let served =
+          List.fold_left (fun acc (_, o) -> acc + Wire.matrix_rows o) 0 chunks
+        in
         let bad =
           miscompares_of ~oracle:w.oracle ~batch chunks
           + if total <> cfg.batch || served <> cfg.batch then 1 else 0

@@ -105,23 +105,33 @@ let observe t name v = match t.metrics with Some m -> Metrics.observe m name v |
 exception Reject of Wire.error_code * string
 (* request-level failure; answered with [Error_response], session lives *)
 
+(* How this request's program gets evaluated: through the bit-sliced
+   compiled entry, or — only if the tenant cache rots repeatedly —
+   uncompiled straight off the mapped PLA. *)
+type engine = Compiled of Cache.compiled | Uncompiled of Cnfet.Pla.t
+
 (* Compiled evaluator plus whether the tenant cache already had it —
    reported by the cache for this lookup alone, since diffing its
    shared hit counter would race with concurrent requests on the same
    tenant. A rotten cache entry ([Corrupt_entry] self-evicts) gets one
-   recompile; if the cache rots twice in a row we serve this request
-   uncompiled rather than bounce the client. *)
+   recompile; if the cover key rots twice in a row, the mapped PLA is
+   compiled under its plane-content key (a distinct entry, same
+   per-call hit reporting via [compile_of_pla_hit]) before giving up
+   and serving this request uncompiled. *)
 let evaluator t tcache cover =
   match Cache.compile_hit tcache cover with
-  | compiled, hit -> (Cache.eval compiled, hit)
+  | compiled, hit -> (Compiled compiled, hit)
   | exception Cache.Corrupt_entry _ -> (
     match Cache.compile_hit tcache cover with
-    | compiled, hit -> (Cache.eval compiled, hit)
-    | exception Cache.Corrupt_entry _ ->
-      bump t (fun s -> { s with fallback_evals = s.fallback_evals + 1 });
-      tick t "serve.fallback_evals";
+    | compiled, hit -> (Compiled compiled, hit)
+    | exception Cache.Corrupt_entry _ -> (
       let pla = Cnfet.Pla.of_cover cover in
-      ((fun v -> Cnfet.Pla.eval pla v), false))
+      match Cache.compile_of_pla_hit tcache pla with
+      | compiled, hit -> (Compiled compiled, hit)
+      | exception Cache.Corrupt_entry _ ->
+        bump t (fun s -> { s with fallback_evals = s.fallback_evals + 1 });
+        tick t "serve.fallback_evals";
+        (Uncompiled pla, false)))
 
 let parse_program program =
   match Logic.Pla_io.parse program with
@@ -135,8 +145,46 @@ let parse_program program =
 let parallel_threshold = 64
 
 type reply =
-  | Stream of { outputs : bool array array; cache_hit : bool; eval_ns : int64 }
+  | Stream of { outputs : Wire.matrix; cache_hit : bool; eval_ns : int64 }
   | One of Wire.message
+
+(* The compiled fast path: full 63-vector blocks gather straight from
+   the request matrix's packed bytes ([Wire.matrix_block]) into the
+   bit-sliced evaluator — no bool-array round-trip — with one pool item
+   per block when the batch is big enough, then the ragged tail runs
+   scalar. The reply matrix is assembled from the lane words directly. *)
+let eval_engine t engine batch =
+  let n = Wire.matrix_rows batch in
+  match engine with
+  | Compiled compiled ->
+    let lanes = Cache.lanes_per_word in
+    let n_blocks = n / lanes in
+    let n_full = n_blocks * lanes in
+    let eval_block b =
+      Cache.eval_block compiled
+        { Cache.words = Wire.matrix_block batch ~first:(b * lanes) ~lanes; lanes }
+    in
+    let block_words =
+      if n >= parallel_threshold && n_blocks > 0 then
+        Runtime.Batch.map ?metrics:t.metrics t.pool eval_block (Array.init n_blocks Fun.id)
+      else Array.init n_blocks eval_block
+    in
+    let tail =
+      Array.init (n - n_full) (fun i ->
+          Cache.eval compiled (Wire.matrix_row batch (n_full + i)))
+    in
+    let n_out = Cnfet.Pla.num_outputs (Cache.pla compiled) in
+    Wire.matrix_init ~rows:n ~width:n_out (fun r o ->
+        if r < n_full then block_words.(r / lanes).(o) land (1 lsl (r mod lanes)) <> 0
+        else tail.(r - n_full).(o))
+  | Uncompiled pla ->
+    let eval_row i = Cnfet.Pla.eval pla (Wire.matrix_row batch i) in
+    let rows =
+      if n >= parallel_threshold then
+        Runtime.Batch.map ?metrics:t.metrics t.pool eval_row (Array.init n Fun.id)
+      else Array.init n eval_row
+    in
+    Wire.matrix_init ~rows:n ~width:(Cnfet.Pla.num_outputs pla) (fun r o -> rows.(r).(o))
 
 let process t ~tenant ~program ~batch =
   bump t (fun s -> { s with requests = s.requests + 1 });
@@ -148,29 +196,27 @@ let process t ~tenant ~program ~batch =
       Fun.protect
         ~finally:(fun () -> Admission.release t.admission)
         (fun () ->
-          let n = Array.length batch in
+          let n = Wire.matrix_rows batch in
           if n > t.cfg.max_batch then
             raise
               (Reject
                  ( Wire.Batch_too_large,
                    Printf.sprintf "%d vectors exceed the per-request cap of %d" n t.cfg.max_batch ));
           let spec = parse_program program in
-          if n > 0 && Array.length batch.(0) <> spec.Logic.Pla_io.n_in then
+          if n > 0 && Wire.matrix_width batch <> spec.Logic.Pla_io.n_in then
             raise
               (Reject
                  ( Wire.Arity_mismatch,
-                   Printf.sprintf "batch width %d, program has %d inputs" (Array.length batch.(0))
-                     spec.Logic.Pla_io.n_in ));
+                   Printf.sprintf "batch width %d, program has %d inputs"
+                     (Wire.matrix_width batch) spec.Logic.Pla_io.n_in ));
           let t0 = Unix.gettimeofday () in
-          let eval, cache_hit =
+          let engine, cache_hit =
             Obs.Span.with_ ~args:[ ("tenant", tenant) ] "serve.compile" (fun () ->
                 evaluator t (Tenants.cache t.tenants tenant) spec.Logic.Pla_io.on_set)
           in
           let outputs =
             Obs.Span.with_ ~args:[ ("vectors", string_of_int n) ] "serve.eval" (fun () ->
-                if n >= parallel_threshold then
-                  Runtime.Batch.map ?metrics:t.metrics t.pool eval batch
-                else Array.map eval batch)
+                eval_engine t engine batch)
           in
           let dt = Unix.gettimeofday () -. t0 in
           observe t "serve.eval_latency_s" dt;
@@ -197,13 +243,14 @@ let write_reply t oc = function
     Obs.Span.with_ "serve.encode" (fun () -> Wire.write_message oc msg)
   | Stream { outputs; cache_hit; eval_ns } ->
     Obs.Span.with_ "serve.encode" (fun () ->
-        let n = Array.length outputs in
+        let n = Wire.matrix_rows outputs in
         let chunk = t.cfg.chunk_vectors in
         let first = ref 0 in
         while !first < n do
           let len = min chunk (n - !first) in
           Wire.write_message oc
-            (Wire.Result_chunk { first = !first; outputs = Array.sub outputs !first len });
+            (Wire.Result_chunk
+               { first = !first; outputs = Wire.matrix_sub outputs ~first:!first ~len });
           first := !first + len
         done;
         Wire.write_message oc (Wire.Eval_done { total = n; cache_hit; eval_ns }));

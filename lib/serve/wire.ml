@@ -27,10 +27,92 @@ let header_bytes = 4
 
 type error_code = Parse_failed | Arity_mismatch | Batch_too_large | Internal
 
+(* Bit matrices stay in wire form on both sides of the codec: [m_data]
+   is exactly the bytes that go on (or came off) the wire — rows of
+   [max 1 (ceil (width/8))] bytes, LSB-first within each byte. Keeping
+   them packed lets the server feed 8 row bits per byte straight into
+   the bit-sliced evaluator without ever materializing bool arrays. *)
+type matrix = { m_rows : int; m_width : int; m_data : string }
+
+let matrix_stride width = max 1 ((width + 7) / 8)
+
+let matrix_rows m = m.m_rows
+
+let matrix_width m = m.m_width
+
+let matrix_of_vectors rows =
+  let n = Array.length rows in
+  let width = if n = 0 then 0 else Array.length rows.(0) in
+  let stride = matrix_stride width in
+  let data = Bytes.make (n * stride) '\000' in
+  Array.iteri
+    (fun r row ->
+      if Array.length row <> width then invalid_arg "Wire.matrix_of_vectors: ragged batch";
+      let base = r * stride in
+      Array.iteri
+        (fun i bit ->
+          if bit then begin
+            let j = base + (i / 8) in
+            Bytes.unsafe_set data j
+              (Char.unsafe_chr (Char.code (Bytes.unsafe_get data j) lor (1 lsl (i mod 8))))
+          end)
+        row)
+    rows;
+  { m_rows = n; m_width = width; m_data = Bytes.unsafe_to_string data }
+
+let matrix_init ~rows ~width f =
+  if rows < 0 || width < 0 then invalid_arg "Wire.matrix_init";
+  let stride = matrix_stride width in
+  let data = Bytes.make (rows * stride) '\000' in
+  for r = 0 to rows - 1 do
+    let base = r * stride in
+    for i = 0 to width - 1 do
+      if f r i then begin
+        let j = base + (i / 8) in
+        Bytes.unsafe_set data j
+          (Char.unsafe_chr (Char.code (Bytes.unsafe_get data j) lor (1 lsl (i mod 8))))
+      end
+    done
+  done;
+  { m_rows = rows; m_width = width; m_data = Bytes.unsafe_to_string data }
+
+let matrix_row m r =
+  if r < 0 || r >= m.m_rows then invalid_arg "Wire.matrix_row";
+  let base = r * matrix_stride m.m_width in
+  Array.init m.m_width (fun i ->
+      Char.code (String.unsafe_get m.m_data (base + (i / 8))) land (1 lsl (i mod 8)) <> 0)
+
+let vectors_of_matrix m = Array.init m.m_rows (matrix_row m)
+
+let matrix_sub m ~first ~len =
+  if first < 0 || len < 0 || first + len > m.m_rows then invalid_arg "Wire.matrix_sub";
+  let stride = matrix_stride m.m_width in
+  { m_rows = len; m_width = m.m_width; m_data = String.sub m.m_data (first * stride) (len * stride) }
+
+(* Gather rows [first .. first+lanes-1] into transposed lane words —
+   bit v of word c is row (first+v)'s column c — reading the packed
+   bytes directly. This is the serve path's bridge into
+   [Runtime.Cache.eval_block] with no bool-array round-trip. *)
+let matrix_block m ~first ~lanes =
+  if lanes < 0 || lanes > 63 || first < 0 || first + lanes > m.m_rows then
+    invalid_arg "Wire.matrix_block";
+  let stride = matrix_stride m.m_width in
+  let words = Array.make m.m_width 0 in
+  for v = 0 to lanes - 1 do
+    let base = (first + v) * stride in
+    for c = 0 to m.m_width - 1 do
+      let bit =
+        (Char.code (String.unsafe_get m.m_data (base + (c / 8))) lsr (c land 7)) land 1
+      in
+      Array.unsafe_set words c (Array.unsafe_get words c lor (bit lsl v))
+    done
+  done;
+  words
+
 type message =
-  | Eval_request of { tenant : string; program : string; batch : bool array array }
+  | Eval_request of { tenant : string; program : string; batch : matrix }
   | Ping
-  | Result_chunk of { first : int; outputs : bool array array }
+  | Result_chunk of { first : int; outputs : matrix }
   | Eval_done of { total : int; cache_hit : bool; eval_ns : int64 }
   | Overloaded of { queued : int; inflight : int }
   | Error_response of { code : error_code; message : string }
@@ -101,27 +183,12 @@ let add_str32 b s =
   add_u32 b (String.length s);
   Buffer.add_string b s
 
-let add_matrix b rows =
-  let n = Array.length rows in
-  let width = if n = 0 then 0 else Array.length rows.(0) in
-  Array.iter
-    (fun r -> if Array.length r <> width then invalid_arg "Wire.encode: ragged batch")
-    rows;
-  add_u32 b n;
-  add_u16 b width;
-  let stride = max 1 ((width + 7) / 8) in
-  let row = Bytes.create stride in
-  Array.iter
-    (fun r ->
-      Bytes.fill row 0 stride '\000';
-      Array.iteri
-        (fun i bit ->
-          if bit then
-            Bytes.unsafe_set row (i / 8)
-              (Char.chr (Char.code (Bytes.unsafe_get row (i / 8)) lor (1 lsl (i mod 8)))))
-        r;
-      Buffer.add_bytes b row)
-    rows
+let add_matrix b m =
+  add_u32 b m.m_rows;
+  add_u16 b m.m_width;
+  (* [m_data] is already the wire form; its length is an invariant of
+     matrix construction ([rows * stride]). *)
+  Buffer.add_string b m.m_data
 
 let encode msg =
   let body = Buffer.create 64 in
@@ -209,11 +276,9 @@ let matrix c =
      each on the wire (see [add_matrix]), so this single check bounds
      the row count even for zero-width matrices. *)
   need c (n * stride);
-  Array.init n (fun _ ->
-      let base = c.pos in
-      c.pos <- c.pos + stride;
-      Array.init width (fun i ->
-          Char.code (String.unsafe_get c.buf (base + (i / 8))) land (1 lsl (i mod 8)) <> 0))
+  let data = String.sub c.buf c.pos (n * stride) in
+  c.pos <- c.pos + (n * stride);
+  { m_rows = n; m_width = width; m_data = data }
 
 let decode_payload payload =
   let c = { buf = payload; limit = String.length payload; pos = 0 } in

@@ -32,16 +32,52 @@ type error_code =
   | Batch_too_large  (** more vectors than the server's per-request cap *)
   | Internal  (** anything else; the message says what *)
 
+type matrix = private { m_rows : int; m_width : int; m_data : string }
+(** A packed bit matrix, kept in wire form: [m_data] holds [m_rows] rows
+    of [max 1 (ceil (m_width/8))] bytes each, bit [i] of a row in byte
+    [i/8] at position [i mod 8] (LSB-first). Private so the
+    length/stride invariant always holds; build with
+    {!matrix_of_vectors} or {!matrix_init}. *)
+
+val matrix_stride : int -> int
+(** Bytes per row at a given width: [max 1 (ceil (width/8))]. *)
+
+val matrix_rows : matrix -> int
+
+val matrix_width : matrix -> int
+
+val matrix_of_vectors : bool array array -> matrix
+(** Pack row vectors (all the same width; raises [Invalid_argument] on a
+    ragged batch). An empty array packs as a 0×0 matrix. *)
+
+val matrix_init : rows:int -> width:int -> (int -> int -> bool) -> matrix
+(** [matrix_init ~rows ~width f] with bit [(r, i)] = [f r i]. *)
+
+val matrix_row : matrix -> int -> bool array
+(** Unpack one row. *)
+
+val vectors_of_matrix : matrix -> bool array array
+(** Unpack every row; inverse of {!matrix_of_vectors}. *)
+
+val matrix_sub : matrix -> first:int -> len:int -> matrix
+(** Row slice [first .. first+len-1]; used to chunk replies. *)
+
+val matrix_block : matrix -> first:int -> lanes:int -> int array
+(** Transposed gather for the bit-sliced evaluator: word [c] of the
+    result packs column [c] of rows [first .. first+lanes-1], row
+    [first+v] in bit [v] — the {!Runtime.Cache.block} layout, read
+    straight from the packed bytes. [lanes <= 63]. *)
+
 type message =
   | Eval_request of {
       tenant : string;  (** cache-quota accounting identity *)
       program : string;  (** the PLA program, espresso [.pla] text *)
-      batch : bool array array;  (** input vectors, all the same width *)
+      batch : matrix;  (** input vectors, one row per vector *)
     }
   | Ping
   | Result_chunk of {
-      first : int;  (** batch index of [outputs.(0)] *)
-      outputs : bool array array;
+      first : int;  (** batch index of [outputs] row 0 *)
+      outputs : matrix;
     }
   | Eval_done of {
       total : int;  (** vectors evaluated, across all chunks *)
@@ -77,8 +113,8 @@ val tag_name : message -> string
 
 val encode : message -> string
 (** The full frame, length prefix included. Raises [Invalid_argument]
-    on unencodable messages (ragged batch, string or batch dimensions
-    beyond the field widths). Exception: [Overloaded] counters saturate
+    on unencodable messages (string or matrix dimensions beyond the
+    field widths). Exception: [Overloaded] counters saturate
     at 65535 instead of raising, so an overload response survives any
     configured queue bound. *)
 

@@ -147,6 +147,157 @@ let test_cache_lru_eviction () =
   ignore (Cache.compile cache covers.(2));
   checki "recent entry still hits" 1 (Cache.hits cache)
 
+let test_cache_lru_touch_reorders () =
+  (* Capacity-2 regression for the intrusive recency list: a cache hit
+     must move the entry to most-recently-used, changing who the next
+     eviction victim is. Eviction counts must match the old linear-scan
+     implementation exactly. *)
+  let cache = Cache.create ~capacity:2 () in
+  let a = Mcnc.Generators.xor_n 2
+  and b = Mcnc.Generators.xor_n 3
+  and c = Mcnc.Generators.xor_n 4 in
+  ignore (Cache.compile cache a);
+  ignore (Cache.compile cache b);
+  checki "no eviction while under capacity" 0 (Cache.evictions cache);
+  (* Touch [a]: recency order becomes b < a, so inserting [c] must
+     evict [b], not [a]. *)
+  let _, hit_a = Cache.compile_hit cache a in
+  checkb "touch is a hit" true hit_a;
+  ignore (Cache.compile cache c);
+  checki "exactly one eviction" 1 (Cache.evictions cache);
+  checki "capacity still 2" 2 (Cache.size cache);
+  let _, hit_a' = Cache.compile_hit cache a in
+  checkb "touched entry survived" true hit_a';
+  let misses_before = Cache.misses cache in
+  let _, hit_b = Cache.compile_hit cache b in
+  checkb "untouched entry was the victim" false hit_b;
+  checki "victim recompiles as a miss" (misses_before + 1) (Cache.misses cache);
+  (* Recompiling [b] at capacity evicted the tail again. *)
+  checki "second eviction on reinsert" 2 (Cache.evictions cache)
+
+let test_compile_of_pla_hit_status () =
+  let cache = Cache.create () in
+  let pla = Pla.of_cover cmp2 in
+  let _, hit1 = Cache.compile_of_pla_hit cache pla in
+  checkb "first of-planes compile misses" false hit1;
+  (* A structurally identical but physically distinct PLA must hit: the
+     key digests plane contents, not identity. *)
+  let _, hit2 = Cache.compile_of_pla_hit cache (Pla.of_cover cmp2) in
+  checkb "same plane content hits" true hit2;
+  let _, hit3 = Cache.compile_of_pla_hit cache (Pla.of_cover dec2) in
+  checkb "different plane content misses" false hit3
+
+(* --- Bit-sliced (transposed) evaluation ------------------------------------ *)
+
+let random_vectors rng ~n ~width =
+  Array.init n (fun _ -> Array.init width (fun _ -> Util.Rng.bool rng))
+
+let test_transpose_roundtrip () =
+  let rng = Util.Rng.create 21 in
+  List.iter
+    (fun (width, lanes) ->
+      let vecs = random_vectors rng ~n:(lanes + 2) ~width in
+      let block = Cache.transpose vecs ~first:1 ~lanes in
+      checki "one word per column" width (Array.length block.Cache.words);
+      (* Bits at and above [lanes] must be zero in every word. *)
+      Array.iter
+        (fun w ->
+          checkb "no stray high lanes" true
+            (lanes >= Cache.lanes_per_word || w lsr lanes = 0))
+        block.Cache.words;
+      let back = Cache.untranspose block.Cache.words ~lanes:block.Cache.lanes in
+      checkb "untranspose inverts transpose" true
+        (back = Array.sub vecs 1 lanes))
+    [ (1, 1); (7, 17); (64, 62); (9, 63); (80, 5) ]
+
+let test_transpose_rejects_bad_input () =
+  let ragged = [| [| true; false |]; [| true |] |] in
+  (match Cache.transpose ragged ~first:0 ~lanes:2 with
+  | _ -> Alcotest.fail "expected Invalid_argument on ragged batch"
+  | exception Invalid_argument _ -> ());
+  let ok = [| [| true |]; [| false |] |] in
+  match Cache.transpose ok ~first:1 ~lanes:2 with
+  | _ -> Alcotest.fail "expected Invalid_argument on out-of-range slice"
+  | exception Invalid_argument _ -> ()
+
+let test_eval_block_matches_scalar () =
+  let rng = Util.Rng.create 33 in
+  let cache = Cache.create () in
+  List.iter
+    (fun cover ->
+      let compiled = Cache.compile cache cover in
+      let width = Cover.num_inputs cover in
+      List.iter
+        (fun lanes ->
+          let vecs = random_vectors rng ~n:lanes ~width in
+          let block = Cache.transpose vecs ~first:0 ~lanes in
+          let words = Cache.eval_block compiled block in
+          let got = Cache.untranspose words ~lanes in
+          let want = Array.map (Cache.eval compiled) vecs in
+          Alcotest.check truth
+            (Printf.sprintf "eval_block = eval (%d lanes)" lanes)
+            want got)
+        [ 1; 17; 62; 63 ])
+    [ cmp2; Mcnc.Generators.majority 5; Mcnc.Generators.decoder ~bits:3 ]
+
+let test_eval_batch_ragged_tail () =
+  let rng = Util.Rng.create 55 in
+  let cache = Cache.create () in
+  let cover = Mcnc.Generators.adder ~bits:2 in
+  let compiled = Cache.compile cache cover in
+  let width = Cover.num_inputs cover in
+  Pool.with_pool ~jobs:3 (fun pool ->
+      List.iter
+        (fun n ->
+          let vecs = random_vectors rng ~n ~width in
+          let want = Array.map (Cache.eval compiled) vecs in
+          Alcotest.check truth
+            (Printf.sprintf "eval_batch n=%d" n)
+            want
+            (Batch.eval_batch pool compiled vecs);
+          (* chunk=1 forces one fan-in merge per block. *)
+          Alcotest.check truth
+            (Printf.sprintf "eval_batch chunk=1 n=%d" n)
+            want
+            (Batch.eval_batch ~chunk:1 pool compiled vecs))
+        [ 0; 1; 62; 63; 64; 127 ])
+
+let test_sweep_compiled_blocked_matches_pla () =
+  let cache = Cache.create () in
+  List.iter
+    (fun cover ->
+      let compiled = Cache.compile cache cover in
+      let pla = Pla.of_cover cover in
+      let reference = seq_sweep Pla.eval pla in
+      Pool.with_pool ~jobs:4 (fun pool ->
+          Alcotest.check truth "blocked sweep_compiled = sequential" reference
+            (Batch.sweep_compiled pool compiled);
+          Alcotest.check truth "blocked chunk=1 = sequential" reference
+            (Batch.sweep_compiled ~chunk:1 pool compiled)))
+    (* 5 inputs: scalar-tail only (32 < 63). 7 inputs: two full blocks
+       plus a ragged tail (128 = 2*63 + 2). *)
+    [ Mcnc.Generators.majority 5; Mcnc.Generators.xor_n 7 ]
+
+let test_block_corruption_detected () =
+  (* Rotting only the bit-sliced arrays must trip the checksum: proves
+     the integrity check covers the transposed form, not just the
+     scalar rows. *)
+  let cache = Cache.create () in
+  let compiled = Cache.compile cache cmp2 in
+  Cache.corrupt_block_for_test compiled;
+  (match Cache.compile cache cmp2 with
+  | _ -> Alcotest.fail "expected Corrupt_entry"
+  | exception Cache.Corrupt_entry _ -> ());
+  checki "corruption counted" 1 (Cache.corruptions cache);
+  (* The rotten entry was evicted, so a retry recompiles cleanly. *)
+  let fresh = Cache.compile cache cmp2 in
+  let pla = Pla.of_cover cmp2 in
+  let n = Cover.num_inputs cmp2 in
+  for m = 0 to (1 lsl n) - 1 do
+    let v = Batch.minterm n m in
+    checkb "recompiled entry is sound" true (Cache.eval fresh v = Pla.eval pla v)
+  done
+
 (* --- Metrics -------------------------------------------------------------- *)
 
 let test_histogram_percentiles_match_stats () =
@@ -363,6 +514,21 @@ let () =
           Alcotest.test_case "polarity in key" `Quick test_cache_key_distinguishes_polarity;
           Alcotest.test_case "cube content in key" `Quick test_cache_key_sensitive_to_cubes;
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "LRU touch reorders recency" `Quick
+            test_cache_lru_touch_reorders;
+          Alcotest.test_case "of-planes hit status" `Quick test_compile_of_pla_hit_status;
+        ] );
+      ( "bit-sliced eval",
+        [
+          Alcotest.test_case "transpose round-trip" `Quick test_transpose_roundtrip;
+          Alcotest.test_case "transpose input validation" `Quick
+            test_transpose_rejects_bad_input;
+          Alcotest.test_case "eval_block = scalar eval" `Quick test_eval_block_matches_scalar;
+          Alcotest.test_case "eval_batch ragged tail" `Quick test_eval_batch_ragged_tail;
+          Alcotest.test_case "blocked sweep_compiled" `Quick
+            test_sweep_compiled_blocked_matches_pla;
+          Alcotest.test_case "sliced-array corruption detected" `Quick
+            test_block_corruption_detected;
         ] );
       ( "metrics",
         [

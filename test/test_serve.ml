@@ -64,7 +64,8 @@ let read_msg c =
 
 (* Drive one eval request to completion, gathering streamed chunks. *)
 let request c ~tenant ~program ~batch =
-  Wire.write_message c.oc (Wire.Eval_request { tenant; program; batch });
+  Wire.write_message c.oc
+    (Wire.Eval_request { tenant; program; batch = Wire.matrix_of_vectors batch });
   let rec gather acc =
     match read_msg c with
     | Wire.Result_chunk { first; outputs } -> gather ((first, outputs) :: acc)
@@ -87,12 +88,19 @@ let all_vectors n = Array.init (1 lsl n) (fun m -> Runtime.Batch.minterm n m)
 let test_wire_exact_roundtrip () =
   let msgs =
     [
-      Wire.Eval_request { tenant = "t0"; program = ".i 1\n.o 1\n1 1\n.e\n"; batch = [| [| true |]; [| false |] |] };
-      Wire.Eval_request { tenant = ""; program = ""; batch = [||] };
+      Wire.Eval_request
+        {
+          tenant = "t0";
+          program = ".i 1\n.o 1\n1 1\n.e\n";
+          batch = Wire.matrix_of_vectors [| [| true |]; [| false |] |];
+        };
+      Wire.Eval_request { tenant = ""; program = ""; batch = Wire.matrix_of_vectors [||] };
       Wire.Ping;
-      Wire.Result_chunk { first = 7; outputs = [| [| true; false; true |] |] };
+      Wire.Result_chunk
+        { first = 7; outputs = Wire.matrix_of_vectors [| [| true; false; true |] |] };
       (* width-0 rows still occupy one byte each on the wire *)
-      Wire.Result_chunk { first = 0; outputs = [| [||]; [||]; [||] |] };
+      Wire.Result_chunk
+        { first = 0; outputs = Wire.matrix_of_vectors [| [||]; [||]; [||] |] };
       Wire.Eval_done { total = 12; cache_hit = true; eval_ns = 123456789L };
       Wire.Overloaded { queued = 3; inflight = 8 };
       Wire.Error_response { code = Wire.Parse_failed; message = "line 2: bad cube" };
@@ -110,7 +118,10 @@ let test_wire_exact_roundtrip () =
     msgs
 
 let test_wire_oversized_rejected_before_buffering () =
-  let big = Wire.Eval_request { tenant = "t"; program = String.make 4096 '.'; batch = [||] } in
+  let big =
+    Wire.Eval_request
+      { tenant = "t"; program = String.make 4096 '.'; batch = Wire.matrix_of_vectors [||] }
+  in
   let bytes = Wire.encode big in
   match Wire.decode ~limit:64 bytes with
   | Error (Wire.Oversized { length; limit }) ->
@@ -169,9 +180,10 @@ let test_happy_path () =
     checkb "chunked" true (List.length chunks > 1);
     List.iter
       (fun (first, outputs) ->
-        Array.iteri
-          (fun i got -> checkb "oracle match" true (got = Cnfet.Pla.eval oracle batch.(first + i)))
-          outputs)
+        for i = 0 to Wire.matrix_rows outputs - 1 do
+          checkb "oracle match" true
+            (Wire.matrix_row outputs i = Cnfet.Pla.eval oracle batch.(first + i))
+        done)
       chunks
   | _ -> Alcotest.fail "expected Done");
   (match request c ~tenant:"alice" ~program:(pla_text cover) ~batch with
@@ -318,7 +330,11 @@ let test_disconnect_leaves_other_sessions_alive () =
   let oversized = connect server in
   Wire.write_message oversized.oc
     (Wire.Eval_request
-       { tenant = "t"; program = String.make (Server.default_config.Server.max_frame / 1024) 'x'; batch = [||] });
+       {
+         tenant = "t";
+         program = String.make (Server.default_config.Server.max_frame / 1024) 'x';
+         batch = Wire.matrix_of_vectors [||];
+       });
   (match request healthy ~tenant:"t" ~program:(pla_text cover) ~batch:(all_vectors 3) with
   | `Done _ -> ()
   | _ -> Alcotest.fail "healthy session must survive a noisy neighbour");
