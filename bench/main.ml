@@ -15,7 +15,10 @@
    The --quick flag shortens the espresso section's measurement windows
    (the CI smoke mode: dune exec bench/main.exe -- --quick espresso).
    --trace FILE records tracing spans across the selected sections and
-   writes them as Chrome trace-event JSON (chrome://tracing, Perfetto). *)
+   writes them as Chrome trace-event JSON (chrome://tracing, Perfetto).
+   --run-out DIR makes the measured sections (parallel, espresso) emit
+   Assess.Run artifacts for `cnfet_tool bench-ab`; --repeats N samples
+   each of those sections N times into the run's metric series. *)
 
 let section name description =
   Printf.printf "\n================================================================\n";
@@ -970,6 +973,23 @@ let run_exact_gap () =
 
 (* --- parallel: the lib/runtime batch-evaluation engine ------------------------------------------ *)
 
+(* Measured sections double as Assess profiles: with --run-out DIR each
+   emits its scalars as an Assess.Run artifact next to the BENCH_*.json
+   derived view, so `cnfet_tool bench-ab` can compare any two harness
+   invocations. *)
+let run_out_dir = ref None
+let assess_repeats = ref 1
+
+let save_assess_run arun =
+  match !run_out_dir with
+  | None -> ()
+  | Some dir -> (
+    match Assess.Run.save ~dir arun with
+    | Ok path -> Printf.printf "assess run: %s\n" path
+    | Error e ->
+      Printf.eprintf "cannot write assess run: %s\n" (Assess.Run.error_to_string e);
+      exit 1)
+
 let run_parallel () =
   section "parallel"
     "Sequential vs parallel batch evaluation (lib/runtime: pool + batch + cache + metrics)";
@@ -982,7 +1002,11 @@ let run_parallel () =
   let cache = Runtime.Cache.create () in
   Printf.printf "worker domains: %d (recommended for this machine: %d)\n%!" jobs
     (Domain.recommended_domain_count ());
-  let reports = Runtime.Bench.run ~metrics ~cache ~seed:2008 ~trials:1000 ~jobs () in
+  let reports, arun =
+    Runtime.Bench.run_assess ~metrics ~cache ~seed:2008 ~trials:1000
+      ~repeats:!assess_repeats ~jobs ()
+  in
+  save_assess_run arun;
   let t =
     Util.Tableau.create [ "workload"; "items"; "sequential (s)"; "parallel (s)"; "speedup"; "identical" ]
   in
@@ -1021,7 +1045,10 @@ let run_espresso () =
     "Word-parallel packed cover kernel vs naive reference (minimize, set ops, compiled eval)";
   let quick = !quick_mode in
   let metrics = Runtime.Metrics.create () in
-  let reports = Runtime.Bench_espresso.run ~metrics ~quick ~seed:2008 () in
+  let reports, arun =
+    Runtime.Bench_espresso.run_assess ~metrics ~quick ~seed:2008 ~repeats:!assess_repeats ()
+  in
+  save_assess_run arun;
   let t =
     Util.Tableau.create
       [ "function"; "in/out"; "cubes"; "minimize (s)"; "packed Mop/s"; "naive Mop/s"; "speedup"; "eval Meval/s"; "block Meval/s"; "block speedup"; "identical" ]
@@ -1162,23 +1189,34 @@ let sections =
     ("micro", run_micro);
   ]
 
-(* Pull "--trace FILE" out of the argument list, returning the file (if
-   any) and the remaining arguments. *)
-let rec extract_trace = function
+(* Pull "--<flag> VALUE" out of the argument list, returning the value
+   (if present) and the remaining arguments. *)
+let rec extract_opt flag = function
   | [] -> (None, [])
-  | "--trace" :: path :: rest ->
-    let _, others = extract_trace rest in
-    (Some path, others)
-  | [ "--trace" ] ->
-    prerr_endline "--trace needs a FILE argument";
+  | a :: value :: rest when a = flag ->
+    let _, others = extract_opt flag rest in
+    (Some value, others)
+  | [ a ] when a = flag ->
+    Printf.eprintf "%s needs an argument\n" flag;
     exit 2
   | a :: rest ->
-    let trace, others = extract_trace rest in
-    (trace, a :: others)
+    let v, others = extract_opt flag rest in
+    (v, a :: others)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let trace, args = extract_trace args in
+  let trace, args = extract_opt "--trace" args in
+  let run_out, args = extract_opt "--run-out" args in
+  let repeats, args = extract_opt "--repeats" args in
+  run_out_dir := run_out;
+  (match repeats with
+  | None -> ()
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> assess_repeats := n
+    | _ ->
+      Printf.eprintf "--repeats needs a positive integer, got %S\n" s;
+      exit 2));
   let names = List.filter (fun a -> a <> "--quick") args in
   quick_mode := List.mem "--quick" args;
   let collector =

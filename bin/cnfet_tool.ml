@@ -12,6 +12,7 @@
      suite     — export the benchmark suite as .pla/.blif files
      bench-parallel — sequential vs parallel batch-evaluation benchmark
      bench-espresso — word-parallel cover kernel + minimization benchmark
+     bench-ab  — compare two Assess.Run artifacts, exit non-zero on regression
      serve     — the evaluation service daemon (socket or stdin/stdout pipe)
      loadgen   — closed-loop load generator + oracle checker for serve *)
 
@@ -64,6 +65,35 @@ let with_tracing trace f =
       print_string (Obs.Export.text_profile events)
     in
     Fun.protect ~finally:flush f
+
+(* --- shared assess-run emission ---------------------------------------------- *)
+
+let run_out_arg =
+  let doc =
+    "Also write the run as an $(b,Assess.Run) artifact directory under $(docv) \
+     (run.json + index.tsv entry) for $(b,bench-ab) comparison. The path of the \
+     new run directory is printed as $(b,assess run: PATH)."
+  in
+  Arg.(value & opt (some string) None & info [ "run-out" ] ~docv:"DIR" ~doc)
+
+let repeats_arg =
+  let doc =
+    "Repeat the whole measurement $(docv) times and record every repeat as a \
+     sample in the metric series (>= 3 recommended before trusting an A/B \
+     verdict's confidence interval)."
+  in
+  Arg.(value & opt int 1 & info [ "repeats" ] ~docv:"N" ~doc)
+
+(* Save [arun] under [dir] and print where it went; a failed save is a
+   hard error (the caller usually feeds the path into a CI gate). *)
+let save_assess_run ~dir arun =
+  match Assess.Run.save ~dir arun with
+  | Ok path ->
+    Printf.printf "assess run: %s\n" path;
+    false
+  | Error e ->
+    Printf.eprintf "cnfet_tool: cannot write assess run: %s\n" (Assess.Run.error_to_string e);
+    true
 
 (* --- minimize ---------------------------------------------------------------- *)
 
@@ -326,7 +356,7 @@ let yield_cmd =
 (* --- bench-parallel ------------------------------------------------------ *)
 
 let bench_parallel_cmd =
-  let run jobs trials seed show_metrics out trace =
+  let run jobs trials seed repeats run_out show_metrics out trace =
     if trials < 1 then begin
       prerr_endline "cnfet_tool: --trials must be at least 1";
       2
@@ -336,10 +366,15 @@ let bench_parallel_cmd =
       let jobs = match jobs with Some n -> max 1 n | None -> Runtime.Pool.default_jobs () in
       let metrics = Runtime.Metrics.global in
       let cache = Runtime.Cache.create () in
-      Printf.printf "parallel batch-evaluation benchmark: %d job(s), %d yield trials\n%!" jobs
-        trials;
-      let reports = Runtime.Bench.run ~metrics ~cache ~seed ~trials ~jobs () in
+      Printf.printf "parallel batch-evaluation benchmark: %d job(s), %d yield trials, %d repeat(s)\n%!"
+        jobs trials repeats;
+      let reports, arun =
+        Runtime.Bench.run_assess ~metrics ~cache ~seed ~trials ~repeats ~jobs ()
+      in
       List.iter (fun r -> Format.printf "%a@." Runtime.Bench.pp_report r) reports;
+      let run_failed =
+        match run_out with None -> false | Some dir -> save_assess_run ~dir arun
+      in
       Printf.printf "cache: %d hits / %d misses (hit rate %.1f%%)\n" (Runtime.Cache.hits cache)
         (Runtime.Cache.misses cache)
         (100.0 *. Runtime.Cache.hit_rate cache);
@@ -359,7 +394,7 @@ let bench_parallel_cmd =
         print_endline "--- metrics ---";
         print_string (Runtime.Metrics.dump metrics)
       end;
-      if write_failed then 1
+      if write_failed || run_failed then 1
       else if List.for_all (fun r -> r.Runtime.Bench.identical) reports then 0
       else begin
         prerr_endline "ERROR: parallel results diverged from sequential";
@@ -390,18 +425,23 @@ let bench_parallel_cmd =
   let doc = "Benchmark the parallel batch-evaluation engine against the sequential path" in
   Cmd.v
     (Cmd.info "bench-parallel" ~doc ~exits)
-    Term.(const run $ jobs $ trials $ seed $ show_metrics $ out $ trace_arg)
+    Term.(
+      const run $ jobs $ trials $ seed $ repeats_arg $ run_out_arg $ show_metrics $ out
+      $ trace_arg)
 
 (* --- bench-espresso ------------------------------------------------------ *)
 
 let bench_espresso_cmd =
-  let run quick seed show_metrics out trace =
+  let run quick seed repeats run_out show_metrics out trace =
     with_tracing trace @@ fun () ->
     let metrics = Runtime.Metrics.global in
-    Printf.printf "espresso + cover-kernel benchmark%s (seed %d)\n%!"
+    Printf.printf "espresso + cover-kernel benchmark%s (seed %d, %d repeat(s))\n%!"
       (if quick then " (quick)" else "")
-      seed;
-    let reports = Runtime.Bench_espresso.run ~metrics ~quick ~seed () in
+      seed repeats;
+    let reports, arun = Runtime.Bench_espresso.run_assess ~metrics ~quick ~seed ~repeats () in
+    let run_failed =
+      match run_out with None -> false | Some dir -> save_assess_run ~dir arun
+    in
     List.iter (fun r -> Format.printf "%a@." Runtime.Bench_espresso.pp_report r) reports;
     Printf.printf "packed-vs-naive op speedup (geomean): %.2fx\n"
       (Runtime.Bench_espresso.geomean_speedup reports);
@@ -423,7 +463,7 @@ let bench_espresso_cmd =
       print_endline "--- metrics ---";
       print_string (Runtime.Metrics.dump metrics)
     end;
-    if write_failed then 1
+    if write_failed || run_failed then 1
     else if not hw_ok then begin
       prerr_endline "ERROR: switch-level simulation diverged from the compiled evaluator";
       1
@@ -460,7 +500,111 @@ let bench_espresso_cmd =
   let doc = "Benchmark the word-parallel cover kernel and espresso minimization" in
   Cmd.v
     (Cmd.info "bench-espresso" ~doc ~exits)
-    Term.(const run $ quick $ seed $ show_metrics $ out $ trace_arg)
+    Term.(const run $ quick $ seed $ repeats_arg $ run_out_arg $ show_metrics $ out $ trace_arg)
+
+(* --- bench-ab ------------------------------------------------------------- *)
+
+let bench_ab_cmd =
+  let run path_a path_b min_floor floor_mult metrics_re seed out =
+    (* A run argument is a run directory, a run.json, or a bare run id
+       under the default _bench/runs working area. *)
+    let resolve path =
+      if Sys.file_exists path then path
+      else Filename.concat Assess.Run.default_dir path
+    in
+    let load label path =
+      match Assess.Run.load (resolve path) with
+      | Ok r -> Ok r
+      | Error e ->
+        Printf.eprintf "cnfet_tool: run %s (%s): %s\n" label path
+          (Assess.Run.error_to_string e);
+        Error ()
+    in
+    match (load "A" path_a, load "B" path_b) with
+    | Error (), _ | _, Error () -> 2
+    | Ok a, Ok b ->
+      if a.Assess.Run.profile <> b.Assess.Run.profile then
+        Printf.eprintf
+          "cnfet_tool: warning: comparing different profiles (%s vs %s)\n"
+          a.Assess.Run.profile b.Assess.Run.profile;
+      let filter =
+        match metrics_re with
+        | None -> fun _ -> true
+        | Some re ->
+          let re = Str.regexp re in
+          fun name -> (try ignore (Str.search_forward re name 0); true with Not_found -> false)
+      in
+      let report = Assess.Ab.compare ?min_floor ?floor_mult ~seed ~filter a b in
+      Format.printf "%a" Assess.Ab.pp report;
+      let write_failed =
+        match out with
+        | None -> false
+        | Some path -> (
+          try
+            let oc = open_out path in
+            output_string oc (Assess.Ab.to_json report);
+            close_out oc;
+            Printf.printf "report written to %s\n" path;
+            false
+          with Sys_error msg ->
+            Printf.eprintf "cnfet_tool: cannot write report: %s\n" msg;
+            true)
+      in
+      if List.for_all (fun (m : Assess.Ab.metric_result) -> Result.is_error m.Assess.Ab.result)
+           report.Assess.Ab.metrics
+         && report.Assess.Ab.metrics <> []
+      then begin
+        (* every shared metric degenerate — a comparison that can never
+           fail is not a gate, so fail loudly instead of rubber-stamping *)
+        Printf.eprintf "bench-ab: FAIL - no metric could be compared\n";
+        1
+      end
+      else if Assess.Ab.has_regression report then begin
+        Printf.eprintf "bench-ab: FAIL - regressed beyond the noise floor: %s\n"
+          (String.concat ", " (Assess.Ab.regressed report));
+        1
+      end
+      else if write_failed then 1
+      else 0
+  in
+  let path_a =
+    let doc = "Reference run: artifact directory, run.json path, or a run id under _bench/runs." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN_A" ~doc)
+  in
+  let path_b =
+    let doc = "Candidate run, same forms as $(docv)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"RUN_B" ~doc)
+  in
+  let min_floor =
+    let doc =
+      "Minimum relative noise floor (e.g. 0.05 = 5%); per-metric floors never drop \
+       below it however tight the repeat spread looks."
+    in
+    Arg.(value & opt (some float) None & info [ "min-floor" ] ~docv:"F" ~doc)
+  in
+  let floor_mult =
+    let doc = "Noise-floor multiplier applied to the repeat spread (default 3.0)." in
+    Arg.(value & opt (some float) None & info [ "floor-mult" ] ~docv:"M" ~doc)
+  in
+  let metrics_re =
+    let doc = "Only compare metrics whose name matches the regexp $(docv) (Str syntax)." in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"RE" ~doc)
+  in
+  let seed =
+    let doc = "Bootstrap-resampling seed (fixed = reproducible verdicts)." in
+    Arg.(value & opt int 9001 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let out =
+    let doc = "Write the comparison report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE.json" ~doc)
+  in
+  let doc =
+    "Compare two benchmark runs metric-by-metric; exit non-zero iff any metric \
+     regressed beyond the noise floor"
+  in
+  Cmd.v
+    (Cmd.info "bench-ab" ~doc ~exits)
+    Term.(const run $ path_a $ path_b $ min_floor $ floor_mult $ metrics_re $ seed $ out)
 
 (* --- fuzz ---------------------------------------------------------------- *)
 
@@ -705,7 +849,7 @@ let serve_cmd =
       $ chunk $ max_batch $ show_metrics $ trace_arg)
 
 let loadgen_cmd =
-  let run sock concurrency tenants requests batch seed sweep out trace =
+  let run sock concurrency tenants requests batch seed sweep out run_out trace =
     with_tracing trace @@ fun () ->
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let connect () =
@@ -761,6 +905,11 @@ let loadgen_cmd =
       output_string oc json;
       close_out oc;
       Printf.printf "report written to %s\n" path);
+    let run_failed =
+      match run_out with
+      | None -> false
+      | Some dir -> save_assess_run ~dir (Serve.Loadgen.to_run ~seed points)
+    in
     let total f = List.fold_left (fun acc r -> acc + f r) 0 points in
     let miscompares = total (fun r -> r.Serve.Loadgen.miscompares) in
     let errors = total (fun r -> r.Serve.Loadgen.errors) in
@@ -777,6 +926,7 @@ let loadgen_cmd =
       Printf.eprintf "loadgen: FAIL - nothing completed (all shed or server down?)\n";
       1
     end
+    else if run_failed then 1
     else 0
   in
   let sock =
@@ -818,9 +968,10 @@ let loadgen_cmd =
   Cmd.v
     (Cmd.info "loadgen" ~doc ~exits)
     Term.(
-      const run $ sock $ concurrency $ tenants $ requests $ batch $ seed $ sweep $ out $ trace_arg)
+      const run $ sock $ concurrency $ tenants $ requests $ batch $ seed $ sweep $ out
+      $ run_out_arg $ trace_arg)
 
 let () =
   let doc = "programmable logic built from ambipolar carbon-nanotube FETs" in
   let info = Cmd.info "cnfet_tool" ~version:"1.0.0" ~doc ~exits in
-  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; fuzz_cmd; chaos_cmd; serve_cmd; loadgen_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; bench_ab_cmd; fuzz_cmd; chaos_cmd; serve_cmd; loadgen_cmd ]))

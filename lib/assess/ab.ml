@@ -1,0 +1,173 @@
+type metric_result = {
+  metric : string;
+  units : string;
+  result : (Stats.comparison, Stats.error) result;
+}
+
+type report = {
+  a : Run.t;
+  b : Run.t;
+  min_floor : float;
+  floor_mult : float;
+  metrics : metric_result list;
+  only_in_a : string list;
+  only_in_b : string list;
+}
+
+let default_min_floor = 0.05
+let default_floor_mult = 3.0
+
+let spread_or_zero samples =
+  match Stats.rel_spread samples with Ok s -> s | Error _ -> 0.
+
+let compare ?(min_floor = default_min_floor) ?(floor_mult = default_floor_mult)
+    ?(seed = 9001) ?(filter = fun _ -> true) (a : Run.t) (b : Run.t) =
+  let wanted (m : Run.metric) = filter m.Run.name in
+  let a_metrics = List.filter wanted a.Run.metrics in
+  let b_metrics = List.filter wanted b.Run.metrics in
+  let in_b name = List.exists (fun (m : Run.metric) -> m.Run.name = name) b_metrics in
+  let in_a name = List.exists (fun (m : Run.metric) -> m.Run.name = name) a_metrics in
+  let only_in_a =
+    List.filter_map
+      (fun (m : Run.metric) -> if in_b m.Run.name then None else Some m.Run.name)
+      a_metrics
+  in
+  let only_in_b =
+    List.filter_map
+      (fun (m : Run.metric) -> if in_a m.Run.name then None else Some m.Run.name)
+      b_metrics
+  in
+  let metrics =
+    List.filter_map
+      (fun (ma : Run.metric) ->
+        match List.find_opt (fun (mb : Run.metric) -> mb.Run.name = ma.Run.name) b_metrics with
+        | None -> None
+        | Some mb ->
+          let floor =
+            Float.max min_floor
+              (floor_mult
+              *. Float.max (spread_or_zero ma.Run.samples) (spread_or_zero mb.Run.samples))
+          in
+          let result =
+            Stats.compare_samples ~seed ~higher_is_better:ma.Run.higher_is_better ~floor
+              ma.Run.samples mb.Run.samples
+          in
+          Some { metric = ma.Run.name; units = ma.Run.units; result })
+      a_metrics
+  in
+  { a; b; min_floor; floor_mult; metrics; only_in_a; only_in_b }
+
+let with_verdict v report =
+  List.filter_map
+    (fun m ->
+      match m.result with
+      | Ok c when c.Stats.verdict = v -> Some m.metric
+      | _ -> None)
+    report.metrics
+
+let regressed = with_verdict Stats.Regressed
+let improved = with_verdict Stats.Improved
+let within_noise = with_verdict Stats.Within_noise
+
+let errored report =
+  List.filter_map
+    (fun m -> match m.result with Error e -> Some (m.metric, e) | Ok _ -> None)
+    report.metrics
+
+let has_regression report = regressed report <> []
+
+(* --- rendering ------------------------------------------------------------- *)
+
+let json_of_metric m =
+  let base = [ ("metric", Json.String m.metric); ("units", Json.String m.units) ] in
+  match m.result with
+  | Error e -> Json.Obj (base @ [ ("error", Json.String (Stats.error_to_string e)) ])
+  | Ok c ->
+    let ci =
+      match c.Stats.ci with
+      | None -> []
+      | Some { Stats.lo; hi; level } ->
+        [
+          ("ci_lo", Json.Number lo);
+          ("ci_hi", Json.Number hi);
+          ("ci_level", Json.Number level);
+        ]
+    in
+    Json.Obj
+      (base
+      @ [
+          ("a_n", Json.Number (float_of_int c.Stats.a_n));
+          ("b_n", Json.Number (float_of_int c.Stats.b_n));
+          ("a_median", Json.Number c.Stats.a_median);
+          ("b_median", Json.Number c.Stats.b_median);
+          ("ratio", Json.Number c.Stats.ratio);
+        ]
+      @ ci
+      @ [
+          ("floor", Json.Number c.Stats.floor);
+          ("verdict", Json.String (Stats.verdict_to_string c.Stats.verdict));
+        ])
+
+let to_json report =
+  let strings l = Json.List (List.map (fun s -> Json.String s) l) in
+  Json.to_string ~indent:2
+    (Json.Obj
+       [
+         ( "run_a",
+           Json.Obj
+             [
+               ("run_id", Json.String report.a.Run.run_id);
+               ("profile", Json.String report.a.Run.profile);
+               ("git_rev", Json.String report.a.Run.git_rev);
+             ] );
+         ( "run_b",
+           Json.Obj
+             [
+               ("run_id", Json.String report.b.Run.run_id);
+               ("profile", Json.String report.b.Run.profile);
+               ("git_rev", Json.String report.b.Run.git_rev);
+             ] );
+         ("min_floor", Json.Number report.min_floor);
+         ("floor_mult", Json.Number report.floor_mult);
+         ("metrics", Json.List (List.map json_of_metric report.metrics));
+         ("regressed", strings (regressed report));
+         ("improved", strings (improved report));
+         ("within_noise", strings (within_noise report));
+         ("only_in_a", strings report.only_in_a);
+         ("only_in_b", strings report.only_in_b);
+       ])
+  ^ "\n"
+
+let pp fmt report =
+  Format.fprintf fmt "A: %s (%s, %s)@." report.a.Run.run_id report.a.Run.profile
+    report.a.Run.git_rev;
+  Format.fprintf fmt "B: %s (%s, %s)@." report.b.Run.run_id report.b.Run.profile
+    report.b.Run.git_rev;
+  List.iter
+    (fun m ->
+      match m.result with
+      | Error e ->
+        Format.fprintf fmt "  %-40s  --            (%s)@." m.metric
+          (Stats.error_to_string e)
+      | Ok c ->
+        let ci =
+          match c.Stats.ci with
+          | None -> "point estimate"
+          | Some { Stats.lo; hi; _ } -> Format.sprintf "ci [%.3f, %.3f]" lo hi
+        in
+        Format.fprintf fmt "  %-40s  %-12s  %9.4g -> %9.4g  x%.3f  %s  floor %.1f%%@."
+          m.metric
+          (Stats.verdict_to_string c.Stats.verdict)
+          c.Stats.a_median c.Stats.b_median c.Stats.ratio ci (100. *. c.Stats.floor))
+    report.metrics;
+  (match report.only_in_a with
+  | [] -> ()
+  | l -> Format.fprintf fmt "  only in A: %s@." (String.concat ", " l));
+  (match report.only_in_b with
+  | [] -> ()
+  | l -> Format.fprintf fmt "  only in B: %s@." (String.concat ", " l));
+  Format.fprintf fmt "verdicts: %d improved, %d regressed, %d within noise, %d degenerate@."
+    (List.length (improved report))
+    (List.length (regressed report))
+    (List.length (within_noise report))
+    (List.length (errored report))

@@ -1,0 +1,62 @@
+(** Metric-by-metric comparison of two benchmark runs.
+
+    For every metric present in both runs, {!compare} runs
+    {!Stats.compare_samples} under a per-metric noise floor
+
+    {[ floor = max min_floor (floor_mult * max (rel_spread a) (rel_spread b)) ]}
+
+    — the repeat spread within each run {e is} the same-binary A/A noise
+    estimate, widened by [floor_mult] and clamped below by [min_floor]
+    so an implausibly tight spread can't turn scheduler jitter into a
+    verdict. Metrics whose comparison degenerates (single samples on
+    both sides with all-equal values, zero medians) are reported with
+    their typed error and never count as regressions; metrics present on
+    only one side are listed separately.
+
+    [cnfet_tool bench-ab] renders the report and exits non-zero iff
+    {!regressed} is non-empty — the CI gate that replaces hard-coded
+    magic floors. *)
+
+type metric_result = {
+  metric : string;
+  units : string;
+  result : (Stats.comparison, Stats.error) result;
+}
+
+type report = {
+  a : Run.t;
+  b : Run.t;
+  min_floor : float;
+  floor_mult : float;
+  metrics : metric_result list;  (** in run-A metric order *)
+  only_in_a : string list;
+  only_in_b : string list;
+}
+
+val default_min_floor : float
+(** 0.05: 5% relative band. *)
+
+val default_floor_mult : float
+(** 3.0: three noise spreads. *)
+
+val compare :
+  ?min_floor:float ->
+  ?floor_mult:float ->
+  ?seed:int ->
+  ?filter:(string -> bool) ->
+  Run.t ->
+  Run.t ->
+  report
+(** [compare a b]: [b] is the candidate, [a] the reference. [filter]
+    restricts which metric names participate (default: all). Total — a
+    per-metric statistics error lands in that metric's [result]. *)
+
+val regressed : report -> string list
+val improved : report -> string list
+val within_noise : report -> string list
+val errored : report -> (string * Stats.error) list
+
+val has_regression : report -> bool
+
+val to_json : report -> string
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,42 @@
+(** Minimal total JSON codec for benchmark-run artifacts.
+
+    The parser is a dependency-free recursive-descent reader that never
+    raises on any input byte string: malformed, truncated or bit-flipped
+    documents come back as a typed {!error} carrying the byte offset.
+    Numbers are binary64 floats printed with ["%.17g"], so every finite
+    float round-trips bit-identically — the property the
+    [assess/run-roundtrip] battery pins down. Strings are raw byte
+    strings; control characters, double quotes and backslashes are
+    escaped on output and [\uXXXX] escapes decode to UTF-8 on input. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+type error = { pos : int; msg : string }
+
+val parse : string -> (t, error) result
+(** Total: any byte string yields a value or a positioned error, never an
+    exception. The whole input must be one JSON value (trailing
+    whitespace allowed), so every strict prefix of an object document is
+    itself an error. *)
+
+val to_string : ?indent:int -> t -> string
+(** Render; [indent] > 0 pretty-prints with that step. Non-finite
+    numbers render as [null] (JSON has no representation for them). *)
+
+val escape_string : string -> string
+(** The body of a JSON string literal for [s] (no surrounding quotes). *)
+
+(** Accessors used by the schema readers; all total. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

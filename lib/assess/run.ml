@@ -1,0 +1,279 @@
+type metric = {
+  name : string;
+  units : string;
+  higher_is_better : bool;
+  samples : float array;
+}
+
+type t = {
+  schema_version : int;
+  run_id : string;
+  profile : string;
+  seed : int;
+  git_rev : string;
+  host : string;
+  created_at : string;
+  wall_s : float;
+  meta : (string * string) list;
+  metrics : metric list;
+}
+
+type error =
+  | Parse of Json.error
+  | Schema of string
+  | Io of string
+
+let pp_error fmt = function
+  | Parse { pos; msg } -> Format.fprintf fmt "parse error at byte %d: %s" pos msg
+  | Schema msg -> Format.fprintf fmt "schema error: %s" msg
+  | Io msg -> Format.fprintf fmt "io error: %s" msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let schema_version = 1
+let default_dir = "_bench/runs"
+
+let metric ?(units = "") ?(higher_is_better = true) name samples =
+  { name; units; higher_is_better; samples }
+
+let find_metric t name = List.find_opt (fun m -> m.name = name) t.metrics
+
+(* --- environment probes --------------------------------------------------- *)
+
+let utc_stamp ?(compact = false) () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let fmt : _ format =
+    if compact then "%04d%02d%02dT%02d%02d%02dZ" else "%04d-%02d-%02dT%02d:%02d:%02dZ"
+  in
+  Printf.sprintf fmt (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let read_first_line path =
+  try
+    let ic = open_in path in
+    let line = try Some (input_line ic) with End_of_file -> None in
+    close_in_noerr ic;
+    line
+  with Sys_error _ -> None
+
+(* Best-effort git revision without shelling out: follow .git/HEAD one
+   level, walking up from the current directory. *)
+let git_rev_of_env () =
+  let rec find_git dir depth =
+    if depth > 6 then None
+    else
+      let cand = Filename.concat dir ".git" in
+      if Sys.file_exists (Filename.concat cand "HEAD") then Some cand
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else find_git parent (depth + 1)
+  in
+  match find_git (Sys.getcwd ()) 0 with
+  | None -> "unknown"
+  | Some git -> (
+    match read_first_line (Filename.concat git "HEAD") with
+    | None -> "unknown"
+    | Some head ->
+      let prefix = "ref: " in
+      if String.length head > String.length prefix
+         && String.sub head 0 (String.length prefix) = prefix
+      then begin
+        let ref_path =
+          String.sub head (String.length prefix) (String.length head - String.length prefix)
+        in
+        match read_first_line (Filename.concat git ref_path) with
+        | Some rev when String.length rev >= 7 -> String.sub rev 0 12
+        | _ -> "unknown"
+      end
+      else if String.length head >= 7 then String.sub head 0 12
+      else "unknown")
+
+(* Process-local counter + PID + time: unique ids without any global
+   random state. *)
+let id_counter = Atomic.make 0
+
+let sanitize_component s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    s
+
+let fresh_run_id ~profile ~seed =
+  let k = Atomic.fetch_and_add id_counter 1 in
+  let entropy =
+    (Unix.getpid () * 131071) lxor (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF)
+    lxor (k * 8191)
+  in
+  Printf.sprintf "%s-%s-s%d-%06x"
+    (sanitize_component profile)
+    (utc_stamp ~compact:true ())
+    seed (entropy land 0xFFFFFF)
+
+let create ?run_id ?git_rev ?host ?created_at ?(meta = []) ~profile ~seed ~wall_s metrics
+    =
+  let run_id = match run_id with Some id -> id | None -> fresh_run_id ~profile ~seed in
+  let git_rev = match git_rev with Some r -> r | None -> git_rev_of_env () in
+  let host =
+    match host with
+    | Some h -> h
+    | None -> ( try Unix.gethostname () with Unix.Unix_error _ -> "unknown")
+  in
+  let created_at = match created_at with Some c -> c | None -> utc_stamp () in
+  { schema_version; run_id; profile; seed; git_rev; host; created_at; wall_s; meta; metrics }
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let json_of_metric m =
+  Json.Obj
+    [
+      ("name", Json.String m.name);
+      ("units", Json.String m.units);
+      ("higher_is_better", Json.Bool m.higher_is_better);
+      ("samples", Json.List (Array.to_list (Array.map (fun s -> Json.Number s) m.samples)));
+    ]
+
+let to_json t =
+  Json.to_string ~indent:2
+    (Json.Obj
+       [
+         ("schema_version", Json.Number (float_of_int t.schema_version));
+         ("run_id", Json.String t.run_id);
+         ("profile", Json.String t.profile);
+         ("seed", Json.Number (float_of_int t.seed));
+         ("git_rev", Json.String t.git_rev);
+         ("host", Json.String t.host);
+         ("created_at", Json.String t.created_at);
+         ("wall_s", Json.Number t.wall_s);
+         ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.meta));
+         ("metrics", Json.List (List.map json_of_metric t.metrics));
+       ])
+  ^ "\n"
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name conv v =
+  match Json.member name v with
+  | None -> Error (Schema (Printf.sprintf "missing field %S" name))
+  | Some x -> (
+    match conv x with
+    | Some y -> Ok y
+    | None -> Error (Schema (Printf.sprintf "field %S has the wrong type" name)))
+
+let metric_of_json v =
+  let* name = field "name" Json.to_str v in
+  let* units = field "units" Json.to_str v in
+  let* higher_is_better = field "higher_is_better" Json.to_bool v in
+  let* samples = field "samples" Json.to_list v in
+  let rec floats acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | x :: rest -> (
+      match Json.to_float x with
+      | Some f when Float.is_finite f -> floats (f :: acc) rest
+      | Some _ -> Error (Schema (Printf.sprintf "metric %S: non-finite sample" name))
+      | None -> Error (Schema (Printf.sprintf "metric %S: non-number sample" name)))
+  in
+  let* samples = floats [] samples in
+  Ok { name; units; higher_is_better; samples }
+
+let of_json s =
+  match Json.parse s with
+  | Error e -> Error (Parse e)
+  | Ok v ->
+    let* schema_version = field "schema_version" Json.to_int v in
+    if schema_version <> 1 then
+      Error (Schema (Printf.sprintf "unsupported schema_version %d" schema_version))
+    else
+      let* run_id = field "run_id" Json.to_str v in
+      let* profile = field "profile" Json.to_str v in
+      let* seed = field "seed" Json.to_int v in
+      let* git_rev = field "git_rev" Json.to_str v in
+      let* host = field "host" Json.to_str v in
+      let* created_at = field "created_at" Json.to_str v in
+      let* wall_s = field "wall_s" Json.to_float v in
+      let* wall_s =
+        if Float.is_finite wall_s then Ok wall_s
+        else Error (Schema "field \"wall_s\" is not finite")
+      in
+      let* meta_obj =
+        match Json.member "meta" v with
+        | Some (Json.Obj fields) -> Ok fields
+        | Some _ -> Error (Schema "field \"meta\" has the wrong type")
+        | None -> Error (Schema "missing field \"meta\"")
+      in
+      let rec meta_strings acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, x) :: rest -> (
+          match Json.to_str x with
+          | Some s -> meta_strings ((k, s) :: acc) rest
+          | None -> Error (Schema (Printf.sprintf "meta %S: non-string value" k)))
+      in
+      let* meta = meta_strings [] meta_obj in
+      let* metric_vals = field "metrics" Json.to_list v in
+      let rec metrics acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest ->
+          let* m = metric_of_json x in
+          metrics (m :: acc) rest
+      in
+      let* metrics = metrics [] metric_vals in
+      Ok
+        {
+          schema_version;
+          run_id;
+          profile;
+          seed;
+          git_rev;
+          host;
+          created_at;
+          wall_s;
+          meta;
+          metrics;
+        }
+
+(* --- artifact directories -------------------------------------------------- *)
+
+let mkdir_p path =
+  let rec go path =
+    if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+    else begin
+      go (Filename.dirname path);
+      try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let save ~dir t =
+  try
+    let run_dir = Filename.concat dir t.run_id in
+    mkdir_p run_dir;
+    let path = Filename.concat run_dir "run.json" in
+    let oc = open_out path in
+    output_string oc (to_json t);
+    close_out oc;
+    let index = Filename.concat dir "index.tsv" in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 index in
+    Printf.fprintf oc "%s\t%s\t%s\t%d\n" t.run_id t.profile t.created_at t.seed;
+    close_out oc;
+    Ok run_dir
+  with
+  | Sys_error msg -> Error (Io msg)
+  | Unix.Unix_error (e, fn, arg) ->
+    Error (Io (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+
+let load path =
+  let file =
+    if Sys.file_exists path && Sys.is_directory path then Filename.concat path "run.json"
+    else path
+  in
+  match
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in_noerr ic;
+    s
+  with
+  | s -> of_json s
+  | exception Sys_error msg -> Error (Io msg)
+  | exception End_of_file -> Error (Io (file ^ ": truncated read"))

@@ -1,0 +1,81 @@
+(** The benchmark-run artifact model.
+
+    One {!t} is one execution of a named bench profile: who ran it (git
+    rev, host), how (seed, repeats), and what it measured — named metric
+    {e series} carrying every repeat sample, not a single point, because
+    the A/B comparator needs the spread to tell signal from noise.
+
+    Runs serialize to a stable JSON schema and live in per-run artifact
+    directories: {!save} writes [dir/<run_id>/run.json] and appends a
+    line to [dir/index.tsv]; {!load} accepts the run directory, the
+    [run.json] inside it, or any path to a run document (so the tracked
+    baseline under [_bench/baseline/<profile>/] loads the same way as a
+    fresh run under [_bench/runs/]). Parsing is total: truncated or
+    corrupted documents yield a typed {!error}, never an exception. *)
+
+type metric = {
+  name : string;
+  units : string;
+  higher_is_better : bool;
+  samples : float array;  (** one entry per repeat, in execution order *)
+}
+
+type t = {
+  schema_version : int;
+  run_id : string;
+  profile : string;
+  seed : int;
+  git_rev : string;
+  host : string;
+  created_at : string;  (** ISO-8601 UTC wall-clock stamp *)
+  wall_s : float;  (** total wall time the profile took *)
+  meta : (string * string) list;  (** free-form context (jobs, quick, ...) *)
+  metrics : metric list;
+}
+
+type error =
+  | Parse of Json.error
+  | Schema of string  (** well-formed JSON, wrong shape *)
+  | Io of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val schema_version : int
+
+val metric : ?units:string -> ?higher_is_better:bool -> string -> float array -> metric
+(** Defaults: dimensionless units [""], [higher_is_better = true]. *)
+
+val find_metric : t -> string -> metric option
+
+val fresh_run_id : profile:string -> seed:int -> string
+(** [<profile>-<utc stamp>-s<seed>-<entropy>]: unique across repeated
+    invocations in the same second, filesystem-safe. *)
+
+val create :
+  ?run_id:string ->
+  ?git_rev:string ->
+  ?host:string ->
+  ?created_at:string ->
+  ?meta:(string * string) list ->
+  profile:string ->
+  seed:int ->
+  wall_s:float ->
+  metric list ->
+  t
+(** Fills [run_id], [git_rev] (from [.git/HEAD]), [host] and
+    [created_at] from the environment unless overridden — tests override
+    all four for determinism. *)
+
+val to_json : t -> string
+val of_json : string -> (t, error) result
+
+val save : dir:string -> t -> (string, error) result
+(** Creates [dir/<run_id>/], writes [run.json], appends
+    [run_id<TAB>profile<TAB>created_at<TAB>seed] to [dir/index.tsv];
+    returns the run directory path. *)
+
+val load : string -> (t, error) result
+
+val default_dir : string
+(** ["_bench/runs"], the gitignored working area. *)

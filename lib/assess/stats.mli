@@ -1,0 +1,85 @@
+(** Robust statistics for benchmark metric series.
+
+    Every estimator is total over its declared domain and returns a typed
+    {!error} on degenerate input — empty series, single samples where a
+    spread is needed, all-equal samples where a relative spread would
+    divide by zero — instead of silently producing NaN. Randomness
+    (bootstrap resampling) draws from an explicit-seed {!Util.Rng.t}, so
+    results are reproducible and CI-stable.
+
+    The comparison model follows the paired interleaved A/B discipline:
+    two runs of the same profile each carry n repeat samples per metric,
+    medians summarise each side, a bootstrap confidence interval bounds
+    the median ratio, and a metric only counts as improved/regressed when
+    the whole interval clears the noise floor — a relative band derived
+    from the spread of same-binary A/A repeats. *)
+
+type error =
+  | Not_enough_samples of { what : string; need : int; got : int }
+  | Degenerate_samples of string
+      (** all-equal where a spread is required, or zero median where a
+          ratio is required *)
+  | Non_finite of string  (** NaN or infinity in the input series *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val median : float array -> (float, error) result
+(** Errors on an empty or non-finite series. *)
+
+val mad : float array -> (float, error) result
+(** Median absolute deviation from the median. Needs >= 2 samples. *)
+
+val rel_spread : float array -> (float, error) result
+(** [mad / |median|]: the relative noise of a repeat series. Errors on
+    < 2 samples, a zero median, or an all-equal series (whose zero
+    spread says nothing about the measurement noise). *)
+
+type ci = { lo : float; hi : float; level : float }
+
+val bootstrap_ci :
+  ?seed:int -> ?resamples:int -> ?level:float -> float array -> (ci, error) result
+(** Percentile-bootstrap confidence interval for the median. Needs >= 2
+    samples. Defaults: seed 9001, 2000 resamples, level 0.95. *)
+
+type verdict = Improved | Regressed | Within_noise
+
+val verdict_to_string : verdict -> string
+
+type comparison = {
+  a_n : int;
+  b_n : int;
+  a_median : float;
+  b_median : float;
+  ratio : float;  (** oriented so > 1 means B is better than A *)
+  ci : ci option;  (** bootstrap CI of the oriented ratio; [None] when
+                       either side has a single sample *)
+  floor : float;  (** relative noise floor the verdict was taken against *)
+  verdict : verdict;
+}
+
+val compare_samples :
+  ?seed:int ->
+  ?resamples:int ->
+  ?level:float ->
+  higher_is_better:bool ->
+  floor:float ->
+  float array ->
+  float array ->
+  (comparison, error) result
+(** [compare_samples ~higher_is_better ~floor a b]: paired interleaved
+    comparison of two repeat series of one metric.
+    The oriented ratio (B improvement over A) is bounded by a bootstrap
+    CI — paired resampling when [a] and [b] have equal length (adjacent
+    interleaved repeats cancel drift), independent otherwise — and the
+    verdict is [Improved]/[Regressed] only when the {e whole} interval
+    clears [1 +- floor]; anything straddling the band is
+    [Within_noise]. Single-sample sides fall back to the point ratio
+    against the floor with [ci = None]. Errors on empty, non-finite, or
+    zero-median [a] input. *)
+
+val aa_floor : a:float array -> b:float array -> (float, error) result
+(** Noise-floor estimate from a same-binary A/A pair: the observed
+    median shift plus twice the larger relative spread. This is the
+    number EXPERIMENTS.md tabulates per metric; {!Ab} applies the same
+    spread logic per comparison. *)

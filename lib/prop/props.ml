@@ -587,6 +587,113 @@ let serve_codec_roundtrip =
         | exception _ -> false)
       | Cc_garbage s -> total_decode s)
 
+(* --- assess run artifacts ---------------------------------------------- *)
+
+type run_case =
+  | Ra_clean of Assess.Run.t
+  | Ra_truncate of Assess.Run.t * int
+  | Ra_flip of Assess.Run.t * int * int
+
+let gen_assess_run : Assess.Run.t Gen.t =
+  let open Gen in
+  let byte_string =
+    let* n = int_range 0 10 in
+    map (String.concat "")
+      (list_n n
+         (oneofl
+            [ "a"; "Z"; "0"; "_"; "/"; " "; "\""; "\\"; "\n"; "\t"; "\000"; "\xff"; "\xc3\xa9" ]))
+  in
+  let finite_float =
+    frequency
+      [
+        (3, float_range (-1000.0) 1000.0);
+        (2, map float_of_int (int_range (-1_000_000) 1_000_000));
+        (1,
+          oneofl
+            [ 0.0; -0.0; 1e-300; 5e-324; 1.0 /. 3.0; 1.7976931348623157e308; 123456789.125 ]);
+      ]
+  in
+  let gen_metric =
+    let* name = byte_string in
+    let* units = oneofl [ ""; "s"; "Mop/s"; "x" ] in
+    let* higher_is_better = bool in
+    let* n = int_range 0 6 in
+    let* samples = array_n n finite_float in
+    return (Assess.Run.metric ~units ~higher_is_better name samples)
+  in
+  let* profile = oneofl [ "espresso-quick"; "parallel"; "serve-loadgen"; "p" ] in
+  let* run_id = byte_string in
+  let* seed = int_range 0 100_000 in
+  let* git_rev = byte_string in
+  let* host = byte_string in
+  let* created_at = byte_string in
+  let* wall_s = float_range 0.0 1e6 in
+  let* n_meta = int_range 0 3 in
+  let* meta = list_n n_meta (pair byte_string byte_string) in
+  let* n_metrics = int_range 0 5 in
+  let* metrics = list_n n_metrics gen_metric in
+  return
+    (Assess.Run.create ~run_id ~git_rev ~host ~created_at ~meta ~profile ~seed ~wall_s
+       metrics)
+
+let gen_run_case : run_case Gen.t =
+  let open Gen in
+  frequency
+    [
+      (4, map (fun r -> Ra_clean r) gen_assess_run);
+      (3, map2 (fun r k -> Ra_truncate (r, k)) gen_assess_run (int_range 0 1_000_000));
+      (3,
+        let* r = gen_assess_run in
+        let* p = int_range 0 1_000_000 in
+        let* x = int_range 1 255 in
+        return (Ra_flip (r, p, x)));
+    ]
+
+let print_run_case =
+  let brief (r : Assess.Run.t) =
+    Printf.sprintf "%s (%d metrics)" r.Assess.Run.profile (List.length r.Assess.Run.metrics)
+  in
+  function
+  | Ra_clean r -> "clean " ^ brief r
+  | Ra_truncate (r, k) -> Printf.sprintf "truncate(%d) %s" k (brief r)
+  | Ra_flip (r, p, x) -> Printf.sprintf "flip(%d^%02x) %s" p x (brief r)
+
+(* Run parsing is total and lossless: a serialized run parses back
+   bit-identically (byte-identical re-encode), every strict prefix of the
+   document is a typed error, and a corrupted byte either fails typed or
+   parses to a value that itself roundtrips — never an exception. *)
+let assess_run_roundtrip =
+  let module R = Assess.Run in
+  Runner.make ~name:"assess/run-roundtrip" ~count:200
+    (Arb.make ~print:print_run_case gen_run_case)
+    (fun case ->
+      match case with
+      | Ra_clean r -> (
+        let doc = R.to_json r in
+        match R.of_json doc with
+        | Ok r' -> r' = r && R.to_json r' = doc
+        | Error _ -> false
+        | exception _ -> false)
+      | Ra_truncate (r, k) -> (
+        let doc = String.trim (R.to_json r) in
+        let keep = k mod String.length doc in
+        match R.of_json (String.sub doc 0 keep) with
+        | Error (R.Parse _ | R.Schema _) -> true
+        | Error (R.Io _) | Ok _ -> false
+        | exception _ -> false)
+      | Ra_flip (r, p, x) -> (
+        let doc = Bytes.of_string (R.to_json r) in
+        let p = p mod Bytes.length doc in
+        Bytes.set doc p (Char.chr (Char.code (Bytes.get doc p) lxor x));
+        match R.of_json (Bytes.unsafe_to_string doc) with
+        | Error _ -> true
+        | Ok r' -> (
+          match R.of_json (R.to_json r') with
+          | Ok r'' -> r'' = r'
+          | Error _ -> false
+          | exception _ -> false)
+        | exception _ -> false))
+
 let all =
   [
     cube_ops_vs_naive;
@@ -610,4 +717,5 @@ let all =
     trace_wellformed;
     runtime_bitslice_vs_scalar;
     serve_codec_roundtrip;
+    assess_run_roundtrip;
   ]

@@ -5,7 +5,8 @@
     maps, crossbar resolve vs switch-level simulation, folding witnesses,
     FPGA inverter absorption, trace well-formedness over random span
     programs, bit-sliced blocked evaluation against scalar [Pla.eval],
-    and totality of the serve wire codec. *)
+    totality of the serve wire codec, and lossless total parsing of
+    benchmark run artifacts. *)
 
 val all : Runner.t list
 (** Every property, in display order. Names are stable (corpus files refer
@@ -18,4 +19,5 @@ val all : Runner.t list
     [atpg/full-coverage], [repair/defect-map-revalidation],
     [crossbar/resolve-vs-hw], [folding/witness-valid],
     [fpga/inverter-absorption], [trace/wellformed],
-    [runtime/bitslice-vs-scalar], [serve/codec-roundtrip]. *)
+    [runtime/bitslice-vs-scalar], [serve/codec-roundtrip],
+    [assess/run-roundtrip]. *)

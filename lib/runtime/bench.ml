@@ -176,6 +176,54 @@ let run ?metrics ?cache ?(seed = 2008) ?(trials = 1000) ~jobs () =
         variation_mc ?metrics ~seed ~trials:(8 * trials) pool;
       ])
 
+(* --- Assess.Run emission -------------------------------------------------- *)
+
+let profile_name = "parallel"
+
+let report_fields =
+  [
+    ("seq_s", "s", false, fun r -> r.seq_s);
+    ("par_s", "s", false, fun r -> r.par_s);
+    ("speedup", "x", true, fun r -> r.speedup);
+    ("identical", "bool", true, fun r -> if r.identical then 1. else 0.);
+  ]
+
+let metrics_of_repeats (repeats : report list list) : Assess.Run.metric list =
+  match repeats with
+  | [] -> []
+  | first :: _ ->
+    let series_of wl_name (field, units, higher_is_better, get) =
+      let samples =
+        List.filter_map
+          (fun reports ->
+            Option.map get (List.find_opt (fun r -> r.name = wl_name) reports))
+          repeats
+      in
+      Assess.Run.metric ~units ~higher_is_better
+        (wl_name ^ "/" ^ field)
+        (Array.of_list samples)
+    in
+    List.concat_map (fun r -> List.map (series_of r.name) report_fields) first
+
+let run_assess ?metrics ?cache ?(seed = 2008) ?(trials = 1000) ?(repeats = 1) ~jobs () =
+  let t0 = Unix.gettimeofday () in
+  let all =
+    List.init (max 1 repeats) (fun _ -> run ?metrics ?cache ~seed ~trials ~jobs ())
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let arun =
+    Assess.Run.create
+      ~meta:
+        [
+          ("bench", "parallel");
+          ("jobs", string_of_int jobs);
+          ("trials", string_of_int trials);
+          ("repeats", string_of_int (max 1 repeats));
+        ]
+      ~profile:profile_name ~seed ~wall_s (metrics_of_repeats all)
+  in
+  (List.rev all |> List.hd, arun)
+
 (* --- JSON rendering ------------------------------------------------------ *)
 
 let json_escape s =

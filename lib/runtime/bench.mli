@@ -44,6 +44,27 @@ val run : ?metrics:Metrics.t -> ?cache:Cache.t -> ?seed:int -> ?trials:int -> jo
     uses [8 × trials]. Registers library and cache gauges on [metrics]
     when given. *)
 
+val profile_name : string
+(** ["parallel"]: the {!Assess.Run.t} profile name this bench emits. *)
+
+val metrics_of_repeats : report list list -> Assess.Run.metric list
+(** One metric series per (workload, field) — [seq_s]/[par_s] (lower is
+    better), [speedup] and the 0/1 [identical] flag — with sample [i]
+    taken from repeat [i]. *)
+
+val run_assess :
+  ?metrics:Metrics.t ->
+  ?cache:Cache.t ->
+  ?seed:int ->
+  ?trials:int ->
+  ?repeats:int ->
+  jobs:int ->
+  unit ->
+  report list * Assess.Run.t
+(** Runs {!run} [repeats] times (default 1) and packages the scalars as
+    an {!Assess.Run.t}; returns the last repeat's reports for the
+    derived [BENCH_runtime.json] view. *)
+
 val to_json : ?cache:Cache.t -> ?metrics:Metrics.t -> jobs:int -> report list -> string
 
 val write_json : ?cache:Cache.t -> ?metrics:Metrics.t -> jobs:int -> path:string -> report list -> unit

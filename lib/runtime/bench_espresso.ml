@@ -190,6 +190,89 @@ let run ?metrics ?(quick = false) ?(seed = 2008) () =
   in
   profile_reports @ generator_reports
 
+let geomean_speedup reports =
+  match reports with
+  | [] -> 1.0
+  | _ ->
+    exp
+      (List.fold_left (fun acc r -> acc +. log r.op_speedup) 0.0 reports
+      /. float_of_int (List.length reports))
+
+let geomean_block_speedup reports =
+  match reports with
+  | [] -> 1.0
+  | _ ->
+    exp
+      (List.fold_left (fun acc r -> acc +. log r.block_speedup) 0.0 reports
+      /. float_of_int (List.length reports))
+
+(* --- Assess.Run emission -------------------------------------------------- *)
+
+let profile_name ~quick = if quick then "espresso-quick" else "espresso-full"
+
+(* Per-function scalar fields worth tracking across repeats. Correctness
+   flags ride along as 0/1 series so an A/B run surfaces a cross-check
+   flip as a (maximally) regressed metric, not just a CI grep. *)
+let report_fields =
+  [
+    ("minimize_s", "s", false, fun r -> r.minimize_s);
+    ("packed_mops", "Mop/s", true, fun r -> r.packed_mops);
+    ("naive_mops", "Mop/s", true, fun r -> r.naive_mops);
+    ("op_speedup", "x", true, fun r -> r.op_speedup);
+    ("eval_mevals", "Mev/s", true, fun r -> r.eval_mevals);
+    ("eval_block_mevals", "Mev/s", true, fun r -> r.eval_block_mevals);
+    ("block_speedup", "x", true, fun r -> r.block_speedup);
+    ("identical", "bool", true, fun r -> if r.identical then 1. else 0.);
+    ("block_identical", "bool", true, fun r -> if r.block_identical then 1. else 0.);
+  ]
+
+(* [repeats] is one report list per full bench repeat; every repeat runs
+   the same profile, so sample [i] of every metric comes from the same
+   pass — the pairing the A/B comparator leans on. *)
+let metrics_of_repeats (repeats : report list list) : Assess.Run.metric list =
+  match repeats with
+  | [] -> []
+  | first :: _ ->
+    let series_of fn_name (field, units, higher_is_better, get) =
+      let samples =
+        List.filter_map
+          (fun reports ->
+            Option.map get (List.find_opt (fun r -> r.name = fn_name) reports))
+          repeats
+      in
+      Assess.Run.metric ~units ~higher_is_better
+        (fn_name ^ "/" ^ field)
+        (Array.of_list samples)
+    in
+    let per_function =
+      List.concat_map (fun r -> List.map (series_of r.name) report_fields) first
+    in
+    let geomean units name f =
+      Assess.Run.metric ~units ~higher_is_better:true name
+        (Array.of_list (List.map f repeats))
+    in
+    per_function
+    @ [
+        geomean "x" "geomean/op_speedup" geomean_speedup;
+        geomean "x" "geomean/block_speedup" geomean_block_speedup;
+      ]
+
+let run_assess ?metrics ?(quick = false) ?(seed = 2008) ?(repeats = 1) () =
+  let t0 = Unix.gettimeofday () in
+  let all = List.init (max 1 repeats) (fun _ -> run ?metrics ~quick ~seed ()) in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let arun =
+    Assess.Run.create
+      ~meta:
+        [
+          ("bench", "espresso");
+          ("quick", string_of_bool quick);
+          ("repeats", string_of_int (max 1 repeats));
+        ]
+      ~profile:(profile_name ~quick) ~seed ~wall_s (metrics_of_repeats all)
+  in
+  (List.rev all |> List.hd, arun)
+
 (* Switch-level cross-check: minimize a small comparator, program it onto
    a PLA, and simulate the ambipolar-CNFET netlist against the symbolic
    evaluator over every minterm. Cheap enough for CI smoke runs, and it
@@ -212,22 +295,6 @@ let hw_crosscheck () =
     if Cnfet.Pla.simulate_hw hw inputs <> Cache.eval compiled inputs then ok := false
   done;
   !ok
-
-let geomean_speedup reports =
-  match reports with
-  | [] -> 1.0
-  | _ ->
-    exp
-      (List.fold_left (fun acc r -> acc +. log r.op_speedup) 0.0 reports
-      /. float_of_int (List.length reports))
-
-let geomean_block_speedup reports =
-  match reports with
-  | [] -> 1.0
-  | _ ->
-    exp
-      (List.fold_left (fun acc r -> acc +. log r.block_speedup) 0.0 reports
-      /. float_of_int (List.length reports))
 
 (* --- JSON rendering ------------------------------------------------------ *)
 

@@ -45,6 +45,28 @@ val geomean_speedup : report list -> float
 val geomean_block_speedup : report list -> float
 (** Geometric mean of the blocked-vs-scalar eval speedups. *)
 
+val profile_name : quick:bool -> string
+(** ["espresso-quick"] / ["espresso-full"]: the {!Assess.Run.t} profile
+    names this bench emits. *)
+
+val metrics_of_repeats : report list list -> Assess.Run.metric list
+(** One metric series per (function, field) pair — sample [i] of every
+    series comes from repeat [i], the pairing {!Assess.Ab} leans on —
+    plus the two geomean series. Correctness flags ([identical],
+    [block_identical]) ride along as 0/1 series. *)
+
+val run_assess :
+  ?metrics:Metrics.t ->
+  ?quick:bool ->
+  ?seed:int ->
+  ?repeats:int ->
+  unit ->
+  report list * Assess.Run.t
+(** Runs the bench [repeats] times (default 1) and packages every
+    repeat's scalars as an {!Assess.Run.t} metric series. Returns the
+    last repeat's reports (the derived [BENCH_espresso.json] view) and
+    the run artifact. *)
+
 val to_json : quick:bool -> seed:int -> report list -> string
 
 val write_json : quick:bool -> seed:int -> path:string -> report list -> unit

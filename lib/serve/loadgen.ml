@@ -203,6 +203,50 @@ let run ?(label = "loadgen") (cfg : config) =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Assess.Run emission: each sweep point contributes one series per
+   field under its label ("c8/throughput_rps", ...). A single loadgen
+   invocation yields n=1 series — the A/B comparator falls back to
+   point-vs-floor verdicts there; pass repeated points for CIs. *)
+
+let profile_name = "serve-loadgen"
+
+let report_fields =
+  [
+    ("throughput_rps", "req/s", true, fun r -> r.throughput_rps);
+    ("p50_s", "s", false, fun r -> r.p50_s);
+    ("p95_s", "s", false, fun r -> r.p95_s);
+    ("p99_s", "s", false, fun r -> r.p99_s);
+    ("shed_rate", "", false, fun r -> r.shed_rate);
+    ("completed", "req", true, fun r -> float_of_int r.completed);
+    ("miscompares", "", false, fun r -> float_of_int r.miscompares);
+    ("errors", "", false, fun r -> float_of_int r.errors);
+  ]
+
+let to_run ~seed (points : report list) =
+  let wall_s = List.fold_left (fun acc r -> acc +. r.wall_s) 0. points in
+  (* group repeated points of the same label into one series per field *)
+  let labels =
+    List.fold_left
+      (fun acc r -> if List.mem r.label acc then acc else acc @ [ r.label ])
+      [] points
+  in
+  let metrics =
+    List.concat_map
+      (fun label ->
+        let here = List.filter (fun r -> r.label = label) points in
+        List.map
+          (fun (field, units, higher_is_better, get) ->
+            Assess.Run.metric ~units ~higher_is_better
+              (label ^ "/" ^ field)
+              (Array.of_list (List.map get here)))
+          report_fields)
+      labels
+  in
+  Assess.Run.create
+    ~meta:[ ("bench", "serve-loadgen"); ("points", string_of_int (List.length points)) ]
+    ~profile:profile_name ~seed ~wall_s metrics
+
+(* ------------------------------------------------------------------ *)
 (* JSON rendering (same hand-rolled style as the other bench JSON). *)
 
 let json_of_report ~indent r =

@@ -46,6 +46,15 @@ type report = {
 
 val run : ?label:string -> config -> report
 
+val profile_name : string
+(** ["serve-loadgen"]: the {!Assess.Run.t} profile name. *)
+
+val to_run : seed:int -> report list -> Assess.Run.t
+(** Packages loadgen points as an {!Assess.Run.t}: one metric series per
+    (label, field) pair, repeated same-label points stacking into one
+    series. A single point per label means n=1 series, which
+    {!Assess.Ab} compares by point estimate against the floor. *)
+
 val to_json : report -> string
 
 val sweep_to_json : report list -> string
