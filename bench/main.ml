@@ -223,15 +223,25 @@ let run_table1_pipeline () =
   section "table1_pipeline"
     "Table 1 through the full pipeline (synthetic twins: generate -> espresso -> map -> measure)";
   let rng = Util.Rng.create 2008 in
-  let results = Mcnc.Synthetic.table1_set rng in
+  (* The same staged vocabulary the population sweep drives
+     (lib/sweep): each Table-1 twin runs generate -> profile as a
+     [Sweep.Stage] pipeline, so its per-stage spans land in the bench
+     trace alongside the sweep's. *)
+  let pipeline =
+    Sweep.Stage.(
+      stage "bench.generate" (fun profile -> Mcnc.Synthetic.with_profile rng profile)
+      >>> stage "bench.profile" (fun r ->
+              (r, Cnfet.Area.profile_of_cover r.Mcnc.Synthetic.minimized)))
+  in
+  let results =
+    List.map (fun p -> Sweep.Stage.exec_exn pipeline p) [ Mcnc.Profiles.max46; Mcnc.Profiles.apla; Mcnc.Profiles.t2 ]
+  in
   table1_rows
     (List.map
-       (fun r ->
-         ( r.Mcnc.Synthetic.profile.Mcnc.Profiles.name ^ "*",
-           Cnfet.Area.profile_of_cover r.Mcnc.Synthetic.minimized ))
+       (fun (r, prof) -> (r.Mcnc.Synthetic.profile.Mcnc.Profiles.name ^ "*", prof))
        results);
   List.iter
-    (fun r ->
+    (fun (r, _) ->
       Printf.printf "%s*: target %d products, pipeline measured %d\n"
         r.Mcnc.Synthetic.profile.Mcnc.Profiles.name
         r.Mcnc.Synthetic.profile.Mcnc.Profiles.n_products r.Mcnc.Synthetic.achieved_products)
@@ -1088,6 +1098,48 @@ let run_espresso () =
 
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------------ *)
 
+(* --- sweep: population-scale staged pipeline --------------------------------------------------- *)
+
+let run_sweep () =
+  section "sweep"
+    "Population-scale silicon sweep (lib/sweep: staged pipeline sharded over the domain pool)";
+  let config =
+    if !quick_mode then Sweep.Drive.quick
+    else { Sweep.Drive.default with profiles = 96; jobs = Runtime.Pool.default_jobs () }
+  in
+  let metrics = Runtime.Metrics.create () in
+  let t0 = Unix.gettimeofday () in
+  let last = ref None in
+  let per_repeat =
+    List.init !assess_repeats (fun _ ->
+        let r = Sweep.Drive.run ~metrics config in
+        last := Some r;
+        Sweep.Report.to_metrics r)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let r = Option.get !last in
+  print_string (Sweep.Report.summary r);
+  let arun =
+    Assess.Run.create ~profile:"sweep" ~seed:config.Sweep.Drive.seed ~wall_s
+      ~meta:
+        [
+          ("jobs", string_of_int config.Sweep.Drive.jobs);
+          ("profiles", string_of_int config.Sweep.Drive.profiles);
+          ("quick", string_of_bool !quick_mode);
+          ("repeats", string_of_int !assess_repeats);
+        ]
+      (Sweep.Report.merge_metrics per_repeat)
+  in
+  save_assess_run arun;
+  let path = "BENCH_sweep.json" in
+  Sweep.Report.write ~path (Sweep.Report.bench_json r);
+  Printf.printf "machine-readable results -> %s\n" path;
+  print_endline
+    "Every item derives its random streams from (seed, salt, index), so the\n\
+     population - and the area/frequency/yield Pareto fronts above - are\n\
+     bit-identical at any worker-domain count; only the latency columns\n\
+     move between machines."
+
 let run_micro () =
   section "micro" "Bechamel micro-benchmarks of the core algorithms";
   let open Bechamel in
@@ -1186,6 +1238,7 @@ let sections =
     ("ablation_sharing", run_ablation_sharing);
     ("parallel", run_parallel);
     ("espresso", run_espresso);
+    ("sweep", run_sweep);
     ("micro", run_micro);
   ]
 

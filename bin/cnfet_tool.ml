@@ -606,6 +606,144 @@ let bench_ab_cmd =
     (Cmd.info "bench-ab" ~doc ~exits)
     Term.(const run $ path_a $ path_b $ min_floor $ floor_mult $ metrics_re $ seed $ out)
 
+(* --- sweep ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run quick profiles seed jobs window checkpoint out front_out det_out strict repeats
+      run_out show_metrics trace =
+    with_tracing trace @@ fun () ->
+    let base = if quick then Sweep.Drive.quick else Sweep.Drive.default in
+    let config =
+      {
+        base with
+        Sweep.Drive.profiles = Option.value profiles ~default:base.Sweep.Drive.profiles;
+        seed;
+        jobs = (match jobs with Some j -> max 1 j | None -> base.Sweep.Drive.jobs);
+        window = Option.value window ~default:base.Sweep.Drive.window;
+        checkpoint;
+      }
+    in
+    let metrics = Runtime.Metrics.create () in
+    let repeats = max 1 repeats in
+    let t0 = Unix.gettimeofday () in
+    let last = ref None in
+    let per_repeat =
+      List.init repeats (fun k ->
+          (* A checkpoint resumes (or seeds) only the first repeat: later
+             repeats re-measure the full population. *)
+          let config = if k = 0 then config else { config with checkpoint = None } in
+          let r = Sweep.Drive.run ~metrics config in
+          last := Some r;
+          Sweep.Report.to_metrics r)
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let r = Option.get !last in
+    print_string (Sweep.Report.summary r);
+    (match out with
+    | Some path ->
+      Sweep.Report.write ~path (Sweep.Report.bench_json r);
+      Printf.printf "bench view written to %s\n" path
+    | None -> ());
+    (match front_out with
+    | Some path ->
+      Sweep.Report.write ~path (Sweep.Report.front_json r);
+      Printf.printf "fronts written to %s\n" path
+    | None -> ());
+    (match det_out with
+    | Some path ->
+      Sweep.Report.write ~path (Sweep.Report.deterministic_json r);
+      Printf.printf "population written to %s\n" path
+    | None -> ());
+    if show_metrics then print_string (Runtime.Metrics.dump metrics);
+    let profile = if quick then "sweep-quick" else "sweep" in
+    let arun =
+      Assess.Run.create ~profile ~seed ~wall_s
+        ~meta:
+          [
+            ("jobs", string_of_int config.Sweep.Drive.jobs);
+            ("profiles", string_of_int config.Sweep.Drive.profiles);
+            ("quick", string_of_bool quick);
+            ("repeats", string_of_int repeats);
+          ]
+        (Sweep.Report.merge_metrics per_repeat)
+    in
+    let save_failed =
+      match run_out with None -> false | Some dir -> save_assess_run ~dir arun
+    in
+    let failed = r.Sweep.Drive.r_failures <> [] in
+    if failed then
+      Printf.eprintf "cnfet_tool sweep: %d item(s) failed\n"
+        (List.length r.Sweep.Drive.r_failures);
+    if save_failed || (strict && failed) then 1 else 0
+  in
+  let quick =
+    let doc = "Quick population: 8 profiles over the small space." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let profiles =
+    let doc = "Population size (default 1024, or 8 with $(b,--quick))." in
+    Arg.(value & opt (some int) None & info [ "profiles" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Sweep seed; every per-item stream derives from it." in
+    Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let jobs =
+    let doc = "Worker domains (default: cores - 1, or 2 with $(b,--quick))." in
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let window =
+    let doc = "Max in-flight items (default 4 x jobs)." in
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let checkpoint =
+    let doc =
+      "JSONL progress file: completed items are appended as they finish, and a \
+       rerun with the same sweep parameters resumes from it instead of \
+       recomputing."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let out =
+    let doc = "Write the full measurement view (population + fronts + per-stage \
+               latency percentiles) as JSON to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE.json" ~doc)
+  in
+  let front_out =
+    let doc =
+      "Write the deterministic Pareto-front view to $(docv) — byte-identical \
+       across machines and $(b,--jobs) for a fixed seed (the golden-regression \
+       artifact)."
+    in
+    Arg.(value & opt (some string) None & info [ "front-out" ] ~docv:"FILE.json" ~doc)
+  in
+  let det_out =
+    let doc =
+      "Write the deterministic population view (every item and failure, no \
+       latencies) to $(docv) — byte-identical across $(b,--jobs) and \
+       $(b,--window) for a fixed seed."
+    in
+    Arg.(value & opt (some string) None & info [ "det-out" ] ~docv:"FILE.json" ~doc)
+  in
+  let strict =
+    let doc = "Exit non-zero if any item failed." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let show_metrics =
+    let doc = "Dump the metrics registry (stage histograms, pool gauges) after the sweep." in
+    Arg.(value & flag & info [ "show-metrics" ] ~doc)
+  in
+  let doc =
+    "Population-scale silicon sweep: fan synthetic profiles through minimize, \
+     phase, fold, map, place, route, timing and yield on the domain pool; \
+     report per-stage latencies and area/frequency/yield Pareto fronts"
+  in
+  Cmd.v (Cmd.info "sweep" ~doc ~exits)
+    Term.(
+      const run $ quick $ profiles $ seed $ jobs $ window $ checkpoint $ out $ front_out
+      $ det_out $ strict $ repeats_arg $ run_out_arg $ show_metrics $ trace_arg)
+
 (* --- fuzz ---------------------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -974,4 +1112,4 @@ let loadgen_cmd =
 let () =
   let doc = "programmable logic built from ambipolar carbon-nanotube FETs" in
   let info = Cmd.info "cnfet_tool" ~version:"1.0.0" ~doc ~exits in
-  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; bench_ab_cmd; fuzz_cmd; chaos_cmd; serve_cmd; loadgen_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; bench_ab_cmd; sweep_cmd; fuzz_cmd; chaos_cmd; serve_cmd; loadgen_cmd ]))

@@ -72,18 +72,44 @@ let point_of_outcomes ~defect_rate outcomes =
    matching-feasibility one below, and the runtime chaos path in
    [Runtime.Chaos] (detect -> repair -> re-verify through the serving
    stack) — funnels through this one function, so BENCH/EXPERIMENTS
-   numbers and chaos reports cannot drift apart structurally. The rng is
-   consumed strictly in trial order within each rate, rates in list
-   order. *)
+   numbers and chaos reports cannot drift apart structurally. *)
+
+(* Each trial runs on its own [Rng.split] child, drawn in strict trial
+   order: a trial's internal draw count can change (richer trial
+   functions, more defect draws) without perturbing any later trial. *)
 let estimate_with ~trial:run_trial rng ?(trials = 200) ~defect_rate () =
   let acc = ref [] in
   for _ = 1 to trials do
-    acc := run_trial rng ~defect_rate :: !acc
+    let child = Util.Rng.split rng in
+    acc := run_trial child ~defect_rate :: !acc
   done;
   point_of_outcomes ~defect_rate (Array.of_list (List.rev !acc))
 
+(* FNV-1a over the little-endian bytes of each 64-bit word. *)
+let fnv64 words =
+  let h = ref 0xcbf29ce484222325L in
+  List.iter
+    (fun w ->
+      for b = 0 to 7 do
+        let byte = Int64.logand (Int64.shift_right_logical w (8 * b)) 0xffL in
+        h := Int64.mul (Int64.logxor !h byte) 0x100000001b3L
+      done)
+    words;
+  !h
+
+(* Every rate's stream is keyed by (one up-front master draw, the rate's
+   own bit pattern) — never by the rate's position — so editing the rate
+   list cannot shift any other rate's trials. The historical behaviour
+   (one rng threaded through all rates in list order) made every point
+   downstream of an inserted rate silently move; test_fault pins the
+   independence. *)
 let sweep_with ~trial rng ?trials ~rates () =
-  List.map (fun r -> estimate_with ~trial rng ?trials ~defect_rate:r ()) rates
+  let master = Util.Rng.bits64 rng in
+  List.map
+    (fun rate ->
+      let key = fnv64 [ master; Int64.bits_of_float rate ] in
+      estimate_with ~trial (Util.Rng.create (Int64.to_int key)) ?trials ~defect_rate:rate ())
+    rates
 
 let estimate rng ?trials ?(spare_rows = 2) ?closed_share pla ~defect_rate =
   estimate_with

@@ -36,12 +36,20 @@ val sweep_with : trial:(Util.Rng.t -> defect_rate:float -> trial_outcome) -> Uti
 (** Generic sweep engine behind {!sweep}: run [trial] at each rate and
     fold the outcomes. [Runtime.Chaos] plugs in a trial that pushes each
     drawn defect map through the full detect → repair → re-verify serving
-    path, so offline and chaos yield curves share one harness. The rng is
-    consumed in strict trial order within each rate. *)
+    path, so offline and chaos yield curves share one harness.
+
+    Randomness is keyed, not threaded: one master draw is taken from
+    [rng] up front, and each rate's trial stream derives from
+    (master, the rate's value) with each trial on its own split child —
+    so a rate's points depend only on the seed and that rate, never on
+    which other rates are in the list or how many draws their trials
+    made. Adding, removing or reordering rates leaves every other point
+    bit-identical (duplicated rates repeat the same stream). *)
 
 val estimate : Util.Rng.t -> ?trials:int -> ?spare_rows:int -> ?closed_share:float -> Cnfet.Pla.t -> defect_rate:float -> point
 (** Default 200 trials, 2 spare rows. Equivalent to folding {!trial}
-    outcomes drawn sequentially from [rng]. *)
+    outcomes, each drawn on its own [Rng.split] child of [rng] in trial
+    order. *)
 
 val sweep : Util.Rng.t -> ?trials:int -> ?spare_rows:int -> ?closed_share:float -> Cnfet.Pla.t -> rates:float list -> point list
 

@@ -694,6 +694,120 @@ let assess_run_roundtrip =
           | exception _ -> false)
         | exception _ -> false))
 
+(* --- sweep --------------------------------------------------------------- *)
+
+(* The staged [Fpga.Flow] against the pre-refactor monolith kept verbatim
+   in [Flow.Unstaged]: same seed, same rng consumption order, so every
+   outcome field — floats included — must be structurally identical.
+   This is the license for the population sweep to reuse [Flow.staged]
+   in place of the code it replaced. *)
+type flow_case = { fc_seed : int; fc_n_pi : int; fc_n_blocks : int }
+
+let gen_flow_case =
+  let open Gen in
+  let* fc_seed = int_range 0 1_000_000 in
+  let* fc_n_pi = int_range 2 5 in
+  let* fc_n_blocks = int_range 1 12 in
+  return { fc_seed; fc_n_pi; fc_n_blocks }
+
+let print_flow_case c =
+  Printf.sprintf "{seed=%d; n_pi=%d; n_blocks=%d}" c.fc_seed c.fc_n_pi c.fc_n_blocks
+
+let sweep_pipeline_equivalence =
+  Runner.make ~name:"sweep/pipeline-equivalence" ~count:24
+    (Arb.make ~print:print_flow_case gen_flow_case)
+    (fun c ->
+      let design =
+        Fpga.Design.random (Util.Rng.create c.fc_seed) ~n_pi:c.fc_n_pi ~n_blocks:c.fc_n_blocks ()
+      in
+      let grid =
+        let rec fit g =
+          if Fpga.Arch.sites (Fpga.Arch.cnfet ~grid:g) >= c.fc_n_blocks then g else fit (g + 1)
+        in
+        fit 3
+      in
+      let arch = Fpga.Arch.cnfet ~grid in
+      let seed = c.fc_seed lxor 0x5157 in
+      Fpga.Flow.run (Util.Rng.create seed) arch design
+      = Fpga.Flow.Unstaged.run (Util.Rng.create seed) arch design
+      && Fpga.Flow.run_timing_driven ~rounds:1 (Util.Rng.create (seed + 1)) arch design
+         = Fpga.Flow.Unstaged.run_timing_driven ~rounds:1
+             (Util.Rng.create (seed + 1))
+             arch design)
+
+(* A whole (tiny) population sweep per case, run twice at different job
+   counts and window sizes: the deterministic report views must agree
+   byte for byte, because nothing scheduling-dependent may reach an
+   item's value. Kept very small — each case is two end-to-end sweeps. *)
+let sweep_determinism =
+  Runner.make ~name:"sweep/determinism" ~count:3
+    (Arb.make ~print:string_of_int (Gen.int_range 0 10_000))
+    (fun seed ->
+      let config =
+        {
+          Sweep.Drive.default with
+          profiles = 3;
+          seed;
+          jobs = 1;
+          window = 2;
+          space = Sweep.Drive.tiny_space;
+          yield_trials = 4;
+          checkpoint = None;
+        }
+      in
+      let a = Sweep.Drive.run config in
+      let b = Sweep.Drive.run { config with jobs = 2; window = 1 } in
+      a.Sweep.Drive.r_failures = []
+      && Assess.Json.to_string (Sweep.Report.deterministic_json a)
+         = Assess.Json.to_string (Sweep.Report.deterministic_json b))
+
+(* --- mcnc ---------------------------------------------------------------- *)
+
+(* Manufactured covers survive the sweep's logical front end: the
+   minimized cover is a correct minimization of the manufactured
+   function, and phase optimization followed by a second application of
+   the same assignment gives the original function back on every
+   minterm. *)
+type synth_case = { sy_seed : int; sy_n_in : int; sy_n_out : int; sy_products : int }
+
+let gen_synth_case =
+  let open Gen in
+  let* sy_seed = int_range 0 1_000_000 in
+  let* sy_n_in = int_range 4 6 in
+  let* sy_n_out = int_range 1 3 in
+  let* sy_products = int_range 3 8 in
+  return { sy_seed; sy_n_in; sy_n_out; sy_products }
+
+let print_synth_case c =
+  Printf.sprintf "{seed=%d; %dx%dx%d}" c.sy_seed c.sy_n_in c.sy_n_out c.sy_products
+
+let synthetic_phase_preserved =
+  Runner.make ~name:"mcnc/synthetic-phase-preserved" ~count:10
+    (Arb.make ~print:print_synth_case gen_synth_case)
+    (fun c ->
+      let profile =
+        {
+          Mcnc.Profiles.name = "prop";
+          n_in = c.sy_n_in;
+          n_out = c.sy_n_out;
+          n_products = c.sy_products;
+        }
+      in
+      let syn = Mcnc.Synthetic.with_profile (Util.Rng.create c.sy_seed) profile in
+      let ph = Espresso.Phase.optimize ~max_rounds:1 syn.Mcnc.Synthetic.minimized in
+      let unphased = Espresso.Phase.apply_phases ph.Espresso.Phase.cover ph.Espresso.Phase.phases in
+      let same = ref true in
+      for m = 0 to (1 lsl c.sy_n_in) - 1 do
+        let inputs = Array.init c.sy_n_in (fun i -> m land (1 lsl i) <> 0) in
+        let a = Cover.eval syn.Mcnc.Synthetic.on_set inputs in
+        let b = Cover.eval unphased inputs in
+        for o = 0 to c.sy_n_out - 1 do
+          if Util.Bitvec.get a o <> Util.Bitvec.get b o then same := false
+        done
+      done;
+      Espresso.Minimize.verify ~original:syn.Mcnc.Synthetic.on_set syn.Mcnc.Synthetic.minimized
+      && !same)
+
 let all =
   [
     cube_ops_vs_naive;
@@ -718,4 +832,7 @@ let all =
     runtime_bitslice_vs_scalar;
     serve_codec_roundtrip;
     assess_run_roundtrip;
+    sweep_pipeline_equivalence;
+    sweep_determinism;
+    synthetic_phase_preserved;
   ]

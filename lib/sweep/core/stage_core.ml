@@ -1,0 +1,78 @@
+type ('a, 'b) stage = { name : string; f : 'a -> 'b }
+
+type ('a, 'b) t =
+  | Stage : ('a, 'b) stage -> ('a, 'b) t
+  | Pure : ('a -> 'b) -> ('a, 'b) t
+  | Seq : ('a, 'c) t * ('c, 'b) t -> ('a, 'b) t
+  | Dyn : string * ('a -> ('a, 'b) t) -> ('a, 'b) t
+
+let stage name f = Stage { name; f }
+let pure f = Pure f
+let ( >>> ) p q = Seq (p, q)
+let dyn label build = Dyn (label, build)
+
+let rec first : type a b c. (a, b) t -> (a * c, b * c) t = function
+  | Stage s -> Stage { name = s.name; f = (fun (x, carry) -> (s.f x, carry)) }
+  | Pure f -> Pure (fun (x, carry) -> (f x, carry))
+  | Seq (p, q) -> Seq (first p, first q)
+  | Dyn (label, build) -> Dyn (label, fun (x, _carry) -> first (build x))
+
+let rec names : type a b. (a, b) t -> string list = function
+  | Stage s -> [ s.name ]
+  | Pure _ -> []
+  | Seq (p, q) -> names p @ names q
+  | Dyn (label, _) -> [ label ]
+
+type failure = { stage : string; error : string }
+
+exception Stage_failed of failure * exn
+
+let failure_to_string f = Printf.sprintf "stage %s: %s" f.stage f.error
+
+let contain stage e = Stage_failed ({ stage; error = Printexc.to_string e }, e)
+
+(* One instrumented stage: span around the body, duration into the
+   [sweep.stage.<name>] histogram and the observer. The duration hooks
+   fire only on success — a raising stage is an error datum, not a
+   latency sample. *)
+let run_stage ?metrics ?observe ~catch (s : _ stage) x =
+  let t0 = Obs.Clock.monotonic () in
+  match Obs.Span.with_ s.name (fun () -> s.f x) with
+  | y ->
+    let dur_s = Int64.to_float (Int64.sub (Obs.Clock.monotonic ()) t0) /. 1e9 in
+    (match metrics with
+    | Some m -> Runtime.Metrics.observe m ("sweep.stage." ^ s.name) dur_s
+    | None -> ());
+    (match observe with Some f -> f ~stage:s.name ~dur_s | None -> ());
+    y
+  | exception e when catch -> raise (contain s.name e)
+
+let rec go :
+    type a b.
+    catch:bool ->
+    metrics:Runtime.Metrics.t option ->
+    observe:(stage:string -> dur_s:float -> unit) option ->
+    (a, b) t ->
+    a ->
+    b =
+ fun ~catch ~metrics ~observe p x ->
+  match p with
+  | Stage s -> run_stage ?metrics ?observe ~catch s x
+  | Pure f -> ( match f x with y -> y | exception e when catch -> raise (contain "(pure)" e))
+  | Seq (p, q) ->
+    let y = go ~catch ~metrics ~observe p x in
+    go ~catch ~metrics ~observe q y
+  | Dyn (label, build) ->
+    let inner =
+      match build x with
+      | inner -> inner
+      | exception e when catch -> raise (contain label e)
+    in
+    go ~catch ~metrics ~observe inner x
+
+let exec ?metrics ?observe p x =
+  match go ~catch:true ~metrics ~observe p x with
+  | y -> Ok y
+  | exception Stage_failed (f, _) -> Error f
+
+let exec_exn ?metrics ?observe p x = go ~catch:false ~metrics ~observe p x

@@ -1,0 +1,87 @@
+(** Typed staged pipelines: the shared backbone of [Fpga.Flow] and
+    [Sweep.Drive].
+
+    A pipeline is a composition of {e named} stages. Executing one runs
+    every stage in order under a tracing span ([Obs.Span]) and a latency
+    histogram ([sweep.stage.<name>] when a metrics registry is supplied),
+    and reports each stage's wall-clock duration to an optional observer —
+    the hook the population-sweep driver uses to build per-item,
+    per-stage latency series.
+
+    Two execution disciplines cover the two call sites:
+
+    {ul
+    {- {!exec} captures a raising stage as a typed {!failure} carrying the
+       stage's name, so one bad item in a thousand-profile sweep is a
+       recorded datum, not a crashed run;}
+    {- {!exec_exn} lets the stage's exception propagate unchanged — the
+       drop-in discipline for refactored single-design entry points
+       ([Fpga.Flow.run]) whose callers already handle the underlying
+       exceptions.}} *)
+
+type ('a, 'b) stage = private { name : string; f : 'a -> 'b }
+
+type ('a, 'b) t =
+  | Stage : ('a, 'b) stage -> ('a, 'b) t
+  | Pure : ('a -> 'b) -> ('a, 'b) t
+  | Seq : ('a, 'c) t * ('c, 'b) t -> ('a, 'b) t
+  | Dyn : string * ('a -> ('a, 'b) t) -> ('a, 'b) t
+
+val stage : string -> ('a -> 'b) -> ('a, 'b) t
+(** A named, instrumented stage. *)
+
+val pure : ('a -> 'b) -> ('a, 'b) t
+(** Anonymous glue (tupling, projection): runs inline with no span, no
+    histogram and no observer callback. Exceptions from [pure] code are
+    attributed to the pseudo-stage name ["(pure)"] by {!exec}. *)
+
+val ( >>> ) : ('a, 'c) t -> ('c, 'b) t -> ('a, 'b) t
+(** Left-to-right composition. *)
+
+val dyn : string -> ('a -> ('a, 'b) t) -> ('a, 'b) t
+(** A pipeline segment whose shape depends on the value flowing through it
+    (e.g. place/route stages whose architecture is sized from the mapped
+    design). The builder runs un-instrumented under the given label; the
+    pipeline it returns is executed with full instrumentation. *)
+
+val first : ('a, 'b) t -> ('a * 'c, 'b * 'c) t
+(** Run the pipeline on the first component of a pair, carrying the second
+    through untouched — stage names are preserved, so instrumentation of a
+    reused pipeline ([Fpga.Flow.staged] inside a sweep) is unchanged. *)
+
+val names : ('a, 'b) t -> string list
+(** Stage names in execution order. [Dyn] segments contribute their label
+    (their inner stages are not known statically); [Pure] glue is
+    invisible. *)
+
+type failure = { stage : string; error : string }
+(** A stage that raised: which stage, and [Printexc.to_string] of what it
+    raised. *)
+
+exception Stage_failed of failure * exn
+(** Internal carrier; {!exec} never lets it escape. The original
+    exception rides along for {!exec_exn}. *)
+
+val failure_to_string : failure -> string
+
+val exec :
+  ?metrics:Runtime.Metrics.t ->
+  ?observe:(stage:string -> dur_s:float -> unit) ->
+  ('a, 'b) t ->
+  'a ->
+  ('b, failure) result
+(** Run the pipeline on one item. Every named stage is wrapped in an
+    [Obs.Span] and, with [metrics], observed into the
+    [sweep.stage.<name>] histogram; [observe] fires after each completed
+    stage with its duration. The first raising stage stops the pipeline
+    and becomes [Error failure]; no exception escapes. *)
+
+val exec_exn :
+  ?metrics:Runtime.Metrics.t ->
+  ?observe:(stage:string -> dur_s:float -> unit) ->
+  ('a, 'b) t ->
+  'a ->
+  'b
+(** Same instrumentation, exception-transparent: a raising stage's
+    original exception (and backtrace) propagates to the caller as if the
+    stages had been called directly. *)

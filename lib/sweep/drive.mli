@@ -1,0 +1,125 @@
+(** The population-scale silicon sweep: thousands of synthetic MCNC-style
+    profiles through generate → minimize → phase → fold → map → place →
+    route → time → yield, sharded over the domain pool.
+
+    Determinism is the load-bearing property. Every item derives its
+    random streams from [(seed, salt, index)] alone — never from
+    scheduling — so the swept population is bit-identical at any [jobs]
+    count and any in-flight window, and a checkpoint-resumed sweep equals
+    an uninterrupted one. Item failures are typed data: a raising stage
+    records a {!failure} (which profile, which stage, what it raised) and
+    the sweep keeps going.
+
+    Wall-clock per-stage latencies ride on each {!item} ([it_stage_s],
+    filled from the stage engine's observer); they are measurement, not
+    identity — the deterministic report views drop them. *)
+
+type space = { inputs : int list; outputs : int list; products : int list }
+(** The swept profile dimensions. The population tiles the cross product
+    [inputs × outputs × products] in row-major order; item [i] gets cell
+    [i mod size] (repeat visits draw fresh functions from fresh
+    per-index rngs, so tiling never duplicates an item). *)
+
+type config = {
+  profiles : int;  (** population size *)
+  seed : int;
+  jobs : int;  (** worker domains *)
+  window : int;  (** max in-flight pool items; 0 = [4 × jobs] *)
+  space : space;
+  yield_trials : int;  (** Monte-Carlo trials behind each item's yield *)
+  defect_rate : float;
+  spare_rows : int;
+  clb_inputs : int;  (** CLB input budget for technology mapping *)
+  checkpoint : string option;  (** JSONL progress file; see {!run} *)
+}
+
+val default_space : space
+(** 6 input points × 4 output points × 4 product points = 96 grid cells,
+    inputs 5–10 — the production population shape. *)
+
+val quick_space : space
+(** 2 × 2 × 2 small cells for smoke runs and the golden regression. *)
+
+val tiny_space : space
+(** Minimal cells (≤ 5 inputs) for property-based checks that run whole
+    sweeps per case. *)
+
+val default : config
+(** 1024 profiles over {!default_space}, seed 2008, default pool size,
+    16 yield trials at 2% defects. *)
+
+val quick : config
+(** 8 profiles over {!quick_space}, 8 yield trials — the [--quick] /
+    golden-regression configuration. *)
+
+type item = {
+  it_index : int;
+  it_name : string;  (** [p<index>-<in>x<out>x<products>] *)
+  it_n_in : int;
+  it_n_out : int;
+  it_target_products : int;
+  it_achieved_products : int;  (** after two-level minimization *)
+  it_products : int;  (** after output-phase optimization *)
+  it_area : int;  (** folded CNFET PLA area, L² *)
+  it_blocks : int;  (** mapped CLB count placed on the fabric *)
+  it_grid : int;  (** standard grid the CNFET arch was derived from *)
+  it_frequency_hz : float;  (** routed+timed frequency on the CNFET fabric *)
+  it_yield : float;  (** spare-row repair yield at [defect_rate] *)
+  it_stage_s : (string * float) list;  (** per-stage wall seconds, execution order *)
+}
+
+type failure = { fl_index : int; fl_name : string; fl_stage : string; fl_error : string }
+
+type result = {
+  r_profiles : int;
+  r_seed : int;
+  r_jobs : int;
+  r_space : space;
+  r_items : item list;  (** index order; failed indices absent *)
+  r_failures : failure list;  (** index order *)
+  r_resumed : int;  (** items loaded from the checkpoint, not recomputed *)
+  r_wall_s : float;
+}
+
+val profile_for : space -> int -> Mcnc.Profiles.t
+(** The grid cell item [index] sweeps. *)
+
+val name_for : space -> int -> string
+
+val item_rng : seed:int -> salt:int -> int -> Util.Rng.t
+(** The per-item stream family: a fresh generator keyed by
+    [(seed, salt, index)] through FNV-1a — pure in its arguments, so item
+    streams are independent of scheduling, job count and each other.
+    Salts 0/1/2 are the generate/flow/yield streams. *)
+
+val item_pipeline : config -> index:int -> (unit, item) Stage.t
+(** The staged per-item flow. Stage names, in order: [sweep.generate]
+    (profile-matched synthesis, which includes the espresso
+    minimization), [sweep.phase], [sweep.fold], [sweep.map], then the
+    reused {!Fpga.Flow.staged} pipeline ([fpga.place], [fpga.route],
+    [fpga.timing]) under the [sweep.pnr] dyn segment (the architecture is
+    sized from the mapped design), and [sweep.yield]. *)
+
+val item_json : item -> Assess.Json.t
+
+val item_of_json : Assess.Json.t -> item option
+(** Total inverse of {!item_json} (missing/ill-typed fields → [None]). *)
+
+val run :
+  ?metrics:Runtime.Metrics.t ->
+  ?pipeline:(config -> index:int -> (unit, item) Stage.t) ->
+  config ->
+  result
+(** Fan the population over a fresh pool of [config.jobs] domains with at
+    most [window] items in flight; results are folded in index order.
+
+    With [checkpoint = Some path], completed items are appended to [path]
+    as JSONL after a meta header; a later run with an equivalent config
+    (same seed/space/knobs — [jobs]/[window]/[profiles] may differ) loads
+    them back and computes only the missing indices, while a run whose
+    config mismatches the header starts the file over. Failed items are
+    never checkpointed, so a resume retries them.
+
+    [pipeline] (default {!item_pipeline}) is the per-item flow — tests
+    substitute pipelines with planted raising stages to exercise
+    containment. *)

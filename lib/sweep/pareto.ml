@@ -1,0 +1,19 @@
+let dominates ~maximize a b =
+  let n = Array.length maximize in
+  if Array.length a <> n || Array.length b <> n then
+    invalid_arg "Pareto.dominates: axis count mismatch";
+  let at_least_as_good = ref true in
+  let strictly_better = ref false in
+  for k = 0 to n - 1 do
+    let va, vb = if maximize.(k) then (a.(k), b.(k)) else (-.a.(k), -.b.(k)) in
+    if va < vb then at_least_as_good := false;
+    if va > vb then strictly_better := true
+  done;
+  !at_least_as_good && !strictly_better
+
+let front ~maximize ~values items =
+  let coords = List.map (fun it -> (it, values it)) items in
+  List.filter_map
+    (fun (it, v) ->
+      if List.exists (fun (_, w) -> dominates ~maximize w v) coords then None else Some it)
+    coords

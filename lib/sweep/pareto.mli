@@ -1,0 +1,15 @@
+(** Pareto-front extraction over swept items.
+
+    Orientation is per-axis ([maximize.(k)]); dominance is the strict
+    kind: [a] dominates [b] when [a] is at least as good on every axis
+    and strictly better on at least one. Points with identical
+    coordinates never dominate each other, so duplicated optima all stay
+    on the front. *)
+
+val dominates : maximize:bool array -> float array -> float array -> bool
+(** [dominates ~maximize a b]: [a] strictly Pareto-dominates [b]. The
+    three arrays must have equal length. *)
+
+val front : maximize:bool array -> values:('a -> float array) -> 'a list -> 'a list
+(** Non-dominated subset, in input order (the extraction is stable, so a
+    deterministic sweep yields a byte-stable front). O(n²) comparisons. *)

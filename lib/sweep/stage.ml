@@ -1,0 +1,4 @@
+(* Re-export of the stage engine under its public name: [Sweep.Stage] is
+   the API, [Stage_core] exists only so [Fpga.Flow] (which [Sweep.Drive]
+   builds on) can be staged without a dependency cycle. *)
+include Stage_core

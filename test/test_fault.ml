@@ -420,6 +420,25 @@ let test_yield_monotone_in_rate () =
       && b.Fault.Yield.yield_spares >= c.Fault.Yield.yield_spares -. 0.05)
   | _ -> Alcotest.fail "three points"
 
+let test_yield_sweep_rate_independence () =
+  (* Regression for the historical threading bug: [sweep] used to feed
+     one rng serially through the rate list, so inserting a rate shifted
+     every later rate's trials. Streams are now keyed by (master draw,
+     rate value): a rate's point must be bit-identical whatever company
+     it keeps. *)
+  let pla = sample_pla () in
+  let sweep rates = Fault.Yield.sweep (Util.Rng.create 17) ~trials:60 pla ~rates in
+  let alone = sweep [ 0.1 ] in
+  let crowded = sweep [ 0.01; 0.05; 0.1; 0.2 ] in
+  let point_at rate pts =
+    List.find (fun p -> p.Fault.Yield.defect_rate = rate) pts
+  in
+  checkb "rate point survives list edits" true
+    (point_at 0.1 alone = point_at 0.1 crowded);
+  let reordered = sweep [ 0.2; 0.1; 0.05; 0.01 ] in
+  checkb "rate point survives reordering" true
+    (point_at 0.1 crowded = point_at 0.1 reordered)
+
 let test_yield_sweep_with_is_sweep () =
   (* [sweep] must be [sweep_with] plugged with the default trial — same
      seed, same rng consumption order, bit-identical points. *)
@@ -559,6 +578,8 @@ let () =
           Alcotest.test_case "monotone in rate" `Quick test_yield_monotone_in_rate;
           Alcotest.test_case "functional through defects" `Quick test_yield_functional_check;
           Alcotest.test_case "sweep_with generalizes sweep" `Quick test_yield_sweep_with_is_sweep;
+          Alcotest.test_case "rate streams independent of list" `Quick
+            test_yield_sweep_rate_independence;
         ] );
       ( "typed errors",
         [

@@ -241,6 +241,48 @@ let test_synthetic_minimized_equivalent () =
   checkb "minimized ≡ on_set" true
     (Tt.equal (Tt.of_cover r.Mcnc.Synthetic.on_set) (Tt.of_cover r.Mcnc.Synthetic.minimized))
 
+let test_synthetic_sweep_grid_corners () =
+  (* The corners of the population sweep's profile grid
+     (Sweep.Drive.default_space: inputs 5–10, outputs 1–8, products
+     8–32): with_profile must land within the documented tolerance at
+     the extremes of every dimension, not just at the Table-1 shapes. *)
+  List.iteri
+    (fun k (n_in, n_out, n_products) ->
+      let profile =
+        { Mcnc.Profiles.name = Printf.sprintf "corner-%dx%dx%d" n_in n_out n_products;
+          n_in; n_out; n_products }
+      in
+      let r = Mcnc.Synthetic.with_profile (Util.Rng.create (500 + k)) profile in
+      checki (profile.Mcnc.Profiles.name ^ " inputs") n_in
+        (Cover.num_inputs r.Mcnc.Synthetic.on_set);
+      checki (profile.Mcnc.Profiles.name ^ " outputs") n_out
+        (Cover.num_outputs r.Mcnc.Synthetic.on_set);
+      checkb (profile.Mcnc.Profiles.name ^ " within 10% of target") true
+        (abs (r.Mcnc.Synthetic.achieved_products - n_products) <= max 1 (n_products / 10));
+      checkb (profile.Mcnc.Profiles.name ^ " minimized equivalent") true
+        (Tt.equal (Tt.of_cover r.Mcnc.Synthetic.on_set) (Tt.of_cover r.Mcnc.Synthetic.minimized)))
+    [
+      (5, 1, 8);   (* min/min/min *)
+      (5, 8, 8);   (* widest outputs at the narrowest inputs *)
+      (10, 1, 8);  (* sparse: few products over the widest inputs *)
+      (10, 8, 8);  (* wide both ways, few products *)
+      (10, 1, 32); (* max products at max inputs *)
+      (10, 8, 32); (* max/max/max *)
+    ];
+  (* Over-dense corner: 32 minimized products cannot exist over 5 inputs
+     and 1 output (espresso merges below that; the worst case, parity, is
+     16). with_profile saturates — achieved lands under target — but the
+     manufactured cover must still be honest about it and semantically
+     sound. *)
+  let dense = { Mcnc.Profiles.name = "corner-5x1x32"; n_in = 5; n_out = 1; n_products = 32 } in
+  let r = Mcnc.Synthetic.with_profile (Util.Rng.create 600) dense in
+  checkb "over-dense corner saturates below target" true
+    (r.Mcnc.Synthetic.achieved_products >= 1 && r.Mcnc.Synthetic.achieved_products < 32);
+  checkb "over-dense corner reports truthfully" true
+    (r.Mcnc.Synthetic.achieved_products = Cover.size r.Mcnc.Synthetic.minimized);
+  checkb "over-dense corner minimized equivalent" true
+    (Tt.equal (Tt.of_cover r.Mcnc.Synthetic.on_set) (Tt.of_cover r.Mcnc.Synthetic.minimized))
+
 let test_export_suite () =
   let dir = Filename.temp_file "cnfet_suite" "" in
   Sys.remove dir;
@@ -297,6 +339,7 @@ let () =
           Alcotest.test_case "arity" `Quick test_synthetic_arity;
           Alcotest.test_case "minimized equivalent" `Quick test_synthetic_minimized_equivalent;
           Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+          Alcotest.test_case "sweep grid corners" `Quick test_synthetic_sweep_grid_corners;
         ] );
       ("export", [ Alcotest.test_case "suite roundtrip" `Quick test_export_suite ]);
     ]

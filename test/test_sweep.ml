@@ -1,0 +1,363 @@
+(* The population-sweep battery (lib/sweep): the stage engine's
+   composition and error-containment semantics, the sharded driver's
+   determinism / checkpoint-resume / failure-isolation guarantees, Pareto
+   dominance invariants, and a byte-exact golden regression on the quick
+   sweep's front view.
+
+   Set DUMP_SWEEP=<path> to rewrite the golden JSON after an intentional
+   change to the swept pipeline or the report format. *)
+
+module Stage = Sweep.Stage
+module Drive = Sweep.Drive
+module Report = Sweep.Report
+module Pareto = Sweep.Pareto
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let contains_substr hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* A fast pipeline substitute: no silicon, just arithmetic — used
+   wherever the battery needs sweeps by the dozen. *)
+let toy_item config ~index value =
+  ignore config;
+  {
+    Drive.it_index = index;
+    it_name = Printf.sprintf "toy%d" index;
+    it_n_in = 2;
+    it_n_out = 1;
+    it_target_products = 1;
+    it_achieved_products = 1;
+    it_products = 1;
+    it_area = value;
+    it_blocks = 1;
+    it_grid = 2;
+    it_frequency_hz = float_of_int (1000 - value);
+    it_yield = 1.0;
+    it_stage_s = [];
+  }
+
+let toy_pipeline config ~index =
+  Stage.(
+    stage "toy.seed" (fun () -> index * 7)
+    >>> stage "toy.wrap" (fun v -> toy_item config ~index (v mod 101)))
+
+exception Planted of int
+
+(* Like [toy_pipeline], but the planted stage raises on [bad] indices. *)
+let planted_pipeline bad config ~index =
+  Stage.(
+    stage "toy.seed" (fun () -> index * 7)
+    >>> stage "toy.maybe-explode" (fun v ->
+            if List.mem index bad then raise (Planted index) else v)
+    >>> stage "toy.wrap" (fun v -> toy_item config ~index (v mod 101)))
+
+let tiny ?(profiles = 6) ?(jobs = 1) ?(seed = 11) ?checkpoint () =
+  {
+    Drive.default with
+    Drive.profiles;
+    seed;
+    jobs;
+    window = 2;
+    space = Drive.tiny_space;
+    yield_trials = 4;
+    checkpoint;
+  }
+
+(* --- Stage: composition ------------------------------------------------------ *)
+
+let test_stage_composition_order () =
+  let trace = ref [] in
+  let observe ~stage ~dur_s:_ = trace := stage :: !trace in
+  let p =
+    Stage.(
+      stage "a" (fun x -> x + 1)
+      >>> stage "b" (fun x -> x * 10)
+      >>> pure (fun x -> x - 5)
+      >>> stage "c" string_of_int)
+  in
+  checks "value threaded through every stage" "15" (Stage.exec_exn ~observe p 1);
+  Alcotest.(check (list string)) "stages observed in execution order" [ "a"; "b"; "c" ]
+    (List.rev !trace);
+  Alcotest.(check (list string)) "names lists stages in order" [ "a"; "b"; "c" ] (Stage.names p)
+
+let test_stage_first_and_dyn () =
+  (* [first] threads a context pair; [dyn] picks the segment from the
+     flowing value. *)
+  let inner = Stage.(stage "double" (fun x -> x * 2)) in
+  let p = Stage.(first inner >>> pure (fun (x, ctx) -> x + ctx)) in
+  checki "first applies to the left component" 25 (Stage.exec_exn p (10, 5));
+  let dynp =
+    Stage.(
+      dyn "pick" (fun x ->
+          if x >= 0 then stage "pos" (fun x -> x + 1) else stage "neg" (fun x -> x - 1)))
+  in
+  checki "dyn positive branch" 8 (Stage.exec_exn dynp 7);
+  checki "dyn negative branch" (-8) (Stage.exec_exn dynp (-7));
+  checkb "dyn label appears in names" true (List.mem "pick" Stage.(names dynp))
+
+let test_stage_error_containment () =
+  let p =
+    Stage.(
+      stage "ok" (fun x -> x + 1)
+      >>> stage "boom" (fun _ -> failwith "planted")
+      >>> stage "never" (fun x -> x))
+  in
+  (match Stage.exec p 1 with
+  | Ok _ -> Alcotest.fail "raising stage must not produce a value"
+  | Error f ->
+    checks "failing stage named" "boom" f.Stage.stage;
+    checkb "error text kept" true (contains_substr f.Stage.error "planted"));
+  (* exec_exn is exception-transparent: the original exception escapes
+     unwrapped, exactly as if the stages were plain function calls. *)
+  (match Stage.exec_exn p 1 with
+  | _ -> Alcotest.fail "exec_exn must raise"
+  | exception Failure msg -> checks "exec_exn re-raises the original" "planted" msg);
+  (* A raising stage is an error datum, not a latency sample. *)
+  let seen = ref [] in
+  let observe ~stage ~dur_s:_ = seen := stage :: !seen in
+  (match Stage.exec ~observe p 1 with Ok _ | Error _ -> ());
+  Alcotest.(check (list string)) "only successful stages observed" [ "ok" ] (List.rev !seen)
+
+(* --- Drive: grid, rngs, json ------------------------------------------------- *)
+
+let test_profile_grid_tiling () =
+  let space = Drive.quick_space in
+  (* Row-major over inputs × outputs × products, wrapping at the cell
+     count. *)
+  let p0 = Drive.profile_for space 0 in
+  checki "cell 0 inputs" 5 p0.Mcnc.Profiles.n_in;
+  checki "cell 0 outputs" 1 p0.Mcnc.Profiles.n_out;
+  checki "cell 0 products" 6 p0.Mcnc.Profiles.n_products;
+  let p1 = Drive.profile_for space 1 in
+  checki "cell 1 varies products first" 10 p1.Mcnc.Profiles.n_products;
+  let p2 = Drive.profile_for space 2 in
+  checki "cell 2 advances outputs" 2 p2.Mcnc.Profiles.n_out;
+  let p4 = Drive.profile_for space 4 in
+  checki "cell 4 advances inputs" 6 p4.Mcnc.Profiles.n_in;
+  checkb "tiling wraps" true (Drive.profile_for space 8 = p0);
+  checkb "names embed index and shape" true (Drive.name_for space 3 = "p00003-5x2x10")
+
+let test_item_rng_keying () =
+  let series rng = Array.init 4 (fun _ -> Util.Rng.bits64 rng) in
+  let a = series (Drive.item_rng ~seed:1 ~salt:0 42) in
+  let b = series (Drive.item_rng ~seed:1 ~salt:0 42) in
+  checkb "same key, same stream" true (a = b);
+  checkb "salt separates streams" false (a = series (Drive.item_rng ~seed:1 ~salt:1 42));
+  checkb "index separates streams" false (a = series (Drive.item_rng ~seed:1 ~salt:0 43));
+  checkb "seed separates streams" false (a = series (Drive.item_rng ~seed:2 ~salt:0 42))
+
+let test_item_json_roundtrip () =
+  let it =
+    {
+      (toy_item (tiny ()) ~index:3 17) with
+      Drive.it_stage_s = [ ("a", 0.25); ("b", 1e-6) ];
+      it_frequency_hz = 123456789.123456789;
+      it_yield = 0.875;
+    }
+  in
+  (match Drive.item_of_json (Drive.item_json it) with
+  | Some it' -> checkb "roundtrip exact (floats included)" true (it = it')
+  | None -> Alcotest.fail "item JSON must parse back");
+  checkb "missing field rejected" true
+    (Drive.item_of_json (Assess.Json.Obj [ ("index", Assess.Json.Number 1.0) ]) = None)
+
+(* --- Drive: the sharded run --------------------------------------------------- *)
+
+let test_planted_failure_contained () =
+  let config = tiny ~profiles:6 ~jobs:2 () in
+  let r = Drive.run ~pipeline:(planted_pipeline [ 2; 4 ]) config in
+  checki "failed items recorded" 2 (List.length r.Drive.r_failures);
+  checki "surviving items all complete" 4 (List.length r.Drive.r_items);
+  let f = List.hd r.Drive.r_failures in
+  checki "failure carries the index" 2 f.Drive.fl_index;
+  checks "failure names the planted stage" "toy.maybe-explode" f.Drive.fl_stage;
+  checkb "failure keeps the exception text" true (contains_substr f.Drive.fl_error "Planted");
+  (* Item values are unaffected by their neighbours' failures (latency
+     samples excepted — those are wall-clock). *)
+  let clean = Drive.run ~pipeline:toy_pipeline config in
+  let strip (it : Drive.item) = { it with Drive.it_stage_s = [] } in
+  List.iter
+    (fun (it : Drive.item) ->
+      let twin = List.find (fun c -> c.Drive.it_index = it.Drive.it_index) clean.Drive.r_items in
+      checkb "survivor identical to clean run" true (strip it = strip twin))
+    r.Drive.r_items
+
+let test_jobs_and_window_invariance () =
+  let det config = Assess.Json.to_string (Report.deterministic_json (Drive.run config)) in
+  let base = tiny ~profiles:5 ~jobs:1 () in
+  let a = det base in
+  checkb "jobs=2 identical" true (a = det { base with Drive.jobs = 2 });
+  checkb "window=1 identical" true (a = det { base with Drive.jobs = 2; window = 1 })
+
+let test_checkpoint_resume_equals_uninterrupted () =
+  let path = Filename.temp_file "sweep_ck" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let config = tiny ~profiles:6 ~checkpoint:path () in
+      let uninterrupted = Drive.run ~pipeline:toy_pipeline { config with Drive.checkpoint = None } in
+      (* First attempt dies on half the population (simulated interruption:
+         those indices are simply missing from the checkpoint). *)
+      let crashed = Drive.run ~pipeline:(planted_pipeline [ 3; 4; 5 ]) config in
+      checki "first attempt checkpointed the survivors" 3 (List.length crashed.Drive.r_items);
+      (* Second attempt heals: resumes the survivors, recomputes only the
+         missing indices. *)
+      let resumed = Drive.run ~pipeline:toy_pipeline config in
+      checki "survivors loaded, not recomputed" 3 resumed.Drive.r_resumed;
+      checki "population complete after resume" 6 (List.length resumed.Drive.r_items);
+      checkb "resumed population identical to uninterrupted" true
+        (Assess.Json.to_string (Report.deterministic_json resumed)
+        = Assess.Json.to_string (Report.deterministic_json uninterrupted)));
+  (* A config mismatch must not resume from a stale file. *)
+  let path = Filename.temp_file "sweep_ck2" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let config = tiny ~profiles:4 ~checkpoint:path () in
+      ignore (Drive.run ~pipeline:toy_pipeline config);
+      let other = { config with Drive.seed = config.Drive.seed + 1 } in
+      let r = Drive.run ~pipeline:toy_pipeline other in
+      checki "stale checkpoint restarted, not resumed" 0 r.Drive.r_resumed)
+
+let test_population_prefix_stable () =
+  (* Growing the population must not disturb earlier items: item values
+     are keyed by index, never by population size. *)
+  let strip (it : Drive.item) = { it with Drive.it_stage_s = [] } in
+  let small = Drive.run (tiny ~profiles:3 ()) in
+  let large = Drive.run (tiny ~profiles:6 ()) in
+  List.iter2
+    (fun a b -> checkb "prefix item identical" true (strip a = strip b))
+    small.Drive.r_items
+    (List.filteri (fun i _ -> i < 3) large.Drive.r_items)
+
+(* --- Pareto ------------------------------------------------------------------- *)
+
+let test_pareto_dominance_invariants () =
+  let rng = Util.Rng.create 99 in
+  let maximize = [| true; false; true |] in
+  let pt () = Array.init 3 (fun _ -> float_of_int (Util.Rng.int rng 5)) in
+  for _ = 1 to 200 do
+    let a = pt () and b = pt () in
+    checkb "irreflexive" false (Pareto.dominates ~maximize a a);
+    checkb "antisymmetric" false
+      (Pareto.dominates ~maximize a b && Pareto.dominates ~maximize b a)
+  done;
+  let pts = List.init 60 (fun _ -> pt ()) in
+  let front = Pareto.front ~maximize ~values:Fun.id pts in
+  checkb "front nonempty on nonempty input" true (front <> []);
+  List.iter
+    (fun f ->
+      checkb "front point undominated" false
+        (List.exists (fun p -> Pareto.dominates ~maximize p f) pts))
+    front;
+  List.iter
+    (fun p ->
+      if not (List.memq p front) then
+        checkb "off-front point dominated by someone" true
+          (List.exists (fun q -> Pareto.dominates ~maximize q p) pts))
+    pts
+
+let test_pareto_known_front () =
+  (* area min × frequency max on four hand-placed points. *)
+  let pts = [ (10.0, 5.0); (10.0, 7.0); (12.0, 7.0); (9.0, 1.0) ] in
+  let front =
+    Pareto.front ~maximize:[| false; true |] ~values:(fun (a, f) -> [| a; f |]) pts
+  in
+  checkb "dominated corner dropped" true (front = [ (10.0, 7.0); (9.0, 1.0) ]);
+  (* Duplicated optima both survive (strict dominance). *)
+  let dup = [ (1.0, 1.0); (1.0, 1.0) ] in
+  checki "duplicates co-exist on the front" 2
+    (List.length (Pareto.front ~maximize:[| false; true |] ~values:(fun (a, f) -> [| a; f |]) dup))
+
+(* --- Report -------------------------------------------------------------------- *)
+
+let test_stage_stats_percentiles () =
+  let item durs = { (toy_item (tiny ()) ~index:0 1) with Drive.it_stage_s = durs } in
+  let items = List.init 10 (fun i -> item [ ("s", float_of_int (i + 1)) ]) in
+  (match Report.stage_stats items with
+  | [ s ] ->
+    checks "stage name" "s" s.Report.st_name;
+    checki "sample count" 10 s.Report.st_count;
+    Alcotest.(check (float 1e-9)) "p50 nearest-rank" 5.0 s.Report.st_p50_s;
+    Alcotest.(check (float 1e-9)) "p95 nearest-rank" 10.0 s.Report.st_p95_s
+  | l -> Alcotest.failf "expected one stage, got %d" (List.length l))
+
+let test_merge_metrics () =
+  let m name v = Assess.Run.metric name [| v |] in
+  let merged = Report.merge_metrics [ [ m "a" 1.0; m "b" 2.0 ]; [ m "a" 3.0 ] ] in
+  (match List.find_opt (fun (x : Assess.Run.metric) -> x.Assess.Run.name = "a") merged with
+  | Some a -> checkb "samples zipped across repeats" true (a.Assess.Run.samples = [| 1.0; 3.0 |])
+  | None -> Alcotest.fail "metric a missing");
+  checki "metric order preserved" 2 (List.length merged)
+
+(* --- golden regression ---------------------------------------------------------- *)
+
+let golden_path name =
+  if Sys.file_exists (Filename.concat "golden" name) then Filename.concat "golden" name
+  else Filename.concat "test/golden" name
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+let test_golden_quick_front () =
+  (* The real pipeline, quick population, fixed seed: the front view must
+     match the checked-in bytes on any machine at any job count. *)
+  let r = Drive.run Drive.quick in
+  checki "quick sweep fully succeeds" 0 (List.length r.Drive.r_failures);
+  let json = Assess.Json.to_string ~indent:2 (Report.front_json r) ^ "\n" in
+  (match Sys.getenv_opt "DUMP_SWEEP" with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc json;
+    close_out oc
+  | None -> ());
+  let golden = read_file (golden_path "sweep_quick.json") in
+  if json <> golden then
+    Alcotest.failf
+      "quick-sweep front drifted from golden/sweep_quick.json (%d vs %d bytes). If the \
+       change is intentional, regenerate with: DUMP_SWEEP=test/golden/sweep_quick.json dune \
+       exec test/test_sweep.exe -- test golden"
+      (String.length json) (String.length golden)
+
+(* --- driver --------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "stage",
+        [
+          Alcotest.test_case "composition and order" `Quick test_stage_composition_order;
+          Alcotest.test_case "first and dyn" `Quick test_stage_first_and_dyn;
+          Alcotest.test_case "error containment" `Quick test_stage_error_containment;
+        ] );
+      ( "drive",
+        [
+          Alcotest.test_case "profile grid tiling" `Quick test_profile_grid_tiling;
+          Alcotest.test_case "item rng keying" `Quick test_item_rng_keying;
+          Alcotest.test_case "item json roundtrip" `Quick test_item_json_roundtrip;
+          Alcotest.test_case "planted failure contained" `Quick test_planted_failure_contained;
+          Alcotest.test_case "jobs/window invariance" `Quick test_jobs_and_window_invariance;
+          Alcotest.test_case "checkpoint resume = uninterrupted" `Quick
+            test_checkpoint_resume_equals_uninterrupted;
+          Alcotest.test_case "population prefix stable" `Quick test_population_prefix_stable;
+        ] );
+      ( "pareto",
+        [
+          Alcotest.test_case "dominance invariants" `Quick test_pareto_dominance_invariants;
+          Alcotest.test_case "known front" `Quick test_pareto_known_front;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "stage stats percentiles" `Quick test_stage_stats_percentiles;
+          Alcotest.test_case "merge metrics" `Quick test_merge_metrics;
+        ] );
+      ("golden", [ Alcotest.test_case "quick front bytes" `Quick test_golden_quick_front ]);
+    ]
