@@ -744,6 +744,176 @@ let sweep_cmd =
       const run $ quick $ profiles $ seed $ jobs $ window $ checkpoint $ out $ front_out
       $ det_out $ strict $ repeats_arg $ run_out_arg $ show_metrics $ trace_arg)
 
+(* --- classify ------------------------------------------------------------- *)
+
+let classify_cmd =
+  let run quick seed jobs window samples trials spares rates sigmas checkpoint out det_out
+      strict repeats run_out show_metrics trace =
+    with_tracing trace @@ fun () ->
+    let base = if quick then Classify.Envelope.quick else Classify.Envelope.default in
+    let config =
+      {
+        base with
+        Classify.Envelope.seed;
+        jobs = (match jobs with Some j -> max 1 j | None -> base.Classify.Envelope.jobs);
+        window = Option.value window ~default:base.Classify.Envelope.window;
+        samples = Option.value samples ~default:base.Classify.Envelope.samples;
+        trials = Option.value trials ~default:base.Classify.Envelope.trials;
+        spare_rows = Option.value spares ~default:base.Classify.Envelope.spare_rows;
+        rates = Option.value rates ~default:base.Classify.Envelope.rates;
+        sigmas = Option.value sigmas ~default:base.Classify.Envelope.sigmas;
+        checkpoint;
+      }
+    in
+    let metrics = Runtime.Metrics.create () in
+    let repeats = max 1 repeats in
+    let t0 = Unix.gettimeofday () in
+    let per_repeat =
+      List.init repeats (fun k ->
+          (* A checkpoint resumes (or seeds) only the first repeat: later
+             repeats re-measure the full envelope. *)
+          let config = if k = 0 then config else { config with checkpoint = None } in
+          Classify.Envelope.run ~metrics config)
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let r = List.nth per_repeat (repeats - 1) in
+    print_string (Classify.Envelope.summary r);
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Assess.Json.to_string ~indent:2 (Classify.Envelope.json r));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "envelope written to %s\n" path
+    | None -> ());
+    (match det_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Assess.Json.to_string ~indent:2 (Classify.Envelope.deterministic_json r));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "deterministic view written to %s\n" path
+    | None -> ());
+    if show_metrics then print_string (Runtime.Metrics.dump metrics);
+    let profile = if quick then "classify-quick" else "classify" in
+    let faulted r =
+      List.filter (fun p -> p.Classify.Envelope.pt_rate > 0.0) r.Classify.Envelope.ep_points
+    in
+    let series f = Array.of_list (List.map f per_repeat) in
+    let worst f r =
+      List.fold_left (fun m p -> min m (f p)) 1.0 (faulted r)
+    in
+    let recovery_p90 r =
+      match List.assoc_opt 90. (Classify.Envelope.recovery_percentiles r) with
+      | Some v -> v
+      | None -> 0.0
+    in
+    let arun =
+      Assess.Run.create ~profile ~seed ~wall_s
+        ~meta:
+          [
+            ("jobs", string_of_int config.Classify.Envelope.jobs);
+            ("samples", string_of_int config.Classify.Envelope.samples);
+            ("trials", string_of_int config.Classify.Envelope.trials);
+            ("quick", string_of_bool quick);
+            ("repeats", string_of_int repeats);
+          ]
+        [
+          Assess.Run.metric ~units:"frac" "classify.acc_clean"
+            (series (fun r -> r.Classify.Envelope.ep_acc_clean));
+          Assess.Run.metric ~units:"frac" "classify.acc_pre_worst"
+            (series (worst (fun p -> p.Classify.Envelope.pt_acc_pre)));
+          Assess.Run.metric ~units:"frac" "classify.acc_post_worst"
+            (series (worst (fun p -> p.Classify.Envelope.pt_acc_post)));
+          Assess.Run.metric ~units:"s" ~higher_is_better:false "classify.recovery_p90_s"
+            (series recovery_p90);
+          Assess.Run.metric ~units:"s" ~higher_is_better:false "classify.wall_s"
+            (series (fun r -> r.Classify.Envelope.ep_wall_s));
+        ]
+    in
+    let save_failed =
+      match run_out with None -> false | Some dir -> save_assess_run ~dir arun
+    in
+    let failed = r.Classify.Envelope.ep_failures <> [] in
+    if failed then
+      Printf.eprintf "cnfet_tool classify: %d grid point(s) failed\n"
+        (List.length r.Classify.Envelope.ep_failures);
+    if save_failed || (strict && failed) then 1 else 0
+  in
+  let quick =
+    let doc = "Quick envelope: 128 samples x 4 trials over a 3 x 2 grid." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let seed =
+    let doc = "Envelope seed; samples, D2D draws and defect maps all derive from it." in
+    Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let jobs =
+    let doc = "Worker domains (default: cores - 1, or 2 with $(b,--quick))." in
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let window =
+    let doc = "Max in-flight grid points (default 4 x jobs)." in
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let samples =
+    let doc = "Evaluation population size per grid point." in
+    Arg.(value & opt (some int) None & info [ "samples" ] ~docv:"N" ~doc)
+  in
+  let trials =
+    let doc = "Defect-map draws per grid point." in
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let spares =
+    let doc = "Spare physical rows available to the repair flow." in
+    Arg.(value & opt (some int) None & info [ "spares" ] ~docv:"N" ~doc)
+  in
+  let rates =
+    let doc = "Comma-separated crosspoint fault rates (grid rows), ascending." in
+    Arg.(value & opt (some (list float)) None & info [ "rates" ] ~docv:"R,R,..." ~doc)
+  in
+  let sigmas =
+    let doc = "Comma-separated D2D weight-perturbation sigmas (grid columns)." in
+    Arg.(value & opt (some (list float)) None & info [ "sigmas" ] ~docv:"S,S,..." ~doc)
+  in
+  let checkpoint =
+    let doc =
+      "JSONL progress file: completed grid points are appended as they finish, \
+       and a rerun with the same envelope parameters resumes from it."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let out =
+    let doc = "Write the full envelope (BENCH_classify.json) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE.json" ~doc)
+  in
+  let det_out =
+    let doc =
+      "Write the deterministic envelope view (accuracies, counters, confusion — \
+       no latencies) to $(docv) — byte-identical across $(b,--jobs) and \
+       $(b,--window) for a fixed seed."
+    in
+    Arg.(value & opt (some string) None & info [ "det-out" ] ~docv:"FILE.json" ~doc)
+  in
+  let strict =
+    let doc = "Exit non-zero if any grid point failed." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let show_metrics =
+    let doc = "Dump the metrics registry (stage histograms, pool gauges) after the run." in
+    Arg.(value & flag & info [ "show-metrics" ] ~doc)
+  in
+  let doc =
+    "Degradation envelope for the crossbar classifier: accuracy over a fault-rate \
+     x noise-sigma grid, before and after the ATPG-detect / spare-row-repair / \
+     re-verify loop"
+  in
+  Cmd.v (Cmd.info "classify" ~doc ~exits)
+    Term.(
+      const run $ quick $ seed $ jobs $ window $ samples $ trials $ spares $ rates $ sigmas
+      $ checkpoint $ out $ det_out $ strict $ repeats_arg $ run_out_arg $ show_metrics
+      $ trace_arg)
+
 (* --- fuzz ---------------------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -987,7 +1157,8 @@ let serve_cmd =
       $ chunk $ max_batch $ show_metrics $ trace_arg)
 
 let loadgen_cmd =
-  let run sock concurrency tenants requests batch seed sweep out run_out trace =
+  let run sock concurrency tenants requests batch seed classify_share sweep out run_out trace
+      =
     with_tracing trace @@ fun () ->
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let connect () =
@@ -1014,6 +1185,7 @@ let loadgen_cmd =
           requests_per_worker = requests;
           batch;
           seed;
+          classify_share;
         }
       in
       let r = Serve.Loadgen.run ~label:(Printf.sprintf "c%d" concurrency) cfg in
@@ -1091,6 +1263,14 @@ let loadgen_cmd =
     let doc = "Workload seed; fixed seed = reproducible request sequence." in
     Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
+  let classify_share =
+    let doc =
+      "Fraction of requests sent as classification against the server's \
+       $(b,default) crossbar model, each reply label-checked against the \
+       reference classifier (0 = eval-only traffic)."
+    in
+    Arg.(value & opt float 0.0 & info [ "classify" ] ~docv:"SHARE" ~doc)
+  in
   let sweep =
     let doc =
       "Comma-separated concurrency sweep (e.g. 1,2,4,8,16); overrides $(b,--concurrency) and \
@@ -1106,10 +1286,10 @@ let loadgen_cmd =
   Cmd.v
     (Cmd.info "loadgen" ~doc ~exits)
     Term.(
-      const run $ sock $ concurrency $ tenants $ requests $ batch $ seed $ sweep $ out
-      $ run_out_arg $ trace_arg)
+      const run $ sock $ concurrency $ tenants $ requests $ batch $ seed $ classify_share
+      $ sweep $ out $ run_out_arg $ trace_arg)
 
 let () =
   let doc = "programmable logic built from ambipolar carbon-nanotube FETs" in
   let info = Cmd.info "cnfet_tool" ~version:"1.0.0" ~doc ~exits in
-  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; bench_ab_cmd; sweep_cmd; fuzz_cmd; chaos_cmd; serve_cmd; loadgen_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ minimize_cmd; area_cmd; simulate_cmd; phase_cmd; factor_cmd; map_cmd; fpga_cmd; yield_cmd; suite_cmd; bench_parallel_cmd; bench_espresso_cmd; bench_ab_cmd; sweep_cmd; classify_cmd; fuzz_cmd; chaos_cmd; serve_cmd; loadgen_cmd ]))

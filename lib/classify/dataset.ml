@@ -1,0 +1,47 @@
+type t = {
+  n_features : int;
+  n_classes : int;
+  flip_p : float;
+  prototypes : bool array array;
+}
+
+let make ~flip_p ~prototypes =
+  let n_classes = Array.length prototypes in
+  if n_classes < 2 then invalid_arg "Classify.Dataset.make: need at least 2 prototypes";
+  let n_features = Array.length prototypes.(0) in
+  if n_features < 1 then invalid_arg "Classify.Dataset.make: empty prototype";
+  Array.iter
+    (fun p ->
+      if Array.length p <> n_features then
+        invalid_arg "Classify.Dataset.make: prototype width mismatch")
+    prototypes;
+  if not (flip_p >= 0.0 && flip_p <= 1.0) then
+    invalid_arg "Classify.Dataset.make: flip_p not a probability";
+  { n_features; n_classes; flip_p; prototypes = Array.map Array.copy prototypes }
+
+let of_bits s = Array.init (String.length s) (fun i -> s.[i] = '1')
+
+(* Pairwise Hamming distance 4 between every two prototypes (rows of a
+   Hadamard-like code), so a single expected flip at flip_p = 0.125 over
+   8 bits rarely crosses a decision boundary. *)
+let default =
+  make ~flip_p:0.125
+    ~prototypes:
+      [| of_bits "00001111"; of_bits "11110000"; of_bits "00110011"; of_bits "01010101" |]
+
+(* Sample streams ride the same (seed, salt, index) family as the sweep
+   driver; salt 0x0da7a keeps them disjoint from any other user of the
+   family at the same seed. *)
+let dataset_salt = 0x0da7a
+
+let sample t ~seed index =
+  if index < 0 then invalid_arg "Classify.Dataset.sample: negative index";
+  let label = index mod t.n_classes in
+  let rng = Sweep.Drive.item_rng ~seed ~salt:dataset_salt index in
+  let features =
+    Array.map (fun bit -> if Util.Rng.bernoulli rng t.flip_p then not bit else bit)
+      t.prototypes.(label)
+  in
+  (features, label)
+
+let labels t = t.n_classes

@@ -1,0 +1,31 @@
+(** The deterministic synthetic classification task.
+
+    Each class has a 1-bit prototype pattern; a sample is its class's
+    prototype with every bit independently flipped at [flip_p]. Sample
+    [i] belongs to class [i mod n_classes] (the population is balanced
+    by construction) and its bits are drawn from a stream keyed by
+    [(seed, i)] alone — so any slice of the population is reproducible
+    in isolation, in parallel, and independent of every other sample. *)
+
+type t = {
+  n_features : int;
+  n_classes : int;
+  flip_p : float;  (** per-bit corruption probability *)
+  prototypes : bool array array;  (** [n_classes × n_features] *)
+}
+
+val make : flip_p:float -> prototypes:bool array array -> t
+(** Validates: ≥ 2 non-empty equal-width prototypes, [flip_p] a
+    probability. Raises [Invalid_argument] otherwise. *)
+
+val default : t
+(** 8 features, 4 classes, [flip_p = 0.125]. The prototypes are a
+    Hadamard-like code with pairwise Hamming distance 4, so one expected
+    bit flip per sample leaves classes separable but not trivially so. *)
+
+val sample : t -> seed:int -> int -> bool array * int
+(** [(features, label)] of population member [index], a pure function of
+    [(seed, index)]. *)
+
+val labels : t -> int
+(** Alias for [n_classes]. *)

@@ -1,0 +1,60 @@
+(** The reference quantized linear classifier.
+
+    A model is [n_classes] rows of signed [weight_bits]-wide integer
+    weights over 1-bit features plus a bias per class; inference is an
+    integer multiply-accumulate (with 1-bit inputs, an AND and a
+    conditional add — the crossbar-friendly form) followed by argmax.
+    This integer evaluator is the {e oracle}: the crossbar mapping
+    ({!Map}) must be bit-identical to it on clean devices, and the
+    non-ideal device path ({!predict_dev}) must collapse to it when no
+    fault engine is armed. *)
+
+type t = {
+  n_features : int;
+  n_classes : int;
+  weight_bits : int;  (** signed width every weight and bias fits in *)
+  weights : int array array;  (** [n_classes × n_features], row per class *)
+  bias : int array;  (** [n_classes] *)
+}
+
+val make :
+  n_features:int -> n_classes:int -> weight_bits:int -> weights:int array array ->
+  bias:int array -> t
+(** Validates shape and range: [n_features ≥ 1], [n_classes ≥ 2],
+    [weight_bits ≥ 2], every weight and bias in the signed [weight_bits]
+    window. Raises [Invalid_argument] otherwise. Arrays are copied. *)
+
+val scores : t -> bool array -> int array
+(** Per-class integer scores [Σ w·x + b]. *)
+
+val predict : t -> bool array -> int
+(** Argmax of {!scores}; ties break to the lowest class index. *)
+
+val label_bits : t -> int
+(** Output bits of the binary label encoding: [⌈log₂ n_classes⌉]. *)
+
+val encode_label : t -> int -> bool array
+(** LSB-first binary encoding of a label, [label_bits] wide. *)
+
+val decode_label : t -> bool array -> int
+(** Total inverse of {!encode_label} on any [label_bits]-wide vector.
+    Under faults the decoded value may name no class
+    ([≥ n_classes] when [n_classes] is not a power of two) — that is
+    data (a wrong label), never an exception. *)
+
+val predict_dev : ?engine:Fault.Inject.t -> t -> sample:int -> bool array -> int
+(** Inference through the device non-ideality model: each weight and
+    bias cell is scaled by its lifetime D2D factor
+    ({!Fault.Inject.weight_factor}, keyed by the cell's index), each
+    class read at [sample] is offset by ±LSB read noise (keyed by
+    [sample × n_classes + class]) and clamped by the ADC window.
+
+    With [engine] the draws come from that explicit engine's [_of]
+    helpers; without it they come from the process-global engine — and
+    when that is disarmed the call is one atomic load plus {!predict},
+    bit-identical to the reference. *)
+
+val weight_cell_index : t -> class_:int -> feature:int -> int
+(** The {!Fault.Inject.site} coordinate of a weight cell:
+    [class_ × (n_features + 1) + feature]; [feature = n_features]
+    addresses the class's bias cell. *)

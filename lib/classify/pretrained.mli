@@ -1,0 +1,6 @@
+(** The checked-in production model: {!Train.train} output over
+    {!Dataset.default}, committed as data so inference never trains.
+    [test_classify] re-runs the trainer and fails if this file drifts
+    from it. *)
+
+val model : Model.t

@@ -1,0 +1,28 @@
+(** Offline training and quantization — the script that produced
+    {!Pretrained}, kept in-tree so the checked-in weights are
+    reproducible (the test battery asserts
+    [train Dataset.default = Pretrained.model] and fails on drift).
+    Nothing here runs at inference time. *)
+
+val quantize_scale : weight_bits:int -> float array array -> float array -> float
+(** The max-abs symmetric scale: the largest magnitude over all weights
+    and biases divided by [2^(bits-1) - 1] (1.0 when everything is 0). *)
+
+val quantize :
+  weight_bits:int -> float array array -> float array -> int array array * int array
+(** Round-to-nearest symmetric quantization at {!quantize_scale}:
+    [q = round(w / scale)], clamped into the signed window. Every
+    quantized value times the scale is within [scale / 2] of its float
+    source (the round-trip bound the tests pin). *)
+
+val train :
+  ?seed:int -> ?train_samples:int -> ?epochs:int -> ?weight_bits:int -> Dataset.t -> Model.t
+(** Multi-class perceptron on the dataset's deterministic sample stream
+    (seed 7002, 256 samples, 8 epochs, 4-bit weights by default), then
+    {!quantize}. Pure in its arguments: same call, same model, any
+    machine. *)
+
+val emit_pretrained : Model.t -> string
+(** OCaml source text for [pretrained.ml] — regenerate with
+    [Train.(emit_pretrained (train Dataset.default))] after changing the
+    trainer or dataset, and paste the output over that file. *)

@@ -442,6 +442,67 @@ let arb_design_case () =
   Arb.make ~shrink:shrink_design_case ~print:print_design_case (design_case ())
 
 (* ------------------------------------------------------------------ *)
+(* Classifier models                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Small enough that every property can sweep all 2^n_features minterms
+   against the reference evaluator. Weights stay within the signed
+   4-bit window Model.make enforces. *)
+type classify_case = {
+  cl_n_features : int;
+  cl_n_classes : int;
+  cl_weights : int array array;
+  cl_bias : int array;
+  cl_seed : int;  (* fault-engine seed for the degraded-device side *)
+  cl_rate : float;  (* crosspoint fault rate for the degraded-device side *)
+}
+
+let model_of_case c =
+  Classify.Model.make ~n_features:c.cl_n_features ~n_classes:c.cl_n_classes ~weight_bits:4
+    ~weights:c.cl_weights ~bias:c.cl_bias
+
+let classify_case ?(min_classes = 2) () =
+  let open Gen in
+  let* nf = int_range 3 5 in
+  let* nc = int_range min_classes 4 in
+  let* weights = array_n nc (array_n nf (int_range (-7) 7)) in
+  let* bias = array_n nc (int_range (-7) 7) in
+  let* seed = int_range 0 9999 in
+  let* rate = oneofl [ 0.0; 0.02; 0.1 ] in
+  return
+    {
+      cl_n_features = nf;
+      cl_n_classes = nc;
+      cl_weights = weights;
+      cl_bias = bias;
+      cl_seed = seed;
+      cl_rate = rate;
+    }
+
+let shrink_classify_case c =
+  (* Dimensions pin the grid; weights and biases shrink toward 0. *)
+  Seq.append
+    (Seq.map
+       (fun w -> { c with cl_weights = w })
+       (Shrink.array_fixed (Shrink.array_fixed Shrink.int) c.cl_weights))
+    (Seq.map (fun b -> { c with cl_bias = b }) (Shrink.array_fixed Shrink.int c.cl_bias))
+
+let print_classify_case c =
+  Printf.sprintf "%d features -> %d classes, seed %d, rate %g\nweights: %s\nbias: %s"
+    c.cl_n_features c.cl_n_classes c.cl_seed c.cl_rate
+    (String.concat "; "
+       (Array.to_list
+          (Array.map
+             (fun row ->
+               "[" ^ String.concat " " (Array.to_list (Array.map string_of_int row)) ^ "]")
+             c.cl_weights)))
+    ("[" ^ String.concat " " (Array.to_list (Array.map string_of_int c.cl_bias)) ^ "]")
+
+let arb_classify_case ?min_classes () =
+  Arb.make ~shrink:shrink_classify_case ~print:print_classify_case
+    (classify_case ?min_classes ())
+
+(* ------------------------------------------------------------------ *)
 (* Helpers shared by the battery                                       *)
 (* ------------------------------------------------------------------ *)
 

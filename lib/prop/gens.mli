@@ -120,6 +120,29 @@ val design_of_case : design_case -> Fpga.Design.t
 
 val arb_design_case : unit -> design_case Arb.t
 
+(** {1 Classifier models} *)
+
+type classify_case = {
+  cl_n_features : int;  (** 3–5, so every minterm can be swept *)
+  cl_n_classes : int;
+  cl_weights : int array array;
+  cl_bias : int array;
+  cl_seed : int;  (** fault-engine seed for the degraded-device side *)
+  cl_rate : float;  (** crosspoint fault rate (0 / 0.02 / 0.1) *)
+}
+
+val model_of_case : classify_case -> Classify.Model.t
+
+val classify_case : ?min_classes:int -> unit -> classify_case Gen.t
+(** [min_classes] defaults to 2; the planted mis-mapping tests pass 3 so
+    the label encoding is at least two bits wide. *)
+
+val shrink_classify_case : classify_case Shrink.t
+
+val print_classify_case : classify_case -> string
+
+val arb_classify_case : ?min_classes:int -> unit -> classify_case Arb.t
+
 (** {1 Helpers} *)
 
 val all_minterms : int -> bool array list

@@ -496,6 +496,10 @@ let gen_wire_message : Serve.Wire.message Gen.t =
           let* batch = matrix in
           return (Serve.Wire.Eval_request { tenant; program; batch }));
       (1, return Serve.Wire.Ping);
+      (2, let* tenant = short_string in
+          let* model = short_string in
+          let* batch = matrix in
+          return (Serve.Wire.Classify_request { tenant; model; batch }));
       (3, let* first = int_range 0 100000 in
           let* outputs = matrix in
           return (Serve.Wire.Result_chunk { first; outputs }));
@@ -808,6 +812,64 @@ let synthetic_phase_preserved =
       Espresso.Minimize.verify ~original:syn.Mcnc.Synthetic.on_set syn.Mcnc.Synthetic.minimized
       && !same)
 
+(* --- classify ----------------------------------------------------------- *)
+
+(* The bit-identity pin for the tentpole: on clean devices the lowered
+   crossbar classifies every minterm exactly as the reference integer
+   model; under drawn crosspoint faults it degrades to a typed label in
+   the encoding range — data, never an exception. *)
+let classify_mapped_vs_reference =
+  Runner.make ~name:"classify/mapped-vs-reference" ~count:40
+    (Gens.arb_classify_case ())
+    (fun (c : Gens.classify_case) ->
+      let m = Gens.model_of_case c in
+      let mapped = Classify.Map.lower m in
+      let minterms = Gens.all_minterms c.Gens.cl_n_features in
+      let clean =
+        List.for_all
+          (fun x -> Classify.Map.classify mapped x = Classify.Model.predict m x)
+          minterms
+      in
+      let spare_rows = 1 in
+      let engine =
+        Fault.Inject.make ~seed:c.Gens.cl_seed
+          { Fault.Inject.nothing with crosspoint_flip = c.Gens.cl_rate }
+      in
+      let pla = mapped.Classify.Map.pla in
+      let rows = Cnfet.Pla.num_products pla + spare_rows in
+      let and_cols = Cnfet.Plane.cols (Cnfet.Pla.and_plane pla) in
+      let n_out = Cnfet.Plane.rows (Cnfet.Pla.or_plane pla) in
+      let ctr = ref 0 in
+      let draw map ~row ~col =
+        incr ctr;
+        match Fault.Inject.crosspoint_fault_of engine ~index:!ctr with
+        | Fault.Defect.Good -> ()
+        | k -> Fault.Defect.set map ~row ~col k
+      in
+      let and_defects = Fault.Defect.perfect ~rows ~cols:and_cols in
+      for r = 0 to rows - 1 do
+        for cc = 0 to and_cols - 1 do
+          draw and_defects ~row:r ~col:cc
+        done
+      done;
+      let or_defects = Fault.Defect.perfect ~rows:n_out ~cols:rows in
+      for r = 0 to n_out - 1 do
+        for cc = 0 to rows - 1 do
+          draw or_defects ~row:r ~col:cc
+        done
+      done;
+      let phys = Classify.Map.identity_physical mapped ~spare_rows in
+      let range = 1 lsl Classify.Model.label_bits m in
+      let faulted =
+        List.for_all
+          (fun x ->
+            match Classify.Map.classify_defective ~and_defects ~or_defects phys x with
+            | label -> label >= 0 && label < range
+            | exception _ -> false)
+          minterms
+      in
+      clean && faulted)
+
 let all =
   [
     cube_ops_vs_naive;
@@ -831,6 +893,7 @@ let all =
     trace_wellformed;
     runtime_bitslice_vs_scalar;
     serve_codec_roundtrip;
+    classify_mapped_vs_reference;
     assess_run_roundtrip;
     sweep_pipeline_equivalence;
     sweep_determinism;

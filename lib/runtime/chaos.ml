@@ -111,6 +111,50 @@ let defective_outputs ~and_defects ~or_defects pla inputs =
   let or_rows = Defect.eval_with_defects or_defects (Pla.or_plane pla) products in
   Array.mapi (fun o v -> if Pla.output_inverted pla o then not v else v) or_rows
 
+let minterm n_in m = Array.init n_in (fun i -> m land (1 lsl i) <> 0)
+
+(* --- the reusable detect → repair → re-verify kernel --------------------- *)
+
+type recovery_outcome = {
+  rv_status :
+    [ `Clean | `Undetected | `Repaired of Repair.assignment | `Unrepairable | `Reverify_failed ];
+  rv_wall_s : float;
+}
+
+let recover ?(spare_rows = 2) ~tests ~and_defects ~or_defects pla =
+  let clock = Obs.Clock.monotonic in
+  let now_s () = Int64.to_float (clock ()) /. 1e9 in
+  let t0 = now_s () in
+  let finish status = { rv_status = status; rv_wall_s = now_s () -. t0 } in
+  if Defect.defect_count and_defects + Defect.defect_count or_defects = 0 then finish `Clean
+  else begin
+    let products = Pla.num_products pla in
+    let and_cols = Plane.cols (Pla.and_plane pla) in
+    let n_out = Plane.rows (Pla.or_plane pla) in
+    (* Detection on the identity mapping (the array as programmed). *)
+    let and_id = truncate_map and_defects ~rows:products ~cols:and_cols in
+    let or_id = truncate_map or_defects ~rows:n_out ~cols:products in
+    let miscompare v =
+      defective_outputs ~and_defects:and_id ~or_defects:or_id pla v <> Pla.eval pla v
+    in
+    if not (List.exists miscompare tests) then finish `Undetected
+    else
+      match Repair.repair ~spare_rows ~and_defects ~or_defects pla with
+      | Repair.Unrepairable -> finish `Unrepairable
+      | Repair.Repaired assignment ->
+        let rows = products + spare_rows in
+        let physical = Repair.apply pla assignment ~rows in
+        (* Re-verify the full function through the defects. *)
+        let n_in = Pla.num_inputs pla in
+        let ok = ref true in
+        for m = 0 to (1 lsl n_in) - 1 do
+          let v = minterm n_in m in
+          if defective_outputs ~and_defects ~or_defects physical v <> Pla.eval pla v then
+            ok := false
+        done;
+        if !ok then finish (`Repaired assignment) else finish `Reverify_failed
+  end
+
 (* --- workloads ----------------------------------------------------------- *)
 
 type workload = {
@@ -120,8 +164,6 @@ type workload = {
   golden : bool array array;  (** oracle outputs for every minterm *)
   tests : bool array list;  (** ATPG vectors for the programmed PLA *)
 }
-
-let minterm n_in m = Array.init n_in (fun i -> m land (1 lsl i) <> 0)
 
 let make_workload (w_name, cover) =
   let pla = Pla.of_cover cover in

@@ -67,6 +67,36 @@ val detected_unrepaired : report -> int
     proven unrepairable within the spare budget — the CI smoke gate
     requires 0. *)
 
+(** One pass of the closed repair loop on a single programmed array —
+    the kernel of the crosspoint scenario, exposed so other workloads
+    (the classification degradation envelope) drive the {e same}
+    detect → repair → re-verify path instead of reimplementing it. *)
+type recovery_outcome = {
+  rv_status :
+    [ `Clean  (** the defect maps carry no defects; nothing to do *)
+    | `Undetected  (** defects present but masked on the test set *)
+    | `Repaired of Fault.Repair.assignment
+      (** spare-row remap found and re-verified through the defects *)
+    | `Unrepairable
+    | `Reverify_failed  (** remap found but still miscompares through the defects *) ];
+  rv_wall_s : float;  (** measured detect + repair + re-verify wall seconds *)
+}
+
+val recover :
+  ?spare_rows:int ->
+  tests:bool array list ->
+  and_defects:Fault.Defect.map ->
+  or_defects:Fault.Defect.map ->
+  Cnfet.Pla.t ->
+  recovery_outcome
+(** Detection runs [tests] (normally {!Fault.Atpg.generate} vectors) on
+    the identity-mapped array through the defects; on a miscompare,
+    {!Fault.Repair.repair} searches an assignment over
+    [products + spare_rows] physical rows (the defect maps must have
+    that geometry), and the repaired array is re-verified exhaustively
+    through the defects. The status is deterministic in its arguments;
+    [rv_wall_s] is measurement. *)
+
 val run :
   ?seed:int ->
   ?budget_s:float ->

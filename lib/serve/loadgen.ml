@@ -8,6 +8,7 @@ type config = {
   requests_per_worker : int;
   batch : int;
   seed : int;
+  classify_share : float;
 }
 
 type report = {
@@ -21,6 +22,7 @@ type report = {
   errors : int;
   miscompares : int;
   vectors : int;
+  classified : int;
   wall_s : float;
   throughput_rps : float;
   shed_rate : float;
@@ -67,10 +69,11 @@ type tally = {
   mutable errors : int;
   mutable miscompares : int;
   mutable vectors : int;
+  mutable classified : int;
   latency : Histogram.t;
 }
 
-let tally_add tl ~requests ~completed ~shed ~errors ~miscompares ~vectors =
+let tally_add ?(classified = 0) tl ~requests ~completed ~shed ~errors ~miscompares ~vectors =
   Mutex.lock tl.lock;
   tl.requests <- tl.requests + requests;
   tl.completed <- tl.completed + completed;
@@ -78,6 +81,7 @@ let tally_add tl ~requests ~completed ~shed ~errors ~miscompares ~vectors =
   tl.errors <- tl.errors + errors;
   tl.miscompares <- tl.miscompares + miscompares;
   tl.vectors <- tl.vectors + vectors;
+  tl.classified <- tl.classified + classified;
   Mutex.unlock tl.lock
 
 let random_vector rng n = Array.init n (fun _ -> Rng.bool rng)
@@ -99,20 +103,28 @@ let read_reply ic =
   in
   go ()
 
-(* Compare every served output against the oracle; returns mismatching
-   vector count. *)
-let miscompares_of ~oracle ~batch chunks =
+(* Compare every served output row against [expect idx]; returns
+   mismatching vector count. *)
+let miscompares_of ~expect ~n chunks =
   let bad = ref 0 in
   List.iter
     (fun (first, outputs) ->
       for i = 0 to Wire.matrix_rows outputs - 1 do
         let idx = first + i in
-        if idx < 0 || idx >= Array.length batch then incr bad
-        else if Wire.matrix_row outputs i <> Cnfet.Pla.eval oracle batch.(idx) then
-          incr bad
+        if idx < 0 || idx >= n then incr bad
+        else if Wire.matrix_row outputs i <> expect idx then incr bad
       done)
     chunks;
   !bad
+
+(* The classification oracle: the reference integer model, labels
+   binary-encoded the way the server's mapped crossbar emits them. *)
+let classify_oracle = lazy Classify.Pretrained.model
+
+let classify_expected m x =
+  let label = Classify.Model.predict m x in
+  let nb = Classify.Model.label_bits m in
+  Array.init nb (fun b -> label land (1 lsl b) <> 0)
 
 let worker cfg tl rng () =
   let wl = Lazy.force workloads in
@@ -123,14 +135,36 @@ let worker cfg tl rng () =
     let i = ref 0 in
     while !alive && !i < cfg.requests_per_worker do
       incr i;
-      let w = Rng.pick rng wl in
-      let tenant = Printf.sprintf "tenant-%d" (Rng.int rng (max 1 cfg.tenants)) in
-      let batch = Array.init cfg.batch (fun _ -> random_vector rng w.n_in) in
+      (* Drawing the request-kind decision only when the mix asks for
+         classification keeps a share of 0.0 byte-identical to the
+         pre-classify request stream. *)
+      let classify =
+        cfg.classify_share > 0.0 && Rng.float rng 1.0 < cfg.classify_share
+      in
+      let request, expect =
+        if classify then begin
+          let m = Lazy.force classify_oracle in
+          let tenant = Printf.sprintf "tenant-%d" (Rng.int rng (max 1 cfg.tenants)) in
+          let batch =
+            Array.init cfg.batch (fun _ -> random_vector rng m.Classify.Model.n_features)
+          in
+          ( Wire.Classify_request
+              { tenant; model = "default"; batch = Wire.matrix_of_vectors batch },
+            fun idx -> classify_expected m batch.(idx) )
+        end
+        else begin
+          let w = Rng.pick rng wl in
+          let tenant = Printf.sprintf "tenant-%d" (Rng.int rng (max 1 cfg.tenants)) in
+          let batch = Array.init cfg.batch (fun _ -> random_vector rng w.n_in) in
+          ( Wire.Eval_request
+              { tenant; program = w.text; batch = Wire.matrix_of_vectors batch },
+            fun idx -> Cnfet.Pla.eval w.oracle batch.(idx) )
+        end
+      in
+      let classified = if classify then 1 else 0 in
       let t0 = Unix.gettimeofday () in
       match
-        Wire.write_message oc
-          (Wire.Eval_request
-             { tenant; program = w.text; batch = Wire.matrix_of_vectors batch });
+        Wire.write_message oc request;
         read_reply ic
       with
       | exception _ ->
@@ -149,16 +183,19 @@ let worker cfg tl rng () =
           List.fold_left (fun acc (_, o) -> acc + Wire.matrix_rows o) 0 chunks
         in
         let bad =
-          miscompares_of ~oracle:w.oracle ~batch chunks
+          miscompares_of ~expect ~n:cfg.batch chunks
           + if total <> cfg.batch || served <> cfg.batch then 1 else 0
         in
-        tally_add tl ~requests:1 ~completed:1 ~shed:0 ~errors:0 ~miscompares:bad ~vectors:served
+        tally_add ~classified tl ~requests:1 ~completed:1 ~shed:0 ~errors:0 ~miscompares:bad
+          ~vectors:served
     done;
     close ()
 
 let run ?(label = "loadgen") (cfg : config) =
   if cfg.concurrency < 1 then invalid_arg "Loadgen.run: concurrency < 1";
   if cfg.batch < 1 then invalid_arg "Loadgen.run: batch < 1";
+  if not (cfg.classify_share >= 0.0 && cfg.classify_share <= 1.0) then
+    invalid_arg "Loadgen.run: classify_share not a probability";
   let tl =
     {
       lock = Mutex.create ();
@@ -168,6 +205,7 @@ let run ?(label = "loadgen") (cfg : config) =
       errors = 0;
       miscompares = 0;
       vectors = 0;
+      classified = 0;
       latency = Histogram.create ();
     }
   in
@@ -191,6 +229,7 @@ let run ?(label = "loadgen") (cfg : config) =
     errors = tl.errors;
     miscompares = tl.miscompares;
     vectors = tl.vectors;
+    classified = tl.classified;
     wall_s;
     throughput_rps = (if wall_s > 0. then float_of_int tl.completed /. wall_s else 0.);
     shed_rate =
@@ -265,6 +304,7 @@ let json_of_report ~indent r =
       f "  \"errors\": %d," r.errors;
       f "  \"miscompares\": %d," r.miscompares;
       f "  \"vectors\": %d," r.vectors;
+      f "  \"classified\": %d," r.classified;
       f "  \"wall_s\": %.6f," r.wall_s;
       f "  \"throughput_rps\": %.2f," r.throughput_rps;
       f "  \"shed_rate\": %.4f," r.shed_rate;

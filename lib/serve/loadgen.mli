@@ -21,6 +21,11 @@ type config = {
   requests_per_worker : int;
   batch : int;  (** input vectors per request *)
   seed : int;
+  classify_share : float;
+      (** fraction of requests sent as {!Wire.Classify_request} against
+          the server's ["default"] crossbar classifier, oracle-checked
+          against {!Classify.Model.predict}. 0 keeps the request stream
+          byte-identical to an eval-only run. *)
 }
 
 type report = {
@@ -34,6 +39,7 @@ type report = {
   errors : int;  (** answered {!Wire.Error_response} or transport death *)
   miscompares : int;  (** output vectors differing from the oracle *)
   vectors : int;  (** oracle-checked output vectors *)
+  classified : int;  (** completed requests that were classification *)
   wall_s : float;
   throughput_rps : float;  (** completed / wall — saturation throughput *)
   shed_rate : float;  (** shed / requests *)

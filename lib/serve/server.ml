@@ -133,6 +133,18 @@ let evaluator t tcache cover =
         tick t "serve.fallback_evals";
         (Uncompiled pla, false)))
 
+(* The classifier registry: model name -> lowered crossbar. Lowering
+   (minterm enumeration + espresso) is paid once per process on first
+   classify request, then every request compiles the mapped cover
+   through the same per-tenant cache as eval programs. *)
+let classify_models =
+  lazy [ ("default", Classify.Map.lower Classify.Pretrained.model) ]
+
+let lookup_model name =
+  match List.assoc_opt name (Lazy.force classify_models) with
+  | Some mapped -> mapped
+  | None -> raise (Reject (Wire.Parse_failed, Printf.sprintf "unknown model %S" name))
+
 let parse_program program =
   match Logic.Pla_io.parse program with
   | spec -> spec
@@ -186,7 +198,11 @@ let eval_engine t engine batch =
     in
     Wire.matrix_init ~rows:n ~width:(Cnfet.Pla.num_outputs pla) (fun r o -> rows.(r).(o))
 
-let process t ~tenant ~program ~batch =
+(* Shared request wrapper: count, admit (or shed), cap the batch, and
+   convert any per-request explosion to a typed error — the daemon and
+   other sessions keep going. [f] gets the admitted batch size and runs
+   the request-specific parse/compile/eval. *)
+let admitted t ~batch f =
   bump t (fun s -> { s with requests = s.requests + 1 });
   tick t "serve.requests";
   match Obs.Span.with_ "serve.admit" (fun () -> Admission.admit t.admission) with
@@ -202,35 +218,54 @@ let process t ~tenant ~program ~batch =
               (Reject
                  ( Wire.Batch_too_large,
                    Printf.sprintf "%d vectors exceed the per-request cap of %d" n t.cfg.max_batch ));
-          let spec = parse_program program in
-          if n > 0 && Wire.matrix_width batch <> spec.Logic.Pla_io.n_in then
-            raise
-              (Reject
-                 ( Wire.Arity_mismatch,
-                   Printf.sprintf "batch width %d, program has %d inputs"
-                     (Wire.matrix_width batch) spec.Logic.Pla_io.n_in ));
-          let t0 = Unix.gettimeofday () in
-          let engine, cache_hit =
-            Obs.Span.with_ ~args:[ ("tenant", tenant) ] "serve.compile" (fun () ->
-                evaluator t (Tenants.cache t.tenants tenant) spec.Logic.Pla_io.on_set)
-          in
-          let outputs =
-            Obs.Span.with_ ~args:[ ("vectors", string_of_int n) ] "serve.eval" (fun () ->
-                eval_engine t engine batch)
-          in
-          let dt = Unix.gettimeofday () -. t0 in
-          observe t "serve.eval_latency_s" dt;
-          bump t (fun s -> { s with vectors_evaluated = s.vectors_evaluated + n });
-          (match t.metrics with Some m -> Metrics.incr_named ~by:n m "serve.vectors" | None -> ());
-          Stream { outputs; cache_hit; eval_ns = Int64.of_float (dt *. 1e9) })
+          f n)
     with
     | reply -> reply
     | exception Reject (code, message) -> One (Wire.Error_response { code; message })
     | exception e ->
-      (* poison program or any other per-request explosion: the client
-         gets a typed error, the daemon and other sessions keep going *)
       tick t "serve.request_crashes";
       One (Wire.Error_response { code = Wire.Internal; message = Printexc.to_string e }))
+
+(* Compile [cover] through the tenant's cache and evaluate the batch
+   through the bit-sliced path, timing the whole thing. *)
+let compile_and_eval t ~tenant ~batch ~n cover =
+  let t0 = Unix.gettimeofday () in
+  let engine, cache_hit =
+    Obs.Span.with_ ~args:[ ("tenant", tenant) ] "serve.compile" (fun () ->
+        evaluator t (Tenants.cache t.tenants tenant) cover)
+  in
+  let outputs =
+    Obs.Span.with_ ~args:[ ("vectors", string_of_int n) ] "serve.eval" (fun () ->
+        eval_engine t engine batch)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  observe t "serve.eval_latency_s" dt;
+  bump t (fun s -> { s with vectors_evaluated = s.vectors_evaluated + n });
+  (match t.metrics with Some m -> Metrics.incr_named ~by:n m "serve.vectors" | None -> ());
+  Stream { outputs; cache_hit; eval_ns = Int64.of_float (dt *. 1e9) }
+
+let process t ~tenant ~program ~batch =
+  admitted t ~batch (fun n ->
+      let spec = parse_program program in
+      if n > 0 && Wire.matrix_width batch <> spec.Logic.Pla_io.n_in then
+        raise
+          (Reject
+             ( Wire.Arity_mismatch,
+               Printf.sprintf "batch width %d, program has %d inputs"
+                 (Wire.matrix_width batch) spec.Logic.Pla_io.n_in ));
+      compile_and_eval t ~tenant ~batch ~n spec.Logic.Pla_io.on_set)
+
+let process_classify t ~tenant ~model ~batch =
+  admitted t ~batch (fun n ->
+      let mapped = lookup_model model in
+      let n_features = mapped.Classify.Map.model.Classify.Model.n_features in
+      if n > 0 && Wire.matrix_width batch <> n_features then
+        raise
+          (Reject
+             ( Wire.Arity_mismatch,
+               Printf.sprintf "batch width %d, model has %d features"
+                 (Wire.matrix_width batch) n_features ));
+      compile_and_eval t ~tenant ~batch ~n mapped.Classify.Map.cover)
 
 (* ------------------------------------------------------------------ *)
 (* Sessions.                                                          *)
@@ -283,6 +318,9 @@ let serve_session t ic oc =
               loop ()
             | `Msg (Wire.Eval_request { tenant; program; batch }) ->
               write_reply t oc (process t ~tenant ~program ~batch);
+              loop ()
+            | `Msg (Wire.Classify_request { tenant; model; batch }) ->
+              write_reply t oc (process_classify t ~tenant ~model ~batch);
               loop ()
             | `Msg other ->
               bump t (fun s -> { s with request_errors = s.request_errors + 1 });

@@ -111,6 +111,7 @@ let matrix_block m ~first ~lanes =
 
 type message =
   | Eval_request of { tenant : string; program : string; batch : matrix }
+  | Classify_request of { tenant : string; model : string; batch : matrix }
   | Ping
   | Result_chunk of { first : int; outputs : matrix }
   | Eval_done of { total : int; cache_hit : bool; eval_ns : int64 }
@@ -136,6 +137,7 @@ let error_to_string = function
 
 let tag_name = function
   | Eval_request _ -> "eval_request"
+  | Classify_request _ -> "classify_request"
   | Ping -> "ping"
   | Result_chunk _ -> "result_chunk"
   | Eval_done _ -> "eval_done"
@@ -148,6 +150,7 @@ let tag_name = function
 let tag_of_message = function
   | Eval_request _ -> 0x01
   | Ping -> 0x02
+  | Classify_request _ -> 0x03
   | Result_chunk _ -> 0x81
   | Eval_done _ -> 0x82
   | Overloaded _ -> 0x83
@@ -199,6 +202,10 @@ let encode msg =
   | Eval_request { tenant; program; batch } ->
     add_str16 body tenant;
     add_str32 body program;
+    add_matrix body batch
+  | Classify_request { tenant; model; batch } ->
+    add_str16 body tenant;
+    add_str16 body model;
     add_matrix body batch
   | Ping | Pong -> ()
   | Result_chunk { first; outputs } ->
@@ -295,6 +302,11 @@ let decode_payload payload =
       let batch = matrix c in
       Eval_request { tenant; program; batch }
     | 0x02 -> Ping
+    | 0x03 ->
+      let tenant = str16 c in
+      let model = str16 c in
+      let batch = matrix c in
+      Classify_request { tenant; model; batch }
     | 0x81 ->
       let first = u32 c in
       let outputs = matrix c in

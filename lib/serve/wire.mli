@@ -74,6 +74,16 @@ type message =
       program : string;  (** the PLA program, espresso [.pla] text *)
       batch : matrix;  (** input vectors, one row per vector *)
     }
+  | Classify_request of {
+      tenant : string;  (** cache-quota accounting identity *)
+      model : string;  (** registered classifier name, e.g. ["default"] *)
+      batch : matrix;  (** feature vectors, one row per sample *)
+    }
+      (** Classify a batch on a server-registered crossbar model. The
+          reply is the same [Result_chunk]/[Eval_done] stream as an eval
+          request, each output row the binary-encoded predicted label
+          (LSB-first, {!Classify.Model.label_bits} wide). An unknown
+          [model] is answered with [Parse_failed]. *)
   | Ping
   | Result_chunk of {
       first : int;  (** batch index of [outputs] row 0 *)

@@ -51,7 +51,12 @@ type item = {
   it_stage_s : (string * float) list;
 }
 
-type failure = { fl_index : int; fl_name : string; fl_stage : string; fl_error : string }
+type failure = Shard.failure = {
+  fl_index : int;
+  fl_name : string;
+  fl_stage : string;
+  fl_error : string;
+}
 
 type result = {
   r_profiles : int;
@@ -255,80 +260,14 @@ let checkpoint_meta config =
       ("clb_inputs", int config.clb_inputs);
     ]
 
-(* Completed items recorded by a prior run with an equivalent config, or
-   [None] when the file is absent/foreign/stale and must be restarted. *)
-let load_checkpoint config path =
-  if not (Sys.file_exists path) then None
-  else
-    In_channel.with_open_text path (fun ic ->
-        match In_channel.input_line ic with
-        | None -> None
-        | Some header -> (
-            match Assess.Json.parse header with
-            | Ok meta when meta = checkpoint_meta config ->
-                let tbl = Hashtbl.create 64 in
-                let rec lines () =
-                  match In_channel.input_line ic with
-                  | None -> ()
-                  | Some line ->
-                      (match Assess.Json.parse line with
-                      | Ok j -> (
-                          match item_of_json j with
-                          | Some it -> Hashtbl.replace tbl it.it_index it
-                          | None -> ())
-                      | Error _ -> () (* torn tail line from an interrupted run *));
-                      lines ()
-                in
-                lines ();
-                Some tbl
-            | _ -> None))
-
 (* ------------------------------------------------------------------ *)
-(* The sharded driver *)
+(* The sharded driver — the generic machinery lives in {!Shard}; this
+   binds it to the silicon-sweep item type and staged pipeline. *)
 
 let run ?metrics ?(pipeline = item_pipeline) config =
   if config.profiles < 0 then invalid_arg "Sweep.Drive.run: negative profile count";
   let t0 = Unix.gettimeofday () in
-  let total = config.profiles in
-  let outcomes : (item, failure) Stdlib.result option array = Array.make (max total 1) None in
-  let resumed = ref 0 in
-  (match config.checkpoint with
-  | None -> ()
-  | Some path -> (
-      match load_checkpoint config path with
-      | Some tbl ->
-          Hashtbl.iter
-            (fun i it ->
-              if i >= 0 && i < total then (
-                outcomes.(i) <- Some (Ok it);
-                incr resumed))
-            tbl
-      | None ->
-          (* Fresh or foreign file: restart it with our header. *)
-          Out_channel.with_open_text path (fun oc ->
-              Out_channel.output_string oc (Assess.Json.to_string (checkpoint_meta config));
-              Out_channel.output_char oc '\n')));
-  let ck_oc =
-    match config.checkpoint with
-    | None -> None
-    | Some path ->
-        let exists = Sys.file_exists path in
-        let oc = Out_channel.open_gen [ Open_append; Open_creat; Open_text ] 0o644 path in
-        if not exists then (
-          Out_channel.output_string oc (Assess.Json.to_string (checkpoint_meta config));
-          Out_channel.output_char oc '\n');
-        Some oc
-  in
-  let record i (outcome : (item, failure) Stdlib.result) =
-    outcomes.(i) <- Some outcome;
-    match (outcome, ck_oc) with
-    | Ok it, Some oc ->
-        Out_channel.output_string oc (Assess.Json.to_string (item_json it));
-        Out_channel.output_char oc '\n';
-        Out_channel.flush oc
-    | _ -> ()
-  in
-  let task i () =
+  let task i =
     let durs = ref [] in
     let observe ~stage ~dur_s = durs := (stage, dur_s) :: !durs in
     match Stage.exec ?metrics ~observe (pipeline config ~index:i) () with
@@ -342,57 +281,35 @@ let run ?metrics ?(pipeline = item_pipeline) config =
             fl_error = f.error;
           }
   in
-  let todo = ref [] in
-  for i = total - 1 downto 0 do
-    if outcomes.(i) = None then todo := i :: !todo
-  done;
-  (if !todo <> [] then
-     let window = if config.window > 0 then config.window else max 4 (4 * config.jobs) in
-     Runtime.Pool.with_pool ?metrics ~jobs:config.jobs (fun pool ->
-         (* Bounded in-flight window, awaited in submission (= index)
-            order: memory stays O(window) however large the population,
-            and checkpoint lines land in index order. *)
-         let inflight = Queue.create () in
-         let submit i = Queue.add (i, Runtime.Pool.submit pool (task i)) inflight in
-         let settle () =
-           let i, fut = Queue.pop inflight in
-           match Runtime.Pool.await_result fut with
-           | Ok outcome -> record i outcome
-           | Error (e, _) ->
-               (* The pool wrapper itself failed (worker crash): contain
-                  it like any stage failure. *)
-               record i
-                 (Error
-                    {
-                      fl_index = i;
-                      fl_name = name_for config.space i;
-                      fl_stage = "sweep.pool";
-                      fl_error = Printexc.to_string e;
-                    })
-         in
-         List.iter
-           (fun i ->
-             if Queue.length inflight >= window then settle ();
-             submit i)
-           !todo;
-         while not (Queue.is_empty inflight) do
-           settle ()
-         done));
-  Option.iter Out_channel.close ck_oc;
+  let outcome =
+    Shard.run ?metrics
+      {
+        Shard.total = config.profiles;
+        jobs = config.jobs;
+        window = config.window;
+        checkpoint = config.checkpoint;
+        meta = checkpoint_meta config;
+        item_json;
+        item_of_json;
+        index_of_item = (fun it -> it.it_index);
+        name_of_index = name_for config.space;
+        task;
+      }
+  in
   let items = ref [] and failures = ref [] in
-  for i = total - 1 downto 0 do
-    match outcomes.(i) with
+  for i = config.profiles - 1 downto 0 do
+    match outcome.Shard.sh_results.(i) with
     | Some (Ok it) -> items := it :: !items
     | Some (Error f) -> failures := f :: !failures
     | None -> assert false
   done;
   {
-    r_profiles = total;
+    r_profiles = config.profiles;
     r_seed = config.seed;
     r_jobs = config.jobs;
     r_space = config.space;
     r_items = !items;
     r_failures = !failures;
-    r_resumed = !resumed;
+    r_resumed = outcome.Shard.sh_resumed;
     r_wall_s = Unix.gettimeofday () -. t0;
   }

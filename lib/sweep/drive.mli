@@ -68,7 +68,14 @@ type item = {
   it_stage_s : (string * float) list;  (** per-stage wall seconds, execution order *)
 }
 
-type failure = { fl_index : int; fl_name : string; fl_stage : string; fl_error : string }
+type failure = Shard.failure = {
+  fl_index : int;
+  fl_name : string;
+  fl_stage : string;
+  fl_error : string;
+}
+(** Alias of {!Shard.failure}: the generic sharded driver owns the
+    containment type; this sweep is one client of it. *)
 
 type result = {
   r_profiles : int;

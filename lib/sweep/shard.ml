@@ -1,0 +1,127 @@
+type failure = { fl_index : int; fl_name : string; fl_stage : string; fl_error : string }
+
+type 'a spec = {
+  total : int;
+  jobs : int;
+  window : int;
+  checkpoint : string option;
+  meta : Assess.Json.t;
+  item_json : 'a -> Assess.Json.t;
+  item_of_json : Assess.Json.t -> 'a option;
+  index_of_item : 'a -> int;
+  name_of_index : int -> string;
+  task : int -> ('a, failure) result;
+}
+
+type 'a outcome = {
+  sh_results : ('a, failure) result option array;
+  sh_resumed : int;
+}
+
+(* Completed items recorded by a prior run with an equivalent config, or
+   [None] when the file is absent/foreign/stale and must be restarted. *)
+let load_checkpoint spec path =
+  if not (Sys.file_exists path) then None
+  else
+    In_channel.with_open_text path (fun ic ->
+        match In_channel.input_line ic with
+        | None -> None
+        | Some header -> (
+            match Assess.Json.parse header with
+            | Ok meta when meta = spec.meta ->
+                let tbl = Hashtbl.create 64 in
+                let rec lines () =
+                  match In_channel.input_line ic with
+                  | None -> ()
+                  | Some line ->
+                      (match Assess.Json.parse line with
+                      | Ok j -> (
+                          match spec.item_of_json j with
+                          | Some it -> Hashtbl.replace tbl (spec.index_of_item it) it
+                          | None -> ())
+                      | Error _ -> () (* torn tail line from an interrupted run *));
+                      lines ()
+                in
+                lines ();
+                Some tbl
+            | _ -> None))
+
+let run ?metrics spec =
+  if spec.total < 0 then invalid_arg "Sweep.Shard.run: negative population";
+  let total = spec.total in
+  let outcomes : ('a, failure) Stdlib.result option array = Array.make (max total 1) None in
+  let resumed = ref 0 in
+  (match spec.checkpoint with
+  | None -> ()
+  | Some path -> (
+      match load_checkpoint spec path with
+      | Some tbl ->
+          Hashtbl.iter
+            (fun i it ->
+              if i >= 0 && i < total then (
+                outcomes.(i) <- Some (Ok it);
+                incr resumed))
+            tbl
+      | None ->
+          (* Fresh or foreign file: restart it with our header. *)
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Assess.Json.to_string spec.meta);
+              Out_channel.output_char oc '\n')));
+  let ck_oc =
+    match spec.checkpoint with
+    | None -> None
+    | Some path ->
+        let exists = Sys.file_exists path in
+        let oc = Out_channel.open_gen [ Open_append; Open_creat; Open_text ] 0o644 path in
+        if not exists then (
+          Out_channel.output_string oc (Assess.Json.to_string spec.meta);
+          Out_channel.output_char oc '\n');
+        Some oc
+  in
+  let record i (outcome : ('a, failure) Stdlib.result) =
+    outcomes.(i) <- Some outcome;
+    match (outcome, ck_oc) with
+    | Ok it, Some oc ->
+        Out_channel.output_string oc (Assess.Json.to_string (spec.item_json it));
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc
+    | _ -> ()
+  in
+  let todo = ref [] in
+  for i = total - 1 downto 0 do
+    if outcomes.(i) = None then todo := i :: !todo
+  done;
+  (if !todo <> [] then
+     let window = if spec.window > 0 then spec.window else max 4 (4 * spec.jobs) in
+     Runtime.Pool.with_pool ?metrics ~jobs:spec.jobs (fun pool ->
+         (* Bounded in-flight window, awaited in submission (= index)
+            order: memory stays O(window) however large the population,
+            and checkpoint lines land in index order. *)
+         let inflight = Queue.create () in
+         let submit i = Queue.add (i, Runtime.Pool.submit pool (fun () -> spec.task i)) inflight in
+         let settle () =
+           let i, fut = Queue.pop inflight in
+           match Runtime.Pool.await_result fut with
+           | Ok outcome -> record i outcome
+           | Error (e, _) ->
+               (* The pool wrapper itself failed (worker crash): contain
+                  it like any stage failure. *)
+               record i
+                 (Error
+                    {
+                      fl_index = i;
+                      fl_name = spec.name_of_index i;
+                      fl_stage = "sweep.pool";
+                      fl_error = Printexc.to_string e;
+                    })
+         in
+         List.iter
+           (fun i ->
+             if Queue.length inflight >= window then settle ();
+             submit i)
+           !todo;
+         while not (Queue.is_empty inflight) do
+           settle ()
+         done));
+  Option.iter Out_channel.close ck_oc;
+  { sh_results = outcomes; sh_resumed = !resumed }

@@ -1,0 +1,55 @@
+(** The generic sharded item driver behind {!Drive} and
+    [Classify.Envelope]: fan an indexed population over the domain pool
+    with a bounded in-flight window, JSONL checkpoint/resume behind a
+    config-pinning meta header, and typed per-item failure containment.
+
+    The driver knows nothing about what an item {e is} — a {!spec}
+    supplies the task, the item codec, and the checkpoint header. What it
+    guarantees is scheduling-independence of everything it stores: the
+    task is called with the item index only, so as long as the task is a
+    pure function of (its config, index), results are bit-identical at
+    any [jobs] count and any window, and a checkpoint-resumed run equals
+    an uninterrupted one. *)
+
+type failure = { fl_index : int; fl_name : string; fl_stage : string; fl_error : string }
+(** A contained per-item failure: which item, which pipeline stage, what
+    it raised. [fl_stage] is ["sweep.pool"] when the pool wrapper itself
+    died (worker crash) rather than a stage of the item's pipeline. *)
+
+type 'a spec = {
+  total : int;  (** population size; items are indices [0..total-1] *)
+  jobs : int;  (** worker domains *)
+  window : int;  (** max in-flight pool items; 0 = [max 4 (4 × jobs)] *)
+  checkpoint : string option;  (** JSONL progress file *)
+  meta : Assess.Json.t;
+      (** checkpoint header. Pin every knob that shapes item values;
+          leave out scheduling knobs (jobs/window/total) so a resume may
+          widen the pool or extend the population. *)
+  item_json : 'a -> Assess.Json.t;
+  item_of_json : Assess.Json.t -> 'a option;  (** total inverse; ill-typed → [None] *)
+  index_of_item : 'a -> int;
+  name_of_index : int -> string;  (** display name for failure records *)
+  task : int -> ('a, failure) result;
+      (** compute one item; already containment-typed. Must be a pure
+          function of the index (plus the spec's own config) — never of
+          scheduling. An exception escaping [task] crashes the worker; use
+          {!Stage.exec} or equivalent inside. *)
+}
+
+type 'a outcome = {
+  sh_results : ('a, failure) result option array;
+      (** length [total], every slot [Some] on return (index order) *)
+  sh_resumed : int;  (** items loaded from the checkpoint, not recomputed *)
+}
+
+val run : ?metrics:Runtime.Metrics.t -> 'a spec -> 'a outcome
+(** Fan indices [0..total-1] over a fresh pool of [jobs] domains with at
+    most [window] items in flight, awaited in submission (= index) order
+    so memory stays O(window) and checkpoint lines land in index order.
+
+    With [checkpoint = Some path], completed items are appended as JSONL
+    after the meta header; a later run whose [meta] equals the header
+    loads them back (tolerating a torn tail line from an interrupted
+    writer) and computes only the missing indices, while a mismatched
+    header starts the file over. Failures are never checkpointed, so a
+    resume retries them. *)

@@ -76,6 +76,21 @@ let request c ~tenant ~program ~batch =
   in
   gather []
 
+(* Drive one classification request to completion; replies share the
+   eval stream shape. *)
+let classify_request c ~tenant ~model ~batch =
+  Wire.write_message c.oc
+    (Wire.Classify_request { tenant; model; batch = Wire.matrix_of_vectors batch });
+  let rec gather acc =
+    match read_msg c with
+    | Wire.Result_chunk { first; outputs } -> gather ((first, outputs) :: acc)
+    | Wire.Eval_done { total; cache_hit; _ } -> `Done (total, cache_hit, List.rev acc)
+    | Wire.Overloaded _ -> `Shed
+    | Wire.Error_response { code; message } -> `Error (code, message)
+    | m -> Alcotest.fail ("unexpected reply: " ^ Wire.tag_name m)
+  in
+  gather []
+
 let pla_text cover =
   let n_in = Logic.Cover.num_inputs cover in
   let n_out = Logic.Cover.num_outputs cover in
@@ -95,6 +110,13 @@ let test_wire_exact_roundtrip () =
           batch = Wire.matrix_of_vectors [| [| true |]; [| false |] |];
         };
       Wire.Eval_request { tenant = ""; program = ""; batch = Wire.matrix_of_vectors [||] };
+      Wire.Classify_request
+        {
+          tenant = "t1";
+          model = "default";
+          batch = Wire.matrix_of_vectors [| Array.init 8 (fun i -> i mod 3 = 0) |];
+        };
+      Wire.Classify_request { tenant = ""; model = ""; batch = Wire.matrix_of_vectors [||] };
       Wire.Ping;
       Wire.Result_chunk
         { first = 7; outputs = Wire.matrix_of_vectors [| [| true; false; true |] |] };
@@ -194,6 +216,76 @@ let test_happy_path () =
   let s = Server.stats server in
   checki "no session errors" 0 s.Server.session_errors;
   checki "two ok responses" 2 s.Server.responses_ok
+
+let test_classify_served_oracle () =
+  (* Classification rides the same admission / cache / eval machinery;
+     every served label must match Model.predict on the oracle side. *)
+  let server = Server.create { small_config with max_inflight = 4; queue_limit = 8 } in
+  let model = Classify.Pretrained.model in
+  let batch =
+    Array.init 32 (fun i -> fst (Classify.Dataset.sample Classify.Dataset.default ~seed:4242 i))
+  in
+  let c = connect server in
+  (match classify_request c ~tenant:"alice" ~model:"default" ~batch with
+  | `Done (total, hit_first, chunks) ->
+    checki "all samples classified" (Array.length batch) total;
+    checkb "first compile is a miss" false hit_first;
+    List.iter
+      (fun (first, outputs) ->
+        for i = 0 to Wire.matrix_rows outputs - 1 do
+          let expect =
+            Classify.Model.encode_label model (Classify.Model.predict model batch.(first + i))
+          in
+          checkb "label matches Model.predict" true (Wire.matrix_row outputs i = expect)
+        done)
+      chunks
+  | _ -> Alcotest.fail "expected Done");
+  (match classify_request c ~tenant:"alice" ~model:"default" ~batch with
+  | `Done (_, hit_second, _) ->
+    checkb "second classify hits the tenant cache" true hit_second
+  | _ -> Alcotest.fail "expected Done");
+  (match classify_request c ~tenant:"alice" ~model:"nonesuch" ~batch with
+  | `Error (Wire.Parse_failed, _) -> ()
+  | _ -> Alcotest.fail "unknown model must answer Parse_failed");
+  (match
+     classify_request c ~tenant:"alice" ~model:"default" ~batch:[| [| true; false |] |]
+   with
+  | `Error (Wire.Arity_mismatch, _) -> ()
+  | _ -> Alcotest.fail "feature-width mismatch must answer Arity_mismatch");
+  finish c;
+  Server.stop server;
+  let s = Server.stats server in
+  checki "no session errors" 0 s.Server.session_errors
+
+let test_loadgen_classify_mix () =
+  (* The generator mixes classification into the stream and live-checks
+     every label against the Model.predict oracle: zero miscompares. *)
+  let server =
+    Server.create { Server.default_config with jobs = Some 2; queue_limit = 8; max_inflight = 4 }
+  in
+  let connect_pipe () =
+    let c = connect server in
+    (c.ic, c.oc, fun () -> finish c)
+  in
+  let cfg =
+    {
+      Serve.Loadgen.connect = connect_pipe;
+      concurrency = 2;
+      tenants = 2;
+      requests_per_worker = 10;
+      batch = 8;
+      seed = 99;
+      classify_share = 0.5;
+    }
+  in
+  let r = Serve.Loadgen.run ~label:"mix" cfg in
+  Server.stop server;
+  checki "no miscompares" 0 r.Serve.Loadgen.miscompares;
+  checki "no errors" 0 r.Serve.Loadgen.errors;
+  checki "nothing shed at this depth" 0 r.Serve.Loadgen.shed;
+  checkb "classification traffic present" true (r.Serve.Loadgen.classified > 0);
+  checkb "eval traffic still present" true
+    (r.Serve.Loadgen.completed > r.Serve.Loadgen.classified)
 
 let test_request_errors_are_typed () =
   let server = Server.create small_config in
@@ -356,6 +448,9 @@ let () =
       ( "serving",
         [
           Alcotest.test_case "happy path, oracle-checked" `Quick test_happy_path;
+          Alcotest.test_case "classification, oracle-checked" `Quick test_classify_served_oracle;
+          Alcotest.test_case "loadgen classify mix, zero miscompares" `Quick
+            test_loadgen_classify_mix;
           Alcotest.test_case "typed request errors" `Quick test_request_errors_are_typed;
         ] );
       ( "admission",
